@@ -1,0 +1,155 @@
+//! Shared experiment driver: run a benchmark, slice its trace, and shape
+//! the results the way the paper's tables present them.
+
+use wasteprof_browser::Session;
+use wasteprof_slicer::{
+    pixel_criteria, slice, syscall_criteria, ForwardPass, SliceOptions, SliceResult,
+};
+use wasteprof_trace::{ThreadKind, Trace};
+use wasteprof_workloads::Benchmark;
+
+/// A completed benchmark run: the session plus its pixel-based slice (and
+/// optionally the syscall-based one).
+#[derive(Debug)]
+pub struct BenchmarkRun {
+    /// Which benchmark ran.
+    pub benchmark: Benchmark,
+    /// The session (trace + measurements).
+    pub session: Session,
+    /// The forward pass (reusable across criteria).
+    pub forward: ForwardPass,
+    /// Pixel-criteria slice.
+    pub pixel: SliceResult,
+    /// Syscall-criteria slice, when requested.
+    pub syscall: Option<SliceResult>,
+}
+
+/// Runs a benchmark and slices its trace with pixel criteria (and syscall
+/// criteria when `with_syscall`).
+pub fn run_benchmark(benchmark: Benchmark, with_syscall: bool) -> BenchmarkRun {
+    let session = benchmark.run();
+    let forward = ForwardPass::build(&session.trace);
+    let opts = SliceOptions::default();
+    let pixel = slice(
+        &session.trace,
+        &forward,
+        &pixel_criteria(&session.trace),
+        &opts,
+    );
+    let syscall = with_syscall.then(|| {
+        slice(
+            &session.trace,
+            &forward,
+            &syscall_criteria(&session.trace),
+            &opts,
+        )
+    });
+    BenchmarkRun {
+        benchmark,
+        session,
+        forward,
+        pixel,
+        syscall,
+    }
+}
+
+/// One Table II row: a thread's slice percentage and instruction count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadRow {
+    /// Paper-style label (`All`, `Main`, `Compositor`, `Rasterizer 1`, ...).
+    pub label: String,
+    /// Instructions of this thread in the slice.
+    pub slice: u64,
+    /// Total instructions of this thread.
+    pub total: u64,
+}
+
+impl ThreadRow {
+    /// Slice percentage (0–100).
+    pub fn percentage(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.slice as f64 / self.total as f64 * 100.0
+        }
+    }
+}
+
+/// Builds the Table II rows: `All` first, then the important threads in the
+/// paper's order (Main, Compositor, Rasterizer 1..n).
+pub fn thread_rows(trace: &Trace, result: &SliceResult) -> Vec<ThreadRow> {
+    let mut rows = vec![ThreadRow {
+        label: "All".to_owned(),
+        slice: result.slice_count(),
+        total: result.considered(),
+    }];
+    let mut ordered: Vec<(u8, String, wasteprof_trace::ThreadId)> = Vec::new();
+    for info in trace.threads().iter() {
+        let rank = match info.kind() {
+            ThreadKind::Main => 0,
+            ThreadKind::Compositor => 1,
+            ThreadKind::Raster(i) => 2 + i,
+            _ => continue, // the paper's table lists only these threads
+        };
+        ordered.push((rank, info.name().to_owned(), info.id()));
+    }
+    ordered.sort();
+    for (_, label, tid) in ordered {
+        let (slice, total) = result.thread_stats(tid);
+        rows.push(ThreadRow {
+            label,
+            slice,
+            total,
+        });
+    }
+    rows
+}
+
+/// Formats an instruction count the way the paper does (`6,217 M` scaled
+/// to our traces: plain thousands separators).
+pub fn format_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(format_count(6_217_000), "6,217,000");
+        assert_eq!(format_count(999), "999");
+        assert_eq!(format_count(1_000), "1,000");
+    }
+
+    #[test]
+    fn thread_rows_order_matches_paper() {
+        // A small synthetic run (Bing is the smallest... use a tiny site
+        // through the browser directly to keep the test fast).
+        use wasteprof_browser::{BrowserConfig, Site, Tab};
+        let mut tab = Tab::new(BrowserConfig::desktop());
+        tab.load(Site::new("https://t.test", "<body><p>x</p></body>"));
+        let session = tab.finish();
+        let fwd = ForwardPass::build(&session.trace);
+        let r = slice(
+            &session.trace,
+            &fwd,
+            &pixel_criteria(&session.trace),
+            &SliceOptions::default(),
+        );
+        let rows = thread_rows(&session.trace, &r);
+        assert_eq!(rows[0].label, "All");
+        assert_eq!(rows[1].label, "Main");
+        assert_eq!(rows[2].label, "Compositor");
+        assert!(rows[3].label.starts_with("Rasterizer 1"));
+        assert_eq!(rows[0].total, session.trace.len() as u64);
+    }
+}

@@ -1,0 +1,25 @@
+//! Analysis and reporting for the wasteprof reproduction: the computations
+//! behind every table and figure of the paper's evaluation (§V).
+//!
+//! * [`Category`] / [`CategoryBreakdown`] — the Figure 5 namespace-based
+//!   categorization of potentially unnecessary instructions.
+//! * [`Table1Row`] — unused JS/CSS byte accounting (Table I).
+//! * [`UtilizationSeries`] — main-thread CPU utilization over a session
+//!   (Figure 2).
+//! * [`run_benchmark`] / [`thread_rows`] — the Table II driver.
+//! * [`TextTable`], [`ascii_chart`], [`bar_chart`], [`to_csv`] — plain-text
+//!   rendering used by the experiment binaries.
+
+#![warn(missing_docs)]
+
+mod category;
+mod experiment;
+mod render;
+mod table1;
+mod utilization;
+
+pub use category::{Category, CategoryBreakdown};
+pub use experiment::{format_count, run_benchmark, thread_rows, BenchmarkRun, ThreadRow};
+pub use render::{ascii_chart, bar_chart, to_csv, TextTable};
+pub use table1::{Table1Row, UnusedBytes};
+pub use utilization::UtilizationSeries;

@@ -1,0 +1,173 @@
+//! Plain-text rendering of tables and charts for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            for w in &widths {
+                let _ = write!(out, "+{}", "-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        sep(&mut out);
+        for (i, h) in self.header.iter().enumerate() {
+            let _ = write!(out, "| {:<w$} ", h, w = widths[i]);
+        }
+        out.push_str("|\n");
+        sep(&mut out);
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                let _ = write!(out, "| {:<w$} ", c, w = widths[i]);
+            }
+            out.push_str("|\n");
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+/// Renders a series with y in `[0, 1]` as a fixed-height ASCII chart (rows from
+/// 100% down to 0%).
+pub fn ascii_chart(series: &[f64], width: usize, height: usize, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if series.is_empty() || width == 0 || height == 0 {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    // Resample to `width` columns.
+    let cols: Vec<f64> = (0..width)
+        .map(|c| {
+            let lo = c * series.len() / width;
+            let hi = (((c + 1) * series.len()) / width)
+                .max(lo + 1)
+                .min(series.len());
+            series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    for row in (0..height).rev() {
+        let threshold = (row as f64 + 0.5) / height as f64;
+        let label = if row == height - 1 {
+            "100%"
+        } else if row == 0 {
+            "  0%"
+        } else {
+            "    "
+        };
+        let _ = write!(out, "{label} |");
+        for &v in &cols {
+            out.push(if v >= threshold { '#' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "     +{}", "-".repeat(width));
+    out
+}
+
+/// Renders several labeled values as a horizontal bar chart (used for the
+/// Figure 5 category distributions).
+pub fn bar_chart(items: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let max = items.iter().map(|(_, v)| *v).fold(0.0, f64::max).max(1e-12);
+    for (label, value) in items {
+        let bar = ((value / max) * width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "{label:<label_w$}  {} {:.1}%",
+            "#".repeat(bar),
+            value * 100.0
+        );
+    }
+    out
+}
+
+/// Writes rows as CSV (no quoting needed for our numeric output).
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", header.join(","));
+    for row in rows {
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["x", "1"]).row(vec!["longer", "22"]);
+        let s = t.render();
+        assert!(s.contains("| name   | value |"));
+        assert!(s.contains("| longer | 22    |"));
+        assert_eq!(s.lines().filter(|l| l.starts_with('+')).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_jagged_rows() {
+        TextTable::new(vec!["a"]).row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn chart_has_requested_dimensions() {
+        let s = ascii_chart(&[0.0, 0.5, 1.0, 0.5], 20, 5, "test");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 1 + 5 + 1); // title + rows + axis
+        assert!(lines[1].starts_with("100% |"));
+        // The peak column is filled at the top row.
+        assert!(lines[1].contains('#'));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = bar_chart(&[("a".into(), 0.5), ("bb".into(), 0.25)], 10);
+        assert!(s.contains("a   ##########"));
+        assert!(s.contains("bb  ##### 25.0%"));
+    }
+
+    #[test]
+    fn csv_output() {
+        let s = to_csv(&["x", "y"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(s, "x,y\n1,2\n");
+    }
+}

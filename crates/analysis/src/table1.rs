@@ -1,0 +1,97 @@
+//! Table I: unused JavaScript and CSS code bytes.
+//!
+//! "Table I shows the percentage of unused JavaScript and CSS code bytes
+//! after loading three different websites — Amazon, Bing, and Google
+//! Maps — and also after browsing them for 30 seconds in a typical way."
+
+use wasteprof_browser::Session;
+
+/// One cell block of Table I (either the `Only Load` or the
+/// `Load and Browse` row group for one site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnusedBytes {
+    /// Bytes of JS + CSS never executed/matched.
+    pub unused: u64,
+    /// Total JS + CSS bytes loaded.
+    pub total: u64,
+}
+
+impl UnusedBytes {
+    /// Unused percentage (0–100).
+    pub fn percentage(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.unused as f64 / self.total as f64 * 100.0
+        }
+    }
+
+    /// Renders bytes like the paper (`955 KB`, `1.6 MB`).
+    pub fn format_bytes(bytes: u64) -> String {
+        if bytes >= 1_000_000 {
+            format!("{:.1} MB", bytes as f64 / 1_000_000.0)
+        } else if bytes >= 1_000 {
+            format!("{:.0} KB", bytes as f64 / 1_000.0)
+        } else {
+            format!("{bytes} B")
+        }
+    }
+}
+
+/// Table I measurements for one site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Unused/total after load only.
+    pub only_load: UnusedBytes,
+    /// Unused/total after load + browse.
+    pub load_and_browse: UnusedBytes,
+}
+
+impl Table1Row {
+    /// Extracts the Table I measurements from a load-plus-browse session.
+    pub fn from_session(session: &Session) -> Table1Row {
+        let only_load = UnusedBytes {
+            unused: session.js_coverage_at_load.unused_bytes()
+                + session.css_coverage_at_load.unused_bytes(),
+            total: session.js_coverage_at_load.total_bytes
+                + session.css_coverage_at_load.total_bytes,
+        };
+        let load_and_browse = UnusedBytes {
+            unused: session.js_coverage.unused_bytes() + session.css_coverage.unused_bytes(),
+            total: session.js_coverage.total_bytes + session.css_coverage.total_bytes,
+        };
+        Table1Row {
+            only_load,
+            load_and_browse,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentage_math() {
+        let u = UnusedBytes {
+            unused: 58,
+            total: 100,
+        };
+        assert!((u.percentage() - 58.0).abs() < 1e-9);
+        assert_eq!(
+            UnusedBytes {
+                unused: 0,
+                total: 0
+            }
+            .percentage(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn byte_formatting_matches_paper_style() {
+        assert_eq!(UnusedBytes::format_bytes(955_000), "955 KB");
+        assert_eq!(UnusedBytes::format_bytes(1_600_000), "1.6 MB");
+        assert_eq!(UnusedBytes::format_bytes(512), "512 B");
+    }
+}

@@ -1,0 +1,131 @@
+//! CPU utilization over a browsing session (paper Figure 2).
+//!
+//! The paper plots the main-thread CPU utilization of the tab process over
+//! a short Amazon session: a long ~100% stretch while the page loads, then
+//! short spikes at each interaction, separated by idle think time. Our
+//! virtual time is `instructions + idle ticks`; utilization of a thread in
+//! a bucket is the fraction of the bucket's virtual time the thread spent
+//! executing.
+
+use wasteprof_browser::IdleSpan;
+use wasteprof_trace::{ThreadId, Trace};
+
+/// A utilization time series for one thread.
+#[derive(Debug, Clone)]
+pub struct UtilizationSeries {
+    /// Per-bucket utilization in `[0, 1]`.
+    pub buckets: Vec<f64>,
+    /// Virtual-time width of each bucket.
+    pub bucket_width: u64,
+}
+
+impl UtilizationSeries {
+    /// Computes the utilization of `tid` over the session, in `buckets`
+    /// equal slices of virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0`.
+    pub fn compute(
+        trace: &Trace,
+        idle_spans: &[IdleSpan],
+        tid: ThreadId,
+        buckets: usize,
+    ) -> UtilizationSeries {
+        assert!(buckets > 0, "need at least one bucket");
+        let total_idle: u64 = idle_spans.iter().map(|s| s.ticks).sum();
+        let virtual_total = trace.len() as u64 + total_idle;
+        let width = (virtual_total / buckets as u64).max(1);
+
+        // Virtual timestamp of each instruction = position + idle ticks
+        // that occurred before it.
+        let mut busy = vec![0u64; buckets];
+        let mut idle_iter = idle_spans.iter().peekable();
+        let mut idle_so_far = 0u64;
+        for (pos, instr) in trace.iter().enumerate() {
+            while let Some(span) = idle_iter.peek() {
+                if span.at.index() <= pos {
+                    idle_so_far += span.ticks;
+                    idle_iter.next();
+                } else {
+                    break;
+                }
+            }
+            if instr.tid != tid {
+                continue;
+            }
+            let vt = pos as u64 + idle_so_far;
+            let b = ((vt / width) as usize).min(buckets - 1);
+            busy[b] += 1;
+        }
+        UtilizationSeries {
+            buckets: busy
+                .iter()
+                .map(|&b| (b as f64 / width as f64).min(1.0))
+                .collect(),
+            bucket_width: width,
+        }
+    }
+
+    /// Mean utilization over the whole session.
+    pub fn mean(&self) -> f64 {
+        if self.buckets.is_empty() {
+            0.0
+        } else {
+            self.buckets.iter().sum::<f64>() / self.buckets.len() as f64
+        }
+    }
+
+    /// Peak bucket utilization.
+    pub fn peak(&self) -> f64 {
+        self.buckets.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasteprof_trace::{site, Recorder, Reg, RegSet, ThreadKind, TracePos};
+
+    #[test]
+    fn idle_gaps_produce_low_buckets() {
+        let mut rec = Recorder::new();
+        let main = rec.spawn_thread(ThreadKind::Main, "m");
+        // 100 busy instructions...
+        for _ in 0..100 {
+            rec.alu(site!(), Reg::Rax, RegSet::EMPTY);
+        }
+        let idle_at = rec.pos();
+        // ...then 900 ticks of idle, then 10 more instructions.
+        for _ in 0..10 {
+            rec.alu(site!(), Reg::Rax, RegSet::EMPTY);
+        }
+        let trace = rec.finish();
+        let spans = vec![IdleSpan {
+            at: idle_at,
+            ticks: 900,
+        }];
+        let series = UtilizationSeries::compute(&trace, &spans, main, 10);
+        // Virtual time ~1010, bucket ~101: first bucket saturated, middle
+        // ones idle.
+        assert!(series.buckets[0] > 0.9, "{:?}", series.buckets);
+        assert!(series.buckets[5] < 0.1, "{:?}", series.buckets);
+        assert!(series.peak() > 0.9);
+        assert!(series.mean() < 0.5);
+        let _ = TracePos(0);
+    }
+
+    #[test]
+    fn only_requested_thread_counts() {
+        let mut rec = Recorder::new();
+        let main = rec.spawn_thread(ThreadKind::Main, "m");
+        let other = rec.spawn_thread(ThreadKind::Io, "io");
+        rec.switch_to(other);
+        for _ in 0..50 {
+            rec.alu(site!(), Reg::Rax, RegSet::EMPTY);
+        }
+        let trace = rec.finish();
+        let series = UtilizationSeries::compute(&trace, &[], main, 5);
+        assert!(series.mean() < 1e-9);
+    }
+}

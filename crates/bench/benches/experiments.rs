@@ -1,0 +1,45 @@
+//! End-to-end experiment benches: how long each paper benchmark takes to
+//! generate and slice (the cost of the whole reproduction pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wasteprof_slicer::{pixel_criteria, slice, ForwardPass, SliceOptions};
+use wasteprof_workloads::Benchmark;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate_trace");
+    g.sample_size(10);
+    // Amazon mobile is the smallest benchmark; it keeps bench time sane.
+    g.bench_function("amazon_mobile", |b| {
+        b.iter(|| Benchmark::AmazonMobile.run().trace.len())
+    });
+    g.finish();
+}
+
+fn bench_slice_benchmark(c: &mut Criterion) {
+    let session = Benchmark::AmazonMobile.run();
+    let mut g = c.benchmark_group("slice_benchmark");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(session.trace.len() as u64));
+    g.bench_function("forward_pass", |b| {
+        b.iter(|| ForwardPass::build(&session.trace))
+    });
+    let fwd = ForwardPass::build(&session.trace);
+    g.bench_function("pixel_backward", |b| {
+        b.iter(|| {
+            slice(
+                &session.trace,
+                &fwd,
+                &pixel_criteria(&session.trace),
+                &SliceOptions::default(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generate, bench_slice_benchmark
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion benches for the profiler itself: forward pass (dynamic CFG +
+//! control dependences), backward slicing, criteria construction, and the
+//! live-memory interval set.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wasteprof_browser::{BrowserConfig, ResourceKind, Site, Tab};
+use wasteprof_slicer::{
+    pixel_criteria, slice, syscall_criteria, AddrSet, CfgSet, ControlDeps, ForwardPass,
+    SliceOptions,
+};
+use wasteprof_trace::{Addr, AddrRange, Trace};
+
+/// A mid-size trace: a realistic page through the full pipeline.
+fn bench_trace() -> Trace {
+    let html = {
+        let mut h =
+            String::from("<html><head><link rel=\"stylesheet\" href=\"m.css\"></head><body>");
+        for i in 0..40 {
+            h.push_str(&format!(
+                "<div class=\"card\" id=\"c{i}\"><span class=\"t\">item {i}</span><span class=\"p\" id=\"p{i}\"></span></div>"
+            ));
+        }
+        h.push_str("<script src=\"a.js\"></script></body></html>");
+        h
+    };
+    let css = ".card { background: white; height: 60px; width: 23%; display: inline-block } .t { color: black } .p { color: green } .unused-a { width: 1px } .unused-b:hover { color: red }";
+    let js = "function price(i) { var v = 0; for (var k = 0; k < 6; k++) { v += i * k; } return v; }\nvar ps = document.getElementsByClassName('p');\nfor (var i = 0; i < ps.length; i++) { ps[i].textContent = '$' + price(i); }";
+    let site = Site::new("https://bench.test", html)
+        .with_resource("m.css", ResourceKind::Css, css)
+        .with_resource("a.js", ResourceKind::Js, js);
+    let mut tab = Tab::new(BrowserConfig::desktop());
+    tab.load(site);
+    tab.pump_vsync(20);
+    tab.finish().trace
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("forward_pass");
+    g.throughput(criterion::Throughput::Elements(trace.len() as u64));
+    g.bench_function("cfg_build", |b| b.iter(|| CfgSet::build(&trace)));
+    let cfgs = CfgSet::build(&trace);
+    g.bench_function("control_deps", |b| b.iter(|| ControlDeps::compute(&cfgs)));
+    g.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let trace = bench_trace();
+    let fwd = ForwardPass::build(&trace);
+    let mut g = c.benchmark_group("backward_pass");
+    g.throughput(criterion::Throughput::Elements(trace.len() as u64));
+    g.bench_function("pixel_slice", |b| {
+        b.iter(|| {
+            slice(
+                &trace,
+                &fwd,
+                &pixel_criteria(&trace),
+                &SliceOptions::default(),
+            )
+        })
+    });
+    g.bench_function("syscall_slice", |b| {
+        b.iter(|| {
+            slice(
+                &trace,
+                &fwd,
+                &syscall_criteria(&trace),
+                &SliceOptions::default(),
+            )
+        })
+    });
+    g.bench_function("criteria_build", |b| b.iter(|| pixel_criteria(&trace)));
+    g.finish();
+}
+
+fn bench_addr_set(c: &mut Criterion) {
+    let mut g = c.benchmark_group("addr_set");
+    g.bench_function("insert_remove_query", |b| {
+        b.iter_batched(
+            AddrSet::new,
+            |mut s| {
+                for i in 0..1000u64 {
+                    s.insert(AddrRange::new(Addr::new((i * 37) % 4096), 8));
+                }
+                for i in 0..500u64 {
+                    s.remove(AddrRange::new(Addr::new((i * 53) % 4096), 4));
+                }
+                let mut hits = 0;
+                for i in 0..1000u64 {
+                    if s.intersects(AddrRange::new(Addr::new(i * 4), 4)) {
+                        hits += 1;
+                    }
+                }
+                hits
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_forward, bench_backward, bench_addr_set
+}
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Criterion benches for the browser substrate: each stage of the
+//! rendering pipeline in isolation, and a full page load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wasteprof_browser::{BrowserConfig, ResourceKind, Site, Tab};
+use wasteprof_css::{parse_stylesheet, StyleEngine, Viewport};
+use wasteprof_dom::Document;
+use wasteprof_html::parse_into;
+use wasteprof_layout::{layout_document, paint_document, PaintCache};
+use wasteprof_trace::{Recorder, Region, ThreadKind};
+
+fn sample_html(cards: usize) -> String {
+    let mut h = String::from("<html><body>");
+    for i in 0..cards {
+        h.push_str(&format!(
+            "<div class=\"card c{}\" id=\"k{i}\"><span class=\"t\">card {i} title words here</span></div>",
+            i % 4
+        ));
+    }
+    h.push_str("</body></html>");
+    h
+}
+
+fn sample_css() -> String {
+    let mut css = String::new();
+    for i in 0..60 {
+        css.push_str(&format!(
+            ".c{} {{ color: #222; margin-top: {}px }}\n",
+            i % 4,
+            i % 7
+        ));
+        css.push_str(&format!(".never-{i} {{ width: {}px }}\n", i));
+    }
+    css.push_str(".card { background: white; height: 40px }\n");
+    css
+}
+
+fn bench_html(c: &mut Criterion) {
+    let html = sample_html(120);
+    c.bench_function("html_parse_120_cards", |b| {
+        b.iter(|| {
+            let mut rec = Recorder::new();
+            rec.spawn_thread(ThreadKind::Main, "m");
+            let range = rec.alloc(Region::Input, html.len() as u32);
+            let mut doc = Document::new(&mut rec);
+            parse_into(&mut rec, &mut doc, &html, range)
+        })
+    });
+}
+
+fn bench_style(c: &mut Criterion) {
+    let html = sample_html(120);
+    let css = sample_css();
+    c.bench_function("style_120_cards", |b| {
+        b.iter(|| {
+            let mut rec = Recorder::new();
+            rec.spawn_thread(ThreadKind::Main, "m");
+            let hr = rec.alloc(Region::Input, html.len() as u32);
+            let mut doc = Document::new(&mut rec);
+            parse_into(&mut rec, &mut doc, &html, hr);
+            let cr = rec.alloc(Region::Input, css.len() as u32);
+            let sheet = parse_stylesheet(&mut rec, &css, cr, Viewport::DESKTOP, "b");
+            let mut engine = StyleEngine::new(Viewport::DESKTOP);
+            engine.add_sheet(sheet);
+            engine.style_document(&mut rec, &doc)
+        })
+    });
+}
+
+fn bench_layout_paint(c: &mut Criterion) {
+    let html = sample_html(120);
+    let css = sample_css();
+    let mut rec = Recorder::new();
+    rec.spawn_thread(ThreadKind::Main, "m");
+    let hr = rec.alloc(Region::Input, html.len() as u32);
+    let mut doc = Document::new(&mut rec);
+    parse_into(&mut rec, &mut doc, &html, hr);
+    let cr = rec.alloc(Region::Input, css.len() as u32);
+    let sheet = parse_stylesheet(&mut rec, &css, cr, Viewport::DESKTOP, "b");
+    let mut engine = StyleEngine::new(Viewport::DESKTOP);
+    engine.add_sheet(sheet);
+    let styles = engine.style_document(&mut rec, &doc);
+    c.bench_function("layout_paint_120_cards", |b| {
+        b.iter(|| {
+            let mut rec2 = Recorder::new();
+            rec2.spawn_thread(ThreadKind::Main, "m");
+            let tree = layout_document(&mut rec2, &doc, &styles, 1366.0, 768.0);
+            paint_document(&mut rec2, &doc, &styles, &tree, &mut PaintCache::new())
+        })
+    });
+}
+
+fn bench_js(c: &mut Criterion) {
+    let js = "function f(n) { var a = 0; for (var i = 0; i < n; i++) { a += i % 7; } return a; }\nvar total = 0;\nfor (var j = 0; j < 50; j++) { total += f(40); }";
+    c.bench_function("js_interpreter_2k_iters", |b| {
+        b.iter(|| {
+            let mut rec = Recorder::new();
+            rec.spawn_thread(ThreadKind::Main, "m");
+            let mut doc = Document::new(&mut rec);
+            let mut engine = wasteprof_js::JsEngine::new();
+            let range = rec.alloc(Region::Input, js.len() as u32);
+            engine
+                .load_script(&mut rec, &mut doc, js, range, "bench")
+                .unwrap();
+        })
+    });
+}
+
+fn bench_full_load(c: &mut Criterion) {
+    let html = sample_html(60);
+    let css = sample_css();
+    c.bench_function("full_page_load", |b| {
+        b.iter(|| {
+            let site = Site::new("https://bench.test", html.clone()).with_resource(
+                "m.css",
+                ResourceKind::Css,
+                css.clone(),
+            );
+            let mut site = site;
+            site.html = site
+                .html
+                .replace("<body>", "<body><link rel=\"stylesheet\" href=\"m.css\">");
+            let mut tab = Tab::new(BrowserConfig::desktop());
+            tab.load(site);
+            tab.finish().trace.len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_html, bench_style, bench_layout_paint, bench_js, bench_full_load
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Runs every experiment binary's logic in sequence, saving all artifacts
+//! into `results/`. This regenerates every table and figure of the
+//! paper's evaluation in one command.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in [
+        "table1",
+        "table2",
+        "fig2",
+        "fig4",
+        "fig5",
+        "bing_backslice",
+        "ablations",
+    ] {
+        println!("\n=== {bin} ===");
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .arg("both")
+            .status()
+            .unwrap_or_else(|e| panic!("could not run {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{bin} failed: {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nall experiments complete; artifacts in results/");
+}

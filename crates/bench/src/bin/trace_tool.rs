@@ -1,0 +1,119 @@
+//! Trace tooling: export a benchmark's instruction trace to disk, inspect
+//! a trace file, or slice it — the paper's workflow of storing traces in
+//! stable storage and re-profiling them with different criteria (§III-A).
+//!
+//! ```sh
+//! trace_tool export amazon_mobile /tmp/amazon_mobile.wptrace
+//! trace_tool inspect /tmp/amazon_mobile.wptrace
+//! trace_tool slice   /tmp/amazon_mobile.wptrace [--criteria syscalls]
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use wasteprof_analysis::{format_count, thread_rows, TextTable};
+use wasteprof_slicer::{pixel_criteria, slice, syscall_criteria, ForwardPass, SliceOptions};
+use wasteprof_trace::{read_trace, write_trace, Trace};
+use wasteprof_workloads::Benchmark;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  trace_tool export <amazon_desktop|amazon_mobile|maps|bing> <file>\n  \
+         trace_tool inspect <file>\n  trace_tool slice <file> [--criteria pixels|syscalls]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Trace {
+    let file = File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    read_trace(&mut BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("export") => {
+            let (Some(name), Some(path)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let benchmark = Benchmark::ALL
+                .into_iter()
+                .find(|b| b.short_name() == name)
+                .unwrap_or_else(|| usage());
+            eprintln!("running {}...", benchmark.label());
+            let session = benchmark.run();
+            let file = File::create(path).expect("create output file");
+            write_trace(&mut BufWriter::new(file), &session.trace).expect("serialize");
+            println!(
+                "wrote {} instructions ({} markers) to {path}",
+                format_count(session.trace.len() as u64),
+                session.trace.markers().len()
+            );
+        }
+        Some("inspect") => {
+            let Some(path) = args.get(1) else { usage() };
+            let trace = load(path);
+            println!("instructions: {}", format_count(trace.len() as u64));
+            println!("markers:      {}", trace.markers().len());
+            let h = trace.kind_histogram();
+            println!(
+                "kinds: {} ops, {} loads, {} stores, {} branches, {} calls, {} syscalls",
+                h.ops, h.loads, h.stores, h.branches, h.calls, h.syscalls
+            );
+            println!("\nper thread:");
+            for info in trace.threads().iter() {
+                let count = trace
+                    .per_thread_counts()
+                    .get(&info.id())
+                    .copied()
+                    .unwrap_or(0);
+                println!("  {:<14} {:>10}", info.name(), format_count(count));
+            }
+            println!("\ntop functions by instruction count:");
+            let mut funcs: Vec<(u64, String)> = trace
+                .per_func_counts()
+                .into_iter()
+                .map(|(f, n)| (n, trace.functions().name(f).to_owned()))
+                .collect();
+            funcs.sort_by_key(|(n, _)| std::cmp::Reverse(*n));
+            for (n, name) in funcs.into_iter().take(15) {
+                println!("  {:<58} {:>10}", name, format_count(n));
+            }
+        }
+        Some("slice") => {
+            let Some(path) = args.get(1) else { usage() };
+            let syscalls = args.iter().any(|a| a == "syscalls");
+            let trace = load(path);
+            let forward = ForwardPass::build(&trace);
+            let criteria = if syscalls {
+                syscall_criteria(&trace)
+            } else {
+                pixel_criteria(&trace)
+            };
+            let result = slice(&trace, &forward, &criteria, &SliceOptions::default());
+            println!(
+                "{} criteria; slice = {} of {} instructions ({:.1}%)\n",
+                if syscalls { "syscall" } else { "pixel" },
+                format_count(result.slice_count()),
+                format_count(result.considered()),
+                result.fraction() * 100.0
+            );
+            let mut table = TextTable::new(vec!["Threads", "slice", "total"]);
+            for r in thread_rows(&trace, &result) {
+                table.row(vec![
+                    r.label.clone(),
+                    format!("{:.0}%", r.percentage()),
+                    format_count(r.total),
+                ]);
+            }
+            println!("{}", table.render());
+        }
+        _ => usage(),
+    }
+}

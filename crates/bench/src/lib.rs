@@ -1,0 +1,38 @@
+//! Experiment harness for the wasteprof reproduction.
+//!
+//! Each binary regenerates one table or figure of the paper's evaluation:
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `table1` | Table I — unused JS/CSS bytes |
+//! | `table2` | Table II — pixel-slice statistics per thread |
+//! | `fig2` | Figure 2 — main-thread CPU utilization while browsing Amazon |
+//! | `fig4` | Figure 4 — slice percentage over the backward pass |
+//! | `fig5` | Figure 5 — categorization of unnecessary computations |
+//! | `bing_backslice` | §V-A — load-time slice vs full-session slice |
+//! | `run_all` | everything above, tee'd into `results/` |
+//!
+//! Criterion benches (`cargo bench`) measure the profiler itself (forward
+//! pass, postdominators, backward slicing, interval sets) and the browser
+//! substrate stages.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory experiment binaries write artifacts into (`results/`).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes an artifact file and echoes where it went.
+pub fn save(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    match fs::write(&path, content) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

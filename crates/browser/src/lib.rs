@@ -1,0 +1,32 @@
+//! The wasteprof browser: a tab process whose execution is fully mirrored
+//! into a machine-level instruction trace.
+//!
+//! One [`Tab`] reproduces the structure the paper instruments (§IV–V): a
+//! multi-"thread" renderer (Main, Compositor, Rasterizer×N, IO) executing
+//! the complete rendering pipeline of Figure 1 against synthetic sites,
+//! with IPC to a browser process, built-in debug tracing, PThread-style
+//! synchronization, and event-driven scheduling — every category of
+//! computation Figure 5 ends up classifying.
+//!
+//! # Examples
+//!
+//! ```
+//! use wasteprof_browser::{BrowserConfig, ResourceKind, Site, Tab};
+//!
+//! let site = Site::new("https://tiny.test", "<body><p>Hello</p></body>")
+//!     .with_resource("s.css", ResourceKind::Css, "p { color: red }");
+//! let mut tab = Tab::new(BrowserConfig::desktop());
+//! tab.load(site);
+//! let session = tab.finish();
+//! assert!(session.trace.markers().len() > 0); // pixels reached the screen
+//! ```
+
+#![warn(missing_docs)]
+
+mod net;
+mod sched;
+mod tab;
+
+pub use net::{Fetched, Network, ResourceKind, Site, SiteResource};
+pub use sched::{IdleSpan, Sched};
+pub use tab::{BrowserConfig, Session, Tab};

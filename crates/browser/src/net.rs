@@ -1,0 +1,326 @@
+//! The network substrate: synthetic sites and the IO thread's fetch path.
+//!
+//! A [`Site`] bundles the HTML document and its subresources (the paper's
+//! workloads are live websites; ours are synthetic equivalents built by
+//! `wasteprof-workloads`). Fetching happens on the IO thread and is the
+//! trace's source of all input bytes: a `sendto` carries the request, a
+//! `recvfrom` writes the response bytes into `Input`-region cells, and
+//! response processing cost scales with the payload.
+
+use std::collections::HashMap;
+
+use wasteprof_trace::{site, AddrRange, Recorder, Region, Syscall};
+
+/// Kind of a subresource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// A stylesheet.
+    Css,
+    /// A script.
+    Js,
+    /// An image (content is a synthetic byte payload).
+    Image,
+    /// Anything else (fonts, JSON, ...).
+    Other,
+}
+
+/// One subresource of a site.
+#[derive(Debug, Clone)]
+pub struct SiteResource {
+    /// URL the page references it by.
+    pub url: String,
+    /// Resource kind.
+    pub kind: ResourceKind,
+    /// The payload.
+    pub content: String,
+}
+
+/// A synthetic website: the unit of workload.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Site URL (display only).
+    pub url: String,
+    /// The HTML document served for the URL.
+    pub html: String,
+    /// Subresources by URL.
+    pub resources: Vec<SiteResource>,
+}
+
+impl Site {
+    /// Creates a site with no subresources.
+    pub fn new(url: impl Into<String>, html: impl Into<String>) -> Self {
+        Site {
+            url: url.into(),
+            html: html.into(),
+            resources: Vec::new(),
+        }
+    }
+
+    /// Adds a subresource.
+    pub fn with_resource(
+        mut self,
+        url: impl Into<String>,
+        kind: ResourceKind,
+        content: impl Into<String>,
+    ) -> Self {
+        self.resources.push(SiteResource {
+            url: url.into(),
+            kind,
+            content: content.into(),
+        });
+        self
+    }
+
+    /// Looks up a resource by URL.
+    pub fn resource(&self, url: &str) -> Option<&SiteResource> {
+        self.resources.iter().find(|r| r.url == url)
+    }
+
+    /// Total bytes of the site (document + all subresources).
+    pub fn total_bytes(&self) -> u64 {
+        self.html.len() as u64
+            + self
+                .resources
+                .iter()
+                .map(|r| r.content.len() as u64)
+                .sum::<u64>()
+    }
+}
+
+/// A fetched response: the payload string plus the input cells holding it.
+#[derive(Debug, Clone)]
+pub struct Fetched {
+    /// The payload.
+    pub content: String,
+    /// The `Input`-region cells the bytes landed in.
+    pub range: AddrRange,
+    /// Bytes transferred.
+    pub bytes: u64,
+}
+
+/// The IO-thread network stack for one tab.
+///
+/// Tracks bytes transferred (for the Table I byte accounting) and caches by
+/// URL (a second fetch of the same URL hits the cache: cheaper, no
+/// syscalls).
+#[derive(Debug, Default)]
+pub struct Network {
+    cache: HashMap<String, (String, AddrRange)>,
+    bytes_fetched: u64,
+    requests: u64,
+}
+
+impl Network {
+    /// Creates an empty network stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total payload bytes transferred so far.
+    pub fn bytes_fetched(&self) -> u64 {
+        self.bytes_fetched
+    }
+
+    /// Requests issued (cache misses).
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Fetches `url` with `content` as the served payload.
+    ///
+    /// Must be called with the recorder switched to the IO thread; emits
+    /// the request `sendto`, the response `recvfrom` (writing the payload
+    /// into fresh input cells), and header/body processing work.
+    pub fn fetch(&mut self, rec: &mut Recorder, url: &str, content: &str) -> Fetched {
+        if let Some((cached, range)) = self.cache.get(url) {
+            // Cache hit: cheap lookup, no network.
+            let f = rec.intern_func("net::HttpCache::Lookup");
+            let range = *range;
+            let content = cached.clone();
+            rec.in_func(site!(), f, |rec| {
+                let key = rec.alloc_cell(Region::Heap);
+                rec.compute(
+                    site!(),
+                    &[range.slice(0, 8.min(range.len()))],
+                    &[key.into()],
+                );
+            });
+            return Fetched {
+                bytes: 0,
+                content,
+                range,
+            };
+        }
+
+        let f = rec.intern_func("net::UrlRequest::Start");
+        let fetched = rec.in_func(site!(), f, |rec| {
+            // Compose and send the request.
+            let req = rec.alloc(Region::Heap, (url.len() as u32).max(8));
+            rec.compute_weighted(site!(), &[], &[req], url.len() as u32 / 8);
+            let fd = rec.alloc_cell(Region::Heap);
+            rec.syscall(
+                site!(),
+                Syscall::Sendto,
+                &[fd.into(), req.slice(0, 8)],
+                vec![req],
+                vec![],
+            );
+
+            // Receive the response into input cells.
+            let len = content.len().max(1) as u32;
+            let range = rec.alloc(Region::Input, len);
+            rec.syscall(
+                site!(),
+                Syscall::Recvfrom,
+                &[fd.into()],
+                vec![],
+                vec![range],
+            );
+
+            // Header parsing and body bookkeeping scale with the payload.
+            let parse = rec.intern_func("net::HttpStreamParser::ParseResponse");
+            rec.in_func(site!(), parse, |rec| {
+                let headers = rec.alloc_cell(Region::Heap);
+                rec.compute_weighted(
+                    site!(),
+                    &[range.slice(0, 64.min(len))],
+                    &[headers.into()],
+                    48,
+                );
+                let body_meta = rec.alloc_cell(Region::Heap);
+                rec.compute_weighted(site!(), &[range], &[body_meta.into()], len / 6);
+            });
+            Fetched {
+                content: content.to_owned(),
+                range,
+                bytes: content.len() as u64,
+            }
+        });
+
+        self.bytes_fetched += fetched.bytes;
+        self.requests += 1;
+        self.cache
+            .insert(url.to_owned(), (fetched.content.clone(), fetched.range));
+        fetched
+    }
+
+    /// Sends an analytics beacon (fire-and-forget POST reading `payload`).
+    pub fn send_beacon(&mut self, rec: &mut Recorder, url: &str, payload: AddrRange) {
+        let f = rec.intern_func("net::UrlRequest::SendBeacon");
+        rec.in_func(site!(), f, |rec| {
+            let req = rec.alloc(Region::Heap, (url.len() as u32).max(8));
+            rec.compute(site!(), &[payload], &[req]);
+            let fd = rec.alloc_cell(Region::Heap);
+            rec.syscall(
+                site!(),
+                Syscall::Sendto,
+                &[fd.into()],
+                vec![req, payload],
+                vec![],
+            );
+        });
+        self.requests += 1;
+        self.bytes_fetched += 64; // beacons are tiny
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasteprof_trace::{InstrKind, ThreadKind};
+
+    #[test]
+    fn site_builder() {
+        let site = Site::new("https://example.test", "<p>x</p>")
+            .with_resource("a.css", ResourceKind::Css, ".x{}")
+            .with_resource("a.js", ResourceKind::Js, "var x;");
+        assert_eq!(site.resources.len(), 2);
+        assert!(site.resource("a.css").is_some());
+        assert!(site.resource("b.css").is_none());
+        assert_eq!(site.total_bytes(), 8 + 4 + 6);
+    }
+
+    #[test]
+    fn fetch_emits_syscalls_and_writes_input() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Io, "net::IoThread");
+        let mut net = Network::new();
+        let fetched = net.fetch(&mut rec, "https://x/a.css", "body { color: red }");
+        assert_eq!(fetched.bytes, 19);
+        assert_eq!(fetched.range.start().region(), Some(Region::Input));
+        assert_eq!(net.requests(), 1);
+        let trace = rec.finish();
+        let sends = trace
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i.kind,
+                    InstrKind::Syscall {
+                        nr: Syscall::Sendto
+                    }
+                )
+            })
+            .count();
+        let recvs = trace
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i.kind,
+                    InstrKind::Syscall {
+                        nr: Syscall::Recvfrom
+                    }
+                )
+            })
+            .count();
+        assert_eq!(sends, 1);
+        assert_eq!(recvs, 1);
+        // The recvfrom writes the input range.
+        let recv = trace
+            .iter()
+            .find(|i| {
+                matches!(
+                    i.kind,
+                    InstrKind::Syscall {
+                        nr: Syscall::Recvfrom
+                    }
+                )
+            })
+            .unwrap();
+        assert_eq!(recv.mem_writes(), &[fetched.range]);
+    }
+
+    #[test]
+    fn cache_hits_do_not_refetch() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Io, "net::IoThread");
+        let mut net = Network::new();
+        let a = net.fetch(&mut rec, "u", "content");
+        let b = net.fetch(&mut rec, "u", "content");
+        assert_eq!(a.range, b.range);
+        assert_eq!(b.bytes, 0);
+        assert_eq!(net.requests(), 1);
+        assert_eq!(net.bytes_fetched(), 7);
+    }
+
+    #[test]
+    fn beacon_reads_payload() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Io, "net::IoThread");
+        let payload = rec.alloc(Region::Heap, 32);
+        let mut net = Network::new();
+        net.send_beacon(&mut rec, "https://t/collect", payload);
+        let trace = rec.finish();
+        let send = trace
+            .iter()
+            .find(|i| {
+                matches!(
+                    i.kind,
+                    InstrKind::Syscall {
+                        nr: Syscall::Sendto
+                    }
+                )
+            })
+            .unwrap();
+        assert!(send.mem_reads().contains(&payload));
+    }
+}

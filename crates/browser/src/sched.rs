@@ -1,0 +1,178 @@
+//! Scheduling, IPC, debug tracing, and synchronization emission.
+//!
+//! Chromium threads are event-driven; "event scheduling deals with managing
+//! an event queue" (paper §V-B, the *Other* category), cross-thread
+//! communication goes through PThread synchronization (*Multi-threading*),
+//! the tab talks to the browser main process over IPC (*IPC*), and default
+//! debug/tracing mechanisms stay on in release builds (*Debugging*). Each
+//! helper here emits into the matching namespace so Figure 5's
+//! categorization has the same structure to find.
+
+use wasteprof_trace::{site, Addr, AddrRange, Recorder, Region, ThreadId};
+
+/// Per-tab scheduling/IPC state and its trace cells.
+#[derive(Debug)]
+pub struct Sched {
+    /// One task-queue cell per thread.
+    queue_cells: Vec<Addr>,
+    /// Lock word shared by the queues.
+    lock_cell: Addr,
+    /// Monotonic sequence cell for debug tracing.
+    debug_seq: Addr,
+    /// Tasks posted so far.
+    pub tasks_posted: u64,
+    /// IPC messages sent so far.
+    pub ipc_messages: u64,
+}
+
+impl Sched {
+    /// Creates scheduler state for up to `threads` threads.
+    pub fn new(rec: &mut Recorder, threads: usize) -> Self {
+        Sched {
+            queue_cells: (0..threads).map(|_| rec.alloc_cell(Region::Heap)).collect(),
+            lock_cell: rec.alloc_cell(Region::Heap),
+            debug_seq: rec.alloc_cell(Region::Heap),
+            tasks_posted: 0,
+            ipc_messages: 0,
+        }
+    }
+
+    /// Posts a task from the current thread to `to` and switches execution
+    /// there: queue write + lock handoff on the sender, lock + dequeue +
+    /// run bookkeeping on the receiver.
+    pub fn post_task(&mut self, rec: &mut Recorder, to: ThreadId) {
+        self.tasks_posted += 1;
+        let queue = self.queue_cells[to.index() % self.queue_cells.len()];
+
+        // Sender side (every posted task is trace-evented, as in Chromium).
+        self.debug_trace(rec, 3);
+        let post = rec.intern_func("scheduler::TaskQueue::PostTask");
+        rec.in_func(site!(), post, |rec| {
+            let task_cell = rec.alloc_cell(Region::Heap);
+            rec.compute(site!(), &[], &[task_cell.into()]);
+            rec.compute(site!(), &[task_cell.into()], &[queue.into()]);
+        });
+        self.lock_ops(rec);
+
+        rec.switch_to(to);
+
+        // Receiver side.
+        self.lock_ops(rec);
+        let run = rec.intern_func("scheduler::ThreadControllerImpl::RunTask");
+        rec.in_func(site!(), run, |rec| {
+            let slot = rec.alloc_cell(Region::Heap);
+            rec.compute_weighted(site!(), &[queue.into()], &[slot.into()], 4);
+        });
+        self.debug_trace(rec, 3);
+    }
+
+    /// Emits a PThread lock acquire/release pair (the *Multi-threading*
+    /// category: spin on a shared word, no futex — keeping syscall-based
+    /// slicing criteria clean, see DESIGN.md).
+    pub fn lock_ops(&mut self, rec: &mut Recorder) {
+        let f = rec.intern_func("base::threading::LockImpl::Lock");
+        let lock: AddrRange = self.lock_cell.into();
+        rec.in_func(site!(), f, |rec| {
+            rec.branch_mem(site!(), lock, false); // uncontended fast path
+            rec.compute_weighted(site!(), &[lock], &[lock], 3);
+        });
+    }
+
+    /// Emits a trace event into the debug ring (the *Debugging* category:
+    /// "the default debugging mechanisms built in Chromium", §V-B).
+    pub fn debug_trace(&mut self, rec: &mut Recorder, weight: u32) {
+        let f = rec.intern_func("base::debug::TraceEvent::Record");
+        let seq: AddrRange = self.debug_seq.into();
+        rec.in_func(site!(), f, |rec| {
+            let ring = rec.alloc(Region::DebugRing, 32);
+            rec.compute_weighted(site!(), &[seq], &[ring, seq], weight);
+        });
+    }
+
+    /// Sends an IPC message to the browser main process (the *IPC*
+    /// category): serializes `payload` into the shared-memory channel.
+    pub fn ipc_send(&mut self, rec: &mut Recorder, payload: &[AddrRange], weight: u32) {
+        self.ipc_messages += 1;
+        let f = rec.intern_func("ipc::ChannelProxy::Send");
+        rec.in_func(site!(), f, |rec| {
+            let msg = rec.alloc(Region::Channel, 64);
+            rec.compute_weighted(site!(), payload, &[msg], weight);
+        });
+    }
+}
+
+/// An idle span: virtual time passing with no instructions executing
+/// (the user reading the page between interactions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdleSpan {
+    /// Trace position at which the idle time occurs.
+    pub at: wasteprof_trace::TracePos,
+    /// Idle duration in virtual ticks (1 tick = 1 instruction's worth of
+    /// time).
+    pub ticks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasteprof_trace::{ThreadKind, TracePos};
+
+    #[test]
+    fn post_task_switches_threads_and_emits_categories() {
+        let mut rec = Recorder::new();
+        let main = rec.spawn_thread(ThreadKind::Main, "main");
+        let comp = rec.spawn_thread(ThreadKind::Compositor, "cc");
+        rec.switch_to(main);
+        let mut sched = Sched::new(&mut rec, 2);
+        sched.post_task(&mut rec, comp);
+        assert_eq!(rec.current_thread(), comp);
+        assert_eq!(sched.tasks_posted, 1);
+        let trace = rec.finish();
+        let names: Vec<&str> = trace.functions().iter().map(|(_, f)| f.name()).collect();
+        assert!(names.iter().any(|n| n.starts_with("scheduler::TaskQueue")));
+        assert!(names
+            .iter()
+            .any(|n| n.starts_with("scheduler::ThreadController")));
+        assert!(names.iter().any(|n| n.starts_with("base::threading::")));
+    }
+
+    #[test]
+    fn debug_trace_writes_ring() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "main");
+        let mut sched = Sched::new(&mut rec, 1);
+        sched.debug_trace(&mut rec, 2);
+        let trace = rec.finish();
+        assert!(trace.iter().any(|i| i
+            .mem_writes()
+            .iter()
+            .any(|w| w.start().region() == Some(Region::DebugRing))));
+    }
+
+    #[test]
+    fn ipc_writes_channel_reading_payload() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "main");
+        let payload = rec.alloc(Region::Heap, 16);
+        let mut sched = Sched::new(&mut rec, 1);
+        sched.ipc_send(&mut rec, &[payload], 3);
+        assert_eq!(sched.ipc_messages, 1);
+        let trace = rec.finish();
+        let ipc_write = trace.iter().find(|i| {
+            i.mem_writes()
+                .iter()
+                .any(|w| w.start().region() == Some(Region::Channel))
+        });
+        assert!(ipc_write.is_some());
+        assert!(trace.iter().any(|i| i.mem_reads().contains(&payload)));
+    }
+
+    #[test]
+    fn idle_span_is_plain_data() {
+        let s = IdleSpan {
+            at: TracePos(10),
+            ticks: 500,
+        };
+        assert_eq!(s.ticks, 500);
+    }
+}

@@ -1,0 +1,723 @@
+//! The tab: one renderer process driving the full pipeline of Figure 1.
+//!
+//! A [`Tab`] owns the trace recorder, the DOM, the style engine, the JS
+//! engine, the compositor, and the network stack, and orchestrates them
+//! across virtual threads exactly the way the paper describes Chromium's
+//! tab process (§V-A): the *main* thread parses HTML/CSS, runs JS, and does
+//! style/layout/paint; the *compositor* thread orders layers, handles
+//! scrolling, and schedules tiles; *rasterizer* threads play display lists
+//! back into pixel buffers; the *IO* thread talks to the network.
+
+use wasteprof_css::{parse_stylesheet, CssCoverage, StyleEngine, StyleMap, Viewport};
+use wasteprof_dom::{Document, NodeId};
+use wasteprof_gfx::{Compositor, CompositorConfig, RasterTask};
+use wasteprof_html::{parse_into, Resource};
+use wasteprof_js::{JsCoverage, JsEngine};
+use wasteprof_layout::{layout_document, paint_document, BoxTree, PaintCache};
+use wasteprof_trace::{site, Recorder, ThreadId, ThreadKind, Trace, TracePos};
+
+use crate::net::{Network, ResourceKind, Site};
+use crate::sched::{IdleSpan, Sched};
+
+/// Tab configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BrowserConfig {
+    /// Compositor/viewport configuration.
+    pub compositor: CompositorConfig,
+    /// Number of rasterizer threads (the paper saw 2, or 3 for Amazon
+    /// desktop).
+    pub raster_threads: u8,
+    /// Seed for `Math.random` and workload determinism.
+    pub seed: u64,
+    /// Idle compositor BeginFrames pumped per main-thread pipeline chunk
+    /// (vsync keeps the compositor busy during load).
+    pub compositor_ticks_per_chunk: u32,
+    /// Defer JS compilation to first call (the paper's proposed
+    /// optimization) instead of compiling everything at load.
+    pub lazy_js_compilation: bool,
+    /// Reuse unchanged display items across paints (Blink's paint cache).
+    /// Disabling it is an ablation: every render re-records every item.
+    pub paint_cache: bool,
+}
+
+impl BrowserConfig {
+    /// Desktop defaults.
+    pub fn desktop() -> Self {
+        BrowserConfig {
+            compositor: CompositorConfig::desktop(),
+            raster_threads: 2,
+            seed: 0x5eed,
+            compositor_ticks_per_chunk: 6,
+            lazy_js_compilation: false,
+            paint_cache: true,
+        }
+    }
+
+    /// Mobile emulation (360×640, like the paper's Amazon mobile view).
+    pub fn mobile() -> Self {
+        BrowserConfig {
+            compositor: CompositorConfig::mobile(),
+            raster_threads: 2,
+            seed: 0x5eed,
+            compositor_ticks_per_chunk: 6,
+            lazy_js_compilation: false,
+            paint_cache: true,
+        }
+    }
+
+    /// The CSS viewport for media queries.
+    pub fn viewport(&self) -> Viewport {
+        Viewport {
+            width: self.compositor.viewport_w,
+            height: self.compositor.viewport_h,
+        }
+    }
+}
+
+/// Everything a finished browsing session produced: the instruction trace
+/// plus the measurements the paper's tables need.
+#[derive(Debug)]
+pub struct Session {
+    /// The instruction trace of the whole session.
+    pub trace: Trace,
+    /// Site URL.
+    pub site_url: String,
+    /// Unused-JS accounting at the end of the session.
+    pub js_coverage: JsCoverage,
+    /// Unused-CSS accounting at the end of the session.
+    pub css_coverage: CssCoverage,
+    /// Coverage snapshots taken when the page finished loading
+    /// (`Only Load` row of Table I).
+    pub js_coverage_at_load: JsCoverage,
+    /// CSS coverage at load end.
+    pub css_coverage_at_load: CssCoverage,
+    /// Network bytes at load end / session end.
+    pub bytes_at_load: u64,
+    /// Total network bytes.
+    pub bytes_total: u64,
+    /// Trace position at which the page was fully loaded.
+    pub load_end: TracePos,
+    /// Idle gaps (user think time) for utilization plots.
+    pub idle_spans: Vec<IdleSpan>,
+    /// Labeled interaction positions (`scroll`, `click:menu`, ...).
+    pub interactions: Vec<(String, TracePos)>,
+    /// Frames drawn.
+    pub frames: u64,
+}
+
+/// One renderer tab.
+pub struct Tab {
+    rec: Recorder,
+    doc: Document,
+    style_engine: StyleEngine,
+    js: JsEngine,
+    compositor: Compositor,
+    net: Network,
+    sched: Sched,
+    config: BrowserConfig,
+    main: ThreadId,
+    comp_thread: ThreadId,
+    rasters: Vec<ThreadId>,
+    io: ThreadId,
+    utility: ThreadId,
+    styles: StyleMap,
+    paint_cache: PaintCache,
+    raster_rr: usize,
+    idle_spans: Vec<IdleSpan>,
+    interactions: Vec<(String, TracePos)>,
+    load_end: Option<TracePos>,
+    js_coverage_at_load: JsCoverage,
+    css_coverage_at_load: CssCoverage,
+    bytes_at_load: u64,
+    site: Option<Site>,
+    frames: u64,
+}
+
+impl Tab {
+    /// Creates a tab with its virtual threads.
+    pub fn new(config: BrowserConfig) -> Self {
+        let mut rec = Recorder::new();
+        let main = rec.spawn_thread(ThreadKind::Main, "content::RendererMain");
+        let comp_thread = rec.spawn_thread(ThreadKind::Compositor, "cc::CompositorThreadMain");
+        let rasters: Vec<ThreadId> = (0..config.raster_threads)
+            .map(|i| rec.spawn_thread(ThreadKind::Raster(i), "cc::RasterWorkerMain"))
+            .collect();
+        let io = rec.spawn_thread(ThreadKind::Io, "net::IoThreadMain");
+        let utility = rec.spawn_thread(ThreadKind::Other, "base::ThreadPool::WorkerMain");
+        rec.switch_to(main);
+        rec.set_traced_allocations(true);
+
+        let doc = Document::new(&mut rec);
+        let style_engine = StyleEngine::new(config.viewport());
+        let mut js = JsEngine::new();
+        js.seed_random(config.seed);
+        js.set_lazy_compilation(config.lazy_js_compilation);
+        js.set_viewport(
+            &mut rec,
+            config.compositor.viewport_w as f64,
+            config.compositor.viewport_h as f64,
+        );
+        let compositor = Compositor::new(&mut rec, config.compositor);
+        let sched = Sched::new(&mut rec, 5 + config.raster_threads as usize);
+
+        Tab {
+            rec,
+            doc,
+            style_engine,
+            js,
+            compositor,
+            net: Network::new(),
+            sched,
+            config,
+            main,
+            comp_thread,
+            rasters,
+            io,
+            utility,
+            styles: StyleMap::default(),
+            paint_cache: PaintCache::new(),
+            raster_rr: 0,
+            idle_spans: Vec::new(),
+            interactions: Vec::new(),
+            load_end: None,
+            js_coverage_at_load: JsCoverage::default(),
+            css_coverage_at_load: CssCoverage::default(),
+            bytes_at_load: 0,
+            site: None,
+            frames: 0,
+        }
+    }
+
+    /// The document (for assertions and hit targets).
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+
+    /// The JS engine (for inspecting globals in tests).
+    pub fn js(&self) -> &JsEngine {
+        &self.js
+    }
+
+    /// The compositor (for layer/backing-store inspection).
+    pub fn compositor(&self) -> &Compositor {
+        &self.compositor
+    }
+
+    /// Instructions recorded so far.
+    pub fn trace_len(&self) -> u64 {
+        self.rec.pos().0
+    }
+
+    /// Records a labeled interaction position (annotates Figure 4).
+    pub fn mark(&mut self, label: &str) {
+        self.interactions.push((label.to_owned(), self.rec.pos()));
+    }
+
+    // ----- loading -------------------------------------------------------
+
+    /// Loads a site: fetch, parse, subresources, scripts, progressive
+    /// renders, the `load` event, and initial timers — the paper's
+    /// "entering the URL to when the Web page is completely loaded".
+    pub fn load(&mut self, site: Site) {
+        self.mark("navigation-start");
+        self.sched.debug_trace(&mut self.rec, 4);
+        self.sched.ipc_send(&mut self.rec, &[], 4); // DidStartNavigation
+
+        // Fetch the document on the IO thread.
+        let html = self.fetch_on_io(&site.url.clone(), &site.html.clone());
+        self.site = Some(site);
+
+        // Parse on the main thread.
+        let out = parse_into(&mut self.rec, &mut self.doc, &html.content, html.range);
+        self.sched.debug_trace(&mut self.rec, 4);
+        if let Some(title) = &out.title {
+            let title_cells = html
+                .range
+                .slice(0, (title.len() as u32).clamp(1, html.range.len()));
+            self.sched.ipc_send(&mut self.rec, &[title_cells], 2); // UpdateTitle
+        }
+        self.pump_compositor();
+
+        // Decode images referenced by the document.
+        self.decode_images();
+
+        // Stylesheets first (they block rendering), then a first paint.
+        let resources = out.resources.clone();
+        for r in &resources {
+            match r {
+                Resource::ExternalCss { href, .. } => {
+                    let css = self.lookup_site_resource(href, ResourceKind::Css);
+                    let fetched = self.fetch_on_io(&href.clone(), &css);
+                    let content = fetched.content.clone();
+                    self.add_stylesheet(&content, fetched.range, href);
+                }
+                Resource::InlineCss { text, span, .. } => {
+                    self.add_stylesheet(&text.clone(), *span, "inline");
+                }
+                _ => {}
+            }
+            self.pump_compositor();
+        }
+        self.render(true); // first contentful paint
+
+        // Scripts, in document order.
+        for r in &resources {
+            match r {
+                Resource::ExternalJs { src, .. } => {
+                    let js_src = self.lookup_site_resource(src, ResourceKind::Js);
+                    let fetched = self.fetch_on_io(&src.clone(), &js_src);
+                    let content = fetched.content.clone();
+                    self.run_script(&content, fetched.range, src);
+                }
+                Resource::InlineJs { text, span, .. } => {
+                    self.run_script(&text.clone(), *span, "inline");
+                }
+                _ => {}
+            }
+            self.pump_compositor();
+        }
+        if self.doc.has_dirty() {
+            self.render(true);
+        }
+
+        // The load event, plus one round of immediate timers.
+        self.js
+            .dispatch_window_event(&mut self.rec, &mut self.doc, "load");
+        self.run_timers();
+        if self.doc.has_dirty() {
+            self.render(false);
+        }
+        self.sched.ipc_send(&mut self.rec, &[], 3); // DidFinishLoad
+        self.sched.debug_trace(&mut self.rec, 4);
+
+        self.load_end = Some(self.rec.pos());
+        self.js_coverage_at_load = self.js.coverage();
+        self.css_coverage_at_load = self.style_engine.coverage();
+        self.bytes_at_load = self.net.bytes_fetched();
+        self.mark("load-end");
+    }
+
+    fn lookup_site_resource(&self, url: &str, kind: ResourceKind) -> String {
+        self.site
+            .as_ref()
+            .and_then(|s| s.resource(url))
+            .filter(|r| r.kind == kind)
+            .map(|r| r.content.clone())
+            .unwrap_or_default()
+    }
+
+    fn fetch_on_io(&mut self, url: &str, content: &str) -> crate::net::Fetched {
+        self.sched.post_task(&mut self.rec, self.io);
+        let fetched = self.net.fetch(&mut self.rec, url, content);
+        self.sched.ipc_send(&mut self.rec, &[], 1); // resource-load progress
+        self.sched.post_task(&mut self.rec, self.main);
+        fetched
+    }
+
+    fn decode_images(&mut self) {
+        let imgs: Vec<NodeId> = self.doc.elements_by_tag("img");
+        for img in imgs {
+            let Some(src) = self.doc.node(img).attr_value("src").map(str::to_owned) else {
+                continue;
+            };
+            let bytes = self.lookup_site_resource(&src, ResourceKind::Image);
+            if bytes.is_empty() {
+                continue;
+            }
+            let fetched = self.fetch_on_io(&src, &bytes);
+            // Decode on the main thread: the src attribute cell now carries
+            // the decoded bitmap's provenance, which image paint reads.
+            let decode = self.rec.intern_func("blink::image::ImageDecoder::Decode");
+            let rec = &mut self.rec;
+            let doc = &mut self.doc;
+            rec.in_func(site!(), decode, |rec| {
+                doc.set_attribute(rec, img, "src", &src, &[fetched.range]);
+            });
+        }
+    }
+
+    // ----- rendering -------------------------------------------------------
+
+    /// Runs style → layout → paint → commit → frame.
+    ///
+    /// `full_style` forces a whole-document restyle (loads); otherwise only
+    /// dirty subtrees are restyled (interactions), which is why the paper's
+    /// post-load work is so much lighter than load-time work (Figure 2).
+    pub fn render(&mut self, full_style: bool) {
+        self.sched.debug_trace(&mut self.rec, 2);
+        if full_style || self.styles.is_empty() {
+            self.doc.take_dirty();
+            self.styles = self.style_engine.style_document(&mut self.rec, &self.doc);
+        } else {
+            let dirty = self.doc.take_dirty();
+            // Restyle each dirty root whose ancestors are not also dirty.
+            let mut roots: Vec<NodeId> = dirty
+                .iter()
+                .copied()
+                .filter(|&n| !self.doc.ancestors(n).iter().any(|a| dirty.contains(a)))
+                .collect();
+            roots.sort();
+            for root in roots {
+                self.style_engine
+                    .style_subtree(&mut self.rec, &self.doc, root, &mut self.styles);
+            }
+        }
+
+        let tree: BoxTree = layout_document(
+            &mut self.rec,
+            &self.doc,
+            &self.styles,
+            self.config.compositor.viewport_w,
+            self.config.compositor.viewport_h,
+        );
+        if !self.config.paint_cache {
+            self.paint_cache = PaintCache::new();
+        }
+        let layers = paint_document(
+            &mut self.rec,
+            &self.doc,
+            &self.styles,
+            &tree,
+            &mut self.paint_cache,
+        );
+        // Paint metrics to the browser process.
+        self.sched.ipc_send(&mut self.rec, &[], 2);
+        self.compositor.commit(&mut self.rec, layers);
+        self.frame();
+    }
+
+    /// One compositor frame: prepare, raster on worker threads, draw.
+    fn frame(&mut self) {
+        self.sched.post_task(&mut self.rec, self.comp_thread);
+        self.begin_frame_tick();
+        let tasks = self.compositor.prepare_frame(&mut self.rec);
+        self.dispatch_raster_tasks(tasks);
+        self.compositor.draw(&mut self.rec);
+        self.frames += 1;
+        self.sched.ipc_send(&mut self.rec, &[], 110); // CompositorFrame metadata + ack
+        self.sched.post_task(&mut self.rec, self.main);
+    }
+
+    /// Dispatches raster tasks round-robin across the worker pool: each
+    /// task is posted to its worker, played back there, and acknowledged
+    /// to the compositor with a raster-progress IPC. All raster work —
+    /// load, vsync, and scroll — flows through here so the per-thread
+    /// accounting stays uniform.
+    fn dispatch_raster_tasks(&mut self, tasks: Vec<RasterTask>) {
+        if self.rasters.is_empty() {
+            // No raster pool (raster_threads = 0): play back on the
+            // compositor thread, like single-process software raster.
+            for task in tasks {
+                self.compositor.raster_task(&mut self.rec, task);
+            }
+            return;
+        }
+        for task in tasks {
+            let worker = self.rasters[self.raster_rr % self.rasters.len()];
+            self.raster_rr += 1;
+            self.sched.post_task(&mut self.rec, worker);
+            self.compositor.raster_task(&mut self.rec, task);
+            self.sched.post_task(&mut self.rec, self.comp_thread);
+            self.sched.ipc_send(&mut self.rec, &[], 14); // raster progress
+        }
+    }
+
+    /// The display compositor's BeginFrame bookkeeping: the vsync task is
+    /// dequeued and run by the sequence manager, the frame source updates
+    /// its deadline state (no telling namespace — part of the paper's
+    /// uncategorized mass), and the frame timebase feeds the frames that
+    /// actually draw.
+    fn begin_frame_tick(&mut self) {
+        let seq = self.rec.intern_func("scheduler::SequenceManager::TakeTask");
+        let rec = &mut self.rec;
+        rec.in_func(site!(), seq, |rec| {
+            let q = rec.alloc_cell(wasteprof_trace::Region::Heap);
+            rec.compute_weighted(site!(), &[], &[q.into()], 14);
+        });
+        self.sched.lock_ops(&mut self.rec);
+        // The display compositor owns the BeginFrame source and its frame
+        // timebase; the browser only schedules the tick.
+        self.compositor.begin_frame(&mut self.rec);
+        self.sched.debug_trace(&mut self.rec, 2);
+    }
+
+    /// Idle vsync ticks on the compositor thread (bookkeeping with no
+    /// damage — the website-independent work that keeps its slice share
+    /// flat at ~34%, paper §V-A).
+    fn pump_compositor(&mut self) {
+        self.pump_ticks(self.config.compositor_ticks_per_chunk, false);
+    }
+
+    /// Shared body of the idle-tick pumps: `n` BeginFrame ticks on the
+    /// compositor thread, drawing (full or damage-only) whenever a tick
+    /// produced raster work.
+    fn pump_ticks(&mut self, n: u32, damage_only: bool) {
+        if self.compositor.layer_count() == 0 {
+            return;
+        }
+        self.sched.post_task(&mut self.rec, self.comp_thread);
+        for _ in 0..n {
+            self.begin_frame_tick();
+            let tasks = self.compositor.prepare_frame(&mut self.rec);
+            if !tasks.is_empty() {
+                self.dispatch_raster_tasks(tasks);
+                if damage_only {
+                    self.compositor.draw_damage(&mut self.rec);
+                } else {
+                    self.compositor.draw(&mut self.rec);
+                }
+                self.frames += 1;
+                self.sched.ipc_send(&mut self.rec, &[], 110); // frame metadata
+            }
+        }
+        self.sched.post_task(&mut self.rec, self.main);
+    }
+
+    // ----- interactions ---------------------------------------------------
+
+    /// Compositor-thread scroll by `dy` pixels, then a frame; notifies the
+    /// main thread (which runs any JS scroll handlers) without blocking on
+    /// it — the paper's description of scroll handling (§V-A).
+    pub fn scroll(&mut self, dy: f32) {
+        self.mark("scroll");
+        self.sched.post_task(&mut self.rec, self.comp_thread);
+        self.sched.ipc_send(&mut self.rec, &[], 24);
+        self.compositor.scroll_by(&mut self.rec, dy);
+        let tasks = self.compositor.prepare_frame(&mut self.rec);
+        self.dispatch_raster_tasks(tasks);
+        self.compositor.draw(&mut self.rec);
+        self.frames += 1;
+        // Passive notification to the main thread.
+        self.sched.post_task(&mut self.rec, self.main);
+        self.js
+            .dispatch_window_event(&mut self.rec, &mut self.doc, "scroll");
+        self.drain_engine_outputs();
+        if self.doc.has_dirty() {
+            self.render(false);
+        }
+    }
+
+    /// A click on the element with the given id: input routing through the
+    /// compositor, main-thread hit testing, JS dispatch, and any resulting
+    /// partial re-render.
+    pub fn click(&mut self, id: &str) {
+        self.mark(&format!("click:{id}"));
+        // Input arrives from the browser process over IPC on the
+        // compositor thread, which must forward it.
+        self.sched.post_task(&mut self.rec, self.comp_thread);
+        self.sched.ipc_send(&mut self.rec, &[], 24);
+        let f = self.rec.intern_func("cc::InputHandler::RouteToMain");
+        let rec = &mut self.rec;
+        rec.in_func(site!(), f, |rec| {
+            let state = rec.alloc_cell(wasteprof_trace::Region::Heap);
+            rec.compute(site!(), &[], &[state.into()]);
+        });
+        self.sched.post_task(&mut self.rec, self.main);
+
+        // Main-thread hit test reads the geometry of candidate boxes.
+        let target = self.doc.element_by_id(id);
+        let hit = self.rec.intern_func("blink::input::EventHandler::HitTest");
+        let reads: Vec<wasteprof_trace::AddrRange> = target
+            .map(|n| vec![self.doc.node(n).cells.meta.into()])
+            .unwrap_or_default();
+        let rec = &mut self.rec;
+        rec.in_func(site!(), hit, |rec| {
+            let result = rec.alloc_cell(wasteprof_trace::Region::Heap);
+            rec.compute_weighted(site!(), &reads, &[result.into()], 8);
+        });
+
+        if let Some(n) = target {
+            self.js
+                .dispatch_event(&mut self.rec, &mut self.doc, n, "click");
+            self.drain_engine_outputs();
+        }
+        if self.doc.has_dirty() {
+            self.render(false);
+        }
+    }
+
+    /// Types `text` into the element with the given id, one key event per
+    /// character (the paper's Bing search-bar interaction).
+    pub fn type_text(&mut self, id: &str, text: &str) {
+        self.mark(&format!("type:{id}"));
+        let Some(target) = self.doc.element_by_id(id) else {
+            return;
+        };
+        let chars: Vec<char> = text.chars().collect();
+        for (i, ch) in chars.iter().enumerate() {
+            // Key routing: browser process → compositor → main.
+            self.sched.post_task(&mut self.rec, self.comp_thread);
+            self.sched.ipc_send(&mut self.rec, &[], 24);
+            self.sched.post_task(&mut self.rec, self.main);
+            // Default action: extend the element's value.
+            let old = self
+                .doc
+                .node(target)
+                .attr_value("value")
+                .unwrap_or("")
+                .to_owned();
+            let newv = format!("{old}{ch}");
+            self.doc
+                .set_attribute(&mut self.rec, target, "value", &newv, &[]);
+            let handled = self
+                .js
+                .dispatch_event(&mut self.rec, &mut self.doc, target, "input");
+            let _ = handled;
+            self.drain_engine_outputs();
+            // Renders coalesce to the frame rate: fast typing repaints
+            // every few keystrokes, so the skipped keystrokes' handler
+            // output is overwritten before it is ever shown — genuinely
+            // wasted work.
+            let last = i + 1 == chars.len();
+            if self.doc.has_dirty() && (i % 3 == 2 || last) {
+                self.render(false);
+            }
+        }
+    }
+
+    /// Fires pending JS timers (e.g. `setTimeout` work scheduled at load).
+    pub fn run_timers(&mut self) {
+        for timer in self.js.take_timers() {
+            self.sched.post_task(&mut self.rec, self.main);
+            self.js.fire_timer(&mut self.rec, &mut self.doc, timer);
+            self.drain_engine_outputs();
+        }
+        if self.doc.has_dirty() {
+            self.render(false);
+        }
+    }
+
+    /// Ships queued JS side effects to their threads: beacons to IO, title
+    /// updates to the browser process.
+    fn drain_engine_outputs(&mut self) {
+        for beacon in self.js.take_beacons() {
+            self.sched.post_task(&mut self.rec, self.io);
+            self.net
+                .send_beacon(&mut self.rec, &beacon.url, beacon.payload);
+            self.sched.post_task(&mut self.rec, self.main);
+        }
+        if let Some((_title, cells)) = self.js.take_title() {
+            self.sched.ipc_send(&mut self.rec, &[cells], 2);
+        }
+    }
+
+    /// Parses `text` as a stylesheet (provenance `span`) and registers it
+    /// with the style engine. Single entry point for load-time and
+    /// browse-time CSS alike.
+    fn add_stylesheet(&mut self, text: &str, span: wasteprof_trace::AddrRange, origin: &str) {
+        let sheet = parse_stylesheet(&mut self.rec, text, span, self.config.viewport(), origin);
+        self.style_engine.add_sheet(sheet);
+    }
+
+    /// Runs `src` as a script (provenance `span`) and drains any DOM /
+    /// output effects it produced. Errors are recorded by the engine, not
+    /// fatal to the page.
+    fn run_script(&mut self, src: &str, span: wasteprof_trace::AddrRange, origin: &str) {
+        let _ = self
+            .js
+            .load_script(&mut self.rec, &mut self.doc, src, span, origin);
+        self.drain_engine_outputs();
+    }
+
+    /// Fetches an additional resource during browsing (sites that keep
+    /// downloading, like Bing and Maps in Table I).
+    pub fn fetch_extra(&mut self, url: &str) {
+        let (content, kind) = self
+            .site
+            .as_ref()
+            .and_then(|s| s.resource(url))
+            .map(|r| (r.content.clone(), r.kind))
+            .unwrap_or((String::new(), ResourceKind::Other));
+        let fetched = self.fetch_on_io(url, &content);
+        match kind {
+            ResourceKind::Css => {
+                let content = fetched.content.clone();
+                self.add_stylesheet(&content, fetched.range, url);
+            }
+            ResourceKind::Js => {
+                let content = fetched.content.clone();
+                self.run_script(&content, fetched.range, url);
+            }
+            _ => {}
+        }
+    }
+
+    /// Pumps `n` additional compositor vsync ticks (bookkeeping frames).
+    ///
+    /// During a real load the compositor receives BeginFrame at 60 Hz for
+    /// the whole network-bound load time; workloads use this to model that
+    /// steady, website-independent churn.
+    pub fn pump_vsync(&mut self, n: u32) {
+        self.pump_ticks(n, true);
+    }
+
+    /// Starts (or stops) a compositor-driven animation on the layer owned
+    /// by the element with the given id (e.g. a hero carousel). Returns
+    /// false if that element owns no layer.
+    pub fn set_animation(&mut self, id: &str, on: bool) -> bool {
+        match self.doc.element_by_id(id) {
+            Some(n) => self.compositor.set_animating(Some(n), on),
+            None => false,
+        }
+    }
+
+    /// Runs `chunks` background-maintenance chunks on the utility worker:
+    /// V8 GC scavenges and task-scheduler cache sweeps — housekeeping whose
+    /// outputs nothing downstream consumes (the unlisted-thread mass that
+    /// keeps the paper's "All" row below every listed thread).
+    pub fn pump_utility(&mut self, chunks: u32) {
+        use wasteprof_trace::{site, Region};
+        self.sched.post_task(&mut self.rec, self.utility);
+        let gc = self.rec.intern_func("v8::Heap::Scavenger::Collect");
+        let sweep = self.rec.intern_func("disk_cache::BackendImpl::SweepEntry");
+        for i in 0..chunks {
+            let f = if i % 3 == 2 { sweep } else { gc };
+            let rec = &mut self.rec;
+            rec.in_func(site!(), f, |rec| {
+                let a = rec.alloc_cell(Region::Heap);
+                let b = rec.alloc_cell(Region::Heap);
+                rec.compute_weighted(site!(), &[], &[a.into()], 110);
+                rec.compute_weighted(site!(), &[a.into()], &[b.into()], 110);
+                rec.compute_weighted(site!(), &[b.into()], &[a.into()], 110);
+            });
+        }
+        self.sched.post_task(&mut self.rec, self.main);
+    }
+
+    /// User think time: virtual time passes, nothing executes.
+    pub fn idle(&mut self, ticks: u64) {
+        self.idle_spans.push(IdleSpan {
+            at: self.rec.pos(),
+            ticks,
+        });
+    }
+
+    /// Ends the session and produces the trace plus all measurements.
+    pub fn finish(self) -> Session {
+        let load_end = self.load_end.unwrap_or(TracePos(0));
+        Session {
+            site_url: self.site.map(|s| s.url).unwrap_or_default(),
+            js_coverage: self.js.coverage(),
+            css_coverage: self.style_engine.coverage(),
+            js_coverage_at_load: self.js_coverage_at_load,
+            css_coverage_at_load: self.css_coverage_at_load,
+            bytes_at_load: self.bytes_at_load,
+            bytes_total: self.net.bytes_fetched(),
+            load_end,
+            idle_spans: self.idle_spans,
+            interactions: self.interactions,
+            frames: self.frames,
+            trace: self.rec.finish(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Tab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tab")
+            .field("instructions", &self.trace_len())
+            .field("frames", &self.frames)
+            .field("layers", &self.compositor.layer_count())
+            .finish()
+    }
+}

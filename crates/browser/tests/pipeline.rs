@@ -1,0 +1,335 @@
+//! End-to-end pipeline tests: load synthetic pages, interact, and verify
+//! the session trace has the structure the profiler expects.
+
+use wasteprof_browser::{BrowserConfig, ResourceKind, Site, Tab};
+use wasteprof_trace::{InstrKind, Region, Syscall, ThreadKind};
+
+fn demo_site() -> Site {
+    let html = r#"
+<html><head>
+  <title>Demo</title>
+  <link rel="stylesheet" href="main.css">
+</head><body>
+  <div id="header" class="bar">Site header</div>
+  <div id="content">
+    <p>Welcome to the demo page with some text content that wraps.</p>
+    <img src="hero.png">
+    <button id="more">Show more</button>
+    <div id="extra" style="display: none">Hidden content revealed later</div>
+  </div>
+  <div id="footer" class="bar">Footer far away</div>
+  <script src="app.js"></script>
+</body></html>"#;
+    let css = r#"
+.bar { background: #333; color: white; height: 40px; }
+#content { padding: 8px; background: white; }
+p { font-size: 16px; color: black; }
+button { background: #08f; color: white; width: 120px; height: 32px; }
+.unused-card { border: 1px solid red; margin: 10px; padding: 10px; }
+.unused-modal { position: fixed; z-index: 100; background: white; }
+@media (max-width: 500px) { .bar { height: 24px } }
+"#;
+    let js = r#"
+var clicks = 0;
+function reveal() {
+  clicks += 1;
+  var extra = document.getElementById('extra');
+  extra.style.display = 'block';
+  extra.textContent = 'Revealed after ' + clicks + ' clicks';
+}
+function neverCalledHelper(a, b) {
+  var out = [];
+  for (var i = 0; i < 100; i++) { out.push(a * i + b); }
+  return out;
+}
+document.getElementById('more').addEventListener('click', reveal);
+console.log('app booted');
+"#;
+    Site::new("https://demo.test", html)
+        .with_resource("main.css", ResourceKind::Css, css)
+        .with_resource("app.js", ResourceKind::Js, js)
+        .with_resource("hero.png", ResourceKind::Image, "PNGDATA".repeat(64))
+}
+
+#[test]
+fn load_produces_valid_trace_with_markers_and_syscalls() {
+    let mut tab = Tab::new(BrowserConfig::desktop());
+    tab.load(demo_site());
+    let session = tab.finish();
+
+    assert_eq!(session.trace.validate(), Ok(()));
+    assert!(!session.trace.markers().is_empty(), "no pixels displayed");
+    assert!(session.frames > 0);
+    assert!(session.load_end.0 > 0);
+
+    let kinds = session.trace.kind_histogram();
+    assert!(kinds.syscalls > 0);
+    assert!(kinds.branches > 0);
+    assert!(kinds.calls > 0);
+    assert_eq!(
+        kinds.calls, kinds.rets,
+        "calls and returns must balance in a finished session"
+    );
+}
+
+#[test]
+fn all_five_thread_kinds_execute() {
+    let mut tab = Tab::new(BrowserConfig::desktop());
+    tab.load(demo_site());
+    let session = tab.finish();
+    let counts = session.trace.per_thread_counts();
+    for kind in [
+        ThreadKind::Main,
+        ThreadKind::Compositor,
+        ThreadKind::Raster(0),
+        ThreadKind::Io,
+    ] {
+        let tid = session
+            .trace
+            .threads()
+            .find(kind)
+            .expect("thread registered");
+        assert!(
+            counts.get(&tid).copied().unwrap_or(0) > 0,
+            "{kind:?} did no work"
+        );
+    }
+    // Main does the most work.
+    let main = session.trace.threads().find(ThreadKind::Main).unwrap();
+    let main_count = counts[&main];
+    assert!(main_count > session.trace.len() as u64 / 10);
+}
+
+#[test]
+fn click_runs_handler_and_rerenders() {
+    let mut tab = Tab::new(BrowserConfig::desktop());
+    tab.load(demo_site());
+    let frames_before = {
+        let s = format!("{tab:?}");
+        s
+    };
+    tab.click("more");
+    let extra = tab.document().element_by_id("extra").unwrap();
+    assert_eq!(
+        tab.document().text_content(extra),
+        "Revealed after 1 clicks"
+    );
+    // The hidden div is now displayed.
+    assert_eq!(
+        tab.document().node(extra).attr_value("style"),
+        Some("display: block")
+    );
+    let _ = frames_before;
+    let session = tab.finish();
+    assert!(session.interactions.iter().any(|(l, _)| l == "click:more"));
+}
+
+#[test]
+fn scroll_is_compositor_only() {
+    let mut tab = Tab::new(BrowserConfig::desktop());
+    tab.load(demo_site());
+    let before = tab.trace_len();
+    tab.scroll(300.0);
+    let after = tab.trace_len();
+    let session = tab.finish();
+    assert!(after > before);
+    assert!(
+        (after - before) < session.load_end.0,
+        "scroll cost exceeds whole load"
+    );
+    // No handler is registered for scroll on this page, so the main thread
+    // does no style/layout/paint work: no blink:: instructions in the
+    // scroll window.
+    let funcs = session.trace.functions();
+    for i in &session.trace.instrs()[before as usize..after as usize] {
+        let name = funcs.name(i.func);
+        assert!(
+            !name.starts_with("blink::"),
+            "main-thread rendering work during plain scroll: {name}"
+        );
+    }
+    assert!(session.interactions.iter().any(|(l, _)| l == "scroll"));
+}
+
+#[test]
+fn coverage_snapshots_taken_at_load_and_end() {
+    let mut tab = Tab::new(BrowserConfig::desktop());
+    tab.load(demo_site());
+    tab.click("more");
+    let session = tab.finish();
+    // The never-called helper keeps JS coverage below 100% both times.
+    assert!(session.js_coverage_at_load.unused_bytes() > 0);
+    // Clicking executed `reveal`, so usage grew after load.
+    assert!(session.js_coverage.used_bytes > session.js_coverage_at_load.used_bytes);
+    // Unused CSS rules exist.
+    assert!(session.css_coverage.unused_bytes() > 0);
+    assert!(session.bytes_total >= session.bytes_at_load);
+}
+
+#[test]
+fn image_bytes_flow_to_paint() {
+    let mut tab = Tab::new(BrowserConfig::desktop());
+    tab.load(demo_site());
+    let session = tab.finish();
+    // Some instruction reads Input-region bytes and writes a heap cell in
+    // the decode path.
+    let decode = session
+        .trace
+        .functions()
+        .iter()
+        .find(|(_, f)| f.name().contains("ImageDecoder"))
+        .map(|(id, _)| id);
+    assert!(decode.is_some(), "image decode never ran");
+}
+
+#[test]
+fn mobile_viewport_changes_behaviour() {
+    let mut desktop = Tab::new(BrowserConfig::desktop());
+    desktop.load(demo_site());
+    let d = desktop.finish();
+    let mut mobile = Tab::new(BrowserConfig::mobile());
+    mobile.load(demo_site());
+    let m = mobile.finish();
+    // Mobile shows fewer pixels: fewer distinct displayed tiles.
+    assert!(m.trace.markers().len() < d.trace.markers().len());
+}
+
+#[test]
+fn pixel_slicing_works_on_a_real_session() {
+    use wasteprof_slicer::{pixel_criteria, slice, ForwardPass, SliceOptions};
+    let mut tab = Tab::new(BrowserConfig::desktop());
+    tab.load(demo_site());
+    tab.click("more");
+    tab.scroll(200.0);
+    let session = tab.finish();
+
+    let fwd = ForwardPass::build(&session.trace);
+    let result = slice(
+        &session.trace,
+        &fwd,
+        &pixel_criteria(&session.trace),
+        &SliceOptions::default(),
+    );
+    let frac = result.fraction();
+    assert!(frac > 0.05, "slice suspiciously small: {frac}");
+    assert!(frac < 0.95, "slice suspiciously large: {frac}");
+
+    // The never-called JS function's compile work must be outside the
+    // slice: find instructions of the v8 compiler that wrote code cells
+    // never read.
+    let timeline = result.timeline();
+    assert!(!timeline.is_empty());
+}
+
+#[test]
+fn syscall_slice_contains_pixel_slice() {
+    use wasteprof_slicer::{pixel_criteria, slice, syscall_criteria, ForwardPass, SliceOptions};
+    let mut tab = Tab::new(BrowserConfig::desktop());
+    tab.load(demo_site());
+    let session = tab.finish();
+
+    let fwd = ForwardPass::build(&session.trace);
+    let pix = slice(
+        &session.trace,
+        &fwd,
+        &pixel_criteria(&session.trace),
+        &SliceOptions::default(),
+    );
+    let sys = slice(
+        &session.trace,
+        &fwd,
+        &syscall_criteria(&session.trace),
+        &SliceOptions::default(),
+    );
+    // §IV-C: the syscall-based slice must be (essentially) inclusive of the
+    // pixel-based slice; framebuffer writev covers the display path.
+    assert!(
+        sys.slice_count() as f64 >= pix.slice_count() as f64 * 0.95,
+        "syscall slice {} unexpectedly smaller than pixel slice {}",
+        sys.slice_count(),
+        pix.slice_count()
+    );
+}
+
+#[test]
+fn type_text_appends_value_per_key() {
+    let mut tab = Tab::new(BrowserConfig::desktop());
+    let html = r#"<body><input id="q" value=""></body>"#;
+    tab.load(Site::new("https://t.test", html));
+    tab.type_text("q", "maps");
+    let q = tab.document().element_by_id("q").unwrap();
+    assert_eq!(tab.document().node(q).attr_value("value"), Some("maps"));
+}
+
+#[test]
+fn fetch_extra_loads_more_script() {
+    let mut tab = Tab::new(BrowserConfig::desktop());
+    let site = Site::new("https://t.test", "<body><div id=d></div></body>").with_resource(
+        "late.js",
+        ResourceKind::Js,
+        "var lateLoaded = 99;",
+    );
+    tab.load(site);
+    let before = tab.js().coverage().total_bytes;
+    tab.fetch_extra("late.js");
+    assert!(tab.js().coverage().total_bytes > before);
+    assert!(matches!(
+        tab.js().lookup_global("lateLoaded"),
+        Some(wasteprof_js::Value::Num(n)) if n == 99.0
+    ));
+}
+
+#[test]
+fn beacons_reach_the_network() {
+    let mut tab = Tab::new(BrowserConfig::desktop());
+    let html = r#"<body><script>navigator.sendBeacon('https://a/t', 'metrics');</script></body>"#;
+    tab.load(Site::new("https://t.test", html));
+    let session = tab.finish();
+    let sends = session
+        .trace
+        .iter()
+        .filter(|i| {
+            matches!(
+                i.kind,
+                InstrKind::Syscall {
+                    nr: Syscall::Sendto
+                }
+            )
+        })
+        .count();
+    // At least the navigation fetch and the beacon.
+    assert!(sends >= 2, "beacon sendto missing ({sends} sends)");
+}
+
+#[test]
+fn debug_ring_and_ipc_channel_are_written() {
+    let mut tab = Tab::new(BrowserConfig::desktop());
+    tab.load(demo_site());
+    let session = tab.finish();
+    let mut debug = false;
+    let mut ipc = false;
+    for i in session.trace.iter() {
+        for w in i.mem_writes() {
+            match w.start().region() {
+                Some(Region::DebugRing) => debug = true,
+                Some(Region::Channel) => ipc = true,
+                _ => {}
+            }
+        }
+    }
+    assert!(debug, "no debug-ring writes");
+    assert!(ipc, "no IPC channel writes");
+}
+
+#[test]
+fn idle_spans_recorded() {
+    let mut tab = Tab::new(BrowserConfig::desktop());
+    tab.load(demo_site());
+    tab.idle(10_000);
+    tab.scroll(100.0);
+    tab.idle(5_000);
+    let session = tab.finish();
+    assert_eq!(session.idle_spans.len(), 2);
+    assert_eq!(session.idle_spans[0].ticks, 10_000);
+    assert!(session.idle_spans[0].at < session.idle_spans[1].at);
+}

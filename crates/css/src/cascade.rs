@@ -1,0 +1,513 @@
+//! Style resolution: rule matching, the cascade, and computed styles.
+//!
+//! The engine keeps the standard rule-hash optimization (rules bucketed by
+//! their subject's id/class/tag), matches candidates per element, sorts by
+//! `(specificity, source order)`, and applies declarations over the
+//! inherited style. It also records which rules ever matched — the data
+//! behind the paper's Table I unused-CSS measurement.
+
+use std::collections::HashMap;
+
+use wasteprof_dom::{Document, NodeId};
+use wasteprof_trace::{site, Addr, AddrRange, Recorder, Region};
+
+use crate::parser::{Decl, Stylesheet, Viewport};
+use crate::selector::BucketKey;
+use crate::values::ComputedStyle;
+
+/// Trace cells mirroring one element's computed style, grouped the way the
+/// downstream pipeline consumes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StyleCells {
+    /// Box geometry inputs: display, width/height, margins, padding,
+    /// border width.
+    pub geometry: Addr,
+    /// Paint inputs: colors, opacity, visibility.
+    pub paint: Addr,
+    /// Text inputs: font size, line height, alignment.
+    pub font: Addr,
+    /// Positioning inputs: position scheme, offsets, z-index.
+    pub position: Addr,
+}
+
+impl StyleCells {
+    fn alloc(rec: &mut Recorder) -> Self {
+        StyleCells {
+            geometry: rec.alloc_cell(Region::Heap),
+            paint: rec.alloc_cell(Region::Heap),
+            font: rec.alloc_cell(Region::Heap),
+            position: rec.alloc_cell(Region::Heap),
+        }
+    }
+
+    /// All four group cells.
+    pub fn all(&self) -> [Addr; 4] {
+        [self.geometry, self.paint, self.font, self.position]
+    }
+}
+
+/// Computed styles (and their trace cells) for a document.
+#[derive(Debug, Clone, Default)]
+pub struct StyleMap {
+    styles: HashMap<NodeId, ComputedStyle>,
+    cells: HashMap<NodeId, StyleCells>,
+}
+
+impl StyleMap {
+    /// The computed style of `node`, if it was styled.
+    pub fn style(&self, node: NodeId) -> Option<&ComputedStyle> {
+        self.styles.get(&node)
+    }
+
+    /// The style cells of `node`, if it was styled.
+    pub fn cells(&self, node: NodeId) -> Option<StyleCells> {
+        self.cells.get(&node).copied()
+    }
+
+    /// Number of styled elements.
+    pub fn len(&self) -> usize {
+        self.styles.len()
+    }
+
+    /// True if nothing was styled yet.
+    pub fn is_empty(&self) -> bool {
+        self.styles.is_empty()
+    }
+}
+
+/// Unused-code accounting for stylesheets (paper Table I).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CssCoverage {
+    /// Total stylesheet source bytes loaded.
+    pub total_bytes: u64,
+    /// Bytes of rules that matched at least one element.
+    pub used_bytes: u64,
+}
+
+impl CssCoverage {
+    /// Bytes never used.
+    pub fn unused_bytes(&self) -> u64 {
+        self.total_bytes.saturating_sub(self.used_bytes)
+    }
+
+    /// Unused fraction in `[0, 1]`.
+    pub fn unused_fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.unused_bytes() as f64 / self.total_bytes as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RuleRef {
+    sheet: usize,
+    rule: usize,
+    selector: usize,
+    specificity: u32,
+    order: u32,
+}
+
+/// The style engine: owns the stylesheets and resolves computed styles.
+///
+/// # Examples
+///
+/// ```
+/// use wasteprof_css::{parse_stylesheet, StyleEngine, Viewport};
+/// use wasteprof_dom::Document;
+/// use wasteprof_trace::{Recorder, Region, ThreadKind};
+///
+/// let mut rec = Recorder::new();
+/// rec.spawn_thread(ThreadKind::Main, "content::RendererMain");
+/// let mut doc = Document::new(&mut rec);
+/// let div = doc.create_element(&mut rec, "div", &[]);
+/// doc.append_child(&mut rec, doc.root(), div);
+///
+/// let css = "div { width: 100px }";
+/// let src = rec.alloc(Region::Input, css.len() as u32);
+/// let sheet = parse_stylesheet(&mut rec, css, src, Viewport::DESKTOP, "inline");
+/// let mut engine = StyleEngine::new(Viewport::DESKTOP);
+/// engine.add_sheet(sheet);
+/// let styles = engine.style_document(&mut rec, &doc);
+/// assert!(styles.style(div).is_some());
+/// ```
+#[derive(Debug)]
+pub struct StyleEngine {
+    sheets: Vec<Stylesheet>,
+    buckets: HashMap<BucketKey, Vec<RuleRef>>,
+    matched: Vec<Vec<bool>>,
+    order: u32,
+    viewport: Viewport,
+}
+
+impl StyleEngine {
+    /// Creates an engine for the given viewport.
+    pub fn new(viewport: Viewport) -> Self {
+        StyleEngine {
+            sheets: Vec::new(),
+            buckets: HashMap::new(),
+            matched: Vec::new(),
+            order: 0,
+            viewport,
+        }
+    }
+
+    /// The viewport media queries were evaluated against.
+    pub fn viewport(&self) -> Viewport {
+        self.viewport
+    }
+
+    /// Registers a parsed stylesheet; its active rules become matchable.
+    pub fn add_sheet(&mut self, sheet: Stylesheet) {
+        let sheet_idx = self.sheets.len();
+        self.matched.push(vec![false; sheet.rules.len()]);
+        for (rule_idx, rule) in sheet.rules.iter().enumerate() {
+            if !rule.active {
+                continue;
+            }
+            for (sel_idx, sel) in rule.selectors.iter().enumerate() {
+                let key = BucketKey::of(sel);
+                self.buckets.entry(key).or_default().push(RuleRef {
+                    sheet: sheet_idx,
+                    rule: rule_idx,
+                    selector: sel_idx,
+                    specificity: sel.specificity(),
+                    order: self.order,
+                });
+            }
+            self.order += 1;
+        }
+        self.sheets.push(sheet);
+    }
+
+    /// Number of registered sheets.
+    pub fn sheet_count(&self) -> usize {
+        self.sheets.len()
+    }
+
+    /// Resolves styles for the entire document.
+    pub fn style_document(&mut self, rec: &mut Recorder, doc: &Document) -> StyleMap {
+        let mut map = StyleMap::default();
+        self.style_subtree(rec, doc, doc.root(), &mut map);
+        map
+    }
+
+    /// Resolves styles for `root`'s subtree into `map` (partial restyle:
+    /// what the main thread does when an interaction dirties part of the
+    /// page).
+    pub fn style_subtree(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &Document,
+        root: NodeId,
+        map: &mut StyleMap,
+    ) {
+        let func = rec.intern_func("blink::css::StyleResolver::ResolveStyle");
+        let matcher = rec.intern_func("blink::css::SelectorChecker::MatchRules");
+        rec.in_func(site!(), func, |rec| {
+            // Parent style: from the map (already resolved) or initial.
+            let parent_style = doc
+                .node(root)
+                .parent
+                .and_then(|p| map.styles.get(&p))
+                .cloned()
+                .unwrap_or_else(ComputedStyle::initial);
+            self.resolve_recursive(rec, doc, root, &parent_style, None, matcher, map);
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_recursive(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &Document,
+        node: NodeId,
+        parent_style: &ComputedStyle,
+        parent_cells: Option<StyleCells>,
+        matcher: wasteprof_trace::FuncId,
+        map: &mut StyleMap,
+    ) {
+        let style = if doc.node(node).is_element() {
+            let style = self.resolve_one(rec, doc, node, parent_style, parent_cells, matcher, map);
+            Some(style)
+        } else {
+            None
+        };
+        // `display: none` subtrees generate no boxes, and the engine (like
+        // Blink) does not compute style for their descendants either.
+        if style
+            .as_ref()
+            .is_some_and(|s| s.display == crate::values::Display::None)
+        {
+            return;
+        }
+        let style_for_children = style.unwrap_or_else(|| parent_style.clone());
+        let cells_for_children = map.cells.get(&node).copied().or(parent_cells);
+        // Index loop: `doc` is shared, so no defensive clone is needed.
+        for ci in 0..doc.node(node).children.len() {
+            let child = doc.node(node).children[ci];
+            self.resolve_recursive(
+                rec,
+                doc,
+                child,
+                &style_for_children,
+                cells_for_children,
+                matcher,
+                map,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_one(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &Document,
+        node: NodeId,
+        parent_style: &ComputedStyle,
+        parent_cells: Option<StyleCells>,
+        matcher: wasteprof_trace::FuncId,
+        map: &mut StyleMap,
+    ) -> ComputedStyle {
+        // --- match phase -------------------------------------------------
+        // Each candidate is *tested* (a branch whose condition reads the
+        // rule cell); matching candidates are appended to the matched-rule
+        // list, which the cascade consumes. In the backward slice this
+        // reproduces the real dependence structure: the appends of
+        // matching rules (and, through control dependence, their guarding
+        // match tests) become necessary when the element's style is, while
+        // candidate tests that fail stay out of the slice.
+        let keys = BucketKey::for_element(doc, node);
+        let mut matching: Vec<(u32, u32, usize, usize)> = Vec::new();
+        let node_meta = doc.node(node).cells.meta;
+        let matched_list = rec.alloc_cell(Region::Heap);
+        rec.in_func(site!(), matcher, |rec| {
+            // Bucket lookup hashes the element's identity: tag, id, and
+            // classes — so attribute mutations (e.g. classList.add from JS)
+            // flow into the style system.
+            let mut id_reads: Vec<AddrRange> = vec![node_meta.into()];
+            for attr in ["class", "id"] {
+                if let Some(a) = doc.node(node).attr(attr) {
+                    id_reads.push(a.cell.into());
+                }
+            }
+            // The traversal reached this element through its parent's
+            // child list.
+            if let Some(p) = doc.node(node).parent {
+                id_reads.push(doc.node(p).cells.structure.into());
+            }
+            rec.compute(site!(), &id_reads, &[matched_list.into()]);
+            let test_site = site!();
+            let append_site = site!();
+            for key in &keys {
+                let Some(candidates) = self.buckets.get(key) else {
+                    continue;
+                };
+                for r in candidates {
+                    let rule = &self.sheets[r.sheet].rules[r.rule];
+                    let sel = &rule.selectors[r.selector];
+                    let hit = sel.matches(doc, node);
+                    rec.branch_mem(test_site, rule.cell, hit);
+                    if hit {
+                        rec.compute(
+                            append_site,
+                            &[node_meta.into(), rule.cell.into(), matched_list.into()],
+                            &[matched_list.into()],
+                        );
+                        matching.push((r.specificity, r.order, r.sheet, r.rule));
+                    }
+                }
+            }
+        });
+        matching.sort();
+        matching.dedup();
+
+        // --- cascade phase -----------------------------------------------
+        let mut style = ComputedStyle::inherited_from(parent_style);
+        let mut rule_cells: Vec<AddrRange> = Vec::new();
+        for &(_, _, sheet, rule) in &matching {
+            self.matched[sheet][rule] = true;
+            for d in &self.sheets[sheet].rules[rule].decls {
+                d.apply(&mut style);
+            }
+            rule_cells.push(self.sheets[sheet].rules[rule].cell.into());
+        }
+        // Inline style attribute wins over everything.
+        if let Some(attr) = doc.node(node).attr("style") {
+            for decl in attr.value.split(';') {
+                if let Some((name, value)) = decl.split_once(':') {
+                    for d in Decl::parse(name, value) {
+                        d.apply(&mut style);
+                    }
+                }
+            }
+            rule_cells.push(attr.cell.into());
+        }
+
+        let cells = StyleCells::alloc(rec);
+        // The computed style derives from the matched-rule list, the
+        // matched rules themselves, the element identity, and the
+        // inherited (parent) style.
+        let mut reads: Vec<AddrRange> = vec![node_meta.into(), matched_list.into()];
+        if let Some(p) = parent_cells {
+            reads.push(p.font.into());
+            reads.push(p.paint.into());
+        }
+        reads.extend(rule_cells);
+        let writes: Vec<AddrRange> = cells.all().iter().map(|&a| a.into()).collect();
+        rec.compute_weighted(site!(), &reads, &writes, matching.len() as u32);
+
+        map.styles.insert(node, style.clone());
+        map.cells.insert(node, cells);
+        style
+    }
+
+    /// Unused-CSS accounting over everything matched so far.
+    pub fn coverage(&self) -> CssCoverage {
+        let mut cov = CssCoverage::default();
+        for (sheet_idx, sheet) in self.sheets.iter().enumerate() {
+            cov.total_bytes += sheet.total_bytes;
+            for (rule_idx, rule) in sheet.rules.iter().enumerate() {
+                if self.matched[sheet_idx][rule_idx] {
+                    cov.used_bytes += rule.bytes as u64;
+                }
+            }
+        }
+        cov
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_stylesheet;
+    use crate::values::{Color, Display, Length};
+    use wasteprof_trace::{Recorder, ThreadKind};
+
+    fn setup(css: &str) -> (Recorder, Document, StyleEngine) {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let doc = Document::new(&mut rec);
+        let src = rec.alloc(Region::Input, css.len().max(1) as u32);
+        let sheet = parse_stylesheet(&mut rec, css, src, Viewport::DESKTOP, "test");
+        let mut engine = StyleEngine::new(Viewport::DESKTOP);
+        engine.add_sheet(sheet);
+        (rec, doc, engine)
+    }
+
+    #[test]
+    fn cascade_specificity_and_order() {
+        let (mut rec, mut doc, mut engine) = setup(
+            "div { color: blue; width: 10px } .x { color: red } .x { height: 5px } #y { color: green }",
+        );
+        let el = doc.create_element(&mut rec, "div", &[]);
+        doc.set_attribute(&mut rec, el, "class", "x", &[]);
+        doc.set_attribute(&mut rec, el, "id", "y", &[]);
+        doc.append_child(&mut rec, doc.root(), el);
+        let styles = engine.style_document(&mut rec, &doc);
+        let s = styles.style(el).unwrap();
+        assert_eq!(s.color, Color::parse("green").unwrap()); // id wins
+        assert_eq!(s.width, Length::Px(10.0)); // tag rule still applies
+        assert_eq!(s.height, Length::Px(5.0));
+    }
+
+    #[test]
+    fn inline_style_wins() {
+        let (mut rec, mut doc, mut engine) = setup("#y { color: green }");
+        let el = doc.create_element(&mut rec, "div", &[]);
+        doc.set_attribute(&mut rec, el, "id", "y", &[]);
+        doc.set_attribute(&mut rec, el, "style", "color: red; width: 7px", &[]);
+        doc.append_child(&mut rec, doc.root(), el);
+        let styles = engine.style_document(&mut rec, &doc);
+        let s = styles.style(el).unwrap();
+        assert_eq!(s.color, Color::rgb(255, 0, 0));
+        assert_eq!(s.width, Length::Px(7.0));
+    }
+
+    #[test]
+    fn inheritance_flows_down() {
+        let (mut rec, mut doc, mut engine) = setup(".top { color: red; font-size: 20px }");
+        let top = doc.create_element(&mut rec, "div", &[]);
+        doc.set_attribute(&mut rec, top, "class", "top", &[]);
+        let inner = doc.create_element(&mut rec, "span", &[]);
+        doc.append_child(&mut rec, doc.root(), top);
+        doc.append_child(&mut rec, top, inner);
+        let styles = engine.style_document(&mut rec, &doc);
+        let s = styles.style(inner).unwrap();
+        assert_eq!(s.color, Color::rgb(255, 0, 0));
+        assert_eq!(s.font_size, 20.0);
+        assert_eq!(s.display, Display::Block); // not inherited
+    }
+
+    #[test]
+    fn coverage_counts_only_matched_rules() {
+        let css = ".used { color: red } .unused { color: blue } .unused2:hover { color: green }";
+        let (mut rec, mut doc, mut engine) = setup(css);
+        let el = doc.create_element(&mut rec, "div", &[]);
+        doc.set_attribute(&mut rec, el, "class", "used", &[]);
+        doc.append_child(&mut rec, doc.root(), el);
+        engine.style_document(&mut rec, &doc);
+        let cov = engine.coverage();
+        assert_eq!(cov.total_bytes, css.len() as u64);
+        assert!(cov.used_bytes > 0);
+        assert!(
+            cov.unused_fraction() > 0.5,
+            "unused = {}",
+            cov.unused_fraction()
+        );
+    }
+
+    #[test]
+    fn inactive_media_rules_never_match() {
+        let css = "@media (max-width: 500px) { div { color: red } }";
+        let (mut rec, mut doc, mut engine) = setup(css); // desktop viewport
+        let el = doc.create_element(&mut rec, "div", &[]);
+        doc.append_child(&mut rec, doc.root(), el);
+        let styles = engine.style_document(&mut rec, &doc);
+        assert_eq!(styles.style(el).unwrap().color, Color::BLACK); // initial
+        assert_eq!(engine.coverage().used_bytes, 0);
+    }
+
+    #[test]
+    fn partial_restyle_updates_subtree_only() {
+        let (mut rec, mut doc, mut engine) = setup("div { width: 10px }");
+        let a = doc.create_element(&mut rec, "div", &[]);
+        let b = doc.create_element(&mut rec, "div", &[]);
+        doc.append_child(&mut rec, doc.root(), a);
+        doc.append_child(&mut rec, a, b);
+        let mut map = engine.style_document(&mut rec, &doc);
+        // Mutate: b gets an inline width; restyle only b.
+        doc.set_attribute(&mut rec, b, "style", "width: 99px", &[]);
+        engine.style_subtree(&mut rec, &doc, b, &mut map);
+        assert_eq!(map.style(b).unwrap().width, Length::Px(99.0));
+        assert_eq!(map.style(a).unwrap().width, Length::Px(10.0));
+    }
+
+    #[test]
+    fn style_resolution_emits_rule_reads() {
+        let (mut rec, mut doc, mut engine) = setup("div { color: red }");
+        let el = doc.create_element(&mut rec, "div", &[]);
+        doc.append_child(&mut rec, doc.root(), el);
+        let styles = engine.style_document(&mut rec, &doc);
+        let cells = styles.cells(el).unwrap();
+        let trace = rec.finish();
+        // Something writes the element's paint cell.
+        assert!(trace
+            .iter()
+            .any(|i| i.mem_writes().iter().any(|w| w.contains(cells.paint))));
+    }
+
+    #[test]
+    fn unstyled_elements_fall_back_to_initial() {
+        let (mut rec, mut doc, mut engine) = setup("");
+        let el = doc.create_element(&mut rec, "custom-tag", &[]);
+        doc.append_child(&mut rec, doc.root(), el);
+        let styles = engine.style_document(&mut rec, &doc);
+        assert_eq!(*styles.style(el).unwrap(), {
+            let mut s = ComputedStyle::initial();
+            s.display = Display::Block;
+            s
+        });
+    }
+}

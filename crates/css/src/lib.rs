@@ -1,0 +1,19 @@
+//! CSS engine for the wasteprof browser: tokenizer-free recursive parser,
+//! selectors with specificity and rule-hash buckets, media queries, the
+//! cascade, and unused-rule coverage (the CSS half of the paper's Table I).
+//!
+//! Style resolution is stage three of the rendering pipeline (paper §II-A):
+//! it consumes the DOM and the CSSOM and annotates every element with a
+//! computed style whose trace cells feed layout and paint.
+
+#![warn(missing_docs)]
+
+mod cascade;
+mod parser;
+mod selector;
+mod values;
+
+pub use cascade::{CssCoverage, StyleCells, StyleEngine, StyleMap};
+pub use parser::{parse_stylesheet, Decl, StyleRule, Stylesheet, Viewport};
+pub use selector::{BucketKey, Combinator, Compound, Selector};
+pub use values::{edge, Color, ComputedStyle, Display, Length, Position, TextAlign};

@@ -1,0 +1,612 @@
+//! CSS parsing: declarations, rules, stylesheets, and media queries.
+
+use wasteprof_trace::{site, Addr, AddrRange, Recorder, Region};
+
+use crate::selector::Selector;
+use crate::values::{edge, Color, ComputedStyle, Display, Length, Position, TextAlign};
+
+/// One parsed declaration (property: value).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `display`.
+    Display(Display),
+    /// `position`.
+    Position(Position),
+    /// `width`.
+    Width(Length),
+    /// `height`.
+    Height(Length),
+    /// One margin edge (see [`edge`]).
+    Margin(usize, Length),
+    /// One padding edge.
+    Padding(usize, Length),
+    /// `border-width` in pixels.
+    BorderWidth(f32),
+    /// `border-color`.
+    BorderColor(Color),
+    /// `color`.
+    Color(Color),
+    /// `background-color`.
+    Background(Color),
+    /// `font-size`.
+    FontSize(Length),
+    /// `line-height` multiplier or length.
+    LineHeight(f32),
+    /// `z-index`.
+    ZIndex(i32),
+    /// `opacity`.
+    Opacity(f32),
+    /// `visibility: hidden|visible`.
+    Visible(bool),
+    /// One offset edge (`top`/`right`/`bottom`/`left`).
+    Offset(usize, Length),
+    /// `text-align`.
+    TextAlign(TextAlign),
+    /// `will-change` (any value counts as a compositing hint).
+    WillChange,
+    /// `overflow: hidden`.
+    OverflowHidden,
+}
+
+impl Decl {
+    /// Parses a single `name: value` pair. Returns all declarations it
+    /// expands to (shorthands expand to several), or an empty vector for
+    /// unsupported/invalid properties (which real engines also skip).
+    pub fn parse(name: &str, value: &str) -> Vec<Decl> {
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        let one = |d: Decl| vec![d];
+        match name.as_str() {
+            "display" => match value {
+                "block" => one(Decl::Display(Display::Block)),
+                "inline" => one(Decl::Display(Display::Inline)),
+                "inline-block" => one(Decl::Display(Display::InlineBlock)),
+                "none" => one(Decl::Display(Display::None)),
+                _ => vec![],
+            },
+            "position" => match value {
+                "static" => one(Decl::Position(Position::Static)),
+                "relative" => one(Decl::Position(Position::Relative)),
+                "absolute" => one(Decl::Position(Position::Absolute)),
+                "fixed" => one(Decl::Position(Position::Fixed)),
+                _ => vec![],
+            },
+            "width" => Length::parse(value).map(Decl::Width).into_iter().collect(),
+            "height" => Length::parse(value).map(Decl::Height).into_iter().collect(),
+            "margin" => expand_box(value, Decl::Margin),
+            "margin-top" => edge_decl(value, edge::TOP, Decl::Margin),
+            "margin-right" => edge_decl(value, edge::RIGHT, Decl::Margin),
+            "margin-bottom" => edge_decl(value, edge::BOTTOM, Decl::Margin),
+            "margin-left" => edge_decl(value, edge::LEFT, Decl::Margin),
+            "padding" => expand_box(value, Decl::Padding),
+            "padding-top" => edge_decl(value, edge::TOP, Decl::Padding),
+            "padding-right" => edge_decl(value, edge::RIGHT, Decl::Padding),
+            "padding-bottom" => edge_decl(value, edge::BOTTOM, Decl::Padding),
+            "padding-left" => edge_decl(value, edge::LEFT, Decl::Padding),
+            "border" => {
+                // e.g. "1px solid red"
+                let mut out = Vec::new();
+                for part in value.split_whitespace() {
+                    if let Some(Length::Px(w)) = Length::parse(part) {
+                        out.push(Decl::BorderWidth(w));
+                    } else if let Some(c) = Color::parse(part) {
+                        out.push(Decl::BorderColor(c));
+                    }
+                }
+                out
+            }
+            "border-width" => match Length::parse(value) {
+                Some(Length::Px(w)) => one(Decl::BorderWidth(w)),
+                _ => vec![],
+            },
+            "border-color" => Color::parse(value)
+                .map(Decl::BorderColor)
+                .into_iter()
+                .collect(),
+            "color" => Color::parse(value).map(Decl::Color).into_iter().collect(),
+            "background" | "background-color" => Color::parse(value)
+                .map(Decl::Background)
+                .into_iter()
+                .collect(),
+            "font-size" => Length::parse(value)
+                .map(Decl::FontSize)
+                .into_iter()
+                .collect(),
+            "line-height" => value
+                .parse::<f32>()
+                .map(Decl::LineHeight)
+                .into_iter()
+                .collect(),
+            "z-index" => value.parse::<i32>().map(Decl::ZIndex).into_iter().collect(),
+            "opacity" => value
+                .parse::<f32>()
+                .ok()
+                .map(|v| Decl::Opacity(v.clamp(0.0, 1.0)))
+                .into_iter()
+                .collect(),
+            "visibility" => match value {
+                "hidden" => one(Decl::Visible(false)),
+                "visible" => one(Decl::Visible(true)),
+                _ => vec![],
+            },
+            "top" => edge_decl(value, edge::TOP, Decl::Offset),
+            "right" => edge_decl(value, edge::RIGHT, Decl::Offset),
+            "bottom" => edge_decl(value, edge::BOTTOM, Decl::Offset),
+            "left" => edge_decl(value, edge::LEFT, Decl::Offset),
+            "text-align" => match value {
+                "left" => one(Decl::TextAlign(TextAlign::Left)),
+                "center" => one(Decl::TextAlign(TextAlign::Center)),
+                "right" => one(Decl::TextAlign(TextAlign::Right)),
+                _ => vec![],
+            },
+            "will-change" => one(Decl::WillChange),
+            "overflow" => match value {
+                "hidden" => one(Decl::OverflowHidden),
+                _ => vec![],
+            },
+            _ => vec![],
+        }
+    }
+
+    /// Applies the declaration to a computed style.
+    pub fn apply(&self, s: &mut ComputedStyle) {
+        match *self {
+            Decl::Display(v) => s.display = v,
+            Decl::Position(v) => s.position = v,
+            Decl::Width(v) => s.width = v,
+            Decl::Height(v) => s.height = v,
+            Decl::Margin(e, v) => s.margin[e] = v,
+            Decl::Padding(e, v) => s.padding[e] = v,
+            Decl::BorderWidth(v) => s.border_width = v,
+            Decl::BorderColor(v) => s.border_color = v,
+            Decl::Color(v) => s.color = v,
+            Decl::Background(v) => s.background = v,
+            Decl::FontSize(v) => {
+                // em/% against the inherited size, which is already in s.
+                let parent = s.font_size;
+                s.font_size = v.resolve(parent, parent, parent);
+                // A unitless line-height tracks the final font size
+                // regardless of declaration order; `normal` recomputes;
+                // an explicit length stays as computed.
+                match s.line_height_factor {
+                    Some(f) => s.line_height = f * s.font_size,
+                    None if !s.line_height_explicit => s.line_height = s.font_size * 1.2,
+                    None => {}
+                }
+            }
+            Decl::LineHeight(v) => {
+                s.line_height = v * s.font_size;
+                s.line_height_factor = Some(v);
+                s.line_height_explicit = true;
+            }
+            Decl::ZIndex(v) => s.z_index = Some(v),
+            Decl::Opacity(v) => s.opacity = v,
+            Decl::Visible(v) => s.visible = v,
+            Decl::Offset(e, v) => s.offsets[e] = v,
+            Decl::TextAlign(v) => s.text_align = v,
+            Decl::WillChange => s.will_change = true,
+            Decl::OverflowHidden => s.overflow_hidden = true,
+        }
+    }
+}
+
+fn edge_decl(value: &str, e: usize, ctor: fn(usize, Length) -> Decl) -> Vec<Decl> {
+    Length::parse(value)
+        .map(|l| ctor(e, l))
+        .into_iter()
+        .collect()
+}
+
+/// Expands 1/2/4-value box shorthands (`margin: 4px 8px`).
+fn expand_box(value: &str, ctor: fn(usize, Length) -> Decl) -> Vec<Decl> {
+    let vals: Option<Vec<Length>> = value.split_whitespace().map(Length::parse).collect();
+    let Some(vals) = vals else { return vec![] };
+    let [t, r, b, l] = match vals.as_slice() {
+        [v] => [*v; 4],
+        [v, h] => [*v, *h, *v, *h],
+        [t, r, b, l] => [*t, *r, *b, *l],
+        _ => return vec![],
+    };
+    vec![
+        ctor(edge::TOP, t),
+        ctor(edge::RIGHT, r),
+        ctor(edge::BOTTOM, b),
+        ctor(edge::LEFT, l),
+    ]
+}
+
+/// One style rule: selectors, declarations, and trace/coverage metadata.
+#[derive(Debug, Clone)]
+pub struct StyleRule {
+    /// Selector list (comma-separated in source).
+    pub selectors: Vec<Selector>,
+    /// Parsed declarations.
+    pub decls: Vec<Decl>,
+    /// Trace cell holding the parsed rule.
+    pub cell: Addr,
+    /// Source bytes of the rule (selector + block), for Table I coverage.
+    pub bytes: u32,
+    /// False if the enclosing `@media` did not match the viewport; the
+    /// rule was still parsed (work!) but can never apply.
+    pub active: bool,
+}
+
+/// A parsed stylesheet.
+#[derive(Debug, Clone)]
+pub struct Stylesheet {
+    /// Rules in source order.
+    pub rules: Vec<StyleRule>,
+    /// Total source bytes (including comments/whitespace), for coverage.
+    pub total_bytes: u64,
+    /// Where the sheet came from (URL or "inline").
+    pub origin: String,
+}
+
+/// Viewport used to evaluate media queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Viewport {
+    /// CSS pixels.
+    pub width: f32,
+    /// CSS pixels.
+    pub height: f32,
+}
+
+impl Viewport {
+    /// A common desktop viewport.
+    pub const DESKTOP: Viewport = Viewport {
+        width: 1366.0,
+        height: 768.0,
+    };
+    /// The paper's emulated mobile display (§V-A): 360×640.
+    pub const MOBILE: Viewport = Viewport {
+        width: 360.0,
+        height: 640.0,
+    };
+}
+
+/// Parses `text` into a stylesheet, emitting parse work into the trace.
+///
+/// `src` must be the input cells holding the sheet's bytes; each rule's
+/// parse instruction reads its span of `src`. Media queries are evaluated
+/// against `viewport`; rules inside non-matching blocks are parsed but
+/// marked inactive.
+pub fn parse_stylesheet(
+    rec: &mut Recorder,
+    text: &str,
+    src: AddrRange,
+    viewport: Viewport,
+    origin: &str,
+) -> Stylesheet {
+    let func = rec.intern_func("blink::css::CssParser::ParseSheet");
+    rec.in_func(site!(), func, |rec| {
+        let mut sheet = Stylesheet {
+            rules: Vec::new(),
+            total_bytes: text.len() as u64,
+            origin: origin.to_owned(),
+        };
+        let stripped = strip_comments(text);
+        parse_block(rec, &stripped, 0, src, viewport, true, &mut sheet);
+        sheet
+    })
+}
+
+/// Strips `/* ... */` comments, preserving byte offsets by replacing the
+/// comment bytes with spaces.
+fn strip_comments(text: &str) -> String {
+    let mut out = text.as_bytes().to_vec();
+    let mut i = 0;
+    while i + 1 < out.len() {
+        if out[i] == b'/' && out[i + 1] == b'*' {
+            let start = i;
+            i += 2;
+            while i + 1 < out.len() && !(out[i] == b'*' && out[i + 1] == b'/') {
+                i += 1;
+            }
+            let end = (i + 2).min(out.len());
+            for b in &mut out[start..end] {
+                *b = b' ';
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_block(
+    rec: &mut Recorder,
+    text: &str,
+    base_off: u32,
+    src: AddrRange,
+    viewport: Viewport,
+    active: bool,
+    sheet: &mut Stylesheet,
+) {
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // Skip whitespace.
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        let rule_start = i;
+        if bytes[i] == b'@' {
+            // Block-less at-rules (@import, @charset, @namespace) end at
+            // the first semicolon; consuming the next rule's brace block
+            // here would swallow that rule.
+            let semi = find(bytes, i, b';');
+            let brace = find(bytes, i, b'{');
+            if let Some(semi) = semi {
+                if brace.is_none() || semi < brace.unwrap() {
+                    i = semi + 1;
+                    continue;
+                }
+            }
+            // Braced at-rule: find its prelude and block.
+            let Some(brace) = brace else { break };
+            let prelude = text[i..brace].trim().to_owned();
+            let Some(close) = matching_brace(bytes, brace) else {
+                break;
+            };
+            let inner = &text[brace + 1..close];
+            if let Some(cond) = prelude.strip_prefix("@media") {
+                let matches = eval_media(cond, viewport);
+                parse_block(
+                    rec,
+                    inner,
+                    base_off + brace as u32 + 1,
+                    src,
+                    viewport,
+                    active && matches,
+                    sheet,
+                );
+            }
+            // Other at-rules (@font-face, @keyframes, ...): parsed cost but
+            // no rules produced.
+            i = close + 1;
+            continue;
+        }
+        let Some(brace) = find(bytes, i, b'{') else {
+            break;
+        };
+        let Some(close) = matching_brace(bytes, brace) else {
+            break;
+        };
+        let selector_text = &text[i..brace];
+        let block = &text[brace + 1..close];
+        i = close + 1;
+
+        let selectors: Vec<Selector> = selector_text
+            .split(',')
+            .filter_map(Selector::parse)
+            .collect();
+        let mut decls = Vec::new();
+        for decl in block.split(';') {
+            if let Some((name, value)) = decl.split_once(':') {
+                decls.extend(Decl::parse(name, value));
+            }
+        }
+        if selectors.is_empty() {
+            continue;
+        }
+        let rule_bytes = (i - rule_start) as u32;
+        let cell = rec.alloc_cell(Region::Heap);
+        let span_off = base_off + rule_start as u32;
+        let span = if (span_off + rule_bytes) <= src.len() {
+            src.slice(span_off, rule_bytes.max(1))
+        } else {
+            src
+        };
+        // Parsing cost scales with rule size.
+        rec.compute_weighted(site!(), &[span], &[cell.into()], rule_bytes / 12);
+        sheet.rules.push(StyleRule {
+            selectors,
+            decls,
+            cell,
+            bytes: rule_bytes,
+            active,
+        });
+    }
+}
+
+fn find(bytes: &[u8], from: usize, needle: u8) -> Option<usize> {
+    bytes[from..]
+        .iter()
+        .position(|&b| b == needle)
+        .map(|p| from + p)
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Evaluates a media condition: `(max-width: 700px)` terms joined by
+/// `and`. Unknown terms evaluate to true (permissive, like `screen`).
+fn eval_media(cond: &str, viewport: Viewport) -> bool {
+    cond.split(" and ").all(|term| {
+        let term = term.trim().trim_start_matches('(').trim_end_matches(')');
+        if let Some((k, v)) = term.split_once(':') {
+            let px = v
+                .trim()
+                .strip_suffix("px")
+                .and_then(|n| n.trim().parse::<f32>().ok());
+            match (k.trim(), px) {
+                ("max-width", Some(px)) => viewport.width <= px,
+                ("min-width", Some(px)) => viewport.width >= px,
+                ("max-height", Some(px)) => viewport.height <= px,
+                ("min-height", Some(px)) => viewport.height >= px,
+                _ => true,
+            }
+        } else {
+            true // bare media type like "screen"
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasteprof_trace::ThreadKind;
+
+    fn parse(text: &str, viewport: Viewport) -> Stylesheet {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let src = rec.alloc(Region::Input, text.len().max(1) as u32);
+        parse_stylesheet(&mut rec, text, src, viewport, "test")
+    }
+
+    #[test]
+    fn simple_rule() {
+        let s = parse(".card { color: red; width: 100px }", Viewport::DESKTOP);
+        assert_eq!(s.rules.len(), 1);
+        let r = &s.rules[0];
+        assert_eq!(r.selectors.len(), 1);
+        assert!(r.decls.contains(&Decl::Color(Color::rgb(255, 0, 0))));
+        assert!(r.decls.contains(&Decl::Width(Length::Px(100.0))));
+        assert!(r.active);
+    }
+
+    #[test]
+    fn selector_lists_and_multiple_rules() {
+        let s = parse("h1, h2 { margin: 0 } p { color: blue }", Viewport::DESKTOP);
+        assert_eq!(s.rules.len(), 2);
+        assert_eq!(s.rules[0].selectors.len(), 2);
+        assert_eq!(s.rules[0].decls.len(), 4); // margin expands to 4 edges
+    }
+
+    #[test]
+    fn shorthand_expansion() {
+        let d = Decl::parse("margin", "1px 2px");
+        assert_eq!(
+            d,
+            vec![
+                Decl::Margin(edge::TOP, Length::Px(1.0)),
+                Decl::Margin(edge::RIGHT, Length::Px(2.0)),
+                Decl::Margin(edge::BOTTOM, Length::Px(1.0)),
+                Decl::Margin(edge::LEFT, Length::Px(2.0)),
+            ]
+        );
+        let b = Decl::parse("border", "2px solid red");
+        assert!(b.contains(&Decl::BorderWidth(2.0)));
+        assert!(b.contains(&Decl::BorderColor(Color::rgb(255, 0, 0))));
+    }
+
+    #[test]
+    fn unknown_properties_skipped() {
+        assert!(Decl::parse("backdrop-filter", "blur(4px)").is_empty());
+        assert!(Decl::parse("width", "min-content").is_empty());
+        let s = parse(".x { flex-grow: 1; color: red }", Viewport::DESKTOP);
+        assert_eq!(s.rules[0].decls.len(), 1);
+    }
+
+    #[test]
+    fn comments_stripped_but_bytes_counted() {
+        let text = "/* header */ .x { color: red }";
+        let s = parse(text, Viewport::DESKTOP);
+        assert_eq!(s.rules.len(), 1);
+        assert_eq!(s.total_bytes, text.len() as u64);
+    }
+
+    #[test]
+    fn media_query_matches_viewport() {
+        let text = "@media (max-width: 700px) { .m { color: red } } .d { color: blue }";
+        let mobile = parse(text, Viewport::MOBILE);
+        assert_eq!(mobile.rules.len(), 2);
+        assert!(mobile.rules.iter().all(|r| r.active));
+        let desktop = parse(text, Viewport::DESKTOP);
+        let m = desktop.rules.iter().find(|r| r.bytes < 30).unwrap();
+        assert!(!m.active, "mobile-only rule active on desktop");
+    }
+
+    #[test]
+    fn media_and_conditions() {
+        assert!(eval_media(
+            "(min-width: 100px) and (max-width: 500px)",
+            Viewport::MOBILE
+        ));
+        assert!(!eval_media("(min-width: 1000px)", Viewport::MOBILE));
+        assert!(eval_media("screen", Viewport::MOBILE));
+    }
+
+    #[test]
+    fn nested_at_rules_do_not_derail_parsing() {
+        let text = "@keyframes spin { from { x: 0 } to { x: 1 } } .x { color: red }";
+        let s = parse(text, Viewport::DESKTOP);
+        assert_eq!(s.rules.len(), 1);
+    }
+
+    #[test]
+    fn decl_apply_font_size_em() {
+        let mut style = ComputedStyle {
+            font_size: 20.0,
+            ..Default::default()
+        };
+        Decl::FontSize(Length::Em(1.5)).apply(&mut style);
+        assert_eq!(style.font_size, 30.0);
+        assert!((style.line_height - 36.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn unitless_line_height_is_order_independent() {
+        // CSS resolves a unitless factor against the element's final font
+        // size, so declaration order must not matter.
+        let mut a = ComputedStyle {
+            font_size: 16.0,
+            ..Default::default()
+        };
+        Decl::LineHeight(2.0).apply(&mut a);
+        Decl::FontSize(Length::Px(10.0)).apply(&mut a);
+        let mut b = ComputedStyle {
+            font_size: 16.0,
+            ..Default::default()
+        };
+        Decl::FontSize(Length::Px(10.0)).apply(&mut b);
+        Decl::LineHeight(2.0).apply(&mut b);
+        assert_eq!(a.line_height, 20.0);
+        assert_eq!(b.line_height, 20.0);
+    }
+
+    #[test]
+    fn unitless_line_height_inherits_as_factor() {
+        let mut parent = ComputedStyle::default();
+        Decl::LineHeight(2.0).apply(&mut parent);
+        let mut child = ComputedStyle::inherited_from(&parent);
+        Decl::FontSize(Length::Px(10.0)).apply(&mut child);
+        assert_eq!(child.line_height, 20.0);
+    }
+
+    #[test]
+    fn rule_parse_emits_reads_of_source_span() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let text = ".x { color: red }";
+        let src = rec.alloc(Region::Input, text.len() as u32);
+        let sheet = parse_stylesheet(&mut rec, text, src, Viewport::DESKTOP, "t");
+        let cell = sheet.rules[0].cell;
+        let trace = rec.finish();
+        assert!(trace
+            .iter()
+            .any(|i| i.mem_writes().iter().any(|w| w.contains(cell))));
+        assert!(trace
+            .iter()
+            .any(|i| i.mem_reads().iter().any(|r| src.overlaps(*r))));
+    }
+}

@@ -1,0 +1,397 @@
+//! Selectors: parsing, specificity, and matching.
+
+use wasteprof_dom::{Document, NodeId};
+
+/// A compound selector: everything between combinators,
+/// e.g. `div#main.card:hover`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Compound {
+    /// Tag name to match (lowercase), if any.
+    pub tag: Option<String>,
+    /// `#id` to match, if any.
+    pub id: Option<String>,
+    /// `.class`es that must all be present.
+    pub classes: Vec<String>,
+    /// Pseudo-classes (`:hover`, `:focus`, ...). The engine models no
+    /// interactive pseudo-state, so any pseudo-class makes the compound
+    /// unmatched — exactly the kind of imported-but-never-applied rule the
+    /// paper counts as unused bytes.
+    pub pseudos: Vec<String>,
+}
+
+impl Compound {
+    fn is_empty(&self) -> bool {
+        self.tag.is_none()
+            && self.id.is_none()
+            && self.classes.is_empty()
+            && self.pseudos.is_empty()
+    }
+
+    /// Tests this compound against one element.
+    pub fn matches(&self, doc: &Document, node: NodeId) -> bool {
+        let n = doc.node(node);
+        if !n.is_element() {
+            return false;
+        }
+        if !self.pseudos.is_empty() {
+            return false;
+        }
+        if let Some(tag) = &self.tag {
+            if n.tag() != Some(tag.as_str()) {
+                return false;
+            }
+        }
+        if let Some(id) = &self.id {
+            if n.id() != Some(id.as_str()) {
+                return false;
+            }
+        }
+        self.classes.iter().all(|c| n.has_class(c))
+    }
+}
+
+/// Combinators between compounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combinator {
+    /// Whitespace: ancestor.
+    Descendant,
+    /// `>`: parent.
+    Child,
+}
+
+/// A complex selector: a chain of compounds joined by combinators, e.g.
+/// `nav > ul li.active`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    /// Compounds right-to-left: `parts[0]` is the subject (rightmost).
+    pub parts: Vec<Compound>,
+    /// `combinators[i]` joins `parts[i]` to `parts[i + 1]`.
+    pub combinators: Vec<Combinator>,
+}
+
+impl Selector {
+    /// Parses one complex selector. Returns `None` for empty/garbage input.
+    pub fn parse(s: &str) -> Option<Selector> {
+        let mut parts = Vec::new();
+        let mut combinators = Vec::new();
+        // Tokenize into compounds and combinators, left to right.
+        let mut rest = s.trim();
+        if rest.is_empty() {
+            return None;
+        }
+        let mut pending: Option<Combinator> = None;
+        while !rest.is_empty() {
+            if let Some(r) = rest.strip_prefix('>') {
+                pending = Some(Combinator::Child);
+                rest = r.trim_start();
+                continue;
+            }
+            let end = rest
+                .find(|c: char| c.is_whitespace() || c == '>')
+                .unwrap_or(rest.len());
+            let (tok, r) = rest.split_at(end);
+            let compound = parse_compound(tok)?;
+            if compound.is_empty() && tok != "*" {
+                return None;
+            }
+            if !parts.is_empty() {
+                combinators.push(pending.take().unwrap_or(Combinator::Descendant));
+            } else {
+                pending = None;
+            }
+            parts.push(compound);
+            rest = r.trim_start();
+        }
+        if parts.is_empty() {
+            return None;
+        }
+        // Store right-to-left (subject first).
+        parts.reverse();
+        combinators.reverse();
+        Some(Selector { parts, combinators })
+    }
+
+    /// Specificity as `(ids, classes + pseudos, tags)` packed into one
+    /// number: higher wins.
+    pub fn specificity(&self) -> u32 {
+        let mut ids = 0;
+        let mut classes = 0;
+        let mut tags = 0;
+        for p in &self.parts {
+            ids += p.id.is_some() as u32;
+            classes += p.classes.len() as u32 + p.pseudos.len() as u32;
+            tags += p.tag.is_some() as u32;
+        }
+        ids * 10_000 + classes * 100 + tags
+    }
+
+    /// The subject (rightmost) compound.
+    pub fn subject(&self) -> &Compound {
+        &self.parts[0]
+    }
+
+    /// Tests the selector against one element, walking ancestors for
+    /// combinators (with backtracking: a descendant combinator may bind
+    /// *any* matching ancestor, not just the nearest one).
+    pub fn matches(&self, doc: &Document, node: NodeId) -> bool {
+        if !self.parts[0].matches(doc, node) {
+            return false;
+        }
+        self.matches_from(doc, node, 1)
+    }
+
+    /// Matches `parts[idx..]` with the element bound to `parts[idx - 1]`
+    /// at `current`.
+    fn matches_from(&self, doc: &Document, current: NodeId, idx: usize) -> bool {
+        let Some(part) = self.parts.get(idx) else {
+            return true;
+        };
+        match self.combinators[idx - 1] {
+            Combinator::Child => {
+                let Some(parent) = doc.node(current).parent else {
+                    return false;
+                };
+                part.matches(doc, parent) && self.matches_from(doc, parent, idx + 1)
+            }
+            Combinator::Descendant => {
+                // Try every matching ancestor: the nearest one may fail
+                // the rest of the chain while a higher one succeeds
+                // (`a > b c` against c-in-b1-in-b2-in-a).
+                let mut cursor = doc.node(current).parent;
+                while let Some(p) = cursor {
+                    if part.matches(doc, p) && self.matches_from(doc, p, idx + 1) {
+                        return true;
+                    }
+                    cursor = doc.node(p).parent;
+                }
+                false
+            }
+        }
+    }
+}
+
+fn parse_compound(tok: &str) -> Option<Compound> {
+    let mut c = Compound::default();
+    let mut rest = tok;
+    if rest == "*" {
+        return Some(Compound {
+            tag: None,
+            ..Default::default()
+        });
+    }
+    // Leading tag name.
+    let tag_end = rest.find(['#', '.', ':']).unwrap_or(rest.len());
+    if tag_end > 0 {
+        let tag = &rest[..tag_end];
+        if !tag
+            .chars()
+            .all(|ch| ch.is_ascii_alphanumeric() || ch == '-' || ch == '_')
+        {
+            return None;
+        }
+        c.tag = Some(tag.to_ascii_lowercase());
+        rest = &rest[tag_end..];
+    }
+    while !rest.is_empty() {
+        let kind = rest.chars().next().unwrap();
+        rest = &rest[1..];
+        let end = rest.find(['#', '.', ':']).unwrap_or(rest.len());
+        let name = &rest[..end];
+        if name.is_empty() {
+            return None;
+        }
+        match kind {
+            '#' => c.id = Some(name.to_owned()),
+            '.' => c.classes.push(name.to_owned()),
+            ':' => c.pseudos.push(name.to_owned()),
+            _ => return None,
+        }
+        rest = &rest[end..];
+    }
+    Some(c)
+}
+
+/// A key for bucketing rules by their subject compound, the standard
+/// rule-hash optimization real engines use so that each element only tests
+/// candidate rules.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BucketKey {
+    /// Subject has `#id`.
+    Id(String),
+    /// Subject's first class.
+    Class(String),
+    /// Subject's tag.
+    Tag(String),
+    /// Universal bucket (tested against everything).
+    Universal,
+}
+
+impl BucketKey {
+    /// The bucket a selector belongs in (most selective component wins).
+    pub fn of(sel: &Selector) -> BucketKey {
+        let s = sel.subject();
+        if let Some(id) = &s.id {
+            BucketKey::Id(id.clone())
+        } else if let Some(class) = s.classes.first() {
+            BucketKey::Class(class.clone())
+        } else if let Some(tag) = &s.tag {
+            BucketKey::Tag(tag.clone())
+        } else {
+            BucketKey::Universal
+        }
+    }
+
+    /// Bucket keys an element can possibly match.
+    pub fn for_element(doc: &Document, node: NodeId) -> Vec<BucketKey> {
+        let n = doc.node(node);
+        let mut keys = vec![BucketKey::Universal];
+        if let Some(tag) = n.tag() {
+            keys.push(BucketKey::Tag(tag.to_owned()));
+        }
+        if let Some(id) = n.id() {
+            keys.push(BucketKey::Id(id.to_owned()));
+        }
+        for class in n.classes() {
+            keys.push(BucketKey::Class(class.to_owned()));
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasteprof_trace::{Recorder, ThreadKind};
+
+    fn doc() -> (Recorder, Document, NodeId, NodeId, NodeId) {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let mut doc = Document::new(&mut rec);
+        let nav = doc.create_element(&mut rec, "nav", &[]);
+        let ul = doc.create_element(&mut rec, "ul", &[]);
+        let li = doc.create_element(&mut rec, "li", &[]);
+        doc.set_attribute(&mut rec, li, "class", "active item", &[]);
+        doc.set_attribute(&mut rec, li, "id", "first", &[]);
+        doc.append_child(&mut rec, doc.root(), nav);
+        doc.append_child(&mut rec, nav, ul);
+        doc.append_child(&mut rec, ul, li);
+        (rec, doc, nav, ul, li)
+    }
+
+    #[test]
+    fn parse_compound_selector() {
+        let s = Selector::parse("div#main.card.wide").unwrap();
+        assert_eq!(s.parts.len(), 1);
+        let c = &s.parts[0];
+        assert_eq!(c.tag.as_deref(), Some("div"));
+        assert_eq!(c.id.as_deref(), Some("main"));
+        assert_eq!(c.classes, vec!["card", "wide"]);
+    }
+
+    #[test]
+    fn parse_complex_selector_right_to_left() {
+        let s = Selector::parse("nav > ul li.active").unwrap();
+        assert_eq!(s.parts.len(), 3);
+        assert_eq!(s.parts[0].classes, vec!["active"]); // subject
+        assert_eq!(s.parts[1].tag.as_deref(), Some("ul"));
+        assert_eq!(s.parts[2].tag.as_deref(), Some("nav"));
+        assert_eq!(
+            s.combinators,
+            vec![Combinator::Descendant, Combinator::Child]
+        );
+    }
+
+    #[test]
+    fn specificity_ordering() {
+        let id = Selector::parse("#x").unwrap().specificity();
+        let class = Selector::parse(".x").unwrap().specificity();
+        let tag = Selector::parse("div").unwrap().specificity();
+        let combo = Selector::parse("div.x").unwrap().specificity();
+        assert!(id > class && class > tag);
+        assert!(combo > class);
+        assert_eq!(
+            Selector::parse("div:hover").unwrap().specificity(),
+            class + tag
+        );
+    }
+
+    #[test]
+    fn matching_walks_ancestors() {
+        let (_rec, doc, _nav, _ul, li) = doc();
+        assert!(Selector::parse("li").unwrap().matches(&doc, li));
+        assert!(Selector::parse(".active").unwrap().matches(&doc, li));
+        assert!(Selector::parse("#first").unwrap().matches(&doc, li));
+        assert!(Selector::parse("nav li").unwrap().matches(&doc, li));
+        assert!(Selector::parse("nav > ul > li").unwrap().matches(&doc, li));
+        assert!(Selector::parse("ul > li.active").unwrap().matches(&doc, li));
+        assert!(!Selector::parse("nav > li").unwrap().matches(&doc, li)); // li is not a direct child of nav
+        assert!(!Selector::parse("section li").unwrap().matches(&doc, li));
+        assert!(!Selector::parse(".missing").unwrap().matches(&doc, li));
+    }
+
+    #[test]
+    fn descendant_combinator_backtracks() {
+        // DOM: a > b2 > b1 > c. Selector `a > b c`: the nearest `b` (b1)
+        // is not a child of `a`, but b2 is — greedy matching would fail.
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let mut doc = Document::new(&mut rec);
+        let a = doc.create_element(&mut rec, "a", &[]);
+        let b2 = doc.create_element(&mut rec, "b", &[]);
+        let b1 = doc.create_element(&mut rec, "b", &[]);
+        let c = doc.create_element(&mut rec, "c", &[]);
+        let root = doc.root();
+        doc.append_child(&mut rec, root, a);
+        doc.append_child(&mut rec, a, b2);
+        doc.append_child(&mut rec, b2, b1);
+        doc.append_child(&mut rec, b1, c);
+        assert!(Selector::parse("a > b c").unwrap().matches(&doc, c));
+        assert!(!Selector::parse("c > b a").unwrap().matches(&doc, c));
+    }
+
+    #[test]
+    fn pseudo_classes_never_match() {
+        let (_rec, doc, .., li) = doc();
+        assert!(!Selector::parse("li:hover").unwrap().matches(&doc, li));
+        assert!(!Selector::parse(":focus").unwrap().matches(&doc, li));
+    }
+
+    #[test]
+    fn garbage_selectors_rejected() {
+        assert!(Selector::parse("").is_none());
+        assert!(Selector::parse("  ").is_none());
+        assert!(Selector::parse("div..x").is_none());
+        assert!(Selector::parse("#").is_none());
+    }
+
+    #[test]
+    fn bucket_keys_prefer_id_then_class_then_tag() {
+        assert_eq!(
+            BucketKey::of(&Selector::parse("div#a.b").unwrap()),
+            BucketKey::Id("a".into())
+        );
+        assert_eq!(
+            BucketKey::of(&Selector::parse("div.b").unwrap()),
+            BucketKey::Class("b".into())
+        );
+        assert_eq!(
+            BucketKey::of(&Selector::parse("div").unwrap()),
+            BucketKey::Tag("div".into())
+        );
+        assert_eq!(
+            BucketKey::of(&Selector::parse("*").unwrap()),
+            BucketKey::Universal
+        );
+    }
+
+    #[test]
+    fn element_bucket_keys_cover_all_components() {
+        let (_rec, doc, .., li) = doc();
+        let keys = BucketKey::for_element(&doc, li);
+        assert!(keys.contains(&BucketKey::Universal));
+        assert!(keys.contains(&BucketKey::Tag("li".into())));
+        assert!(keys.contains(&BucketKey::Id("first".into())));
+        assert!(keys.contains(&BucketKey::Class("active".into())));
+        assert!(keys.contains(&BucketKey::Class("item".into())));
+    }
+}

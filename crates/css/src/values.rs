@@ -1,0 +1,423 @@
+//! CSS value types and the computed style.
+
+use std::fmt;
+
+/// An RGBA color.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Color {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+    /// Alpha channel (255 = opaque).
+    pub a: u8,
+}
+
+impl Color {
+    /// Fully transparent black.
+    pub const TRANSPARENT: Color = Color {
+        r: 0,
+        g: 0,
+        b: 0,
+        a: 0,
+    };
+    /// Opaque black.
+    pub const BLACK: Color = Color {
+        r: 0,
+        g: 0,
+        b: 0,
+        a: 255,
+    };
+    /// Opaque white.
+    pub const WHITE: Color = Color {
+        r: 255,
+        g: 255,
+        b: 255,
+        a: 255,
+    };
+
+    /// Opaque color from channels.
+    pub const fn rgb(r: u8, g: u8, b: u8) -> Color {
+        Color { r, g, b, a: 255 }
+    }
+
+    /// True if the color hides everything behind it.
+    pub fn is_opaque(self) -> bool {
+        self.a == 255
+    }
+
+    /// Parses `#rgb`, `#rrggbb`, a small named set, or
+    /// `rgb(...)`/`rgba(...)`.
+    pub fn parse(s: &str) -> Option<Color> {
+        let s = s.trim();
+        if let Some(hex) = s.strip_prefix('#') {
+            return match hex.len() {
+                3 => {
+                    let v: Vec<u8> = hex
+                        .chars()
+                        .map(|c| c.to_digit(16).map(|d| (d * 17) as u8))
+                        .collect::<Option<_>>()?;
+                    Some(Color::rgb(v[0], v[1], v[2]))
+                }
+                6 => {
+                    let v = u32::from_str_radix(hex, 16).ok()?;
+                    Some(Color::rgb((v >> 16) as u8, (v >> 8) as u8, v as u8))
+                }
+                _ => None,
+            };
+        }
+        if let Some(inner) = s.strip_prefix("rgba(").and_then(|x| x.strip_suffix(')')) {
+            let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+            if parts.len() == 4 {
+                let a = (parts[3].parse::<f32>().ok()?.clamp(0.0, 1.0) * 255.0) as u8;
+                return Some(Color {
+                    r: parts[0].parse().ok()?,
+                    g: parts[1].parse().ok()?,
+                    b: parts[2].parse().ok()?,
+                    a,
+                });
+            }
+            return None;
+        }
+        if let Some(inner) = s.strip_prefix("rgb(").and_then(|x| x.strip_suffix(')')) {
+            let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+            if parts.len() == 3 {
+                return Some(Color::rgb(
+                    parts[0].parse().ok()?,
+                    parts[1].parse().ok()?,
+                    parts[2].parse().ok()?,
+                ));
+            }
+            return None;
+        }
+        match s {
+            "black" => Some(Color::BLACK),
+            "white" => Some(Color::WHITE),
+            "red" => Some(Color::rgb(255, 0, 0)),
+            "green" => Some(Color::rgb(0, 128, 0)),
+            "blue" => Some(Color::rgb(0, 0, 255)),
+            "gray" | "grey" => Some(Color::rgb(128, 128, 128)),
+            "orange" => Some(Color::rgb(255, 165, 0)),
+            "yellow" => Some(Color::rgb(255, 255, 0)),
+            "transparent" => Some(Color::TRANSPARENT),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rgba({},{},{},{})", self.r, self.g, self.b, self.a)
+    }
+}
+
+/// A CSS length or the `auto` keyword.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum Length {
+    /// Absolute pixels.
+    Px(f32),
+    /// Percentage of the containing block (resolved at layout).
+    Percent(f32),
+    /// Relative to the element's font size (resolved at cascade).
+    Em(f32),
+    /// `auto`.
+    #[default]
+    Auto,
+}
+
+impl Length {
+    /// Zero pixels.
+    pub const ZERO: Length = Length::Px(0.0);
+
+    /// Parses `12px`, `50%`, `1.5em`, `0`, or `auto`.
+    pub fn parse(s: &str) -> Option<Length> {
+        // Absurd magnitudes (1e11px, inf, NaN) would ask downstream layout
+        // and tiling for unbounded memory; clamp to a generous page-scale
+        // maximum like real engines do (Blink caps layout at ~2^25 px).
+        fn sane(v: f32) -> Option<f32> {
+            const MAX: f32 = 33_554_432.0; // 2^25
+            v.is_finite().then(|| v.clamp(-MAX, MAX))
+        }
+        let s = s.trim();
+        if s == "auto" {
+            return Some(Length::Auto);
+        }
+        if s == "0" {
+            return Some(Length::ZERO);
+        }
+        if let Some(v) = s.strip_suffix("px") {
+            return v.trim().parse().ok().and_then(sane).map(Length::Px);
+        }
+        if let Some(v) = s.strip_suffix('%') {
+            return v.trim().parse().ok().and_then(sane).map(Length::Percent);
+        }
+        if let Some(v) = s.strip_suffix("em") {
+            return v.trim().parse().ok().and_then(sane).map(Length::Em);
+        }
+        None
+    }
+
+    /// Resolves to pixels given the containing dimension and font size.
+    /// `Auto` resolves to `fallback`.
+    pub fn resolve(self, containing: f32, font_size: f32, fallback: f32) -> f32 {
+        match self {
+            Length::Px(v) => v,
+            Length::Percent(p) => containing * p / 100.0,
+            Length::Em(e) => e * font_size,
+            Length::Auto => fallback,
+        }
+    }
+
+    /// True for `auto`.
+    pub fn is_auto(self) -> bool {
+        matches!(self, Length::Auto)
+    }
+}
+
+/// The `display` property (subset).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Display {
+    /// Block-level box.
+    #[default]
+    Block,
+    /// Inline box.
+    Inline,
+    /// Inline-level block container.
+    InlineBlock,
+    /// Generates no box at all.
+    None,
+}
+
+/// The `position` property (subset).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Position {
+    /// Normal flow.
+    #[default]
+    Static,
+    /// Normal flow, then offset.
+    Relative,
+    /// Out of flow, positioned against the containing block.
+    Absolute,
+    /// Out of flow, positioned against the viewport.
+    Fixed,
+}
+
+/// The `text-align` property (subset).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum TextAlign {
+    /// Left-aligned.
+    #[default]
+    Left,
+    /// Centered.
+    Center,
+    /// Right-aligned.
+    Right,
+}
+
+/// Box edge indices for 4-valued properties: top, right, bottom, left.
+pub mod edge {
+    /// Top edge.
+    pub const TOP: usize = 0;
+    /// Right edge.
+    pub const RIGHT: usize = 1;
+    /// Bottom edge.
+    pub const BOTTOM: usize = 2;
+    /// Left edge.
+    pub const LEFT: usize = 3;
+}
+
+/// The fully cascaded, computed style of one element.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ComputedStyle {
+    /// `display`.
+    pub display: Display,
+    /// `position`.
+    pub position: Position,
+    /// `width`.
+    pub width: Length,
+    /// `height`.
+    pub height: Length,
+    /// `margin-{top,right,bottom,left}`.
+    pub margin: [Length; 4],
+    /// `padding-{top,right,bottom,left}`.
+    pub padding: [Length; 4],
+    /// `border-width` (uniform), pixels.
+    pub border_width: f32,
+    /// `border-color`.
+    pub border_color: Color,
+    /// `color` (inherited).
+    pub color: Color,
+    /// `background-color`.
+    pub background: Color,
+    /// `font-size` in pixels (inherited).
+    pub font_size: f32,
+    /// `line-height` in pixels (inherited).
+    pub line_height: f32,
+    /// `z-index` (`None` = auto).
+    pub z_index: Option<i32>,
+    /// `opacity` in `[0, 1]`.
+    pub opacity: f32,
+    /// `visibility: visible` (inherited).
+    pub visible: bool,
+    /// `{top,right,bottom,left}` offsets for positioned boxes.
+    pub offsets: [Length; 4],
+    /// `text-align` (inherited).
+    pub text_align: TextAlign,
+    /// `will-change` compositing hint.
+    pub will_change: bool,
+    /// `overflow: hidden`.
+    pub overflow_hidden: bool,
+    /// True once `line-height` was set explicitly (so a later `font-size`
+    /// in the same cascade does not clobber it).
+    pub line_height_explicit: bool,
+    /// The unitless `line-height` factor, if one was set. Unitless
+    /// line-height resolves against the element's *final* font size (and
+    /// inherits as a factor), so it must be kept symbolic until used.
+    pub line_height_factor: Option<f32>,
+}
+
+impl Default for ComputedStyle {
+    fn default() -> Self {
+        ComputedStyle {
+            display: Display::Block,
+            position: Position::Static,
+            width: Length::Auto,
+            height: Length::Auto,
+            margin: [Length::ZERO; 4],
+            padding: [Length::ZERO; 4],
+            border_width: 0.0,
+            border_color: Color::BLACK,
+            color: Color::BLACK,
+            background: Color::TRANSPARENT,
+            font_size: 16.0,
+            line_height: 19.2,
+            z_index: None,
+            opacity: 1.0,
+            visible: true,
+            offsets: [Length::Auto; 4],
+            text_align: TextAlign::Left,
+            will_change: false,
+            overflow_hidden: false,
+            line_height_explicit: false,
+            line_height_factor: None,
+        }
+    }
+}
+
+impl ComputedStyle {
+    /// The initial style of the root element.
+    pub fn initial() -> Self {
+        Self::default()
+    }
+
+    /// Style inherited from `parent` before any declarations apply.
+    pub fn inherited_from(parent: &ComputedStyle) -> Self {
+        ComputedStyle {
+            color: parent.color,
+            font_size: parent.font_size,
+            line_height: parent.line_height,
+            // A unitless factor inherits symbolically; an explicit length
+            // inherits as its computed value (neither is recomputed from
+            // the child's `normal` default).
+            line_height_factor: parent.line_height_factor,
+            line_height_explicit: parent.line_height_explicit,
+            visible: parent.visible,
+            text_align: parent.text_align,
+            ..Self::default()
+        }
+    }
+
+    /// True if the element creates its own compositing layer (the hints
+    /// Chromium's layerization responds to: explicit z-index, reduced
+    /// opacity, fixed position, or a `will-change` declaration).
+    pub fn wants_layer(&self) -> bool {
+        self.z_index.is_some()
+            || self.opacity < 1.0
+            || self.position == Position::Fixed
+            || self.will_change
+    }
+
+    /// True if the element paints nothing itself (but children may).
+    pub fn is_invisible(&self) -> bool {
+        !self.visible || self.opacity == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_hex_colors() {
+        assert_eq!(Color::parse("#fff"), Some(Color::WHITE));
+        assert_eq!(Color::parse("#000000"), Some(Color::BLACK));
+        assert_eq!(Color::parse("#ff8000"), Some(Color::rgb(255, 128, 0)));
+        assert_eq!(Color::parse("#zzz"), None);
+        assert_eq!(Color::parse("#12345"), None);
+    }
+
+    #[test]
+    fn parse_functional_and_named_colors() {
+        assert_eq!(Color::parse("rgb(1, 2, 3)"), Some(Color::rgb(1, 2, 3)));
+        assert_eq!(
+            Color::parse("rgba(1,2,3,0.5)"),
+            Some(Color {
+                r: 1,
+                g: 2,
+                b: 3,
+                a: 127
+            })
+        );
+        assert_eq!(Color::parse("red"), Some(Color::rgb(255, 0, 0)));
+        assert_eq!(Color::parse("transparent"), Some(Color::TRANSPARENT));
+        assert_eq!(Color::parse("blurple"), None);
+    }
+
+    #[test]
+    fn parse_lengths() {
+        assert_eq!(Length::parse("12px"), Some(Length::Px(12.0)));
+        assert_eq!(Length::parse("50%"), Some(Length::Percent(50.0)));
+        assert_eq!(Length::parse("1.5em"), Some(Length::Em(1.5)));
+        assert_eq!(Length::parse("auto"), Some(Length::Auto));
+        assert_eq!(Length::parse("0"), Some(Length::ZERO));
+        assert_eq!(Length::parse("12vw"), None);
+    }
+
+    #[test]
+    fn resolve_lengths() {
+        assert_eq!(Length::Px(10.0).resolve(100.0, 16.0, 5.0), 10.0);
+        assert_eq!(Length::Percent(50.0).resolve(100.0, 16.0, 5.0), 50.0);
+        assert_eq!(Length::Em(2.0).resolve(100.0, 16.0, 5.0), 32.0);
+        assert_eq!(Length::Auto.resolve(100.0, 16.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn inheritance_copies_inherited_only() {
+        let parent = ComputedStyle {
+            color: Color::rgb(1, 2, 3),
+            font_size: 20.0,
+            background: Color::rgb(9, 9, 9),
+            ..Default::default()
+        };
+        let child = ComputedStyle::inherited_from(&parent);
+        assert_eq!(child.color, parent.color);
+        assert_eq!(child.font_size, 20.0);
+        assert_eq!(child.background, Color::TRANSPARENT); // not inherited
+    }
+
+    #[test]
+    fn layer_hints() {
+        let mut s = ComputedStyle::default();
+        assert!(!s.wants_layer());
+        s.z_index = Some(3);
+        assert!(s.wants_layer());
+        s = ComputedStyle::default();
+        s.opacity = 0.5;
+        assert!(s.wants_layer());
+        s = ComputedStyle::default();
+        s.position = Position::Fixed;
+        assert!(s.wants_layer());
+    }
+}

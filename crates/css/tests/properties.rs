@@ -1,0 +1,134 @@
+//! Property-based tests for the CSS engine.
+
+use proptest::prelude::*;
+use wasteprof_css::{parse_stylesheet, Selector, StyleEngine, Viewport};
+use wasteprof_dom::Document;
+use wasteprof_trace::{Recorder, Region, ThreadKind};
+
+// ---------------------------------------------------------------------
+// Selector parsing
+// ---------------------------------------------------------------------
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,6}".prop_map(|s| s)
+}
+
+fn compound() -> impl Strategy<Value = String> {
+    (
+        proptest::option::of(ident()),
+        proptest::option::of(ident()),
+        proptest::collection::vec(ident(), 0..3),
+    )
+        .prop_filter_map("empty compound", |(tag, id, classes)| {
+            let mut s = tag.unwrap_or_default();
+            if let Some(id) = id {
+                s.push('#');
+                s.push_str(&id);
+            }
+            for c in &classes {
+                s.push('.');
+                s.push_str(c);
+            }
+            (!s.is_empty()).then_some(s)
+        })
+}
+
+fn selector_text() -> impl Strategy<Value = String> {
+    (
+        compound(),
+        proptest::collection::vec((0..2usize, compound()), 0..3),
+    )
+        .prop_map(|(first, rest)| {
+            let mut s = first;
+            for (comb, c) in rest {
+                s.push_str(if comb == 0 { " " } else { " > " });
+                s.push_str(&c);
+            }
+            s
+        })
+}
+
+proptest! {
+    #[test]
+    fn generated_selectors_always_parse(text in selector_text()) {
+        let sel = Selector::parse(&text);
+        prop_assert!(sel.is_some(), "{text:?} failed to parse");
+        let sel = sel.unwrap();
+        prop_assert!(!sel.parts.is_empty());
+        prop_assert_eq!(sel.parts.len(), sel.combinators.len() + 1);
+    }
+
+    #[test]
+    fn specificity_is_component_monotonic(text in selector_text(), extra in ident()) {
+        let base = Selector::parse(&text).unwrap().specificity();
+        // Adding a class to the subject strictly increases specificity.
+        let more = Selector::parse(&format!("{text}.{extra}")).unwrap().specificity();
+        prop_assert!(more > base);
+    }
+
+    #[test]
+    fn selector_parser_never_panics(text in "[ -~]{0,40}") {
+        let _ = Selector::parse(&text);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Matching consistency: bucketed matching == brute force
+// ---------------------------------------------------------------------
+
+fn build_doc(classes: &[Vec<String>]) -> (Recorder, Document, Vec<wasteprof_dom::NodeId>) {
+    let mut rec = Recorder::new();
+    rec.spawn_thread(ThreadKind::Main, "m");
+    let mut doc = Document::new(&mut rec);
+    let mut nodes = Vec::new();
+    let mut parent = doc.root();
+    for (i, cl) in classes.iter().enumerate() {
+        let el = doc.create_element(&mut rec, if i % 2 == 0 { "div" } else { "span" }, &[]);
+        if !cl.is_empty() {
+            doc.set_attribute(&mut rec, el, "class", &cl.join(" "), &[]);
+        }
+        doc.append_child(&mut rec, parent, el);
+        // Alternate nesting to exercise combinators.
+        if i % 3 == 0 {
+            parent = el;
+        }
+        nodes.push(el);
+    }
+    (rec, doc, nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_matches_iff_selector_matches(
+        classes in proptest::collection::vec(
+            proptest::collection::vec("[ab c]{1}".prop_map(|s| format!("k{}", s.trim())), 0..3),
+            1..8,
+        ),
+        sel_text in selector_text(),
+    ) {
+        let Some(sel) = Selector::parse(&sel_text) else { return Ok(()) };
+        let (mut rec, doc, nodes) = build_doc(&classes);
+        // Build a one-rule sheet from the selector and cascade it.
+        let css = format!("{sel_text} {{ color: red }}");
+        let src = rec.alloc(Region::Input, css.len() as u32);
+        let sheet = parse_stylesheet(&mut rec, &css, src, Viewport::DESKTOP, "p");
+        let mut engine = StyleEngine::new(Viewport::DESKTOP);
+        engine.add_sheet(sheet);
+        let styles = engine.style_document(&mut rec, &doc);
+        for &n in &nodes {
+            let red = styles.style(n).unwrap().color == wasteprof_css::Color::rgb(255, 0, 0);
+            let expected = sel.matches(&doc, n);
+            prop_assert_eq!(red, expected, "node {:?} selector {:?}", n, &sel_text);
+        }
+    }
+
+    #[test]
+    fn css_parser_never_panics(text in "[ -~]{0,160}") {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "m");
+        let src = rec.alloc(Region::Input, text.len().max(1) as u32);
+        let _ = parse_stylesheet(&mut rec, &text, src, Viewport::DESKTOP, "fuzz");
+    }
+}

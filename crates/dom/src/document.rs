@@ -1,0 +1,521 @@
+//! The document: an arena-allocated DOM tree whose mutations are mirrored
+//! into the instruction trace.
+
+use std::collections::{HashMap, HashSet};
+
+use wasteprof_trace::{site, AddrRange, Recorder, Region};
+
+use crate::node::{Attr, Node, NodeCells, NodeData, NodeId};
+
+/// A DOM tree.
+///
+/// Every mutating method takes the [`Recorder`] and a *provenance* operand
+/// set (`src`): the trace instruction that updates the node's cells reads
+/// `src`, so the slicer sees where DOM state came from (input bytes, token
+/// cells, JS values, ...).
+///
+/// # Examples
+///
+/// ```
+/// use wasteprof_dom::Document;
+/// use wasteprof_trace::{Recorder, ThreadKind};
+///
+/// let mut rec = Recorder::new();
+/// rec.spawn_thread(ThreadKind::Main, "content::RendererMain");
+/// let mut doc = Document::new(&mut rec);
+/// let body = doc.create_element(&mut rec, "body", &[]);
+/// doc.append_child(&mut rec, doc.root(), body);
+/// let t = doc.create_text(&mut rec, "hello", &[]);
+/// doc.append_child(&mut rec, body, t);
+/// assert_eq!(doc.text_content(body), "hello");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+    dirty: HashSet<NodeId>,
+    /// Nodes per `id` attribute value — `element_by_id` runs per input
+    /// event and per JS `getElementById`, so a full-tree scan there would
+    /// dominate interactive sessions.
+    id_index: HashMap<String, Vec<NodeId>>,
+}
+
+impl Document {
+    /// Creates a document with an empty root.
+    pub fn new(rec: &mut Recorder) -> Self {
+        let cells = NodeCells {
+            meta: rec.alloc_cell(Region::Heap),
+            structure: rec.alloc_cell(Region::Heap),
+        };
+        let root = Node {
+            parent: None,
+            children: Vec::new(),
+            data: NodeData::Document,
+            cells,
+        };
+        Document {
+            nodes: vec![root],
+            root: NodeId(0),
+            dirty: HashSet::new(),
+            id_index: HashMap::new(),
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes ever created (including detached ones).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this document.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    fn alloc_node(&mut self, rec: &mut Recorder, data: NodeData) -> NodeId {
+        let cells = NodeCells {
+            meta: rec.alloc_cell(Region::Heap),
+            structure: rec.alloc_cell(Region::Heap),
+        };
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            parent: None,
+            children: Vec::new(),
+            data,
+            cells,
+        });
+        id
+    }
+
+    /// Creates a detached element. The trace write of the node's identity
+    /// reads `src` (e.g. the token cell it was parsed from).
+    pub fn create_element(&mut self, rec: &mut Recorder, tag: &str, src: &[AddrRange]) -> NodeId {
+        let id = self.alloc_node(
+            rec,
+            NodeData::Element {
+                tag: tag.to_ascii_lowercase(),
+                attrs: Vec::new(),
+            },
+        );
+        let meta = self.nodes[id.index()].cells.meta;
+        rec.compute(site!(), src, &[meta.into()]);
+        self.dirty.insert(id);
+        id
+    }
+
+    /// Creates a detached text node holding `text`.
+    ///
+    /// The text gets one trace cell per 8 bytes of content (at least one),
+    /// so longer text is proportionally more data.
+    pub fn create_text(&mut self, rec: &mut Recorder, text: &str, src: &[AddrRange]) -> NodeId {
+        let len = (text.len() as u32).max(1);
+        let range = rec.alloc(Region::Heap, len);
+        let id = self.alloc_node(
+            rec,
+            NodeData::Text {
+                text: text.to_owned(),
+                range,
+            },
+        );
+        rec.compute(site!(), src, &[range]);
+        let meta = self.nodes[id.index()].cells.meta;
+        rec.compute(site!(), src, &[meta.into()]);
+        self.dirty.insert(id);
+        id
+    }
+
+    /// Appends `child` as the last child of `parent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `child` already has a parent, or if `parent` is `child` or
+    /// a descendant of it (a cycle would hang every tree traversal).
+    pub fn append_child(&mut self, rec: &mut Recorder, parent: NodeId, child: NodeId) {
+        assert!(
+            self.nodes[child.index()].parent.is_none(),
+            "{child:?} already attached"
+        );
+        let mut cursor = Some(parent);
+        while let Some(n) = cursor {
+            assert!(
+                n != child,
+                "appending {child:?} under its own descendant {parent:?}"
+            );
+            cursor = self.nodes[n.index()].parent;
+        }
+        self.nodes[child.index()].parent = Some(parent);
+        self.nodes[parent.index()].children.push(child);
+        let child_meta = self.nodes[child.index()].cells.meta;
+        let parent_struct = self.nodes[parent.index()].cells.structure;
+        let child_struct = self.nodes[child.index()].cells.structure;
+        rec.compute(
+            site!(),
+            &[child_meta.into()],
+            &[parent_struct.into(), child_struct.into()],
+        );
+        self.dirty.insert(parent);
+    }
+
+    /// Detaches `child` from its parent.
+    pub fn remove_child(&mut self, rec: &mut Recorder, child: NodeId) {
+        if let Some(parent) = self.nodes[child.index()].parent.take() {
+            self.nodes[parent.index()].children.retain(|&c| c != child);
+            let parent_struct = self.nodes[parent.index()].cells.structure;
+            let child_meta = self.nodes[child.index()].cells.meta;
+            rec.compute(site!(), &[child_meta.into()], &[parent_struct.into()]);
+            self.dirty.insert(parent);
+        }
+    }
+
+    /// Sets (or replaces) an attribute; the value cell is written reading
+    /// `src`.
+    pub fn set_attribute(
+        &mut self,
+        rec: &mut Recorder,
+        id: NodeId,
+        name: &str,
+        value: &str,
+        src: &[AddrRange],
+    ) {
+        let name_lc = name.to_ascii_lowercase();
+        let mut old_id: Option<String> = None;
+        let cell = match &mut self.nodes[id.index()].data {
+            NodeData::Element { attrs, .. } => {
+                if let Some(a) = attrs.iter_mut().find(|a| a.name == name_lc) {
+                    if name_lc == "id" {
+                        old_id = Some(std::mem::take(&mut a.value));
+                    }
+                    a.value = value.to_owned();
+                    a.cell
+                } else {
+                    let cell = rec.alloc_cell(Region::Heap);
+                    attrs.push(Attr {
+                        name: name_lc.clone(),
+                        value: value.to_owned(),
+                        cell,
+                    });
+                    cell
+                }
+            }
+            _ => panic!("set_attribute on a non-element"),
+        };
+        if name_lc == "id" {
+            if let Some(old) = old_id {
+                if let Some(v) = self.id_index.get_mut(&old) {
+                    v.retain(|&n| n != id);
+                }
+            }
+            self.id_index.entry(value.to_owned()).or_default().push(id);
+        }
+        rec.compute(site!(), src, &[cell.into()]);
+        self.dirty.insert(id);
+    }
+
+    /// Replaces the content of a text node; the text cells are rewritten
+    /// reading `src`.
+    pub fn set_text(&mut self, rec: &mut Recorder, id: NodeId, text: &str, src: &[AddrRange]) {
+        match &mut self.nodes[id.index()].data {
+            NodeData::Text { text: t, range } => {
+                *t = text.to_owned();
+                let range = *range;
+                rec.compute(site!(), src, &[range]);
+            }
+            _ => panic!("set_text on a non-text node"),
+        }
+        self.dirty.insert(id);
+    }
+
+    // ----- queries -----------------------------------------------------
+
+    /// Iterates over all node ids in creation order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over `id` and all its descendants, depth-first, in document
+    /// order.
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            stack: vec![id],
+        }
+    }
+
+    /// The first element (in document order) whose `id` attribute is
+    /// `needle`.
+    pub fn element_by_id(&self, needle: &str) -> Option<NodeId> {
+        let cands = self.id_index.get(needle)?;
+        // The index holds every node ever given this id; only attached
+        // ones count, first in document order if several.
+        let mut attached = cands.iter().copied().filter(|&n| self.is_attached(n));
+        let first = attached.next()?;
+        match attached.next() {
+            None => Some(first),
+            Some(_) => self
+                .descendants(self.root)
+                .find(|n| cands.contains(n) && self.node(*n).id() == Some(needle)),
+        }
+    }
+
+    /// True if `node` is connected to the document root.
+    fn is_attached(&self, node: NodeId) -> bool {
+        let mut cur = node;
+        loop {
+            if cur == self.root {
+                return true;
+            }
+            match self.nodes[cur.index()].parent {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// All elements with the given tag, in document order.
+    pub fn elements_by_tag(&self, tag: &str) -> Vec<NodeId> {
+        self.descendants(self.root)
+            .filter(|&n| self.node(n).tag() == Some(tag))
+            .collect()
+    }
+
+    /// All elements carrying the given class, in document order.
+    pub fn elements_by_class(&self, class: &str) -> Vec<NodeId> {
+        self.descendants(self.root)
+            .filter(|&n| self.node(n).is_element() && self.node(n).has_class(class))
+            .collect()
+    }
+
+    /// Concatenated text of `id`'s descendants.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for n in self.descendants(id) {
+            if let Some(t) = self.node(n).text() {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Ancestor chain of `id`, nearest first, excluding `id` itself.
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.node(id).parent;
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.node(p).parent;
+        }
+        out
+    }
+
+    // ----- dirtiness (partial re-rendering) ----------------------------
+
+    /// Marks a node as needing restyle/relayout.
+    pub fn mark_dirty(&mut self, id: NodeId) {
+        self.dirty.insert(id);
+    }
+
+    /// Takes the set of dirty nodes, clearing it.
+    pub fn take_dirty(&mut self) -> HashSet<NodeId> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// True if anything is dirty.
+    pub fn has_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+}
+
+/// Depth-first iterator over a subtree. Created by
+/// [`Document::descendants`].
+#[derive(Debug)]
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let node = self.doc.node(id);
+        self.stack.extend(node.children.iter().rev());
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasteprof_trace::ThreadKind;
+
+    fn setup() -> (Recorder, Document) {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "content::RendererMain");
+        let doc = Document::new(&mut rec);
+        (rec, doc)
+    }
+
+    #[test]
+    fn build_small_tree() {
+        let (mut rec, mut doc) = setup();
+        let html = doc.create_element(&mut rec, "HTML", &[]);
+        let body = doc.create_element(&mut rec, "body", &[]);
+        doc.append_child(&mut rec, doc.root(), html);
+        doc.append_child(&mut rec, html, body);
+        assert_eq!(doc.node(html).tag(), Some("html")); // lowercased
+        assert_eq!(doc.node(body).parent, Some(html));
+        assert_eq!(doc.node(html).children, vec![body]);
+    }
+
+    #[test]
+    #[should_panic(expected = "own descendant")]
+    fn append_child_rejects_cycles() {
+        let (mut rec, mut doc) = setup();
+        let a = doc.create_element(&mut rec, "div", &[]);
+        let b = doc.create_element(&mut rec, "div", &[]);
+        doc.append_child(&mut rec, doc.root(), a);
+        doc.append_child(&mut rec, a, b);
+        // Re-parenting a under its own descendant b must panic.
+        doc.remove_child(&mut rec, a);
+        doc.append_child(&mut rec, b, a);
+    }
+
+    #[test]
+    fn attributes_and_classes() {
+        let (mut rec, mut doc) = setup();
+        let el = doc.create_element(&mut rec, "div", &[]);
+        doc.set_attribute(&mut rec, el, "id", "hero", &[]);
+        doc.set_attribute(&mut rec, el, "class", "card wide", &[]);
+        assert_eq!(doc.node(el).id(), Some("hero"));
+        assert!(doc.node(el).has_class("card"));
+        assert!(doc.node(el).has_class("wide"));
+        assert!(!doc.node(el).has_class("narrow"));
+        // Overwrite keeps the same cell.
+        let cell_before = doc.node(el).attr("id").unwrap().cell;
+        doc.set_attribute(&mut rec, el, "id", "hero2", &[]);
+        assert_eq!(doc.node(el).attr("id").unwrap().cell, cell_before);
+        assert_eq!(doc.node(el).id(), Some("hero2"));
+    }
+
+    #[test]
+    fn queries_by_id_tag_class() {
+        let (mut rec, mut doc) = setup();
+        let a = doc.create_element(&mut rec, "div", &[]);
+        let b = doc.create_element(&mut rec, "span", &[]);
+        let c = doc.create_element(&mut rec, "div", &[]);
+        doc.set_attribute(&mut rec, b, "id", "x", &[]);
+        doc.set_attribute(&mut rec, c, "class", "hot", &[]);
+        doc.append_child(&mut rec, doc.root(), a);
+        doc.append_child(&mut rec, a, b);
+        doc.append_child(&mut rec, a, c);
+        assert_eq!(doc.element_by_id("x"), Some(b));
+        assert_eq!(doc.element_by_id("nope"), None);
+        assert_eq!(doc.elements_by_tag("div"), vec![a, c]);
+        assert_eq!(doc.elements_by_class("hot"), vec![c]);
+    }
+
+    #[test]
+    fn text_content_concatenates_in_order() {
+        let (mut rec, mut doc) = setup();
+        let p = doc.create_element(&mut rec, "p", &[]);
+        let t1 = doc.create_text(&mut rec, "hello ", &[]);
+        let t2 = doc.create_text(&mut rec, "world", &[]);
+        doc.append_child(&mut rec, doc.root(), p);
+        doc.append_child(&mut rec, p, t1);
+        doc.append_child(&mut rec, p, t2);
+        assert_eq!(doc.text_content(p), "hello world");
+    }
+
+    #[test]
+    fn remove_child_detaches() {
+        let (mut rec, mut doc) = setup();
+        let a = doc.create_element(&mut rec, "div", &[]);
+        let b = doc.create_element(&mut rec, "span", &[]);
+        doc.append_child(&mut rec, doc.root(), a);
+        doc.append_child(&mut rec, a, b);
+        doc.remove_child(&mut rec, b);
+        assert_eq!(doc.node(b).parent, None);
+        assert!(doc.node(a).children.is_empty());
+        // Detached node can be re-appended.
+        doc.append_child(&mut rec, a, b);
+        assert_eq!(doc.node(b).parent, Some(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn double_append_panics() {
+        let (mut rec, mut doc) = setup();
+        let a = doc.create_element(&mut rec, "div", &[]);
+        doc.append_child(&mut rec, doc.root(), a);
+        doc.append_child(&mut rec, doc.root(), a);
+    }
+
+    #[test]
+    fn mutations_emit_trace_instructions_with_provenance() {
+        let (mut rec, mut doc) = setup();
+        let src = rec.alloc(Region::Input, 16);
+        let before = rec.pos();
+        let el = doc.create_element(&mut rec, "div", &[src]);
+        assert!(rec.pos().0 > before.0, "creation emitted nothing");
+        let trace_cell = doc.node(el).cells.meta;
+        let trace = rec.finish();
+        // Some instruction reads the provenance and some writes the cell.
+        assert!(trace.iter().any(|i| i.mem_reads().contains(&src)));
+        assert!(trace
+            .iter()
+            .any(|i| i.mem_writes().iter().any(|w| w.contains(trace_cell))));
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let (mut rec, mut doc) = setup();
+        let el = doc.create_element(&mut rec, "div", &[]);
+        doc.append_child(&mut rec, doc.root(), el);
+        assert!(doc.has_dirty());
+        let dirty = doc.take_dirty();
+        assert!(dirty.contains(&el));
+        assert!(!doc.has_dirty());
+        doc.set_attribute(&mut rec, el, "class", "x", &[]);
+        assert!(doc.take_dirty().contains(&el));
+    }
+
+    #[test]
+    fn ancestors_nearest_first() {
+        let (mut rec, mut doc) = setup();
+        let a = doc.create_element(&mut rec, "div", &[]);
+        let b = doc.create_element(&mut rec, "div", &[]);
+        doc.append_child(&mut rec, doc.root(), a);
+        doc.append_child(&mut rec, a, b);
+        assert_eq!(doc.ancestors(b), vec![a, doc.root()]);
+        assert_eq!(doc.ancestors(doc.root()), vec![]);
+    }
+
+    #[test]
+    fn descendants_document_order() {
+        let (mut rec, mut doc) = setup();
+        let a = doc.create_element(&mut rec, "a", &[]);
+        let b = doc.create_element(&mut rec, "b", &[]);
+        let c = doc.create_element(&mut rec, "c", &[]);
+        let d = doc.create_element(&mut rec, "d", &[]);
+        doc.append_child(&mut rec, doc.root(), a);
+        doc.append_child(&mut rec, a, b);
+        doc.append_child(&mut rec, b, c);
+        doc.append_child(&mut rec, a, d);
+        let order: Vec<NodeId> = doc.descendants(doc.root()).collect();
+        assert_eq!(order, vec![doc.root(), a, b, c, d]);
+    }
+}

@@ -1,0 +1,16 @@
+//! DOM tree substrate for the wasteprof browser engine.
+//!
+//! The Document Object Model is the first artifact of the rendering
+//! pipeline (paper §II-A, Figure 1): the HTML parser produces it, JS
+//! mutates it, the style system annotates it, and layout consumes it.
+//! Every mutation mirrors its dataflow into the instruction trace through
+//! per-node virtual-memory cells, so the backward slicer can track pixels
+//! all the way back to the network bytes a node was parsed from.
+
+#![warn(missing_docs)]
+
+mod document;
+mod node;
+
+pub use document::{Descendants, Document};
+pub use node::{Attr, Node, NodeCells, NodeData, NodeId};

@@ -1,0 +1,144 @@
+//! DOM node types.
+
+use std::fmt;
+
+use wasteprof_trace::{Addr, AddrRange};
+
+/// Identifier of a node within one [`crate::Document`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Dense index into the document's node arena.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// Virtual-memory cells mirroring a node's state for the trace.
+///
+/// Writing DOM state writes these cells (with provenance reads), so the
+/// slicer sees the real dataflow: input bytes → tokens → nodes → styles →
+/// layout → pixels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeCells {
+    /// Identity and tag of the node.
+    pub meta: Addr,
+    /// Tree linkage (parent/child relationships).
+    pub structure: Addr,
+}
+
+/// One attribute of an element.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attr {
+    /// Attribute name, lowercase.
+    pub name: String,
+    /// Attribute value.
+    pub value: String,
+    /// Cell holding the value for the trace.
+    pub cell: Addr,
+}
+
+/// Payload of a node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeData {
+    /// The document root.
+    Document,
+    /// An element with a tag name and attributes.
+    Element {
+        /// Tag name, lowercase.
+        tag: String,
+        /// Attributes in document order.
+        attrs: Vec<Attr>,
+    },
+    /// A text node.
+    Text {
+        /// The text content.
+        text: String,
+        /// Range of cells holding the text for the trace.
+        range: AddrRange,
+    },
+}
+
+/// One node of the DOM tree.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Parent node, if any.
+    pub parent: Option<NodeId>,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+    /// Node payload.
+    pub data: NodeData,
+    /// Trace cells of the node.
+    pub cells: NodeCells,
+}
+
+impl Node {
+    /// The element tag name, if this node is an element.
+    pub fn tag(&self) -> Option<&str> {
+        match &self.data {
+            NodeData::Element { tag, .. } => Some(tag),
+            _ => None,
+        }
+    }
+
+    /// The text content, if this node is a text node.
+    pub fn text(&self) -> Option<&str> {
+        match &self.data {
+            NodeData::Text { text, .. } => Some(text),
+            _ => None,
+        }
+    }
+
+    /// The cell range of the text content, if this node is a text node.
+    pub fn text_range(&self) -> Option<AddrRange> {
+        match &self.data {
+            NodeData::Text { range, .. } => Some(*range),
+            _ => None,
+        }
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<&Attr> {
+        match &self.data {
+            NodeData::Element { attrs, .. } => attrs.iter().find(|a| a.name == name),
+            _ => None,
+        }
+    }
+
+    /// The value of an attribute, if present.
+    pub fn attr_value(&self, name: &str) -> Option<&str> {
+        self.attr(name).map(|a| a.value.as_str())
+    }
+
+    /// The element's `id` attribute.
+    pub fn id(&self) -> Option<&str> {
+        self.attr_value("id")
+    }
+
+    /// The element's class list (whitespace-split `class` attribute).
+    pub fn classes(&self) -> impl Iterator<Item = &str> {
+        self.attr_value("class").unwrap_or("").split_whitespace()
+    }
+
+    /// True if the element carries the given class.
+    pub fn has_class(&self, class: &str) -> bool {
+        self.classes().any(|c| c == class)
+    }
+
+    /// True for element nodes.
+    pub fn is_element(&self) -> bool {
+        matches!(self.data, NodeData::Element { .. })
+    }
+
+    /// True for text nodes.
+    pub fn is_text(&self) -> bool {
+        matches!(self.data, NodeData::Text { .. })
+    }
+}

@@ -1,0 +1,98 @@
+//! Property test: the id index behind `element_by_id` always agrees with
+//! a brute-force document-order scan, across random sequences of
+//! attach/detach/re-id mutations.
+
+use proptest::prelude::*;
+use wasteprof_dom::{Document, NodeId};
+use wasteprof_trace::{Recorder, ThreadKind};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Create an element and give it one of a small pool of ids.
+    Create(u8),
+    /// Attach node `n mod created` under node `p mod (created+1)` (root
+    /// allowed), skipping illegal attaches.
+    Attach(u8, u8),
+    /// Detach node `n mod created`.
+    Detach(u8),
+    /// Re-id node `n mod created` to pool id `i`.
+    ReId(u8, u8),
+}
+
+fn id_name(i: u8) -> String {
+    format!("id{}", i % 4)
+}
+
+fn brute_force(doc: &Document, needle: &str) -> Option<NodeId> {
+    doc.descendants(doc.root()).find(|&n| doc.node(n).id() == Some(needle))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn element_by_id_matches_document_order_scan(ops in prop::collection::vec(
+        prop_oneof![
+            any::<u8>().prop_map(Op::Create),
+            (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Attach(a, b)),
+            any::<u8>().prop_map(Op::Detach),
+            (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::ReId(a, b)),
+        ],
+        1..60,
+    )) {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let mut doc = Document::new(&mut rec);
+        let mut created: Vec<NodeId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Create(i) => {
+                    let n = doc.create_element(&mut rec, "div", &[]);
+                    doc.set_attribute(&mut rec, n, "id", &id_name(i), &[]);
+                    created.push(n);
+                }
+                Op::Attach(ni, pi) => {
+                    if created.is_empty() {
+                        continue;
+                    }
+                    let n = created[ni as usize % created.len()];
+                    let parent = if pi as usize % (created.len() + 1) == created.len() {
+                        doc.root()
+                    } else {
+                        created[pi as usize % created.len()]
+                    };
+                    // Skip attaches the API rejects (already attached, or
+                    // a would-be cycle).
+                    let already = doc.node(n).parent.is_some();
+                    let cyclic = doc.descendants(n).any(|d| d == parent);
+                    if !already && !cyclic {
+                        doc.append_child(&mut rec, parent, n);
+                    }
+                }
+                Op::Detach(ni) => {
+                    if created.is_empty() {
+                        continue;
+                    }
+                    let n = created[ni as usize % created.len()];
+                    doc.remove_child(&mut rec, n);
+                }
+                Op::ReId(ni, i) => {
+                    if created.is_empty() {
+                        continue;
+                    }
+                    let n = created[ni as usize % created.len()];
+                    doc.set_attribute(&mut rec, n, "id", &id_name(i), &[]);
+                }
+            }
+            for i in 0..4 {
+                let needle = id_name(i);
+                prop_assert_eq!(
+                    doc.element_by_id(&needle),
+                    brute_force(&doc, &needle),
+                    "id index diverged for {}",
+                    needle
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,936 @@
+//! The compositor: layer tree, tiled backing stores, raster scheduling,
+//! occlusion, draw, and present.
+//!
+//! This is the part of the pipeline the paper singles out (§II-B, §V-A):
+//! Chromium gives *every* layer a backing store — "either when the layer is
+//! visible or not" — and rasterizes beyond the viewport, so a constant
+//! stream of compositor bookkeeping and some raster work never contributes
+//! a pixel. The compositor's slice percentage is correspondingly low
+//! (~34–35%) and website-independent. This module reproduces those
+//! behaviours: per-frame priority/bookkeeping work per layer, blind backing
+//! stores, a prepaint margin, occlusion-culled draws, and a `writev` to the
+//! display at present time.
+
+use wasteprof_layout::{LayerPaint, Rect};
+use wasteprof_trace::{site, Addr, AddrRange, Recorder, Region, Syscall};
+
+/// Tile edge length in pixels ("tiles are typically squares of 256×256
+/// pixels" — paper §IV-B).
+pub const TILE_SIZE: f32 = 256.0;
+
+/// Default divisor converting rastered pixel area into ALU work
+/// (`extra_ops = area / divisor`); see
+/// [`CompositorConfig::raster_cost_divisor`].
+pub const RASTER_COST_DIVISOR: u32 = 256;
+
+/// One tile of a layer's backing store.
+#[derive(Debug, Clone)]
+pub struct Tile {
+    /// Tile rectangle in page coordinates.
+    pub rect: Rect,
+    /// The pixel buffer (virtual memory, `PixelTile` region).
+    pub buffer: AddrRange,
+    /// Compositor bookkeeping cell for this tile (priority, resolution,
+    /// raster queue state) — read by the raster setup, so the most recent
+    /// bookkeeping pass before a raster becomes necessary.
+    pub meta_cell: Addr,
+    /// Fingerprint of the content last rastered into the buffer.
+    pub content_fp: u64,
+    /// Fingerprint of the currently committed content intersecting this
+    /// tile (computed once per commit, compared every frame).
+    pub target_fp: u64,
+    /// True once the buffer holds current content.
+    pub rastered: bool,
+    /// True if a marker has been logged since the last raster.
+    pub marked: bool,
+}
+
+/// A layer with its persistent backing store.
+#[derive(Debug, Clone)]
+pub struct CompositedLayer {
+    /// Latest paint output from the main thread.
+    pub paint: LayerPaint,
+    /// Backing-store tiles covering the layer bounds.
+    pub tiles: Vec<Tile>,
+    /// Compositor-side bookkeeping cell (priorities, pinned state, ...).
+    pub prop_cell: Addr,
+    /// Committed content state (property-tree snapshot) read by raster
+    /// playback, so commits feed the pixels of rastered layers.
+    pub content_cell: Addr,
+    /// True while a compositor-driven animation keeps this layer damaged
+    /// every frame (carousels, progress bars).
+    pub animating: bool,
+    /// Animation step counter, salted into the content fingerprint.
+    pub anim_step: u64,
+}
+
+/// A scheduled unit of raster work for a rasterizer thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RasterTask {
+    /// Index of the layer in the compositor's layer list.
+    pub layer: usize,
+    /// Index of the tile within the layer.
+    pub tile: usize,
+}
+
+/// Statistics from one drawn frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrawStats {
+    /// Tiles composited into the framebuffer.
+    pub tiles_drawn: usize,
+    /// Tiles skipped because an opaque layer above fully covers them.
+    pub tiles_occluded: usize,
+    /// Tiles skipped because they are outside the viewport.
+    pub tiles_offscreen: usize,
+}
+
+/// Compositor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CompositorConfig {
+    /// Viewport width in pixels.
+    pub viewport_w: f32,
+    /// Viewport height in pixels.
+    pub viewport_h: f32,
+    /// How far beyond the viewport tiles are eagerly rasterized
+    /// (Chromium's prepaint); raster work in the margin that is never
+    /// scrolled to is one of the paper's waste sources.
+    pub prepaint_margin: f32,
+    /// Divisor converting pixel area into raster/draw ALU work: smaller
+    /// means rasterization costs more instructions per pixel.
+    pub raster_cost_divisor: u32,
+    /// Fixed command-processing overhead per raster task (decoding the
+    /// display list, clip/transform stack churn) whose output is scratch
+    /// state, not pixels - on tiny displays this dwarfs the useful pixel
+    /// work (paper section V-A: mobile rasterizers at 13-14%).
+    pub raster_task_overhead: u32,
+}
+
+impl CompositorConfig {
+    /// Desktop defaults: 1366×768 with one viewport-height of prepaint.
+    pub fn desktop() -> Self {
+        CompositorConfig {
+            viewport_w: 1366.0,
+            viewport_h: 768.0,
+            prepaint_margin: 768.0,
+            raster_cost_divisor: RASTER_COST_DIVISOR,
+            raster_task_overhead: 120,
+        }
+    }
+
+    /// The paper's emulated mobile display: 360×640.
+    pub fn mobile() -> Self {
+        CompositorConfig {
+            viewport_w: 360.0,
+            viewport_h: 640.0,
+            prepaint_margin: 1280.0,
+            raster_cost_divisor: RASTER_COST_DIVISOR,
+            raster_task_overhead: 120,
+        }
+    }
+}
+
+/// The compositor for one tab.
+///
+/// Methods must be called with the [`Recorder`] switched to the thread
+/// doing the work: [`Compositor::commit`] on the main thread,
+/// [`Compositor::prepare_frame`] / [`Compositor::draw`] on the compositor
+/// thread, and [`Compositor::raster_task`] on a rasterizer thread — the
+/// browser crate's scheduler arranges this.
+#[derive(Debug)]
+pub struct Compositor {
+    config: CompositorConfig,
+    layers: Vec<CompositedLayer>,
+    scroll_y: f32,
+    scroll_cell: Addr,
+    order_cell: Addr,
+    /// Frame timebase cell, written by the embedder's BeginFrame source
+    /// and read by every drawn quad (frames are timestamped).
+    frame_time_cell: Addr,
+    frame: u64,
+}
+
+impl Compositor {
+    /// Creates a compositor.
+    pub fn new(rec: &mut Recorder, config: CompositorConfig) -> Self {
+        Compositor {
+            config,
+            layers: Vec::new(),
+            scroll_y: 0.0,
+            scroll_cell: rec.alloc_cell(Region::Heap),
+            order_cell: rec.alloc_cell(Region::Heap),
+            frame_time_cell: rec.alloc_cell(Region::Heap),
+            frame: 0,
+        }
+    }
+
+    /// The frame timebase cell (the embedder's BeginFrame source writes
+    /// it; drawn quads read it).
+    pub fn frame_time_cell(&self) -> Addr {
+        self.frame_time_cell
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CompositorConfig {
+        self.config
+    }
+
+    /// Current scroll offset.
+    pub fn scroll_y(&self) -> f32 {
+        self.scroll_y
+    }
+
+    /// Number of layers with backing stores.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The layers (for inspection in tests and reports).
+    pub fn layers(&self) -> &[CompositedLayer] {
+        &self.layers
+    }
+
+    /// Frames drawn so far.
+    pub fn frame_count(&self) -> u64 {
+        self.frame
+    }
+
+    /// Total backing-store bytes held (the memory cost the paper notes
+    /// Chromium "blindly accepts").
+    pub fn backing_store_bytes(&self) -> u64 {
+        self.layers
+            .iter()
+            .flat_map(|l| l.tiles.iter())
+            .map(|t| t.buffer.len() as u64)
+            .sum()
+    }
+
+    /// Main thread: pushes new paint output to the compositor.
+    ///
+    /// Every layer gets (or keeps) a backing store, visible or not.
+    pub fn commit(&mut self, rec: &mut Recorder, mut new_paint: Vec<LayerPaint>) {
+        let func = rec.intern_func("cc::LayerTreeHost::Commit");
+        rec.in_func(site!(), func, |rec| {
+            let mut kept: Vec<CompositedLayer> = Vec::new();
+            for paint in new_paint.drain(..) {
+                let existing = self
+                    .layers
+                    .iter()
+                    .position(|l| l.paint.owner == paint.owner && l.paint.reason == paint.reason);
+                let mut layer = match existing {
+                    Some(i) => self.layers.remove(i),
+                    None => CompositedLayer {
+                        paint: paint.clone(),
+                        tiles: Vec::new(),
+                        prop_cell: rec.alloc_cell(Region::Heap),
+                        content_cell: rec.alloc_cell(Region::Heap),
+                        animating: false,
+                        anim_step: 0,
+                    },
+                };
+                // Commit copies the layer's properties and content state to
+                // the compositor side, reading the style provenance and a
+                // sample of the display list.
+                let mut reads: Vec<AddrRange> = Vec::new();
+                if let Some(c) = paint.style_cell {
+                    reads.push(c.into());
+                }
+                rec.compute(site!(), &reads, &[layer.prop_cell.into()]);
+                let mut content_reads: Vec<AddrRange> =
+                    paint.items.iter().take(4).map(|i| i.cells).collect();
+                content_reads.push(AddrRange::cell(layer.prop_cell));
+                rec.compute_weighted(
+                    site!(),
+                    &content_reads,
+                    &[layer.content_cell.into()],
+                    2 + paint.items.len() as u32 / 4,
+                );
+                layer.retile(rec, &paint);
+                layer.paint = paint;
+                kept.push(layer);
+            }
+            // Layers that disappeared drop with their backing stores.
+            self.layers = kept;
+        });
+    }
+
+    /// Display-compositor BeginFrame bookkeeping: the frame source
+    /// updates its deadline state (no telling namespace — part of the
+    /// paper's uncategorized mass) and refreshes the frame timebase that
+    /// the drawn quads read.
+    pub fn begin_frame(&mut self, rec: &mut Recorder) {
+        let f = rec.intern_func("viz::BeginFrameSource::OnBeginFrame");
+        let frame_time = self.frame_time_cell;
+        rec.in_func(site!(), f, |rec| {
+            let state = rec.alloc_cell(Region::Heap);
+            rec.compute_weighted(site!(), &[], &[state.into()], 30);
+            rec.compute(site!(), &[state.into()], &[frame_time.into()]);
+        });
+    }
+
+    /// Compositor thread: per-frame bookkeeping. Computes layer order,
+    /// updates tile priorities, and schedules raster work for tiles in the
+    /// interest area whose content changed.
+    pub fn prepare_frame(&mut self, rec: &mut Recorder) -> Vec<RasterTask> {
+        let func = rec.intern_func("cc::TileManager::PrepareTiles");
+        let order_fn = rec.intern_func("cc::LayerTreeHostImpl::CalculateRenderSurfaceLayerList");
+        let mut tasks = Vec::new();
+        self.frame += 1;
+
+        // Layer ordering: feeds the draw, so it is *useful* work.
+        rec.in_func(site!(), order_fn, |rec| {
+            let reads: Vec<AddrRange> = self
+                .layers
+                .iter()
+                .map(|l| AddrRange::cell(l.prop_cell))
+                .collect();
+            rec.compute_weighted(
+                site!(),
+                &reads,
+                &[self.order_cell.into()],
+                self.layers.len() as u32 * 2,
+            );
+        });
+        self.layers.sort_by_key(|l| l.paint.z_index);
+
+        let interest = self.interest_area();
+        rec.in_func(site!(), func, |rec| {
+            for (li, layer) in self.layers.iter_mut().enumerate() {
+                if layer.animating {
+                    // A compositor-driven animation advances: the layer is
+                    // damaged this frame.
+                    layer.anim_step += 1;
+                    rec.compute(
+                        site!(),
+                        &[AddrRange::cell(self.scroll_cell)],
+                        &[AddrRange::cell(layer.content_cell)],
+                    );
+                }
+                // Per-layer priority bookkeeping, every frame, whether or
+                // not anything changed: a strong update, so only the pass
+                // feeding an actual raster ever becomes necessary.
+                rec.compute_weighted(
+                    site!(),
+                    &[AddrRange::cell(self.scroll_cell)],
+                    &[AddrRange::cell(layer.prop_cell)],
+                    1,
+                );
+                let anim_step = layer.anim_step;
+                let mut far_tiles = 0u32;
+                for (ti, tile) in layer.tiles.iter_mut().enumerate() {
+                    let tile_rect = if layer.paint.fixed {
+                        tile.rect
+                    } else {
+                        tile.rect.translated(0.0, -self.scroll_y)
+                    };
+                    let in_interest = tile_rect.intersects(&interest);
+                    if !in_interest {
+                        // Far-away tiles are skipped after a cheap eviction
+                        // scan, batched below.
+                        far_tiles += 1;
+                        continue;
+                    }
+                    // Interest-area tile bookkeeping, per frame: read by
+                    // the raster setup if this tile rasters before the
+                    // next pass overwrites it.
+                    rec.copy(
+                        site!(),
+                        AddrRange::cell(layer.prop_cell),
+                        AddrRange::cell(tile.meta_cell),
+                    );
+                    // Raster invalidation is per tile: only tiles whose
+                    // intersecting display items changed are re-rastered.
+                    let fp = tile.target_fp ^ anim_step;
+                    if !tile.rastered || tile.content_fp != fp {
+                        tasks.push(RasterTask {
+                            layer: li,
+                            tile: ti,
+                        });
+                    }
+                }
+                if far_tiles > 0 {
+                    rec.compute_weighted(
+                        site!(),
+                        &[AddrRange::cell(layer.prop_cell)],
+                        &[AddrRange::cell(layer.prop_cell)],
+                        far_tiles / 8,
+                    );
+                }
+            }
+        });
+        tasks
+    }
+
+    /// Starts (or stops) a compositor-driven animation on the layer owned
+    /// by `owner`: the layer is damaged on every frame, so its visible
+    /// tiles re-raster continuously (a carousel or progress indicator).
+    pub fn set_animating(&mut self, owner: Option<wasteprof_dom::NodeId>, on: bool) -> bool {
+        for layer in &mut self.layers {
+            if layer.paint.owner == owner {
+                layer.animating = on;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Rasterizer thread: plays the layer's display items back into the
+    /// tile's pixel buffer (`RasterBufferProvider::PlaybackToMemory`).
+    pub fn raster_task(&mut self, rec: &mut Recorder, task: RasterTask) {
+        let func = rec.intern_func("cc::RasterBufferProvider::PlaybackToMemory");
+        let order_cell = self.order_cell;
+        let scroll_cell = self.scroll_cell;
+        let layer = &mut self.layers[task.layer];
+        let fp = layer.tiles[task.tile].target_fp ^ layer.anim_step;
+        let tile = &mut layer.tiles[task.tile];
+        let overhead = self.config.raster_task_overhead;
+        let skia = rec.intern_func("SkCanvas::PlaybackCommands");
+        rec.in_func(site!(), func, |rec| {
+            // Display-list decode and clip/transform bookkeeping inside the
+            // 2D graphics library: reads the items but produces only
+            // transient playback state, not pixels. Attributed to the Skia
+            // analogue, which (like `sk` symbols in the paper's traces) has
+            // no telling namespace and lands in the uncategorized mass.
+            let scratch = rec.alloc_cell(Region::Heap);
+            let item_reads: Vec<AddrRange> =
+                layer.paint.items.iter().take(4).map(|i| i.cells).collect();
+            rec.in_func(site!(), skia, |rec| {
+                rec.compute_weighted(site!(), &item_reads, &[scratch.into()], overhead);
+            });
+            // Per-tile setup: playback settings derive from the committed
+            // layer properties, the tile's scheduling state, the layer
+            // order, and the scroll offset. The setup cost does not scale
+            // with useful pixels (dominant on tiny mobile viewports).
+            rec.compute_weighted(
+                site!(),
+                &[
+                    AddrRange::cell(layer.prop_cell),
+                    AddrRange::cell(tile.meta_cell),
+                    AddrRange::cell(order_cell),
+                    AddrRange::cell(scroll_cell),
+                ],
+                &[tile.buffer.slice(0, 64)],
+                24,
+            );
+            // The per-command pixel work happens inside the 2D graphics
+            // library (Skia's analogue): blending loops writing the tile.
+            rec.in_func(site!(), skia, |rec| {
+                for item in &layer.paint.items {
+                    let Some(overlap) = item.rect.intersection(&tile.rect) else {
+                        continue;
+                    };
+                    let area = overlap.area() as u32;
+                    // Map the overlap onto a prefix slice of the linear
+                    // tile buffer: a pixel-block-granular approximation of
+                    // 2D rows.
+                    let bytes = (area * 4).clamp(4, tile.buffer.len());
+                    let y_off =
+                        (((overlap.y - tile.rect.y) / TILE_SIZE) * tile.buffer.len() as f32) as u32;
+                    let start = y_off.min(tile.buffer.len() - bytes);
+                    rec.compute_weighted(
+                        site!(),
+                        &[item.cells, AddrRange::cell(layer.content_cell)],
+                        &[tile.buffer.slice(start, bytes)],
+                        area / self.config.raster_cost_divisor.max(1),
+                    );
+                }
+            });
+        });
+        tile.rastered = true;
+        tile.content_fp = fp;
+        tile.marked = false;
+    }
+
+    /// Compositor thread: scroll input (handled entirely here — no main
+    /// thread involvement, paper §V-A).
+    pub fn scroll_by(&mut self, rec: &mut Recorder, dy: f32) {
+        let func = rec.intern_func("cc::InputHandler::ScrollBy");
+        rec.in_func(site!(), func, |rec| {
+            let max = self.max_scroll();
+            self.scroll_y = (self.scroll_y + dy).clamp(0.0, max);
+            rec.compute(site!(), &[], &[self.scroll_cell.into()]);
+        });
+    }
+
+    fn max_scroll(&self) -> f32 {
+        let page_h = self
+            .layers
+            .iter()
+            .map(|l| l.paint.bounds.bottom())
+            .fold(self.config.viewport_h, f32::max);
+        (page_h - self.config.viewport_h).max(0.0)
+    }
+
+    fn viewport(&self) -> Rect {
+        Rect::new(0.0, 0.0, self.config.viewport_w, self.config.viewport_h)
+    }
+
+    fn interest_area(&self) -> Rect {
+        let m = self.config.prepaint_margin;
+        Rect::new(
+            0.0,
+            -m,
+            self.config.viewport_w,
+            self.config.viewport_h + 2.0 * m,
+        )
+    }
+
+    /// Compositor thread: draws visible, unoccluded tiles into a fresh
+    /// framebuffer and presents it to the display with `writev`.
+    ///
+    /// Tiles composited for the first time since their raster get the
+    /// pixel-buffer marker: this is the program point at which their buffer
+    /// provably holds final displayed pixel values.
+    pub fn draw(&mut self, rec: &mut Recorder) -> DrawStats {
+        self.draw_inner(rec, false)
+    }
+
+    /// Like [`Compositor::draw`], but only submits *damaged* tiles (those
+    /// rastered since the last draw) — the partial-swap path animation
+    /// frames take.
+    pub fn draw_damage(&mut self, rec: &mut Recorder) -> DrawStats {
+        self.draw_inner(rec, true)
+    }
+
+    fn draw_inner(&mut self, rec: &mut Recorder, damage_only: bool) -> DrawStats {
+        let func = rec.intern_func("cc::Display::DrawAndSwap");
+        let viewport = self.viewport();
+        let mut stats = DrawStats::default();
+
+        // Opaque occluders in *screen* coordinates, from topmost down.
+        let occluders: Vec<(usize, Rect)> = self
+            .layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.paint.opaque)
+            .map(|(i, l)| (i, self.screen_rect(l, l.paint.bounds)))
+            .collect();
+
+        // First pass: decide which tiles draw this frame.
+        let mut quads: Vec<(usize, usize, u32)> = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            for (ti, tile) in layer.tiles.iter().enumerate() {
+                if !tile.rastered || (damage_only && tile.marked) {
+                    continue;
+                }
+                let screen = self.screen_rect(layer, tile.rect);
+                let Some(visible) = screen.intersection(&viewport) else {
+                    stats.tiles_offscreen += 1;
+                    continue;
+                };
+                // Occlusion: fully covered by an opaque layer above?
+                let occluded = occluders.iter().any(|(oi, orect)| {
+                    let above = self.layers[*oi].paint.z_index > layer.paint.z_index
+                        || (*oi > li && self.layers[*oi].paint.z_index == layer.paint.z_index);
+                    above && orect.contains_rect(&visible)
+                });
+                if occluded {
+                    stats.tiles_occluded += 1;
+                    continue;
+                }
+                let bytes = ((visible.area() * 4.0) as u32).clamp(4, tile.buffer.len());
+                quads.push((li, ti, bytes));
+            }
+        }
+
+        // The frame buffer holds every quad's pixels: each quad owns a
+        // disjoint region (screen pixels belong to exactly one drawn quad).
+        // Sum in u64: thousands of stacked layers can exceed u32 bytes, in
+        // which case the later quads alias the clamped buffer's tail.
+        let fb_len: u32 = quads
+            .iter()
+            .map(|&(_, _, b)| b as u64)
+            .sum::<u64>()
+            .clamp(4, u32::MAX as u64) as u32;
+        let fb = rec.alloc(Region::Framebuffer, fb_len);
+        let mut fb_off = 0u32;
+        let mut marks: Vec<(usize, usize)> = Vec::new();
+
+        rec.in_func(site!(), func, |rec| {
+            for &(li, ti, bytes) in &quads {
+                let tile = &self.layers[li].tiles[ti];
+                if !tile.marked {
+                    marks.push((li, ti));
+                }
+                // Draw quad: framebuffer derives from the tile pixels and
+                // the layer order.
+                let dst = fb.slice(fb_off.min(fb_len - bytes.min(fb_len)), bytes.min(fb_len));
+                fb_off = fb_off.saturating_add(bytes).min(fb_len);
+                rec.compute_weighted(
+                    site!(),
+                    &[
+                        tile.buffer,
+                        AddrRange::cell(self.order_cell),
+                        AddrRange::cell(self.frame_time_cell),
+                    ],
+                    &[dst],
+                    6,
+                );
+                stats.tiles_drawn += 1;
+            }
+        });
+
+        // Markers: these tiles now provably contain displayed pixels, and
+        // so does the assembled framebuffer (the "final values of pixels
+        // that are going to be put on the device display", section IV-B).
+        for (li, ti) in marks {
+            let buffer = self.layers[li].tiles[ti].buffer;
+            rec.marker(site!(), buffer);
+            self.layers[li].tiles[ti].marked = true;
+        }
+        if stats.tiles_drawn > 0 {
+            rec.marker(site!(), fb);
+        }
+
+        // Present: the framebuffer leaves the process through the display
+        // fd — the syscall criteria's anchor for visual output.
+        let fd_cell = rec.alloc_cell(Region::Heap);
+        rec.syscall(
+            site!(),
+            Syscall::Writev,
+            &[fd_cell.into()],
+            vec![fb],
+            vec![],
+        );
+        stats
+    }
+
+    fn screen_rect(&self, layer: &CompositedLayer, rect: Rect) -> Rect {
+        if layer.paint.fixed {
+            rect
+        } else {
+            rect.translated(0.0, -self.scroll_y)
+        }
+    }
+}
+
+impl CompositedLayer {
+    /// (Re)allocates the tile grid to cover the layer bounds, keeping
+    /// existing backing stores where the grid is unchanged.
+    fn retile(&mut self, rec: &mut Recorder, paint: &LayerPaint) {
+        let needed = tile_grid(paint.bounds);
+        let grid_unchanged = self.tiles.len() == needed.len()
+            && self.tiles.iter().zip(&needed).all(|(t, r)| t.rect == *r);
+        if !grid_unchanged {
+            self.tiles = needed
+                .into_iter()
+                .map(|rect| Tile {
+                    rect,
+                    buffer: rec.alloc(Region::PixelTile, (TILE_SIZE * TILE_SIZE * 4.0) as u32),
+                    meta_cell: rec.alloc_cell(Region::Heap),
+                    content_fp: 0,
+                    target_fp: 0,
+                    rastered: false,
+                    marked: false,
+                })
+                .collect();
+        }
+        // Commit-time invalidation keys: one O(items) pass per tile here,
+        // so the per-frame scheduling check is a plain comparison.
+        for tile in &mut self.tiles {
+            tile.target_fp = tile_fingerprint(paint, tile.rect);
+        }
+    }
+}
+
+/// Content fingerprint of the display items intersecting one tile — the
+/// per-tile raster invalidation key.
+fn tile_fingerprint(paint: &LayerPaint, tile_rect: Rect) -> u64 {
+    let mut h = wasteprof_layout::Fnv::new();
+    for item in &paint.items {
+        if !item.rect.intersects(&tile_rect) {
+            continue;
+        }
+        h.mix_rect(&item.rect);
+        h.mix_color(item.color);
+        h.mix(item.cells.len() as u64);
+    }
+    h.finish()
+}
+
+/// The tile rectangles covering `bounds`, aligned to the tile grid.
+fn tile_grid(bounds: Rect) -> Vec<Rect> {
+    if bounds.is_empty() {
+        return Vec::new();
+    }
+    // Backing stores are finite even for hostile page geometry (a CSS
+    // `height: 1e11px` must not allocate a tile per 256px of it). Chromium
+    // likewise caps tilings; 256x256 tiles is a 65536x65536-px layer.
+    const MAX_TILES_PER_AXIS: i32 = 256;
+    let x0 = (bounds.x / TILE_SIZE).floor() as i32;
+    let y0 = (bounds.y / TILE_SIZE).floor() as i32;
+    let x1 =
+        ((bounds.right() / TILE_SIZE).ceil() as i32).min(x0.saturating_add(MAX_TILES_PER_AXIS));
+    let y1 =
+        ((bounds.bottom() / TILE_SIZE).ceil() as i32).min(y0.saturating_add(MAX_TILES_PER_AXIS));
+    let mut out = Vec::new();
+    for ty in y0..y1 {
+        for tx in x0..x1 {
+            out.push(Rect::new(
+                tx as f32 * TILE_SIZE,
+                ty as f32 * TILE_SIZE,
+                TILE_SIZE,
+                TILE_SIZE,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasteprof_css::Color;
+    use wasteprof_layout::{DisplayItem, ItemKind, LayerReason};
+    use wasteprof_trace::{Recorder, ThreadKind};
+
+    fn test_layer(rec: &mut Recorder, bounds: Rect, z: i32, opaque: bool) -> LayerPaint {
+        let cells = rec.alloc(Region::Heap, 16);
+        LayerPaint {
+            owner: Some(wasteprof_dom::NodeId((z + 100) as u32)),
+            reason: LayerReason::ZIndex,
+            bounds,
+            z_index: z,
+            fixed: false,
+            opacity: 1.0,
+            opaque,
+            items: vec![DisplayItem {
+                kind: ItemKind::Rect,
+                rect: bounds,
+                color: if opaque {
+                    Color::WHITE
+                } else {
+                    Color::TRANSPARENT
+                },
+                cells,
+            }],
+            style_cell: None,
+        }
+    }
+
+    fn setup() -> (Recorder, Compositor) {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Compositor, "cc::CompositorMain");
+        let comp = Compositor::new(
+            &mut rec,
+            CompositorConfig {
+                viewport_w: 512.0,
+                viewport_h: 512.0,
+                prepaint_margin: 256.0,
+                raster_cost_divisor: 1024,
+                raster_task_overhead: 16,
+            },
+        );
+        (rec, comp)
+    }
+
+    #[test]
+    fn tile_grid_covers_bounds() {
+        let tiles = tile_grid(Rect::new(0.0, 0.0, 600.0, 300.0));
+        assert_eq!(tiles.len(), 3 * 2);
+        let grid_union = tiles.iter().fold(Rect::default(), |a, t| a.union(t));
+        assert!(grid_union.contains_rect(&Rect::new(0.0, 0.0, 600.0, 300.0)));
+    }
+
+    #[test]
+    fn commit_creates_backing_stores_for_all_layers() {
+        let (mut rec, mut comp) = setup();
+        let visible = test_layer(&mut rec, Rect::new(0.0, 0.0, 512.0, 512.0), 0, true);
+        let hidden_under = test_layer(&mut rec, Rect::new(0.0, 0.0, 512.0, 512.0), -1, false);
+        comp.commit(&mut rec, vec![visible, hidden_under]);
+        assert_eq!(comp.layer_count(), 2);
+        // Even the occluded layer holds backing-store memory.
+        assert!(comp.backing_store_bytes() >= 2 * 4 * (TILE_SIZE * TILE_SIZE * 4.0) as u64);
+    }
+
+    #[test]
+    fn prepare_schedules_raster_only_in_interest_area() {
+        let (mut rec, mut comp) = setup();
+        // Tall layer: 512 wide, 4096 tall -> 2x16 tiles; interest covers
+        // y in [-256, 1024) -> 4 tile rows + the page top rows.
+        let layer = test_layer(&mut rec, Rect::new(0.0, 0.0, 512.0, 4096.0), 0, true);
+        comp.commit(&mut rec, vec![layer]);
+        let tasks = comp.prepare_frame(&mut rec);
+        let total_tiles = 2 * 16;
+        assert!(
+            tasks.len() < total_tiles,
+            "prepaint should not cover the whole page"
+        );
+        // Interest area = viewport (512) + prepaint margin (256): rows with
+        // y < 768, i.e. 3 rows of 2 tiles.
+        assert_eq!(tasks.len(), 2 * 3);
+    }
+
+    #[test]
+    fn raster_marks_content_current_and_is_not_repeated() {
+        let (mut rec, mut comp) = setup();
+        let layer = test_layer(&mut rec, Rect::new(0.0, 0.0, 512.0, 512.0), 0, true);
+        comp.commit(&mut rec, vec![layer.clone()]);
+        let tasks = comp.prepare_frame(&mut rec);
+        assert_eq!(tasks.len(), 4);
+        for t in &tasks {
+            comp.raster_task(&mut rec, *t);
+        }
+        // Second frame with unchanged content: nothing to raster.
+        assert!(comp.prepare_frame(&mut rec).is_empty());
+        // Changed content: re-raster.
+        let mut changed = layer;
+        changed.items[0].color = Color::rgb(1, 2, 3);
+        comp.commit(&mut rec, vec![changed]);
+        assert_eq!(comp.prepare_frame(&mut rec).len(), 4);
+    }
+
+    #[test]
+    fn draw_emits_markers_only_for_displayed_tiles() {
+        let (mut rec, mut comp) = setup();
+        let layer = test_layer(&mut rec, Rect::new(0.0, 0.0, 512.0, 2048.0), 0, true);
+        comp.commit(&mut rec, vec![layer]);
+        let tasks = comp.prepare_frame(&mut rec);
+        for t in &tasks {
+            comp.raster_task(&mut rec, *t);
+        }
+        let stats = comp.draw(&mut rec);
+        assert_eq!(stats.tiles_drawn, 4); // 2x2 tiles fill the 512x512 viewport
+        assert!(stats.tiles_offscreen > 0);
+        let trace = rec.finish();
+        // 4 tile markers + 1 framebuffer marker.
+        assert_eq!(trace.markers().len(), 5);
+    }
+
+    #[test]
+    fn occluded_tiles_are_rastered_but_not_drawn_or_marked() {
+        let (mut rec, mut comp) = setup();
+        let below = test_layer(&mut rec, Rect::new(0.0, 0.0, 512.0, 512.0), 0, false);
+        let above = test_layer(&mut rec, Rect::new(0.0, 0.0, 512.0, 512.0), 10, true);
+        comp.commit(&mut rec, vec![below, above]);
+        let tasks = comp.prepare_frame(&mut rec);
+        assert_eq!(
+            tasks.len(),
+            8,
+            "both layers rastered (blind backing stores)"
+        );
+        for t in &tasks {
+            comp.raster_task(&mut rec, *t);
+        }
+        let stats = comp.draw(&mut rec);
+        assert_eq!(stats.tiles_occluded, 4);
+        assert_eq!(stats.tiles_drawn, 4);
+        let trace = rec.finish();
+        // 4 visible tiles + the framebuffer; occluded tiles unmarked.
+        assert_eq!(
+            trace.markers().len(),
+            5,
+            "only the visible layer's tiles marked"
+        );
+    }
+
+    #[test]
+    fn scroll_is_compositor_only_and_reveals_tiles() {
+        let (mut rec, mut comp) = setup();
+        let layer = test_layer(&mut rec, Rect::new(0.0, 0.0, 512.0, 2048.0), 0, true);
+        comp.commit(&mut rec, vec![layer]);
+        for t in comp.prepare_frame(&mut rec) {
+            comp.raster_task(&mut rec, t);
+        }
+        comp.draw(&mut rec);
+        comp.scroll_by(&mut rec, 600.0);
+        assert_eq!(comp.scroll_y(), 600.0);
+        // New frame: tiles already prepainted; draw shows new rows; newly
+        // displayed tiles get their markers now.
+        for t in comp.prepare_frame(&mut rec) {
+            comp.raster_task(&mut rec, t);
+        }
+        let before = comp.layers()[0].tiles.iter().filter(|t| t.marked).count();
+        comp.draw(&mut rec);
+        let after = comp.layers()[0].tiles.iter().filter(|t| t.marked).count();
+        assert!(
+            after > before,
+            "scrolled-in tiles must be marked at first display"
+        );
+    }
+
+    #[test]
+    fn scroll_clamps_to_page() {
+        let (mut rec, mut comp) = setup();
+        let layer = test_layer(&mut rec, Rect::new(0.0, 0.0, 512.0, 1000.0), 0, true);
+        comp.commit(&mut rec, vec![layer]);
+        comp.scroll_by(&mut rec, 10_000.0);
+        assert_eq!(comp.scroll_y(), 1000.0 - 512.0);
+        comp.scroll_by(&mut rec, -20_000.0);
+        assert_eq!(comp.scroll_y(), 0.0);
+    }
+
+    #[test]
+    fn fixed_layers_ignore_scroll() {
+        let (mut rec, mut comp) = setup();
+        let mut fixed = test_layer(&mut rec, Rect::new(0.0, 0.0, 512.0, 256.0), 5, true);
+        fixed.fixed = true;
+        let page = test_layer(&mut rec, Rect::new(0.0, 0.0, 512.0, 4096.0), 0, true);
+        comp.commit(&mut rec, vec![page, fixed]);
+        for t in comp.prepare_frame(&mut rec) {
+            comp.raster_task(&mut rec, t);
+        }
+        comp.draw(&mut rec);
+        comp.scroll_by(&mut rec, 1000.0);
+        for t in comp.prepare_frame(&mut rec) {
+            comp.raster_task(&mut rec, t);
+        }
+        let stats = comp.draw(&mut rec);
+        // The fixed bar still draws its 2 tiles at the top.
+        assert!(stats.tiles_drawn >= 4 + 2);
+    }
+
+    #[test]
+    fn draw_present_issues_writev() {
+        let (mut rec, mut comp) = setup();
+        let layer = test_layer(&mut rec, Rect::new(0.0, 0.0, 512.0, 512.0), 0, true);
+        comp.commit(&mut rec, vec![layer]);
+        for t in comp.prepare_frame(&mut rec) {
+            comp.raster_task(&mut rec, t);
+        }
+        comp.draw(&mut rec);
+        let trace = rec.finish();
+        use wasteprof_trace::InstrKind;
+        let writev = trace
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i.kind,
+                    InstrKind::Syscall {
+                        nr: Syscall::Writev
+                    }
+                )
+            })
+            .count();
+        assert_eq!(writev, 1);
+        // The writev reads the framebuffer region.
+        let sys = trace
+            .iter()
+            .find(|i| {
+                matches!(
+                    i.kind,
+                    InstrKind::Syscall {
+                        nr: Syscall::Writev
+                    }
+                )
+            })
+            .unwrap();
+        assert!(sys
+            .mem_reads()
+            .iter()
+            .any(|r| r.start().region() == Some(Region::Framebuffer)));
+    }
+
+    #[test]
+    fn backing_stores_survive_identical_commits() {
+        let (mut rec, mut comp) = setup();
+        let layer = test_layer(&mut rec, Rect::new(0.0, 0.0, 512.0, 512.0), 0, true);
+        comp.commit(&mut rec, vec![layer.clone()]);
+        for t in comp.prepare_frame(&mut rec) {
+            comp.raster_task(&mut rec, t);
+        }
+        let buf_before = comp.layers()[0].tiles[0].buffer;
+        comp.commit(&mut rec, vec![layer]);
+        assert_eq!(comp.layers()[0].tiles[0].buffer, buf_before);
+        assert!(comp.layers()[0].tiles[0].rastered, "raster result kept");
+    }
+}

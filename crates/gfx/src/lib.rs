@@ -1,0 +1,17 @@
+//! Compositing and rasterization for the wasteprof browser: the layer
+//! tree with per-layer backing stores, 256×256 tiling, rasterizer playback
+//! of display lists into pixel buffers (with the paper's pixel-buffer
+//! markers), occlusion-culled drawing, and presentation to the display.
+//!
+//! This is the last stage of the paper's rendering pipeline (Figure 1) and
+//! the source of two of its waste findings: backing stores kept for layers
+//! that are never shown, and prepainted tiles that are never scrolled to.
+
+#![warn(missing_docs)]
+
+mod compositor;
+
+pub use compositor::{
+    CompositedLayer, Compositor, CompositorConfig, DrawStats, RasterTask, Tile,
+    RASTER_COST_DIVISOR, TILE_SIZE,
+};

@@ -1,0 +1,122 @@
+//! Property-based tests for the compositor's tiling, occlusion, and
+//! marker discipline.
+
+use proptest::prelude::*;
+use wasteprof_css::Color;
+use wasteprof_gfx::{Compositor, CompositorConfig, TILE_SIZE};
+use wasteprof_layout::{DisplayItem, ItemKind, LayerPaint, LayerReason, Rect};
+use wasteprof_trace::{InstrKind, Recorder, Region, ThreadKind};
+
+fn layer(rec: &mut Recorder, bounds: Rect, z: i32, opaque: bool, ord: u32) -> LayerPaint {
+    let cells = rec.alloc(Region::Heap, 16);
+    LayerPaint {
+        owner: Some(wasteprof_dom::NodeId(ord + 1)),
+        reason: LayerReason::ZIndex,
+        bounds,
+        z_index: z,
+        fixed: false,
+        opacity: 1.0,
+        opaque,
+        items: vec![DisplayItem {
+            kind: ItemKind::Rect,
+            rect: bounds,
+            color: if opaque {
+                Color::WHITE
+            } else {
+                Color::TRANSPARENT
+            },
+            cells,
+        }],
+        style_cell: None,
+    }
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0u32..4, 0u32..8, 1u32..4, 1u32..6).prop_map(|(x, y, w, h)| {
+        Rect::new(
+            x as f32 * 100.0,
+            y as f32 * 100.0,
+            w as f32 * 120.0,
+            h as f32 * 120.0,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tiles_cover_layer_bounds_and_marks_only_follow_draws(
+        rects in proptest::collection::vec(arb_rect(), 1..4),
+        scroll in 0u32..8,
+    ) {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Compositor, "cc");
+        let mut comp = Compositor::new(
+            &mut rec,
+            CompositorConfig {
+                viewport_w: 512.0,
+                viewport_h: 512.0,
+                prepaint_margin: 256.0,
+                raster_cost_divisor: 2048,
+                raster_task_overhead: 4,
+            },
+        );
+        let layers: Vec<LayerPaint> = rects
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| layer(&mut rec, r, i as i32, i % 2 == 0, i as u32))
+            .collect();
+        comp.commit(&mut rec, layers);
+
+        // Tiling covers every layer's bounds.
+        for l in comp.layers() {
+            if l.paint.bounds.is_empty() {
+                continue;
+            }
+            let union = l
+                .tiles
+                .iter()
+                .fold(Rect::default(), |acc, t| acc.union(&t.rect));
+            prop_assert!(union.contains_rect(&l.paint.bounds));
+            // Tiles are tile-aligned and tile-sized.
+            for t in &l.tiles {
+                prop_assert_eq!(t.rect.w, TILE_SIZE);
+                prop_assert_eq!(t.rect.h, TILE_SIZE);
+                prop_assert_eq!(t.rect.x % TILE_SIZE, 0.0);
+            }
+        }
+
+        comp.scroll_by(&mut rec, scroll as f32 * 64.0);
+        for t in comp.prepare_frame(&mut rec) {
+            comp.raster_task(&mut rec, t);
+        }
+        let stats = comp.draw(&mut rec);
+        let trace = rec.finish();
+        prop_assert_eq!(trace.validate(), Ok(()));
+
+        // Marker count == drawn tiles (+1 framebuffer marker when anything
+        // drew); markers only exist for rastered tiles.
+        let markers = trace.markers().len();
+        if stats.tiles_drawn > 0 {
+            prop_assert_eq!(markers, stats.tiles_drawn + 1);
+        } else {
+            prop_assert_eq!(markers, 0);
+        }
+
+        // Occluded + drawn + offscreen accounts for every rastered tile.
+        let rastered: usize =
+            comp.layers().iter().flat_map(|l| &l.tiles).filter(|t| t.rastered).count();
+        prop_assert_eq!(
+            stats.tiles_drawn + stats.tiles_occluded + stats.tiles_offscreen,
+            rastered
+        );
+
+        // Exactly one present syscall per draw.
+        let writevs = trace
+            .iter()
+            .filter(|i| matches!(i.kind, InstrKind::Syscall { nr: wasteprof_trace::Syscall::Writev }))
+            .count();
+        prop_assert_eq!(writevs, 1);
+    }
+}

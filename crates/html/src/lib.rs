@@ -1,0 +1,14 @@
+//! HTML parsing for the wasteprof browser engine: tokenizer and tree
+//! builder (the first stage of the rendering pipeline, paper §II-A).
+//!
+//! Parsing reads network-input cells and writes token and DOM-node cells,
+//! establishing the head of the dataflow chain the backward slicer follows
+//! from pixels back to bytes.
+
+#![warn(missing_docs)]
+
+mod tokenizer;
+mod tree_builder;
+
+pub use tokenizer::{tokenize, SpannedToken, Token};
+pub use tree_builder::{build_tree, parse_into, ParseOutput, Resource};

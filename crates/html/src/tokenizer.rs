@@ -1,0 +1,472 @@
+//! HTML tokenizer.
+//!
+//! A hand-rolled state machine over the raw document bytes, in the spirit
+//! of Blink's `HTMLTokenizer`: it recognizes start/end tags with
+//! attributes, text, comments, doctype, and the raw-text content models of
+//! `<script>` and `<style>`. Each produced token emits trace instructions
+//! that read the token's source span (network input cells) and write the
+//! token's cell — the first link in the input-bytes → pixels dataflow
+//! chain.
+
+use wasteprof_trace::{site, Addr, AddrRange, Recorder, Region};
+
+/// One lexical token of an HTML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr="v" ...>`; `self_closing` for `<br/>`-style tags.
+    StartTag {
+        /// Lowercased tag name.
+        name: String,
+        /// Attributes in source order (lowercased names).
+        attrs: Vec<(String, String)>,
+        /// True for `<tag ... />`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Lowercased tag name.
+        name: String,
+    },
+    /// A run of character data (entity-decoded for the few common
+    /// entities).
+    Text {
+        /// The decoded text.
+        text: String,
+    },
+    /// `<!-- ... -->` (content discarded).
+    Comment,
+    /// `<!doctype ...>`.
+    Doctype,
+}
+
+impl Token {
+    /// Tag name for start/end tags.
+    pub fn tag_name(&self) -> Option<&str> {
+        match self {
+            Token::StartTag { name, .. } | Token::EndTag { name } => Some(name),
+            _ => None,
+        }
+    }
+}
+
+/// A token plus its source span and trace cell.
+#[derive(Debug, Clone)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token in the document.
+    pub offset: u32,
+    /// Byte length of the token in the document.
+    pub len: u32,
+    /// The span of network-input cells the token was scanned from.
+    pub span: AddrRange,
+    /// The heap cell the tokenizer wrote the token into.
+    pub cell: Addr,
+}
+
+/// Tokenizes `input`, emitting tokenization work into the trace.
+///
+/// `input_range` must be the virtual-memory range holding the document
+/// bytes (one byte per cell byte), as produced by the network layer.
+///
+/// # Panics
+///
+/// Panics if `input_range` is shorter than `input`.
+pub fn tokenize(rec: &mut Recorder, input: &str, input_range: AddrRange) -> Vec<SpannedToken> {
+    assert!(
+        input_range.len() as usize >= input.len().max(1),
+        "input range too short"
+    );
+    let func = rec.intern_func("blink::html::HtmlTokenizer::NextToken");
+    rec.in_func(site!(), func, |rec| {
+        let mut out = Vec::new();
+        let mut lexer = Lexer {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        loop {
+            let start = lexer.pos;
+            let Some(token) = lexer.next_token() else {
+                break;
+            };
+            let end = lexer.pos;
+            let len = ((end - start) as u32).max(1);
+            let span = input_range.slice(start as u32, len);
+            let cell = rec.alloc_cell(Region::Heap);
+            // Scanning cost scales with the bytes consumed.
+            rec.compute_weighted(site!(), &[span], &[cell.into()], len / 16);
+            out.push(SpannedToken {
+                token,
+                offset: start as u32,
+                len,
+                span,
+                cell,
+            });
+        }
+        out
+    })
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Lexer<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn eat_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn starts_with_ci(&self, s: &str) -> bool {
+        self.bytes[self.pos..]
+            .iter()
+            .zip(s.as_bytes())
+            .filter(|(a, b)| a.eq_ignore_ascii_case(b))
+            .count()
+            == s.len()
+            && self.bytes.len() - self.pos >= s.len()
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        if self.peek() == Some(b'<') {
+            if self.starts_with_ci("<!--") {
+                return Some(self.comment());
+            }
+            if self.starts_with_ci("<!doctype") {
+                while let Some(b) = self.bump() {
+                    if b == b'>' {
+                        break;
+                    }
+                }
+                return Some(Token::Doctype);
+            }
+            if self.bytes.get(self.pos + 1) == Some(&b'/') {
+                return Some(self.end_tag());
+            }
+            if matches!(self.bytes.get(self.pos + 1), Some(b) if b.is_ascii_alphabetic()) {
+                return Some(self.start_tag());
+            }
+            // Literal '<' in text.
+        }
+        Some(self.text())
+    }
+
+    fn comment(&mut self) -> Token {
+        self.pos += 4; // "<!--"
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos..].starts_with(b"-->") {
+                self.pos += 3;
+                break;
+            }
+            self.pos += 1;
+        }
+        Token::Comment
+    }
+
+    fn name(&mut self) -> String {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).to_ascii_lowercase()
+    }
+
+    fn end_tag(&mut self) -> Token {
+        self.pos += 2; // "</"
+        let name = self.name();
+        while let Some(b) = self.bump() {
+            if b == b'>' {
+                break;
+            }
+        }
+        Token::EndTag { name }
+    }
+
+    fn start_tag(&mut self) -> Token {
+        self.pos += 1; // "<"
+        let name = self.name();
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            self.eat_whitespace();
+            match self.peek() {
+                None => break,
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self_closing = true;
+                }
+                _ => {
+                    let attr_name = self.name();
+                    if attr_name.is_empty() {
+                        // Malformed byte; skip it to guarantee progress.
+                        self.pos += 1;
+                        continue;
+                    }
+                    self.eat_whitespace();
+                    let value = if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        self.eat_whitespace();
+                        self.attr_value()
+                    } else {
+                        String::new()
+                    };
+                    attrs.push((attr_name, value));
+                }
+            }
+        }
+        // Raw-text content models: script and style swallow everything up
+        // to their closing tag as a single text token handled by the tree
+        // builder; we implement that by leaving the content to the `text`
+        // scanner with a guard (see raw_text below).
+        if (name == "script" || name == "style") && !self_closing {
+            let text = self.raw_text(&name);
+            if !text.is_empty() {
+                // Splice the raw text as the tag's pseudo-attribute so the
+                // tree builder can attach it without a second token. A
+                // dedicated Text token keeps spans simpler instead:
+                return Token::StartTag {
+                    name,
+                    attrs: {
+                        let mut a = attrs;
+                        a.push(("#text".to_owned(), text));
+                        a
+                    },
+                    self_closing,
+                };
+            }
+        }
+        Token::StartTag {
+            name,
+            attrs,
+            self_closing,
+        }
+    }
+
+    fn attr_value(&mut self) -> String {
+        match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.pos += 1;
+                let start = self.pos;
+                while matches!(self.peek(), Some(b) if b != q) {
+                    self.pos += 1;
+                }
+                let v = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                if self.peek() == Some(q) {
+                    self.pos += 1; // closing quote (absent if input ends)
+                }
+                v
+            }
+            _ => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b) if !b.is_ascii_whitespace() && b != b'>') {
+                    self.pos += 1;
+                }
+                String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+            }
+        }
+    }
+
+    /// Consumes raw text up to (but not including) `</tag`, then the
+    /// closing tag itself.
+    fn raw_text(&mut self, tag: &str) -> String {
+        let close = format!("</{tag}");
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'<' && self.starts_with_ci(&close) {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        // Consume the end tag.
+        if self.pos < self.bytes.len() {
+            while let Some(b) = self.bump() {
+                if b == b'>' {
+                    break;
+                }
+            }
+        }
+        text
+    }
+
+    fn text(&mut self) -> Token {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b != b'<') {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            // A lone '<' that did not form a tag.
+            self.pos += 1;
+        }
+        let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]);
+        Token::Text {
+            text: decode_entities(&raw),
+        }
+    }
+}
+
+/// Decodes the handful of entities real pages use constantly.
+fn decode_entities(s: &str) -> String {
+    s.replace("&amp;", "&")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&nbsp;", " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasteprof_trace::ThreadKind;
+
+    fn toks(input: &str) -> Vec<Token> {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let range = rec.alloc(Region::Input, input.len().max(1) as u32);
+        tokenize(&mut rec, input, range)
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
+    }
+
+    #[test]
+    fn simple_tags_and_text() {
+        let t = toks("<p>hello</p>");
+        assert_eq!(
+            t,
+            vec![
+                Token::StartTag {
+                    name: "p".into(),
+                    attrs: vec![],
+                    self_closing: false
+                },
+                Token::Text {
+                    text: "hello".into()
+                },
+                Token::EndTag { name: "p".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_quoted_and_bare() {
+        let t = toks(r#"<div id="a" class='b c' data-x=7 hidden>"#);
+        let Token::StartTag { name, attrs, .. } = &t[0] else {
+            panic!("{t:?}")
+        };
+        assert_eq!(name, "div");
+        assert_eq!(
+            attrs,
+            &vec![
+                ("id".to_owned(), "a".to_owned()),
+                ("class".to_owned(), "b c".to_owned()),
+                ("data-x".to_owned(), "7".to_owned()),
+                ("hidden".to_owned(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing() {
+        let t = toks("<br/><img src=x />");
+        assert!(matches!(
+            &t[0],
+            Token::StartTag {
+                self_closing: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &t[1],
+            Token::StartTag {
+                self_closing: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let t = toks("<!doctype html><!-- hi --><b></b>");
+        assert_eq!(t[0], Token::Doctype);
+        assert_eq!(t[1], Token::Comment);
+        assert!(matches!(&t[2], Token::StartTag { .. }));
+    }
+
+    #[test]
+    fn script_raw_text_is_not_parsed_as_markup() {
+        let t = toks("<script>if (a < b) { x = '<div>'; }</script><p></p>");
+        let Token::StartTag { name, attrs, .. } = &t[0] else {
+            panic!("{t:?}")
+        };
+        assert_eq!(name, "script");
+        let text = &attrs.iter().find(|(n, _)| n == "#text").unwrap().1;
+        assert_eq!(text, "if (a < b) { x = '<div>'; }");
+        assert!(matches!(&t[1], Token::StartTag { name, .. } if name == "p"));
+    }
+
+    #[test]
+    fn style_raw_text() {
+        let t = toks("<style>a > b { color: red }</style>");
+        let Token::StartTag { name, attrs, .. } = &t[0] else {
+            panic!("{t:?}")
+        };
+        assert_eq!(name, "style");
+        assert_eq!(attrs[0].1, "a > b { color: red }");
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let t = toks("a &amp; b &lt;3");
+        assert_eq!(
+            t,
+            vec![Token::Text {
+                text: "a & b <3".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn tokens_carry_spans_within_input_range() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let input = "<p>hi</p>";
+        let range = rec.alloc(Region::Input, input.len() as u32);
+        let toks = tokenize(&mut rec, input, range);
+        for t in &toks {
+            assert!(t.span.start() >= range.start());
+            assert!(t.span.end() <= range.end());
+        }
+        // Tokenization emitted trace instructions that read the spans.
+        let trace = rec.finish();
+        assert!(trace.iter().any(|i| !i.mem_reads().is_empty()));
+    }
+
+    #[test]
+    fn malformed_input_terminates() {
+        // Fuzz-ish safety: never hang or panic on junk.
+        for junk in ["<", "<<>>", "<a b=", "</", "<!doctype", "<!--", "<a 'x'>"] {
+            let _ = toks(junk);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! HTML tree construction.
+//!
+//! Consumes the tokenizer's output and builds the DOM, in the spirit of
+//! Blink's `HTMLTreeBuilder`: a stack of open elements, void elements,
+//! simple auto-closing (`<p>`, `<li>`), and collection of the subresources
+//! (`<link rel=stylesheet>`, `<script src>`, inline `<style>`/`<script>`)
+//! that the rest of the rendering pipeline must fetch, parse, and execute.
+
+use wasteprof_dom::{Document, NodeId};
+use wasteprof_trace::{site, AddrRange, Recorder};
+
+use crate::tokenizer::{tokenize, SpannedToken, Token};
+
+/// Elements that never have children.
+const VOID: &[&str] = &[
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "source", "wbr",
+];
+
+/// A subresource discovered during parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resource {
+    /// `<link rel="stylesheet" href="...">`.
+    ExternalCss {
+        /// The stylesheet URL.
+        href: String,
+        /// The `<link>` element.
+        node: NodeId,
+    },
+    /// `<style>...</style>`.
+    InlineCss {
+        /// The stylesheet text.
+        text: String,
+        /// The `<style>` element.
+        node: NodeId,
+        /// Source span of the inline text (provenance + byte accounting).
+        span: AddrRange,
+    },
+    /// `<script src="...">`.
+    ExternalJs {
+        /// The script URL.
+        src: String,
+        /// The `<script>` element.
+        node: NodeId,
+    },
+    /// `<script>...</script>`.
+    InlineJs {
+        /// The script text.
+        text: String,
+        /// The `<script>` element.
+        node: NodeId,
+        /// Source span of the inline text.
+        span: AddrRange,
+    },
+}
+
+/// Result of parsing a document.
+#[derive(Debug, Clone, Default)]
+pub struct ParseOutput {
+    /// Stylesheets and scripts in discovery order.
+    pub resources: Vec<Resource>,
+    /// Content of `<title>`, if present.
+    pub title: Option<String>,
+}
+
+/// Builds DOM nodes from tokens into `doc`, attached under its root.
+pub fn build_tree(rec: &mut Recorder, doc: &mut Document, tokens: &[SpannedToken]) -> ParseOutput {
+    let func = rec.intern_func("blink::html::HtmlTreeBuilder::ProcessToken");
+    rec.in_func(site!(), func, |rec| {
+        let mut out = ParseOutput::default();
+        let mut stack: Vec<NodeId> = vec![doc.root()];
+        let mut in_title = false;
+
+        for st in tokens {
+            let parent = *stack.last().expect("root never popped");
+            match &st.token {
+                Token::Doctype | Token::Comment => {}
+                Token::Text { text } => {
+                    if in_title {
+                        out.title = Some(text.trim().to_owned());
+                        continue;
+                    }
+                    if text.trim().is_empty() {
+                        continue;
+                    }
+                    let node = doc.create_text(rec, text, &[st.cell.into()]);
+                    doc.append_child(rec, parent, node);
+                }
+                Token::EndTag { name } => {
+                    if name == "title" {
+                        in_title = false;
+                    }
+                    // Pop up to and including the matching element, if any.
+                    if let Some(pos) = stack.iter().rposition(|&n| doc.node(n).tag() == Some(name))
+                    {
+                        if pos > 0 {
+                            stack.truncate(pos);
+                        }
+                    }
+                }
+                Token::StartTag {
+                    name,
+                    attrs,
+                    self_closing,
+                } => {
+                    // Auto-close elements that cannot nest. Only the
+                    // *currently open* same-tag element closes — popping a
+                    // deeper ancestor would tear down intervening
+                    // containers (`<div><p><div><p>` must not close the
+                    // inner div).
+                    if matches!(name.as_str(), "p" | "li" | "tr" | "td" | "option")
+                        && stack.len() > 1
+                        && doc.node(*stack.last().expect("root")).tag() == Some(name)
+                    {
+                        stack.pop();
+                    }
+                    let parent = *stack.last().expect("root never popped");
+                    let node = doc.create_element(rec, name, &[st.cell.into()]);
+                    let mut inline_text: Option<String> = None;
+                    for (an, av) in attrs {
+                        if an == "#text" {
+                            inline_text = Some(av.clone());
+                            continue;
+                        }
+                        doc.set_attribute(rec, node, an, av, &[st.cell.into()]);
+                    }
+                    doc.append_child(rec, parent, node);
+
+                    match name.as_str() {
+                        "title" => in_title = true,
+                        "link" => {
+                            let rel = doc.node(node).attr_value("rel").unwrap_or("");
+                            let href = doc.node(node).attr_value("href").unwrap_or("");
+                            if rel == "stylesheet" && !href.is_empty() {
+                                out.resources.push(Resource::ExternalCss {
+                                    href: href.to_owned(),
+                                    node,
+                                });
+                            }
+                        }
+                        "style" => {
+                            if let Some(text) = &inline_text {
+                                out.resources.push(Resource::InlineCss {
+                                    text: text.clone(),
+                                    node,
+                                    span: st.span,
+                                });
+                            }
+                        }
+                        "script" => {
+                            let src = doc.node(node).attr_value("src").unwrap_or("").to_owned();
+                            if !src.is_empty() {
+                                out.resources.push(Resource::ExternalJs { src, node });
+                            } else if let Some(text) = &inline_text {
+                                out.resources.push(Resource::InlineJs {
+                                    text: text.clone(),
+                                    node,
+                                    span: st.span,
+                                });
+                            }
+                        }
+                        _ => {}
+                    }
+
+                    let is_void = VOID.contains(&name.as_str()) || *self_closing;
+                    // script/style raw text was swallowed by the tokenizer,
+                    // so they never stay open.
+                    let is_raw = matches!(name.as_str(), "script" | "style");
+                    if !is_void && !is_raw {
+                        stack.push(node);
+                    }
+                }
+            }
+        }
+        out
+    })
+}
+
+/// Convenience: tokenize and build in one step.
+///
+/// `input_range` must be the network-input cells holding the document
+/// bytes.
+pub fn parse_into(
+    rec: &mut Recorder,
+    doc: &mut Document,
+    input: &str,
+    input_range: AddrRange,
+) -> ParseOutput {
+    let tokens = tokenize(rec, input, input_range);
+    build_tree(rec, doc, &tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasteprof_trace::{Region, ThreadKind};
+
+    fn parse(input: &str) -> (Document, ParseOutput) {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let range = rec.alloc(Region::Input, input.len().max(1) as u32);
+        let mut doc = Document::new(&mut rec);
+        let out = parse_into(&mut rec, &mut doc, input, range);
+        (doc, out)
+    }
+
+    #[test]
+    fn nested_structure() {
+        let (doc, _) = parse("<html><body><div id=a><p>x</p><p>y</p></div></body></html>");
+        let a = doc.element_by_id("a").unwrap();
+        let ps = doc.elements_by_tag("p");
+        assert_eq!(ps.len(), 2);
+        assert_eq!(doc.node(ps[0]).parent, Some(a));
+        assert_eq!(doc.text_content(a), "xy");
+    }
+
+    #[test]
+    fn void_elements_do_not_nest() {
+        let (doc, _) = parse("<div><img src=a><span>t</span></div>");
+        let img = doc.elements_by_tag("img")[0];
+        let span = doc.elements_by_tag("span")[0];
+        assert!(doc.node(img).children.is_empty());
+        // span is a sibling of img, not its child.
+        assert_eq!(doc.node(span).parent, doc.node(img).parent);
+    }
+
+    #[test]
+    fn paragraphs_auto_close() {
+        let (doc, _) = parse("<p>one<p>two");
+        let ps = doc.elements_by_tag("p");
+        assert_eq!(ps.len(), 2);
+        assert_eq!(doc.node(ps[1]).parent, doc.node(ps[0]).parent);
+    }
+
+    #[test]
+    fn list_items_auto_close() {
+        let (doc, _) = parse("<ul><li>a<li>b<li>c</ul>");
+        let lis = doc.elements_by_tag("li");
+        assert_eq!(lis.len(), 3);
+        let ul = doc.elements_by_tag("ul")[0];
+        assert!(lis.iter().all(|&li| doc.node(li).parent == Some(ul)));
+    }
+
+    #[test]
+    fn resources_discovered_in_order() {
+        let html = concat!(
+            r#"<link rel="stylesheet" href="main.css">"#,
+            "<style>.x{color:red}</style>",
+            r#"<script src="app.js"></script>"#,
+            "<script>var a = 1;</script>",
+        );
+        let (_, out) = parse(html);
+        assert_eq!(out.resources.len(), 4);
+        assert!(
+            matches!(&out.resources[0], Resource::ExternalCss { href, .. } if href == "main.css")
+        );
+        assert!(
+            matches!(&out.resources[1], Resource::InlineCss { text, .. } if text == ".x{color:red}")
+        );
+        assert!(matches!(&out.resources[2], Resource::ExternalJs { src, .. } if src == "app.js"));
+        assert!(
+            matches!(&out.resources[3], Resource::InlineJs { text, .. } if text == "var a = 1;")
+        );
+    }
+
+    #[test]
+    fn title_extracted() {
+        let (_, out) = parse("<head><title> Hello World </title></head>");
+        assert_eq!(out.title.as_deref(), Some("Hello World"));
+    }
+
+    #[test]
+    fn whitespace_only_text_skipped() {
+        let (doc, _) = parse("<div>\n  \n<span>x</span>\n</div>");
+        let div = doc.elements_by_tag("div")[0];
+        // div's children: only the span (whitespace dropped).
+        assert_eq!(doc.node(div).children.len(), 1);
+    }
+
+    #[test]
+    fn stray_end_tags_ignored() {
+        let (doc, _) = parse("</div><p>ok</p></section>");
+        assert_eq!(doc.elements_by_tag("p").len(), 1);
+    }
+
+    #[test]
+    fn link_without_stylesheet_rel_ignored() {
+        let (_, out) = parse(r#"<link rel="icon" href="favicon.ico">"#);
+        assert!(out.resources.is_empty());
+    }
+}

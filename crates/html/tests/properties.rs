@@ -1,0 +1,177 @@
+//! Property-based tests for the HTML front end.
+
+use proptest::prelude::*;
+use wasteprof_dom::Document;
+use wasteprof_html::{parse_into, tokenize, Token};
+use wasteprof_trace::{Recorder, Region, ThreadKind};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,5}".prop_map(|s| s)
+}
+
+/// A small well-formed document generator.
+#[derive(Debug, Clone)]
+enum Node {
+    Text(String),
+    El {
+        tag: String,
+        id: Option<String>,
+        children: Vec<Node>,
+    },
+}
+
+fn arb_node() -> impl Strategy<Value = Node> {
+    let text = "[a-z ]{1,12}".prop_map(Node::Text);
+    text.prop_recursive(3, 20, 4, |inner| {
+        prop_oneof![
+            "[a-z ]{1,12}".prop_map(Node::Text),
+            (
+                ident(),
+                proptest::option::of(ident()),
+                proptest::collection::vec(inner, 0..4)
+            )
+                .prop_map(|(tag, id, children)| Node::El { tag, id, children }),
+        ]
+    })
+}
+
+fn render(n: &Node, out: &mut String) {
+    match n {
+        Node::Text(t) => out.push_str(t),
+        Node::El { tag, id, children } => {
+            out.push('<');
+            out.push_str(tag);
+            if let Some(id) = id {
+                out.push_str(&format!(" id=\"{id}\""));
+            }
+            out.push('>');
+            for c in children {
+                render(c, out);
+            }
+            out.push_str(&format!("</{tag}>"));
+        }
+    }
+}
+
+fn count_elements(n: &Node) -> usize {
+    match n {
+        Node::Text(_) => 0,
+        Node::El { children, .. } => 1 + children.iter().map(count_elements).sum::<usize>(),
+    }
+}
+
+fn visible_text(n: &Node, out: &mut String) {
+    match n {
+        // The tree builder drops whitespace-only text runs; kept runs are
+        // stored verbatim.
+        Node::Text(t) => {
+            if !t.trim().is_empty() {
+                out.push_str(t);
+            }
+        }
+        Node::El { children, .. } => {
+            for c in children {
+                visible_text(c, out);
+            }
+        }
+    }
+}
+
+/// Merges consecutive text siblings (the tokenizer coalesces adjacent
+/// character data into one token).
+fn coalesce(nodes: Vec<Node>) -> Vec<Node> {
+    let mut out: Vec<Node> = Vec::new();
+    for n in nodes {
+        let n = match n {
+            Node::El { tag, id, children } => Node::El {
+                tag,
+                id,
+                children: coalesce(children),
+            },
+            t => t,
+        };
+        match (out.last_mut(), n) {
+            (Some(Node::Text(prev)), Node::Text(t)) => prev.push_str(&t),
+            (_, n) => out.push(n),
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn wellformed_documents_roundtrip_structure(nodes in proptest::collection::vec(arb_node(), 1..4)) {
+        // Avoid generated tags that trigger special content models.
+        let special = ["script", "style", "title", "p", "li", "tr", "td", "option",
+                       "br", "img", "input", "meta", "link", "hr", "area", "base",
+                       "col", "embed", "source", "wbr", "head", "html", "body"];
+        fn uses_special(n: &Node, special: &[&str]) -> bool {
+            match n {
+                Node::Text(_) => false,
+                Node::El { tag, children, .. } =>
+                    special.contains(&tag.as_str())
+                        || children.iter().any(|c| uses_special(c, special)),
+            }
+        }
+        if nodes.iter().any(|n| uses_special(n, &special)) {
+            return Ok(());
+        }
+
+        let nodes = coalesce(nodes);
+        let mut html = String::new();
+        for n in &nodes {
+            render(n, &mut html);
+        }
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "m");
+        let range = rec.alloc(Region::Input, html.len().max(1) as u32);
+        let mut doc = Document::new(&mut rec);
+        parse_into(&mut rec, &mut doc, &html, range);
+
+        // Element count matches.
+        let expected_elements: usize = nodes.iter().map(count_elements).sum();
+        let parsed_elements =
+            doc.descendants(doc.root()).filter(|&n| doc.node(n).is_element()).count();
+        prop_assert_eq!(parsed_elements, expected_elements, "html: {}", html);
+
+        // Concatenated text content matches (modulo whitespace-only runs,
+        // which the tree builder drops).
+        let mut expected_text = String::new();
+        for n in &nodes {
+            visible_text(n, &mut expected_text);
+        }
+        let got = doc.text_content(doc.root());
+        prop_assert_eq!(&got, &expected_text, "html: {}", html);
+
+        // The trace is structurally valid.
+        prop_assert_eq!(rec.finish().validate(), Ok(()));
+    }
+
+    #[test]
+    fn tokenizer_never_panics_and_consumes_input(text in "[ -~]{0,200}") {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "m");
+        let range = rec.alloc(Region::Input, text.len().max(1) as u32);
+        let tokens = tokenize(&mut rec, &text, range);
+        // Every token's span stays inside the input.
+        for t in &tokens {
+            prop_assert!(t.offset as usize <= text.len());
+            prop_assert!((t.offset + t.len) as usize <= text.len().max(1));
+        }
+    }
+
+    #[test]
+    fn tokenizer_text_tokens_cover_plain_text(text in "[a-z ]{1,60}") {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "m");
+        let range = rec.alloc(Region::Input, text.len() as u32);
+        let tokens = tokenize(&mut rec, &text, range);
+        prop_assert_eq!(tokens.len(), 1);
+        match &tokens[0].token {
+            Token::Text { text: t } => prop_assert_eq!(t, &text),
+            other => prop_assert!(false, "{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! JavaScript AST.
+
+/// Index of a literal within a script's literal table; literals get trace
+/// cells at compile time so that executing them reads compiler output.
+pub type LitId = u32;
+
+/// Index of a function within a script.
+pub type FnIdx = u32;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (number add or string concat).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Mod,
+    /// `==` / `===` (no coercion model; both behave strictly).
+    Eq,
+    /// `!=` / `!==`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `!`.
+    Not,
+    /// `-`.
+    Neg,
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`.
+    Set,
+    /// `+=`.
+    Add,
+    /// `-=`.
+    Sub,
+}
+
+/// Places an assignment can target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// `x = ...`.
+    Var(String),
+    /// `obj.prop = ...`.
+    Member(Box<Expr>, String),
+    /// `obj[key] = ...`.
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64, LitId),
+    /// String literal.
+    Str(String, LitId),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `undefined`.
+    Undefined,
+    /// Variable reference.
+    Ident(String),
+    /// `[a, b, c]`.
+    Array(Vec<Expr>),
+    /// `{ k: v, ... }`.
+    Object(Vec<(String, Expr)>),
+    /// `function (args) { ... }` — index into the script's function table.
+    Function(FnIdx),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `&&` (short-circuit).
+    And(Box<Expr>, Box<Expr>),
+    /// `||` (short-circuit).
+    Or(Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Assignment (expression-valued).
+    Assign(AssignOp, Target, Box<Expr>),
+    /// `f(args)`.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `obj.method(args)` — kept distinct so native methods can dispatch
+    /// on the receiver.
+    MethodCall(Box<Expr>, String, Vec<Expr>),
+    /// `obj.prop`.
+    Member(Box<Expr>, String),
+    /// `obj[key]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Postfix `x++` / `x--`: updates the target but evaluates to the
+    /// *previous* value (unlike the compound-assignment desugaring used
+    /// for the prefix forms).
+    PostIncDec {
+        /// The place being updated.
+        target: Target,
+        /// True for `++`, false for `--`.
+        inc: bool,
+        /// Literal id of the implicit `1`.
+        one: LitId,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var`/`let`/`const` declaration (all function-scoped here).
+    Decl(String, Option<Expr>),
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (c) { .. } else { .. }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { .. }`.
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) { .. }`.
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Expr>, Vec<Stmt>),
+    /// `return e;`.
+    Return(Option<Expr>),
+    /// `break;`.
+    Break,
+    /// `continue;`.
+    Continue,
+    /// Named function declaration (hoisted): name + function-table index.
+    FuncDecl(String, FnIdx),
+}
+
+/// A function definition within a script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Name, if declared with one.
+    pub name: Option<String>,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements (shared so calls do not clone the AST).
+    pub body: std::rc::Rc<Vec<Stmt>>,
+    /// Byte offset of the function in the script source.
+    pub src_offset: u32,
+    /// Byte length of the function source (for Table I coverage).
+    pub src_len: u32,
+    /// Literal ids that appear in this function's own body (not nested
+    /// functions) — compiled into code cells alongside the function.
+    pub literals: Vec<LitId>,
+}
+
+/// A parsed script: top-level statements plus the function table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Script {
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+    /// All function definitions (including nested and anonymous ones).
+    pub funcs: Vec<FuncDef>,
+    /// Literal ids appearing at top level.
+    pub literals: Vec<LitId>,
+    /// Total number of literals in the script.
+    pub literal_count: u32,
+    /// Total source length in bytes.
+    pub src_len: u32,
+}

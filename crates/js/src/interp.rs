@@ -1,0 +1,1286 @@
+//! The tree-walking interpreter, with full trace emission.
+//!
+//! Every evaluation mirrors its dataflow: operands are cells, results are
+//! fresh stack cells written by `compute` instructions, conditions drive
+//! `branch` instructions, and JS function calls are `call`/`ret` pairs into
+//! per-function trace symbols (`v8::JsFunction::<name>`), so the slicer
+//! sees JS exactly the way it sees the rest of the engine.
+
+use wasteprof_dom::{Document, NodeId};
+use wasteprof_trace::{site, AddrRange, Recorder, Region, Syscall};
+
+use crate::ast::{AssignOp, BinOp, Expr, Stmt, Target, UnOp};
+use crate::engine::{ev_undefined, JsEngine, PendingBeacon, PendingTimer};
+use crate::value::{Ev, FunId, JsError, ObjId, ScopeId, Value};
+
+/// Statement-level control flow.
+pub(crate) enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Ev),
+}
+
+const MAX_CALL_DEPTH: usize = 128;
+
+impl JsEngine {
+    fn charge(&mut self) -> Result<(), JsError> {
+        if self.steps_left == 0 {
+            return Err(JsError::new("step budget exceeded"));
+        }
+        self.steps_left -= 1;
+        Ok(())
+    }
+
+    /// Executes a block after hoisting its function declarations.
+    pub(crate) fn exec_hoisted_block(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &mut Document,
+        unit: usize,
+        body: &[Stmt],
+        scope: ScopeId,
+    ) -> Result<Flow, JsError> {
+        for stmt in body {
+            if let Stmt::FuncDecl(name, idx) = stmt {
+                let def_idx = self.scripts[unit].fn_base + *idx as usize;
+                let fid = self.new_closure(def_idx, scope);
+                let code = self.defs[def_idx].code;
+                let cell = self.declare(rec, scope, name, Value::Fun(fid));
+                // The closure value derives from the compiled code object.
+                rec.compute(site!(), &[code], &[cell.into()]);
+            }
+        }
+        self.exec_block(rec, doc, unit, body, scope)
+    }
+
+    fn exec_block(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &mut Document,
+        unit: usize,
+        body: &[Stmt],
+        scope: ScopeId,
+    ) -> Result<Flow, JsError> {
+        for stmt in body {
+            match self.exec_stmt(rec, doc, unit, stmt, scope)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &mut Document,
+        unit: usize,
+        stmt: &Stmt,
+        scope: ScopeId,
+    ) -> Result<Flow, JsError> {
+        self.charge()?;
+        match stmt {
+            Stmt::FuncDecl(..) => Ok(Flow::Normal), // hoisted
+            Stmt::Decl(name, init) => {
+                let ev = match init {
+                    Some(e) => self.eval(rec, doc, unit, e, scope)?,
+                    None => ev_undefined(rec),
+                };
+                let cell = self.declare(rec, scope, name, ev.v);
+                rec.compute(site!(), &[ev.cell], &[cell.into()]);
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                self.eval(rec, doc, unit, e, scope)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If(cond, then, els) => {
+                let c = self.eval(rec, doc, unit, cond, scope)?;
+                let taken = c.v.truthy();
+                rec.branch_mem(site!(), c.cell, taken);
+                if taken {
+                    self.exec_block(rec, doc, unit, then, scope)
+                } else {
+                    self.exec_block(rec, doc, unit, els, scope)
+                }
+            }
+            Stmt::While(cond, body) => {
+                let head = site!();
+                loop {
+                    self.charge()?;
+                    let c = self.eval(rec, doc, unit, cond, scope)?;
+                    let taken = c.v.truthy();
+                    rec.branch_mem(head, c.cell, taken);
+                    if !taken {
+                        break;
+                    }
+                    match self.exec_block(rec, doc, unit, body, scope)? {
+                        Flow::Break => break,
+                        Flow::Return(ev) => return Ok(Flow::Return(ev)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For(init, cond, step, body) => {
+                if let Some(init) = init {
+                    self.exec_stmt(rec, doc, unit, init, scope)?;
+                }
+                let head = site!();
+                loop {
+                    self.charge()?;
+                    let taken = match cond {
+                        Some(c) => {
+                            let ev = self.eval(rec, doc, unit, c, scope)?;
+                            let t = ev.v.truthy();
+                            rec.branch_mem(head, ev.cell, t);
+                            t
+                        }
+                        None => true,
+                    };
+                    if !taken {
+                        break;
+                    }
+                    match self.exec_block(rec, doc, unit, body, scope)? {
+                        Flow::Break => break,
+                        Flow::Return(ev) => return Ok(Flow::Return(ev)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    if let Some(step) = step {
+                        self.eval(rec, doc, unit, step, scope)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(value) => {
+                let ev = match value {
+                    Some(e) => self.eval(rec, doc, unit, e, scope)?,
+                    None => ev_undefined(rec),
+                };
+                Ok(Flow::Return(ev))
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+        }
+    }
+
+    /// Calls a closure with already-evaluated arguments.
+    pub(crate) fn call_closure(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &mut Document,
+        fid: FunId,
+        args: Vec<Ev>,
+    ) -> Result<Ev, JsError> {
+        if self.closures.len() <= fid.0 as usize {
+            return Err(JsError::new("call of unknown function"));
+        }
+        let def_idx = self.closures[fid.0 as usize].def;
+        let closure_scope = self.closures[fid.0 as usize].scope;
+        self.defs[def_idx].executed = true;
+        let unit = self.defs[def_idx].script;
+        let trace_fn = self.defs[def_idx].trace_fn;
+        let fn_idx = self.defs[def_idx].idx;
+        let params = self.scripts[unit].script.funcs[fn_idx].params.clone();
+        let body = std::rc::Rc::clone(&self.scripts[unit].script.funcs[fn_idx].body);
+
+        if self.call_depth() >= MAX_CALL_DEPTH {
+            return Err(JsError::new("maximum call stack size exceeded"));
+        }
+
+        // Deferred compilation happens at first call (the paper's proposed
+        // optimization; a no-op in the default eager mode).
+        self.ensure_compiled(rec, def_idx);
+        let code = self.defs[def_idx].code;
+        let scope = self.push_scope(closure_scope);
+        rec.enter(site!(), trace_fn);
+        self.depth_inc();
+        // Bind parameters (missing arguments become undefined). The
+        // binding reads the compiled code object: executing a function
+        // fetches its bytecode, so compilation of *executed* code can
+        // enter the slice (V8's interpreter reads bytecode arrays as
+        // data).
+        for (i, p) in params.iter().enumerate() {
+            let ev = args.get(i).cloned();
+            let cell = self.declare(
+                rec,
+                scope,
+                p,
+                ev.as_ref().map(|e| e.v.clone()).unwrap_or_default(),
+            );
+            match ev {
+                Some(e) => rec.compute(site!(), &[e.cell, code], &[cell.into()]),
+                None => rec.compute(site!(), &[code], &[cell.into()]),
+            };
+        }
+        let result = self.exec_hoisted_block(rec, doc, unit, &body, scope);
+        self.depth_dec();
+        rec.leave(site!());
+        match result? {
+            Flow::Return(ev) => {
+                // The produced value flowed through the function's code.
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[ev.cell, code], &[tmp]);
+                Ok(Ev { v: ev.v, cell: tmp })
+            }
+            _ => Ok(ev_undefined(rec)),
+        }
+    }
+
+    fn call_depth(&self) -> usize {
+        self.call_depth
+    }
+    fn depth_inc(&mut self) {
+        self.call_depth += 1;
+    }
+    fn depth_dec(&mut self) {
+        self.call_depth -= 1;
+    }
+
+    // ----- expression evaluation ----------------------------------------
+
+    pub(crate) fn eval(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &mut Document,
+        unit: usize,
+        expr: &Expr,
+        scope: ScopeId,
+    ) -> Result<Ev, JsError> {
+        self.charge()?;
+        match expr {
+            Expr::Num(n, lit) => {
+                let cell = self.scripts[unit].lit_cells[*lit as usize];
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[cell.into()], &[tmp]);
+                Ok(Ev {
+                    v: Value::Num(*n),
+                    cell: tmp,
+                })
+            }
+            Expr::Str(s, lit) => {
+                let cell = self.scripts[unit].lit_cells[*lit as usize];
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[cell.into()], &[tmp]);
+                Ok(Ev {
+                    v: Value::Str(s.as_str().into()),
+                    cell: tmp,
+                })
+            }
+            Expr::Bool(b) => {
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[], &[tmp]);
+                Ok(Ev {
+                    v: Value::Bool(*b),
+                    cell: tmp,
+                })
+            }
+            Expr::Null => {
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[], &[tmp]);
+                Ok(Ev {
+                    v: Value::Null,
+                    cell: tmp,
+                })
+            }
+            Expr::Undefined => Ok(ev_undefined(rec)),
+            Expr::Ident(name) => self.eval_ident(rec, scope, name),
+            Expr::Array(items) => {
+                let obj = self.new_object(true);
+                let identity = rec.alloc_cell(Region::Heap);
+                rec.compute(site!(), &[], &[identity.into()]);
+                for (i, item) in items.iter().enumerate() {
+                    let ev = self.eval(rec, doc, unit, item, scope)?;
+                    self.set_prop(rec, obj, &i.to_string(), ev.v, &[ev.cell]);
+                }
+                self.set_prop(rec, obj, "length", Value::Num(items.len() as f64), &[]);
+                Ok(Ev {
+                    v: Value::Obj(obj),
+                    cell: identity.into(),
+                })
+            }
+            Expr::Object(props) => {
+                let obj = self.new_object(false);
+                let identity = rec.alloc_cell(Region::Heap);
+                rec.compute(site!(), &[], &[identity.into()]);
+                for (k, e) in props {
+                    let ev = self.eval(rec, doc, unit, e, scope)?;
+                    self.set_prop(rec, obj, k, ev.v, &[ev.cell]);
+                }
+                Ok(Ev {
+                    v: Value::Obj(obj),
+                    cell: identity.into(),
+                })
+            }
+            Expr::Function(idx) => {
+                let def_idx = self.scripts[unit].fn_base + *idx as usize;
+                let fid = self.new_closure(def_idx, scope);
+                let code = self.defs[def_idx].code;
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[code], &[tmp]);
+                Ok(Ev {
+                    v: Value::Fun(fid),
+                    cell: tmp,
+                })
+            }
+            Expr::Binary(op, a, b) => {
+                let l = self.eval(rec, doc, unit, a, scope)?;
+                let r = self.eval(rec, doc, unit, b, scope)?;
+                let v = binary(*op, &l.v, &r.v);
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[l.cell, r.cell], &[tmp]);
+                Ok(Ev { v, cell: tmp })
+            }
+            Expr::And(a, b) => {
+                let l = self.eval(rec, doc, unit, a, scope)?;
+                let t = l.v.truthy();
+                rec.branch_mem(site!(), l.cell, t);
+                if !t {
+                    return Ok(l);
+                }
+                self.eval(rec, doc, unit, b, scope)
+            }
+            Expr::Or(a, b) => {
+                let l = self.eval(rec, doc, unit, a, scope)?;
+                let t = l.v.truthy();
+                rec.branch_mem(site!(), l.cell, !t);
+                if t {
+                    return Ok(l);
+                }
+                self.eval(rec, doc, unit, b, scope)
+            }
+            Expr::Unary(op, e) => {
+                let ev = self.eval(rec, doc, unit, e, scope)?;
+                let v = match op {
+                    UnOp::Not => Value::Bool(!ev.v.truthy()),
+                    UnOp::Neg => Value::Num(-ev.v.as_num()),
+                };
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[ev.cell], &[tmp]);
+                Ok(Ev { v, cell: tmp })
+            }
+            Expr::Ternary(c, a, b) => {
+                let cond = self.eval(rec, doc, unit, c, scope)?;
+                let taken = cond.v.truthy();
+                rec.branch_mem(site!(), cond.cell, taken);
+                if taken {
+                    self.eval(rec, doc, unit, a, scope)
+                } else {
+                    self.eval(rec, doc, unit, b, scope)
+                }
+            }
+            Expr::Assign(op, target, value) => {
+                self.eval_assign(rec, doc, unit, *op, target, value, scope)
+            }
+            Expr::Call(callee, args) => self.eval_call(rec, doc, unit, callee, args, scope),
+            Expr::MethodCall(obj, name, args) => {
+                let recv = self.eval(rec, doc, unit, obj, scope)?;
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(rec, doc, unit, a, scope)?);
+                }
+                self.method_call(rec, doc, recv, name, argv)
+            }
+            Expr::Member(obj, name) => {
+                let recv = self.eval(rec, doc, unit, obj, scope)?;
+                self.member_get(rec, doc, recv, name)
+            }
+            Expr::Index(obj, key) => {
+                let recv = self.eval(rec, doc, unit, obj, scope)?;
+                let k = self.eval(rec, doc, unit, key, scope)?;
+                let name = k.v.as_str();
+                match recv.v {
+                    Value::Obj(id) => Ok(self.prop_ev(rec, id, &name)),
+                    _ => self.member_get(rec, doc, recv, &name),
+                }
+            }
+            Expr::PostIncDec { target, inc, one } => {
+                // Evaluate to the old value, then update the target.
+                let op = if *inc { AssignOp::Add } else { AssignOp::Sub };
+                let one_expr = Expr::Num(1.0, *one);
+                // Read the current value first (for Var targets this is a
+                // cheap slot read; host/object targets re-evaluate).
+                let old = match target {
+                    Target::Var(name) => self.eval_ident(rec, scope, name)?,
+                    Target::Member(obj, prop) => {
+                        let recv = self.eval(rec, doc, unit, obj, scope)?;
+                        self.member_get(rec, doc, recv, prop)?
+                    }
+                    Target::Index(obj, key) => {
+                        let recv = self.eval(rec, doc, unit, obj, scope)?;
+                        let k = self.eval(rec, doc, unit, key, scope)?;
+                        let name = k.v.as_str();
+                        match recv.v {
+                            Value::Obj(id) => self.prop_ev(rec, id, &name),
+                            _ => self.member_get(rec, doc, recv, &name)?,
+                        }
+                    }
+                };
+                // Preserve the old value in a fresh cell before the store
+                // overwrites the slot.
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[old.cell], &[tmp]);
+                let preserved = Ev {
+                    v: old.v.clone(),
+                    cell: tmp,
+                };
+                self.eval_assign(rec, doc, unit, op, target, &one_expr, scope)?;
+                Ok(preserved)
+            }
+        }
+    }
+
+    fn eval_ident(
+        &mut self,
+        rec: &mut Recorder,
+        scope: ScopeId,
+        name: &str,
+    ) -> Result<Ev, JsError> {
+        if let Some(slot) = self.lookup(scope, name) {
+            return Ok(Ev {
+                v: slot.value.clone(),
+                cell: slot.cell.into(),
+            });
+        }
+        let host = match name {
+            "document" => Some(Value::Document),
+            "window" => Some(Value::Window),
+            "console" => Some(Value::Console),
+            "Math" => Some(Value::MathObj),
+            "performance" => Some(Value::Performance),
+            "navigator" => Some(Value::Navigator),
+            _ => None,
+        };
+        match host {
+            Some(v) => {
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[], &[tmp]);
+                Ok(Ev { v, cell: tmp })
+            }
+            None => Err(JsError::new(format!("{name} is not defined"))),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_assign(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &mut Document,
+        unit: usize,
+        op: AssignOp,
+        target: &Target,
+        value: &Expr,
+        scope: ScopeId,
+    ) -> Result<Ev, JsError> {
+        let rhs = self.eval(rec, doc, unit, value, scope)?;
+        match target {
+            Target::Var(name) => {
+                if self.lookup(scope, name).is_none() {
+                    // Sloppy-mode implicit global.
+                    self.declare(rec, self.global, name, Value::Undefined);
+                }
+                let (old, cell) = {
+                    let slot = self.lookup(scope, name).expect("just declared");
+                    (slot.value.clone(), slot.cell)
+                };
+                let new = apply_assign(op, &old, &rhs.v);
+                let reads: Vec<AddrRange> = match op {
+                    AssignOp::Set => vec![rhs.cell],
+                    _ => vec![cell.into(), rhs.cell],
+                };
+                rec.compute(site!(), &reads, &[cell.into()]);
+                self.lookup_mut(scope, name).expect("slot exists").value = new.clone();
+                Ok(Ev {
+                    v: new,
+                    cell: cell.into(),
+                })
+            }
+            Target::Member(obj, name) => {
+                let recv = self.eval(rec, doc, unit, obj, scope)?;
+                self.member_set(rec, doc, recv, name, rhs.clone(), op)?;
+                Ok(rhs)
+            }
+            Target::Index(obj, key) => {
+                let recv = self.eval(rec, doc, unit, obj, scope)?;
+                let k = self.eval(rec, doc, unit, key, scope)?;
+                let name = k.v.as_str();
+                match recv.v {
+                    Value::Obj(id) => {
+                        let old = self.prop_value(id, &name);
+                        let new = apply_assign(op, &old, &rhs.v);
+                        self.set_prop(rec, id, &name, new, &[rhs.cell, k.cell]);
+                        Ok(rhs)
+                    }
+                    _ => {
+                        self.member_set(rec, doc, recv, &name, rhs.clone(), op)?;
+                        Ok(rhs)
+                    }
+                }
+            }
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &mut Document,
+        unit: usize,
+        callee: &Expr,
+        args: &[Expr],
+        scope: ScopeId,
+    ) -> Result<Ev, JsError> {
+        // Global host functions first.
+        if let Expr::Ident(name) = callee {
+            if matches!(
+                name.as_str(),
+                "setTimeout" | "requestAnimationFrame" | "parseInt"
+            ) && self.lookup(scope, name).is_none()
+            {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(rec, doc, unit, a, scope)?);
+                }
+                return self.global_native(rec, name, argv);
+            }
+        }
+        let f = self.eval(rec, doc, unit, callee, scope)?;
+        let mut argv = Vec::with_capacity(args.len());
+        for a in args {
+            argv.push(self.eval(rec, doc, unit, a, scope)?);
+        }
+        match f.v {
+            Value::Fun(fid) => self.call_closure(rec, doc, fid, argv),
+            other => Err(JsError::new(format!(
+                "{} is not a function",
+                other.as_str()
+            ))),
+        }
+    }
+
+    fn global_native(
+        &mut self,
+        rec: &mut Recorder,
+        name: &str,
+        args: Vec<Ev>,
+    ) -> Result<Ev, JsError> {
+        match name {
+            "setTimeout" | "requestAnimationFrame" => {
+                let fun = match args.first().map(|e| &e.v) {
+                    Some(Value::Fun(f)) => *f,
+                    _ => return Err(JsError::new(format!("{name} needs a function"))),
+                };
+                let delay = if name == "setTimeout" {
+                    args.get(1).map(|e| e.v.as_num()).unwrap_or(0.0)
+                } else {
+                    16.0
+                };
+                self.timers.push(PendingTimer {
+                    fun,
+                    delay_ms: delay,
+                });
+                let queue_cell = rec.alloc_cell(Region::Heap);
+                let reads: Vec<AddrRange> = args.iter().map(|a| a.cell).collect();
+                rec.compute(site!(), &reads, &[queue_cell.into()]);
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[], &[tmp]);
+                Ok(Ev {
+                    v: Value::Num(self.timers.len() as f64),
+                    cell: tmp,
+                })
+            }
+            "parseInt" => {
+                let n = args
+                    .first()
+                    .map(|e| e.v.as_str().trim().parse::<f64>().unwrap_or(f64::NAN))
+                    .unwrap_or(f64::NAN);
+                let tmp = rec.alloc_stack(8);
+                let reads: Vec<AddrRange> = args.iter().map(|a| a.cell).collect();
+                rec.compute(site!(), &reads, &[tmp]);
+                Ok(Ev {
+                    v: Value::Num(n.trunc()),
+                    cell: tmp,
+                })
+            }
+            _ => Err(JsError::new(format!("{name} is not defined"))),
+        }
+    }
+
+    // ----- property access ------------------------------------------------
+
+    fn prop_value(&self, obj: ObjId, name: &str) -> Value {
+        self.heap[obj.0 as usize]
+            .props
+            .get(name)
+            .map(|p| p.value.clone())
+            .unwrap_or_default()
+    }
+
+    fn prop_ev(&mut self, rec: &mut Recorder, obj: ObjId, name: &str) -> Ev {
+        match self.heap[obj.0 as usize].props.get(name) {
+            Some(p) => Ev {
+                v: p.value.clone(),
+                cell: p.cell.into(),
+            },
+            None => ev_undefined(rec),
+        }
+    }
+
+    fn member_get(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &mut Document,
+        recv: Ev,
+        name: &str,
+    ) -> Result<Ev, JsError> {
+        match (&recv.v, name) {
+            (Value::Obj(id), _) => Ok(self.prop_ev(rec, *id, name)),
+            (Value::Str(s), "length") => {
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[recv.cell], &[tmp]);
+                Ok(Ev {
+                    v: Value::Num(s.len() as f64),
+                    cell: tmp,
+                })
+            }
+            (Value::Document, "title") => {
+                let v = self
+                    .pending_title
+                    .as_ref()
+                    .map(|(t, _)| t.clone())
+                    .unwrap_or_default();
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[recv.cell], &[tmp]);
+                Ok(Ev {
+                    v: Value::Str(v.into()),
+                    cell: tmp,
+                })
+            }
+            (Value::Document, "body") => {
+                let body = doc.elements_by_tag("body").first().copied();
+                match body {
+                    Some(n) => Ok(self.node_ev(rec, doc, n, &[recv.cell])),
+                    None => Ok(ev_undefined(rec)),
+                }
+            }
+            (Value::Window, "innerWidth") => self.viewport_ev(rec, self.viewport.0),
+            (Value::Window, "innerHeight") => self.viewport_ev(rec, self.viewport.1),
+            (Value::Node(n), "textContent") => {
+                let text = doc.text_content(*n);
+                let cell = doc
+                    .descendants(*n)
+                    .find_map(|d| doc.node(d).text_range())
+                    .unwrap_or_else(|| doc.node(*n).cells.meta.into());
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[cell], &[tmp]);
+                Ok(Ev {
+                    v: Value::Str(text.into()),
+                    cell: tmp,
+                })
+            }
+            (Value::Node(n), "parentNode") => match doc.node(*n).parent {
+                Some(p) => Ok(self.node_ev(rec, doc, p, &[recv.cell])),
+                None => Ok(ev_undefined(rec)),
+            },
+            (Value::Node(n), "id") => self.attr_ev(rec, doc, *n, "id"),
+            (Value::Node(n), "className") => self.attr_ev(rec, doc, *n, "class"),
+            (Value::Node(n), "tagName") => {
+                let tag = doc.node(*n).tag().unwrap_or("").to_ascii_uppercase();
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[doc.node(*n).cells.meta.into()], &[tmp]);
+                Ok(Ev {
+                    v: Value::Str(tag.into()),
+                    cell: tmp,
+                })
+            }
+            (Value::Node(n), "style") => {
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[recv.cell], &[tmp]);
+                Ok(Ev {
+                    v: Value::Style(*n),
+                    cell: tmp,
+                })
+            }
+            (Value::Node(n), "classList") => {
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[recv.cell], &[tmp]);
+                Ok(Ev {
+                    v: Value::ClassList(*n),
+                    cell: tmp,
+                })
+            }
+            (Value::Node(n), "children") => {
+                let kids: Vec<NodeId> = doc
+                    .node(*n)
+                    .children
+                    .iter()
+                    .copied()
+                    .filter(|&c| doc.node(c).is_element())
+                    .collect();
+                self.node_array(rec, doc, &kids, &[recv.cell])
+            }
+            _ => Ok(ev_undefined(rec)),
+        }
+    }
+
+    fn viewport_ev(&mut self, rec: &mut Recorder, v: f64) -> Result<Ev, JsError> {
+        let cell = *self
+            .viewport_cell
+            .get_or_insert_with(|| rec.alloc_cell(Region::Heap));
+        let tmp = rec.alloc_stack(8);
+        rec.compute(site!(), &[cell.into()], &[tmp]);
+        Ok(Ev {
+            v: Value::Num(v),
+            cell: tmp,
+        })
+    }
+
+    fn node_ev(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &Document,
+        n: NodeId,
+        extra: &[AddrRange],
+    ) -> Ev {
+        let mut reads: Vec<AddrRange> = vec![doc.node(n).cells.meta.into()];
+        reads.extend_from_slice(extra);
+        let tmp = rec.alloc_stack(8);
+        rec.compute(site!(), &reads, &[tmp]);
+        Ev {
+            v: Value::Node(n),
+            cell: tmp,
+        }
+    }
+
+    fn attr_ev(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &Document,
+        n: NodeId,
+        attr: &str,
+    ) -> Result<Ev, JsError> {
+        match doc.node(n).attr(attr) {
+            Some(a) => {
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[a.cell.into()], &[tmp]);
+                Ok(Ev {
+                    v: Value::Str(a.value.as_str().into()),
+                    cell: tmp,
+                })
+            }
+            None => Ok(Ev {
+                v: Value::Str("".into()),
+                cell: doc.node(n).cells.meta.into(),
+            }),
+        }
+    }
+
+    fn node_array(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &Document,
+        nodes: &[NodeId],
+        extra: &[AddrRange],
+    ) -> Result<Ev, JsError> {
+        let obj = self.new_object(true);
+        let identity = rec.alloc_cell(Region::Heap);
+        rec.compute(site!(), extra, &[identity.into()]);
+        for (i, &n) in nodes.iter().enumerate() {
+            let meta: AddrRange = doc.node(n).cells.meta.into();
+            self.set_prop(rec, obj, &i.to_string(), Value::Node(n), &[meta]);
+        }
+        self.set_prop(rec, obj, "length", Value::Num(nodes.len() as f64), extra);
+        Ok(Ev {
+            v: Value::Obj(obj),
+            cell: identity.into(),
+        })
+    }
+
+    fn member_set(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &mut Document,
+        recv: Ev,
+        name: &str,
+        value: Ev,
+        op: AssignOp,
+    ) -> Result<(), JsError> {
+        match (&recv.v, name) {
+            (Value::Obj(id), _) => {
+                let old = self.prop_value(*id, name);
+                let new = apply_assign(op, &old, &value.v);
+                self.set_prop(rec, *id, name, new, &[value.cell]);
+                Ok(())
+            }
+            (Value::Node(n), "textContent") => {
+                let n = *n;
+                // Compound assignment reads the current content first.
+                let old = Value::Str(doc.text_content(n).into());
+                let new = apply_assign(op, &old, &value.v);
+                // textContent replaces all children with one text node.
+                for c in doc.node(n).children.clone() {
+                    doc.remove_child(rec, c);
+                }
+                let t = doc.create_text(rec, &new.as_str(), &[value.cell]);
+                doc.append_child(rec, n, t);
+                Ok(())
+            }
+            (Value::Node(n), "className") => {
+                let old = Value::Str(doc.node(*n).attr_value("class").unwrap_or("").into());
+                let new = apply_assign(op, &old, &value.v);
+                doc.set_attribute(rec, *n, "class", &new.as_str(), &[value.cell]);
+                Ok(())
+            }
+            (Value::Node(n), "id") => {
+                let old = Value::Str(doc.node(*n).attr_value("id").unwrap_or("").into());
+                let new = apply_assign(op, &old, &value.v);
+                doc.set_attribute(rec, *n, "id", &new.as_str(), &[value.cell]);
+                Ok(())
+            }
+            (Value::Style(n), prop) => {
+                let css_prop = camel_to_kebab(prop);
+                let existing = doc.node(*n).attr_value("style").unwrap_or("").to_owned();
+                let updated = upsert_style(&existing, &css_prop, &value.v.as_str());
+                doc.set_attribute(rec, *n, "style", &updated, &[value.cell]);
+                Ok(())
+            }
+            (Value::Document, "title") => {
+                let old = Value::Str(
+                    self.pending_title
+                        .as_ref()
+                        .map(|(t, _)| t.clone())
+                        .unwrap_or_default()
+                        .into(),
+                );
+                let new = apply_assign(op, &old, &value.v);
+                self.pending_title = Some((new.as_str(), value.cell));
+                Ok(())
+            }
+            _ => Ok(()), // setting unknown host members is silently ignored
+        }
+    }
+
+    // ----- host methods -----------------------------------------------------
+
+    fn method_call(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &mut Document,
+        recv: Ev,
+        name: &str,
+        args: Vec<Ev>,
+    ) -> Result<Ev, JsError> {
+        match (&recv.v, name) {
+            // --- document ---
+            (Value::Document, "getElementById") => {
+                let bindings = rec.intern_func("v8::bindings::Document");
+                let id = args.first().map(|a| a.v.as_str()).unwrap_or_default();
+                let found = doc.element_by_id(&id);
+                rec.in_func(site!(), bindings, |rec| {
+                    let arg_cell = args.first().map(|a| a.cell);
+                    match found {
+                        Some(n) => {
+                            let mut reads = vec![doc.node(n).cells.meta.into()];
+                            reads.extend(arg_cell);
+                            let tmp = rec.alloc_stack(8);
+                            rec.compute(site!(), &reads, &[tmp]);
+                            Ok(Ev {
+                                v: Value::Node(n),
+                                cell: tmp,
+                            })
+                        }
+                        None => {
+                            let tmp = rec.alloc_stack(8);
+                            let reads: Vec<AddrRange> = arg_cell.into_iter().collect();
+                            rec.compute(site!(), &reads, &[tmp]);
+                            Ok(Ev {
+                                v: Value::Null,
+                                cell: tmp,
+                            })
+                        }
+                    }
+                })
+            }
+            (Value::Document, "createElement") => {
+                let tag = args.first().map(|a| a.v.as_str()).unwrap_or_default();
+                let srcs: Vec<AddrRange> = args.iter().map(|a| a.cell).collect();
+                let n = doc.create_element(rec, &tag, &srcs);
+                Ok(self.node_ev(rec, doc, n, &[]))
+            }
+            (Value::Document, "createTextNode") => {
+                let text = args.first().map(|a| a.v.as_str()).unwrap_or_default();
+                let srcs: Vec<AddrRange> = args.iter().map(|a| a.cell).collect();
+                let n = doc.create_text(rec, &text, &srcs);
+                Ok(self.node_ev(rec, doc, n, &[]))
+            }
+            (Value::Document, "querySelector" | "querySelectorAll") => {
+                // Full CSS selector matching through the style engine's
+                // selector machinery.
+                let text = args.first().map(|a| a.v.as_str()).unwrap_or_default();
+                let Some(sel) = wasteprof_css::Selector::parse(&text) else {
+                    return Err(JsError::new(format!("invalid selector {text:?}")));
+                };
+                let matches: Vec<NodeId> = doc
+                    .descendants(doc.root())
+                    .filter(|&n| sel.matches(doc, n))
+                    .collect();
+                let extra: Vec<AddrRange> = args.iter().map(|a| a.cell).collect();
+                if name == "querySelectorAll" {
+                    self.node_array(rec, doc, &matches, &extra)
+                } else {
+                    match matches.first() {
+                        Some(&n) => Ok(self.node_ev(rec, doc, n, &extra)),
+                        None => {
+                            let tmp = rec.alloc_stack(8);
+                            rec.compute(site!(), &extra, &[tmp]);
+                            Ok(Ev {
+                                v: Value::Null,
+                                cell: tmp,
+                            })
+                        }
+                    }
+                }
+            }
+            (Value::Document, "getElementsByTagName") => {
+                let tag = args.first().map(|a| a.v.as_str()).unwrap_or_default();
+                let nodes = doc.elements_by_tag(&tag);
+                let extra: Vec<AddrRange> = args.iter().map(|a| a.cell).collect();
+                self.node_array(rec, doc, &nodes, &extra)
+            }
+            (Value::Document, "getElementsByClassName") => {
+                let class = args.first().map(|a| a.v.as_str()).unwrap_or_default();
+                let nodes = doc.elements_by_class(&class);
+                let extra: Vec<AddrRange> = args.iter().map(|a| a.cell).collect();
+                self.node_array(rec, doc, &nodes, &extra)
+            }
+            (Value::Document | Value::Window, "addEventListener") => {
+                let event = args.first().map(|a| a.v.as_str()).unwrap_or_default();
+                let fun = match args.get(1).map(|a| &a.v) {
+                    Some(Value::Fun(f)) => *f,
+                    _ => return Err(JsError::new("addEventListener needs a function")),
+                };
+                self.window_handlers.entry(event).or_default().push(fun);
+                self.listener_op(rec, &args);
+                Ok(ev_undefined(rec))
+            }
+            (Value::Window, "setTimeout" | "requestAnimationFrame") => {
+                self.global_native(rec, name, args)
+            }
+            // --- nodes ---
+            (Value::Node(n), "appendChild") => {
+                let n = *n;
+                match args.first().map(|a| a.v.clone()) {
+                    Some(Value::Node(c)) => {
+                        // HierarchyRequestError: the receiver must not be
+                        // the child or one of its descendants.
+                        let mut cursor = Some(n);
+                        while let Some(a) = cursor {
+                            if a == c {
+                                return Err(JsError::new("appendChild would create a cycle"));
+                            }
+                            cursor = doc.node(a).parent;
+                        }
+                        if doc.node(c).parent.is_some() {
+                            doc.remove_child(rec, c);
+                        }
+                        doc.append_child(rec, n, c);
+                        Ok(args.into_iter().next().expect("checked"))
+                    }
+                    _ => Err(JsError::new("appendChild needs a node")),
+                }
+            }
+            (Value::Node(_), "removeChild") | (Value::Node(_), "remove") => {
+                let target = if name == "remove" {
+                    match recv.v {
+                        Value::Node(n) => Some(n),
+                        _ => None,
+                    }
+                } else {
+                    match args.first().map(|a| &a.v) {
+                        Some(Value::Node(c)) => Some(*c),
+                        _ => None,
+                    }
+                };
+                if let Some(c) = target {
+                    doc.remove_child(rec, c);
+                }
+                Ok(ev_undefined(rec))
+            }
+            (Value::Node(n), "setAttribute") => {
+                let attr = args.first().map(|a| a.v.as_str()).unwrap_or_default();
+                let val = args.get(1).map(|a| a.v.as_str()).unwrap_or_default();
+                let srcs: Vec<AddrRange> = args.iter().map(|a| a.cell).collect();
+                doc.set_attribute(rec, *n, &attr, &val, &srcs);
+                Ok(ev_undefined(rec))
+            }
+            (Value::Node(n), "getAttribute") => {
+                let attr = args.first().map(|a| a.v.as_str()).unwrap_or_default();
+                self.attr_ev(rec, doc, *n, &attr)
+            }
+            (Value::Node(n), "addEventListener") => {
+                let event = args.first().map(|a| a.v.as_str()).unwrap_or_default();
+                let fun = match args.get(1).map(|a| &a.v) {
+                    Some(Value::Fun(f)) => *f,
+                    _ => return Err(JsError::new("addEventListener needs a function")),
+                };
+                self.handlers.entry((*n, event)).or_default().push(fun);
+                self.listener_op(rec, &args);
+                Ok(ev_undefined(rec))
+            }
+            // --- classList ---
+            (Value::ClassList(n), "add" | "remove" | "toggle" | "contains") => {
+                let n = *n;
+                let class = args.first().map(|a| a.v.as_str()).unwrap_or_default();
+                let mut classes: Vec<String> = doc.node(n).classes().map(str::to_owned).collect();
+                let has = classes.contains(&class);
+                let result = match name {
+                    "contains" => {
+                        let tmp = rec.alloc_stack(8);
+                        let reads: Vec<AddrRange> = args.iter().map(|a| a.cell).collect();
+                        rec.compute(site!(), &reads, &[tmp]);
+                        return Ok(Ev {
+                            v: Value::Bool(has),
+                            cell: tmp,
+                        });
+                    }
+                    "add" if !has => {
+                        classes.push(class);
+                        true
+                    }
+                    "remove" if has => {
+                        classes.retain(|c| *c != class);
+                        true
+                    }
+                    "toggle" => {
+                        if has {
+                            classes.retain(|c| *c != class);
+                        } else {
+                            classes.push(class);
+                        }
+                        true
+                    }
+                    _ => false,
+                };
+                if result {
+                    let srcs: Vec<AddrRange> = args.iter().map(|a| a.cell).collect();
+                    doc.set_attribute(rec, n, "class", &classes.join(" "), &srcs);
+                }
+                Ok(ev_undefined(rec))
+            }
+            // --- console (Debugging category) ---
+            (Value::Console, "log" | "warn" | "error" | "info" | "debug") => {
+                let dbg = rec.intern_func("base::debug::ConsoleMessage");
+                rec.in_func(site!(), dbg, |rec| {
+                    let ring = rec.alloc(Region::DebugRing, 8 * args.len().max(1) as u32);
+                    let reads: Vec<AddrRange> = args.iter().map(|a| a.cell).collect();
+                    rec.compute_weighted(site!(), &reads, &[ring], 4);
+                });
+                Ok(ev_undefined(rec))
+            }
+            // --- Math ---
+            (Value::MathObj, _) => {
+                let nums: Vec<f64> = args.iter().map(|a| a.v.as_num()).collect();
+                let v = match name {
+                    "floor" => nums.first().copied().unwrap_or(f64::NAN).floor(),
+                    "ceil" => nums.first().copied().unwrap_or(f64::NAN).ceil(),
+                    "round" => nums.first().copied().unwrap_or(f64::NAN).round(),
+                    "abs" => nums.first().copied().unwrap_or(f64::NAN).abs(),
+                    "sqrt" => nums.first().copied().unwrap_or(f64::NAN).sqrt(),
+                    "min" => nums.iter().copied().fold(f64::INFINITY, f64::min),
+                    "max" => nums.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    "random" => self.next_random(),
+                    _ => return Err(JsError::new(format!("Math.{name} is not a function"))),
+                };
+                let tmp = rec.alloc_stack(8);
+                let reads: Vec<AddrRange> = args.iter().map(|a| a.cell).collect();
+                rec.compute(site!(), &reads, &[tmp]);
+                Ok(Ev {
+                    v: Value::Num(v),
+                    cell: tmp,
+                })
+            }
+            // --- performance ---
+            (Value::Performance, "now") => {
+                let ts = rec.alloc_stack(16);
+                let tscell = rec.alloc_cell(Region::Heap);
+                rec.syscall(
+                    site!(),
+                    Syscall::ClockGettime,
+                    &[tscell.into()],
+                    vec![],
+                    vec![ts],
+                );
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[ts], &[tmp]);
+                Ok(Ev {
+                    v: Value::Num(rec.pos().0 as f64 / 1000.0),
+                    cell: tmp,
+                })
+            }
+            // --- navigator ---
+            (Value::Navigator, "sendBeacon") => {
+                let url = args.first().map(|a| a.v.as_str()).unwrap_or_default();
+                let payload = args.get(1).map(|a| a.cell).unwrap_or_else(|| {
+                    args.first()
+                        .map(|a| a.cell)
+                        .unwrap_or_else(|| rec.alloc_stack(8))
+                });
+                self.beacons.push(PendingBeacon { url, payload });
+                let queue = rec.alloc_cell(Region::Heap);
+                let reads: Vec<AddrRange> = args.iter().map(|a| a.cell).collect();
+                rec.compute(site!(), &reads, &[queue.into()]);
+                let tmp = rec.alloc_stack(8);
+                rec.compute(site!(), &[], &[tmp]);
+                Ok(Ev {
+                    v: Value::Bool(true),
+                    cell: tmp,
+                })
+            }
+            // --- arrays / objects ---
+            (Value::Obj(id), "push") => {
+                let id = *id;
+                let len = self.prop_value(id, "length").as_num().max(0.0) as usize;
+                for (i, a) in args.iter().enumerate() {
+                    self.set_prop(rec, id, &(len + i).to_string(), a.v.clone(), &[a.cell]);
+                }
+                let new_len = Value::Num((len + args.len()) as f64);
+                let cell = self.set_prop(rec, id, "length", new_len.clone(), &[]);
+                Ok(Ev {
+                    v: new_len,
+                    cell: cell.into(),
+                })
+            }
+            (Value::Obj(id), "indexOf") => {
+                let id = *id;
+                let needle = args.first().map(|a| a.v.clone()).unwrap_or_default();
+                let len = self.prop_value(id, "length").as_num().max(0.0) as usize;
+                let mut found = -1.0;
+                for i in 0..len {
+                    if self.prop_value(id, &i.to_string()).loose_eq(&needle) {
+                        found = i as f64;
+                        break;
+                    }
+                }
+                let tmp = rec.alloc_stack(8);
+                let reads: Vec<AddrRange> = args.iter().map(|a| a.cell).collect();
+                rec.compute(site!(), &reads, &[tmp]);
+                Ok(Ev {
+                    v: Value::Num(found),
+                    cell: tmp,
+                })
+            }
+            (Value::Obj(id), _) => {
+                // A stored function property used as a method.
+                let id = *id;
+                match self.prop_value(id, name) {
+                    Value::Fun(fid) => self.call_closure(rec, doc, fid, args),
+                    _ => Err(JsError::new(format!("{name} is not a function"))),
+                }
+            }
+            _ => Err(JsError::new(format!(
+                "{name} is not a function on this value"
+            ))),
+        }
+    }
+
+    fn listener_op(&mut self, rec: &mut Recorder, args: &[Ev]) {
+        let bindings = rec.intern_func("v8::bindings::AddEventListener");
+        rec.in_func(site!(), bindings, |rec| {
+            let table = rec.alloc_cell(Region::Heap);
+            let reads: Vec<AddrRange> = args.iter().map(|a| a.cell).collect();
+            rec.compute(site!(), &reads, &[table.into()]);
+        });
+    }
+}
+
+fn binary(op: BinOp, a: &Value, b: &Value) -> Value {
+    match op {
+        BinOp::Add => match (a, b) {
+            (Value::Str(_), _) | (_, Value::Str(_)) => {
+                Value::Str(format!("{}{}", a.as_str(), b.as_str()).into())
+            }
+            _ => Value::Num(a.as_num() + b.as_num()),
+        },
+        BinOp::Sub => Value::Num(a.as_num() - b.as_num()),
+        BinOp::Mul => Value::Num(a.as_num() * b.as_num()),
+        BinOp::Div => Value::Num(a.as_num() / b.as_num()),
+        BinOp::Mod => Value::Num(a.as_num() % b.as_num()),
+        BinOp::Eq => Value::Bool(a.loose_eq(b)),
+        BinOp::Ne => Value::Bool(!a.loose_eq(b)),
+        BinOp::Lt => Value::Bool(a.as_num() < b.as_num()),
+        BinOp::Le => Value::Bool(a.as_num() <= b.as_num()),
+        BinOp::Gt => Value::Bool(a.as_num() > b.as_num()),
+        BinOp::Ge => Value::Bool(a.as_num() >= b.as_num()),
+    }
+}
+
+fn apply_assign(op: AssignOp, old: &Value, rhs: &Value) -> Value {
+    match op {
+        AssignOp::Set => rhs.clone(),
+        AssignOp::Add => binary(BinOp::Add, old, rhs),
+        AssignOp::Sub => binary(BinOp::Sub, old, rhs),
+    }
+}
+
+/// `backgroundColor` → `background-color`.
+fn camel_to_kebab(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 4);
+    for c in s.chars() {
+        if c.is_ascii_uppercase() {
+            out.push('-');
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Sets `prop: value` within a `style` attribute string, replacing any
+/// existing declaration of the same property.
+fn upsert_style(existing: &str, prop: &str, value: &str) -> String {
+    let mut parts: Vec<String> = existing
+        .split(';')
+        .filter_map(|d| {
+            let d = d.trim();
+            if d.is_empty() {
+                return None;
+            }
+            let name = d.split(':').next().unwrap_or("").trim();
+            if name == prop {
+                None
+            } else {
+                Some(d.to_owned())
+            }
+        })
+        .collect();
+    parts.push(format!("{prop}: {value}"));
+    parts.join("; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn camel_case_conversion() {
+        assert_eq!(camel_to_kebab("backgroundColor"), "background-color");
+        assert_eq!(camel_to_kebab("width"), "width");
+        assert_eq!(camel_to_kebab("zIndex"), "z-index");
+    }
+
+    #[test]
+    fn style_upsert() {
+        assert_eq!(upsert_style("", "color", "red"), "color: red");
+        assert_eq!(
+            upsert_style("width: 4px; color: blue", "color", "red"),
+            "width: 4px; color: red"
+        );
+    }
+
+    #[test]
+    fn binary_string_concat() {
+        let v = binary(BinOp::Add, &Value::from("a"), &Value::Num(1.0));
+        assert!(matches!(v, Value::Str(s) if &*s == "a1"));
+    }
+}

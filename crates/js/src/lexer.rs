@@ -1,0 +1,282 @@
+//! JavaScript lexer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (quotes removed, escapes decoded).
+    Str(String),
+    /// Identifier or keyword.
+    Ident(String),
+    /// Punctuation or operator, e.g. `"=="`, `"{"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// True if this token is the given punctuation.
+    pub fn is(&self, p: &str) -> bool {
+        matches!(self, Tok::Punct(q) if *q == p)
+    }
+
+    /// True if this token is the given keyword/identifier.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == kw)
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Punct(p) => write!(f, "{p}"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset where the token starts.
+    pub offset: u32,
+}
+
+/// Multi-character operators, longest first.
+const PUNCTS: &[&str] = &[
+    "===", "!==", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "++", "--",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "+", "-", "*", "/", "%", "<", ">", "=", "!", "?",
+    ":",
+];
+
+/// Errors from lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the problem.
+    pub offset: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Lexes a source string into tokens (with a trailing [`Tok::Eof`]).
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated strings or bytes that start no
+/// token.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+            continue;
+        }
+        let offset = i as u32;
+        // Strings.
+        if b == b'"' || b == b'\'' {
+            let quote = b;
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(i) {
+                    None => {
+                        return Err(LexError {
+                            message: "unterminated string".into(),
+                            offset,
+                        })
+                    }
+                    Some(&c) if c == quote => {
+                        i += 1;
+                        break;
+                    }
+                    Some(b'\\') => {
+                        let esc = bytes.get(i + 1).copied().unwrap_or(b'\\');
+                        s.push(match esc {
+                            b'n' => '\n',
+                            b't' => '\t',
+                            c => c as char,
+                        });
+                        i += 2;
+                    }
+                    Some(&c) => {
+                        s.push(c as char);
+                        i += 1;
+                    }
+                }
+            }
+            out.push(Spanned {
+                tok: Tok::Str(s),
+                offset,
+            });
+            continue;
+        }
+        // Numbers.
+        if b.is_ascii_digit() {
+            let start = i;
+            while matches!(bytes.get(i), Some(&c) if c.is_ascii_digit() || c == b'.') {
+                i += 1;
+            }
+            let text = &src[start..i];
+            let n = text.parse::<f64>().map_err(|_| LexError {
+                message: format!("bad number {text:?}"),
+                offset,
+            })?;
+            out.push(Spanned {
+                tok: Tok::Num(n),
+                offset,
+            });
+            continue;
+        }
+        // Identifiers / keywords.
+        if b.is_ascii_alphabetic() || b == b'_' || b == b'$' {
+            let start = i;
+            while matches!(bytes.get(i), Some(&c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'$')
+            {
+                i += 1;
+            }
+            out.push(Spanned {
+                tok: Tok::Ident(src[start..i].to_owned()),
+                offset,
+            });
+            continue;
+        }
+        // Punctuation.
+        let mut matched = false;
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(Spanned {
+                    tok: Tok::Punct(p),
+                    offset,
+                });
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(LexError {
+                message: format!("unexpected byte {:?}", b as char),
+                offset,
+            });
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        offset: bytes.len() as u32,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn numbers_strings_idents() {
+        assert_eq!(
+            kinds("var x = 42.5; y = 'hi'"),
+            vec![
+                Tok::Ident("var".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Num(42.5),
+                Tok::Punct(";"),
+                Tok::Ident("y".into()),
+                Tok::Punct("="),
+                Tok::Str("hi".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn multichar_operators_longest_match() {
+        assert_eq!(
+            kinds("a === b != c <= d && e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("==="),
+                Tok::Ident("b".into()),
+                Tok::Punct("!="),
+                Tok::Ident("c".into()),
+                Tok::Punct("<="),
+                Tok::Ident("d".into()),
+                Tok::Punct("&&"),
+                Tok::Ident("e".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a // line\n/* block\nmore */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#"'a\nb\'c'"#),
+            vec![Tok::Str("a\nb'c".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+
+    #[test]
+    fn unknown_byte_errors() {
+        assert!(lex("a # b").is_err());
+    }
+}

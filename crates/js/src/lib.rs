@@ -1,0 +1,25 @@
+//! A miniature JavaScript engine for the wasteprof browser, modeled after
+//! the V8 pipeline the paper instruments: eager parse + compile of every
+//! function (`v8::Parser`, `v8::Compiler`), a traced interpreter
+//! (`v8::JsFunction::*`), DOM/host bindings, event handlers, timers, and
+//! DevTools-style unused-code coverage (the JS half of Table I).
+//!
+//! Processing JavaScript is the paper's single largest category of
+//! *potentially unnecessary* computation (Figure 5): imported library code
+//! that never runs is compiled anyway, and much of what runs never affects
+//! the pixels. This engine reproduces both behaviours at the trace level.
+
+#![warn(missing_docs)]
+
+mod ast;
+mod engine;
+mod interp;
+mod lexer;
+mod parser;
+mod value;
+
+pub use ast::{AssignOp, BinOp, Expr, FuncDef, Script, Stmt, Target, UnOp};
+pub use engine::{JsCoverage, JsEngine, PendingBeacon, PendingTimer, DEFAULT_STEP_BUDGET};
+pub use lexer::{lex, LexError, Spanned, Tok};
+pub use parser::{parse, ParseError};
+pub use value::{Ev, FunId, JsError, JsObject, ObjId, Prop, Scope, ScopeId, Slot, Value};

@@ -1,0 +1,753 @@
+//! JavaScript parser (Pratt-style expression parsing).
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Spanned, Tok};
+
+/// Errors from parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the problem.
+    pub offset: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            offset: e.offset,
+        }
+    }
+}
+
+/// Parses a script.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on any lexical or syntactic problem. The engine
+/// treats a failing script the way a browser does: the error is reported
+/// and the rest of the page carries on.
+pub fn parse(src: &str) -> Result<Script, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+        funcs: Vec::new(),
+        lit_stack: vec![Vec::new()],
+        lit_count: 0,
+        depth: 0,
+    };
+    let mut body = Vec::new();
+    while !p.peek().is_eof() {
+        body.extend(p.statement()?);
+    }
+    let literals = p.lit_stack.pop().expect("top literal frame");
+    Ok(Script {
+        body,
+        funcs: p.funcs,
+        literals,
+        literal_count: p.lit_count,
+        src_len: src.len() as u32,
+    })
+}
+
+trait TokExt {
+    fn is_eof(&self) -> bool;
+}
+impl TokExt for Tok {
+    fn is_eof(&self) -> bool {
+        matches!(self, Tok::Eof)
+    }
+}
+
+/// Maximum nesting depth of expressions/statements before the parser
+/// reports an error instead of overflowing the native stack.
+const MAX_PARSE_DEPTH: u32 = 64;
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    funcs: Vec<FuncDef>,
+    lit_stack: Vec<Vec<LitId>>,
+    lit_count: u32,
+    depth: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn offset(&self) -> u32 {
+        self.toks[self.pos].offset
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            offset: self.offset(),
+        })
+    }
+
+    fn expect(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.peek().is(p) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {p:?}, found {}", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, p: &str) -> bool {
+        if self.peek().is(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            t => self.err(format!("expected identifier, found {t}")),
+        }
+    }
+
+    fn new_lit(&mut self) -> LitId {
+        let id = self.lit_count;
+        self.lit_count += 1;
+        self.lit_stack.last_mut().expect("literal frame").push(id);
+        id
+    }
+
+    // ----- statements ---------------------------------------------------
+
+    fn statement(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            self.depth -= 1;
+            return self.err("statement nesting too deep");
+        }
+        let out = self.statement_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn statement_inner(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        match self.peek().clone() {
+            Tok::Punct(";") => {
+                self.bump();
+                Ok(vec![])
+            }
+            Tok::Punct("{") => self.block(),
+            Tok::Ident(kw) => match kw.as_str() {
+                "var" | "let" | "const" => {
+                    self.bump();
+                    let mut out = Vec::new();
+                    loop {
+                        let name = self.ident()?;
+                        let init = if self.eat("=") {
+                            Some(self.expression()?)
+                        } else {
+                            None
+                        };
+                        out.push(Stmt::Decl(name, init));
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                    self.eat(";");
+                    Ok(out)
+                }
+                "function" => {
+                    let idx = self.function(true)?;
+                    let name = self.funcs[idx as usize]
+                        .name
+                        .clone()
+                        .expect("declared function has a name");
+                    Ok(vec![Stmt::FuncDecl(name, idx)])
+                }
+                "if" => {
+                    self.bump();
+                    self.expect("(")?;
+                    let cond = self.expression()?;
+                    self.expect(")")?;
+                    let then = self.statement()?;
+                    let els = if self.peek().is_kw("else") {
+                        self.bump();
+                        self.statement()?
+                    } else {
+                        vec![]
+                    };
+                    Ok(vec![Stmt::If(cond, then, els)])
+                }
+                "while" => {
+                    self.bump();
+                    self.expect("(")?;
+                    let cond = self.expression()?;
+                    self.expect(")")?;
+                    let body = self.statement()?;
+                    Ok(vec![Stmt::While(cond, body)])
+                }
+                "for" => {
+                    self.bump();
+                    self.expect("(")?;
+                    let init = if self.peek().is(";") {
+                        None
+                    } else {
+                        Some(Box::new({
+                            let stmts = self.statement()?;
+                            match stmts.len() {
+                                1 => stmts.into_iter().next().expect("one statement"),
+                                _ => return self.err("for-init must be one statement"),
+                            }
+                        }))
+                    };
+                    // statement() consumed a trailing ';' for decls; expr
+                    // statements leave it.
+                    self.eat(";");
+                    let cond = if self.peek().is(";") {
+                        None
+                    } else {
+                        Some(self.expression()?)
+                    };
+                    self.expect(";")?;
+                    let step = if self.peek().is(")") {
+                        None
+                    } else {
+                        Some(self.expression()?)
+                    };
+                    self.expect(")")?;
+                    let body = self.statement()?;
+                    Ok(vec![Stmt::For(init, cond, step, body)])
+                }
+                "return" => {
+                    self.bump();
+                    let value =
+                        if self.peek().is(";") || self.peek().is("}") || self.peek().is_eof() {
+                            None
+                        } else {
+                            Some(self.expression()?)
+                        };
+                    self.eat(";");
+                    Ok(vec![Stmt::Return(value)])
+                }
+                "break" => {
+                    self.bump();
+                    self.eat(";");
+                    Ok(vec![Stmt::Break])
+                }
+                "continue" => {
+                    self.bump();
+                    self.eat(";");
+                    Ok(vec![Stmt::Continue])
+                }
+                _ => {
+                    let e = self.expression()?;
+                    self.eat(";");
+                    Ok(vec![Stmt::Expr(e)])
+                }
+            },
+            _ => {
+                let e = self.expression()?;
+                self.eat(";");
+                Ok(vec![Stmt::Expr(e)])
+            }
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect("{")?;
+        let mut out = Vec::new();
+        while !self.peek().is("}") && !self.peek().is_eof() {
+            out.extend(self.statement()?);
+        }
+        self.expect("}")?;
+        Ok(out)
+    }
+
+    /// Parses `function [name](params) { body }`; returns its table index.
+    fn function(&mut self, named: bool) -> Result<FnIdx, ParseError> {
+        let start = self.offset();
+        self.bump(); // "function"
+        let name = if named || matches!(self.peek(), Tok::Ident(_)) {
+            if matches!(self.peek(), Tok::Ident(_)) {
+                Some(self.ident()?)
+            } else if named {
+                return self.err("function declaration needs a name");
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        self.expect("(")?;
+        let mut params = Vec::new();
+        while !self.peek().is(")") {
+            params.push(self.ident()?);
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.expect(")")?;
+        self.lit_stack.push(Vec::new());
+        let body = self.block()?;
+        let literals = self.lit_stack.pop().expect("function literal frame");
+        let end = self.toks[self.pos.saturating_sub(1)].offset + 1;
+        let idx = self.funcs.len() as FnIdx;
+        self.funcs.push(FuncDef {
+            name,
+            params,
+            body: std::rc::Rc::new(body),
+            src_offset: start,
+            src_len: end.saturating_sub(start),
+            literals,
+        });
+        Ok(idx)
+    }
+
+    // ----- expressions ----------------------------------------------------
+
+    fn expression(&mut self) -> Result<Expr, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            self.depth -= 1;
+            return self.err("expression nesting too deep");
+        }
+        let out = self.assignment();
+        self.depth -= 1;
+        out
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.ternary()?;
+        let op = match self.peek() {
+            Tok::Punct("=") => Some(AssignOp::Set),
+            Tok::Punct("+=") => Some(AssignOp::Add),
+            Tok::Punct("-=") => Some(AssignOp::Sub),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let target = match lhs {
+                Expr::Ident(name) => Target::Var(name),
+                Expr::Member(obj, prop) => Target::Member(obj, prop),
+                Expr::Index(obj, key) => Target::Index(obj, key),
+                _ => return self.err("invalid assignment target"),
+            };
+            let value = self.assignment()?;
+            return Ok(Expr::Assign(op, target, Box::new(value)));
+        }
+        Ok(lhs)
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.logic_or()?;
+        if self.eat("?") {
+            let a = self.assignment()?;
+            self.expect(":")?;
+            let b = self.assignment()?;
+            return Ok(Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b)));
+        }
+        Ok(cond)
+    }
+
+    fn logic_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.logic_and()?;
+        while self.eat("||") {
+            let rhs = self.logic_and()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn logic_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.equality()?;
+        while self.eat("&&") {
+            let rhs = self.equality()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("==") | Tok::Punct("===") => BinOp::Eq,
+                Tok::Punct("!=") | Tok::Punct("!==") => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.relational()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("<") => BinOp::Lt,
+                Tok::Punct("<=") => BinOp::Le,
+                Tok::Punct(">") => BinOp::Gt,
+                Tok::Punct(">=") => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("+") => BinOp::Add,
+                Tok::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("*") => BinOp::Mul,
+                Tok::Punct("/") => BinOp::Div,
+                Tok::Punct("%") => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        // Unary chains recurse without passing through expression(), so
+        // they need their own depth guard (`!!!...!x`).
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            self.depth -= 1;
+            return self.err("expression nesting too deep");
+        }
+        let out = self.unary_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, ParseError> {
+        if self.eat("!") {
+            return Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)));
+        }
+        if self.eat("-") {
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        if self.peek().is("++") || self.peek().is("--") {
+            // Prefix increment/decrement desugars to compound assignment.
+            let inc = self.bump().is("++");
+            let e = self.unary()?;
+            return self.incdec(e, inc);
+        }
+        self.postfix()
+    }
+
+    fn incdec(&mut self, e: Expr, inc: bool) -> Result<Expr, ParseError> {
+        let target = match e {
+            Expr::Ident(name) => Target::Var(name),
+            Expr::Member(obj, prop) => Target::Member(obj, prop),
+            Expr::Index(obj, key) => Target::Index(obj, key),
+            _ => return self.err("invalid increment target"),
+        };
+        let one = Expr::Num(1.0, self.new_lit());
+        let op = if inc { AssignOp::Add } else { AssignOp::Sub };
+        Ok(Expr::Assign(op, target, Box::new(one)))
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat(".") {
+                let name = self.ident()?;
+                if self.peek().is("(") {
+                    let args = self.args()?;
+                    e = Expr::MethodCall(Box::new(e), name, args);
+                } else {
+                    e = Expr::Member(Box::new(e), name);
+                }
+            } else if self.peek().is("(") {
+                let args = self.args()?;
+                e = Expr::Call(Box::new(e), args);
+            } else if self.eat("[") {
+                let key = self.expression()?;
+                self.expect("]")?;
+                e = Expr::Index(Box::new(e), Box::new(key));
+            } else if self.peek().is("++") || self.peek().is("--") {
+                let inc = self.bump().is("++");
+                let target = match e {
+                    Expr::Ident(name) => Target::Var(name),
+                    Expr::Member(obj, prop) => Target::Member(obj, prop),
+                    Expr::Index(obj, key) => Target::Index(obj, key),
+                    _ => return self.err("invalid increment target"),
+                };
+                e = Expr::PostIncDec {
+                    target,
+                    inc,
+                    one: self.new_lit(),
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect("(")?;
+        let mut out = Vec::new();
+        while !self.peek().is(")") {
+            out.push(self.expression()?);
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.expect(")")?;
+        Ok(out)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(Expr::Num(n, self.new_lit()))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s, self.new_lit()))
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.expression()?;
+                self.expect(")")?;
+                Ok(e)
+            }
+            Tok::Punct("[") => {
+                self.bump();
+                let mut items = Vec::new();
+                while !self.peek().is("]") {
+                    items.push(self.expression()?);
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.expect("]")?;
+                Ok(Expr::Array(items))
+            }
+            Tok::Punct("{") => {
+                self.bump();
+                let mut props = Vec::new();
+                while !self.peek().is("}") {
+                    let key = match self.bump() {
+                        Tok::Ident(s) => s,
+                        Tok::Str(s) => s,
+                        t => return self.err(format!("expected property name, found {t}")),
+                    };
+                    self.expect(":")?;
+                    let value = self.expression()?;
+                    props.push((key, value));
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.expect("}")?;
+                Ok(Expr::Object(props))
+            }
+            Tok::Ident(id) => match id.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(Expr::Bool(true))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::Bool(false))
+                }
+                "null" => {
+                    self.bump();
+                    Ok(Expr::Null)
+                }
+                "undefined" => {
+                    self.bump();
+                    Ok(Expr::Undefined)
+                }
+                "function" => {
+                    let idx = self.function(false)?;
+                    Ok(Expr::Function(idx))
+                }
+                _ => {
+                    self.bump();
+                    Ok(Expr::Ident(id))
+                }
+            },
+            t => self.err(format!("unexpected token {t}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declarations_and_arithmetic() {
+        let s = parse("var x = 1 + 2 * 3;").unwrap();
+        assert_eq!(s.body.len(), 1);
+        let Stmt::Decl(name, Some(Expr::Binary(BinOp::Add, _, rhs))) = &s.body[0] else {
+            panic!("{:?}", s.body)
+        };
+        assert_eq!(name, "x");
+        assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn function_declarations_collected() {
+        let src = "function add(a, b) { return a + b; } var y = add(1, 2);";
+        let s = parse(src).unwrap();
+        assert_eq!(s.funcs.len(), 1);
+        let f = &s.funcs[0];
+        assert_eq!(f.name.as_deref(), Some("add"));
+        assert_eq!(f.params, vec!["a", "b"]);
+        assert_eq!(f.src_offset, 0);
+        assert!(f.src_len as usize >= "function add(a, b) { return a + b; }".len() - 1);
+    }
+
+    #[test]
+    fn nested_functions_get_own_literals() {
+        let s = parse("function outer() { var a = 1; function inner() { return 2; } }").unwrap();
+        assert_eq!(s.funcs.len(), 2);
+        let inner = s
+            .funcs
+            .iter()
+            .find(|f| f.name.as_deref() == Some("inner"))
+            .unwrap();
+        let outer = s
+            .funcs
+            .iter()
+            .find(|f| f.name.as_deref() == Some("outer"))
+            .unwrap();
+        assert_eq!(inner.literals.len(), 1);
+        assert_eq!(outer.literals.len(), 1);
+        assert_eq!(s.literal_count, 2);
+    }
+
+    #[test]
+    fn control_flow() {
+        let s = parse("if (a > 1) { b = 2; } else { b = 3; } while (b) { b -= 1; }").unwrap();
+        assert!(matches!(s.body[0], Stmt::If(..)));
+        assert!(matches!(s.body[1], Stmt::While(..)));
+    }
+
+    #[test]
+    fn for_loops_desugar() {
+        let s = parse("for (var i = 0; i < 10; i++) { work(i); }").unwrap();
+        let Stmt::For(Some(init), Some(_), Some(step), body) = &s.body[0] else {
+            panic!("{:?}", s.body)
+        };
+        assert!(matches!(**init, Stmt::Decl(..)));
+        assert!(matches!(step, Expr::PostIncDec { inc: true, .. }));
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn method_calls_and_members() {
+        let s = parse("document.getElementById('x').textContent = 'hi';").unwrap();
+        let Stmt::Expr(Expr::Assign(AssignOp::Set, Target::Member(obj, prop), _)) = &s.body[0]
+        else {
+            panic!("{:?}", s.body)
+        };
+        assert_eq!(prop, "textContent");
+        assert!(matches!(**obj, Expr::MethodCall(..)));
+    }
+
+    #[test]
+    fn objects_arrays_ternary() {
+        let s = parse("var o = { a: 1, 'b': [2, 3] }; var t = o.a ? 1 : 2;").unwrap();
+        assert_eq!(s.body.len(), 2);
+        let Stmt::Decl(_, Some(Expr::Object(props))) = &s.body[0] else {
+            panic!()
+        };
+        assert_eq!(props.len(), 2);
+    }
+
+    #[test]
+    fn anonymous_function_expression() {
+        let s = parse("el.addEventListener('click', function () { fire(); });").unwrap();
+        assert_eq!(s.funcs.len(), 1);
+        assert_eq!(s.funcs[0].name, None);
+    }
+
+    #[test]
+    fn short_circuit_operators_parse() {
+        let s = parse("var x = a && b || !c;").unwrap();
+        let Stmt::Decl(_, Some(Expr::Or(..))) = &s.body[0] else {
+            panic!("{:?}", s.body)
+        };
+    }
+
+    #[test]
+    fn parse_error_reports_offset() {
+        let e = parse("var = 3").unwrap_err();
+        assert!(e.offset > 0);
+        assert!(e.to_string().contains("identifier"));
+    }
+
+    #[test]
+    fn postfix_increment() {
+        let s = parse("i++;").unwrap();
+        assert!(matches!(
+            &s.body[0],
+            Stmt::Expr(Expr::PostIncDec { inc: true, .. })
+        ));
+        let d = parse("i--;").unwrap();
+        assert!(matches!(
+            &d.body[0],
+            Stmt::Expr(Expr::PostIncDec { inc: false, .. })
+        ));
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let src = format!("var x = {}1{};", "(".repeat(500), ")".repeat(500));
+        let e = parse(&src).unwrap_err();
+        assert!(e.message.contains("too deep"), "{e}");
+    }
+}

@@ -1,0 +1,247 @@
+//! Runtime values, objects, scopes, and errors of the JS engine.
+
+use std::fmt;
+use std::rc::Rc;
+
+use std::collections::HashMap;
+
+use wasteprof_trace::{Addr, AddrRange};
+
+/// Handle to a heap object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ObjId(pub u32);
+
+/// Handle to a runtime function (closure identity).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FunId(pub u32);
+
+/// Handle to a scope in the scope arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ScopeId(pub u32);
+
+/// A JavaScript value.
+///
+/// Beyond the language's own values, the engine models the handful of host
+/// objects page scripts use: `document`, `window`, `console`, `Math`,
+/// `performance`, `navigator`, DOM nodes, and the `style` / `classList`
+/// views of a node.
+#[derive(Clone, Debug, Default)]
+pub enum Value {
+    /// `undefined`.
+    #[default]
+    Undefined,
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number (all numbers are f64).
+    Num(f64),
+    /// Immutable string.
+    Str(Rc<str>),
+    /// Plain object or array.
+    Obj(ObjId),
+    /// Function closure.
+    Fun(FunId),
+    /// A DOM node reference.
+    Node(wasteprof_dom::NodeId),
+    /// The `document` host object.
+    Document,
+    /// The `window` host object.
+    Window,
+    /// The `console` host object.
+    Console,
+    /// The `Math` host object.
+    MathObj,
+    /// The `performance` host object.
+    Performance,
+    /// The `navigator` host object.
+    Navigator,
+    /// `node.style` view.
+    Style(wasteprof_dom::NodeId),
+    /// `node.classList` view.
+    ClassList(wasteprof_dom::NodeId),
+}
+
+impl Value {
+    /// JS truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Undefined | Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+            _ => true,
+        }
+    }
+
+    /// Numeric coercion (NaN when not meaningful).
+    pub fn as_num(&self) -> f64 {
+        match self {
+            Value::Num(n) => *n,
+            Value::Bool(true) => 1.0,
+            Value::Bool(false) => 0.0,
+            Value::Str(s) => s.parse().unwrap_or(f64::NAN),
+            Value::Null => 0.0,
+            _ => f64::NAN,
+        }
+    }
+
+    /// String coercion.
+    pub fn as_str(&self) -> String {
+        match self {
+            Value::Str(s) => s.to_string(),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            Value::Bool(b) => b.to_string(),
+            Value::Undefined => "undefined".into(),
+            Value::Null => "null".into(),
+            Value::Node(_) => "[object Node]".into(),
+            Value::Obj(_) => "[object Object]".into(),
+            Value::Fun(_) => "function".into(),
+            _ => "[object]".into(),
+        }
+    }
+
+    /// Loose equality (modeled as strict-ish over our value set).
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Undefined | Value::Null, Value::Undefined | Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Num(a), Value::Num(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Obj(a), Value::Obj(b)) => a == b,
+            (Value::Fun(a), Value::Fun(b)) => a == b,
+            (Value::Node(a), Value::Node(b)) => a == b,
+            (Value::Num(a), Value::Str(s)) | (Value::Str(s), Value::Num(a)) => {
+                s.parse::<f64>().map(|b| *a == b).unwrap_or(false)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.into())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+/// A value plus the trace cell it lives in — what every evaluation returns.
+#[derive(Clone, Debug)]
+pub struct Ev {
+    /// The value.
+    pub v: Value,
+    /// Cell(s) holding it in the trace's virtual memory.
+    pub cell: AddrRange,
+}
+
+/// One property of an object (value + trace cell).
+#[derive(Clone, Debug)]
+pub struct Prop {
+    /// Property value.
+    pub value: Value,
+    /// Trace cell of the property.
+    pub cell: Addr,
+}
+
+/// A heap object: a property map (arrays use index keys plus `length`).
+#[derive(Clone, Debug, Default)]
+pub struct JsObject {
+    /// Properties by name.
+    pub props: HashMap<String, Prop>,
+    /// True if created from an array literal.
+    pub is_array: bool,
+}
+
+/// One variable slot.
+#[derive(Clone, Debug)]
+pub struct Slot {
+    /// Current value.
+    pub value: Value,
+    /// Trace cell of the variable.
+    pub cell: Addr,
+}
+
+/// A lexical scope.
+#[derive(Clone, Debug)]
+pub struct Scope {
+    /// Variables declared in this scope.
+    pub vars: HashMap<String, Slot>,
+    /// Enclosing scope.
+    pub parent: Option<ScopeId>,
+}
+
+/// Runtime errors (reported like a console error; the page carries on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl JsError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>) -> Self {
+        JsError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "js error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Undefined.truthy());
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Num(0.0).truthy());
+        assert!(!Value::from("").truthy());
+        assert!(Value::from("x").truthy());
+        assert!(Value::Num(3.0).truthy());
+        assert!(Value::Obj(ObjId(0)).truthy());
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::from("42").as_num(), 42.0);
+        assert!(Value::Undefined.as_num().is_nan());
+        assert_eq!(Value::Num(3.0).as_str(), "3");
+        assert_eq!(Value::Num(3.5).as_str(), "3.5");
+    }
+
+    #[test]
+    fn equality() {
+        assert!(Value::Num(1.0).loose_eq(&Value::from("1")));
+        assert!(Value::Null.loose_eq(&Value::Undefined));
+        assert!(!Value::Num(1.0).loose_eq(&Value::Num(2.0)));
+        assert!(
+            Value::Node(wasteprof_dom::NodeId(3)).loose_eq(&Value::Node(wasteprof_dom::NodeId(3)))
+        );
+    }
+}

@@ -1,0 +1,468 @@
+//! End-to-end tests of the JS engine: parsing, compilation, execution, DOM
+//! bindings, events, timers, coverage, and trace dataflow.
+
+use wasteprof_dom::Document;
+use wasteprof_js::{JsEngine, Value};
+use wasteprof_trace::{InstrKind, Recorder, Region, Syscall, ThreadKind};
+
+struct World {
+    rec: Recorder,
+    doc: Document,
+    js: JsEngine,
+}
+
+fn world() -> World {
+    let mut rec = Recorder::new();
+    rec.spawn_thread(ThreadKind::Main, "content::RendererMain");
+    let doc = Document::new(&mut rec);
+    World {
+        rec,
+        doc,
+        js: JsEngine::new(),
+    }
+}
+
+impl World {
+    fn run(&mut self, src: &str) {
+        let range = self.rec.alloc(Region::Input, src.len().max(1) as u32);
+        self.js
+            .load_script(&mut self.rec, &mut self.doc, src, range, "test")
+            .unwrap_or_else(|e| panic!("script failed: {e}\nsource: {src}"));
+    }
+
+    fn global_num(&self, name: &str) -> f64 {
+        match &self.js_lookup(name) {
+            Value::Num(n) => *n,
+            other => panic!("{name} = {other:?}, expected number"),
+        }
+    }
+
+    fn global_str(&self, name: &str) -> String {
+        self.js_lookup(name).as_str()
+    }
+
+    fn js_lookup(&self, name: &str) -> Value {
+        // Globals land in the engine's global scope.
+        self.js
+            .lookup_global(name)
+            .unwrap_or_else(|| panic!("global {name} not found"))
+    }
+}
+
+#[test]
+fn arithmetic_and_variables() {
+    let mut w = world();
+    w.run("var a = 2; var b = 3; var c = a * b + 4;");
+    assert_eq!(w.global_num("c"), 10.0);
+}
+
+#[test]
+fn functions_and_recursion() {
+    let mut w = world();
+    w.run(
+        "function fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); } var r = fib(10);",
+    );
+    assert_eq!(w.global_num("r"), 55.0);
+}
+
+#[test]
+fn closures_capture_environment() {
+    let mut w = world();
+    w.run(
+        "function counter() { var n = 0; return function () { n += 1; return n; }; }\
+         var c = counter(); c(); c(); var out = c();",
+    );
+    assert_eq!(w.global_num("out"), 3.0);
+}
+
+#[test]
+fn loops_and_arrays() {
+    let mut w = world();
+    w.run(
+        "var xs = [1, 2, 3, 4]; var sum = 0;\
+         for (var i = 0; i < xs.length; i++) { sum += xs[i]; }",
+    );
+    assert_eq!(w.global_num("sum"), 10.0);
+}
+
+#[test]
+fn while_with_break_continue() {
+    let mut w = world();
+    w.run(
+        "var n = 0; var i = 0;\
+         while (true) { i += 1; if (i > 10) { break; } if (i % 2 == 0) { continue; } n += i; }",
+    );
+    assert_eq!(w.global_num("n"), 25.0); // 1+3+5+7+9
+}
+
+#[test]
+fn objects_and_methods() {
+    let mut w = world();
+    w.run(
+        "var o = { x: 7, get: function () { return 42; } };\
+         var a = o.x; var b = o.get(); o.y = a + b; var c = o['y'];",
+    );
+    assert_eq!(w.global_num("c"), 49.0);
+}
+
+#[test]
+fn string_operations() {
+    let mut w = world();
+    w.run("var s = 'a' + 'b' + 1; var l = s.length;");
+    assert_eq!(w.global_str("s"), "ab1");
+    assert_eq!(w.global_num("l"), 3.0);
+}
+
+#[test]
+fn ternary_and_logic() {
+    let mut w = world();
+    w.run("var x = 1 < 2 ? 'yes' : 'no'; var y = null || 5; var z = 0 && 9;");
+    assert_eq!(w.global_str("x"), "yes");
+    assert_eq!(w.global_num("y"), 5.0);
+    assert_eq!(w.global_num("z"), 0.0);
+}
+
+#[test]
+fn append_child_cycle_raises_js_error() {
+    let mut w = world();
+    // a.appendChild(b) then b.appendChild(a) must fail, not build a cycle.
+    let src = "var a = document.createElement('div');\
+         var b = document.createElement('div');\
+         a.appendChild(b);\
+         b.appendChild(a);";
+    let range = w.rec.alloc(Region::Input, src.len() as u32);
+    let err =
+        w.js.load_script(&mut w.rec, &mut w.doc, src, range, "cycle")
+            .expect_err("cyclic appendChild must error");
+    assert!(err.to_string().contains("cycle"), "unexpected error: {err}");
+}
+
+#[test]
+fn dom_mutation_via_bindings() {
+    let mut w = world();
+    let body = w.doc.create_element(&mut w.rec, "body", &[]);
+    let root = w.doc.root();
+    w.doc.append_child(&mut w.rec, root, body);
+    w.doc.set_attribute(&mut w.rec, body, "id", "main", &[]);
+    w.run(
+        "var el = document.getElementById('main');\
+         el.setAttribute('data-ready', '1');\
+         var d = document.createElement('div');\
+         d.className = 'card';\
+         d.textContent = 'hello';\
+         el.appendChild(d);",
+    );
+    let div = w.doc.elements_by_class("card");
+    assert_eq!(div.len(), 1);
+    assert_eq!(w.doc.text_content(div[0]), "hello");
+    assert_eq!(w.doc.node(body).attr_value("data-ready"), Some("1"));
+}
+
+#[test]
+fn style_assignment_updates_style_attribute() {
+    let mut w = world();
+    let el = w.doc.create_element(&mut w.rec, "div", &[]);
+    let root = w.doc.root();
+    w.doc.append_child(&mut w.rec, root, el);
+    w.doc.set_attribute(&mut w.rec, el, "id", "x", &[]);
+    w.run("document.getElementById('x').style.backgroundColor = 'red';");
+    assert_eq!(
+        w.doc.node(el).attr_value("style"),
+        Some("background-color: red")
+    );
+}
+
+#[test]
+fn class_list_operations() {
+    let mut w = world();
+    let el = w.doc.create_element(&mut w.rec, "div", &[]);
+    let root = w.doc.root();
+    w.doc.append_child(&mut w.rec, root, el);
+    w.doc.set_attribute(&mut w.rec, el, "id", "x", &[]);
+    w.run(
+        "var el = document.getElementById('x');\
+         el.classList.add('open'); el.classList.add('hot');\
+         el.classList.remove('open'); el.classList.toggle('warm');\
+         var has = el.classList.contains('hot');",
+    );
+    assert!(w.doc.node(el).has_class("hot"));
+    assert!(w.doc.node(el).has_class("warm"));
+    assert!(!w.doc.node(el).has_class("open"));
+    assert!(matches!(w.js_lookup("has"), Value::Bool(true)));
+}
+
+#[test]
+fn event_handlers_fire_with_bubbling() {
+    let mut w = world();
+    let outer = w.doc.create_element(&mut w.rec, "div", &[]);
+    let inner = w.doc.create_element(&mut w.rec, "button", &[]);
+    let root = w.doc.root();
+    w.doc.append_child(&mut w.rec, root, outer);
+    w.doc.append_child(&mut w.rec, outer, inner);
+    w.doc.set_attribute(&mut w.rec, outer, "id", "outer", &[]);
+    w.doc.set_attribute(&mut w.rec, inner, "id", "inner", &[]);
+    w.run(
+        "var count = 0;\
+         document.getElementById('outer').addEventListener('click', function () { count += 10; });\
+         document.getElementById('inner').addEventListener('click', function () { count += 1; });",
+    );
+    assert!(w.js.has_handler(&w.doc, inner, "click"));
+    let ran = w.js.dispatch_event(&mut w.rec, &mut w.doc, inner, "click");
+    assert!(ran);
+    assert_eq!(w.global_num("count"), 11.0); // inner + bubbled outer
+    assert!(!w.js.dispatch_event(&mut w.rec, &mut w.doc, root, "keydown"));
+}
+
+#[test]
+fn timers_are_queued_and_fire() {
+    let mut w = world();
+    w.run("var fired = 0; setTimeout(function () { fired = 1; }, 50);");
+    assert_eq!(w.global_num("fired"), 0.0);
+    let timers = w.js.take_timers();
+    assert_eq!(timers.len(), 1);
+    assert_eq!(timers[0].delay_ms, 50.0);
+    w.js.fire_timer(&mut w.rec, &mut w.doc, timers[0]);
+    assert_eq!(w.global_num("fired"), 1.0);
+}
+
+#[test]
+fn beacons_are_queued() {
+    let mut w = world();
+    w.run("navigator.sendBeacon('https://a.example/t', 'payload');");
+    let beacons = w.js.take_beacons();
+    assert_eq!(beacons.len(), 1);
+    assert_eq!(beacons[0].url, "https://a.example/t");
+}
+
+#[test]
+fn console_log_writes_debug_ring() {
+    let mut w = world();
+    w.run("console.log('x', 1, 2);");
+    let trace = w.rec.finish();
+    let wrote_debug = trace.iter().any(|i| {
+        i.mem_writes()
+            .iter()
+            .any(|r| r.start().region() == Some(Region::DebugRing))
+    });
+    assert!(wrote_debug);
+}
+
+#[test]
+fn performance_now_issues_clock_syscall() {
+    let mut w = world();
+    w.run("var t = performance.now();");
+    let trace = w.rec.finish();
+    assert!(trace.iter().any(|i| matches!(
+        i.kind,
+        InstrKind::Syscall {
+            nr: Syscall::ClockGettime
+        }
+    )));
+}
+
+#[test]
+fn math_functions() {
+    let mut w = world();
+    w.run(
+        "var a = Math.floor(3.9); var b = Math.max(1, 7, 3);\
+         var c = Math.abs(0 - 5); var d = Math.min(2, 8);",
+    );
+    assert_eq!(w.global_num("a"), 3.0);
+    assert_eq!(w.global_num("b"), 7.0);
+    assert_eq!(w.global_num("c"), 5.0);
+    assert_eq!(w.global_num("d"), 2.0);
+}
+
+#[test]
+fn math_random_is_seeded_and_deterministic() {
+    let mut a = world();
+    a.js.seed_random(42);
+    a.run("var r = Math.random();");
+    let mut b = world();
+    b.js.seed_random(42);
+    b.run("var r = Math.random();");
+    assert_eq!(a.global_num("r"), b.global_num("r"));
+    assert!(a.global_num("r") >= 0.0 && a.global_num("r") < 1.0);
+}
+
+#[test]
+fn coverage_counts_unexecuted_functions() {
+    let mut w = world();
+    w.run(
+        "function used() { return 1; }\
+         function unused1() { var x = 'lots of dead code here'; return x; }\
+         function unused2() { return 'more dead code in this one'; }\
+         used();",
+    );
+    let cov = w.js.coverage();
+    assert_eq!(w.js.def_count(), 3);
+    assert_eq!(w.js.executed_count(), 1);
+    assert!(
+        cov.unused_fraction() > 0.4,
+        "unused = {}",
+        cov.unused_fraction()
+    );
+    assert!(cov.used_bytes > 0);
+}
+
+#[test]
+fn nested_function_coverage_is_exact() {
+    let mut w = world();
+    w.run("function outer() { function inner() { return 1; } return 2; } outer();");
+    let cov = w.js.coverage();
+    // outer executed, inner did not: inner's bytes are unused, outer's own
+    // bytes (excluding inner) plus top-level are used.
+    assert!(cov.unused_bytes() > 0);
+    assert!(cov.used_bytes > cov.unused_bytes());
+}
+
+#[test]
+fn runtime_errors_are_recorded_not_fatal() {
+    let mut w = world();
+    let src = "missingFunction();";
+    let range = w.rec.alloc(Region::Input, src.len() as u32);
+    let result = w.js.load_script(&mut w.rec, &mut w.doc, src, range, "bad");
+    assert!(result.is_err());
+    assert_eq!(w.js.errors().len(), 1);
+    // Engine still works.
+    w.run("var ok = 1;");
+    assert_eq!(w.global_num("ok"), 1.0);
+}
+
+#[test]
+fn infinite_loop_hits_step_budget() {
+    let mut w = world();
+    w.js.set_step_budget(10_000);
+    let src = "while (true) { var x = 1; }";
+    let range = w.rec.alloc(Region::Input, src.len() as u32);
+    let result = w.js.load_script(&mut w.rec, &mut w.doc, src, range, "spin");
+    assert!(result.is_err());
+    assert!(result.unwrap_err().message.contains("budget"));
+}
+
+#[test]
+fn deep_recursion_hits_call_depth_limit() {
+    let mut w = world();
+    let src = "function f() { return f(); } f();";
+    let range = w.rec.alloc(Region::Input, src.len() as u32);
+    let result = w.js.load_script(&mut w.rec, &mut w.doc, src, range, "deep");
+    assert!(result.is_err());
+}
+
+#[test]
+fn trace_remains_structurally_valid() {
+    let mut w = world();
+    let body = w.doc.create_element(&mut w.rec, "body", &[]);
+    let root = w.doc.root();
+    w.doc.append_child(&mut w.rec, root, body);
+    w.doc.set_attribute(&mut w.rec, body, "id", "b", &[]);
+    w.run(
+        "function render(n) { var el = document.createElement('p'); el.textContent = 'i' + n;\
+          document.getElementById('b').appendChild(el); }\
+         for (var i = 0; i < 5; i++) { render(i); }",
+    );
+    assert_eq!(w.doc.elements_by_tag("p").len(), 5);
+    let trace = w.rec.finish();
+    assert_eq!(trace.validate(), Ok(()));
+    // JS work is attributed to v8:: symbols.
+    let has_v8 = trace
+        .functions()
+        .iter()
+        .any(|(_, f)| f.name().starts_with("v8::JsFunction::render"));
+    assert!(has_v8);
+}
+
+#[test]
+fn literal_dataflow_links_compile_to_execution() {
+    let mut w = world();
+    let body = w.doc.create_element(&mut w.rec, "body", &[]);
+    let root = w.doc.root();
+    w.doc.append_child(&mut w.rec, root, body);
+    w.doc.set_attribute(&mut w.rec, body, "id", "b", &[]);
+    w.run("document.getElementById('b').textContent = 'from-literal';");
+    let trace = w.rec.finish();
+    // Some instruction reads a Code-region cell (the literal) — that is
+    // the compile→execute dependence that can pull compilation into the
+    // slice.
+    assert!(trace.iter().any(|i| i
+        .mem_reads()
+        .iter()
+        .any(|r| r.start().region() == Some(Region::Code))));
+}
+
+#[test]
+fn window_dimensions_and_handlers() {
+    let mut w = world();
+    w.js.set_viewport(&mut w.rec, 360.0, 640.0);
+    w.run(
+        "var narrow = window.innerWidth < 700;\
+         var scrolls = 0;\
+         window.addEventListener('scroll', function () { scrolls += 1; });",
+    );
+    assert!(matches!(w.js_lookup("narrow"), Value::Bool(true)));
+    w.js.dispatch_window_event(&mut w.rec, &mut w.doc, "scroll");
+    w.js.dispatch_window_event(&mut w.rec, &mut w.doc, "scroll");
+    assert_eq!(w.global_num("scrolls"), 2.0);
+}
+
+#[test]
+fn document_title_is_queued_for_ipc() {
+    let mut w = world();
+    w.run("document.title = 'New Title';");
+    let (title, _) = w.js.take_title().expect("title set");
+    assert_eq!(title, "New Title");
+}
+
+#[test]
+fn array_push_and_index_of() {
+    let mut w = world();
+    w.run(
+        "var xs = []; xs.push(5); xs.push(7, 9);\
+         var n = xs.length; var i = xs.indexOf(7); var m = xs.indexOf(99);",
+    );
+    assert_eq!(w.global_num("n"), 3.0);
+    assert_eq!(w.global_num("i"), 1.0);
+    assert_eq!(w.global_num("m"), -1.0);
+}
+
+#[test]
+fn query_selector_uses_full_css_matching() {
+    let mut w = world();
+    let body = w.doc.create_element(&mut w.rec, "body", &[]);
+    let root = w.doc.root();
+    w.doc.append_child(&mut w.rec, root, body);
+    let nav = w.doc.create_element(&mut w.rec, "nav", &[]);
+    w.doc.append_child(&mut w.rec, body, nav);
+    for i in 0..3 {
+        let li = w.doc.create_element(&mut w.rec, "li", &[]);
+        if i == 1 {
+            w.doc.set_attribute(&mut w.rec, li, "class", "active", &[]);
+        }
+        w.doc.append_child(&mut w.rec, nav, li);
+    }
+    w.run(
+        "var el = document.querySelector('nav li.active');\
+         el.textContent = 'found';\
+         var all = document.querySelectorAll('nav li');\
+         var n = all.length;\
+         var missing = document.querySelector('.nope');",
+    );
+    assert_eq!(w.global_num("n"), 3.0);
+    assert!(matches!(w.js_lookup("missing"), Value::Null));
+    let active = w.doc.elements_by_class("active")[0];
+    assert_eq!(w.doc.text_content(active), "found");
+}
+
+#[test]
+fn postfix_increment_evaluates_to_old_value() {
+    let mut w = world();
+    w.run(
+        "var i = 5; var old = i++; var j = 3; var olddec = j--;\
+         var pre = 10; var newv = ++pre;",
+    );
+    assert_eq!(w.global_num("old"), 5.0);
+    assert_eq!(w.global_num("i"), 6.0);
+    assert_eq!(w.global_num("olddec"), 3.0);
+    assert_eq!(w.global_num("j"), 2.0);
+    assert_eq!(w.global_num("newv"), 11.0); // prefix gives the new value
+}

@@ -1,0 +1,14 @@
+//! Parser robustness: pathological nesting must return a parse error, not
+//! overflow the stack.
+
+#[test]
+fn paren_overflow_rejected() {
+    let src = "(".repeat(100_000) + "1" + &")".repeat(100_000);
+    assert!(wasteprof_js::parse(&src).is_err());
+}
+
+#[test]
+fn unary_overflow_rejected() {
+    let src = "!".repeat(200_000) + "1";
+    assert!(wasteprof_js::parse(&src).is_err());
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the JS engine: the interpreter agrees with a
+//! Rust reference evaluator on arithmetic programs, and the front end
+//! never panics on junk.
+
+use proptest::prelude::*;
+use wasteprof_dom::Document;
+use wasteprof_js::{lex, parse, JsEngine, Value};
+use wasteprof_trace::{Recorder, Region, ThreadKind};
+
+// ---------------------------------------------------------------------
+// Reference-checked arithmetic
+// ---------------------------------------------------------------------
+
+/// A tiny arithmetic AST we can render to JS and evaluate in Rust.
+#[derive(Debug, Clone)]
+enum E {
+    Num(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Ternary(Box<E>, Box<E>, Box<E>),
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = (0..50i32).prop_map(E::Num);
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| { E::Ternary(c.into(), a.into(), b.into()) }),
+        ]
+    })
+}
+
+fn render(e: &E) -> String {
+    match e {
+        E::Num(n) => n.to_string(),
+        E::Add(a, b) => format!("({} + {})", render(a), render(b)),
+        E::Sub(a, b) => format!("({} - {})", render(a), render(b)),
+        E::Mul(a, b) => format!("({} * {})", render(a), render(b)),
+        E::Ternary(c, a, b) => format!("({} ? {} : {})", render(c), render(a), render(b)),
+    }
+}
+
+fn eval(e: &E) -> f64 {
+    match e {
+        E::Num(n) => *n as f64,
+        E::Add(a, b) => eval(a) + eval(b),
+        E::Sub(a, b) => eval(a) - eval(b),
+        E::Mul(a, b) => eval(a) * eval(b),
+        E::Ternary(c, a, b) => {
+            if eval(c) != 0.0 {
+                eval(a)
+            } else {
+                eval(b)
+            }
+        }
+    }
+}
+
+fn run_js(src: &str) -> (JsEngine, Recorder) {
+    let mut rec = Recorder::new();
+    rec.spawn_thread(ThreadKind::Main, "m");
+    let mut doc = Document::new(&mut rec);
+    let mut js = JsEngine::new();
+    let range = rec.alloc(Region::Input, src.len().max(1) as u32);
+    js.load_script(&mut rec, &mut doc, src, range, "prop")
+        .expect("script runs");
+    (js, rec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interpreter_agrees_with_reference(e in arb_expr()) {
+        let src = format!("var result = {};", render(&e));
+        let (js, _rec) = run_js(&src);
+        let expected = eval(&e);
+        match js.lookup_global("result") {
+            Some(Value::Num(n)) => prop_assert!(
+                (n - expected).abs() < 1e-9,
+                "{} => {n}, expected {expected}", render(&e)
+            ),
+            other => prop_assert!(false, "result = {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_sums_match_reference(n in 0u32..40, step in 1u32..5) {
+        let src = format!(
+            "var s = 0; for (var i = 0; i < {n}; i += {step}) {{ s += i; }}"
+        );
+        let (js, _rec) = run_js(&src);
+        let mut expected = 0u64;
+        let mut i = 0;
+        while i < n {
+            expected += i as u64;
+            i += step;
+        }
+        match js.lookup_global("s") {
+            Some(Value::Num(v)) => prop_assert_eq!(v as u64, expected),
+            other => prop_assert!(false, "s = {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lexer_never_panics(text in "[ -~\\n\\t]{0,80}") {
+        let _ = lex(&text);
+    }
+
+    #[test]
+    fn parser_never_panics(text in "[ -~\\n]{0,120}") {
+        let _ = parse(&text);
+    }
+
+    #[test]
+    fn interpreter_never_panics_on_parsed_junk(text in "[a-z0-9 +*(){};=<>.]{0,60}") {
+        // Whatever parses must run (or error) without panicking.
+        if parse(&text).is_ok() {
+            let mut rec = Recorder::new();
+            rec.spawn_thread(ThreadKind::Main, "m");
+            let mut doc = Document::new(&mut rec);
+            let mut js = JsEngine::new();
+            js.set_step_budget(20_000);
+            let range = rec.alloc(Region::Input, text.len().max(1) as u32);
+            let _ = js.load_script(&mut rec, &mut doc, &text, range, "junk");
+        }
+    }
+
+    #[test]
+    fn traces_from_random_programs_are_valid(e in arb_expr()) {
+        let src = format!("var x = {};", render(&e));
+        let (_js, rec) = run_js(&src);
+        let trace = rec.finish();
+        prop_assert_eq!(trace.validate(), Ok(()));
+    }
+}

@@ -1,0 +1,770 @@
+//! Render tree construction and box layout (the Layout stage of Figure 1).
+//!
+//! The render tree keeps only nodes with visual context (paper §II-A);
+//! layout then computes "the exact position and size of different
+//! elements". Block boxes stack vertically; text is broken into line boxes
+//! with a deterministic character-width metric; `relative`, `absolute`, and
+//! `fixed` positioning and z-index stacking are supported because the
+//! paper's compositing analysis depends on overlapping layers existing.
+
+use wasteprof_css::{edge, ComputedStyle, Display, Length, Position, StyleMap};
+use wasteprof_dom::{Document, NodeId};
+use wasteprof_trace::{site, Addr, AddrRange, Recorder, Region};
+
+use crate::geometry::Rect;
+
+/// Width of one character as a fraction of the font size (a deterministic
+/// text metric standing in for font shaping).
+pub const CHAR_WIDTH_FACTOR: f32 = 0.5;
+
+/// Index of a box in the box tree arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BoxId(pub u32);
+
+impl BoxId {
+    /// Dense index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a layout box represents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoxKind {
+    /// A block-level element box.
+    Block,
+    /// An inline or inline-block element box.
+    Inline,
+    /// A run of text, already broken into lines.
+    Text {
+        /// `(line rect, number of characters)` per line box.
+        lines: Vec<(Rect, u32)>,
+    },
+}
+
+/// One box of the layout tree.
+#[derive(Debug, Clone)]
+pub struct LayoutBox {
+    /// The DOM node this box was generated for.
+    pub node: NodeId,
+    /// Box kind.
+    pub kind: BoxKind,
+    /// Border-box rectangle in page coordinates.
+    pub rect: Rect,
+    /// Children in paint order.
+    pub children: Vec<BoxId>,
+    /// Computed style of the generating element (text boxes carry their
+    /// parent's style).
+    pub style: ComputedStyle,
+    /// Trace cell holding the box geometry.
+    pub geom_cell: Addr,
+}
+
+/// The laid-out box tree for a document.
+#[derive(Debug, Clone)]
+pub struct BoxTree {
+    boxes: Vec<LayoutBox>,
+    root: BoxId,
+    /// Total page height (can exceed the viewport: offscreen content).
+    pub page_height: f32,
+    /// Viewport width the layout was computed for.
+    pub viewport_width: f32,
+}
+
+impl BoxTree {
+    /// The root box.
+    pub fn root(&self) -> BoxId {
+        self.root
+    }
+
+    /// Box data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: BoxId) -> &LayoutBox {
+        &self.boxes[id.index()]
+    }
+
+    /// Number of boxes.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// True if the tree has no boxes.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Iterates over all box ids in creation (pre-)order.
+    pub fn ids(&self) -> impl Iterator<Item = BoxId> {
+        (0..self.boxes.len() as u32).map(BoxId)
+    }
+
+    /// Finds the box generated for a DOM node, if any.
+    pub fn box_for_node(&self, node: NodeId) -> Option<BoxId> {
+        self.ids().find(|&b| {
+            self.get(b).node == node && !matches!(self.get(b).kind, BoxKind::Text { .. })
+        })
+    }
+
+    /// Hit test: the topmost box containing the point, in paint order —
+    /// higher effective `z-index` wins, then later document order.
+    pub fn hit_test(&self, x: f32, y: f32) -> Option<BoxId> {
+        if self.boxes.is_empty() {
+            return None;
+        }
+        let mut best: Option<(i32, u32, BoxId)> = None;
+        let mut seq = 0u32;
+        // Pre-order DFS carrying the effective z (nearest self-or-ancestor
+        // z-index), mirroring the painter's layer sort.
+        let mut stack = vec![(self.root, 0i32)];
+        while let Some((id, inherited_z)) = stack.pop() {
+            let b = self.get(id);
+            let z = b.style.z_index.unwrap_or(inherited_z);
+            let r = &b.rect;
+            if x >= r.x && x < r.right() && y >= r.y && y < r.bottom() {
+                let key = (z, seq);
+                if best.map(|(bz, bs, _)| key >= (bz, bs)).unwrap_or(true) {
+                    best = Some((z, seq, id));
+                }
+            }
+            seq += 1;
+            for &c in b.children.iter().rev() {
+                stack.push((c, z));
+            }
+        }
+        best.map(|(_, _, id)| id)
+    }
+}
+
+/// Lays out the document: builds the render tree (dropping `display:none`
+/// subtrees and non-visual elements) and computes box geometry.
+///
+/// Every box-geometry write reads the element's style cells and the parent
+/// geometry, extending the pixels-dataflow chain.
+pub fn layout_document(
+    rec: &mut Recorder,
+    doc: &Document,
+    styles: &StyleMap,
+    viewport_width: f32,
+    viewport_height: f32,
+) -> BoxTree {
+    let func = rec.intern_func("blink::layout::LayoutTree");
+    rec.in_func(site!(), func, |rec| {
+        let mut ctx = LayoutCtx {
+            rec,
+            doc,
+            styles,
+            boxes: Vec::new(),
+            viewport_height,
+            prev_sibling_geom: None,
+        };
+        let root_style = ComputedStyle::initial();
+        let geom_cell = ctx.rec.alloc_cell(Region::Heap);
+        let root_id = BoxId(0);
+        ctx.boxes.push(LayoutBox {
+            node: doc.root(),
+            kind: BoxKind::Block,
+            rect: Rect::new(0.0, 0.0, viewport_width, 0.0),
+            children: Vec::new(),
+            style: root_style,
+            geom_cell,
+        });
+        // Build and lay out children of the root.
+        let mut cursor_y = 0.0f32;
+        for child in &doc.node(doc.root()).children {
+            if let Some(b) =
+                ctx.build_and_layout(*child, root_id, 0.0, cursor_y, viewport_width, 16.0)
+            {
+                let child_style = &ctx.boxes[b.index()].style;
+                let out_of_flow =
+                    matches!(child_style.position, Position::Absolute | Position::Fixed);
+                if !out_of_flow {
+                    cursor_y = ctx.boxes[b.index()].rect.bottom()
+                        + resolve(child_style.margin[edge::BOTTOM], viewport_width, 16.0);
+                }
+                ctx.boxes[root_id.index()].children.push(b);
+            }
+        }
+        let page_height = cursor_y.max(viewport_height);
+        ctx.boxes[root_id.index()].rect.h = page_height;
+        BoxTree {
+            boxes: ctx.boxes,
+            root: root_id,
+            page_height,
+            viewport_width,
+        }
+    })
+}
+
+fn resolve(l: Length, containing: f32, font: f32) -> f32 {
+    l.resolve(containing, font, 0.0)
+}
+
+struct LayoutCtx<'a> {
+    rec: &'a mut Recorder,
+    doc: &'a Document,
+    styles: &'a StyleMap,
+    boxes: Vec<LayoutBox>,
+    viewport_height: f32,
+    /// Geometry cell of the most recently laid-out box — the preceding
+    /// in-flow sibling dependence of block stacking.
+    prev_sibling_geom: Option<Addr>,
+}
+
+/// Element tags that generate no boxes.
+const NON_VISUAL: &[&str] = &[
+    "head", "script", "style", "link", "meta", "title", "base", "noscript",
+];
+
+impl LayoutCtx<'_> {
+    /// Builds the box subtree for `node` and lays it out with its top-left
+    /// content corner at `(x, y)` inside a containing block `containing_w`
+    /// wide. Returns `None` when the node generates no box.
+    #[allow(clippy::too_many_arguments)]
+    fn build_and_layout(
+        &mut self,
+        node: NodeId,
+        parent: BoxId,
+        x: f32,
+        y: f32,
+        containing_w: f32,
+        parent_font: f32,
+    ) -> Option<BoxId> {
+        let prev_sibling = self.prev_sibling_geom.take();
+        let n = self.doc.node(node);
+        if let Some(tag) = n.tag() {
+            if NON_VISUAL.contains(&tag) {
+                return None;
+            }
+        }
+        if n.is_text() {
+            return self.layout_text(node, x, y, containing_w, parent_font);
+        }
+        if !n.is_element() {
+            return None;
+        }
+        let style = self.styles.style(node).cloned().unwrap_or_default();
+        if style.display == Display::None {
+            return None;
+        }
+
+        let font = style.font_size;
+        let ml = resolve(style.margin[edge::LEFT], containing_w, font);
+        let mr = resolve(style.margin[edge::RIGHT], containing_w, font);
+        let mt = resolve(style.margin[edge::TOP], containing_w, font);
+        let pl = resolve(style.padding[edge::LEFT], containing_w, font);
+        let pr = resolve(style.padding[edge::RIGHT], containing_w, font);
+        let pt = resolve(style.padding[edge::TOP], containing_w, font);
+        let pb = resolve(style.padding[edge::BOTTOM], containing_w, font);
+        let bw = style.border_width;
+
+        // Border-box width.
+        let width = match style.width {
+            Length::Auto => (containing_w - ml - mr).max(0.0),
+            w => resolve(w, containing_w, font) + pl + pr + 2.0 * bw,
+        };
+
+        let geom_cell = self.rec.alloc_cell(Region::Heap);
+        let id = BoxId(self.boxes.len() as u32);
+        self.boxes.push(LayoutBox {
+            node,
+            kind: if style.display == Display::Inline {
+                BoxKind::Inline
+            } else {
+                BoxKind::Block
+            },
+            rect: Rect::new(x + ml, y + mt, width, 0.0),
+            children: Vec::new(),
+            style: style.clone(),
+            geom_cell,
+        });
+
+        // Lay out children inside the content box. Consecutive
+        // inline-block children with resolvable widths pack into rows and
+        // wrap (card grids); everything else stacks as blocks.
+        let content_x = x + ml + bw + pl;
+        let content_w = (width - pl - pr - 2.0 * bw).max(0.0);
+        let mut cursor_y = y + mt + bw + pt;
+        let mut cursor_x = content_x;
+        let mut row_h = 0.0f32;
+        // Iterate by index: `doc` is a shared reference so the children
+        // list cannot change, and cloning it per box is pure allocation.
+        let n_children = self.doc.node(node).children.len();
+        for ci in 0..n_children {
+            let child = self.doc.node(node).children[ci];
+            // Decide flow mode from the child's own style before layout.
+            let inline_w = self
+                .styles
+                .style(child)
+                .filter(|st| {
+                    matches!(st.display, Display::InlineBlock | Display::Inline)
+                        && matches!(st.position, Position::Static | Position::Relative)
+                })
+                .and_then(|st| match st.width {
+                    Length::Auto => None,
+                    w => Some(
+                        resolve(w, content_w, st.font_size)
+                            + resolve(st.margin[edge::LEFT], content_w, st.font_size)
+                            + resolve(st.margin[edge::RIGHT], content_w, st.font_size),
+                    ),
+                });
+            if let Some(advance) = inline_w {
+                if cursor_x + advance > content_x + content_w && cursor_x > content_x {
+                    // Wrap to the next row.
+                    cursor_y += row_h;
+                    cursor_x = content_x;
+                    row_h = 0.0;
+                }
+                if let Some(b) =
+                    self.build_and_layout(child, id, cursor_x, cursor_y, content_w, font)
+                {
+                    self.prev_sibling_geom = Some(self.boxes[b.index()].geom_cell);
+                    let bx = self.boxes[b.index()].rect;
+                    let mb = resolve(
+                        self.boxes[b.index()].style.margin[edge::BOTTOM],
+                        content_w,
+                        font,
+                    );
+                    cursor_x += advance.max(bx.w);
+                    row_h = row_h.max(bx.h + mb + (bx.y - cursor_y).max(0.0));
+                    self.boxes[id.index()].children.push(b);
+                }
+                continue;
+            }
+            // Block-level child: flush any open inline row first.
+            if cursor_x > content_x {
+                cursor_y += row_h;
+                cursor_x = content_x;
+                row_h = 0.0;
+            }
+            if let Some(b) = self.build_and_layout(child, id, content_x, cursor_y, content_w, font)
+            {
+                self.prev_sibling_geom = Some(self.boxes[b.index()].geom_cell);
+                let child_style = &self.boxes[b.index()].style;
+                let out_of_flow =
+                    matches!(child_style.position, Position::Absolute | Position::Fixed);
+                if !out_of_flow {
+                    cursor_y = self.boxes[b.index()].rect.bottom()
+                        + resolve(child_style.margin[edge::BOTTOM], content_w, font);
+                }
+                self.boxes[id.index()].children.push(b);
+            }
+        }
+        if cursor_x > content_x {
+            cursor_y += row_h;
+        }
+
+        // Border-box height.
+        let content_h = cursor_y - (y + mt + bw + pt);
+        let height = match style.height {
+            Length::Auto => content_h + pt + pb + 2.0 * bw,
+            h => resolve(h, self.viewport_height, font) + pt + pb + 2.0 * bw,
+        };
+        self.boxes[id.index()].rect.h = height.max(0.0);
+
+        // Positioning schemes.
+        match style.position {
+            Position::Relative => {
+                let dx = resolve_offset(
+                    style.offsets[edge::LEFT],
+                    style.offsets[edge::RIGHT],
+                    containing_w,
+                    font,
+                );
+                let dy = resolve_offset(
+                    style.offsets[edge::TOP],
+                    style.offsets[edge::BOTTOM],
+                    self.viewport_height,
+                    font,
+                );
+                self.shift_subtree(id, dx, dy);
+            }
+            Position::Absolute | Position::Fixed => {
+                // Positioned against the viewport (the simulated page keeps
+                // positioned ancestors at the viewport origin).
+                let bx = self.boxes[id.index()].rect;
+                let nx = match (style.offsets[edge::LEFT], style.offsets[edge::RIGHT]) {
+                    (Length::Auto, Length::Auto) => bx.x,
+                    (Length::Auto, r) => containing_w - resolve(r, containing_w, font) - bx.w,
+                    (l, _) => resolve(l, containing_w, font),
+                };
+                let ny = match (style.offsets[edge::TOP], style.offsets[edge::BOTTOM]) {
+                    (Length::Auto, Length::Auto) => bx.y,
+                    (Length::Auto, b) => {
+                        self.viewport_height - resolve(b, self.viewport_height, font) - bx.h
+                    }
+                    (t, _) => resolve(t, self.viewport_height, font),
+                };
+                self.shift_subtree(id, nx - bx.x, ny - bx.y);
+            }
+            Position::Static => {}
+        }
+
+        // Mirror the geometry into the trace: position and size derive
+        // from the element's style, the text/children extents, the parent
+        // flow state, the preceding in-flow sibling (block stacking), and
+        // the tree structure the traversal followed.
+        let style_cells = self.styles.cells(node);
+        let mut reads: Vec<AddrRange> = Vec::new();
+        if let Some(c) = style_cells {
+            reads.push(c.geometry.into());
+            reads.push(c.position.into());
+        }
+        // The containing block is the parent *box* — already in hand, so
+        // no scan over the boxes built so far is needed.
+        reads.push(self.boxes[parent.index()].geom_cell.into());
+        if let Some(dom_parent) = self.doc.node(node).parent {
+            reads.push(self.doc.node(dom_parent).cells.structure.into());
+        }
+        if let Some(prev) = prev_sibling {
+            reads.push(prev.into());
+        }
+        let geom = self.boxes[id.index()].geom_cell;
+        self.rec
+            .compute_weighted(site!(), &reads, &[geom.into()], 3);
+
+        Some(id)
+    }
+
+    fn shift_subtree(&mut self, id: BoxId, dx: f32, dy: f32) {
+        if dx == 0.0 && dy == 0.0 {
+            return;
+        }
+        let mut stack = vec![id];
+        while let Some(b) = stack.pop() {
+            self.boxes[b.index()].rect = self.boxes[b.index()].rect.translated(dx, dy);
+            if let BoxKind::Text { lines } = &mut self.boxes[b.index()].kind {
+                for (r, _) in lines {
+                    *r = r.translated(dx, dy);
+                }
+            }
+            for i in 0..self.boxes[b.index()].children.len() {
+                stack.push(self.boxes[b.index()].children[i]);
+            }
+        }
+    }
+
+    /// Simple inline layout: breaks text into line boxes at word
+    /// boundaries using the deterministic character metric.
+    fn layout_text(
+        &mut self,
+        node: NodeId,
+        x: f32,
+        y: f32,
+        containing_w: f32,
+        font: f32,
+    ) -> Option<BoxId> {
+        let text = self.doc.node(node).text().unwrap_or("").to_owned();
+        if text.trim().is_empty() {
+            return None;
+        }
+        let parent = self.doc.node(node).parent;
+        let style = parent
+            .and_then(|p| self.styles.style(p))
+            .cloned()
+            .unwrap_or_default();
+        let char_w = font * CHAR_WIDTH_FACTOR;
+        let max_chars = ((containing_w / char_w).floor() as u32).max(1);
+        let line_h = style.line_height.max(font);
+
+        let mut lines = Vec::new();
+        let mut cur = 0u32;
+        for word in text.split_whitespace() {
+            let wlen = word.chars().count() as u32 + 1;
+            if cur + wlen > max_chars && cur > 0 {
+                lines.push(cur);
+                cur = 0;
+            }
+            cur += wlen;
+        }
+        if cur > 0 {
+            lines.push(cur);
+        }
+        let line_rects: Vec<(Rect, u32)> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, &chars)| {
+                (
+                    Rect::new(x, y + i as f32 * line_h, chars as f32 * char_w, line_h),
+                    chars,
+                )
+            })
+            .collect();
+        let total_h = line_rects.len() as f32 * line_h;
+        let width = line_rects.iter().map(|(r, _)| r.w).fold(0.0, f32::max);
+
+        let geom_cell = self.rec.alloc_cell(Region::Heap);
+        let id = BoxId(self.boxes.len() as u32);
+        // Line breaking reads the text content and the inherited font.
+        let mut reads: Vec<AddrRange> = Vec::new();
+        if let Some(r) = self.doc.node(node).text_range() {
+            reads.push(r);
+        }
+        if let Some(c) = parent.and_then(|p| self.styles.cells(p)) {
+            reads.push(c.font.into());
+        }
+        if let Some(p) = parent {
+            reads.push(self.doc.node(p).cells.structure.into());
+        }
+        self.rec
+            .compute_weighted(site!(), &reads, &[geom_cell.into()], lines.len() as u32);
+        self.boxes.push(LayoutBox {
+            node,
+            kind: BoxKind::Text { lines: line_rects },
+            rect: Rect::new(x, y, width, total_h),
+            children: Vec::new(),
+            style,
+            geom_cell,
+        });
+        Some(id)
+    }
+}
+
+fn resolve_offset(primary: Length, secondary: Length, containing: f32, font: f32) -> f32 {
+    match (primary, secondary) {
+        (Length::Auto, Length::Auto) => 0.0,
+        (Length::Auto, s) => -resolve(s, containing, font),
+        (p, _) => resolve(p, containing, font),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasteprof_css::{parse_stylesheet, StyleEngine, Viewport};
+    use wasteprof_html::parse_into;
+    use wasteprof_trace::ThreadKind;
+
+    fn layout(html: &str, css: &str) -> (Document, BoxTree) {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let mut doc = Document::new(&mut rec);
+        let hr = rec.alloc(Region::Input, html.len().max(1) as u32);
+        parse_into(&mut rec, &mut doc, html, hr);
+        let cr = rec.alloc(Region::Input, css.len().max(1) as u32);
+        let sheet = parse_stylesheet(&mut rec, css, cr, Viewport::DESKTOP, "t");
+        let mut engine = StyleEngine::new(Viewport::DESKTOP);
+        engine.add_sheet(sheet);
+        let styles = engine.style_document(&mut rec, &doc);
+        let tree = layout_document(&mut rec, &doc, &styles, 1000.0, 600.0);
+        (doc, tree)
+    }
+
+    #[test]
+    fn blocks_stack_vertically() {
+        let (doc, tree) = layout("<div id=a></div><div id=b></div>", "div { height: 50px; }");
+        let a = tree.box_for_node(doc.element_by_id("a").unwrap()).unwrap();
+        let b = tree.box_for_node(doc.element_by_id("b").unwrap()).unwrap();
+        assert_eq!(tree.get(a).rect.y, 0.0);
+        assert_eq!(tree.get(a).rect.h, 50.0);
+        assert_eq!(tree.get(b).rect.y, 50.0);
+        assert_eq!(tree.get(a).rect.w, 1000.0); // auto width fills
+    }
+
+    #[test]
+    fn margins_and_padding_apply() {
+        let (doc, tree) = layout(
+            "<div id=a><div id=b></div></div>",
+            "#a { margin: 10px; padding: 5px; } #b { height: 20px; }",
+        );
+        let a = tree.box_for_node(doc.element_by_id("a").unwrap()).unwrap();
+        let b = tree.box_for_node(doc.element_by_id("b").unwrap()).unwrap();
+        assert_eq!(tree.get(a).rect.x, 10.0);
+        assert_eq!(tree.get(a).rect.y, 10.0);
+        assert_eq!(tree.get(a).rect.w, 980.0);
+        assert_eq!(tree.get(b).rect.x, 15.0);
+        assert_eq!(tree.get(b).rect.y, 15.0);
+        assert_eq!(tree.get(a).rect.h, 30.0); // child 20 + padding 2*5
+    }
+
+    #[test]
+    fn explicit_and_percent_widths() {
+        let (doc, tree) = layout(
+            "<div id=a><div id=b></div></div>",
+            "#a { width: 500px } #b { width: 50% ; height: 10px }",
+        );
+        let a = tree.box_for_node(doc.element_by_id("a").unwrap()).unwrap();
+        let b = tree.box_for_node(doc.element_by_id("b").unwrap()).unwrap();
+        assert_eq!(tree.get(a).rect.w, 500.0);
+        assert_eq!(tree.get(b).rect.w, 250.0);
+    }
+
+    #[test]
+    fn display_none_generates_no_boxes() {
+        let (doc, tree) = layout(
+            "<div id=a></div><div id=b style='display: none'><p>hidden</p></div>",
+            "div { height: 10px }",
+        );
+        assert!(tree.box_for_node(doc.element_by_id("b").unwrap()).is_none());
+        assert!(tree.box_for_node(doc.element_by_id("a").unwrap()).is_some());
+        assert_eq!(tree.page_height, 600.0); // only one 10px div -> viewport min
+    }
+
+    #[test]
+    fn head_and_scripts_are_non_visual() {
+        let (doc, tree) = layout(
+            "<head><title>t</title></head><body><script>var x=1;</script><p>text</p></body>",
+            "",
+        );
+        for id in tree.ids() {
+            let tag = doc.node(tree.get(id).node).tag().unwrap_or("");
+            assert!(!NON_VISUAL.contains(&tag), "{tag} box generated");
+        }
+    }
+
+    #[test]
+    fn text_wraps_into_lines() {
+        let words = vec!["word"; 50].join(" ");
+        let (_, tree) = layout(
+            &format!("<p id=p style='font-size: 16px'>{words}</p>"),
+            "p { width: 200px }",
+        );
+        let text_box = tree
+            .ids()
+            .find(|&b| matches!(tree.get(b).kind, BoxKind::Text { .. }))
+            .expect("text box exists");
+        let BoxKind::Text { lines } = &tree.get(text_box).kind else {
+            unreachable!()
+        };
+        // 200px at 8px/char = 25 chars/line; "word " is 5 chars -> 5 words
+        // per line -> 10 lines.
+        assert!(lines.len() >= 8, "expected many lines, got {}", lines.len());
+        // Parent paragraph grew to contain them.
+        assert!(tree.get(text_box).rect.h >= lines.len() as f32 * 16.0);
+    }
+
+    #[test]
+    fn absolute_positioning_honors_offsets() {
+        let (doc, tree) = layout(
+            "<div id=a></div>",
+            "#a { position: absolute; top: 40px; left: 60px; width: 10px; height: 10px }",
+        );
+        let a = tree.box_for_node(doc.element_by_id("a").unwrap()).unwrap();
+        assert_eq!(tree.get(a).rect.x, 60.0);
+        assert_eq!(tree.get(a).rect.y, 40.0);
+    }
+
+    #[test]
+    fn fixed_right_bottom_offsets() {
+        let (doc, tree) = layout(
+            "<div id=a></div>",
+            "#a { position: fixed; right: 0; bottom: 0; width: 100px; height: 50px }",
+        );
+        let a = tree.box_for_node(doc.element_by_id("a").unwrap()).unwrap();
+        assert_eq!(tree.get(a).rect.x, 900.0);
+        assert_eq!(tree.get(a).rect.y, 550.0);
+    }
+
+    #[test]
+    fn absolute_children_do_not_affect_flow() {
+        let (doc, tree) = layout(
+            "<div id=a><div id=float style='position:absolute; top:0; height:500px'></div></div><div id=b></div>",
+            "#a { height: 10px } #b { height: 10px }",
+        );
+        let b = tree.box_for_node(doc.element_by_id("b").unwrap()).unwrap();
+        assert_eq!(tree.get(b).rect.y, 10.0); // not pushed by the 500px abs box
+    }
+
+    #[test]
+    fn relative_offset_shifts_subtree() {
+        let (doc, tree) = layout(
+            "<div id=a style='position:relative; left:30px; top:5px'><p id=p>x</p></div>",
+            "#a { height: 20px }",
+        );
+        let a = tree.box_for_node(doc.element_by_id("a").unwrap()).unwrap();
+        let p = tree.box_for_node(doc.element_by_id("p").unwrap()).unwrap();
+        assert_eq!(tree.get(a).rect.x, 30.0);
+        assert_eq!(tree.get(p).rect.x, 30.0);
+        assert_eq!(tree.get(a).rect.y, 5.0);
+    }
+
+    #[test]
+    fn inline_blocks_pack_into_rows() {
+        let (doc, tree) = layout(
+            "<div id=wrap><div class=c id=i0></div><div class=c id=i1></div>             <div class=c id=i2></div><div class=c id=i3></div></div>",
+            ".c { display: inline-block; width: 400px; height: 50px } #wrap { width: 1000px }",
+        );
+        let b = |n: &str| {
+            tree.get(tree.box_for_node(doc.element_by_id(n).unwrap()).unwrap())
+                .rect
+        };
+        // Two per row (2x400 <= 1000 < 3x400).
+        assert_eq!(b("i0").y, b("i1").y);
+        assert!(b("i1").x > b("i0").x);
+        assert!(b("i2").y > b("i0").y, "third card wraps to a new row");
+        assert_eq!(b("i2").y, b("i3").y);
+        // Parent grew to contain both rows.
+        let wrap = b("wrap");
+        assert!(wrap.h >= 100.0);
+    }
+
+    #[test]
+    fn page_height_tracks_offscreen_content() {
+        let (_, tree) = layout("<div></div><div></div><div></div>", "div { height: 400px }");
+        assert_eq!(tree.page_height, 1200.0); // 3 x 400 > 600 viewport
+    }
+
+    #[test]
+    fn hit_test_finds_topmost() {
+        let (doc, tree) = layout(
+            "<div id=below></div><div id=above style='position:absolute; top:0; left:0; width:100px; height:100px'></div>",
+            "#below { height: 100px }",
+        );
+        let above = tree
+            .box_for_node(doc.element_by_id("above").unwrap())
+            .unwrap();
+        assert_eq!(tree.hit_test(50.0, 50.0), Some(above));
+        assert_eq!(tree.hit_test(5000.0, 50.0), None);
+    }
+
+    #[test]
+    fn hit_test_respects_z_index_over_document_order() {
+        // The menu paints on top (z-index layer) even though the body
+        // comes later in document order; hit testing must agree.
+        let (doc, tree) = layout(
+            "<div><div id=menu style='position:absolute; z-index:10; top:0; left:0; \
+             width:100px; height:100px'></div></div>\
+             <div id=body style='height:100px'></div>",
+            "",
+        );
+        let menu = tree
+            .box_for_node(doc.element_by_id("menu").unwrap())
+            .unwrap();
+        let body = tree
+            .box_for_node(doc.element_by_id("body").unwrap())
+            .unwrap();
+        // Both boxes contain the probe point.
+        assert!(tree.get(body).rect.y < 100.0, "body must overlap the menu");
+        assert_eq!(tree.hit_test(50.0, 50.0), Some(menu));
+    }
+
+    #[test]
+    fn geometry_writes_read_style_cells() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let mut doc = Document::new(&mut rec);
+        let hr = rec.alloc(Region::Input, 64);
+        parse_into(&mut rec, &mut doc, "<div id=a></div>", hr);
+        let css = "#a { width: 100px; height: 10px }";
+        let cr = rec.alloc(Region::Input, css.len() as u32);
+        let sheet = parse_stylesheet(&mut rec, css, cr, Viewport::DESKTOP, "t");
+        let mut engine = StyleEngine::new(Viewport::DESKTOP);
+        engine.add_sheet(sheet);
+        let styles = engine.style_document(&mut rec, &doc);
+        let a = doc.element_by_id("a").unwrap();
+        let style_geom = styles.cells(a).unwrap().geometry;
+        let tree = layout_document(&mut rec, &doc, &styles, 1000.0, 600.0);
+        let geom = tree.get(tree.box_for_node(a).unwrap()).geom_cell;
+        let trace = rec.finish();
+        // The instruction writing the box geometry participates in a chain
+        // that reads the computed-style geometry cell.
+        assert!(trace
+            .iter()
+            .any(|i| i.mem_writes().iter().any(|w| w.contains(geom))));
+        assert!(trace
+            .iter()
+            .any(|i| i.mem_reads().iter().any(|r| r.contains(style_geom))));
+    }
+}

@@ -1,0 +1,155 @@
+//! Basic geometry types for layout and painting.
+
+use std::fmt;
+
+/// An axis-aligned rectangle in page coordinates (CSS pixels).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f32,
+    /// Top edge.
+    pub y: f32,
+    /// Width.
+    pub w: f32,
+    /// Height.
+    pub h: f32,
+}
+
+impl Rect {
+    /// A rectangle from position and size.
+    pub fn new(x: f32, y: f32, w: f32, h: f32) -> Rect {
+        Rect { x, y, w, h }
+    }
+
+    /// Right edge.
+    pub fn right(&self) -> f32 {
+        self.x + self.w
+    }
+
+    /// Bottom edge.
+    pub fn bottom(&self) -> f32 {
+        self.y + self.h
+    }
+
+    /// Area in square pixels.
+    pub fn area(&self) -> f32 {
+        self.w.max(0.0) * self.h.max(0.0)
+    }
+
+    /// True if width or height is not positive.
+    pub fn is_empty(&self) -> bool {
+        self.w <= 0.0 || self.h <= 0.0
+    }
+
+    /// True if the rectangles share area.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.x < other.right()
+            && other.x < self.right()
+            && self.y < other.bottom()
+            && other.y < self.bottom()
+    }
+
+    /// The overlapping region, if any.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        let x = self.x.max(other.x);
+        let y = self.y.max(other.y);
+        Some(Rect {
+            x,
+            y,
+            w: self.right().min(other.right()) - x,
+            h: self.bottom().min(other.bottom()) - y,
+        })
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let x = self.x.min(other.x);
+        let y = self.y.min(other.y);
+        Rect {
+            x,
+            y,
+            w: self.right().max(other.right()) - x,
+            h: self.bottom().max(other.bottom()) - y,
+        }
+    }
+
+    /// True if `self` fully covers `other`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.x <= other.x
+            && self.y <= other.y
+            && self.right() >= other.right()
+            && self.bottom() >= other.bottom()
+    }
+
+    /// The rectangle shifted by `(dx, dy)`.
+    pub fn translated(&self, dx: f32, dy: f32) -> Rect {
+        Rect {
+            x: self.x + dx,
+            y: self.y + dy,
+            ..*self
+        }
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}) {}x{}", self.x, self.y, self.w, self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(5.0, 5.0, 10.0, 10.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::new(5.0, 5.0, 5.0, 5.0));
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(0.0, 0.0, 15.0, 15.0));
+    }
+
+    #[test]
+    fn disjoint_rects() {
+        let a = Rect::new(0.0, 0.0, 5.0, 5.0);
+        let b = Rect::new(6.0, 0.0, 5.0, 5.0);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.intersection(&b), None);
+    }
+
+    #[test]
+    fn containment() {
+        let big = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let small = Rect::new(10.0, 10.0, 5.0, 5.0);
+        assert!(big.contains_rect(&small));
+        assert!(!small.contains_rect(&big));
+        assert!(big.contains_rect(&big));
+    }
+
+    #[test]
+    fn empty_rects_never_intersect() {
+        let e = Rect::new(0.0, 0.0, 0.0, 10.0);
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(!e.intersects(&a));
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn translate() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.translated(10.0, 20.0), Rect::new(11.0, 22.0, 3.0, 4.0));
+    }
+}

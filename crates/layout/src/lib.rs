@@ -1,0 +1,14 @@
+//! Layout and paint for the wasteprof browser: render-tree construction,
+//! block/inline box layout, positioned elements and stacking, and
+//! display-list generation per compositing layer (the Layout and Paint
+//! stages of the paper's rendering pipeline, Figure 1).
+
+#![warn(missing_docs)]
+
+mod boxes;
+mod geometry;
+mod paint;
+
+pub use boxes::{layout_document, BoxId, BoxKind, BoxTree, LayoutBox, CHAR_WIDTH_FACTOR};
+pub use geometry::Rect;
+pub use paint::{paint_document, DisplayItem, Fnv, ItemKind, LayerPaint, LayerReason, PaintCache};

@@ -1,0 +1,575 @@
+//! Paint: display-list generation (the Paint stage of Figure 1).
+//!
+//! Walks the box tree in stacking order and produces, per compositing
+//! layer, the list of graphical commands ("lines and circles" in the
+//! paper's words — here rects, borders, text runs, and images) that the
+//! rasterizer threads will later play back into pixel tiles.
+
+use wasteprof_css::{Color, StyleMap};
+use wasteprof_dom::{Document, NodeId};
+use wasteprof_trace::{site, AddrRange, Recorder, Region};
+
+use crate::boxes::{BoxId, BoxKind, BoxTree};
+use crate::geometry::Rect;
+
+/// A graphical command in a display list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ItemKind {
+    /// Filled rectangle (backgrounds).
+    Rect,
+    /// Rectangle outline.
+    Border,
+    /// A run of text.
+    Text {
+        /// Number of characters (raster cost scales with it).
+        chars: u32,
+    },
+    /// An image placeholder (decoded bitmap pattern).
+    Image,
+}
+
+/// One display item.
+#[derive(Debug, Clone)]
+pub struct DisplayItem {
+    /// What to draw.
+    pub kind: ItemKind,
+    /// Where, in page coordinates.
+    pub rect: Rect,
+    /// Color (fill / text color).
+    pub color: Color,
+    /// Trace cells holding the item.
+    pub cells: AddrRange,
+}
+
+/// Why a layer exists (mirrors Chromium's compositing reasons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerReason {
+    /// The root of the page.
+    Root,
+    /// Explicit z-index.
+    ZIndex,
+    /// `opacity < 1`.
+    Opacity,
+    /// `position: fixed`.
+    Fixed,
+    /// `will-change` hint.
+    WillChange,
+}
+
+/// The paint output for one compositing layer.
+#[derive(Debug, Clone)]
+pub struct LayerPaint {
+    /// The element that owns the layer (`None` for the root layer).
+    pub owner: Option<NodeId>,
+    /// Why the layer was created.
+    pub reason: LayerReason,
+    /// Layer bounds in page coordinates.
+    pub bounds: Rect,
+    /// Stacking order (z-index; root = 0, ties break by paint order).
+    pub z_index: i32,
+    /// `true` for viewport-anchored (fixed) layers that do not scroll.
+    pub fixed: bool,
+    /// Layer opacity.
+    pub opacity: f32,
+    /// True if every item in the layer is fully opaque (occlusion test).
+    pub opaque: bool,
+    /// The display list.
+    pub items: Vec<DisplayItem>,
+    /// The owner's computed-style position cell (z-index provenance for
+    /// the compositor's ordering work); `None` for the root layer.
+    pub style_cell: Option<wasteprof_trace::Addr>,
+}
+
+impl LayerPaint {
+    /// A content fingerprint: layers whose fingerprint is unchanged can
+    /// reuse their backing store (the caching the paper calls out).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for item in &self.items {
+            h.mix_rect(&item.rect);
+            h.mix_color(item.color);
+            h.mix(match &item.kind {
+                ItemKind::Rect => 1,
+                ItemKind::Border => 2,
+                ItemKind::Text { chars } => 0x100 | *chars as u64,
+                ItemKind::Image => 3,
+            });
+        }
+        h.mix(self.bounds.w.to_bits() as u64);
+        h.mix(self.bounds.h.to_bits() as u64);
+        h.finish()
+    }
+}
+
+/// Memoized display items, keyed by generating node and item slot: Blink's
+/// display-item cache. Unchanged items are reused (their cells stay valid
+/// in the trace) instead of being re-recorded — repainting content that
+/// did not change is exactly the work real engines learned to skip.
+#[derive(Debug, Clone, Default)]
+pub struct PaintCache {
+    items: std::collections::HashMap<(NodeId, u8, u32), (u64, AddrRange)>,
+}
+
+impl PaintCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn get_or_record(
+        &mut self,
+        node: NodeId,
+        kind_tag: u8,
+        slot: u32,
+        fp: u64,
+        record: impl FnOnce() -> AddrRange,
+    ) -> AddrRange {
+        match self.items.get(&(node, kind_tag, slot)) {
+            Some((cached_fp, cells)) if *cached_fp == fp => *cells,
+            _ => {
+                let cells = record();
+                self.items.insert((node, kind_tag, slot), (fp, cells));
+                cells
+            }
+        }
+    }
+}
+
+/// Incremental FNV-1a (64-bit) over words and bytes — the one hash used
+/// for every display-item / content fingerprint (here and in the
+/// compositor's tile invalidation), so the mixing can never drift apart.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+}
+
+impl Fnv {
+    /// Fresh hasher with the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mixes one word.
+    pub fn mix(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x100000001b3);
+    }
+
+    /// Mixes raw bytes.
+    pub fn mix_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(b as u64);
+        }
+    }
+
+    /// Mixes a rectangle's geometry.
+    pub fn mix_rect(&mut self, rect: &Rect) {
+        self.mix(rect.x.to_bits() as u64);
+        self.mix(rect.y.to_bits() as u64);
+        self.mix(rect.w.to_bits() as u64);
+        self.mix(rect.h.to_bits() as u64);
+    }
+
+    /// Mixes an RGBA color.
+    pub fn mix_color(&mut self, color: Color) {
+        self.mix(
+            ((color.r as u64) << 24)
+                | ((color.g as u64) << 16)
+                | ((color.b as u64) << 8)
+                | color.a as u64,
+        );
+    }
+
+    /// The accumulated hash.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+fn item_fp(rect: &Rect, color: Color, extra: u64) -> u64 {
+    let mut h = Fnv::new();
+    h.mix_rect(rect);
+    h.mix_color(color);
+    h.mix(extra);
+    h.finish()
+}
+
+/// FNV over arbitrary bytes (content hashes for cache keys).
+fn bytes_fp(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.mix_bytes(bytes);
+    h.finish()
+}
+
+/// Paints the box tree into per-layer display lists, in stacking order
+/// (layers sorted by z-index, root first on ties).
+pub fn paint_document(
+    rec: &mut Recorder,
+    doc: &Document,
+    styles: &StyleMap,
+    tree: &BoxTree,
+    cache: &mut PaintCache,
+) -> Vec<LayerPaint> {
+    let func = rec.intern_func("gfx::paint::PaintController");
+    rec.in_func(site!(), func, |rec| {
+        let mut layers = Vec::new();
+        let root_layer = LayerPaint {
+            owner: None,
+            reason: LayerReason::Root,
+            bounds: Rect::new(0.0, 0.0, tree.viewport_width, tree.page_height),
+            z_index: 0,
+            fixed: false,
+            opacity: 1.0,
+            opaque: true,
+            items: Vec::new(),
+            style_cell: None,
+        };
+        layers.push(root_layer);
+        paint_box(rec, doc, styles, tree, tree.root(), 0, &mut layers, cache);
+        // Stable sort by z-index keeps paint order within a z level.
+        layers.sort_by_key(|l| l.z_index);
+        for layer in &mut layers {
+            let all_opaque = layer
+                .items
+                .iter()
+                .all(|i| matches!(i.kind, ItemKind::Rect | ItemKind::Image) && i.color.is_opaque());
+            // A layer only occludes what it fully covers: some opaque item
+            // must span the whole layer bounds, or tiles underneath could
+            // be culled while still visible.
+            let covered = layer.items.iter().any(|i| {
+                matches!(i.kind, ItemKind::Rect | ItemKind::Image)
+                    && i.color.is_opaque()
+                    && i.rect.contains_rect(&layer.bounds)
+            });
+            layer.opaque = all_opaque && covered && layer.opacity == 1.0 && !layer.items.is_empty();
+        }
+        layers
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn paint_box(
+    rec: &mut Recorder,
+    doc: &Document,
+    styles: &StyleMap,
+    tree: &BoxTree,
+    id: BoxId,
+    layer_idx: usize,
+    layers: &mut Vec<LayerPaint>,
+    cache: &mut PaintCache,
+) {
+    let b = tree.get(id);
+    let style = &b.style;
+
+    // Does this box start its own compositing layer?
+    let mut target = layer_idx;
+    if b.node != doc.root() && style.wants_layer() {
+        let reason = if style.z_index.is_some() {
+            LayerReason::ZIndex
+        } else if style.opacity < 1.0 {
+            LayerReason::Opacity
+        } else if style.position == wasteprof_css::Position::Fixed {
+            LayerReason::Fixed
+        } else {
+            LayerReason::WillChange
+        };
+        layers.push(LayerPaint {
+            owner: Some(b.node),
+            reason,
+            bounds: b.rect,
+            z_index: style.z_index.unwrap_or(0),
+            fixed: style.position == wasteprof_css::Position::Fixed,
+            opacity: style.opacity,
+            opaque: false,
+            items: Vec::new(),
+            style_cell: styles.cells(b.node).map(|c| c.position),
+        });
+        target = layers.len() - 1;
+    }
+
+    // Invisible boxes still exist (the compositor keeps backing stores for
+    // them — paper §II-B) but paint no items.
+    let paints = !style.is_invisible() && !b.rect.is_empty();
+    let style_cells = styles.cells(b.node);
+    let geom: AddrRange = b.geom_cell.into();
+
+    if paints {
+        match &b.kind {
+            BoxKind::Text { lines } => {
+                // The cache key covers the text *content*: equal-length but
+                // different text must not reuse a stale recording.
+                let content = bytes_fp(doc.node(b.node).text().unwrap_or("").as_bytes());
+                for (slot, (line_rect, chars)) in lines.iter().enumerate() {
+                    let fp = item_fp(line_rect, b.style.color, content ^ *chars as u64);
+                    let cells = cache.get_or_record(b.node, 0, slot as u32, fp, || {
+                        let cells = rec.alloc(Region::Heap, 16);
+                        let mut reads: Vec<AddrRange> = vec![geom];
+                        if let Some(p) = doc.node(b.node).parent {
+                            if let Some(c) = styles.cells(p) {
+                                reads.push(c.paint.into());
+                                reads.push(c.font.into());
+                            }
+                        }
+                        if let Some(t) = doc.node(b.node).text_range() {
+                            reads.push(t);
+                        }
+                        rec.compute_weighted(site!(), &reads, &[cells], 2);
+                        cells
+                    });
+                    layers[target].items.push(DisplayItem {
+                        kind: ItemKind::Text { chars: *chars },
+                        rect: *line_rect,
+                        color: b.style.color,
+                        cells,
+                    });
+                }
+            }
+            BoxKind::Block | BoxKind::Inline => {
+                // Background.
+                if style.background.a > 0 {
+                    let fp = item_fp(&b.rect, style.background, 1);
+                    let cells = cache.get_or_record(b.node, 1, 0, fp, || {
+                        let cells = rec.alloc(Region::Heap, 16);
+                        let mut reads: Vec<AddrRange> = vec![geom];
+                        if let Some(c) = style_cells {
+                            reads.push(c.paint.into());
+                        }
+                        rec.compute_weighted(site!(), &reads, &[cells], 2);
+                        cells
+                    });
+                    layers[target].items.push(DisplayItem {
+                        kind: ItemKind::Rect,
+                        rect: b.rect,
+                        color: style.background,
+                        cells,
+                    });
+                }
+                // Border.
+                if style.border_width > 0.0 {
+                    let fp = item_fp(&b.rect, style.border_color, 2);
+                    let cells = cache.get_or_record(b.node, 2, 0, fp, || {
+                        let cells = rec.alloc(Region::Heap, 16);
+                        let mut reads: Vec<AddrRange> = vec![geom];
+                        if let Some(c) = style_cells {
+                            reads.push(c.paint.into());
+                        }
+                        rec.compute(site!(), &reads, &[cells]);
+                        cells
+                    });
+                    layers[target].items.push(DisplayItem {
+                        kind: ItemKind::Border,
+                        rect: b.rect,
+                        color: style.border_color,
+                        cells,
+                    });
+                }
+                // Images paint a decoded-bitmap placeholder.
+                if doc.node(b.node).tag() == Some("img") {
+                    let src_fp = doc
+                        .node(b.node)
+                        .attr_value("src")
+                        .map(|v| bytes_fp(v.as_bytes()))
+                        .unwrap_or(0);
+                    let fp = item_fp(&b.rect, Color::rgb(200, 200, 200), 3 ^ src_fp);
+                    let cells = cache.get_or_record(b.node, 3, 0, fp, || {
+                        let cells = rec.alloc(Region::Heap, 16);
+                        let mut reads: Vec<AddrRange> = vec![geom];
+                        if let Some(a) = doc.node(b.node).attr("src") {
+                            reads.push(a.cell.into());
+                        }
+                        rec.compute_weighted(site!(), &reads, &[cells], 4);
+                        cells
+                    });
+                    layers[target].items.push(DisplayItem {
+                        kind: ItemKind::Image,
+                        rect: b.rect,
+                        color: Color::rgb(200, 200, 200),
+                        cells,
+                    });
+                }
+            }
+        }
+    }
+
+    for &child in &b.children {
+        paint_box(rec, doc, styles, tree, child, target, layers, cache);
+    }
+
+    // Grow the layer bounds to cover everything painted into it.
+    if target < layers.len() {
+        let items_bounds = layers[target]
+            .items
+            .iter()
+            .map(|i| i.rect)
+            .fold(Rect::default(), |acc, r| acc.union(&r));
+        layers[target].bounds = layers[target].bounds.union(&items_bounds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxes::layout_document;
+    use wasteprof_css::{parse_stylesheet, StyleEngine, Viewport};
+    use wasteprof_html::parse_into;
+    use wasteprof_trace::{Recorder, ThreadKind};
+
+    fn paint(html: &str, css: &str) -> Vec<LayerPaint> {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let mut doc = wasteprof_dom::Document::new(&mut rec);
+        let hr = rec.alloc(Region::Input, html.len().max(1) as u32);
+        parse_into(&mut rec, &mut doc, html, hr);
+        let cr = rec.alloc(Region::Input, css.len().max(1) as u32);
+        let sheet = parse_stylesheet(&mut rec, css, cr, Viewport::DESKTOP, "t");
+        let mut engine = StyleEngine::new(Viewport::DESKTOP);
+        engine.add_sheet(sheet);
+        let styles = engine.style_document(&mut rec, &doc);
+        let tree = layout_document(&mut rec, &doc, &styles, 1000.0, 600.0);
+        paint_document(&mut rec, &doc, &styles, &tree, &mut PaintCache::new())
+    }
+
+    #[test]
+    fn root_layer_collects_normal_content() {
+        let layers = paint(
+            "<div>hello world</div>",
+            "div { background: white; height: 40px }",
+        );
+        assert_eq!(layers.len(), 1);
+        let root = &layers[0];
+        assert_eq!(root.reason, LayerReason::Root);
+        assert!(root.items.iter().any(|i| matches!(i.kind, ItemKind::Rect)));
+        assert!(root
+            .items
+            .iter()
+            .any(|i| matches!(i.kind, ItemKind::Text { .. })));
+    }
+
+    #[test]
+    fn z_index_creates_layers_in_order() {
+        let layers = paint(
+            "<div id=low></div><div id=high></div>",
+            "#low { z-index: 1; position: relative; height: 10px; background: red }\
+             #high { z-index: 5; position: relative; height: 10px; background: blue }",
+        );
+        assert_eq!(layers.len(), 3);
+        let zs: Vec<i32> = layers.iter().map(|l| l.z_index).collect();
+        assert_eq!(zs, vec![0, 1, 5]);
+        assert_eq!(layers[1].reason, LayerReason::ZIndex);
+    }
+
+    #[test]
+    fn opacity_and_fixed_create_layers() {
+        let layers = paint(
+            "<div style='opacity: 0.5; height: 10px'></div>\
+             <div style='position: fixed; top: 0; height: 10px'></div>",
+            "",
+        );
+        assert_eq!(layers.len(), 3);
+        assert!(layers.iter().any(|l| l.reason == LayerReason::Opacity));
+        assert!(layers
+            .iter()
+            .any(|l| l.reason == LayerReason::Fixed && l.fixed));
+    }
+
+    #[test]
+    fn invisible_layer_paints_nothing_but_exists() {
+        let layers = paint(
+            "<div style='visibility: hidden; will-change: transform; height: 10px'>\
+             <p>invisible text</p></div>",
+            "",
+        );
+        let hidden = layers
+            .iter()
+            .find(|l| l.reason == LayerReason::WillChange)
+            .unwrap();
+        // The layer exists (backing store will be kept) but has no visible
+        // paint. Note children of a hidden element inherit visibility.
+        assert!(hidden.items.is_empty());
+    }
+
+    #[test]
+    fn borders_and_images() {
+        let layers = paint(
+            "<div style='border: 2px solid black; height: 10px'></div><img src='x.png'>",
+            "img { width: 50px; height: 50px }",
+        );
+        let root = &layers[0];
+        assert!(root
+            .items
+            .iter()
+            .any(|i| matches!(i.kind, ItemKind::Border)));
+        assert!(root.items.iter().any(|i| matches!(i.kind, ItemKind::Image)));
+    }
+
+    #[test]
+    fn opaque_detection() {
+        // Opaque requires full coverage of the layer bounds: a viewport-
+        // filling white div qualifies...
+        let opaque = paint("<div style='background: white; height: 600px'></div>", "");
+        assert!(opaque[0].opaque);
+        // ...a translucent one does not...
+        let transparent = paint(
+            "<div style='background: rgba(0,0,0,0.5); height: 600px'></div>",
+            "",
+        );
+        assert!(!transparent[0].opaque);
+        // ...and neither does an opaque item that covers only part of the
+        // layer (it cannot occlude tiles it does not paint).
+        let partial = paint("<div style='background: white; height: 10px'></div>", "");
+        assert!(!partial[0].opaque);
+    }
+
+    #[test]
+    fn fingerprint_stable_and_content_sensitive() {
+        let a = paint("<div style='background: red; height: 10px'></div>", "");
+        let b = paint("<div style='background: red; height: 10px'></div>", "");
+        let c = paint("<div style='background: blue; height: 10px'></div>", "");
+        assert_eq!(a[0].fingerprint(), b[0].fingerprint());
+        assert_ne!(a[0].fingerprint(), c[0].fingerprint());
+    }
+
+    #[test]
+    fn sublayer_content_not_duplicated_in_root() {
+        let layers = paint(
+            "<div id=l style='will-change: transform'><p>inside layer</p></div>",
+            "#l { height: 30px }",
+        );
+        let root = &layers[0];
+        let sub = layers.iter().find(|l| l.owner.is_some()).unwrap();
+        assert!(sub
+            .items
+            .iter()
+            .any(|i| matches!(i.kind, ItemKind::Text { .. })));
+        assert!(!root
+            .items
+            .iter()
+            .any(|i| matches!(i.kind, ItemKind::Text { .. })));
+    }
+
+    #[test]
+    fn layer_bounds_cover_items() {
+        let layers = paint(
+            "<div style='will-change: transform'><div style='height: 50px; background: red'></div></div>",
+            "",
+        );
+        let sub = layers.iter().find(|l| l.owner.is_some()).unwrap();
+        for item in &sub.items {
+            assert!(sub.bounds.contains_rect(&item.rect));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for layout invariants on generated pages.
+
+use proptest::prelude::*;
+use wasteprof_css::{parse_stylesheet, StyleEngine, Viewport};
+use wasteprof_dom::Document;
+use wasteprof_html::parse_into;
+use wasteprof_layout::{layout_document, BoxKind, BoxTree};
+use wasteprof_trace::{Recorder, Region, ThreadKind};
+
+#[derive(Debug, Clone)]
+struct Block {
+    height: u32,
+    margin: u32,
+    padding: u32,
+    children: Vec<Block>,
+}
+
+fn arb_block() -> impl Strategy<Value = Block> {
+    let leaf = (5u32..60, 0u32..8, 0u32..8).prop_map(|(height, margin, padding)| Block {
+        height,
+        margin,
+        padding,
+        children: Vec::new(),
+    });
+    leaf.prop_recursive(3, 12, 4, |inner| {
+        (
+            5u32..60,
+            0u32..8,
+            0u32..8,
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(height, margin, padding, children)| Block {
+                height,
+                margin,
+                padding,
+                children,
+            })
+    })
+}
+
+fn render_html(b: &Block, id: &mut u32, out: &mut String) {
+    let my = *id;
+    *id += 1;
+    out.push_str(&format!(
+        "<div id=\"b{my}\" style=\"margin: {}px; padding: {}px{}\">",
+        b.margin,
+        b.padding,
+        if b.children.is_empty() {
+            format!("; height: {}px", b.height)
+        } else {
+            String::new()
+        },
+    ));
+    for c in &b.children {
+        render_html(c, id, out);
+    }
+    out.push_str("</div>");
+}
+
+fn layout(html: &str) -> (Document, BoxTree) {
+    let mut rec = Recorder::new();
+    rec.spawn_thread(ThreadKind::Main, "m");
+    let mut doc = Document::new(&mut rec);
+    let hr = rec.alloc(Region::Input, html.len().max(1) as u32);
+    parse_into(&mut rec, &mut doc, html, hr);
+    let css = "div { background: white }";
+    let cr = rec.alloc(Region::Input, css.len() as u32);
+    let sheet = parse_stylesheet(&mut rec, css, cr, Viewport::DESKTOP, "p");
+    let mut engine = StyleEngine::new(Viewport::DESKTOP);
+    engine.add_sheet(sheet);
+    let styles = engine.style_document(&mut rec, &doc);
+    let tree = layout_document(&mut rec, &doc, &styles, 1000.0, 600.0);
+    (doc, tree)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn block_layout_invariants(root in arb_block()) {
+        let mut html = String::new();
+        let mut id = 0;
+        render_html(&root, &mut id, &mut html);
+        let (_doc, tree) = layout(&html);
+
+        for bid in tree.ids() {
+            let b = tree.get(bid);
+            if matches!(b.kind, BoxKind::Text { .. }) {
+                continue;
+            }
+            // Geometry is finite and non-negative.
+            prop_assert!(b.rect.w.is_finite() && b.rect.h.is_finite());
+            prop_assert!(b.rect.w >= 0.0 && b.rect.h >= 0.0, "{:?}", b.rect);
+
+            // Children lie within the parent's horizontal extent and below
+            // its top edge, and block siblings never overlap vertically.
+            let mut prev_bottom = f32::NEG_INFINITY;
+            for &cid in &b.children {
+                let c = tree.get(cid);
+                prop_assert!(c.rect.x + 0.01 >= b.rect.x, "child left of parent");
+                prop_assert!(
+                    c.rect.right() <= b.rect.right() + 0.01,
+                    "child {:?} exceeds parent {:?}",
+                    c.rect,
+                    b.rect
+                );
+                prop_assert!(c.rect.y + 0.01 >= b.rect.y, "child above parent");
+                prop_assert!(
+                    c.rect.y + 0.01 >= prev_bottom,
+                    "sibling overlap: {:?} starts above previous bottom {prev_bottom}",
+                    c.rect
+                );
+                prev_bottom = c.rect.bottom();
+            }
+
+            // A parent with children is at least as tall as their extent.
+            if let Some(&last) = b.children.last() {
+                let last_bottom = tree.get(last).rect.bottom();
+                prop_assert!(
+                    b.rect.bottom() + 0.01 >= last_bottom,
+                    "parent {:?} shorter than children ({last_bottom})",
+                    b.rect
+                );
+            }
+        }
+
+        // Page height covers the root box.
+        let root_rect = tree.get(tree.root()).rect;
+        prop_assert!(tree.page_height + 0.01 >= root_rect.h);
+    }
+
+    #[test]
+    fn text_lines_respect_container_width(
+        words in proptest::collection::vec("[a-z]{1,10}", 1..40),
+        width in 120u32..800,
+    ) {
+        let text = words.join(" ");
+        let html = format!("<div id=\"w\" style=\"width: {width}px\"><p>{text}</p></div>");
+        let (_doc, tree) = layout(&html);
+        for bid in tree.ids() {
+            if let BoxKind::Text { lines } = &tree.get(bid).kind {
+                for (rect, chars) in lines {
+                    prop_assert!(*chars > 0);
+                    // A line is never wider than its container plus one
+                    // overlong word (which cannot be broken).
+                    let longest = words.iter().map(|w| w.len()).max().unwrap_or(0) as f32;
+                    let char_w = 16.0 * wasteprof_layout::CHAR_WIDTH_FACTOR;
+                    let slack = (longest + 1.0) * char_w;
+                    prop_assert!(
+                        rect.w <= width as f32 + slack,
+                        "line {rect:?} far exceeds container {width}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Live-variable sets for the backward pass.
+//!
+//! The paper's slicer keeps *one* live memory set shared by all threads
+//! (threads share an address space) and one live *register* set per thread
+//! (each thread has its own architectural context) — §III-B. Live memory is
+//! an interval set over byte addresses so that large operands (pixel tiles,
+//! network buffers) stay cheap.
+
+use std::collections::BTreeMap;
+
+use wasteprof_trace::{AddrRange, RegSet, ThreadId};
+
+/// A set of byte addresses stored as disjoint, coalesced intervals.
+///
+/// # Examples
+///
+/// ```
+/// use wasteprof_slicer::AddrSet;
+/// use wasteprof_trace::{Addr, AddrRange};
+///
+/// let mut s = AddrSet::new();
+/// s.insert(AddrRange::new(Addr::new(100), 8));
+/// assert!(s.intersects(AddrRange::new(Addr::new(104), 2)));
+/// s.remove(AddrRange::new(Addr::new(100), 4));
+/// assert!(!s.intersects(AddrRange::new(Addr::new(100), 4)));
+/// assert!(s.intersects(AddrRange::new(Addr::new(104), 4)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AddrSet {
+    /// start -> end (exclusive); intervals are disjoint and non-adjacent.
+    map: BTreeMap<u64, u64>,
+    /// Reused scratch for keys absorbed/split during insert/remove —
+    /// these run once per traced memory operand in the backward pass, so
+    /// a fresh Vec per call would be millions of allocations per slice.
+    scratch: Vec<(u64, u64)>,
+}
+
+impl PartialEq for AddrSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Scratch capacity is an implementation detail, not set content.
+        self.map == other.map
+    }
+}
+
+impl Eq for AddrSet {}
+
+impl AddrSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if no addresses are in the set.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of disjoint intervals (diagnostics).
+    pub fn interval_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of live bytes.
+    pub fn byte_count(&self) -> u64 {
+        self.map.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Adds every byte of `range` to the set, merging intervals.
+    pub fn insert(&mut self, range: AddrRange) {
+        let mut start = range.start().raw();
+        let mut end = range.end().raw();
+        // Absorb every interval that overlaps or is adjacent to [start, end).
+        // Candidates all have key <= end; walk backwards from there.
+        let mut absorbed = std::mem::take(&mut self.scratch);
+        absorbed.clear();
+        for (&s, &e) in self.map.range(..=end).rev() {
+            if e < start {
+                break;
+            }
+            absorbed.push((s, e));
+            if s < start {
+                start = s;
+            }
+            if e > end {
+                end = e;
+            }
+        }
+        for &(s, _) in &absorbed {
+            self.map.remove(&s);
+        }
+        self.map.insert(start, end);
+        self.scratch = absorbed;
+    }
+
+    /// Removes every byte of `range` from the set, splitting intervals.
+    pub fn remove(&mut self, range: AddrRange) {
+        let start = range.start().raw();
+        let end = range.end().raw();
+        let mut touched = std::mem::take(&mut self.scratch);
+        touched.clear();
+        for (&s, &e) in self.map.range(..end).rev() {
+            if e <= start {
+                break;
+            }
+            touched.push((s, e));
+        }
+        for &(s, e) in &touched {
+            self.map.remove(&s);
+            if s < start {
+                self.map.insert(s, start);
+            }
+            if e > end {
+                self.map.insert(end, e);
+            }
+        }
+        self.scratch = touched;
+    }
+
+    /// True if any byte of `range` is in the set.
+    pub fn intersects(&self, range: AddrRange) -> bool {
+        let start = range.start().raw();
+        let end = range.end().raw();
+        match self.map.range(..end).next_back() {
+            Some((_, &e)) => e > start,
+            None => false,
+        }
+    }
+
+    /// True if `addr`'s byte is in the set.
+    pub fn contains(&self, addr: wasteprof_trace::Addr) -> bool {
+        self.intersects(AddrRange::new(addr, 1))
+    }
+
+    /// Iterates over the disjoint `(start, end)` intervals in order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(&s, &e)| (s, e))
+    }
+}
+
+/// The complete liveness state of the backward pass: shared live memory
+/// plus one live register set per thread.
+#[derive(Debug, Clone, Default)]
+pub struct LiveState {
+    /// Live memory, shared across threads.
+    pub mem: AddrSet,
+    regs: Vec<RegSet>,
+}
+
+impl LiveState {
+    /// Creates an empty state sized for `threads` threads.
+    pub fn new(threads: usize) -> Self {
+        LiveState {
+            mem: AddrSet::new(),
+            regs: vec![RegSet::EMPTY; threads],
+        }
+    }
+
+    /// Live registers of `tid`.
+    pub fn regs(&self, tid: ThreadId) -> RegSet {
+        self.regs.get(tid.index()).copied().unwrap_or(RegSet::EMPTY)
+    }
+
+    /// Mutable live registers of `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is beyond the size given to [`LiveState::new`].
+    pub fn regs_mut(&mut self, tid: ThreadId) -> &mut RegSet {
+        &mut self.regs[tid.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_ignores_scratch_capacity() {
+        // Two sets with identical content but different internal scratch
+        // history must compare equal (PartialEq is content-only).
+        let mut a = AddrSet::new();
+        let mut b = AddrSet::new();
+        let r = |s: u64, l: u32| AddrRange::new(Addr::new(s), l);
+        a.insert(r(10, 10));
+        a.insert(r(20, 10)); // adjacent: exercises the absorb scratch
+        a.remove(r(25, 2));
+        b.insert(r(20, 10));
+        b.insert(r(10, 10));
+        b.remove(r(25, 2));
+        assert_eq!(a, b);
+    }
+
+    use wasteprof_trace::Addr;
+
+    fn r(start: u64, len: u32) -> AddrRange {
+        AddrRange::new(Addr::new(start), len)
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut s = AddrSet::new();
+        s.insert(r(10, 10));
+        assert!(s.intersects(r(10, 1)));
+        assert!(s.intersects(r(19, 1)));
+        assert!(!s.intersects(r(20, 1)));
+        assert!(!s.intersects(r(5, 5)));
+        assert!(s.intersects(r(5, 6)));
+    }
+
+    #[test]
+    fn inserts_merge_overlaps() {
+        let mut s = AddrSet::new();
+        s.insert(r(10, 10));
+        s.insert(r(15, 10));
+        assert_eq!(s.interval_count(), 1);
+        assert_eq!(s.byte_count(), 15);
+    }
+
+    #[test]
+    fn inserts_merge_adjacent() {
+        let mut s = AddrSet::new();
+        s.insert(r(10, 10));
+        s.insert(r(20, 5));
+        assert_eq!(s.interval_count(), 1);
+        assert_eq!(s.byte_count(), 15);
+    }
+
+    #[test]
+    fn insert_spanning_many() {
+        let mut s = AddrSet::new();
+        s.insert(r(10, 2));
+        s.insert(r(20, 2));
+        s.insert(r(30, 2));
+        s.insert(r(5, 40));
+        assert_eq!(s.interval_count(), 1);
+        assert_eq!(s.byte_count(), 40);
+    }
+
+    #[test]
+    fn remove_splits() {
+        let mut s = AddrSet::new();
+        s.insert(r(0, 30));
+        s.remove(r(10, 10));
+        assert_eq!(s.interval_count(), 2);
+        assert!(s.intersects(r(0, 10)));
+        assert!(!s.intersects(r(10, 10)));
+        assert!(s.intersects(r(20, 10)));
+        assert_eq!(s.byte_count(), 20);
+    }
+
+    #[test]
+    fn remove_exact() {
+        let mut s = AddrSet::new();
+        s.insert(r(10, 10));
+        s.remove(r(10, 10));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn remove_across_intervals() {
+        let mut s = AddrSet::new();
+        s.insert(r(0, 10));
+        s.insert(r(20, 10));
+        s.insert(r(40, 10));
+        s.remove(r(5, 40));
+        assert_eq!(s.interval_count(), 2);
+        assert!(s.intersects(r(0, 5)));
+        assert!(s.intersects(r(45, 5)));
+        assert_eq!(s.byte_count(), 10);
+    }
+
+    #[test]
+    fn remove_noop_outside() {
+        let mut s = AddrSet::new();
+        s.insert(r(10, 10));
+        s.remove(r(30, 10));
+        s.remove(r(0, 10)); // adjacent below, no overlap
+        assert_eq!(s.byte_count(), 10);
+    }
+
+    #[test]
+    fn contains_single_byte() {
+        let mut s = AddrSet::new();
+        s.insert(r(100, 1));
+        assert!(s.contains(Addr::new(100)));
+        assert!(!s.contains(Addr::new(101)));
+    }
+
+    #[test]
+    fn live_state_per_thread_registers() {
+        use wasteprof_trace::Reg;
+        let mut ls = LiveState::new(2);
+        ls.regs_mut(ThreadId(0)).insert(Reg::Rax);
+        assert!(ls.regs(ThreadId(0)).contains(Reg::Rax));
+        assert!(!ls.regs(ThreadId(1)).contains(Reg::Rax));
+        assert!(ls.regs(ThreadId(7)).is_empty()); // out of range reads as empty
+    }
+}

@@ -1,0 +1,234 @@
+//! Postdominator computation (forward pass, part 2).
+//!
+//! "In a CFG, a node *n* postdominates a node *m* if and only if every
+//! directed path from *m* to *exit* contains *n*" (§III-A). We compute
+//! immediate postdominators with the Cooper–Harvey–Kennedy iterative
+//! dominance algorithm run on the *reverse* CFG, rooted at the virtual
+//! exit node.
+
+use crate::cfg::{Cfg, NodeId};
+
+/// The postdominator tree of one function's CFG.
+#[derive(Debug, Clone)]
+pub struct PostDoms {
+    /// `ipdom[n]` = immediate postdominator of node `n`; `None` for the
+    /// exit node itself and for nodes that cannot reach exit.
+    ipdom: Vec<Option<NodeId>>,
+}
+
+impl PostDoms {
+    /// Computes the postdominator tree of `cfg`.
+    pub fn compute(cfg: &Cfg) -> Self {
+        let n = cfg.len();
+        // Postorder of the reverse CFG (edges flipped: succ relation is
+        // `preds`), rooted at EXIT.
+        let order = reverse_postorder_of_reverse_cfg(cfg);
+        // Map node -> its position in `order` (postorder number).
+        let mut po_num = vec![usize::MAX; n];
+        for (i, &node) in order.iter().enumerate() {
+            po_num[node.index()] = i;
+        }
+
+        let mut ipdom: Vec<Option<NodeId>> = vec![None; n];
+        ipdom[NodeId::EXIT.index()] = Some(NodeId::EXIT);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Iterate in reverse postorder of the reverse CFG (i.e. from
+            // EXIT outward).
+            for &node in order.iter().rev() {
+                if node == NodeId::EXIT {
+                    continue;
+                }
+                // Predecessors in the reverse graph = successors in the CFG.
+                let mut new_idom: Option<NodeId> = None;
+                for &succ in &cfg.node(node).succs {
+                    if ipdom[succ.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => succ,
+                        Some(cur) => intersect(&ipdom, &po_num, succ, cur),
+                    });
+                }
+                if let Some(nd) = new_idom {
+                    if ipdom[node.index()] != Some(nd) {
+                        ipdom[node.index()] = Some(nd);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // EXIT's ipdom is conventionally itself during the fixpoint; expose
+        // it as None (it has no proper postdominator).
+        ipdom[NodeId::EXIT.index()] = None;
+        PostDoms { ipdom }
+    }
+
+    /// Immediate postdominator of `node` (`None` for exit or unreachable
+    /// nodes).
+    pub fn ipdom(&self, node: NodeId) -> Option<NodeId> {
+        self.ipdom.get(node.index()).copied().flatten()
+    }
+
+    /// True if `a` postdominates `b` (including `a == b`).
+    pub fn postdominates(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.ipdom(cur) {
+                Some(next) => cur = next,
+                None => return a == NodeId::EXIT && cur == NodeId::EXIT,
+            }
+        }
+    }
+}
+
+/// Postorder traversal of the reverse CFG from EXIT; returned vector is in
+/// postorder (EXIT last is NOT guaranteed; EXIT is where DFS starts so it
+/// finishes last and sits at the end).
+fn reverse_postorder_of_reverse_cfg(cfg: &Cfg) -> Vec<NodeId> {
+    let n = cfg.len();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    // Iterative DFS over `preds` edges starting from EXIT.
+    let mut stack: Vec<(NodeId, usize)> = vec![(NodeId::EXIT, 0)];
+    visited[NodeId::EXIT.index()] = true;
+    while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+        let preds = &cfg.node(node).preds;
+        if *idx < preds.len() {
+            let next = preds[*idx];
+            *idx += 1;
+            if !visited[next.index()] {
+                visited[next.index()] = true;
+                stack.push((next, 0));
+            }
+        } else {
+            order.push(node);
+            stack.pop();
+        }
+    }
+    order
+}
+
+fn intersect(ipdom: &[Option<NodeId>], po_num: &[usize], mut a: NodeId, mut b: NodeId) -> NodeId {
+    while a != b {
+        while po_num[a.index()] < po_num[b.index()] {
+            a = ipdom[a.index()].expect("processed node has ipdom");
+        }
+        while po_num[b.index()] < po_num[a.index()] {
+            b = ipdom[b.index()].expect("processed node has ipdom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::CfgSet;
+    use wasteprof_trace::{site, Recorder, Reg, RegSet, Region, ThreadKind};
+
+    /// Builds a diamond: br -> {then, join}, then -> join, join -> exit.
+    fn diamond() -> (
+        crate::cfg::Cfg,
+        wasteprof_trace::Pc,
+        wasteprof_trace::Pc,
+        wasteprof_trace::Pc,
+    ) {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let root = rec.current_func();
+        let cell = rec.alloc_cell(Region::Heap);
+        let br = site!();
+        let then_s = site!();
+        let join_s = site!();
+        rec.branch_mem(br, cell, true);
+        rec.alu(then_s, Reg::Rax, RegSet::EMPTY);
+        rec.alu(join_s, Reg::Rax, RegSet::EMPTY);
+        rec.branch_mem(br, cell, false);
+        rec.alu(join_s, Reg::Rax, RegSet::EMPTY);
+        let trace = rec.finish();
+        let set = CfgSet::build(&trace);
+        (set.get(root).unwrap().clone(), br, then_s, join_s)
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let (cfg, br, then_s, join_s) = diamond();
+        let pd = PostDoms::compute(&cfg);
+        let nbr = cfg.node_of(br).unwrap();
+        let nthen = cfg.node_of(then_s).unwrap();
+        let njoin = cfg.node_of(join_s).unwrap();
+        // join postdominates the branch; then does not.
+        assert_eq!(pd.ipdom(nbr), Some(njoin));
+        assert!(pd.postdominates(njoin, nbr));
+        assert!(!pd.postdominates(nthen, nbr));
+        assert_eq!(pd.ipdom(nthen), Some(njoin));
+        assert!(pd.postdominates(NodeId::EXIT, nbr));
+    }
+
+    #[test]
+    fn straight_line_chain_postdominates_upward() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let root = rec.current_func();
+        let a = site!();
+        let b = site!();
+        rec.alu(a, Reg::Rax, RegSet::EMPTY);
+        rec.alu(b, Reg::Rax, RegSet::EMPTY);
+        let trace = rec.finish();
+        let set = CfgSet::build(&trace);
+        let cfg = set.get(root).unwrap();
+        let pd = PostDoms::compute(cfg);
+        let na = cfg.node_of(a).unwrap();
+        let nb = cfg.node_of(b).unwrap();
+        assert_eq!(pd.ipdom(na), Some(nb));
+        assert_eq!(pd.ipdom(nb), Some(NodeId::EXIT));
+        assert!(pd.postdominates(nb, na));
+        assert!(!pd.postdominates(na, nb));
+    }
+
+    #[test]
+    fn loop_head_postdominates_body() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let root = rec.current_func();
+        let cell = rec.alloc_cell(Region::Heap);
+        let head = site!();
+        let body = site!();
+        for _ in 0..2 {
+            rec.branch_mem(head, cell, true);
+            rec.alu(body, Reg::Rax, RegSet::EMPTY);
+        }
+        rec.branch_mem(head, cell, false);
+        let trace = rec.finish();
+        let set = CfgSet::build(&trace);
+        let cfg = set.get(root).unwrap();
+        let pd = PostDoms::compute(cfg);
+        let nhead = cfg.node_of(head).unwrap();
+        let nbody = cfg.node_of(body).unwrap();
+        // The only way out of the body is back through the loop head.
+        assert_eq!(pd.ipdom(nbody), Some(nhead));
+        assert_eq!(pd.ipdom(nhead), Some(NodeId::EXIT));
+    }
+
+    #[test]
+    fn every_reachable_node_postdominated_by_exit() {
+        let (cfg, ..) = diamond();
+        let pd = PostDoms::compute(&cfg);
+        for id in cfg.node_ids() {
+            if id == NodeId::EXIT {
+                continue;
+            }
+            assert!(
+                pd.postdominates(NodeId::EXIT, id),
+                "{id:?} not postdominated by exit"
+            );
+        }
+    }
+}

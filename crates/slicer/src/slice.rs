@@ -1,0 +1,956 @@
+//! The backward pass: liveness-driven dynamic slicing (§III-B).
+//!
+//! The slicer walks the trace from its end to its beginning, maintaining a
+//! live memory set shared by all threads and a live register set per
+//! thread. Criteria seed the live sets at their program points. An
+//! instruction that writes a live variable joins the slice: its writes
+//! leave the live sets and its reads enter them. Branches that slice
+//! members are control-dependent on go onto a *pending list*; when the
+//! backward pass reaches a pending branch it joins the slice and its
+//! condition variables become live. Calls join the slice when any
+//! instruction of their dynamic callee did.
+
+use std::collections::{HashMap, HashSet};
+
+use wasteprof_trace::{FuncId, InstrKind, Pc, ThreadId, Trace, TracePos};
+
+use crate::cdg::ControlDeps;
+use crate::cfg::CfgSet;
+use crate::criteria::Criteria;
+use crate::live::LiveState;
+
+/// The forward pass artifacts: per-function CFGs and the control-dependence
+/// relation, reusable across different slicing criteria (§III-A notes the
+/// CDG "can be re-used multiple times in the backward pass").
+#[derive(Debug, Clone)]
+pub struct ForwardPass {
+    cfgs: CfgSet,
+    deps: ControlDeps,
+}
+
+impl ForwardPass {
+    /// Runs the forward pass over `trace`.
+    pub fn build(trace: &Trace) -> Self {
+        let cfgs = CfgSet::build(trace);
+        let deps = ControlDeps::compute(&cfgs);
+        ForwardPass { cfgs, deps }
+    }
+
+    /// The reconstructed CFGs.
+    pub fn cfgs(&self) -> &CfgSet {
+        &self.cfgs
+    }
+
+    /// The control-dependence relation.
+    pub fn control_deps(&self) -> &ControlDeps {
+        &self.deps
+    }
+}
+
+/// Options for one backward slicing run.
+#[derive(Debug, Clone)]
+pub struct SliceOptions {
+    /// Slice only the prefix `[0, end]` of the trace (criteria after `end`
+    /// are ignored). `None` slices the whole trace.
+    pub end: Option<TracePos>,
+    /// Record a timeline checkpoint every this many processed instructions.
+    /// `0` picks ~1000 evenly spaced points.
+    pub timeline_interval: u64,
+    /// Thread highlighted in the timeline (the paper plots the main
+    /// thread).
+    pub tracked_thread: ThreadId,
+}
+
+impl Default for SliceOptions {
+    fn default() -> Self {
+        SliceOptions {
+            end: None,
+            timeline_interval: 0,
+            tracked_thread: ThreadId::MAIN,
+        }
+    }
+}
+
+/// One checkpoint of the backward pass, for Figure 4-style plots.
+///
+/// `x = 0` is the *start* of the backward pass (end of the trace); counts
+/// are cumulative from there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelinePoint {
+    /// Instructions processed so far (all threads).
+    pub processed: u64,
+    /// Of those, instructions in the slice.
+    pub in_slice: u64,
+    /// Instructions of the tracked thread processed so far.
+    pub tracked_processed: u64,
+    /// Of those, instructions in the slice.
+    pub tracked_in_slice: u64,
+}
+
+impl TimelinePoint {
+    /// Cumulative slice percentage over all threads.
+    pub fn fraction(&self) -> f64 {
+        if self.processed == 0 {
+            0.0
+        } else {
+            self.in_slice as f64 / self.processed as f64
+        }
+    }
+
+    /// Cumulative slice percentage of the tracked thread.
+    pub fn tracked_fraction(&self) -> f64 {
+        if self.tracked_processed == 0 {
+            0.0
+        } else {
+            self.tracked_in_slice as f64 / self.tracked_processed as f64
+        }
+    }
+}
+
+/// The result of a backward slicing run.
+#[derive(Debug, Clone)]
+pub struct SliceResult {
+    considered: u64,
+    bitmap: Vec<u64>,
+    slice_count: u64,
+    per_thread: HashMap<ThreadId, (u64, u64)>,
+    per_func: HashMap<FuncId, (u64, u64)>,
+    timeline: Vec<TimelinePoint>,
+}
+
+impl SliceResult {
+    /// True if the instruction at `pos` is part of the slice.
+    pub fn contains(&self, pos: TracePos) -> bool {
+        let idx = pos.index();
+        idx < self.considered as usize && self.bitmap[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// Number of instructions in the slice.
+    pub fn slice_count(&self) -> u64 {
+        self.slice_count
+    }
+
+    /// Number of instructions the pass examined.
+    pub fn considered(&self) -> u64 {
+        self.considered
+    }
+
+    /// Slice size as a fraction of examined instructions.
+    pub fn fraction(&self) -> f64 {
+        if self.considered == 0 {
+            0.0
+        } else {
+            self.slice_count as f64 / self.considered as f64
+        }
+    }
+
+    /// `(slice, total)` instruction counts of `tid`.
+    pub fn thread_stats(&self, tid: ThreadId) -> (u64, u64) {
+        self.per_thread.get(&tid).copied().unwrap_or((0, 0))
+    }
+
+    /// Iterates over `(tid, slice, total)` for every thread seen.
+    pub fn per_thread(&self) -> impl Iterator<Item = (ThreadId, u64, u64)> + '_ {
+        self.per_thread.iter().map(|(&t, &(s, n))| (t, s, n))
+    }
+
+    /// `(slice, total)` instruction counts of `func`.
+    pub fn func_stats(&self, func: FuncId) -> (u64, u64) {
+        self.per_func.get(&func).copied().unwrap_or((0, 0))
+    }
+
+    /// Iterates over `(func, slice, total)` for every function seen.
+    pub fn per_func(&self) -> impl Iterator<Item = (FuncId, u64, u64)> + '_ {
+        self.per_func.iter().map(|(&f, &(s, n))| (f, s, n))
+    }
+
+    /// Backward-pass checkpoints, in processing order.
+    pub fn timeline(&self) -> &[TimelinePoint] {
+        &self.timeline
+    }
+
+    /// Slice fraction restricted to trace positions `[from, to]`, optionally
+    /// restricted to one thread. Used for the paper's load-time-vs-session
+    /// comparison (§V-A).
+    pub fn fraction_in(
+        &self,
+        trace: &Trace,
+        from: TracePos,
+        to: TracePos,
+        tid: Option<ThreadId>,
+    ) -> f64 {
+        let mut total = 0u64;
+        let mut hit = 0u64;
+        let end = (to.index() + 1).min(self.considered as usize);
+        for idx in from.index()..end {
+            let instr = &trace.instrs()[idx];
+            if tid.is_some_and(|t| t != instr.tid) {
+                continue;
+            }
+            total += 1;
+            if self.contains(TracePos(idx as u64)) {
+                hit += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hit as f64 / total as f64
+        }
+    }
+}
+
+/// Runs the backward pass over `trace` with the given forward-pass
+/// artifacts and criteria.
+///
+/// # Examples
+///
+/// ```
+/// use wasteprof_slicer::{pixel_criteria, slice, ForwardPass, SliceOptions};
+/// use wasteprof_trace::{site, Recorder, Region, ThreadKind};
+///
+/// let mut rec = Recorder::new();
+/// rec.spawn_thread(ThreadKind::Main, "root");
+/// let style = rec.alloc_cell(Region::Heap);
+/// let tile = rec.alloc(Region::PixelTile, 64);
+/// rec.compute(site!(), &[], &[style.into()]); // style := const
+/// rec.compute(site!(), &[style.into()], &[tile]); // tile := f(style)
+/// rec.marker(site!(), tile);
+/// let trace = rec.finish();
+///
+/// let fwd = ForwardPass::build(&trace);
+/// let result = slice(&trace, &fwd, &pixel_criteria(&trace), &SliceOptions::default());
+/// assert!(result.fraction() > 0.5); // the whole chain feeds the pixels
+/// ```
+pub fn slice(
+    trace: &Trace,
+    forward: &ForwardPass,
+    criteria: &Criteria,
+    options: &SliceOptions,
+) -> SliceResult {
+    Backward::new(trace, forward, criteria, options).run()
+}
+
+#[derive(Debug)]
+struct Frame {
+    /// The function executing in this dynamic frame (needed to decide
+    /// whether pending branches of that function may be cleared when the
+    /// frame closes — not while a recursive outer invocation is open).
+    func: FuncId,
+    any_slice: bool,
+}
+
+struct Backward<'a> {
+    trace: &'a Trace,
+    deps: &'a ControlDeps,
+    criteria: Vec<&'a crate::criteria::SlicingCriterion>,
+    n: usize,
+    live: LiveState,
+    pending: HashSet<(ThreadId, FuncId, Pc)>,
+    frames: Vec<Vec<Frame>>,
+    bitmap: Vec<u64>,
+    slice_count: u64,
+    // Dense counters (ThreadId and FuncId indices are sequential): the
+    // backward pass bumps these once per instruction, so HashMap probes
+    // here would dominate the stats cost on multi-million-entry traces.
+    per_thread: Vec<(u64, u64)>,
+    per_func: Vec<(u64, u64)>,
+    timeline: Vec<TimelinePoint>,
+    interval: u64,
+    tracked: ThreadId,
+    tracked_processed: u64,
+    tracked_in_slice: u64,
+}
+
+impl<'a> Backward<'a> {
+    fn new(
+        trace: &'a Trace,
+        forward: &'a ForwardPass,
+        criteria: &'a Criteria,
+        options: &SliceOptions,
+    ) -> Self {
+        let n = options
+            .end
+            .map(|e| (e.index() + 1).min(trace.len()))
+            .unwrap_or(trace.len());
+        // Calls still open at the cut never see their Ret in the prefix,
+        // so pre-seed each thread's frame stack with those invocations
+        // (callee identity included — frame clearing needs it).
+        let nthreads = trace.threads().len().max(1);
+        let mut open: Vec<Vec<FuncId>> = vec![Vec::new(); 256];
+        for instr in &trace.instrs()[..n] {
+            match instr.kind {
+                InstrKind::Call { callee } => open[instr.tid.index()].push(callee),
+                InstrKind::Ret => {
+                    open[instr.tid.index()].pop();
+                }
+                _ => {}
+            }
+        }
+        let frames = open
+            .into_iter()
+            .map(|fs| {
+                fs.into_iter()
+                    .map(|func| Frame {
+                        func,
+                        any_slice: false,
+                    })
+                    .collect()
+            })
+            .collect();
+        let interval = if options.timeline_interval == 0 {
+            ((n as u64) / 1000).max(1)
+        } else {
+            options.timeline_interval
+        };
+        Backward {
+            trace,
+            deps: forward.control_deps(),
+            criteria: criteria.items().iter().collect(),
+            n,
+            live: LiveState::new(nthreads.max(256)),
+            pending: HashSet::new(),
+            frames,
+            bitmap: vec![0; n.div_ceil(64)],
+            slice_count: 0,
+            per_thread: vec![(0, 0); 256],
+            per_func: vec![(0, 0); trace.functions().len()],
+            timeline: Vec::new(),
+            interval,
+            tracked: options.tracked_thread,
+            tracked_processed: 0,
+            tracked_in_slice: 0,
+        }
+    }
+
+    fn in_slice(&self, idx: usize) -> bool {
+        self.bitmap[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    fn join_slice(&mut self, idx: usize) {
+        let word = idx / 64;
+        let bit = 1u64 << (idx % 64);
+        if self.bitmap[word] & bit != 0 {
+            return;
+        }
+        self.bitmap[word] |= bit;
+        self.slice_count += 1;
+        let instr = &self.trace.instrs()[idx];
+        self.per_thread[instr.tid.index()].0 += 1;
+        self.per_func[instr.func.index()].0 += 1;
+        if instr.tid == self.tracked {
+            self.tracked_in_slice += 1;
+        }
+        // Every branch this instruction is control-dependent on must also
+        // join the slice: arm the pending list (§III-B — "when the
+        // backward pass reaches a branch in the pending list"). Entries
+        // are scoped to the thread: control dependence is a path property
+        // of one thread's execution, and letting another thread's instance
+        // of the same static branch consume the entry would *drop* the
+        // true controlling branch (an under-approximation, not a safe
+        // over-approximation).
+        for &bpc in self.deps.controllers(instr.func, instr.pc) {
+            self.pending.insert((instr.tid, instr.func, bpc));
+        }
+        // The dynamic call that led here becomes necessary too.
+        if let Some(frame) = self.frames[instr.tid.index()].last_mut() {
+            frame.any_slice = true;
+        }
+    }
+
+    fn run(mut self) -> SliceResult {
+        let mut crit_idx = self.criteria.len();
+        // Skip criteria beyond the considered prefix.
+        while crit_idx > 0 && self.criteria[crit_idx - 1].pos.index() >= self.n {
+            crit_idx -= 1;
+        }
+
+        for idx in (0..self.n).rev() {
+            let instr = &self.trace.instrs()[idx];
+            let tid = instr.tid;
+
+            // Totals.
+            self.per_thread[tid.index()].1 += 1;
+            self.per_func[instr.func.index()].1 += 1;
+            if tid == self.tracked {
+                self.tracked_processed += 1;
+            }
+
+            // A return means we are entering a dynamic callee (backwards).
+            if matches!(instr.kind, InstrKind::Ret) {
+                self.frames[tid.index()].push(Frame {
+                    func: instr.func,
+                    any_slice: false,
+                });
+            }
+
+            // Apply criteria anchored at this position: their variables are
+            // the values *after* this instruction executed.
+            while crit_idx > 0 && self.criteria[crit_idx - 1].pos.index() == idx {
+                crit_idx -= 1;
+                let c = self.criteria[crit_idx];
+                for &range in &c.mem {
+                    self.live.mem.insert(range);
+                }
+                let regs = self.live.regs_mut(tid);
+                *regs = regs.union(c.regs);
+                if c.include_instr {
+                    self.join_slice(idx);
+                }
+            }
+
+            // Pending branch: joins the slice, its condition becomes live.
+            let is_pending_branch =
+                instr.kind.is_branch() && self.pending.remove(&(tid, instr.func, instr.pc));
+            if is_pending_branch {
+                self.join_slice(idx);
+                for &r in instr.mem_reads() {
+                    self.live.mem.insert(r);
+                }
+                let regs = self.live.regs_mut(tid);
+                *regs = regs.union(instr.reg_reads);
+            } else {
+                // Liveness kill/gen: an instruction writing a live variable
+                // joins the slice.
+                let writes_live_reg = instr.reg_writes.intersects(self.live.regs(tid));
+                let writes_live_mem = instr
+                    .mem_writes()
+                    .iter()
+                    .any(|w| self.live.mem.intersects(*w));
+                if writes_live_reg || writes_live_mem {
+                    self.live.regs_mut(tid).subtract(instr.reg_writes);
+                    for &w in instr.mem_writes() {
+                        self.live.mem.remove(w);
+                    }
+                    for &r in instr.mem_reads() {
+                        self.live.mem.insert(r);
+                    }
+                    let regs = self.live.regs_mut(tid);
+                    *regs = regs.union(instr.reg_reads);
+                    self.join_slice(idx);
+                }
+            }
+
+            // A call closes the callee's dynamic frame (backwards): if
+            // anything inside was necessary, so is the call.
+            if let InstrKind::Call { callee } = instr.kind {
+                let any = self.frames[tid.index()]
+                    .pop()
+                    .map(|f| f.any_slice)
+                    .unwrap_or(false);
+                if any {
+                    self.join_slice(idx);
+                }
+                // If the call itself is in the slice (a criterion or a live
+                // write anchored on it), that membership belongs to the
+                // *caller's* frame — when join_slice ran, the callee frame
+                // was still on top and absorbed the mark.
+                if self.in_slice(idx) {
+                    if let Some(frame) = self.frames[tid.index()].last_mut() {
+                        frame.any_slice = true;
+                    }
+                }
+                // This invocation is fully processed: its unconsumed
+                // pending branches (loop heads re-arm themselves on every
+                // iteration, including the first) must not leak into an
+                // earlier, unrelated invocation of the same function.
+                // With recursion the outer invocation is still open, so
+                // only clear when no live frame runs `callee`.
+                if !self.frames[tid.index()].iter().any(|f| f.func == callee) {
+                    self.pending.retain(|&(t, f, _)| t != tid || f != callee);
+                }
+            }
+
+            // Timeline checkpoint.
+            let processed = (self.n - idx) as u64;
+            if processed.is_multiple_of(self.interval) || idx == 0 {
+                self.timeline.push(TimelinePoint {
+                    processed,
+                    in_slice: self.slice_count,
+                    tracked_processed: self.tracked_processed,
+                    tracked_in_slice: self.tracked_in_slice,
+                });
+            }
+        }
+
+        SliceResult {
+            considered: self.n as u64,
+            bitmap: self.bitmap,
+            slice_count: self.slice_count,
+            per_thread: self
+                .per_thread
+                .iter()
+                .enumerate()
+                .filter(|(_, &(s, n))| s != 0 || n != 0)
+                .map(|(i, &v)| (ThreadId(i as u8), v))
+                .collect(),
+            per_func: self
+                .per_func
+                .iter()
+                .enumerate()
+                .filter(|(_, &(s, n))| s != 0 || n != 0)
+                .map(|(i, &v)| (FuncId(i as u32), v))
+                .collect(),
+            timeline: self.timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criteria::{pixel_criteria, syscall_criteria, Criteria, SlicingCriterion};
+    use wasteprof_trace::{site, AddrRange, Recorder, Region, Syscall, ThreadKind};
+
+    fn run(trace: &Trace, criteria: &Criteria) -> SliceResult {
+        let fwd = ForwardPass::build(trace);
+        slice(trace, &fwd, criteria, &SliceOptions::default())
+    }
+
+    #[test]
+    fn empty_criteria_empty_slice() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let a = rec.alloc_cell(Region::Heap);
+        rec.compute(site!(), &[], &[a.into()]);
+        let trace = rec.finish();
+        let r = run(&trace, &Criteria::default());
+        assert_eq!(r.slice_count(), 0);
+        assert_eq!(r.fraction(), 0.0);
+    }
+
+    #[test]
+    fn dataflow_chain_is_sliced_dead_code_is_not() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let a = rec.alloc_cell(Region::Heap);
+        let b = rec.alloc_cell(Region::Heap);
+        let dead = rec.alloc_cell(Region::Heap);
+        let tile = rec.alloc(Region::PixelTile, 64);
+        rec.compute(site!(), &[], &[a.into()]); // a := const      (needed)
+        let dead_start = rec.pos();
+        rec.compute(site!(), &[], &[dead.into()]); // dead := const (waste)
+        let dead_end = rec.pos();
+        rec.compute(site!(), &[a.into()], &[b.into()]); // b := f(a)  (needed)
+        rec.compute(site!(), &[b.into()], &[tile]); // tile := f(b)   (needed)
+        rec.marker(site!(), tile);
+        let trace = rec.finish();
+        let r = run(&trace, &pixel_criteria(&trace));
+        // The dead computation must be fully out of the slice.
+        for idx in dead_start.index()..dead_end.index() {
+            assert!(
+                !r.contains(TracePos(idx as u64)),
+                "dead instr {idx} in slice"
+            );
+        }
+        // All stores on the live chain must be in.
+        for (idx, i) in trace.iter().enumerate() {
+            if matches!(i.kind, InstrKind::Store)
+                && !(dead_start.index()..dead_end.index()).contains(&idx)
+            {
+                assert!(r.contains(TracePos(idx as u64)), "live store {idx} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn overwritten_value_producer_not_in_slice() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let src1 = rec.alloc_cell(Region::Heap);
+        let src2 = rec.alloc_cell(Region::Heap);
+        let x = rec.alloc_cell(Region::Heap);
+        rec.compute(site!(), &[], &[src1.into()]);
+        rec.compute(site!(), &[], &[src2.into()]);
+        let first_write_start = rec.pos();
+        rec.compute(site!(), &[src1.into()], &[x.into()]); // x := f(src1), killed
+        let first_write_end = rec.pos();
+        rec.compute(site!(), &[src2.into()], &[x.into()]); // x := f(src2), final
+        let crit = Criteria::new(vec![SlicingCriterion::mem_at(
+            TracePos(trace_len_hint(&rec)),
+            vec![x.into()],
+        )]);
+        let trace = rec.finish();
+        let r = run(&trace, &crit);
+        for idx in first_write_start.index()..first_write_end.index() {
+            assert!(
+                !r.contains(TracePos(idx as u64)),
+                "killed def {idx} in slice"
+            );
+        }
+        // src1's producer must be out too (only reached via the killed def).
+        assert!(!r.contains(TracePos(1)));
+    }
+
+    fn trace_len_hint(rec: &Recorder) -> u64 {
+        rec.pos().0 - 1
+    }
+
+    #[test]
+    fn control_dependence_pulls_branch_and_condition() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let cond = rec.alloc_cell(Region::Heap);
+        let x = rec.alloc_cell(Region::Heap);
+        let f = rec.intern_func("guarded");
+        let cond_def_start = rec.pos();
+        rec.compute(site!(), &[], &[cond.into()]); // cond := const
+        let br = site!();
+        let body = site!();
+        let callsite = site!();
+        let join = site!();
+        let mut br_pos = None;
+        rec.in_func(callsite, f, |rec| {
+            br_pos = Some(rec.pos());
+            rec.branch_mem(br, cond, true);
+            rec.compute(body, &[], &[x.into()]); // guarded: x := const
+            rec.compute(join, &[], &[]); // join point, nothing written
+        });
+        // Second invocation takes the other direction so the CFG knows both.
+        rec.in_func(callsite, f, |rec| {
+            rec.branch_mem(br, cond, false);
+            rec.compute(join, &[], &[]);
+        });
+        let crit = Criteria::new(vec![SlicingCriterion::mem_at(
+            TracePos(rec.pos().0 - 1),
+            vec![x.into()],
+        )]);
+        let trace = rec.finish();
+        let r = run(&trace, &crit);
+        // The branch guarding x's def is in the slice...
+        assert!(r.contains(br_pos.unwrap()), "guarding branch not in slice");
+        // ...and so is the computation producing its condition.
+        let cond_store = (cond_def_start.index()..trace.len())
+            .find(|&i| {
+                matches!(trace.instrs()[i].kind, InstrKind::Store)
+                    && trace.instrs()[i].mem_writes()[0] == AddrRange::cell(cond)
+            })
+            .unwrap();
+        assert!(
+            r.contains(TracePos(cond_store as u64)),
+            "condition producer not in slice"
+        );
+    }
+
+    #[test]
+    fn call_joins_slice_when_callee_matters() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let x = rec.alloc_cell(Region::Heap);
+        let useful = rec.intern_func("useful");
+        let useless = rec.intern_func("useless");
+        let junk = rec.alloc_cell(Region::Heap);
+        let useful_call = rec.pos();
+        rec.in_func(site!(), useful, |rec| {
+            rec.compute(site!(), &[], &[x.into()]);
+        });
+        let useless_call = rec.pos();
+        rec.in_func(site!(), useless, |rec| {
+            rec.compute(site!(), &[], &[junk.into()]);
+        });
+        let crit = Criteria::new(vec![SlicingCriterion::mem_at(
+            TracePos(rec.pos().0 - 1),
+            vec![x.into()],
+        )]);
+        let trace = rec.finish();
+        let r = run(&trace, &crit);
+        assert!(
+            r.contains(useful_call),
+            "call to useful callee missing from slice"
+        );
+        assert!(
+            !r.contains(useless_call),
+            "call to useless callee wrongly in slice"
+        );
+    }
+
+    #[test]
+    fn register_liveness_is_per_thread() {
+        use wasteprof_trace::{Reg, RegSet};
+        let mut rec = Recorder::new();
+        let t0 = rec.spawn_thread(ThreadKind::Main, "root");
+        let t1 = rec.spawn_thread(ThreadKind::Compositor, "root");
+        let out = rec.alloc_cell(Region::Heap);
+        // t1 writes rax (its own context) — unrelated.
+        rec.switch_to(t1);
+        let t1_def = rec.pos();
+        rec.alu(site!(), Reg::Rax, RegSet::EMPTY);
+        // t0 writes rax then stores it to the criterion cell.
+        rec.switch_to(t0);
+        let t0_def = rec.pos();
+        rec.alu(site!(), Reg::Rax, RegSet::EMPTY);
+        rec.store(site!(), out, Reg::Rax);
+        let crit = Criteria::new(vec![SlicingCriterion::mem_at(
+            TracePos(rec.pos().0 - 1),
+            vec![out.into()],
+        )]);
+        let trace = rec.finish();
+        let r = run(&trace, &crit);
+        assert!(r.contains(t0_def), "producing thread's def missing");
+        assert!(
+            !r.contains(t1_def),
+            "other thread's same-register def wrongly in slice"
+        );
+    }
+
+    #[test]
+    fn shared_memory_dataflow_crosses_threads() {
+        let mut rec = Recorder::new();
+        let t0 = rec.spawn_thread(ThreadKind::Main, "root");
+        let t1 = rec.spawn_thread(ThreadKind::Raster(0), "root");
+        let shared = rec.alloc_cell(Region::Heap);
+        let tile = rec.alloc(Region::PixelTile, 64);
+        rec.switch_to(t0);
+        let producer = rec.pos();
+        rec.compute(site!(), &[], &[shared.into()]);
+        rec.switch_to(t1);
+        rec.compute(site!(), &[shared.into()], &[tile]);
+        rec.marker(site!(), tile);
+        let trace = rec.finish();
+        let r = run(&trace, &pixel_criteria(&trace));
+        // The main-thread producer feeds the rasterizer through shared
+        // memory and must be in the pixel slice.
+        let store_idx = (producer.index()..trace.len())
+            .find(|&i| matches!(trace.instrs()[i].kind, InstrKind::Store))
+            .unwrap();
+        assert!(r.contains(TracePos(store_idx as u64)));
+    }
+
+    #[test]
+    fn syscall_criteria_pull_payload_producers() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let payload = rec.alloc(Region::Heap, 32);
+        let fdcell = rec.alloc_cell(Region::Heap);
+        let junk = rec.alloc_cell(Region::Heap);
+        let producer = rec.pos();
+        rec.compute(site!(), &[], &[payload]);
+        let waste = rec.pos();
+        rec.compute(site!(), &[], &[junk.into()]);
+        let sys = rec.pos();
+        rec.syscall(
+            site!(),
+            Syscall::Sendto,
+            &[fdcell.into()],
+            vec![payload],
+            vec![],
+        );
+        let trace = rec.finish();
+        let r = run(&trace, &syscall_criteria(&trace));
+        // The syscall, its argument loads, and the payload producer are in.
+        assert!(r.contains(TracePos(trace.len() as u64 - 1)));
+        assert!(r.contains(sys), "arg load missing");
+        let store_idx = (producer.index()..waste.index())
+            .find(|&i| matches!(trace.instrs()[i].kind, InstrKind::Store))
+            .unwrap();
+        assert!(
+            r.contains(TracePos(store_idx as u64)),
+            "payload producer missing"
+        );
+        // The unrelated computation is out.
+        let junk_store = (waste.index()..sys.index())
+            .find(|&i| matches!(trace.instrs()[i].kind, InstrKind::Store))
+            .unwrap();
+        assert!(!r.contains(TracePos(junk_store as u64)));
+    }
+
+    #[test]
+    fn bounded_slicing_ignores_later_positions() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let a = rec.alloc_cell(Region::Heap);
+        let tile = rec.alloc(Region::PixelTile, 64);
+        rec.compute(site!(), &[a.into()], &[tile]);
+        rec.marker(site!(), tile);
+        let cut = rec.pos(); // everything after this is ignored
+        rec.compute(site!(), &[], &[a.into()]);
+        let trace = rec.finish();
+        let fwd = ForwardPass::build(&trace);
+        let opts = SliceOptions {
+            end: Some(TracePos(cut.0 - 1)),
+            ..Default::default()
+        };
+        let r = slice(&trace, &fwd, &pixel_criteria(&trace), &opts);
+        assert_eq!(r.considered(), cut.0);
+        // Post-cut instructions can never be members.
+        for idx in cut.index()..trace.len() {
+            assert!(!r.contains(TracePos(idx as u64)));
+        }
+        assert!(r.slice_count() > 0);
+    }
+
+    #[test]
+    fn timeline_is_monotonic_and_ends_at_full_length() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let tile = rec.alloc(Region::PixelTile, 64);
+        for _ in 0..100 {
+            rec.compute(site!(), &[], &[tile]);
+        }
+        rec.marker(site!(), tile);
+        let trace = rec.finish();
+        let fwd = ForwardPass::build(&trace);
+        let opts = SliceOptions {
+            timeline_interval: 7,
+            ..Default::default()
+        };
+        let r = slice(&trace, &fwd, &pixel_criteria(&trace), &opts);
+        let tl = r.timeline();
+        assert!(!tl.is_empty());
+        for w in tl.windows(2) {
+            assert!(w[1].processed > w[0].processed);
+            assert!(w[1].in_slice >= w[0].in_slice);
+        }
+        assert_eq!(tl.last().unwrap().processed, trace.len() as u64);
+    }
+
+    #[test]
+    fn per_thread_totals_cover_trace() {
+        let mut rec = Recorder::new();
+        let t0 = rec.spawn_thread(ThreadKind::Main, "root");
+        let t1 = rec.spawn_thread(ThreadKind::Io, "root");
+        rec.switch_to(t0);
+        rec.compute(site!(), &[], &[]);
+        rec.switch_to(t1);
+        rec.compute(site!(), &[], &[]);
+        let trace = rec.finish();
+        let r = run(&trace, &Criteria::default());
+        let total: u64 = r.per_thread().map(|(_, _, n)| n).sum();
+        assert_eq!(total as usize, trace.len());
+    }
+
+    #[test]
+    fn pending_branch_is_thread_scoped() {
+        // Two threads run the same static function; only the thread whose
+        // guarded store feeds the criterion may have its branch sliced.
+        let mut rec = Recorder::new();
+        let t0 = rec.spawn_thread(ThreadKind::Main, "root0");
+        let t1 = rec.spawn_thread(ThreadKind::Compositor, "root1");
+        let f = rec.intern_func("f");
+        let cond = rec.alloc_cell(Region::Heap);
+        let x = rec.alloc_cell(Region::Heap);
+        let br = site!();
+        let guarded = site!();
+        let join = site!();
+
+        // t0: taken path, guarded store to x.
+        rec.switch_to(t0);
+        rec.enter(site!(), f);
+        rec.branch_mem(br, cond, true);
+        let t0_br = rec.pos().index() - 1;
+        rec.compute(guarded, &[], &[x.into()]);
+        rec.compute(join, &[], &[]);
+        rec.leave(site!());
+        // t1: not-taken path (same static branch site).
+        rec.switch_to(t1);
+        rec.enter(site!(), f);
+        rec.branch_mem(br, cond, false);
+        let t1_br = rec.pos().index() - 1;
+        rec.compute(join, &[], &[]);
+        rec.leave(site!());
+        let trace = rec.finish();
+
+        let end = TracePos(trace.len() as u64 - 1);
+        let criteria = Criteria::new(vec![SlicingCriterion {
+            pos: end,
+            mem: vec![x.into()],
+            regs: wasteprof_trace::RegSet::EMPTY,
+            include_instr: false,
+        }]);
+        let r = run(&trace, &criteria);
+        assert!(
+            r.contains(TracePos(t0_br as u64)),
+            "t0's controlling branch must be in the slice"
+        );
+        assert!(
+            !r.contains(TracePos(t1_br as u64)),
+            "t1's unrelated instance of the same static branch must not \
+             consume t0's pending entry"
+        );
+    }
+
+    #[test]
+    fn pending_loop_branch_does_not_leak_to_earlier_invocation() {
+        // A loop head controls itself, so consuming its pending entry
+        // re-arms it. When the invocation's Call closes, leftover entries
+        // must not survive into an earlier, unrelated invocation.
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let f = rec.intern_func("f");
+        let cond = rec.alloc_cell(Region::Heap);
+        let c1 = rec.alloc_cell(Region::Heap);
+        let c2 = rec.alloc_cell(Region::Heap);
+        let head = site!();
+        let body = site!();
+
+        let invocation = |rec: &mut Recorder, cell: wasteprof_trace::Addr| {
+            let mut brs = Vec::new();
+            rec.enter(site!(), f);
+            for _ in 0..2 {
+                rec.branch_mem(head, cond, true);
+                brs.push(rec.pos().index() - 1);
+                rec.compute(body, &[], &[cell.into()]);
+            }
+            rec.branch_mem(head, cond, false);
+            brs.push(rec.pos().index() - 1);
+            rec.leave(site!());
+            brs
+        };
+        let inv1 = invocation(&mut rec, c1);
+        let inv2 = invocation(&mut rec, c2);
+        let trace = rec.finish();
+
+        let end = TracePos(trace.len() as u64 - 1);
+        let criteria = Criteria::new(vec![SlicingCriterion {
+            pos: end,
+            mem: vec![c2.into()],
+            regs: wasteprof_trace::RegSet::EMPTY,
+            include_instr: false,
+        }]);
+        let r = run(&trace, &criteria);
+        assert!(
+            inv2.iter().take(2).any(|&i| r.contains(TracePos(i as u64))),
+            "invocation 2's loop branches must join the slice"
+        );
+        for &i in &inv1 {
+            assert!(
+                !r.contains(TracePos(i as u64)),
+                "invocation 1 loop branch {i} leaked into the slice"
+            );
+        }
+    }
+
+    #[test]
+    fn call_anchored_criterion_includes_enclosing_call() {
+        // A criterion anchored on a Call instruction must still propagate
+        // slice membership to the *enclosing* dynamic call.
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let g = rec.intern_func("g");
+        let h = rec.intern_func("h");
+        rec.enter(site!(), g);
+        let call_g = rec.pos().index() - 1;
+        rec.enter(site!(), h);
+        let call_h = rec.pos().index() - 1;
+        rec.leave(site!());
+        rec.leave(site!());
+        let trace = rec.finish();
+
+        let criteria = Criteria::new(vec![SlicingCriterion {
+            pos: TracePos(call_h as u64),
+            mem: Vec::new(),
+            regs: wasteprof_trace::RegSet::EMPTY,
+            include_instr: true,
+        }]);
+        let r = run(&trace, &criteria);
+        assert!(
+            r.contains(TracePos(call_h as u64)),
+            "anchored call in slice"
+        );
+        assert!(
+            r.contains(TracePos(call_g as u64)),
+            "enclosing call must join the slice (its callee contains a \
+             sliced instruction)"
+        );
+    }
+}

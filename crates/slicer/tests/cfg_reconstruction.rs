@@ -1,0 +1,238 @@
+//! The forward pass rediscovers program structure: for randomly generated
+//! *structured* programs (nested ifs and loops), the control dependences
+//! computed from the dynamic trace must equal the dependences implied by
+//! the generating structure.
+//!
+//! This is the strongest correctness statement about the forward pass: the
+//! paper's profiler never sees source structure, only the instruction
+//! stream — yet Ferrante–Ottenstein–Warren on the reconstructed CFG must
+//! name exactly the branches each instruction is controlled by.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use wasteprof_slicer::ControlDeps;
+use wasteprof_trace::{Pc, Recorder, Reg, RegSet, Region, ThreadKind};
+
+/// Structured program statements.
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// A plain operation.
+    Op,
+    /// `if (c) { then } else { els }` with per-run outcomes.
+    If {
+        outcomes: [bool; 2],
+        then: Vec<Stmt>,
+        els: Vec<Stmt>,
+    },
+    /// A counted loop with per-run iteration counts.
+    Loop { iters: [u8; 2], body: Vec<Stmt> },
+}
+
+fn arb_block(depth: u32) -> impl Strategy<Value = Vec<Stmt>> {
+    let leaf = Just(Stmt::Op);
+    let stmt = leaf.prop_recursive(depth, 16, 3, |inner| {
+        let block = proptest::collection::vec(inner.clone(), 1..3);
+        prop_oneof![
+            Just(Stmt::Op),
+            (any::<bool>(), any::<bool>(), block.clone(), block.clone()).prop_map(
+                |(a, b, then, els)| Stmt::If {
+                    outcomes: [a, b],
+                    then,
+                    els
+                }
+            ),
+            (0u8..3, 0u8..3, block).prop_map(|(a, b, body)| Stmt::Loop {
+                iters: [a, b],
+                body
+            }),
+        ]
+    });
+    proptest::collection::vec(stmt, 1..4)
+}
+
+/// Assigns stable PCs to every node and tracks expectations.
+struct Driver {
+    rec: Recorder,
+    cell: wasteprof_trace::Addr,
+    next_id: u32,
+    /// `(op_pc, expected direct controllers)` for every *executed* op.
+    op_expectations: Vec<(Pc, HashSet<Pc>)>,
+    /// Control nodes: `(pc, observed outcomes, enclosing divergent pc)`.
+    executed_ops: HashSet<Pc>,
+}
+
+impl Driver {
+    fn pc(&mut self) -> Pc {
+        self.next_id += 1;
+        Pc::from_location("cfg-reconstruction").step(self.next_id * 7919)
+    }
+}
+
+/// Pre-assigns PCs to the program so both runs share static locations.
+#[derive(Debug, Clone)]
+enum Placed {
+    Op(Pc),
+    If {
+        pc: Pc,
+        outcomes: [bool; 2],
+        then: Vec<Placed>,
+        els: Vec<Placed>,
+    },
+    Loop {
+        pc: Pc,
+        iters: [u8; 2],
+        body: Vec<Placed>,
+    },
+}
+
+fn place(block: &[Stmt], d: &mut Driver) -> Vec<Placed> {
+    block
+        .iter()
+        .map(|s| match s {
+            Stmt::Op => Placed::Op(d.pc()),
+            Stmt::If {
+                outcomes,
+                then,
+                els,
+            } => Placed::If {
+                pc: d.pc(),
+                outcomes: *outcomes,
+                then: place(then, d),
+                els: place(els, d),
+            },
+            Stmt::Loop { iters, body } => Placed::Loop {
+                pc: d.pc(),
+                iters: *iters,
+                body: place(body, d),
+            },
+        })
+        .collect()
+}
+
+/// Is this control node divergent (both directions observable across the
+/// two runs), *given* how many runs actually reach it?
+fn divergent(p: &Placed, reached: [bool; 2]) -> bool {
+    match p {
+        Placed::Op(_) => false,
+        Placed::If { outcomes, .. } => {
+            let seen: HashSet<bool> = (0..2)
+                .filter(|&r| reached[r])
+                .map(|r| outcomes[r])
+                .collect();
+            seen.len() == 2
+        }
+        Placed::Loop { iters, .. } => {
+            // The head always emits a final not-taken; taken is observed
+            // iff any reaching run iterates at least once.
+            (0..2).any(|r| reached[r] && iters[r] > 0)
+        }
+    }
+}
+
+/// Emits one run and records expectations (on the second run only, when
+/// divergence across both runs is known).
+fn emit_block(
+    block: &[Placed],
+    run: usize,
+    controller: Option<Pc>,
+    reached: [bool; 2],
+    d: &mut Driver,
+    collect: bool,
+) {
+    for p in block {
+        match p {
+            Placed::Op(pc) => {
+                d.rec.alu(*pc, Reg::Rax, RegSet::EMPTY);
+                d.executed_ops.insert(*pc);
+                if collect {
+                    let expected: HashSet<Pc> = controller.into_iter().collect();
+                    d.op_expectations.push((*pc, expected));
+                }
+            }
+            Placed::If {
+                pc,
+                outcomes,
+                then,
+                els,
+            } => {
+                let taken = outcomes[run];
+                d.rec.branch_mem(*pc, d.cell, taken);
+                let div = divergent(p, reached);
+                let inner = if div { Some(*pc) } else { controller };
+                // Which runs reach each arm?
+                let arm_reached = |want: bool| {
+                    let mut rr = [false; 2];
+                    for r in 0..2 {
+                        rr[r] = reached[r] && outcomes[r] == want;
+                    }
+                    rr
+                };
+                if taken {
+                    emit_block(then, run, inner, arm_reached(true), d, collect);
+                } else {
+                    emit_block(els, run, inner, arm_reached(false), d, collect);
+                }
+            }
+            Placed::Loop { pc, iters, body } => {
+                let n = iters[run];
+                let div = divergent(p, reached);
+                let inner = if div { Some(*pc) } else { controller };
+                let mut body_reached = [false; 2];
+                for r in 0..2 {
+                    body_reached[r] = reached[r] && iters[r] > 0;
+                }
+                for _ in 0..n {
+                    d.rec.branch_mem(*pc, d.cell, true);
+                    emit_block(body, run, inner, body_reached, d, collect);
+                }
+                d.rec.branch_mem(*pc, d.cell, false);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn control_dependences_match_generating_structure(block in arb_block(3)) {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "m");
+        let cell = rec.alloc_cell(Region::Heap);
+        let f = rec.intern_func("generated::program");
+        let mut d = Driver {
+            rec,
+            cell,
+            next_id: 0,
+            op_expectations: Vec::new(),
+            executed_ops: HashSet::new(),
+        };
+        let placed = place(&block, &mut d);
+
+        // Two invocations of the same function; PCs are shared, outcomes
+        // may differ, so the merged dynamic CFG sees both directions of
+        // every divergent branch.
+        let callsite = Pc::from_location("cfg-reconstruction-callsite");
+        for run in 0..2 {
+            let collect = run == 1;
+            d.rec.enter(callsite, f);
+            emit_block(&placed, run, None, [true, true], &mut d, collect);
+            d.rec.leave(callsite.step(1));
+        }
+
+        let trace = d.rec.finish();
+        let deps = ControlDeps::from_trace(&trace);
+        for (pc, expected) in &d.op_expectations {
+            let got: HashSet<Pc> = deps.controllers(f, *pc).iter().copied().collect();
+            prop_assert_eq!(
+                &got,
+                expected,
+                "op {:?}: discovered controllers {:?} != structural {:?}",
+                pc,
+                &got,
+                expected
+            );
+        }
+    }
+}

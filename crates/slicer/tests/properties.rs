@@ -1,0 +1,224 @@
+//! Property-based tests for the slicer's core data structures and
+//! invariants.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use wasteprof_slicer::{
+    pixel_criteria, slice, AddrSet, Criteria, ForwardPass, SliceOptions, SlicingCriterion,
+};
+use wasteprof_trace::{site, Addr, AddrRange, Pc, Recorder, Region, ThreadKind, TracePos};
+
+// ---------------------------------------------------------------------
+// AddrSet vs. a naive per-byte model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SetOp {
+    Insert(u64, u32),
+    Remove(u64, u32),
+}
+
+fn set_op() -> impl Strategy<Value = SetOp> {
+    prop_oneof![
+        (0u64..256, 1u32..32).prop_map(|(s, l)| SetOp::Insert(s, l)),
+        (0u64..256, 1u32..32).prop_map(|(s, l)| SetOp::Remove(s, l)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn addrset_matches_naive_model(ops in proptest::collection::vec(set_op(), 0..64)) {
+        let mut real = AddrSet::new();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for op in &ops {
+            match *op {
+                SetOp::Insert(s, l) => {
+                    real.insert(AddrRange::new(Addr::new(s), l));
+                    model.extend(s..s + l as u64);
+                }
+                SetOp::Remove(s, l) => {
+                    real.remove(AddrRange::new(Addr::new(s), l));
+                    for b in s..s + l as u64 {
+                        model.remove(&b);
+                    }
+                }
+            }
+        }
+        // Byte count agrees.
+        prop_assert_eq!(real.byte_count(), model.len() as u64);
+        // Point membership agrees everywhere we may have touched.
+        for b in 0..300u64 {
+            prop_assert_eq!(real.contains(Addr::new(b)), model.contains(&b), "byte {}", b);
+        }
+        // Intervals are disjoint, sorted, and coalesced.
+        let mut prev_end = None;
+        for (s, e) in real.iter() {
+            prop_assert!(s < e);
+            if let Some(pe) = prev_end {
+                prop_assert!(s > pe, "adjacent or overlapping intervals not merged");
+            }
+            prev_end = Some(e);
+        }
+    }
+
+    #[test]
+    fn addrset_intersects_matches_model(
+        ops in proptest::collection::vec(set_op(), 0..32),
+        qs in 0u64..280,
+        ql in 1u32..16,
+    ) {
+        let mut real = AddrSet::new();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for op in &ops {
+            match *op {
+                SetOp::Insert(s, l) => {
+                    real.insert(AddrRange::new(Addr::new(s), l));
+                    model.extend(s..s + l as u64);
+                }
+                SetOp::Remove(s, l) => {
+                    real.remove(AddrRange::new(Addr::new(s), l));
+                    for b in s..s + l as u64 {
+                        model.remove(&b);
+                    }
+                }
+            }
+        }
+        let expected = (qs..qs + ql as u64).any(|b| model.contains(&b));
+        prop_assert_eq!(real.intersects(AddrRange::new(Addr::new(qs), ql)), expected);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slicing invariants on randomly generated dataflow programs
+// ---------------------------------------------------------------------
+
+/// A small random straight-line program over `k` cells: each step computes
+/// one cell from a set of earlier cells. The last marker makes one chosen
+/// cell the criterion.
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    /// For each step: (destination cell, source cells).
+    steps: Vec<(usize, Vec<usize>)>,
+}
+
+fn random_program(cells: usize, steps: usize) -> impl Strategy<Value = RandomProgram> {
+    proptest::collection::vec(
+        (0..cells, proptest::collection::vec(0..cells, 0..3)),
+        1..steps,
+    )
+    .prop_map(|steps| RandomProgram { steps })
+}
+
+/// Builds a trace for the program; returns (trace, positions of each step's
+/// emitted range, set of steps expected in the slice by a reference
+/// dependence computation).
+fn build_and_reference(prog: &RandomProgram, criterion_cell: usize) -> (Vec<bool>, Vec<bool>) {
+    // Reference: walk steps backwards; a step is needed if it is the last
+    // write to a needed cell at that point.
+    let mut needed_cells: BTreeSet<usize> = BTreeSet::new();
+    needed_cells.insert(criterion_cell);
+    let mut needed_step = vec![false; prog.steps.len()];
+    for (i, (dst, srcs)) in prog.steps.iter().enumerate().rev() {
+        if needed_cells.contains(dst) {
+            needed_step[i] = true;
+            needed_cells.remove(dst);
+            needed_cells.extend(srcs.iter().copied());
+        }
+    }
+
+    // Real: record, slice, check each step's store membership.
+    let mut rec = Recorder::new();
+    rec.spawn_thread(ThreadKind::Main, "root");
+    let n_cells = prog
+        .steps
+        .iter()
+        .map(|(d, s)| s.iter().copied().max().unwrap_or(0).max(*d))
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let cells: Vec<Addr> = (0..n_cells.max(criterion_cell + 1))
+        .map(|_| rec.alloc_cell(Region::Heap))
+        .collect();
+    let mut step_store_pos: Vec<TracePos> = Vec::new();
+    let base = site!();
+    for (i, (dst, srcs)) in prog.steps.iter().enumerate() {
+        let reads: Vec<AddrRange> = srcs.iter().map(|&s| cells[s].into()).collect();
+        let start = rec.pos();
+        // Give each step its own stable PC so CFGs stay sane.
+        rec.compute(
+            Pc(base.0.wrapping_add(i as u32 * 1009)),
+            &reads,
+            &[cells[*dst].into()],
+        );
+        let _ = start;
+        // The store is the last instruction of the expansion.
+        step_store_pos.push(TracePos(rec.pos().0 - 1));
+    }
+    let crit = Criteria::new(vec![SlicingCriterion::mem_at(
+        TracePos(rec.pos().0 - 1),
+        vec![cells[criterion_cell].into()],
+    )]);
+    let trace = rec.finish();
+    let fwd = ForwardPass::build(&trace);
+    let result = slice(&trace, &fwd, &crit, &SliceOptions::default());
+    let got: Vec<bool> = step_store_pos.iter().map(|&p| result.contains(p)).collect();
+    (needed_step, got)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn slice_matches_reference_dependence_analysis(
+        prog in random_program(6, 24),
+        crit_cell in 0usize..6,
+    ) {
+        let (expected, got) = build_and_reference(&prog, crit_cell);
+        prop_assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn inserting_dead_steps_never_changes_the_slice(
+        prog in random_program(4, 12),
+        crit_cell in 0usize..4,
+    ) {
+        let (_, base) = build_and_reference(&prog, crit_cell);
+        // Append dead computation over fresh cells (indices >= 100 never
+        // feed the criterion cell).
+        let mut extended = prog.clone();
+        let dead_first = extended.steps.len();
+        extended.steps.push((100, vec![101]));
+        extended.steps.push((101, vec![100]));
+        let (_, got) = build_and_reference(&extended, crit_cell);
+        prop_assert_eq!(&got[..dead_first], &base[..]);
+        prop_assert!(!got[dead_first] && !got[dead_first + 1], "dead steps joined the slice");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pixel criteria: every marker's tile producers join the slice
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_marked_tile_write_is_in_the_pixel_slice(n_tiles in 1usize..6) {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let mut store_positions = Vec::new();
+        for i in 0..n_tiles {
+            let tile = rec.alloc(Region::PixelTile, 64);
+            rec.compute(Pc(1000 + i as u32 * 7), &[], &[tile]);
+            store_positions.push(TracePos(rec.pos().0 - 1));
+            rec.marker(Pc(2000 + i as u32 * 7), tile);
+        }
+        let trace = rec.finish();
+        let fwd = ForwardPass::build(&trace);
+        let r = slice(&trace, &fwd, &pixel_criteria(&trace), &SliceOptions::default());
+        for &p in &store_positions {
+            prop_assert!(r.contains(p));
+        }
+    }
+}

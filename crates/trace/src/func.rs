@@ -1,0 +1,187 @@
+//! Function identities and the symbol table.
+//!
+//! The paper's categorization (Figure 5) keys off the C++ *namespace* of the
+//! function each non-slice instruction belongs to, read from the binary's
+//! symbol table. Our registry plays that role: engine code registers
+//! functions with Chromium-style qualified names (`"v8::Compiler::Compile"`,
+//! `"cc::TileManager::PrepareTiles"`), and reports group by namespace.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a registered function, dense and cheap to copy.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Index into the registry's dense tables.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// Metadata for one registered function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuncInfo {
+    name: String,
+    namespace_len: usize,
+}
+
+impl FuncInfo {
+    fn new(name: String) -> Self {
+        let namespace_len = name.rfind("::").unwrap_or(0);
+        FuncInfo {
+            name,
+            namespace_len,
+        }
+    }
+
+    /// Fully qualified name, e.g. `"blink::css::StyleResolver::Cascade"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Namespace prefix, e.g. `"blink::css::StyleResolver"`; empty for
+    /// unqualified names.
+    pub fn namespace(&self) -> &str {
+        &self.name[..self.namespace_len]
+    }
+
+    /// Top-level namespace component, e.g. `"blink"`; empty for unqualified
+    /// names. This is the paper's categorization key.
+    pub fn top_namespace(&self) -> &str {
+        let ns = self.namespace();
+        match ns.find("::") {
+            Some(i) => &ns[..i],
+            None => ns,
+        }
+    }
+}
+
+/// Interning symbol table mapping function names to [`FuncId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use wasteprof_trace::FunctionRegistry;
+///
+/// let mut funcs = FunctionRegistry::new();
+/// let a = funcs.intern("v8::Compiler::Compile");
+/// let b = funcs.intern("v8::Compiler::Compile");
+/// assert_eq!(a, b);
+/// assert_eq!(funcs.info(a).top_namespace(), "v8");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FunctionRegistry {
+    infos: Vec<FuncInfo>,
+    by_name: HashMap<String, FuncId>,
+}
+
+impl FunctionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, registering it on first use.
+    pub fn intern(&mut self, name: &str) -> FuncId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = FuncId(self.infos.len() as u32);
+        self.infos.push(FuncInfo::new(name.to_owned()));
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a function by exact name without registering it.
+    pub fn get(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Metadata for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this registry.
+    pub fn info(&self, id: FuncId) -> &FuncInfo {
+        &self.infos[id.index()]
+    }
+
+    /// Convenience accessor for the qualified name of `id`.
+    pub fn name(&self, id: FuncId) -> &str {
+        self.info(id).name()
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+
+    /// Iterates over `(id, info)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (FuncId, &FuncInfo)> {
+        self.infos
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut r = FunctionRegistry::new();
+        let a = r.intern("cc::Draw");
+        let b = r.intern("cc::Draw");
+        let c = r.intern("cc::Raster");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn namespace_extraction() {
+        let mut r = FunctionRegistry::new();
+        let f = r.intern("blink::css::StyleResolver::Cascade");
+        assert_eq!(r.info(f).namespace(), "blink::css::StyleResolver");
+        assert_eq!(r.info(f).top_namespace(), "blink");
+        let g = r.intern("main");
+        assert_eq!(r.info(g).namespace(), "");
+        assert_eq!(r.info(g).top_namespace(), "");
+        let h = r.intern("v8::Execute");
+        assert_eq!(r.info(h).namespace(), "v8");
+        assert_eq!(r.info(h).top_namespace(), "v8");
+    }
+
+    #[test]
+    fn get_does_not_register() {
+        let mut r = FunctionRegistry::new();
+        assert_eq!(r.get("nope"), None);
+        let id = r.intern("yes");
+        assert_eq!(r.get("yes"), Some(id));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn iteration_order_is_registration_order() {
+        let mut r = FunctionRegistry::new();
+        r.intern("a");
+        r.intern("b");
+        let names: Vec<_> = r.iter().map(|(_, f)| f.name().to_owned()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

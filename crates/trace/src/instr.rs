@@ -1,0 +1,235 @@
+//! The dynamic instruction record.
+//!
+//! Each [`Instr`] is one dynamically executed machine-like instruction,
+//! carrying exactly the information the paper's Pin tool records (§IV-A):
+//! which thread ran it, which static location it is (function + PC), its
+//! opcode class (call / return / branch / syscall / plain op), the registers
+//! it reads and writes, and the exact memory ranges it touches.
+
+use std::fmt;
+
+use crate::addr::AddrRange;
+use crate::func::FuncId;
+use crate::pc::Pc;
+use crate::reg::RegSet;
+use crate::syscall::Syscall;
+use crate::thread::ThreadId;
+
+/// Opcode class of a trace instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InstrKind {
+    /// Register-only ALU operation.
+    Op,
+    /// Memory read into a register.
+    Load,
+    /// Register written to memory.
+    Store,
+    /// Conditional branch.
+    Branch {
+        /// The executed direction.
+        taken: bool,
+    },
+    /// Call; the following instructions (until the matching return)
+    /// execute inside the callee.
+    Call {
+        /// The function being called.
+        callee: FuncId,
+    },
+    /// Return to the caller.
+    Ret,
+    /// System call.
+    Syscall {
+        /// Which system call.
+        nr: Syscall,
+    },
+    /// The unique pixel-buffer marker (`xchg %r13w,%r13w` in the paper).
+    /// The tile buffer holding final display pixel values at this point is
+    /// recorded in the trace's marker table ([`crate::MarkerRecord`]).
+    Marker,
+}
+
+impl InstrKind {
+    /// True for [`InstrKind::Branch`].
+    pub fn is_branch(self) -> bool {
+        matches!(self, InstrKind::Branch { .. })
+    }
+}
+
+/// Memory operands of one instruction.
+///
+/// Almost every instruction touches at most one range in each direction, so
+/// the common cases are stored inline; syscalls with several buffers use the
+/// boxed `Multi` form.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum MemOps {
+    /// No memory operands.
+    #[default]
+    None,
+    /// One range read.
+    Read(AddrRange),
+    /// One range written.
+    Write(AddrRange),
+    /// One range read and one written.
+    ReadWrite(AddrRange, AddrRange),
+    /// Arbitrarily many operands (syscalls).
+    Multi(Box<MemMulti>),
+}
+
+/// Operand lists for the `Multi` case.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MemMulti {
+    /// Ranges read by the instruction.
+    pub reads: Vec<AddrRange>,
+    /// Ranges written by the instruction.
+    pub writes: Vec<AddrRange>,
+}
+
+impl MemOps {
+    /// Builds the most compact representation of the given operands.
+    pub fn new(reads: Vec<AddrRange>, writes: Vec<AddrRange>) -> MemOps {
+        match (reads.len(), writes.len()) {
+            (0, 0) => MemOps::None,
+            (1, 0) => MemOps::Read(reads[0]),
+            (0, 1) => MemOps::Write(writes[0]),
+            (1, 1) => MemOps::ReadWrite(reads[0], writes[0]),
+            _ => MemOps::Multi(Box::new(MemMulti { reads, writes })),
+        }
+    }
+
+    /// Ranges read.
+    pub fn reads(&self) -> &[AddrRange] {
+        match self {
+            MemOps::None | MemOps::Write(_) => &[],
+            MemOps::Read(r) => std::slice::from_ref(r),
+            MemOps::ReadWrite(r, _) => std::slice::from_ref(r),
+            MemOps::Multi(m) => &m.reads,
+        }
+    }
+
+    /// Ranges written.
+    pub fn writes(&self) -> &[AddrRange] {
+        match self {
+            MemOps::None | MemOps::Read(_) => &[],
+            MemOps::Write(w) => std::slice::from_ref(w),
+            MemOps::ReadWrite(_, w) => std::slice::from_ref(w),
+            MemOps::Multi(m) => &m.writes,
+        }
+    }
+}
+
+/// One dynamically executed instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Instr {
+    /// Thread that executed the instruction.
+    pub tid: ThreadId,
+    /// Function the instruction's static location belongs to.
+    pub func: FuncId,
+    /// Static program counter within `func`.
+    pub pc: Pc,
+    /// Opcode class and payload.
+    pub kind: InstrKind,
+    /// Registers read (in `tid`'s register context).
+    pub reg_reads: RegSet,
+    /// Registers written (in `tid`'s register context).
+    pub reg_writes: RegSet,
+    /// Memory operands.
+    pub mem: MemOps,
+}
+
+impl Instr {
+    /// Memory ranges this instruction reads.
+    pub fn mem_reads(&self) -> &[AddrRange] {
+        self.mem.reads()
+    }
+
+    /// Memory ranges this instruction writes.
+    pub fn mem_writes(&self) -> &[AddrRange] {
+        self.mem.writes()
+    }
+
+    /// The static location `(func, pc)` of this instruction.
+    pub fn location(&self) -> (FuncId, Pc) {
+        (self.func, self.pc)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t{} {:?}@{} {:?}",
+            self.tid.0, self.func, self.pc, self.kind
+        )
+    }
+}
+
+/// Position of an instruction within a trace (index into the trace vector).
+///
+/// Slicing criteria are `(program point, variable set)` pairs; the *program
+/// point* is a `TracePos`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TracePos(pub u64);
+
+impl TracePos {
+    /// Index into the trace's instruction vector.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TracePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Addr, AddrRange};
+
+    fn range(start: u64, len: u32) -> AddrRange {
+        AddrRange::new(Addr::new(start), len)
+    }
+
+    #[test]
+    fn memops_compaction() {
+        assert_eq!(MemOps::new(vec![], vec![]), MemOps::None);
+        let r = range(0x100, 8);
+        let w = range(0x200, 8);
+        assert_eq!(MemOps::new(vec![r], vec![]), MemOps::Read(r));
+        assert_eq!(MemOps::new(vec![], vec![w]), MemOps::Write(w));
+        assert_eq!(MemOps::new(vec![r], vec![w]), MemOps::ReadWrite(r, w));
+        let multi = MemOps::new(vec![r, w], vec![w]);
+        assert_eq!(multi.reads().len(), 2);
+        assert_eq!(multi.writes().len(), 1);
+    }
+
+    #[test]
+    fn memops_accessors_match_direction() {
+        let r = range(0x100, 4);
+        let w = range(0x200, 4);
+        let m = MemOps::ReadWrite(r, w);
+        assert_eq!(m.reads(), &[r]);
+        assert_eq!(m.writes(), &[w]);
+        assert!(MemOps::Read(r).writes().is_empty());
+        assert!(MemOps::Write(w).reads().is_empty());
+    }
+
+    #[test]
+    fn branch_kind_predicate() {
+        assert!(InstrKind::Branch { taken: true }.is_branch());
+        assert!(!InstrKind::Op.is_branch());
+        assert!(!InstrKind::Ret.is_branch());
+    }
+
+    #[test]
+    fn instr_size_is_reasonable() {
+        // Traces hold millions of instructions; keep the record compact.
+        assert!(
+            std::mem::size_of::<Instr>() <= 72,
+            "Instr grew to {} bytes",
+            std::mem::size_of::<Instr>()
+        );
+    }
+}

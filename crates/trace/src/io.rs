@@ -1,0 +1,389 @@
+//! Compact binary serialization of traces.
+//!
+//! The paper stores collected traces in stable storage and re-reads them for
+//! different slicing criteria (§III-A). This module provides the same
+//! workflow: [`write_trace`] / [`read_trace`] round-trip a [`Trace`] through
+//! any `Write`/`Read`, using a simple little-endian format.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::addr::{Addr, AddrRange};
+use crate::func::{FuncId, FunctionRegistry};
+use crate::instr::{Instr, InstrKind, MemOps, TracePos};
+use crate::pc::Pc;
+use crate::reg::RegSet;
+use crate::syscall::Syscall;
+use crate::thread::{ThreadId, ThreadKind, ThreadTable};
+use crate::trace::{MarkerRecord, Trace};
+
+const MAGIC: &[u8; 8] = b"WPTRACE1";
+
+/// Errors produced while reading or writing a trace file.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input is not a wasteprof trace or is structurally corrupt.
+    Format(String),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::Format(m) => write!(f, "malformed trace: {m}"),
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+fn bad(msg: impl Into<String>) -> TraceIoError {
+    TraceIoError::Format(msg.into())
+}
+
+// ----- primitive writers/readers ---------------------------------------
+
+fn w_u8(w: &mut impl Write, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+fn w_u16(w: &mut impl Write, v: u16) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    w_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+fn w_range(w: &mut impl Write, r: AddrRange) -> io::Result<()> {
+    w_u64(w, r.start().raw())?;
+    w_u32(w, r.len())
+}
+
+fn r_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+fn r_u16(r: &mut impl Read) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+fn r_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn r_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+fn r_str(r: &mut impl Read) -> Result<String, TraceIoError> {
+    let len = r_u32(r)? as usize;
+    if len > 1 << 20 {
+        return Err(bad("string too long"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| bad("invalid utf-8 in symbol name"))
+}
+fn r_range(r: &mut impl Read) -> Result<AddrRange, TraceIoError> {
+    let start = r_u64(r)?;
+    let len = r_u32(r)?;
+    if len == 0 {
+        return Err(bad("zero-length memory operand"));
+    }
+    Ok(AddrRange::new(Addr::new(start), len))
+}
+
+// ----- trace encoding ----------------------------------------------------
+
+fn kind_tag(kind: &InstrKind) -> u8 {
+    match kind {
+        InstrKind::Op => 0,
+        InstrKind::Load => 1,
+        InstrKind::Store => 2,
+        InstrKind::Branch { .. } => 3,
+        InstrKind::Call { .. } => 4,
+        InstrKind::Ret => 5,
+        InstrKind::Syscall { .. } => 6,
+        InstrKind::Marker => 7,
+    }
+}
+
+fn thread_kind_tag(kind: ThreadKind) -> (u8, u8) {
+    match kind {
+        ThreadKind::Main => (0, 0),
+        ThreadKind::Compositor => (1, 0),
+        ThreadKind::Raster(i) => (2, i),
+        ThreadKind::Io => (3, 0),
+        ThreadKind::Other => (4, 0),
+    }
+}
+
+fn thread_kind_from(tag: u8, payload: u8) -> Result<ThreadKind, TraceIoError> {
+    Ok(match tag {
+        0 => ThreadKind::Main,
+        1 => ThreadKind::Compositor,
+        2 => ThreadKind::Raster(payload),
+        3 => ThreadKind::Io,
+        4 => ThreadKind::Other,
+        _ => return Err(bad(format!("unknown thread kind tag {tag}"))),
+    })
+}
+
+/// Serializes `trace` to `w`.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] if writing fails.
+pub fn write_trace(w: &mut impl Write, trace: &Trace) -> Result<(), TraceIoError> {
+    w.write_all(MAGIC)?;
+
+    w_u32(w, trace.functions().len() as u32)?;
+    for (_, info) in trace.functions().iter() {
+        w_str(w, info.name())?;
+    }
+
+    w_u32(w, trace.threads().len() as u32)?;
+    for t in trace.threads().iter() {
+        let (tag, payload) = thread_kind_tag(t.kind());
+        w_u8(w, tag)?;
+        w_u8(w, payload)?;
+    }
+
+    w_u32(w, trace.markers().len() as u32)?;
+    for m in trace.markers() {
+        w_u64(w, m.pos.0)?;
+        w_range(w, m.tile)?;
+    }
+
+    w_u64(w, trace.len() as u64)?;
+    for i in trace.iter() {
+        w_u8(w, i.tid.0)?;
+        w_u8(w, kind_tag(&i.kind))?;
+        w_u32(w, i.func.0)?;
+        w_u32(w, i.pc.0)?;
+        w_u16(w, i.reg_reads.bits())?;
+        w_u16(w, i.reg_writes.bits())?;
+        match &i.kind {
+            InstrKind::Branch { taken } => w_u8(w, *taken as u8)?,
+            InstrKind::Call { callee } => w_u32(w, callee.0)?,
+            InstrKind::Syscall { nr } => w_u32(w, nr.number())?,
+
+            _ => {}
+        }
+        let reads = i.mem_reads();
+        let writes = i.mem_writes();
+        // u16 counts: the recorder never emits that many operands, but the
+        // format must not silently truncate if it ever did.
+        assert!(reads.len() <= u16::MAX as usize && writes.len() <= u16::MAX as usize);
+        w_u16(w, reads.len() as u16)?;
+        w_u16(w, writes.len() as u16)?;
+        for r in reads {
+            w_range(w, *r)?;
+        }
+        for r in writes {
+            w_range(w, *r)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a trace from `r`.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Format`] if the input is not a valid trace file,
+/// or [`TraceIoError::Io`] on read failure.
+pub fn read_trace(r: &mut impl Read) -> Result<Trace, TraceIoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("bad magic"));
+    }
+
+    let nfuncs = r_u32(r)?;
+    let mut funcs = FunctionRegistry::new();
+    for _ in 0..nfuncs {
+        let name = r_str(r)?;
+        funcs.intern(&name);
+    }
+
+    let nthreads = r_u32(r)?;
+    // ThreadTable holds at most 256 threads; a larger count is a corrupt
+    // header and must be an error, not a register() panic.
+    if nthreads > 256 {
+        return Err(bad("thread count exceeds 256"));
+    }
+    let mut threads = ThreadTable::new();
+    for _ in 0..nthreads {
+        let tag = r_u8(r)?;
+        let payload = r_u8(r)?;
+        threads.register(thread_kind_from(tag, payload)?);
+    }
+
+    let nmarkers = r_u32(r)?;
+    let mut markers = Vec::with_capacity((nmarkers as usize).min(1 << 16));
+    for _ in 0..nmarkers {
+        let pos = TracePos(r_u64(r)?);
+        let tile = r_range(r)?;
+        markers.push(MarkerRecord { pos, tile });
+    }
+
+    let ninstrs = r_u64(r)?;
+    // Never trust a length field with the allocator: grow as bytes arrive.
+    let mut instrs = Vec::with_capacity((ninstrs as usize).min(1 << 20));
+    for _ in 0..ninstrs {
+        let tid = ThreadId(r_u8(r)?);
+        let tag = r_u8(r)?;
+        let func = FuncId(r_u32(r)?);
+        let pc = Pc(r_u32(r)?);
+        let reg_reads = RegSet::from_bits(r_u16(r)?);
+        let reg_writes = RegSet::from_bits(r_u16(r)?);
+        let kind = match tag {
+            0 => InstrKind::Op,
+            1 => InstrKind::Load,
+            2 => InstrKind::Store,
+            3 => InstrKind::Branch {
+                taken: r_u8(r)? != 0,
+            },
+            4 => InstrKind::Call {
+                callee: FuncId(r_u32(r)?),
+            },
+            5 => InstrKind::Ret,
+            6 => {
+                let nr = r_u32(r)?;
+                InstrKind::Syscall {
+                    nr: Syscall::from_number(nr)
+                        .ok_or_else(|| bad(format!("unknown syscall {nr}")))?,
+                }
+            }
+            7 => InstrKind::Marker,
+            _ => return Err(bad(format!("unknown instr tag {tag}"))),
+        };
+        let nreads = r_u16(r)? as usize;
+        let nwrites = r_u16(r)? as usize;
+        let mut reads = Vec::with_capacity(nreads.min(1 << 12));
+        for _ in 0..nreads {
+            reads.push(r_range(r)?);
+        }
+        let mut writes = Vec::with_capacity(nwrites.min(1 << 12));
+        for _ in 0..nwrites {
+            writes.push(r_range(r)?);
+        }
+        instrs.push(Instr {
+            tid,
+            func,
+            pc,
+            kind,
+            reg_reads,
+            reg_writes,
+            mem: MemOps::new(reads, writes),
+        });
+    }
+
+    let trace = Trace::from_parts(instrs, funcs, threads, markers);
+    trace.validate().map_err(bad)?;
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::site;
+    use crate::Region;
+
+    fn sample() -> Trace {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "main");
+        rec.spawn_thread(ThreadKind::Raster(0), "cc::RasterMain");
+        rec.switch_to(ThreadId::MAIN);
+        let f = rec.intern_func("blink::Parse");
+        let cell = rec.alloc_cell(Region::Heap);
+        let tile = rec.alloc(Region::PixelTile, 128);
+        rec.in_func(site!(), f, |rec| {
+            rec.compute(site!(), &[cell.into()], &[tile]);
+            rec.branch_mem(site!(), cell, true);
+            rec.syscall(site!(), Syscall::Writev, &[cell.into()], vec![tile], vec![]);
+        });
+        rec.switch_to(ThreadId(1));
+        rec.marker(site!(), tile);
+        rec.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.markers(), t.markers());
+        assert_eq!(back.functions().len(), t.functions().len());
+        assert_eq!(back.threads().len(), t.threads().len());
+        for (a, b) in t.iter().zip(back.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_thread_count() {
+        // magic + nfuncs=0 + nthreads=257: must be a Format error, not a
+        // ThreadTable assertion failure.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"WPTRACE1");
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&257u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 2 * 257]);
+        let err = read_trace(&mut buf.as_slice()).expect_err("corrupt header");
+        assert!(matches!(err, TraceIoError::Format(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = b"NOTATRACE".to_vec();
+        buf.extend_from_slice(&[0; 64]);
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() / 2);
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = bad("boom");
+        assert!(e.to_string().contains("boom"));
+    }
+}

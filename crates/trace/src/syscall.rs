@@ -1,0 +1,164 @@
+//! System calls and their ABI effects.
+//!
+//! Pin does not trace kernel code, so the paper audits every syscall
+//! Chromium makes against the Linux manual and the x86-64 SysV ABI to learn
+//! which registers and memory each one reads or writes (§IV-A). This module
+//! is the equivalent data-driven model: each [`Syscall`] declares its
+//! argument count and the direction of its buffer operands; the recorder
+//! turns that into the instruction's operand sets, and the slicer's syscall
+//! criteria treat the read set as "values communicated with the outside
+//! world".
+
+use std::fmt;
+
+use crate::reg::{Reg, RegSet};
+
+/// The system calls the traced browser performs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Syscall {
+    /// Send bytes on a socket — reads the payload buffer.
+    Sendto,
+    /// Receive bytes from a socket — writes the payload buffer.
+    Recvfrom,
+    /// Gathered write (display fd, logs) — reads the buffers.
+    Writev,
+    /// Plain write — reads the buffer.
+    Write,
+    /// Plain read — writes the buffer.
+    Read,
+    /// Query the clock — writes the timespec buffer.
+    ClockGettime,
+    /// Memory mapping bookkeeping — no traced buffer operands.
+    Mmap,
+    /// Polling for readiness — reads/writes the pollfd array.
+    Poll,
+}
+
+impl Syscall {
+    /// All modeled syscalls.
+    pub const ALL: [Syscall; 8] = [
+        Syscall::Sendto,
+        Syscall::Recvfrom,
+        Syscall::Writev,
+        Syscall::Write,
+        Syscall::Read,
+        Syscall::ClockGettime,
+        Syscall::Mmap,
+        Syscall::Poll,
+    ];
+
+    /// Linux x86-64 syscall number.
+    pub const fn number(self) -> u32 {
+        match self {
+            Syscall::Read => 0,
+            Syscall::Write => 1,
+            Syscall::Poll => 7,
+            Syscall::Mmap => 9,
+            Syscall::Writev => 20,
+            Syscall::Sendto => 44,
+            Syscall::Recvfrom => 45,
+            Syscall::ClockGettime => 228,
+        }
+    }
+
+    /// Decodes a syscall from its Linux number.
+    pub fn from_number(nr: u32) -> Option<Syscall> {
+        Syscall::ALL.into_iter().find(|s| s.number() == nr)
+    }
+
+    /// Conventional name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Syscall::Sendto => "sendto",
+            Syscall::Recvfrom => "recvfrom",
+            Syscall::Writev => "writev",
+            Syscall::Write => "write",
+            Syscall::Read => "read",
+            Syscall::ClockGettime => "clock_gettime",
+            Syscall::Mmap => "mmap",
+            Syscall::Poll => "poll",
+        }
+    }
+
+    /// Number of integer arguments the kernel reads from registers.
+    pub const fn arg_count(self) -> usize {
+        match self {
+            Syscall::Sendto => 6,
+            Syscall::Recvfrom => 6,
+            Syscall::Writev => 3,
+            Syscall::Write => 3,
+            Syscall::Read => 3,
+            Syscall::ClockGettime => 2,
+            Syscall::Mmap => 6,
+            Syscall::Poll => 3,
+        }
+    }
+
+    /// True if the call transfers data *out* of the process (its buffer
+    /// operand is a read) — these are the calls whose inputs the paper's
+    /// syscall-based criteria mark as necessary.
+    pub const fn is_output(self) -> bool {
+        matches!(self, Syscall::Sendto | Syscall::Writev | Syscall::Write)
+    }
+
+    /// ABI effects on registers: `(reads, writes)`.
+    ///
+    /// Arguments are read from the SysV argument registers (with `R10`
+    /// replacing `RCX` in the kernel convention); the return value lands in
+    /// `RAX` and the `syscall` instruction clobbers `RCX` and `R11`.
+    pub fn reg_effects(self) -> (RegSet, RegSet) {
+        const KERNEL_ARGS: [Reg; 6] = [Reg::Rdi, Reg::Rsi, Reg::Rdx, Reg::R10, Reg::R8, Reg::R9];
+        let reads: RegSet = KERNEL_ARGS[..self.arg_count()].iter().copied().collect();
+        let mut writes = RegSet::of(&[Reg::Rax]);
+        for r in Reg::SYSCALL_CLOBBERS {
+            writes.insert(r);
+        }
+        (reads, writes)
+    }
+}
+
+impl fmt::Display for Syscall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_roundtrip() {
+        for s in Syscall::ALL {
+            assert_eq!(Syscall::from_number(s.number()), Some(s));
+        }
+        assert_eq!(Syscall::from_number(9999), None);
+    }
+
+    #[test]
+    fn sendto_reads_six_arg_registers() {
+        let (reads, writes) = Syscall::Sendto.reg_effects();
+        assert_eq!(reads.len(), 6);
+        assert!(reads.contains(Reg::R10)); // kernel convention, not RCX
+        assert!(!reads.contains(Reg::Rcx));
+        assert!(writes.contains(Reg::Rax));
+        assert!(writes.contains(Reg::Rcx));
+        assert!(writes.contains(Reg::R11));
+    }
+
+    #[test]
+    fn output_classification() {
+        assert!(Syscall::Sendto.is_output());
+        assert!(Syscall::Writev.is_output());
+        assert!(!Syscall::Recvfrom.is_output());
+        assert!(!Syscall::ClockGettime.is_output());
+    }
+
+    #[test]
+    fn clock_gettime_reads_two_args() {
+        let (reads, _) = Syscall::ClockGettime.reg_effects();
+        assert_eq!(reads.len(), 2);
+        assert!(reads.contains(Reg::Rdi));
+        assert!(reads.contains(Reg::Rsi));
+    }
+}

@@ -1,0 +1,193 @@
+//! Virtual threads of the traced tab process.
+//!
+//! The paper pins the Chromium tab process to one core so its threads
+//! serialize into a single instruction trace (§IV-B). Our browser does the
+//! same thing natively: "threads" are cooperative contexts that interleave
+//! on one OS thread, each with its own register context and stack, sharing
+//! the heap — exactly the model the slicer's per-thread live-register /
+//! shared live-memory design assumes (§III-B).
+
+use std::fmt;
+
+/// Identifier of a virtual thread within the traced process.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u8);
+
+impl ThreadId {
+    /// The main thread always has id 0.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Creates a thread id.
+    pub const fn new(raw: u8) -> Self {
+        ThreadId(raw)
+    }
+
+    /// Dense index for per-thread tables.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid:{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Role of a thread in the rendering process (paper §V-A).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ThreadKind {
+    /// HTML/CSS/JS processing, style, layout, paint.
+    Main,
+    /// Layer ordering, input handling, animation scheduling.
+    Compositor,
+    /// Display-item playback into pixel tiles; 0-based rasterizer index.
+    Raster(u8),
+    /// Network and file I/O.
+    Io,
+    /// Anything else (e.g. utility/worker threads).
+    Other,
+}
+
+impl ThreadKind {
+    /// Display name matching the paper's thread taxonomy.
+    pub fn label(self) -> String {
+        match self {
+            ThreadKind::Main => "Main".to_owned(),
+            ThreadKind::Compositor => "Compositor".to_owned(),
+            ThreadKind::Raster(i) => format!("Rasterizer {}", i + 1),
+            ThreadKind::Io => "IO".to_owned(),
+            ThreadKind::Other => "Other".to_owned(),
+        }
+    }
+}
+
+/// One registered thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadInfo {
+    id: ThreadId,
+    kind: ThreadKind,
+    name: String,
+}
+
+impl ThreadInfo {
+    /// The thread's id.
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// The thread's role.
+    pub fn kind(&self) -> ThreadKind {
+        self.kind
+    }
+
+    /// The thread's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Registry of the traced process's threads.
+///
+/// # Examples
+///
+/// ```
+/// use wasteprof_trace::{ThreadKind, ThreadTable};
+///
+/// let mut threads = ThreadTable::new();
+/// let main = threads.register(ThreadKind::Main);
+/// let r1 = threads.register(ThreadKind::Raster(0));
+/// assert_ne!(main, r1);
+/// assert_eq!(threads.info(r1).name(), "Rasterizer 1");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ThreadTable {
+    threads: Vec<ThreadInfo>,
+}
+
+impl ThreadTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new thread and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 255 threads are registered.
+    pub fn register(&mut self, kind: ThreadKind) -> ThreadId {
+        assert!(self.threads.len() < 256, "thread table full");
+        let id = ThreadId(self.threads.len() as u8);
+        self.threads.push(ThreadInfo {
+            id,
+            kind,
+            name: kind.label(),
+        });
+        id
+    }
+
+    /// Metadata for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this table.
+    pub fn info(&self, id: ThreadId) -> &ThreadInfo {
+        &self.threads[id.index()]
+    }
+
+    /// Number of registered threads.
+    pub fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// True if no threads are registered.
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    /// Iterates over registered threads in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &ThreadInfo> {
+        self.threads.iter()
+    }
+
+    /// Finds the first thread of the given kind.
+    pub fn find(&self, kind: ThreadKind) -> Option<ThreadId> {
+        self.threads.iter().find(|t| t.kind == kind).map(|t| t.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_assigns_sequential_ids() {
+        let mut t = ThreadTable::new();
+        assert_eq!(t.register(ThreadKind::Main), ThreadId(0));
+        assert_eq!(t.register(ThreadKind::Compositor), ThreadId(1));
+        assert_eq!(t.register(ThreadKind::Raster(0)), ThreadId(2));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn labels_match_paper_taxonomy() {
+        assert_eq!(ThreadKind::Raster(2).label(), "Rasterizer 3");
+        assert_eq!(ThreadKind::Main.label(), "Main");
+    }
+
+    #[test]
+    fn find_by_kind() {
+        let mut t = ThreadTable::new();
+        t.register(ThreadKind::Main);
+        let c = t.register(ThreadKind::Compositor);
+        assert_eq!(t.find(ThreadKind::Compositor), Some(c));
+        assert_eq!(t.find(ThreadKind::Io), None);
+    }
+}

@@ -1,0 +1,283 @@
+//! The finalized instruction trace and its basic statistics.
+
+use std::collections::HashMap;
+
+use crate::addr::AddrRange;
+use crate::func::{FuncId, FunctionRegistry};
+use crate::instr::{Instr, InstrKind, TracePos};
+use crate::thread::{ThreadId, ThreadTable};
+
+/// One occurrence of the pixel-buffer marker in the trace.
+///
+/// The paper logs the tile-buffer address and size to an external file every
+/// time the marked `PlaybackToMemory` runs; this record is that file's row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MarkerRecord {
+    /// Position of the marker instruction in the trace.
+    pub pos: TracePos,
+    /// The tile buffer holding final display pixel values at that point.
+    pub tile: AddrRange,
+}
+
+/// An immutable, fully collected instruction trace.
+///
+/// Produced by [`crate::Recorder::finish`]; consumed by the slicer's forward
+/// and backward passes.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    instrs: Vec<Instr>,
+    funcs: FunctionRegistry,
+    threads: ThreadTable,
+    markers: Vec<MarkerRecord>,
+}
+
+impl Trace {
+    pub(crate) fn from_parts(
+        instrs: Vec<Instr>,
+        funcs: FunctionRegistry,
+        threads: ThreadTable,
+        markers: Vec<MarkerRecord>,
+    ) -> Self {
+        Trace {
+            instrs,
+            funcs,
+            threads,
+            markers,
+        }
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of bounds.
+    pub fn instr(&self, pos: TracePos) -> &Instr {
+        &self.instrs[pos.index()]
+    }
+
+    /// Iterates over instructions in execution order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instr> {
+        self.instrs.iter()
+    }
+
+    /// All instructions as a slice.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The symbol table.
+    pub fn functions(&self) -> &FunctionRegistry {
+        &self.funcs
+    }
+
+    /// The thread table.
+    pub fn threads(&self) -> &ThreadTable {
+        &self.threads
+    }
+
+    /// Pixel-buffer marker records, in trace order.
+    pub fn markers(&self) -> &[MarkerRecord] {
+        &self.markers
+    }
+
+    /// Instruction counts per thread.
+    pub fn per_thread_counts(&self) -> HashMap<ThreadId, u64> {
+        let mut m = HashMap::new();
+        for i in &self.instrs {
+            *m.entry(i.tid).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Instruction counts per function.
+    pub fn per_func_counts(&self) -> HashMap<FuncId, u64> {
+        let mut m = HashMap::new();
+        for i in &self.instrs {
+            *m.entry(i.func).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Counts of each opcode class.
+    pub fn kind_histogram(&self) -> KindHistogram {
+        let mut h = KindHistogram::default();
+        for i in &self.instrs {
+            match i.kind {
+                InstrKind::Op => h.ops += 1,
+                InstrKind::Load => h.loads += 1,
+                InstrKind::Store => h.stores += 1,
+                InstrKind::Branch { .. } => h.branches += 1,
+                InstrKind::Call { .. } => h.calls += 1,
+                InstrKind::Ret => h.rets += 1,
+                InstrKind::Syscall { .. } => h.syscalls += 1,
+                InstrKind::Marker => h.markers += 1,
+            }
+        }
+        h
+    }
+
+    /// Validates structural invariants: call/return nesting per thread and
+    /// marker positions in bounds. Returns a description of the first
+    /// violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut depths: HashMap<ThreadId, i64> = HashMap::new();
+        for (idx, i) in self.instrs.iter().enumerate() {
+            let d = depths.entry(i.tid).or_insert(0);
+            match i.kind {
+                InstrKind::Call { .. } => *d += 1,
+                InstrKind::Ret => {
+                    *d -= 1;
+                    if *d < 0 {
+                        return Err(format!("unmatched return at position {idx} on {:?}", i.tid));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for m in &self.markers {
+            if m.pos.index() >= self.instrs.len() {
+                return Err(format!("marker position {} out of bounds", m.pos));
+            }
+            if !matches!(self.instrs[m.pos.index()].kind, InstrKind::Marker) {
+                return Err(format!(
+                    "marker record at {} does not point at a marker",
+                    m.pos
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Instr;
+    type IntoIter = std::slice::Iter<'a, Instr>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Opcode-class counts for a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindHistogram {
+    /// Register-only ALU ops.
+    pub ops: u64,
+    /// Memory loads.
+    pub loads: u64,
+    /// Memory stores.
+    pub stores: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Calls.
+    pub calls: u64,
+    /// Returns.
+    pub rets: u64,
+    /// System calls.
+    pub syscalls: u64,
+    /// Pixel-buffer markers.
+    pub markers: u64,
+}
+
+impl KindHistogram {
+    /// Total instructions counted.
+    pub fn total(&self) -> u64 {
+        self.ops
+            + self.loads
+            + self.stores
+            + self.branches
+            + self.calls
+            + self.rets
+            + self.syscalls
+            + self.markers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::reg::{Reg, RegSet};
+    use crate::site;
+    use crate::thread::ThreadKind;
+    use crate::Region;
+
+    fn sample() -> Trace {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "main");
+        let f = rec.intern_func("v8::Execute");
+        let cell = rec.alloc_cell(Region::Heap);
+        rec.in_func(site!(), f, |rec| {
+            rec.compute(site!(), &[], &[cell.into()]);
+            rec.branch_mem(site!(), cell, true);
+        });
+        rec.finish()
+    }
+
+    #[test]
+    fn histogram_totals_match_len() {
+        let t = sample();
+        assert_eq!(t.kind_histogram().total() as usize, t.len());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_unmatched_ret() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "main");
+        let f = rec.intern_func("g");
+        rec.enter(site!(), f);
+        rec.leave(site!());
+        // Emit a bare Ret via the raw escape hatch.
+        rec.raw(
+            site!(),
+            InstrKind::Ret,
+            RegSet::EMPTY,
+            RegSet::EMPTY,
+            crate::MemOps::None,
+        );
+        let t = rec.finish();
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn per_thread_counts_sum_to_len() {
+        let t = sample();
+        let total: u64 = t.per_thread_counts().values().sum();
+        assert_eq!(total as usize, t.len());
+    }
+
+    #[test]
+    fn per_func_counts_cover_all_functions_seen() {
+        let t = sample();
+        let total: u64 = t.per_func_counts().values().sum();
+        assert_eq!(total as usize, t.len());
+        assert!(!t.per_func_counts().is_empty());
+    }
+
+    #[test]
+    fn branch_reg_kind() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "main");
+        rec.branch_reg(site!(), Reg::Rax, false);
+        let t = rec.finish();
+        assert!(matches!(
+            t.instr(TracePos(0)).kind,
+            InstrKind::Branch { taken: false }
+        ));
+    }
+}

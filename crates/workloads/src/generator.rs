@@ -1,0 +1,704 @@
+//! Parameterized synthetic-site generation.
+//!
+//! The paper's benchmarks are four live commercial websites; the
+//! reproduction's are synthetic sites generated from explicit knobs that
+//! control exactly the characteristics the study measures: how much
+//! JS/CSS is imported vs. actually used (Table I), how much content is
+//! above vs. below the fold, how many compositing layers exist and how
+//! many of those are occluded or invisible (§II-B), and how much work
+//! interaction handlers do.
+
+use std::fmt::Write as _;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use wasteprof_browser::{ResourceKind, Site};
+
+/// Knobs describing a synthetic site.
+#[derive(Debug, Clone)]
+pub struct SiteSpec {
+    /// Site URL.
+    pub url: String,
+    /// Page title.
+    pub title: String,
+    /// Determinism seed.
+    pub seed: u64,
+    /// Top-level navigation entries in the header.
+    pub nav_items: usize,
+    /// Content sections (vertically stacked; later ones are below the
+    /// fold).
+    pub sections: usize,
+    /// Cards per section.
+    pub items_per_section: usize,
+    /// Words of text per card.
+    pub words_per_item: usize,
+    /// Images on the page (hero + cards).
+    pub images: usize,
+    /// Hidden fixed-position overlays (invisible layers that still get
+    /// backing stores).
+    pub hidden_overlays: usize,
+    /// Target bytes of *used* CSS rules.
+    pub css_used_bytes: usize,
+    /// Target bytes of *unused* CSS rules (never-matching selectors,
+    /// `:hover` variants, inactive media queries).
+    pub css_unused_bytes: usize,
+    /// JS library functions that the page actually calls.
+    pub js_used_fns: usize,
+    /// JS library functions that are imported but never called.
+    pub js_unused_fns: usize,
+    /// Loop iterations inside each used library function (execution
+    /// weight).
+    pub js_fn_loop: usize,
+    /// Library functions the boot code "warms" (calls without using the
+    /// results — speculative initialization that rarely pays off).
+    pub warm_fns: usize,
+    /// Cards the app builds dynamically at boot (client-side rendered
+    /// recommendations — JS work that directly feeds visible pixels).
+    pub js_built_cards: usize,
+    /// Map-canvas tiles the app positions at boot (the Maps profile:
+    /// almost all JS work feeds the on-screen canvas).
+    pub js_canvas_tiles: usize,
+    /// How many cards the desktop boot initializes prices for (lazy
+    /// initialization boundary); mobile always initializes 24.
+    pub price_limit: usize,
+    /// Iterations of the speculative precompute a boot timer schedules:
+    /// work done eagerly "in case the user needs it" whose output is never
+    /// shown — the paper's headline deferral opportunity.
+    pub js_speculative_loop: usize,
+    /// Whether the page ships an analytics module (timers + beacon +
+    /// console noise).
+    pub analytics: bool,
+    /// Extra resources fetched during browsing: `(url, kind, bytes,
+    /// used)`; `used == true` generates JS whose functions all run.
+    pub deferred: Vec<DeferredResource>,
+}
+
+/// A resource only fetched during browsing (Bing/Maps keep downloading —
+/// Table I's "Load and Browse" rows).
+#[derive(Debug, Clone)]
+pub struct DeferredResource {
+    /// URL the browse script fetches.
+    pub url: String,
+    /// Resource kind.
+    pub kind: ResourceKind,
+    /// Approximate payload size.
+    pub bytes: usize,
+    /// For JS: fraction of its functions the page calls after loading it.
+    pub used_fraction: f64,
+}
+
+impl Default for SiteSpec {
+    fn default() -> Self {
+        SiteSpec {
+            url: "https://example.test".into(),
+            title: "Example".into(),
+            seed: 1,
+            nav_items: 6,
+            sections: 4,
+            items_per_section: 10,
+            words_per_item: 8,
+            images: 4,
+            hidden_overlays: 2,
+            css_used_bytes: 4_000,
+            css_unused_bytes: 4_000,
+            js_used_fns: 10,
+            js_unused_fns: 10,
+            js_fn_loop: 6,
+            warm_fns: 6,
+            js_built_cards: 2,
+            js_canvas_tiles: 0,
+            price_limit: 9999,
+            js_speculative_loop: 120,
+            analytics: true,
+            deferred: Vec::new(),
+        }
+    }
+}
+
+const WORDS: &[&str] = &[
+    "fast", "shipping", "deal", "today", "classic", "modern", "wireless", "premium", "daily",
+    "save", "new", "top", "rated", "choice", "original", "compact", "pro", "ultra", "family",
+    "travel", "home", "garden", "sport", "basic",
+];
+
+fn words(rng: &mut SmallRng, n: usize) -> String {
+    (0..n)
+        .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Builds the [`Site`] described by a spec.
+pub fn build_site(spec: &SiteSpec) -> Site {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let html = build_html(spec, &mut rng);
+    let css = build_css(spec, &mut rng);
+    let lib = build_library_js(spec);
+    let app = build_app_js(spec);
+
+    let mut site = Site::new(spec.url.clone(), html)
+        .with_resource("main.css", ResourceKind::Css, css)
+        .with_resource("lib.js", ResourceKind::Js, lib)
+        .with_resource("app.js", ResourceKind::Js, app);
+    if spec.analytics {
+        site = site.with_resource("analytics.js", ResourceKind::Js, build_analytics_js());
+    }
+    for (i, _) in (0..spec.images).enumerate() {
+        site = site.with_resource(
+            format!("img{i}.png"),
+            ResourceKind::Image,
+            "IMG0".repeat(64 + (i % 5) * 32),
+        );
+    }
+    for d in &spec.deferred {
+        let content = match d.kind {
+            ResourceKind::Js => build_deferred_js(d),
+            ResourceKind::Css => build_deferred_css(d),
+            _ => "D".repeat(d.bytes),
+        };
+        site = site.with_resource(d.url.clone(), d.kind, content);
+    }
+    site
+}
+
+fn build_html(spec: &SiteSpec, rng: &mut SmallRng) -> String {
+    let mut h = String::with_capacity(16 * 1024);
+    let _ = write!(
+        h,
+        "<html><head><title>{}</title><link rel=\"stylesheet\" href=\"main.css\"></head><body>",
+        spec.title
+    );
+
+    // Header with nav and a hidden dropdown menu (opened by interaction).
+    h.push_str("<div id=\"header\" class=\"header bar\">");
+    let _ = write!(h, "<span class=\"logo\">{}</span>", spec.title);
+    for i in 0..spec.nav_items {
+        let _ = write!(
+            h,
+            "<a class=\"nav-link\" id=\"nav{i}\">{}</a>",
+            words(rng, 1)
+        );
+    }
+    h.push_str("<button id=\"menu-btn\" class=\"menu-btn\">=</button>");
+    h.push_str("<div id=\"menu\" class=\"menu panel\" style=\"display: none\">");
+    for i in 0..8 {
+        let _ = write!(
+            h,
+            "<a class=\"menu-item\" id=\"mi{i}\">{}</a>",
+            words(rng, 2)
+        );
+    }
+    h.push_str("</div></div>");
+
+    // Hero with the photo roll the Amazon session flips through.
+    h.push_str("<div id=\"hero\" class=\"hero\">");
+    h.push_str("<img id=\"photo\" src=\"img0.png\" class=\"photo\">");
+    h.push_str("<button id=\"photo-next\" class=\"roll-btn\">&gt;</button>");
+    let _ = write!(h, "<h1 id=\"headline\">{}</h1>", words(rng, 6));
+    h.push_str("<input id=\"search\" class=\"search-box\" value=\"\">");
+    h.push_str("<div id=\"suggestions\" class=\"suggest-panel\" style=\"display: none\"></div>");
+    h.push_str("</div>");
+
+    // Hosts for client-side-rendered content: a recommendations strip and
+    // (for app-like sites) an absolutely positioned canvas.
+    h.push_str("<div id=\"recs\" class=\"section recs\"></div>");
+    h.push_str("<div id=\"canvas\" class=\"canvas\"></div>");
+
+    // Content sections with cards.
+    for s in 0..spec.sections {
+        let _ = write!(h, "<div class=\"section s{s}\" id=\"sec{s}\">");
+        let _ = write!(h, "<h2>{}</h2>", words(rng, 3));
+        for i in 0..spec.items_per_section {
+            let _ = write!(h, "<div class=\"item card c{}\">", i % 4);
+            if (s * spec.items_per_section + i) < spec.images.saturating_sub(1) {
+                let _ = write!(
+                    h,
+                    "<img src=\"img{}.png\" class=\"thumb\">",
+                    s * spec.items_per_section + i + 1
+                );
+            }
+            let _ = write!(
+                h,
+                "<span class=\"title\">{}</span>",
+                words(rng, spec.words_per_item)
+            );
+            let _ = write!(h, "<span class=\"price\" id=\"p{s}_{i}\"></span>");
+            h.push_str("<button class=\"buy\">Add</button></div>");
+        }
+        h.push_str("</div>");
+    }
+
+    // News pane (Bing's bottom roll) and its roll button.
+    h.push_str("<div id=\"news\" class=\"news-pane\">");
+    h.push_str("<button id=\"news-roll\" class=\"roll-btn\">&gt;</button>");
+    for i in 0..6 {
+        let _ = write!(
+            h,
+            "<p class=\"news-item\" id=\"news{i}\">{}</p>",
+            words(rng, 10)
+        );
+    }
+    h.push_str("</div>");
+
+    // Invisible overlays: layers with backing stores nobody ever sees.
+    for i in 0..spec.hidden_overlays {
+        let _ = write!(
+            h,
+            "<div class=\"overlay\" id=\"ov{i}\" style=\"position: fixed; top: 0; left: 0; \
+             z-index: {}; visibility: hidden; width: 100%; height: 200px\">{}</div>",
+            20 + i,
+            words(rng, 12)
+        );
+    }
+
+    let _ = write!(
+        h,
+        "<div id=\"footer\" class=\"footer bar\">{}</div>",
+        words(rng, 8)
+    );
+    h.push_str("<script src=\"lib.js\"></script><script src=\"app.js\"></script>");
+    if spec.analytics {
+        h.push_str("<script src=\"analytics.js\"></script>");
+    }
+    h.push_str("</body></html>");
+    h
+}
+
+fn build_css(spec: &SiteSpec, rng: &mut SmallRng) -> String {
+    let mut css = String::with_capacity(spec.css_used_bytes + spec.css_unused_bytes);
+
+    // Rules that actually match the generated markup.
+    let palette = [
+        "#222", "#333", "#08f", "#f80", "#eee", "#fff", "#c00", "#4a4",
+    ];
+    let used_selectors: Vec<String> = {
+        let mut v: Vec<String> = vec![
+            ".bar".into(),
+            ".header".into(),
+            ".footer".into(),
+            ".logo".into(),
+            ".nav-link".into(),
+            ".menu-btn".into(),
+            ".menu".into(),
+            ".panel".into(),
+            ".hero".into(),
+            ".photo".into(),
+            ".roll-btn".into(),
+            ".search-box".into(),
+            ".item".into(),
+            ".card".into(),
+            ".title".into(),
+            ".price".into(),
+            ".buy".into(),
+            ".thumb".into(),
+            ".news-pane".into(),
+            ".news-item".into(),
+            ".overlay".into(),
+            "h1".into(),
+            "h2".into(),
+            "p".into(),
+        ];
+        for s in 0..spec.sections {
+            v.push(format!(".s{s}"));
+        }
+        for c in 0..4 {
+            v.push(format!(".c{c}"));
+        }
+        v
+    };
+    // Structural base rules.
+    css.push_str(".bar { height: 48px; background: #232f3e; color: white; }\n");
+    css.push_str(".header { position: fixed; top: 0; left: 0; width: 100%; z-index: 10; }\n");
+    css.push_str(".menu { position: fixed; top: 48px; right: 0; width: 240px; z-index: 12; background: white; border: 1px solid #999; }\n");
+    css.push_str(".hero { height: 320px; background: #eee; padding: 8px; }\n");
+    css.push_str(".photo { width: 300px; height: 260px; will-change: transform; }\n");
+    css.push_str(".item { width: 23%; height: 100px; margin: 4px; padding: 6px; background: white; border: 1px solid #ddd; display: inline-block; }\n");
+    css.push_str(".featured { border: 2px solid #f80; }\n");
+    // The news pane sits at the bottom of the first view (a fixed strip),
+    // and the search suggestions drop down over the page content.
+    css.push_str(".news-pane { position: fixed; bottom: 0; left: 0; width: 100%; height: 140px; z-index: 8; background: #f5f5f5; padding: 4px; }\n");
+    css.push_str(".suggest-panel { position: absolute; top: 430px; left: 8px; width: 420px; z-index: 15; background: white; border: 1px solid #888; }\n");
+    css.push_str(".search-box { width: 420px; height: 28px; border: 1px solid #888; }\n");
+    if spec.js_canvas_tiles > 0 {
+        css.push_str("#canvas { position: relative; height: 560px; background: #dde; }\n");
+        css.push_str(".map-tile { position: absolute; width: 170px; height: 170px; background: #9c9; border: 1px solid #7a7; }\n");
+    }
+    let mut i = 0;
+    while css.len() < spec.css_used_bytes {
+        let sel = &used_selectors[i % used_selectors.len()];
+        let _ = writeln!(
+            css,
+            "{sel} {{ color: {}; margin-top: {}px; padding-left: {}px; font-size: {}px; }}",
+            palette[rng.gen_range(0..palette.len())],
+            rng.gen_range(0..12),
+            rng.gen_range(0..16),
+            12 + rng.gen_range(0..9),
+        );
+        i += 1;
+    }
+
+    // Library残: rules that can never match (imported framework bulk),
+    // hover variants, and an inactive media block (desktop gets the mobile
+    // block and vice versa — the generator does not know the viewport, so
+    // it ships both and one side is dead weight).
+    let unused_start = css.len();
+    let mut j = 0;
+    // The mobile experience is a lighter page: compact cards, a short
+    // hero, and only the first section rendered (the rest are hidden).
+    css.push_str("@media (max-width: 700px) { .item { width: 46%; height: 90px } .hero { height: 180px } .photo { width: 160px; height: 140px } .search-box { width: 200px } }\n");
+    {
+        let mut hidden = String::new();
+        for sct in 1..spec.sections {
+            if sct > 1 {
+                hidden.push_str(", ");
+            }
+            let _ = write!(hidden, ".s{sct}");
+        }
+        if !hidden.is_empty() {
+            let _ = writeln!(
+                css,
+                "@media (max-width: 700px) {{ {hidden} {{ display: none }} }}"
+            );
+        }
+    }
+    while css.len() - unused_start < spec.css_unused_bytes {
+        match j % 3 {
+            0 => {
+                let _ = writeln!(
+                    css,
+                    ".fw-module-{j} .fw-inner {{ display: inline-block; width: {}px; border: 1px solid {}; margin: {}px; padding: {}px; }}",
+                    rng.gen_range(40..240),
+                    palette[rng.gen_range(0..palette.len())],
+                    rng.gen_range(0..9),
+                    rng.gen_range(0..9),
+                );
+            }
+            1 => {
+                let _ = writeln!(
+                    css,
+                    ".item:hover .variant-{j} {{ background: {}; opacity: 0.9; z-index: {}; }}",
+                    palette[rng.gen_range(0..palette.len())],
+                    rng.gen_range(1..40),
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    css,
+                    ".legacy-grid-{j} {{ width: {}%; height: {}px; color: {}; text-align: center; }}",
+                    rng.gen_range(10..90),
+                    rng.gen_range(20..200),
+                    palette[rng.gen_range(0..palette.len())],
+                );
+            }
+        }
+        j += 1;
+    }
+    css
+}
+
+fn build_library_js(spec: &SiteSpec) -> String {
+    let mut js = String::with_capacity((spec.js_used_fns + spec.js_unused_fns) * 160);
+    js.push_str("// synthetic vendor bundle\n");
+    for i in 0..spec.js_used_fns {
+        let _ = writeln!(
+            js,
+            "function lib_used{i}(a, b) {{ var acc = 0; for (var k = 0; k < {}; k++) {{ acc = acc + (a + k) * (b + 1) - (acc % 7); }} return acc; }}",
+            spec.js_fn_loop
+        );
+    }
+    for i in 0..spec.js_unused_fns {
+        let _ = writeln!(
+            js,
+            "function lib_unused{i}(data, opts) {{ var out = []; var n = 0; \
+             for (var k = 0; k < 64; k++) {{ n = n + k * {i}; out.push(n); }} \
+             if (opts > 0) {{ return out; }} return n + data; }}",
+        );
+    }
+    js
+}
+
+fn build_app_js(spec: &SiteSpec) -> String {
+    let mut js = String::with_capacity(4096);
+    js.push_str(concat!(
+        "var wpState = { menuOpen: 0, photo: 0, news: 0, scrolls: 0, typed: '' };\n",
+        "var wpMobile = window.innerWidth < 700;\n",
+        "function initPrices(limit) {\n",
+        "  var prices = document.getElementsByClassName('price');\n",
+        "  var n = prices.length < limit ? prices.length : limit;\n",
+        "  for (var i = 0; i < n; i++) {\n",
+    ));
+    let _ = writeln!(
+        js,
+        "    prices[i].textContent = '$' + lib_used0(i, {});",
+        spec.js_fn_loop
+    );
+    js.push_str(concat!(
+        "  }\n",
+        "}\n",
+        "function decorateCards() {\n",
+        "  var cards = document.getElementsByClassName('card');\n",
+        "  for (var i = 0; i < cards.length; i++) {\n",
+        "    if (i % 3 == 0) { cards[i].classList.add('featured'); }\n",
+        "  }\n",
+        "}\n",
+        "function toggleMenu() {\n",
+        "  var m = document.getElementById('menu');\n",
+        "  if (wpState.menuOpen == 1) { m.style.display = 'none'; wpState.menuOpen = 0; }\n",
+        "  else { m.style.display = 'block'; wpState.menuOpen = 1; }\n",
+        "}\n",
+        "function nextPhoto() {\n",
+        "  wpState.photo += 1;\n",
+        "  var p = document.getElementById('photo');\n",
+        "  p.setAttribute('src', 'img' + (wpState.photo % 4) + '.png');\n",
+        "}\n",
+        "function rollNews() {\n",
+        "  wpState.news += 1;\n",
+        "  var pane = document.getElementById('news0');\n",
+        "  pane.textContent = 'story ' + wpState.news + ' ' + lib_used1(wpState.news, 2);\n",
+        "}\n",
+        "function onSearchInput() {\n",
+        "  var q = document.getElementById('search').getAttribute('value');\n",
+        "  var s = document.getElementById('suggestions');\n",
+        "  s.style.display = 'block';\n",
+        "  var list = '';\n",
+        "  for (var i = 0; i < 5; i++) {\n",
+        "    list = list + ' ' + q + lib_used1(q.length + i, 3) + '|' + lib_used2(i, 4);\n",
+        "  }\n",
+        "  s.textContent = q + ' suggestions:' + list;\n",
+        "}\n",
+    ));
+    // Warm a handful of library functions at boot (their results go
+    // nowhere — speculative initialization).
+    js.push_str("function warmLibraries() {\n  var sum = 0;\n");
+    for i in 0..spec.warm_fns.min(spec.js_used_fns) {
+        let _ = writeln!(js, "  sum += lib_used{i}({}, {});", i % 7, i % 5);
+    }
+    js.push_str("  return sum;\n}\n");
+    // Client-side rendered recommendation cards (visible, right below the
+    // hero): JS work that ends up on screen.
+    js.push_str(concat!(
+        "function buildRecs(n) {\n",
+        "  var host = document.getElementById('recs');\n",
+        "  for (var i = 0; i < n; i++) {\n",
+        "    var card = document.createElement('div');\n",
+        "    card.className = 'item card';\n",
+        "    var t = document.createElement('span');\n",
+        "    t.className = 'title';\n",
+        "    t.textContent = 'Rec ' + lib_used1(i, 3);\n",
+        "    card.appendChild(t);\n",
+        "    var p = document.createElement('span');\n",
+        "    p.className = 'price';\n",
+        "    p.textContent = '$' + lib_used2(i, 5);\n",
+        "    card.appendChild(p);\n",
+        "    host.appendChild(card);\n",
+        "  }\n",
+        "}\n",
+        "function buildCanvas(n) {\n",
+        "  var host = document.getElementById('canvas');\n",
+        "  var cols = 8;\n",
+        "  for (var i = 0; i < n; i++) {\n",
+        "    var tile = document.createElement('div');\n",
+        "    tile.className = 'map-tile';\n",
+        "    var xx = (i % cols) * 170;\n",
+        "    var yy = Math.floor(i / cols) * 170;\n",
+        "    tile.style.left = xx + 'px';\n",
+        "    tile.style.top = yy + 'px';\n",
+        "    tile.textContent = 'T' + lib_used0(i, 2);\n",
+        "    host.appendChild(tile);\n",
+        "  }\n",
+        "}\n",
+    ));
+    // Adaptive boot: the mobile experience initializes only the first
+    // screen of cards and skips the library warm-up (lighter bundles).
+    let _ = writeln!(
+        js,
+        "if (wpMobile) {{ initPrices(24); }} else {{ initPrices({}); }}",
+        spec.price_limit
+    );
+    let _ = writeln!(js, "buildRecs({});", spec.js_built_cards);
+    if spec.js_canvas_tiles > 0 {
+        let _ = writeln!(js, "buildCanvas({});", spec.js_canvas_tiles);
+    }
+    // Speculative precompute: ranking models, prefetch scoring — runs on
+    // a timer after load, its results never reach the screen.
+    let _ = write!(
+        js,
+        concat!(
+            "function speculativePrecompute() {{\n",
+            "  var model = [];\n",
+            "  var score = 0;\n",
+            "  for (var i = 0; i < {n}; i++) {{\n",
+            "    score = score + (i * 31) % 97 - (score % 5);\n",
+            "    if (i % 8 == 0) {{ model.push(score); }}\n",
+            "  }}\n",
+            "  wpState.model = model;\n",
+            "  return score;\n",
+            "}}\n",
+            "setTimeout(function () {{ speculativePrecompute(); }}, 300);\n",
+        ),
+        n = spec.js_speculative_loop
+    );
+    js.push_str(concat!(
+        "decorateCards();\n",
+        // The warm-up checksum lands in the visible headline (computed
+        // deal counters and the like), so library execution feeds pixels.
+        "var warm = warmLibraries();\n",
+        "document.getElementById('headline').textContent = 'Deals ' + warm;\n",
+        "document.getElementById('menu-btn').addEventListener('click', function () { toggleMenu(); });\n",
+        "document.getElementById('photo-next').addEventListener('click', function () { nextPhoto(); });\n",
+        "document.getElementById('news-roll').addEventListener('click', function () { rollNews(); });\n",
+        "document.getElementById('search').addEventListener('input', function () { onSearchInput(); });\n",
+        "window.addEventListener('scroll', function () { wpState.scrolls += 1; });\n",
+        "setTimeout(function () { decorateCards(); }, 120);\n",
+    ));
+    js
+}
+
+fn build_analytics_js() -> String {
+    concat!(
+        "var wpPerf = { t0: performance.now(), events: [] };\n",
+        "function trackEvent(name, value) {\n",
+        "  wpPerf.events.push(name);\n",
+        "  console.log('track', name, value);\n",
+        "}\n",
+        "function flushBeacon() {\n",
+        "  var dt = performance.now() - wpPerf.t0;\n",
+        "  navigator.sendBeacon('https://telemetry.test/collect', 'load=' + dt + ';n=' + wpPerf.events.length);\n",
+        "}\n",
+        "trackEvent('pageview', 1);\n",
+        "trackEvent('timing', wpPerf.t0);\n",
+        "setTimeout(function () { flushBeacon(); }, 250);\n",
+    )
+    .to_owned()
+}
+
+fn build_deferred_js(d: &DeferredResource) -> String {
+    let fn_count = (d.bytes / 150).max(1);
+    let used = ((fn_count as f64) * d.used_fraction).round() as usize;
+    let mut js = String::with_capacity(d.bytes + 256);
+    for i in 0..fn_count {
+        let _ = writeln!(
+            js,
+            "function deferred_{name}_{i}(x) {{ var v = 0; for (var k = 0; k < 24; k++) {{ v = v + x * k + {i}; }} return v; }}",
+            name = sanitize(&d.url),
+        );
+    }
+    // Top-level code runs the "used" prefix immediately on load.
+    let _ = writeln!(js, "var deferredSum_{} = 0;", sanitize(&d.url));
+    for i in 0..used {
+        let _ = writeln!(
+            js,
+            "deferredSum_{name} += deferred_{name}_{i}({i});",
+            name = sanitize(&d.url)
+        );
+    }
+    js
+}
+
+fn build_deferred_css(d: &DeferredResource) -> String {
+    let mut css = String::with_capacity(d.bytes + 64);
+    // Deferred CSS applies to existing markup for the "used" share.
+    let mut i = 0;
+    while css.len() < (d.bytes as f64 * d.used_fraction) as usize {
+        let _ = writeln!(css, ".item {{ border-width: {}px; }}", i % 3);
+        i += 1;
+    }
+    while css.len() < d.bytes {
+        let _ = writeln!(css, ".deferred-unused-{i} {{ width: {}px; }}", i);
+        i += 1;
+    }
+    css
+}
+
+fn sanitize(url: &str) -> String {
+    url.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec = SiteSpec::default();
+        let a = build_site(&spec);
+        let b = build_site(&spec);
+        assert_eq!(a.html, b.html);
+        assert_eq!(a.resources.len(), b.resources.len());
+        for (ra, rb) in a.resources.iter().zip(&b.resources) {
+            assert_eq!(ra.content, rb.content);
+        }
+    }
+
+    #[test]
+    fn css_byte_targets_are_respected() {
+        let spec = SiteSpec {
+            css_used_bytes: 6_000,
+            css_unused_bytes: 9_000,
+            ..Default::default()
+        };
+        let site = build_site(&spec);
+        let css = &site.resource("main.css").unwrap().content;
+        let total = css.len();
+        assert!((14_000..=16_500).contains(&total), "css total {total}");
+    }
+
+    #[test]
+    fn library_has_used_and_unused_functions() {
+        let spec = SiteSpec {
+            js_used_fns: 7,
+            js_unused_fns: 13,
+            ..Default::default()
+        };
+        let site = build_site(&spec);
+        let lib = &site.resource("lib.js").unwrap().content;
+        assert_eq!(lib.matches("function lib_used").count(), 7);
+        assert_eq!(lib.matches("function lib_unused").count(), 13);
+    }
+
+    #[test]
+    fn generated_js_parses() {
+        let spec = SiteSpec::default();
+        let site = build_site(&spec);
+        for r in &site.resources {
+            if r.kind == ResourceKind::Js {
+                wasteprof_js::parse(&r.content)
+                    .unwrap_or_else(|e| panic!("{} does not parse: {e}", r.url));
+            }
+        }
+    }
+
+    #[test]
+    fn generated_html_parses_and_references_resources() {
+        let spec = SiteSpec::default();
+        let site = build_site(&spec);
+        let mut rec = wasteprof_trace::Recorder::new();
+        rec.spawn_thread(wasteprof_trace::ThreadKind::Main, "t");
+        let mut doc = wasteprof_dom::Document::new(&mut rec);
+        let range = rec.alloc(wasteprof_trace::Region::Input, site.html.len() as u32);
+        let out = wasteprof_html::parse_into(&mut rec, &mut doc, &site.html, range);
+        assert!(out.resources.len() >= 3); // css + lib + app (+ analytics)
+        assert!(doc.element_by_id("menu-btn").is_some());
+        assert!(doc.element_by_id("search").is_some());
+        assert!(!doc.elements_by_class("item").is_empty());
+    }
+
+    #[test]
+    fn deferred_js_respects_used_fraction() {
+        let d = DeferredResource {
+            url: "late.js".into(),
+            kind: ResourceKind::Js,
+            bytes: 1500,
+            used_fraction: 0.5,
+        };
+        let js = build_deferred_js(&d);
+        let total = js.matches("function deferred_").count();
+        let called = js.matches("deferredSum_late_js += ").count();
+        assert!(total >= 10);
+        assert_eq!(called, total / 2);
+        wasteprof_js::parse(&js).expect("deferred js parses");
+    }
+}

@@ -1,0 +1,18 @@
+//! Synthetic website workloads reproducing the paper's four benchmarks
+//! (§IV-B): Amazon in desktop and emulated mobile views, Google Maps, and
+//! Bing with its scripted browse session.
+//!
+//! Live commercial websites are not available to a reproduction, so each
+//! benchmark is a parameterized synthetic site whose *measured*
+//! characteristics are tuned to the paper's: unused JS/CSS fractions
+//! (Table I), above/below-the-fold content split, compositing layer
+//! structure, and interaction handlers. See DESIGN.md §2 for the
+//! substitution argument.
+
+#![warn(missing_docs)]
+
+mod generator;
+mod sites;
+
+pub use generator::{build_site, DeferredResource, SiteSpec};
+pub use sites::{amazon_browse, bing_browse, maps_browse, Benchmark};

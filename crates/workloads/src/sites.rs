@@ -1,0 +1,440 @@
+//! The four paper benchmarks (§IV-B) as synthetic-site specifications,
+//! plus their scripted browse sessions.
+//!
+//! * **Amazon (desktop view): Load** — a heavy storefront, 3 rasterizers.
+//! * **Amazon (mobile view): Load** — the same site on the emulated
+//!   360×640 display; the first view is much simpler.
+//! * **Google Maps: Load** — viewport-sized app, JS-heavy, little
+//!   scrollable content.
+//! * **Bing: Load + Browse** — lighter page plus a scripted session:
+//!   opening and closing the top-right menu, rolling the news pane, and
+//!   typing a search term.
+
+use wasteprof_browser::{BrowserConfig, ResourceKind, Session, Site, Tab};
+use wasteprof_gfx::CompositorConfig;
+
+use crate::generator::{build_site, DeferredResource, SiteSpec};
+
+/// The paper's four benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Amazon in desktop view (load only; 3 rasterizer threads).
+    AmazonDesktop,
+    /// Amazon in emulated mobile view (load only).
+    AmazonMobile,
+    /// Google Maps (load only).
+    GoogleMaps,
+    /// Bing (load + browse session).
+    Bing,
+}
+
+impl Benchmark {
+    /// All four, in the paper's column order (Table II).
+    pub const ALL: [Benchmark; 4] = [
+        Benchmark::AmazonDesktop,
+        Benchmark::AmazonMobile,
+        Benchmark::GoogleMaps,
+        Benchmark::Bing,
+    ];
+
+    /// Table II column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Benchmark::AmazonDesktop => "Amazon (desktop view): Load",
+            Benchmark::AmazonMobile => "Amazon (mobile view): Load",
+            Benchmark::GoogleMaps => "Google Maps: Load",
+            Benchmark::Bing => "Bing: Load + Browse",
+        }
+    }
+
+    /// Short name for file outputs.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Benchmark::AmazonDesktop => "amazon_desktop",
+            Benchmark::AmazonMobile => "amazon_mobile",
+            Benchmark::GoogleMaps => "maps",
+            Benchmark::Bing => "bing",
+        }
+    }
+
+    /// The site served to the tab.
+    pub fn spec(&self) -> SiteSpec {
+        match self {
+            // Amazon serves a heavier desktop page and a lighter page to
+            // the emulated mobile view (as the real site does by user
+            // agent); both share the brand structure.
+            Benchmark::AmazonDesktop => SiteSpec {
+                url: "https://www.amazon.test/".into(),
+                title: "Amazon".into(),
+                seed: 0xA11A,
+                nav_items: 10,
+                sections: 3,
+                items_per_section: 12,
+                words_per_item: 7,
+                images: 14,
+                hidden_overlays: 3,
+                css_used_bytes: 22_000,
+                css_unused_bytes: 34_000,
+                js_used_fns: 60,
+                js_unused_fns: 72,
+                js_fn_loop: 24,
+                warm_fns: 60,
+                js_built_cards: 10,
+                js_canvas_tiles: 0,
+                price_limit: 24,
+                js_speculative_loop: 650,
+                analytics: true,
+                deferred: vec![DeferredResource {
+                    url: "recs.js".into(),
+                    kind: ResourceKind::Js,
+                    bytes: 7_000,
+                    used_fraction: 0.8,
+                }],
+            },
+            Benchmark::AmazonMobile => SiteSpec {
+                url: "https://www.amazon.test/".into(),
+                title: "Amazon".into(),
+                seed: 0xA11A,
+                nav_items: 6,
+                sections: 2,
+                items_per_section: 12,
+                words_per_item: 5,
+                images: 8,
+                hidden_overlays: 2,
+                css_used_bytes: 9_000,
+                css_unused_bytes: 14_000,
+                js_used_fns: 24,
+                js_unused_fns: 26,
+                js_fn_loop: 24,
+                warm_fns: 24,
+                js_built_cards: 4,
+                js_canvas_tiles: 0,
+                price_limit: 24,
+                js_speculative_loop: 150,
+                analytics: true,
+                deferred: vec![DeferredResource {
+                    url: "recs.js".into(),
+                    kind: ResourceKind::Js,
+                    bytes: 5_000,
+                    used_fraction: 0.8,
+                }],
+            },
+            Benchmark::GoogleMaps => SiteSpec {
+                url: "https://maps.google.test/".into(),
+                title: "Google Maps".into(),
+                seed: 0x3A95,
+                nav_items: 4,
+                // A maps page is one screen of tiles plus a side panel —
+                // little below-the-fold content.
+                sections: 2,
+                items_per_section: 12,
+                words_per_item: 5,
+                images: 12,
+                hidden_overlays: 2,
+                css_used_bytes: 26_000,
+                css_unused_bytes: 26_000,
+                js_used_fns: 110,
+                js_unused_fns: 115,
+                js_fn_loop: 12,
+                warm_fns: 110,
+                js_built_cards: 0,
+                js_canvas_tiles: 42,
+                price_limit: 9999,
+                js_speculative_loop: 400,
+                analytics: true,
+                deferred: vec![
+                    DeferredResource {
+                        url: "tiles2.js".into(),
+                        kind: ResourceKind::Js,
+                        bytes: 40_000,
+                        used_fraction: 0.85,
+                    },
+                    DeferredResource {
+                        url: "panorama.css".into(),
+                        kind: ResourceKind::Css,
+                        bytes: 9_000,
+                        used_fraction: 0.4,
+                    },
+                ],
+            },
+            Benchmark::Bing => SiteSpec {
+                url: "https://www.bing.test/".into(),
+                title: "Bing".into(),
+                seed: 0xB139,
+                nav_items: 6,
+                sections: 2,
+                items_per_section: 8,
+                words_per_item: 6,
+                images: 6,
+                hidden_overlays: 2,
+                css_used_bytes: 3_200,
+                css_unused_bytes: 3_600,
+                js_used_fns: 22,
+                js_unused_fns: 24,
+                js_fn_loop: 8,
+                warm_fns: 22,
+                js_built_cards: 3,
+                js_canvas_tiles: 0,
+                price_limit: 9999,
+                js_speculative_loop: 450,
+                analytics: true,
+                deferred: vec![DeferredResource {
+                    url: "suggest.js".into(),
+                    kind: ResourceKind::Js,
+                    bytes: 4_500,
+                    used_fraction: 0.9,
+                }],
+            },
+        }
+    }
+
+    /// Builds the synthetic site.
+    pub fn site(&self) -> Site {
+        build_site(&self.spec())
+    }
+
+    /// Browser configuration: the paper observed 3 rasterizer threads for
+    /// Amazon desktop and 2 everywhere else; mobile uses the emulated
+    /// 360×640 display.
+    pub fn browser_config(&self) -> BrowserConfig {
+        match self {
+            Benchmark::AmazonDesktop => BrowserConfig {
+                raster_threads: 3,
+                compositor: CompositorConfig {
+                    prepaint_margin: 1024.0,
+                    raster_task_overhead: 20,
+                    raster_cost_divisor: 128,
+                    ..CompositorConfig::desktop()
+                },
+                ..BrowserConfig::desktop()
+            },
+            // The emulated 360x640 display: raster commands process the
+            // same display lists but produce very few useful pixels.
+            Benchmark::AmazonMobile => BrowserConfig {
+                compositor: CompositorConfig {
+                    raster_task_overhead: 260,
+                    raster_cost_divisor: 2048,
+                    ..CompositorConfig::mobile()
+                },
+                ..BrowserConfig::mobile()
+            },
+            // Maps rasterizes dense imagery that is almost all on screen.
+            Benchmark::GoogleMaps => BrowserConfig {
+                compositor: CompositorConfig {
+                    prepaint_margin: 256.0,
+                    raster_task_overhead: 10,
+                    raster_cost_divisor: 64,
+                    ..CompositorConfig::desktop()
+                },
+                ..BrowserConfig::desktop()
+            },
+            Benchmark::Bing => BrowserConfig {
+                compositor: CompositorConfig {
+                    prepaint_margin: 512.0,
+                    raster_task_overhead: 10,
+                    raster_cost_divisor: 128,
+                    ..CompositorConfig::desktop()
+                },
+                ..BrowserConfig::desktop()
+            },
+        }
+    }
+
+    /// Extra compositor vsync ticks pumped after load (the 60 Hz
+    /// BeginFrame stream over the load's network-bound wall time).
+    fn load_vsync_ticks(&self) -> u32 {
+        match self {
+            Benchmark::AmazonDesktop => 260,
+            Benchmark::AmazonMobile => 240,
+            Benchmark::GoogleMaps => 220,
+            Benchmark::Bing => 200,
+        }
+    }
+
+    /// Background-maintenance chunks on the utility worker (GC, cache
+    /// sweeps) — the unlisted-thread mass of Table II.
+    fn utility_chunks(&self) -> u32 {
+        match self {
+            Benchmark::AmazonDesktop => 140,
+            Benchmark::AmazonMobile => 40,
+            Benchmark::GoogleMaps => 330,
+            Benchmark::Bing => 240,
+        }
+    }
+
+    /// Runs the benchmark exactly as Table II defines it: load for the
+    /// first three, load + browse for Bing.
+    pub fn run(&self) -> Session {
+        self.run_with_config(self.browser_config())
+    }
+
+    /// Like [`Benchmark::run`], with a custom browser configuration
+    /// (ablations: deferred compilation, paint-cache off, different
+    /// prepaint margins, ...).
+    pub fn run_with_config(&self, config: BrowserConfig) -> Session {
+        let mut tab = self.loaded_tab(config);
+        if matches!(self, Benchmark::Bing) {
+            bing_browse(&mut tab);
+        }
+        tab.finish()
+    }
+
+    /// Loads the page and plays the shared post-load timeline: the vsync
+    /// stream before and after the hero carousel starts, background
+    /// utility work, and pending timers.
+    fn loaded_tab(&self, config: BrowserConfig) -> Tab {
+        let mut tab = Tab::new(config);
+        tab.load(self.site());
+        // Post-load vsync stream: the first stretch before the carousel
+        // starts is pure bookkeeping.
+        tab.pump_vsync(self.load_vsync_ticks() / 3);
+        tab.set_animation("photo", true); // the hero carousel starts
+        tab.pump_vsync(self.load_vsync_ticks());
+        tab.pump_utility(self.utility_chunks());
+        tab.run_timers();
+        tab
+    }
+
+    /// Runs a load-plus-browse session (the Table I "Load and Browse"
+    /// rows; for Bing this equals [`Benchmark::run`]).
+    pub fn run_with_browse(&self) -> Session {
+        let mut tab = self.loaded_tab(self.browser_config());
+        match self {
+            Benchmark::AmazonDesktop | Benchmark::AmazonMobile => amazon_browse(&mut tab),
+            Benchmark::GoogleMaps => maps_browse(&mut tab),
+            Benchmark::Bing => bing_browse(&mut tab),
+        }
+        tab.finish()
+    }
+}
+
+/// The Amazon browsing session of Figure 2: "the user scrolls down and up
+/// a little bit, clicks to see the next two photos in a photo roll, and
+/// finally opens a menu" — with think-time gaps between actions.
+pub fn amazon_browse(tab: &mut Tab) {
+    tab.idle(120_000);
+    tab.scroll(500.0);
+    tab.pump_vsync(8);
+    tab.idle(90_000);
+    tab.scroll(300.0);
+    tab.idle(60_000);
+    tab.scroll(-800.0);
+    tab.pump_vsync(8);
+    tab.idle(150_000);
+    tab.click("photo-next");
+    tab.idle(80_000);
+    tab.click("photo-next");
+    tab.idle(120_000);
+    tab.click("menu-btn");
+    tab.pump_vsync(8);
+    tab.idle(100_000);
+    tab.fetch_extra("recs.js");
+    tab.run_timers();
+}
+
+/// The Bing session of §IV-B: open and close the top-right menu, roll the
+/// news pane, type a term in the search bar.
+pub fn bing_browse(tab: &mut Tab) {
+    tab.idle(100_000);
+    tab.click("menu-btn"); // open
+    tab.pump_vsync(48);
+    tab.idle(60_000);
+    tab.click("menu-btn"); // close
+    tab.pump_vsync(48);
+    tab.idle(80_000);
+    tab.click("news-roll"); // roll the news pane
+    tab.pump_vsync(48);
+    tab.idle(90_000);
+    tab.click("news-roll");
+    tab.pump_vsync(48);
+    tab.idle(70_000);
+    tab.click("menu-btn"); // peek at the menu once more
+    tab.pump_vsync(32);
+    tab.click("menu-btn");
+    tab.idle(50_000);
+    tab.fetch_extra("suggest.js"); // typing pulls the suggestion module
+    tab.type_text("search", "weather today in rio");
+    tab.pump_vsync(48);
+    tab.idle(60_000);
+    tab.click("news-roll");
+    tab.pump_vsync(32);
+    tab.idle(50_000);
+    tab.pump_utility(80);
+    tab.run_timers();
+}
+
+/// A Maps session: pan (scroll), zoom (click), and the deferred tile/style
+/// downloads that make its byte count grow while browsing (Table I).
+pub fn maps_browse(tab: &mut Tab) {
+    tab.idle(90_000);
+    tab.scroll(200.0);
+    tab.pump_vsync(8);
+    tab.idle(70_000);
+    tab.click("photo-next"); // pan control
+    tab.idle(60_000);
+    tab.fetch_extra("tiles2.js");
+    tab.fetch_extra("panorama.css");
+    tab.pump_vsync(10);
+    tab.idle(80_000);
+    tab.click("menu-btn");
+    tab.run_timers();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_build() {
+        for b in Benchmark::ALL {
+            let site = b.site();
+            assert!(site.total_bytes() > 10_000, "{b:?} suspiciously small");
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(
+            Benchmark::AmazonDesktop.label(),
+            "Amazon (desktop view): Load"
+        );
+        assert_eq!(Benchmark::Bing.label(), "Bing: Load + Browse");
+    }
+
+    #[test]
+    fn amazon_mobile_is_a_lighter_page_on_a_smaller_viewport() {
+        let d = Benchmark::AmazonDesktop.site();
+        let m = Benchmark::AmazonMobile.site();
+        assert!(m.total_bytes() < d.total_bytes());
+        let dc = Benchmark::AmazonDesktop.browser_config();
+        let mc = Benchmark::AmazonMobile.browser_config();
+        assert!(mc.compositor.viewport_w < dc.compositor.viewport_w);
+        assert_eq!(dc.raster_threads, 3);
+        assert_eq!(mc.raster_threads, 2);
+    }
+
+    #[test]
+    fn bing_session_runs_and_browses() {
+        let session = Benchmark::Bing.run();
+        assert_eq!(session.trace.validate(), Ok(()));
+        assert!(session.load_end.0 > 0);
+        assert!(
+            session.trace.len() as u64 > session.load_end.0,
+            "browse work exists"
+        );
+        assert!(session
+            .interactions
+            .iter()
+            .any(|(l, _)| l.starts_with("click:menu-btn")));
+        assert!(session
+            .interactions
+            .iter()
+            .any(|(l, _)| l.starts_with("type:search")));
+        // Browsing downloaded more bytes (Table I).
+        assert!(session.bytes_total > session.bytes_at_load);
+        // Browsing used more of the code.
+        assert!(
+            session.js_coverage.unused_fraction() < session.js_coverage_at_load.unused_fraction()
+        );
+    }
+}

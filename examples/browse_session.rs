@@ -1,0 +1,68 @@
+//! A full interactive browsing session on the Amazon-like workload:
+//! loading, scrolling, clicking through the photo roll, opening the menu —
+//! then slicing the whole session and comparing load-time vs browse-time
+//! usefulness (the paper's Figure 2 / §V-A territory).
+//!
+//! ```sh
+//! cargo run --release --example browse_session
+//! ```
+
+use wasteprof::analysis::{ascii_chart, UtilizationSeries};
+use wasteprof::slicer::{pixel_criteria, slice, ForwardPass, SliceOptions};
+use wasteprof::trace::{ThreadKind, TracePos};
+use wasteprof::workloads::Benchmark;
+
+fn main() {
+    println!("running the Amazon desktop load + browse session...");
+    let session = Benchmark::AmazonDesktop.run_with_browse();
+    println!(
+        "session: {} instructions, load ended at {}, {} interactions",
+        session.trace.len(),
+        session.load_end.0,
+        session.interactions.len()
+    );
+
+    // Main-thread CPU utilization over the session (Figure 2's plot).
+    let main_tid = session
+        .trace
+        .threads()
+        .find(ThreadKind::Main)
+        .expect("main thread");
+    let util = UtilizationSeries::compute(&session.trace, &session.idle_spans, main_tid, 100);
+    print!(
+        "{}",
+        ascii_chart(
+            &util.buckets,
+            100,
+            10,
+            "\nmain-thread utilization over the session"
+        )
+    );
+
+    // Slice the whole session from its displayed pixels.
+    let forward = ForwardPass::build(&session.trace);
+    let result = slice(
+        &session.trace,
+        &forward,
+        &pixel_criteria(&session.trace),
+        &SliceOptions::default(),
+    );
+    let load = result.fraction_in(&session.trace, TracePos(0), session.load_end, None);
+    let browse = result.fraction_in(
+        &session.trace,
+        session.load_end,
+        TracePos(session.trace.len() as u64 - 1),
+        None,
+    );
+    println!(
+        "\npixel slice over the whole session: {:.1}%",
+        result.fraction() * 100.0
+    );
+    println!("  load-time instructions useful:   {:.1}%", load * 100.0);
+    println!("  browse-time instructions useful: {:.1}%", browse * 100.0);
+
+    println!("\ninteraction timeline:");
+    for (label, pos) in &session.interactions {
+        println!("  {:<24} @ {:>9}", label, pos.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Use the profiler on a trace you record yourself — the slicer is
+//! browser-independent (paper §IV-C): anything that produces a trace of
+//! instructions with exact operands can be sliced.
+//!
+//! This example records a tiny "program" by hand: two computation chains,
+//! one feeding an output buffer (think: pixels), one feeding nothing.
+//!
+//! ```sh
+//! cargo run --release --example custom_trace_slicing
+//! ```
+
+use wasteprof::slicer::{pixel_criteria, slice, ForwardPass, SliceOptions};
+use wasteprof::trace::{site, Recorder, Region, ThreadKind, TracePos};
+
+fn main() {
+    let mut rec = Recorder::new();
+    rec.spawn_thread(ThreadKind::Main, "my_program::main");
+
+    // State cells of the traced program.
+    let input = rec.alloc(Region::Input, 64);
+    let parsed = rec.alloc_cell(Region::Heap);
+    let useful = rec.alloc_cell(Region::Heap);
+    let wasted = rec.alloc_cell(Region::Heap);
+    let output = rec.alloc(Region::PixelTile, 256);
+
+    // A useful chain: input -> parsed -> useful -> output.
+    let parse_fn = rec.intern_func("my_program::parse");
+    rec.in_func(site!(), parse_fn, |rec| {
+        rec.compute_weighted(site!(), &[input], &[parsed.into()], 8);
+    });
+    let transform_fn = rec.intern_func("my_program::transform");
+    rec.in_func(site!(), transform_fn, |rec| {
+        rec.compute_weighted(site!(), &[parsed.into()], &[useful.into()], 8);
+    });
+
+    // A wasted chain: reads the same parsed data, result never used.
+    let speculate_fn = rec.intern_func("my_program::speculate");
+    let waste_start = rec.pos();
+    rec.in_func(site!(), speculate_fn, |rec| {
+        rec.compute_weighted(site!(), &[parsed.into()], &[wasted.into()], 20);
+    });
+    let waste_end = rec.pos();
+
+    // Emit the output and mark it as what the user sees.
+    let emit_fn = rec.intern_func("my_program::emit");
+    rec.in_func(site!(), emit_fn, |rec| {
+        rec.compute_weighted(site!(), &[useful.into()], &[output], 8);
+        rec.marker(site!(), output);
+    });
+
+    let trace = rec.finish();
+    println!("recorded {} instructions", trace.len());
+
+    let forward = ForwardPass::build(&trace);
+    let result = slice(
+        &trace,
+        &forward,
+        &pixel_criteria(&trace),
+        &SliceOptions::default(),
+    );
+    println!(
+        "slice: {} of {} instructions ({:.0}%)",
+        result.slice_count(),
+        trace.len(),
+        result.fraction() * 100.0
+    );
+
+    // Per-function verdicts.
+    println!("\nper-function usefulness:");
+    let mut rows: Vec<(String, u64, u64)> = result
+        .per_func()
+        .map(|(f, s, n)| (trace.functions().name(f).to_owned(), s, n))
+        .collect();
+    rows.sort();
+    for (name, s, n) in rows {
+        println!("  {:<24} {:>3}/{:<3} instructions in slice", name, s, n);
+    }
+
+    // The speculative chain is entirely outside the slice.
+    let wasted_in_slice = (waste_start.0..waste_end.0)
+        .filter(|&i| result.contains(TracePos(i)))
+        .count();
+    assert_eq!(wasted_in_slice, 0, "speculation never affects the output");
+    println!("\nmy_program::speculate contributed nothing to the output — defer or drop it.");
+}

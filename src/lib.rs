@@ -1,0 +1,59 @@
+//! **wasteprof** — a reproduction of *Characterization of Unnecessary
+//! Computations in Web Applications* (Golestani, Mahlke, Narayanasamy;
+//! ISPASS 2019) as a Rust workspace.
+//!
+//! The paper builds a profiler based on **dynamic backward program
+//! slicing** over machine-level instruction traces of a web browser
+//! rendering a page, and shows that only ~45% of dynamically executed
+//! instructions contribute to the pixels the user sees. This crate is the
+//! facade over the workspace that reproduces the whole system:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`trace`] | virtual-ISA instruction tracing (the Pin substitute) |
+//! | [`slicer`] | the paper's profiler: CFG/postdominators/CDG + liveness backward slicing |
+//! | [`dom`], [`html`], [`css`], [`js`], [`layout`], [`gfx`], [`browser`] | a from-scratch browser engine whose execution is mirrored into traces |
+//! | [`workloads`] | the four synthetic benchmark sites |
+//! | [`analysis`] | Figure-5 categorization, Table-I byte accounting, utilization |
+//!
+//! # Quick start
+//!
+//! ```
+//! use wasteprof::browser::{BrowserConfig, ResourceKind, Site, Tab};
+//! use wasteprof::slicer::{pixel_criteria, slice, ForwardPass, SliceOptions};
+//!
+//! // Render a page in the simulated browser...
+//! let site = Site::new("https://example.test", "<body><p>Hello pixels</p></body>")
+//!     .with_resource("style.css", ResourceKind::Css, "p { color: black }");
+//! let mut tab = Tab::new(BrowserConfig::desktop());
+//! tab.load(site);
+//! let session = tab.finish();
+//!
+//! // ...then ask the profiler what actually mattered.
+//! let forward = ForwardPass::build(&session.trace);
+//! let result = slice(
+//!     &session.trace,
+//!     &forward,
+//!     &pixel_criteria(&session.trace),
+//!     &SliceOptions::default(),
+//! );
+//! println!(
+//!     "{:.0}% of instructions were needed for the pixels",
+//!     result.fraction() * 100.0
+//! );
+//! assert!(result.fraction() > 0.0 && result.fraction() < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use wasteprof_analysis as analysis;
+pub use wasteprof_browser as browser;
+pub use wasteprof_css as css;
+pub use wasteprof_dom as dom;
+pub use wasteprof_gfx as gfx;
+pub use wasteprof_html as html;
+pub use wasteprof_js as js;
+pub use wasteprof_layout as layout;
+pub use wasteprof_slicer as slicer;
+pub use wasteprof_trace as trace;
+pub use wasteprof_workloads as workloads;
