@@ -1,6 +1,8 @@
 //! Shared experiment driver: run a benchmark, slice its trace, and shape
 //! the results the way the paper's tables present them.
 
+use std::sync::Arc;
+
 use wasteprof_browser::Session;
 use wasteprof_slicer::{
     pixel_criteria, slice, syscall_criteria, ForwardPass, SliceOptions, SliceResult,
@@ -24,32 +26,85 @@ pub struct BenchmarkRun {
     pub syscall: Option<SliceResult>,
 }
 
+/// The canonical full-session pixel slice of a trace: pixel criteria over
+/// the whole session with default options. Every experiment that reports
+/// "the pixel slice" means exactly this computation.
+pub fn pixel_slice_of(trace: &Trace, forward: &ForwardPass) -> SliceResult {
+    slice(
+        trace,
+        forward,
+        &pixel_criteria(trace),
+        &SliceOptions::default(),
+    )
+}
+
+/// The canonical full-session syscall slice (the §V comparison criteria).
+pub fn syscall_slice_of(trace: &Trace, forward: &ForwardPass) -> SliceResult {
+    slice(
+        trace,
+        forward,
+        &syscall_criteria(trace),
+        &SliceOptions::default(),
+    )
+}
+
 /// Runs a benchmark and slices its trace with pixel criteria (and syscall
 /// criteria when `with_syscall`).
+///
+/// Every call recomputes from scratch. When several experiments need the
+/// same benchmark, share the work instead: [`SharedBenchmarkRun`] (served
+/// memoized by `wasteprof-bench`'s session store) holds the same artifacts
+/// behind `Arc` so one computation feeds them all.
 pub fn run_benchmark(benchmark: Benchmark, with_syscall: bool) -> BenchmarkRun {
     let session = benchmark.run();
     let forward = ForwardPass::build(&session.trace);
-    let opts = SliceOptions::default();
-    let pixel = slice(
-        &session.trace,
-        &forward,
-        &pixel_criteria(&session.trace),
-        &opts,
-    );
-    let syscall = with_syscall.then(|| {
-        slice(
-            &session.trace,
-            &forward,
-            &syscall_criteria(&session.trace),
-            &opts,
-        )
-    });
+    let pixel = pixel_slice_of(&session.trace, &forward);
+    let syscall = with_syscall.then(|| syscall_slice_of(&session.trace, &forward));
     BenchmarkRun {
         benchmark,
         session,
         forward,
         pixel,
         syscall,
+    }
+}
+
+/// The cached counterpart of [`BenchmarkRun`]: the same artifacts behind
+/// `Arc`, so a memoizing store can hand the one computed instance to every
+/// experiment (and every thread) that asks.
+#[derive(Debug, Clone)]
+pub struct SharedBenchmarkRun {
+    /// Which benchmark ran.
+    pub benchmark: Benchmark,
+    /// The session (trace + measurements).
+    pub session: Arc<Session>,
+    /// The forward pass (reusable across criteria).
+    pub forward: Arc<ForwardPass>,
+    /// Pixel-criteria slice.
+    pub pixel: Arc<SliceResult>,
+    /// Syscall-criteria slice, when requested.
+    pub syscall: Option<Arc<SliceResult>>,
+}
+
+impl SharedBenchmarkRun {
+    /// Computes a run from scratch, Arc-wrapped for sharing. Produces
+    /// artifacts identical to [`run_benchmark`] — same session, same
+    /// slice recipes.
+    pub fn compute(benchmark: Benchmark, with_syscall: bool) -> SharedBenchmarkRun {
+        let BenchmarkRun {
+            benchmark,
+            session,
+            forward,
+            pixel,
+            syscall,
+        } = run_benchmark(benchmark, with_syscall);
+        SharedBenchmarkRun {
+            benchmark,
+            session: Arc::new(session),
+            forward: Arc::new(forward),
+            pixel: Arc::new(pixel),
+            syscall: syscall.map(Arc::new),
+        }
     }
 }
 

@@ -19,7 +19,10 @@ mod table1;
 mod utilization;
 
 pub use category::{Category, CategoryBreakdown};
-pub use experiment::{format_count, run_benchmark, thread_rows, BenchmarkRun, ThreadRow};
+pub use experiment::{
+    format_count, pixel_slice_of, run_benchmark, syscall_slice_of, thread_rows, BenchmarkRun,
+    SharedBenchmarkRun, ThreadRow,
+};
 pub use render::{ascii_chart, bar_chart, to_csv, TextTable};
 pub use table1::{Table1Row, UnusedBytes};
 pub use utilization::UtilizationSeries;

@@ -11,190 +11,14 @@
 //! 4. **Blind backing stores** — §II-B: every layer keeps a backing store,
 //!    visible or not.
 
-use wasteprof_analysis::TextTable;
+use wasteprof_bench::engine::{self, SessionStore};
 use wasteprof_bench::save;
-use wasteprof_browser::{BrowserConfig, Tab};
-use wasteprof_gfx::CompositorConfig;
-use wasteprof_slicer::{pixel_criteria, slice, ForwardPass, SliceOptions};
-use wasteprof_workloads::{Benchmark, SiteSpec};
-
-fn pixel_fraction(session: &wasteprof_browser::Session) -> f64 {
-    let fwd = ForwardPass::build(&session.trace);
-    slice(
-        &session.trace,
-        &fwd,
-        &pixel_criteria(&session.trace),
-        &SliceOptions::default(),
-    )
-    .fraction()
-}
-
-fn ablate_deferred_compilation(out: &mut String) {
-    let b = Benchmark::AmazonDesktop;
-    eprintln!("ablation 1/4: deferred JS compilation...");
-    let eager = b.run();
-    let lazy = b.run_with_config(BrowserConfig {
-        lazy_js_compilation: true,
-        ..b.browser_config()
-    });
-    let saved = eager.trace.len() as i64 - lazy.trace.len() as i64;
-    let mut t = TextTable::new(vec!["JS compilation", "total instructions", "pixel slice"]);
-    t.row(vec![
-        "eager (as measured in the paper)".to_owned(),
-        eager.trace.len().to_string(),
-        format!("{:.1}%", pixel_fraction(&eager) * 100.0),
-    ]);
-    t.row(vec![
-        "deferred to first call (proposed)".to_owned(),
-        lazy.trace.len().to_string(),
-        format!("{:.1}%", pixel_fraction(&lazy) * 100.0),
-    ]);
-    out.push_str("## 1. Deferring JS compilation (paper §VII)\n\n");
-    out.push_str(&t.render());
-    out.push_str(&format!(
-        "\ndeferral removes {saved} instructions ({:.1}% of the load) without\n\
-         changing what reaches the screen — the unused 54% of JS bytes no\n\
-         longer costs compilation time.\n\n",
-        saved as f64 / eager.trace.len() as f64 * 100.0
-    ));
-}
-
-fn ablate_paint_cache(out: &mut String) {
-    let b = Benchmark::Bing; // interaction-heavy: the cache matters most
-    eprintln!("ablation 2/4: paint cache...");
-    let with = b.run();
-    let without = b.run_with_config(BrowserConfig {
-        paint_cache: false,
-        ..b.browser_config()
-    });
-    let mut t = TextTable::new(vec![
-        "display-item cache",
-        "total instructions",
-        "pixel slice",
-    ]);
-    t.row(vec![
-        "enabled (Blink behaviour)".to_owned(),
-        with.trace.len().to_string(),
-        format!("{:.1}%", pixel_fraction(&with) * 100.0),
-    ]);
-    t.row(vec![
-        "disabled".to_owned(),
-        without.trace.len().to_string(),
-        format!("{:.1}%", pixel_fraction(&without) * 100.0),
-    ]);
-    out.push_str("## 2. Display-item (paint) caching\n\n");
-    out.push_str(&t.render());
-    out.push_str(
-        "\nwithout the cache every interaction re-records every unchanged item;\n\
-         the extra work never reaches new pixels, so the slice fraction drops.\n\n",
-    );
-}
-
-fn ablate_prepaint(out: &mut String) {
-    eprintln!("ablation 3/4: prepaint margin...");
-    let b = Benchmark::AmazonDesktop;
-    let mut t = TextTable::new(vec![
-        "prepaint margin",
-        "raster instructions",
-        "raster slice",
-        "pixel slice (all)",
-    ]);
-    for margin in [0.0_f32, 768.0, 2048.0] {
-        let cfg = BrowserConfig {
-            compositor: CompositorConfig {
-                prepaint_margin: margin,
-                ..b.browser_config().compositor
-            },
-            ..b.browser_config()
-        };
-        let session = b.run_with_config(cfg);
-        let fwd = ForwardPass::build(&session.trace);
-        let r = slice(
-            &session.trace,
-            &fwd,
-            &pixel_criteria(&session.trace),
-            &SliceOptions::default(),
-        );
-        let mut raster_total = 0u64;
-        let mut raster_slice = 0u64;
-        for info in session.trace.threads().iter() {
-            if matches!(info.kind(), wasteprof_trace::ThreadKind::Raster(_)) {
-                let (s, n) = r.thread_stats(info.id());
-                raster_total += n;
-                raster_slice += s;
-            }
-        }
-        t.row(vec![
-            format!("{margin:.0} px"),
-            raster_total.to_string(),
-            format!(
-                "{:.0}%",
-                raster_slice as f64 / raster_total.max(1) as f64 * 100.0
-            ),
-            format!("{:.1}%", r.fraction() * 100.0),
-        ]);
-    }
-    out.push_str("## 3. Prepaint margin (speculative rasterization)\n\n");
-    out.push_str(&t.render());
-    out.push_str(
-        "\na larger margin rasterizes more tiles the load never displays:\n\
-         raster work grows while its useful fraction shrinks — the knob\n\
-         behind the paper's mobile-rasterizer observation.\n\n",
-    );
-}
-
-fn ablate_backing_stores(out: &mut String) {
-    eprintln!("ablation 4/4: blind backing stores...");
-    let mut t = TextTable::new(vec![
-        "hidden overlays",
-        "backing-store bytes",
-        "compositor slice",
-    ]);
-    for overlays in [0usize, 3, 8] {
-        let spec = SiteSpec {
-            hidden_overlays: overlays,
-            ..Benchmark::AmazonDesktop.spec()
-        };
-        let site = wasteprof_workloads::build_site(&spec);
-        let mut tab = Tab::new(Benchmark::AmazonDesktop.browser_config());
-        tab.load(site);
-        tab.pump_vsync(60);
-        let bytes = tab.compositor().backing_store_bytes();
-        let session = tab.finish();
-        let fwd = ForwardPass::build(&session.trace);
-        let r = slice(
-            &session.trace,
-            &fwd,
-            &pixel_criteria(&session.trace),
-            &SliceOptions::default(),
-        );
-        let comp = session
-            .trace
-            .threads()
-            .find(wasteprof_trace::ThreadKind::Compositor)
-            .unwrap();
-        let (s, n) = r.thread_stats(comp);
-        t.row(vec![
-            overlays.to_string(),
-            bytes.to_string(),
-            format!("{:.0}%", s as f64 / n.max(1) as f64 * 100.0),
-        ]);
-    }
-    out.push_str("## 4. Blind backing stores (paper §II-B)\n\n");
-    out.push_str(&t.render());
-    out.push_str(
-        "\nevery invisible overlay still holds a full tile grid: memory the\n\
-         compositing algorithm \"blindly accepts\", plus bookkeeping that\n\
-         dilutes the compositor's useful fraction.\n\n",
-    );
-}
 
 fn main() {
-    let mut out = String::from("Ablation studies (see DESIGN.md §6 and paper §VII).\n\n");
-    ablate_deferred_compilation(&mut out);
-    ablate_paint_cache(&mut out);
-    ablate_prepaint(&mut out);
-    ablate_backing_stores(&mut out);
-    println!("{out}");
-    save("ablations.txt", &out);
+    let store = SessionStore::new();
+    let view = engine::ablations(&store);
+    println!("{}", view.stdout);
+    for (name, content) in &view.artifacts {
+        save(name, content);
+    }
 }

@@ -7,47 +7,14 @@
 //! "Browsing the Web page only makes about 1% more instructions of load
 //! time become useful."
 
+use wasteprof_bench::engine::{self, SessionStore};
 use wasteprof_bench::save;
-use wasteprof_slicer::{pixel_criteria, slice, ForwardPass, SliceOptions};
-use wasteprof_trace::TracePos;
-use wasteprof_workloads::Benchmark;
 
 fn main() {
-    eprintln!("running Bing (load + browse)...");
-    let session = Benchmark::Bing.run();
-    let trace = &session.trace;
-    let load_end = session.load_end;
-    let forward = ForwardPass::build(trace);
-    let criteria = pixel_criteria(trace);
-
-    // (a) Backward slicing from the load point over the load-time prefix.
-    let bounded = SliceOptions {
-        end: Some(load_end),
-        ..Default::default()
-    };
-    let load_slice = slice(trace, &forward, &criteria.truncated(load_end), &bounded);
-    let load_pct = load_slice.fraction() * 100.0;
-
-    // (b) Backward slicing from the end of the full session; report the
-    // slice share of the load-time instructions.
-    let full_slice = slice(trace, &forward, &criteria, &SliceOptions::default());
-    let full_on_load_pct = full_slice.fraction_in(trace, TracePos(0), load_end, None) * 100.0;
-
-    let out = format!(
-        "Bing back-slicing experiment (paper §V-A).\n\n\
-         load-time prefix: {} instructions of {} total\n\n\
-         (a) slice computed from the page-load point:\n\
-             {:.1}% of load-time instructions in the slice (paper: 49.8%)\n\
-         (b) slice computed from the end of the browsing session:\n\
-             {:.1}% of load-time instructions in the slice (paper: 50.6%)\n\n\
-         browsing makes {:+.1} percentage points more of the load-time\n\
-         instructions useful (paper: about +1%).\n",
-        load_end.0,
-        trace.len(),
-        load_pct,
-        full_on_load_pct,
-        full_on_load_pct - load_pct,
-    );
-    println!("{out}");
-    save("bing_backslice.txt", &out);
+    let store = SessionStore::new();
+    let view = engine::bing_backslice(&store);
+    println!("{}", view.stdout);
+    for (name, content) in &view.artifacts {
+        save(name, content);
+    }
 }

@@ -5,52 +5,14 @@
 //! user scrolls down and up a little, clicks through two photos in the
 //! photo roll, and opens a menu — short spikes separated by think time.
 
-use wasteprof_analysis::{ascii_chart, to_csv, UtilizationSeries};
+use wasteprof_bench::engine::{self, SessionStore};
 use wasteprof_bench::save;
-use wasteprof_trace::ThreadKind;
-use wasteprof_workloads::Benchmark;
 
 fn main() {
-    eprintln!("running the Amazon browse session...");
-    let session = Benchmark::AmazonDesktop.run_with_browse();
-    let main_tid = session
-        .trace
-        .threads()
-        .find(ThreadKind::Main)
-        .expect("main thread");
-    let series = UtilizationSeries::compute(&session.trace, &session.idle_spans, main_tid, 120);
-
-    let mut out = String::new();
-    out.push_str("Figure 2: CPU utilization by the main thread of the tab process\n");
-    out.push_str("while browsing amazon.com (virtual time; 1 tick = 1 instruction).\n");
-    out.push_str("Expected shape: saturated during load, then short spikes at each\n");
-    out.push_str("interaction (scrolls, photo-roll clicks, menu) separated by idle\n");
-    out.push_str("think time.\n\n");
-    out.push_str(&ascii_chart(
-        &series.buckets,
-        100,
-        12,
-        "main-thread CPU utilization",
-    ));
-    out.push_str(&format!(
-        "\nmean {:.0}%  peak {:.0}%  buckets {}  bucket width {} ticks\n",
-        series.mean() * 100.0,
-        series.peak() * 100.0,
-        series.buckets.len(),
-        series.bucket_width,
-    ));
-    out.push_str("\ninteractions (virtual-position labels):\n");
-    for (label, pos) in &session.interactions {
-        out.push_str(&format!("  {:<20} @ instruction {}\n", label, pos.0));
+    let store = SessionStore::new();
+    let view = engine::fig2(&store);
+    println!("{}", view.stdout);
+    for (name, content) in &view.artifacts {
+        save(name, content);
     }
-
-    println!("{out}");
-    save("fig2.txt", &out);
-    let rows: Vec<Vec<String>> = series
-        .buckets
-        .iter()
-        .enumerate()
-        .map(|(i, u)| vec![i.to_string(), format!("{:.4}", u)])
-        .collect();
-    save("fig2.csv", &to_csv(&["bucket", "utilization"], &rows));
 }

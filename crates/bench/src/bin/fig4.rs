@@ -6,70 +6,14 @@
 //! that the all-threads curve is nearly flat while the main-thread curve
 //! moves more, with jumps at the Bing user interactions.
 
-use wasteprof_analysis::{ascii_chart, run_benchmark, to_csv};
+use wasteprof_bench::engine::{self, SessionStore};
 use wasteprof_bench::save;
-use wasteprof_workloads::Benchmark;
 
 fn main() {
-    let mut out = String::new();
-    out.push_str("Figure 4: slicing percentage over the backward pass.\n");
-    out.push_str("x = 0: page loaded / session done; right edge: URL entered.\n\n");
-    let mut csv_rows: Vec<Vec<String>> = Vec::new();
-
-    for benchmark in Benchmark::ALL {
-        eprintln!("running {}...", benchmark.label());
-        let run = run_benchmark(benchmark, false);
-        let timeline = run.pixel.timeline();
-        let all: Vec<f64> = timeline.iter().map(|p| p.fraction()).collect();
-        let main: Vec<f64> = timeline.iter().map(|p| p.tracked_fraction()).collect();
-
-        out.push_str(&format!("== {} ==\n", benchmark.label()));
-        out.push_str(&ascii_chart(
-            &all,
-            100,
-            10,
-            "all threads (cumulative slice %)",
-        ));
-        out.push_str(&ascii_chart(
-            &main,
-            100,
-            10,
-            "main thread (cumulative slice %)",
-        ));
-        // Range after the initial transient (first 10% of the pass), like
-        // the paper's observation about "large intervals".
-        let spread = |s: &[f64]| {
-            let tail = &s[s.len() / 10..];
-            let lo = tail.iter().copied().fold(1.0, f64::min);
-            let hi = tail.iter().copied().fold(0.0, f64::max);
-            (lo, hi)
-        };
-        let (alo, ahi) = spread(&all);
-        let (mlo, mhi) = spread(&main);
-        out.push_str(&format!(
-            "all-threads range {:.0}%-{:.0}% (paper: ~flat); main range {:.0}%-{:.0}% (paper: moves more)\n\n",
-            alo * 100.0,
-            ahi * 100.0,
-            mlo * 100.0,
-            mhi * 100.0,
-        ));
-        for (i, p) in timeline.iter().enumerate() {
-            csv_rows.push(vec![
-                benchmark.short_name().to_owned(),
-                i.to_string(),
-                p.processed.to_string(),
-                format!("{:.4}", p.fraction()),
-                format!("{:.4}", p.tracked_fraction()),
-            ]);
-        }
+    let store = SessionStore::new();
+    let view = engine::fig4(&store);
+    println!("{}", view.stdout);
+    for (name, content) in &view.artifacts {
+        save(name, content);
     }
-    println!("{out}");
-    save("fig4.txt", &out);
-    save(
-        "fig4.csv",
-        &to_csv(
-            &["benchmark", "point", "processed", "all_slice", "main_slice"],
-            &csv_rows,
-        ),
-    );
 }

@@ -8,52 +8,14 @@
 //! the Other (event scheduling) share grows with browsing. Namespace
 //! coverage is 53–74%.
 
-use wasteprof_analysis::{bar_chart, run_benchmark, to_csv, Category, CategoryBreakdown};
+use wasteprof_bench::engine::{self, SessionStore};
 use wasteprof_bench::save;
-use wasteprof_workloads::Benchmark;
 
 fn main() {
-    let mut out = String::new();
-    out.push_str("Figure 5: categorization of potentially unnecessary computations\n");
-    out.push_str("(distribution over the categorized portion of non-slice instructions).\n\n");
-    let mut csv_rows: Vec<Vec<String>> = Vec::new();
-
-    for benchmark in Benchmark::ALL {
-        eprintln!("running {}...", benchmark.label());
-        let run = run_benchmark(benchmark, false);
-        let breakdown = CategoryBreakdown::compute(&run.session.trace, &run.pixel);
-        let items: Vec<(String, f64)> = Category::ALL
-            .iter()
-            .map(|&c| (c.label().to_owned(), breakdown.share(c)))
-            .collect();
-        out.push_str(&format!("== {} ==\n", benchmark.label()));
-        out.push_str(&bar_chart(&items, 50));
-        out.push_str(&format!(
-            "categorized coverage: {:.0}% of unnecessary instructions (paper: 74/59/53/61%)\n\n",
-            breakdown.coverage() * 100.0
-        ));
-        for &c in &Category::ALL {
-            csv_rows.push(vec![
-                benchmark.short_name().to_owned(),
-                c.label().to_owned(),
-                breakdown.count(c).to_string(),
-                format!("{:.4}", breakdown.share(c)),
-            ]);
-        }
-        csv_rows.push(vec![
-            benchmark.short_name().to_owned(),
-            "UNCATEGORIZED".to_owned(),
-            breakdown.uncategorized.to_string(),
-            String::new(),
-        ]);
+    let store = SessionStore::new();
+    let view = engine::fig5(&store);
+    println!("{}", view.stdout);
+    for (name, content) in &view.artifacts {
+        save(name, content);
     }
-    println!("{out}");
-    save("fig5.txt", &out);
-    save(
-        "fig5.csv",
-        &to_csv(
-            &["benchmark", "category", "instructions", "share"],
-            &csv_rows,
-        ),
-    );
 }

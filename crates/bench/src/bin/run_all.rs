@@ -1,31 +1,29 @@
-//! Runs every experiment binary's logic in sequence, saving all artifacts
-//! into `results/`. This regenerates every table and figure of the
-//! paper's evaluation in one command.
+//! Runs every experiment in one process over a shared, memoized session
+//! store, regenerating every table and figure of the paper's evaluation.
+//!
+//! Each benchmark session and forward pass is computed exactly once and
+//! shared by every experiment that needs it; independent slicing runs fan
+//! out across a thread pool (`RAYON_NUM_THREADS` bounds it). Artifacts are
+//! emitted sequentially in a fixed order, so `results/` text and CSV files
+//! are byte-identical no matter the thread count. Per-stage timing lands
+//! in `results/perf.txt` and `results/bench_engine.json`.
 
-use std::process::Command;
+use wasteprof_bench::engine::{self, EngineOptions};
+use wasteprof_bench::save;
 
 fn main() {
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
-    for bin in [
-        "table1",
-        "table2",
-        "fig2",
-        "fig4",
-        "fig5",
-        "bing_backslice",
-        "ablations",
-    ] {
-        println!("\n=== {bin} ===");
-        let path = dir.join(bin);
-        let status = Command::new(&path)
-            .arg("both")
-            .status()
-            .unwrap_or_else(|e| panic!("could not run {}: {e}", path.display()));
-        if !status.success() {
-            eprintln!("{bin} failed: {status}");
-            std::process::exit(1);
+    let report = engine::run(&EngineOptions::default());
+    for view in &report.views {
+        println!("\n=== {} ===", view.name);
+        println!("{}", view.stdout);
+        for (name, content) in &view.artifacts {
+            save(name, content);
         }
     }
-    println!("\nall experiments complete; artifacts in results/");
+    // Timing artifacts vary run to run by nature; they are excluded from
+    // byte-for-byte determinism comparisons.
+    save("perf.txt", &report.perf_text());
+    save("bench_engine.json", &report.to_json());
+    println!("\n{}", report.perf_text());
+    println!("all experiments complete; artifacts in results/");
 }

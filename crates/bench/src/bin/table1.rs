@@ -1,77 +1,14 @@
 //! Regenerates Table I: unused JavaScript and CSS code bytes for Amazon,
 //! Bing, and Google Maps, after load and after a scripted browse session.
 
-use wasteprof_analysis::{Table1Row, TextTable, UnusedBytes};
+use wasteprof_bench::engine::{self, SessionStore};
 use wasteprof_bench::save;
-use wasteprof_workloads::Benchmark;
 
 fn main() {
-    // The paper's Table I covers Amazon (desktop), Bing, and Google Maps.
-    let sites = [
-        Benchmark::AmazonDesktop,
-        Benchmark::Bing,
-        Benchmark::GoogleMaps,
-    ];
-    let mut table = TextTable::new(vec!["Website", "", "Amazon", "Bing", "Google Maps"]);
-
-    let rows: Vec<Table1Row> = sites
-        .iter()
-        .map(|b| {
-            eprintln!("running {} (load + browse)...", b.label());
-            Table1Row::from_session(&b.run_with_browse())
-        })
-        .collect();
-
-    let fmt = UnusedBytes::format_bytes;
-    table.row(vec![
-        "Only Load".to_owned(),
-        "Unused bytes".to_owned(),
-        fmt(rows[0].only_load.unused),
-        fmt(rows[1].only_load.unused),
-        fmt(rows[2].only_load.unused),
-    ]);
-    table.row(vec![
-        String::new(),
-        "Total bytes".to_owned(),
-        fmt(rows[0].only_load.total),
-        fmt(rows[1].only_load.total),
-        fmt(rows[2].only_load.total),
-    ]);
-    table.row(vec![
-        String::new(),
-        "Percentage".to_owned(),
-        format!("{:.0}%", rows[0].only_load.percentage()),
-        format!("{:.0}%", rows[1].only_load.percentage()),
-        format!("{:.0}%", rows[2].only_load.percentage()),
-    ]);
-    table.row(vec![
-        "Load and Browse".to_owned(),
-        "Unused bytes".to_owned(),
-        fmt(rows[0].load_and_browse.unused),
-        fmt(rows[1].load_and_browse.unused),
-        fmt(rows[2].load_and_browse.unused),
-    ]);
-    table.row(vec![
-        String::new(),
-        "Total bytes".to_owned(),
-        fmt(rows[0].load_and_browse.total),
-        fmt(rows[1].load_and_browse.total),
-        fmt(rows[2].load_and_browse.total),
-    ]);
-    table.row(vec![
-        String::new(),
-        "Percentage".to_owned(),
-        format!("{:.0}%", rows[0].load_and_browse.percentage()),
-        format!("{:.0}%", rows[1].load_and_browse.percentage()),
-        format!("{:.0}%", rows[2].load_and_browse.percentage()),
-    ]);
-
-    let out = format!(
-        "Table I: Unused JavaScript and CSS code bytes.\n\
-         (paper: Amazon 58%->54%, Bing 52%->40%, Maps 49%->43%; sizes are\n\
-         scaled ~10x down from the live sites)\n\n{}",
-        table.render()
-    );
-    println!("{out}");
-    save("table1.txt", &out);
+    let store = SessionStore::new();
+    let view = engine::table1(&store);
+    println!("{}", view.stdout);
+    for (name, content) in &view.artifacts {
+        save(name, content);
+    }
 }

@@ -1,56 +1,20 @@
 //! Regenerates Table II: slicing statistics of the pixel-based approach
 //! for all instructions and the important threads, for all four
-//! benchmarks. `--criteria both` also reports the syscall-based slice for
+//! benchmarks. `--criteria=both` also reports the syscall-based slice for
 //! the §V comparison ("almost the same slice").
 
-use wasteprof_analysis::{format_count, run_benchmark, thread_rows, TextTable};
+use wasteprof_bench::engine::{self, EngineOptions, SessionStore};
 use wasteprof_bench::save;
-use wasteprof_workloads::Benchmark;
 
 fn main() {
     let both = std::env::args().any(|a| a == "--criteria=both" || a == "both");
-    let mut out = String::new();
-    out.push_str("Table II: Slicing statistics of pixel-based approach for all\n");
-    out.push_str("instructions and important threads.\n");
-    out.push_str("(paper, for comparison: All 46/43/47/43%; Main 52/59/61/44%;\n");
-    out.push_str(" Compositor 34/35/35/34%; rasterizers 54-60 / 13-14 / 74-78 / 52-71%)\n\n");
-
-    let mut comparison = String::new();
-    for benchmark in Benchmark::ALL {
-        eprintln!("running {}...", benchmark.label());
-        let run = run_benchmark(benchmark, both);
-        let rows = thread_rows(&run.session.trace, &run.pixel);
-        let mut table = TextTable::new(vec!["Threads", "Pixels slice", "Total instructions"]);
-        for r in &rows {
-            table.row(vec![
-                r.label.clone(),
-                format!("{:.0}%", r.percentage()),
-                format_count(r.total),
-            ]);
-        }
-        out.push_str(&format!(
-            "== {} ==\n{}\n",
-            benchmark.label(),
-            table.render()
-        ));
-
-        if let Some(sys) = &run.syscall {
-            comparison.push_str(&format!(
-                "{:<32} pixel slice {:>5.1}%   syscall slice {:>5.1}%\n",
-                benchmark.label(),
-                run.pixel.fraction() * 100.0,
-                sys.fraction() * 100.0,
-            ));
-        }
+    let opts = EngineOptions {
+        table2_criteria_both: both,
+    };
+    let store = SessionStore::new();
+    let view = engine::table2(&store, &opts);
+    println!("{}", view.stdout);
+    for (name, content) in &view.artifacts {
+        save(name, content);
     }
-    if !comparison.is_empty() {
-        out.push_str(
-            "\nPixel-based vs syscall-based criteria (paper: \"slicing based on\n\
-             either pixels buffer or system calls leads to almost the same\n\
-             slice\"):\n\n",
-        );
-        out.push_str(&comparison);
-    }
-    println!("{out}");
-    save("table2.txt", &out);
 }

@@ -1,0 +1,1003 @@
+//! Memoizing, parallel experiment engine.
+//!
+//! The original harness ran every table and figure as its own child
+//! process, so `run_all` replayed the Amazon session four times, rebuilt
+//! the Bing forward pass three times, and so on. This module computes each
+//! artifact exactly once:
+//!
+//! * [`SessionStore`] memoizes sessions, forward passes, and slices behind
+//!   `Arc` — the first caller computes, everyone else shares.
+//! * [`run`] stages the work (sessions → forward passes → slices → views)
+//!   and fans each stage across a thread pool, then the caller emits
+//!   artifacts sequentially in a fixed order, so output bytes do not
+//!   depend on the thread count.
+//! * [`EngineReport`] carries per-stage wall time and instruction
+//!   throughput, rendered into `results/perf.txt` and
+//!   `results/bench_engine.json`.
+//!
+//! Each experiment is a *view* over the store ([`table1`], [`table2`],
+//! [`fig2`], [`fig4`], [`fig5`], [`bing_backslice`], [`ablations`]): it
+//! reads shared artifacts, does only its unique extra work (e.g. the
+//! ablation configuration runs), and returns its text output plus the
+//! files it wants written. The standalone binaries are thin wrappers that
+//! build a store, evaluate one view, and save it.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+use wasteprof_analysis::{
+    ascii_chart, bar_chart, format_count, pixel_slice_of, syscall_slice_of, thread_rows, to_csv,
+    Category, CategoryBreakdown, SharedBenchmarkRun, Table1Row, TextTable, UnusedBytes,
+    UtilizationSeries,
+};
+use wasteprof_browser::{BrowserConfig, Session, Tab};
+use wasteprof_gfx::CompositorConfig;
+use wasteprof_slicer::{pixel_criteria, slice, ForwardPass, SliceOptions, SliceResult};
+use wasteprof_trace::{ThreadKind, TracePos};
+use wasteprof_workloads::{Benchmark, SiteSpec};
+
+fn idx(b: Benchmark) -> usize {
+    Benchmark::ALL
+        .iter()
+        .position(|x| *x == b)
+        .expect("benchmark in ALL")
+}
+
+/// Which session of a benchmark an experiment needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionKey {
+    /// The Table II session: load-only for the first three benchmarks,
+    /// load + browse for Bing ([`Benchmark::run`]).
+    Base(Benchmark),
+    /// The Table I "Load and Browse" session
+    /// ([`Benchmark::run_with_browse`]).
+    Browse(Benchmark),
+}
+
+/// Counters proving the memoization works: how many times the store
+/// actually computed each artifact kind.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    sessions_run: AtomicU32,
+    forward_builds: AtomicU32,
+    slices_run: AtomicU32,
+}
+
+impl StoreStats {
+    /// Benchmark sessions executed.
+    pub fn sessions_run(&self) -> u32 {
+        self.sessions_run.load(Ordering::SeqCst)
+    }
+
+    /// Forward passes built.
+    pub fn forward_builds(&self) -> u32 {
+        self.forward_builds.load(Ordering::SeqCst)
+    }
+
+    /// Backward slices computed.
+    pub fn slices_run(&self) -> u32 {
+        self.slices_run.load(Ordering::SeqCst)
+    }
+}
+
+/// Memoized experiment artifacts, computed at most once each and shared
+/// behind `Arc`. Thread-safe: concurrent callers of the same getter block
+/// on the same `OnceLock` while the first one computes.
+#[derive(Debug, Default)]
+pub struct SessionStore {
+    base: [OnceLock<Arc<Session>>; 4],
+    browse: [OnceLock<Arc<Session>>; 4],
+    forward: [OnceLock<Arc<ForwardPass>>; 4],
+    pixel: [OnceLock<Arc<SliceResult>>; 4],
+    syscall: [OnceLock<Arc<SliceResult>>; 4],
+    bing_load_prefix: OnceLock<Arc<SliceResult>>,
+    stats: StoreStats,
+}
+
+impl SessionStore {
+    /// Creates an empty store; nothing is computed until asked for.
+    pub fn new() -> Self {
+        SessionStore::default()
+    }
+
+    /// Computation counters.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// The session for `key`.
+    pub fn session(&self, key: SessionKey) -> Arc<Session> {
+        match key {
+            SessionKey::Base(b) => self.base_session(b),
+            SessionKey::Browse(b) => self.browse_session(b),
+        }
+    }
+
+    /// The benchmark's Table II session ([`Benchmark::run`]).
+    pub fn base_session(&self, b: Benchmark) -> Arc<Session> {
+        self.base[idx(b)]
+            .get_or_init(|| {
+                eprintln!("running {}...", b.label());
+                self.stats.sessions_run.fetch_add(1, Ordering::SeqCst);
+                Arc::new(b.run())
+            })
+            .clone()
+    }
+
+    /// The benchmark's load-and-browse session
+    /// ([`Benchmark::run_with_browse`]).
+    pub fn browse_session(&self, b: Benchmark) -> Arc<Session> {
+        // For Bing the base session *is* load + browse (Table II defines
+        // it that way), so the browse request aliases the base cell.
+        if matches!(b, Benchmark::Bing) {
+            return self.base_session(b);
+        }
+        self.browse[idx(b)]
+            .get_or_init(|| {
+                eprintln!("running {} (load + browse)...", b.label());
+                self.stats.sessions_run.fetch_add(1, Ordering::SeqCst);
+                Arc::new(b.run_with_browse())
+            })
+            .clone()
+    }
+
+    /// The forward pass over the benchmark's base session.
+    pub fn forward(&self, b: Benchmark) -> Arc<ForwardPass> {
+        self.forward[idx(b)]
+            .get_or_init(|| {
+                let session = self.base_session(b);
+                self.stats.forward_builds.fetch_add(1, Ordering::SeqCst);
+                Arc::new(ForwardPass::build(&session.trace))
+            })
+            .clone()
+    }
+
+    /// The canonical full-session pixel slice of the base session.
+    pub fn pixel_slice(&self, b: Benchmark) -> Arc<SliceResult> {
+        self.pixel[idx(b)]
+            .get_or_init(|| {
+                let session = self.base_session(b);
+                let forward = self.forward(b);
+                self.stats.slices_run.fetch_add(1, Ordering::SeqCst);
+                Arc::new(pixel_slice_of(&session.trace, &forward))
+            })
+            .clone()
+    }
+
+    /// The syscall-criteria slice of the base session (§V comparison).
+    pub fn syscall_slice(&self, b: Benchmark) -> Arc<SliceResult> {
+        self.syscall[idx(b)]
+            .get_or_init(|| {
+                let session = self.base_session(b);
+                let forward = self.forward(b);
+                self.stats.slices_run.fetch_add(1, Ordering::SeqCst);
+                Arc::new(syscall_slice_of(&session.trace, &forward))
+            })
+            .clone()
+    }
+
+    /// The §V-A bounded slice: pixel criteria truncated to the load point,
+    /// sliced over the load-time prefix of the Bing session only.
+    pub fn bing_load_prefix_slice(&self) -> Arc<SliceResult> {
+        self.bing_load_prefix
+            .get_or_init(|| {
+                let session = self.base_session(Benchmark::Bing);
+                let forward = self.forward(Benchmark::Bing);
+                let bounded = SliceOptions {
+                    end: Some(session.load_end),
+                    ..Default::default()
+                };
+                self.stats.slices_run.fetch_add(1, Ordering::SeqCst);
+                Arc::new(slice(
+                    &session.trace,
+                    &forward,
+                    &pixel_criteria(&session.trace).truncated(session.load_end),
+                    &bounded,
+                ))
+            })
+            .clone()
+    }
+
+    /// Assembles the cached counterpart of
+    /// [`wasteprof_analysis::run_benchmark`] from memoized artifacts.
+    pub fn benchmark_run(&self, b: Benchmark, with_syscall: bool) -> SharedBenchmarkRun {
+        SharedBenchmarkRun {
+            benchmark: b,
+            session: self.base_session(b),
+            forward: self.forward(b),
+            pixel: self.pixel_slice(b),
+            syscall: with_syscall.then(|| self.syscall_slice(b)),
+        }
+    }
+}
+
+/// Per-experiment options, routed explicitly to the views that understand
+/// them (the old child-process harness passed a stray `both` argument to
+/// every binary and only `table2` happened to parse it).
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Table II: also compute the syscall-criteria slices and append the
+    /// §V pixel-vs-syscall comparison.
+    pub table2_criteria_both: bool,
+}
+
+impl Default for EngineOptions {
+    /// `run_all` defaults: the full Table II including the §V comparison.
+    fn default() -> Self {
+        EngineOptions {
+            table2_criteria_both: true,
+        }
+    }
+}
+
+/// One experiment's evaluated output: what the standalone binary prints,
+/// plus the files it saves into `results/`.
+#[derive(Debug, Clone)]
+pub struct View {
+    /// Experiment name (`table1`, `fig4`, ...).
+    pub name: &'static str,
+    /// The report text the binary prints to stdout.
+    pub stdout: String,
+    /// `(file name, content)` pairs for `results/`.
+    pub artifacts: Vec<(String, String)>,
+    /// Instructions of *unique* sessions this view ran beyond the shared
+    /// store (ablation configuration runs); shared work is accounted to
+    /// the store stages.
+    pub unique_instructions: u64,
+}
+
+impl View {
+    fn new(name: &'static str, stdout: String, artifacts: Vec<(String, String)>) -> View {
+        View {
+            name,
+            stdout,
+            artifacts,
+            unique_instructions: 0,
+        }
+    }
+}
+
+/// Table I: unused JavaScript and CSS code bytes (load vs load+browse).
+pub fn table1(store: &SessionStore) -> View {
+    // The paper's Table I covers Amazon (desktop), Bing, and Google Maps.
+    let sites = [
+        Benchmark::AmazonDesktop,
+        Benchmark::Bing,
+        Benchmark::GoogleMaps,
+    ];
+    let mut table = TextTable::new(vec!["Website", "", "Amazon", "Bing", "Google Maps"]);
+
+    let rows: Vec<Table1Row> = sites
+        .iter()
+        .map(|b| Table1Row::from_session(&store.browse_session(*b)))
+        .collect();
+
+    let fmt = UnusedBytes::format_bytes;
+    table.row(vec![
+        "Only Load".to_owned(),
+        "Unused bytes".to_owned(),
+        fmt(rows[0].only_load.unused),
+        fmt(rows[1].only_load.unused),
+        fmt(rows[2].only_load.unused),
+    ]);
+    table.row(vec![
+        String::new(),
+        "Total bytes".to_owned(),
+        fmt(rows[0].only_load.total),
+        fmt(rows[1].only_load.total),
+        fmt(rows[2].only_load.total),
+    ]);
+    table.row(vec![
+        String::new(),
+        "Percentage".to_owned(),
+        format!("{:.0}%", rows[0].only_load.percentage()),
+        format!("{:.0}%", rows[1].only_load.percentage()),
+        format!("{:.0}%", rows[2].only_load.percentage()),
+    ]);
+    table.row(vec![
+        "Load and Browse".to_owned(),
+        "Unused bytes".to_owned(),
+        fmt(rows[0].load_and_browse.unused),
+        fmt(rows[1].load_and_browse.unused),
+        fmt(rows[2].load_and_browse.unused),
+    ]);
+    table.row(vec![
+        String::new(),
+        "Total bytes".to_owned(),
+        fmt(rows[0].load_and_browse.total),
+        fmt(rows[1].load_and_browse.total),
+        fmt(rows[2].load_and_browse.total),
+    ]);
+    table.row(vec![
+        String::new(),
+        "Percentage".to_owned(),
+        format!("{:.0}%", rows[0].load_and_browse.percentage()),
+        format!("{:.0}%", rows[1].load_and_browse.percentage()),
+        format!("{:.0}%", rows[2].load_and_browse.percentage()),
+    ]);
+
+    let out = format!(
+        "Table I: Unused JavaScript and CSS code bytes.\n\
+         (paper: Amazon 58%->54%, Bing 52%->40%, Maps 49%->43%; sizes are\n\
+         scaled ~10x down from the live sites)\n\n{}",
+        table.render()
+    );
+    let artifacts = vec![("table1.txt".to_owned(), out.clone())];
+    View::new("table1", out, artifacts)
+}
+
+/// Table II: pixel-slice statistics per thread for all four benchmarks.
+pub fn table2(store: &SessionStore, opts: &EngineOptions) -> View {
+    let both = opts.table2_criteria_both;
+    let mut out = String::new();
+    out.push_str("Table II: Slicing statistics of pixel-based approach for all\n");
+    out.push_str("instructions and important threads.\n");
+    out.push_str("(paper, for comparison: All 46/43/47/43%; Main 52/59/61/44%;\n");
+    out.push_str(" Compositor 34/35/35/34%; rasterizers 54-60 / 13-14 / 74-78 / 52-71%)\n\n");
+
+    let mut comparison = String::new();
+    for benchmark in Benchmark::ALL {
+        let run = store.benchmark_run(benchmark, both);
+        let rows = thread_rows(&run.session.trace, &run.pixel);
+        let mut table = TextTable::new(vec!["Threads", "Pixels slice", "Total instructions"]);
+        for r in &rows {
+            table.row(vec![
+                r.label.clone(),
+                format!("{:.0}%", r.percentage()),
+                format_count(r.total),
+            ]);
+        }
+        out.push_str(&format!(
+            "== {} ==\n{}\n",
+            benchmark.label(),
+            table.render()
+        ));
+
+        if let Some(sys) = &run.syscall {
+            comparison.push_str(&format!(
+                "{:<32} pixel slice {:>5.1}%   syscall slice {:>5.1}%\n",
+                benchmark.label(),
+                run.pixel.fraction() * 100.0,
+                sys.fraction() * 100.0,
+            ));
+        }
+    }
+    if !comparison.is_empty() {
+        out.push_str(
+            "\nPixel-based vs syscall-based criteria (paper: \"slicing based on\n\
+             either pixels buffer or system calls leads to almost the same\n\
+             slice\"):\n\n",
+        );
+        out.push_str(&comparison);
+    }
+    let artifacts = vec![("table2.txt".to_owned(), out.clone())];
+    View::new("table2", out, artifacts)
+}
+
+/// Figure 2: main-thread CPU utilization while browsing amazon.com.
+pub fn fig2(store: &SessionStore) -> View {
+    let session = store.browse_session(Benchmark::AmazonDesktop);
+    let main_tid = session
+        .trace
+        .threads()
+        .find(ThreadKind::Main)
+        .expect("main thread");
+    let series = UtilizationSeries::compute(&session.trace, &session.idle_spans, main_tid, 120);
+
+    let mut out = String::new();
+    out.push_str("Figure 2: CPU utilization by the main thread of the tab process\n");
+    out.push_str("while browsing amazon.com (virtual time; 1 tick = 1 instruction).\n");
+    out.push_str("Expected shape: saturated during load, then short spikes at each\n");
+    out.push_str("interaction (scrolls, photo-roll clicks, menu) separated by idle\n");
+    out.push_str("think time.\n\n");
+    out.push_str(&ascii_chart(
+        &series.buckets,
+        100,
+        12,
+        "main-thread CPU utilization",
+    ));
+    out.push_str(&format!(
+        "\nmean {:.0}%  peak {:.0}%  buckets {}  bucket width {} ticks\n",
+        series.mean() * 100.0,
+        series.peak() * 100.0,
+        series.buckets.len(),
+        series.bucket_width,
+    ));
+    out.push_str("\ninteractions (virtual-position labels):\n");
+    for (label, pos) in &session.interactions {
+        out.push_str(&format!("  {:<20} @ instruction {}\n", label, pos.0));
+    }
+
+    let rows: Vec<Vec<String>> = series
+        .buckets
+        .iter()
+        .enumerate()
+        .map(|(i, u)| vec![i.to_string(), format!("{:.4}", u)])
+        .collect();
+    let csv = to_csv(&["bucket", "utilization"], &rows);
+    let artifacts = vec![
+        ("fig2.txt".to_owned(), out.clone()),
+        ("fig2.csv".to_owned(), csv),
+    ];
+    View::new("fig2", out, artifacts)
+}
+
+/// Figure 4: slicing percentage over the backward pass.
+pub fn fig4(store: &SessionStore) -> View {
+    let mut out = String::new();
+    out.push_str("Figure 4: slicing percentage over the backward pass.\n");
+    out.push_str("x = 0: page loaded / session done; right edge: URL entered.\n\n");
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+
+    for benchmark in Benchmark::ALL {
+        let run = store.benchmark_run(benchmark, false);
+        let timeline = run.pixel.timeline();
+        let all: Vec<f64> = timeline.iter().map(|p| p.fraction()).collect();
+        let main: Vec<f64> = timeline.iter().map(|p| p.tracked_fraction()).collect();
+
+        out.push_str(&format!("== {} ==\n", benchmark.label()));
+        out.push_str(&ascii_chart(
+            &all,
+            100,
+            10,
+            "all threads (cumulative slice %)",
+        ));
+        out.push_str(&ascii_chart(
+            &main,
+            100,
+            10,
+            "main thread (cumulative slice %)",
+        ));
+        // Range after the initial transient (first 10% of the pass), like
+        // the paper's observation about "large intervals".
+        let spread = |s: &[f64]| {
+            let tail = &s[s.len() / 10..];
+            let lo = tail.iter().copied().fold(1.0, f64::min);
+            let hi = tail.iter().copied().fold(0.0, f64::max);
+            (lo, hi)
+        };
+        let (alo, ahi) = spread(&all);
+        let (mlo, mhi) = spread(&main);
+        out.push_str(&format!(
+            "all-threads range {:.0}%-{:.0}% (paper: ~flat); main range {:.0}%-{:.0}% (paper: moves more)\n\n",
+            alo * 100.0,
+            ahi * 100.0,
+            mlo * 100.0,
+            mhi * 100.0,
+        ));
+        for (i, p) in timeline.iter().enumerate() {
+            csv_rows.push(vec![
+                benchmark.short_name().to_owned(),
+                i.to_string(),
+                p.processed.to_string(),
+                format!("{:.4}", p.fraction()),
+                format!("{:.4}", p.tracked_fraction()),
+            ]);
+        }
+    }
+    let csv = to_csv(
+        &["benchmark", "point", "processed", "all_slice", "main_slice"],
+        &csv_rows,
+    );
+    let artifacts = vec![
+        ("fig4.txt".to_owned(), out.clone()),
+        ("fig4.csv".to_owned(), csv),
+    ];
+    View::new("fig4", out, artifacts)
+}
+
+/// Figure 5: categorization of potentially unnecessary computations.
+pub fn fig5(store: &SessionStore) -> View {
+    let mut out = String::new();
+    out.push_str("Figure 5: categorization of potentially unnecessary computations\n");
+    out.push_str("(distribution over the categorized portion of non-slice instructions).\n\n");
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+
+    for benchmark in Benchmark::ALL {
+        let run = store.benchmark_run(benchmark, false);
+        let breakdown = CategoryBreakdown::compute(&run.session.trace, &run.pixel);
+        let items: Vec<(String, f64)> = Category::ALL
+            .iter()
+            .map(|&c| (c.label().to_owned(), breakdown.share(c)))
+            .collect();
+        out.push_str(&format!("== {} ==\n", benchmark.label()));
+        out.push_str(&bar_chart(&items, 50));
+        out.push_str(&format!(
+            "categorized coverage: {:.0}% of unnecessary instructions (paper: 74/59/53/61%)\n\n",
+            breakdown.coverage() * 100.0
+        ));
+        for &c in &Category::ALL {
+            csv_rows.push(vec![
+                benchmark.short_name().to_owned(),
+                c.label().to_owned(),
+                breakdown.count(c).to_string(),
+                format!("{:.4}", breakdown.share(c)),
+            ]);
+        }
+        csv_rows.push(vec![
+            benchmark.short_name().to_owned(),
+            "UNCATEGORIZED".to_owned(),
+            breakdown.uncategorized.to_string(),
+            String::new(),
+        ]);
+    }
+    let csv = to_csv(
+        &["benchmark", "category", "instructions", "share"],
+        &csv_rows,
+    );
+    let artifacts = vec![
+        ("fig5.txt".to_owned(), out.clone()),
+        ("fig5.csv".to_owned(), csv),
+    ];
+    View::new("fig5", out, artifacts)
+}
+
+/// §V-A: the Bing load-time slice vs the full-session slice.
+pub fn bing_backslice(store: &SessionStore) -> View {
+    let session = store.base_session(Benchmark::Bing);
+    let trace = &session.trace;
+    let load_end = session.load_end;
+
+    // (a) Backward slicing from the load point over the load-time prefix.
+    let load_slice = store.bing_load_prefix_slice();
+    let load_pct = load_slice.fraction() * 100.0;
+
+    // (b) Backward slicing from the end of the full session — exactly the
+    // shared pixel slice; report its share of the load-time instructions.
+    let full_slice = store.pixel_slice(Benchmark::Bing);
+    let full_on_load_pct = full_slice.fraction_in(trace, TracePos(0), load_end, None) * 100.0;
+
+    let out = format!(
+        "Bing back-slicing experiment (paper §V-A).\n\n\
+         load-time prefix: {} instructions of {} total\n\n\
+         (a) slice computed from the page-load point:\n\
+             {:.1}% of load-time instructions in the slice (paper: 49.8%)\n\
+         (b) slice computed from the end of the browsing session:\n\
+             {:.1}% of load-time instructions in the slice (paper: 50.6%)\n\n\
+         browsing makes {:+.1} percentage points more of the load-time\n\
+         instructions useful (paper: about +1%).\n",
+        load_end.0,
+        trace.len(),
+        load_pct,
+        full_on_load_pct,
+        full_on_load_pct - load_pct,
+    );
+    let artifacts = vec![("bing_backslice.txt".to_owned(), out.clone())];
+    View::new("bing_backslice", out, artifacts)
+}
+
+fn config_pixel_fraction(session: &Session) -> f64 {
+    let fwd = ForwardPass::build(&session.trace);
+    pixel_slice_of(&session.trace, &fwd).fraction()
+}
+
+fn ablate_deferred_compilation(store: &SessionStore) -> (String, u64) {
+    let b = Benchmark::AmazonDesktop;
+    eprintln!("ablation 1/4: deferred JS compilation...");
+    let eager = store.base_session(b);
+    let eager_fraction = store.pixel_slice(b).fraction();
+    let lazy = b.run_with_config(BrowserConfig {
+        lazy_js_compilation: true,
+        ..b.browser_config()
+    });
+    let saved = eager.trace.len() as i64 - lazy.trace.len() as i64;
+    let mut t = TextTable::new(vec!["JS compilation", "total instructions", "pixel slice"]);
+    t.row(vec![
+        "eager (as measured in the paper)".to_owned(),
+        eager.trace.len().to_string(),
+        format!("{:.1}%", eager_fraction * 100.0),
+    ]);
+    t.row(vec![
+        "deferred to first call (proposed)".to_owned(),
+        lazy.trace.len().to_string(),
+        format!("{:.1}%", config_pixel_fraction(&lazy) * 100.0),
+    ]);
+    let mut out = String::from("## 1. Deferring JS compilation (paper §VII)\n\n");
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\ndeferral removes {saved} instructions ({:.1}% of the load) without\n\
+         changing what reaches the screen — the unused 54% of JS bytes no\n\
+         longer costs compilation time.\n\n",
+        saved as f64 / eager.trace.len() as f64 * 100.0
+    ));
+    (out, lazy.trace.len() as u64)
+}
+
+fn ablate_paint_cache(store: &SessionStore) -> (String, u64) {
+    let b = Benchmark::Bing; // interaction-heavy: the cache matters most
+    eprintln!("ablation 2/4: paint cache...");
+    let with = store.base_session(b);
+    let with_fraction = store.pixel_slice(b).fraction();
+    let without = b.run_with_config(BrowserConfig {
+        paint_cache: false,
+        ..b.browser_config()
+    });
+    let mut t = TextTable::new(vec![
+        "display-item cache",
+        "total instructions",
+        "pixel slice",
+    ]);
+    t.row(vec![
+        "enabled (Blink behaviour)".to_owned(),
+        with.trace.len().to_string(),
+        format!("{:.1}%", with_fraction * 100.0),
+    ]);
+    t.row(vec![
+        "disabled".to_owned(),
+        without.trace.len().to_string(),
+        format!("{:.1}%", config_pixel_fraction(&without) * 100.0),
+    ]);
+    let mut out = String::from("## 2. Display-item (paint) caching\n\n");
+    out.push_str(&t.render());
+    out.push_str(
+        "\nwithout the cache every interaction re-records every unchanged item;\n\
+         the extra work never reaches new pixels, so the slice fraction drops.\n\n",
+    );
+    (out, without.trace.len() as u64)
+}
+
+fn ablate_prepaint() -> (String, u64) {
+    eprintln!("ablation 3/4: prepaint margin...");
+    let b = Benchmark::AmazonDesktop;
+    let mut instructions = 0u64;
+    let mut t = TextTable::new(vec![
+        "prepaint margin",
+        "raster instructions",
+        "raster slice",
+        "pixel slice (all)",
+    ]);
+    for margin in [0.0_f32, 768.0, 2048.0] {
+        let cfg = BrowserConfig {
+            compositor: CompositorConfig {
+                prepaint_margin: margin,
+                ..b.browser_config().compositor
+            },
+            ..b.browser_config()
+        };
+        let session = b.run_with_config(cfg);
+        instructions += session.trace.len() as u64;
+        let fwd = ForwardPass::build(&session.trace);
+        let r = pixel_slice_of(&session.trace, &fwd);
+        let mut raster_total = 0u64;
+        let mut raster_slice = 0u64;
+        for info in session.trace.threads().iter() {
+            if matches!(info.kind(), ThreadKind::Raster(_)) {
+                let (s, n) = r.thread_stats(info.id());
+                raster_total += n;
+                raster_slice += s;
+            }
+        }
+        t.row(vec![
+            format!("{margin:.0} px"),
+            raster_total.to_string(),
+            format!(
+                "{:.0}%",
+                raster_slice as f64 / raster_total.max(1) as f64 * 100.0
+            ),
+            format!("{:.1}%", r.fraction() * 100.0),
+        ]);
+    }
+    let mut out = String::from("## 3. Prepaint margin (speculative rasterization)\n\n");
+    out.push_str(&t.render());
+    out.push_str(
+        "\na larger margin rasterizes more tiles the load never displays:\n\
+         raster work grows while its useful fraction shrinks — the knob\n\
+         behind the paper's mobile-rasterizer observation.\n\n",
+    );
+    (out, instructions)
+}
+
+fn ablate_backing_stores() -> (String, u64) {
+    eprintln!("ablation 4/4: blind backing stores...");
+    let mut instructions = 0u64;
+    let mut t = TextTable::new(vec![
+        "hidden overlays",
+        "backing-store bytes",
+        "compositor slice",
+    ]);
+    for overlays in [0usize, 3, 8] {
+        let spec = SiteSpec {
+            hidden_overlays: overlays,
+            ..Benchmark::AmazonDesktop.spec()
+        };
+        let site = wasteprof_workloads::build_site(&spec);
+        let mut tab = Tab::new(Benchmark::AmazonDesktop.browser_config());
+        tab.load(site);
+        tab.pump_vsync(60);
+        let bytes = tab.compositor().backing_store_bytes();
+        let session = tab.finish();
+        instructions += session.trace.len() as u64;
+        let fwd = ForwardPass::build(&session.trace);
+        let r = pixel_slice_of(&session.trace, &fwd);
+        let comp = session
+            .trace
+            .threads()
+            .find(ThreadKind::Compositor)
+            .unwrap();
+        let (s, n) = r.thread_stats(comp);
+        t.row(vec![
+            overlays.to_string(),
+            bytes.to_string(),
+            format!("{:.0}%", s as f64 / n.max(1) as f64 * 100.0),
+        ]);
+    }
+    let mut out = String::from("## 4. Blind backing stores (paper §II-B)\n\n");
+    out.push_str(&t.render());
+    out.push_str(
+        "\nevery invisible overlay still holds a full tile grid: memory the\n\
+         compositing algorithm \"blindly accepts\", plus bookkeeping that\n\
+         dilutes the compositor's useful fraction.\n\n",
+    );
+    (out, instructions)
+}
+
+/// Ablation studies (DESIGN.md §6, paper §VII). The eager/cache baselines
+/// come from the shared store; only the modified-configuration runs are
+/// computed here, fanned across the pool.
+pub fn ablations(store: &SessionStore) -> View {
+    let parts: Vec<(String, u64)> = [0usize, 1, 2, 3]
+        .par_iter()
+        .map(|&i| match i {
+            0 => ablate_deferred_compilation(store),
+            1 => ablate_paint_cache(store),
+            2 => ablate_prepaint(),
+            _ => ablate_backing_stores(),
+        })
+        .collect();
+    let mut out = String::from("Ablation studies (see DESIGN.md §6 and paper §VII).\n\n");
+    let mut unique = 0u64;
+    for (text, instructions) in parts {
+        out.push_str(&text);
+        unique += instructions;
+    }
+    let artifacts = vec![("ablations.txt".to_owned(), out.clone())];
+    let mut view = View::new("ablations", out, artifacts);
+    view.unique_instructions = unique;
+    view
+}
+
+/// Timing for one engine stage.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Stage name (`sessions`, `forward`, `slices`, `views`).
+    pub name: &'static str,
+    /// Parallel work items in the stage.
+    pub items: usize,
+    /// Trace instructions processed by the stage.
+    pub instructions: u64,
+    /// Wall time of the whole stage.
+    pub wall: Duration,
+}
+
+impl StageReport {
+    /// Instructions per wall-clock second.
+    pub fn instr_per_sec(&self) -> f64 {
+        self.instructions as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The result of one engine run: evaluated views plus performance data.
+#[derive(Debug)]
+pub struct EngineReport {
+    /// Worker threads the pool used.
+    pub threads: usize,
+    /// Per-stage timing, in execution order.
+    pub stages: Vec<StageReport>,
+    /// Evaluated experiment views, in canonical emission order.
+    pub views: Vec<View>,
+    /// Wall time of the whole run.
+    pub total_wall: Duration,
+    /// Artifact-computation counters from the store.
+    pub sessions_run: u32,
+    /// Forward passes built.
+    pub forward_builds: u32,
+    /// Backward slices computed.
+    pub slices_run: u32,
+}
+
+impl EngineReport {
+    /// Human-readable per-stage performance table (`results/perf.txt`).
+    ///
+    /// Timing artifacts change run to run by nature, so they are excluded
+    /// from byte-for-byte determinism comparisons.
+    pub fn perf_text(&self) -> String {
+        let mut out = String::from("wasteprof experiment engine — per-stage performance\n");
+        out.push_str(&format!("threads: {}\n\n", self.threads));
+        out.push_str(&format!(
+            "{:<10} {:>6} {:>16} {:>12} {:>12}\n",
+            "stage", "items", "instructions", "wall ms", "Minstr/s"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<10} {:>6} {:>16} {:>12.1} {:>12.1}\n",
+                s.name,
+                s.items,
+                s.instructions,
+                s.wall.as_secs_f64() * 1e3,
+                s.instr_per_sec() / 1e6,
+            ));
+        }
+        out.push_str(&format!(
+            "\ntotal wall time: {:.1} ms\n",
+            self.total_wall.as_secs_f64() * 1e3
+        ));
+        out.push_str(&format!(
+            "store computations: {} sessions, {} forward passes, {} slices\n",
+            self.sessions_run, self.forward_builds, self.slices_run
+        ));
+        out
+    }
+
+    /// Machine-readable run report (`results/bench_engine.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"total_wall_ms\": {:.3},\n",
+            self.total_wall.as_secs_f64() * 1e3
+        ));
+        out.push_str("  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"items\": {}, \"instructions\": {}, \"wall_ms\": {:.3}, \"instr_per_sec\": {:.1}}}{}\n",
+                s.name,
+                s.items,
+                s.instructions,
+                s.wall.as_secs_f64() * 1e3,
+                s.instr_per_sec(),
+                if i + 1 < self.stages.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"store\": {\n");
+        out.push_str(&format!("    \"sessions_run\": {},\n", self.sessions_run));
+        out.push_str(&format!(
+            "    \"forward_builds\": {},\n",
+            self.forward_builds
+        ));
+        out.push_str(&format!("    \"slices_run\": {}\n", self.slices_run));
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Runs every experiment once over a shared store, fanning each stage
+/// across the thread pool, and returns the evaluated views plus timing.
+///
+/// Emission (printing, file writes) is left to the caller so it happens
+/// sequentially in a fixed order: the artifact bytes are identical no
+/// matter how many threads computed them.
+pub fn run(opts: &EngineOptions) -> EngineReport {
+    let store = SessionStore::new();
+    let started = Instant::now();
+    let mut stages = Vec::new();
+
+    // Stage 1: every needed session, each exactly once. Browse(Bing)
+    // aliases Base(Bing) inside the store; Browse(AmazonMobile) is not
+    // used by any experiment.
+    let t = Instant::now();
+    let sessions = [
+        SessionKey::Base(Benchmark::AmazonDesktop),
+        SessionKey::Base(Benchmark::AmazonMobile),
+        SessionKey::Base(Benchmark::GoogleMaps),
+        SessionKey::Base(Benchmark::Bing),
+        SessionKey::Browse(Benchmark::AmazonDesktop),
+        SessionKey::Browse(Benchmark::GoogleMaps),
+    ];
+    let instructions: Vec<u64> = sessions
+        .par_iter()
+        .map(|k| store.session(*k).trace.len() as u64)
+        .collect();
+    stages.push(StageReport {
+        name: "sessions",
+        items: sessions.len(),
+        instructions: instructions.iter().sum(),
+        wall: t.elapsed(),
+    });
+
+    // Stage 2: one forward pass per base session.
+    let t = Instant::now();
+    let instructions: Vec<u64> = Benchmark::ALL
+        .par_iter()
+        .map(|b| {
+            store.forward(*b);
+            store.base_session(*b).trace.len() as u64
+        })
+        .collect();
+    stages.push(StageReport {
+        name: "forward",
+        items: Benchmark::ALL.len(),
+        instructions: instructions.iter().sum(),
+        wall: t.elapsed(),
+    });
+
+    // Stage 3: independent slicing runs — pixel everywhere, syscall when
+    // Table II wants the §V comparison, and the §V-A bounded Bing slice.
+    #[derive(Clone, Copy)]
+    enum SliceJob {
+        Pixel(Benchmark),
+        Syscall(Benchmark),
+        BingLoadPrefix,
+    }
+    let mut jobs: Vec<SliceJob> = Benchmark::ALL.iter().map(|b| SliceJob::Pixel(*b)).collect();
+    if opts.table2_criteria_both {
+        jobs.extend(Benchmark::ALL.iter().map(|b| SliceJob::Syscall(*b)));
+    }
+    jobs.push(SliceJob::BingLoadPrefix);
+    let t = Instant::now();
+    let instructions: Vec<u64> = jobs
+        .par_iter()
+        .map(|job| match job {
+            SliceJob::Pixel(b) => store.pixel_slice(*b).considered(),
+            SliceJob::Syscall(b) => store.syscall_slice(*b).considered(),
+            SliceJob::BingLoadPrefix => store.bing_load_prefix_slice().considered(),
+        })
+        .collect();
+    stages.push(StageReport {
+        name: "slices",
+        items: jobs.len(),
+        instructions: instructions.iter().sum(),
+        wall: t.elapsed(),
+    });
+
+    // Stage 4: the experiment views. Everything shared is already in the
+    // store; views only format and run their unique extra work.
+    type ViewFn = fn(&SessionStore, &EngineOptions) -> View;
+    let view_fns: [ViewFn; 7] = [
+        |s, _| table1(s),
+        |s, o| table2(s, o),
+        |s, _| fig2(s),
+        |s, _| fig4(s),
+        |s, _| fig5(s),
+        |s, _| bing_backslice(s),
+        |s, _| ablations(s),
+    ];
+    let t = Instant::now();
+    let views: Vec<View> = view_fns.par_iter().map(|f| f(&store, opts)).collect();
+    stages.push(StageReport {
+        name: "views",
+        items: views.len(),
+        instructions: views.iter().map(|v| v.unique_instructions).sum(),
+        wall: t.elapsed(),
+    });
+
+    EngineReport {
+        threads: rayon::current_num_threads(),
+        stages,
+        views,
+        total_wall: started.elapsed(),
+        sessions_run: store.stats().sessions_run(),
+        forward_builds: store.stats().forward_builds(),
+        slices_run: store.stats().slices_run(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_aliases_bing_browse_to_base() {
+        let store = SessionStore::new();
+        let base = store.base_session(Benchmark::Bing);
+        let browse = store.browse_session(Benchmark::Bing);
+        assert!(Arc::ptr_eq(&base, &browse));
+        assert_eq!(store.stats().sessions_run(), 1);
+    }
+
+    #[test]
+    fn store_memoizes_forward_and_slices() {
+        let store = SessionStore::new();
+        let f1 = store.forward(Benchmark::AmazonMobile);
+        let f2 = store.forward(Benchmark::AmazonMobile);
+        assert!(Arc::ptr_eq(&f1, &f2));
+        let p1 = store.pixel_slice(Benchmark::AmazonMobile);
+        let p2 = store.pixel_slice(Benchmark::AmazonMobile);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(store.stats().sessions_run(), 1);
+        assert_eq!(store.stats().forward_builds(), 1);
+        assert_eq!(store.stats().slices_run(), 1);
+    }
+}

@@ -21,9 +21,28 @@
 use std::fs;
 use std::path::PathBuf;
 
-/// Directory experiment binaries write artifacts into (`results/`).
+pub mod engine;
+
+/// Directory experiment binaries write artifacts into.
+///
+/// Resolution order:
+///
+/// 1. `WASTEPROF_RESULTS_DIR`, when set — scripts redirecting artifacts.
+/// 2. `<workspace root>/results`, anchored via this crate's manifest dir —
+///    a bare `PathBuf::from("results")` would scatter artifacts into
+///    whatever directory the binary happened to be started from.
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from("results");
+    let dir = match std::env::var_os("WASTEPROF_RESULTS_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => {
+            let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            // crates/bench -> workspace root
+            match manifest.parent().and_then(|p| p.parent()) {
+                Some(root) => root.join("results"),
+                None => PathBuf::from("results"),
+            }
+        }
+    };
     let _ = fs::create_dir_all(&dir);
     dir
 }

@@ -1,0 +1,50 @@
+//! The experiment engine's output must not depend on the thread count:
+//! a forced single-threaded run and a 4-thread run must produce
+//! byte-identical view text and artifacts, and the memoizing store must
+//! compute each artifact exactly once either way.
+//!
+//! This file deliberately holds a single `#[test]`: it owns the
+//! `RAYON_NUM_THREADS` environment variable for the whole process, so no
+//! sibling test can race on it.
+
+use wasteprof_bench::engine::{self, EngineOptions};
+
+#[test]
+fn engine_output_is_byte_identical_across_thread_counts() {
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let single = engine::run(&EngineOptions::default());
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let parallel = engine::run(&EngineOptions::default());
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(single.threads, 1);
+    assert_eq!(parallel.threads, 4);
+
+    assert_eq!(single.views.len(), parallel.views.len());
+    for (a, b) in single.views.iter().zip(&parallel.views) {
+        assert_eq!(a.name, b.name, "view order must be fixed");
+        assert_eq!(a.stdout, b.stdout, "stdout of {} differs", a.name);
+        let names = |v: &engine::View| -> Vec<String> {
+            v.artifacts.iter().map(|(n, _)| n.clone()).collect()
+        };
+        assert_eq!(names(a), names(b), "artifact set of {} differs", a.name);
+        for ((name, single_bytes), (_, parallel_bytes)) in a.artifacts.iter().zip(&b.artifacts) {
+            assert_eq!(
+                single_bytes, parallel_bytes,
+                "artifact {name} differs between 1 and 4 threads"
+            );
+        }
+    }
+
+    // The store computed each shared artifact exactly once per run:
+    // 6 sessions (4 base + the Amazon-desktop and Maps browse sessions;
+    // Bing's browse request aliases its base session), 4 forward passes,
+    // and 9 slices (4 pixel + 4 syscall + the bounded §V-A Bing slice).
+    for report in [&single, &parallel] {
+        assert_eq!(report.sessions_run, 6, "sessions must run exactly once");
+        assert_eq!(
+            report.forward_builds, 4,
+            "one forward pass per base session"
+        );
+        assert_eq!(report.slices_run, 9, "independent slices computed once");
+    }
+}

@@ -24,7 +24,8 @@ fn id_name(i: u8) -> String {
 }
 
 fn brute_force(doc: &Document, needle: &str) -> Option<NodeId> {
-    doc.descendants(doc.root()).find(|&n| doc.node(n).id() == Some(needle))
+    doc.descendants(doc.root())
+        .find(|&n| doc.node(n).id() == Some(needle))
 }
 
 proptest! {

@@ -1,0 +1,56 @@
+//! Deterministic replays of the failure cases recorded in
+//! `properties.proptest-regressions`. The offline proptest shim does not
+//! read regression files, so the historical counterexamples are pinned
+//! here as plain unit tests.
+
+use wasteprof_dom::Document;
+use wasteprof_html::{parse_into, tokenize};
+use wasteprof_trace::{Recorder, Region, ThreadKind};
+
+/// `text = "<A A='"` — an unterminated single-quoted attribute at end of
+/// input must not produce a token span past the end of the input.
+#[test]
+fn unterminated_quoted_attribute_spans_stay_in_bounds() {
+    let text = "<A A='";
+    let mut rec = Recorder::new();
+    rec.spawn_thread(ThreadKind::Main, "m");
+    let range = rec.alloc(Region::Input, text.len() as u32);
+    let tokens = tokenize(&mut rec, text, range);
+    for t in &tokens {
+        assert!(t.offset as usize <= text.len(), "{t:?}");
+        assert!((t.offset + t.len) as usize <= text.len(), "{t:?}");
+    }
+}
+
+fn parse(html: &str) -> (Document, usize) {
+    let mut rec = Recorder::new();
+    rec.spawn_thread(ThreadKind::Main, "m");
+    let range = rec.alloc(Region::Input, html.len().max(1) as u32);
+    let mut doc = Document::new(&mut rec);
+    parse_into(&mut rec, &mut doc, html, range);
+    let elements = doc
+        .descendants(doc.root())
+        .filter(|&n| doc.node(n).is_element())
+        .count();
+    (doc, elements)
+}
+
+/// `nodes = [Text("a"), El { tag: "a", children: [El { children:
+/// [Text(" ")] }, Text("a")] }]` — a whitespace-only text run nested in
+/// an element must be dropped without disturbing sibling text.
+#[test]
+fn nested_whitespace_only_text_run_is_dropped() {
+    let (doc, elements) = parse("a<a><a> </a>a</a>");
+    assert_eq!(elements, 2);
+    assert_eq!(doc.text_content(doc.root()), "aa");
+}
+
+/// `nodes = [El { tag: "a", children: [Text(" "), Text("a")] }]` — after
+/// tokenizer coalescing this is one text run `" a"`, which is not
+/// whitespace-only and must be kept verbatim (no trimming).
+#[test]
+fn leading_whitespace_in_kept_text_run_is_preserved() {
+    let (doc, elements) = parse("<a> a</a>");
+    assert_eq!(elements, 1);
+    assert_eq!(doc.text_content(doc.root()), " a");
+}

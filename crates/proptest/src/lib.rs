@@ -1,0 +1,178 @@
+//! Offline drop-in subset of the [proptest](https://crates.io/crates/proptest)
+//! API.
+//!
+//! The build container has no network access to crates.io, so this crate
+//! provides the slice of proptest this workspace actually uses: the
+//! [`Strategy`] trait with `prop_map` / `prop_filter` / `prop_filter_map` /
+//! `prop_recursive`, integer-range and tuple strategies, regex-lite string
+//! strategies, `proptest::collection::vec`, `proptest::option::of`,
+//! [`Just`](strategy::Just), [`any`](strategy::any), and the `proptest!` /
+//! `prop_oneof!` / `prop_assert*!` macros.
+//!
+//! Differences from the real crate, chosen for simplicity:
+//!
+//! * Cases are generated from a seed derived deterministically from the
+//!   test name, so runs are reproducible without persistence files
+//!   (`*.proptest-regressions` files are ignored).
+//! * Failing inputs are reported but not shrunk.
+//! * String strategies support the regex subset the tests use: literals,
+//!   escapes, character classes (with ranges), and `{n}` / `{m,n}` / `?` /
+//!   `*` / `+` repetition. No alternation or groups.
+//!
+//! The number of cases per property defaults to
+//! [`ProptestConfig::default`](test_runner::ProptestConfig) and can be
+//! overridden with the `PROPTEST_CASES` environment variable.
+
+pub mod collection;
+pub mod option;
+pub mod rng;
+pub mod strategy;
+mod string;
+pub mod test_runner;
+
+/// Everything a property-test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced access to strategy modules (`prop::collection::vec`,
+    /// `prop::option::of`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run(
+                    __config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__ctx| {
+                        $(
+                            let __value =
+                                $crate::strategy::Strategy::new_value(&($strat), __ctx.rng());
+                            __ctx.record(stringify!($arg), &__value);
+                            let $arg = __value;
+                        )+
+                        let __outcome: ::core::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                        __outcome
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current test case (without aborting the whole property run
+/// machinery) when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case when the two values are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` != `{:?}`: {}",
+                    __l,
+                    __r,
+                    format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current test case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l != *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    __l,
+                    __r,
+                    format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}

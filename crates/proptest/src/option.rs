@@ -1,0 +1,33 @@
+//! Option strategies (`proptest::option::of`).
+
+use std::fmt::Debug;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy for `Option<S::Value>`.
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Generates `Some` values from `inner` three quarters of the time, `None`
+/// otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.new_value(rng))
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Deterministic pseudo-random source used for value generation.
+
+/// SplitMix64: small, fast, and plenty for test-input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        // Avoid the all-zeros fixpoint-ish start by pre-mixing.
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is irrelevant at test-generation scale.
+        self.next_u64() % n
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty size range [{lo}, {hi})");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}

@@ -1,0 +1,183 @@
+//! Regex-lite string generation: the subset of regex syntax the
+//! workspace's string strategies use — literals, escapes, character
+//! classes with ranges, and `{n}` / `{m,n}` / `?` / `*` / `+` repetition.
+
+use crate::rng::TestRng;
+
+/// One pattern atom: a set of candidate characters plus a repetition range.
+struct Atom {
+    chars: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+/// Unbounded quantifiers (`*`, `+`) are capped here; test patterns always
+/// use explicit `{m,n}` bounds anyway.
+const UNBOUNDED_CAP: u32 = 8;
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    // A `-` between two class members denotes a range;
+                    // trailing `-` (before `]`) is a literal.
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        assert!(c <= hi, "bad class range {c}-{hi} in {pattern:?}");
+                        set.extend(c..=hi);
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                i += 1; // consume ']'
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = unescape(chars[i]);
+                i += 1;
+                vec![c]
+            }
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        assert!(!set.is_empty(), "empty character class in {pattern:?}");
+
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            i += 1;
+            let mut lo = String::new();
+            while chars[i].is_ascii_digit() {
+                lo.push(chars[i]);
+                i += 1;
+            }
+            let lo: u32 = lo.parse().expect("repetition lower bound");
+            let hi = if chars[i] == ',' {
+                i += 1;
+                let mut hi = String::new();
+                while chars[i].is_ascii_digit() {
+                    hi.push(chars[i]);
+                    i += 1;
+                }
+                hi.parse().expect("repetition upper bound")
+            } else {
+                lo
+            };
+            assert_eq!(chars[i], '}', "unterminated repetition in {pattern:?}");
+            i += 1;
+            (lo, hi)
+        } else if i < chars.len() && chars[i] == '?' {
+            i += 1;
+            (0, 1)
+        } else if i < chars.len() && chars[i] == '*' {
+            i += 1;
+            (0, UNBOUNDED_CAP)
+        } else if i < chars.len() && chars[i] == '+' {
+            i += 1;
+            (1, UNBOUNDED_CAP)
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition {{{min},{max}}} in {pattern:?}");
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+/// Generates a string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as u32;
+        for _ in 0..n {
+            out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn classes_and_reps() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9-]{0,6}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn printable_range_with_escapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[ -~\\n\\t]{0,80}", &mut r);
+            assert!(s.len() <= 80);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+    }
+
+    #[test]
+    fn literal_dash_and_space_in_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[ab c]{1}", &mut r);
+            assert_eq!(s.chars().count(), 1);
+            assert!("ab c".contains(&s));
+        }
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let mut r = rng();
+        let s = generate("x{4}", &mut r);
+        assert_eq!(s, "xxxx");
+    }
+}

@@ -1,0 +1,115 @@
+//! The per-test case loop: configuration, failure type, and the runner
+//! invoked by the `proptest!` macro expansion.
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::rng::TestRng;
+
+/// Property-test configuration. Only the case count is meaningful here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed test case (produced by the `prop_assert*` macros).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-case context handed to the generated closure: the RNG plus the
+/// Debug rendering of every generated input (reported on failure).
+pub struct CaseCtx {
+    rng: TestRng,
+    inputs: Vec<String>,
+}
+
+impl CaseCtx {
+    /// The case's random source.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Records a generated input for failure reporting.
+    pub fn record(&mut self, name: &str, value: &dyn Debug) {
+        self.inputs.push(format!("  {name} = {value:?}"));
+    }
+
+    fn report(&self) -> String {
+        if self.inputs.is_empty() {
+            "  (no inputs)".to_owned()
+        } else {
+            self.inputs.join("\n")
+        }
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `f` over `cases` deterministic cases. The seed of each case is
+/// derived from the fully qualified test name, so failures reproduce
+/// without persistence files.
+pub fn run<F>(config: ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut CaseCtx) -> Result<(), TestCaseError>,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases);
+    let base = fnv1a(name);
+    for case in 0..cases {
+        let seed = base.wrapping_add((case as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+        let mut ctx = CaseCtx {
+            rng: TestRng::new(seed),
+            inputs: Vec::new(),
+        };
+        match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!(
+                "property `{name}` failed at case {case}/{cases}\ninputs:\n{}\n{e}",
+                ctx.report()
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "property `{name}` panicked at case {case}/{cases}\ninputs:\n{}",
+                    ctx.report()
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}

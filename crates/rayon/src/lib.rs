@@ -1,0 +1,205 @@
+//! Offline drop-in subset of the [rayon](https://crates.io/crates/rayon)
+//! API, implemented over `std::thread::scope`. The build container has no
+//! network access to crates.io; swap back to the real crate when vendoring
+//! is available.
+//!
+//! Supported surface:
+//!
+//! * [`current_num_threads`] — honours `RAYON_NUM_THREADS`, like rayon's
+//!   global pool.
+//! * [`join`] — runs two closures, in parallel when more than one thread
+//!   is configured.
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` via [`prelude`] —
+//!   order-preserving, with dynamic (atomic work counter) scheduling so
+//!   heterogeneous task costs balance across workers.
+//!
+//! There is no persistent worker pool: each parallel call spawns scoped
+//! threads. That amortizes fine here because the workspace's parallel
+//! units are whole benchmark sessions and slicing passes (hundreds of
+//! milliseconds each), not microtasks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Traits for `par_iter()` / `into_par_iter()`.
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel call will use: `RAYON_NUM_THREADS`
+/// when set and nonzero, otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `a` and `b`, in parallel when the configured thread count allows.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Runs `items[i] -> f(&items[i])` over a dynamic pool, preserving input
+/// order in the result. The scheduling is an atomic take-a-ticket queue,
+/// so long tasks do not leave workers idle behind a static partition.
+fn run_ordered<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots.lock().expect("result lock")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result lock")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// `par_iter()` on slice-like containers.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element reference type.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// The subset of rayon's `ParallelIterator`: `map` then `collect`.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by this iterator.
+    type Item;
+
+    /// Evaluates the pipeline into an ordered `Vec`.
+    fn collect_vec(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f`.
+    fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+
+    /// Collects into `C` (only `Vec` is supported).
+    fn collect<C: FromParallel<Self::Item>>(self) -> C {
+        C::from_ordered(self.collect_vec())
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn collect_vec(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'a, T, R, F> ParallelIterator for ParMap<ParIter<'a, T>, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    type Item = R;
+
+    fn collect_vec(self) -> Vec<R> {
+        run_ordered(self.inner.items, self.f)
+    }
+}
+
+/// Ordered-collection sink for [`ParallelIterator::collect`].
+pub trait FromParallel<T> {
+    /// Builds the collection from ordered items.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallel<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+}

@@ -1,0 +1,85 @@
+//! Differential test: [`AddrSet`]'s interval arithmetic against a naive
+//! per-byte `HashSet` model. Random op sequences must leave both sides
+//! agreeing on every membership and aggregate query, and the interval
+//! representation must keep its structural invariants (sorted, disjoint,
+//! non-adjacent, non-empty).
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use wasteprof_slicer::AddrSet;
+use wasteprof_trace::{Addr, AddrRange};
+
+/// One mutation on the set under test.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u64, u32),
+    Remove(u64, u32),
+}
+
+/// Ops confined to a small address window so inserts and removes overlap,
+/// merge, split, and cancel each other constantly.
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0..2u8, 0..240u64, 1..24u32).prop_map(|(kind, start, len)| match kind {
+        0 => Op::Insert(start, len),
+        _ => Op::Remove(start, len),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn addrset_matches_naive_byte_model(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let mut set = AddrSet::new();
+        let mut model: HashSet<u64> = HashSet::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(s, l) => {
+                    set.insert(AddrRange::new(Addr::new(s), l));
+                    for b in s..s + l as u64 {
+                        model.insert(b);
+                    }
+                }
+                Op::Remove(s, l) => {
+                    set.remove(AddrRange::new(Addr::new(s), l));
+                    for b in s..s + l as u64 {
+                        model.remove(&b);
+                    }
+                }
+            }
+            // Aggregates agree after every single step.
+            prop_assert_eq!(set.byte_count(), model.len() as u64);
+            prop_assert_eq!(set.is_empty(), model.is_empty());
+        }
+
+        // Per-byte membership agrees over the whole touched domain (and a
+        // margin past it).
+        for b in 0..300u64 {
+            prop_assert_eq!(set.contains(Addr::new(b)), model.contains(&b), "byte {}", b);
+        }
+
+        // Range intersection agrees with the model for sliding probes.
+        for s in (0..296u64).step_by(3) {
+            let probe = AddrRange::new(Addr::new(s), 5);
+            let expected = (s..s + 5).any(|b| model.contains(&b));
+            prop_assert_eq!(set.intersects(probe), expected, "probe at {}", s);
+        }
+
+        // Structural invariants of the interval representation.
+        let mut prev_end: Option<u64> = None;
+        let mut total = 0u64;
+        let mut intervals = 0usize;
+        for (s, e) in set.iter() {
+            prop_assert!(s < e, "empty interval [{}, {})", s, e);
+            if let Some(p) = prev_end {
+                prop_assert!(s > p, "intervals [..{}) and [{}, ..) touch or overlap", p, s);
+            }
+            prev_end = Some(e);
+            total += e - s;
+            intervals += 1;
+        }
+        prop_assert_eq!(total, set.byte_count());
+        prop_assert_eq!(intervals, set.interval_count());
+    }
+}

@@ -40,8 +40,20 @@ impl Addr {
     }
 
     /// Returns the address `bytes` past this one.
+    ///
+    /// Addresses never wrap: the address space is a flat 64-bit line and
+    /// every valid operand stays inside its [`Region`], far below
+    /// `u64::MAX`. Wrapping would silently alias the null page, so
+    /// overflow is a caller bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self + bytes` overflows 64 bits.
     pub const fn offset(self, bytes: u64) -> Self {
-        Addr(self.0 + bytes)
+        match self.0.checked_add(bytes) {
+            Some(raw) => Addr(raw),
+            None => panic!("Addr::offset overflowed the 64-bit address space"),
+        }
     }
 
     /// Returns the region this address falls into, if any.
@@ -98,6 +110,11 @@ impl AddrRange {
     }
 
     /// One past the last byte of the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range ends past `u64::MAX` (see [`Addr::offset`];
+    /// ranges never wrap the address space).
     pub fn end(self) -> Addr {
         self.start.offset(self.len as u64)
     }
@@ -107,9 +124,11 @@ impl AddrRange {
         self.len
     }
 
-    /// Always false; ranges are non-empty by construction.
+    /// Whether the range is empty. Answers from `len`, not by fiat: a
+    /// hard-coded `false` would silently go stale if zero-length ranges
+    /// ever became constructible.
     pub fn is_empty(self) -> bool {
-        false
+        self.len == 0
     }
 
     /// Returns true if `self` and `other` share at least one byte.
@@ -377,6 +396,24 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_range_panics() {
         let _ = AddrRange::new(Region::Heap.base(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed")]
+    fn offset_overflow_panics() {
+        let _ = Addr::new(u64::MAX - 3).offset(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed")]
+    fn range_end_overflow_panics() {
+        let _ = AddrRange::new(Addr::new(u64::MAX - 3), 8).end();
+    }
+
+    #[test]
+    fn constructed_ranges_are_never_empty() {
+        assert!(!AddrRange::new(Region::Heap.base(), 1).is_empty());
+        assert!(!AddrRange::cell(Region::Heap.base()).is_empty());
     }
 
     #[test]

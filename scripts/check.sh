@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, tier-1 build/test, full workspace
+# tests. Run from anywhere; everything is anchored to the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build + root-package tests =="
+cargo build --release
+cargo test -q
+
+echo "== full workspace tests (includes the ~2 min engine determinism run) =="
+cargo test -q --workspace
+
+echo "All checks passed."
