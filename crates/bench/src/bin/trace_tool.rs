@@ -4,7 +4,7 @@
 //!
 //! ```sh
 //! trace_tool export amazon_mobile /tmp/amazon_mobile.wptrace
-//! trace_tool inspect /tmp/amazon_mobile.wptrace
+//! trace_tool inspect /tmp/amazon_mobile.wptrace [--head N]
 //! trace_tool slice   /tmp/amazon_mobile.wptrace [--criteria syscalls]
 //! ```
 
@@ -13,13 +13,14 @@ use std::io::{BufReader, BufWriter};
 
 use wasteprof_analysis::{format_count, thread_rows, TextTable};
 use wasteprof_slicer::{pixel_criteria, slice, syscall_criteria, ForwardPass, SliceOptions};
-use wasteprof_trace::{read_trace, write_trace, Trace};
+use wasteprof_trace::{read_trace, write_trace, Trace, TracePos};
 use wasteprof_workloads::Benchmark;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  trace_tool export <amazon_desktop|amazon_mobile|maps|bing> <file>\n  \
-         trace_tool inspect <file>\n  trace_tool slice <file> [--criteria pixels|syscalls]"
+         trace_tool inspect <file> [--head N]\n  \
+         trace_tool slice <file> [--criteria pixels|syscalls]"
     );
     std::process::exit(2);
 }
@@ -84,6 +85,22 @@ fn main() {
             funcs.sort_by_key(|(n, _)| std::cmp::Reverse(*n));
             for (n, name) in funcs.into_iter().take(15) {
                 println!("  {:<58} {:>10}", name, format_count(n));
+            }
+            // `--head N`: print the first N instructions with resolved
+            // function names.
+            if let Some(i) = args.iter().position(|a| a == "--head") {
+                let n: usize = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                println!("\nfirst {} instructions:", n.min(trace.len()));
+                for pos in 0..n.min(trace.len()) {
+                    println!(
+                        "  {:>6}  {}",
+                        pos,
+                        trace.display_instr(TracePos(pos as u64))
+                    );
+                }
             }
         }
         Some("slice") => {

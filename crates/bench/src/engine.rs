@@ -767,6 +767,9 @@ pub struct StageReport {
     pub items: usize,
     /// Trace instructions processed by the stage.
     pub instructions: u64,
+    /// Columnar storage footprint of the traces the stage touched
+    /// (instruction columns + operand arena; see `Trace::storage_bytes`).
+    pub trace_bytes: u64,
     /// Wall time of the whole stage.
     pub wall: Duration,
 }
@@ -775,6 +778,16 @@ impl StageReport {
     /// Instructions per wall-clock second.
     pub fn instr_per_sec(&self) -> f64 {
         self.instructions as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Trace storage bytes per instruction (0 when the stage processed
+    /// no trace instructions, e.g. pure formatting views).
+    pub fn bytes_per_instr(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.trace_bytes as f64 / self.instructions as f64
+        }
     }
 }
 
@@ -806,17 +819,18 @@ impl EngineReport {
         let mut out = String::from("wasteprof experiment engine — per-stage performance\n");
         out.push_str(&format!("threads: {}\n\n", self.threads));
         out.push_str(&format!(
-            "{:<10} {:>6} {:>16} {:>12} {:>12}\n",
-            "stage", "items", "instructions", "wall ms", "Minstr/s"
+            "{:<10} {:>6} {:>16} {:>12} {:>12} {:>12}\n",
+            "stage", "items", "instructions", "wall ms", "Minstr/s", "bytes/instr"
         ));
         for s in &self.stages {
             out.push_str(&format!(
-                "{:<10} {:>6} {:>16} {:>12.1} {:>12.1}\n",
+                "{:<10} {:>6} {:>16} {:>12.1} {:>12.1} {:>12.1}\n",
                 s.name,
                 s.items,
                 s.instructions,
                 s.wall.as_secs_f64() * 1e3,
                 s.instr_per_sec() / 1e6,
+                s.bytes_per_instr(),
             ));
         }
         out.push_str(&format!(
@@ -841,10 +855,12 @@ impl EngineReport {
         out.push_str("  \"stages\": [\n");
         for (i, s) in self.stages.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"items\": {}, \"instructions\": {}, \"wall_ms\": {:.3}, \"instr_per_sec\": {:.1}}}{}\n",
+                "    {{\"name\": \"{}\", \"items\": {}, \"instructions\": {}, \"trace_bytes\": {}, \"bytes_per_instr\": {:.2}, \"wall_ms\": {:.3}, \"instr_per_sec\": {:.1}}}{}\n",
                 s.name,
                 s.items,
                 s.instructions,
+                s.trace_bytes,
+                s.bytes_per_instr(),
                 s.wall.as_secs_f64() * 1e3,
                 s.instr_per_sec(),
                 if i + 1 < self.stages.len() { "," } else { "" }
@@ -886,30 +902,36 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
         SessionKey::Browse(Benchmark::AmazonDesktop),
         SessionKey::Browse(Benchmark::GoogleMaps),
     ];
-    let instructions: Vec<u64> = sessions
+    let work: Vec<(u64, u64)> = sessions
         .par_iter()
-        .map(|k| store.session(*k).trace.len() as u64)
+        .map(|k| {
+            let session = store.session(*k);
+            (session.trace.len() as u64, session.trace.storage_bytes())
+        })
         .collect();
     stages.push(StageReport {
         name: "sessions",
         items: sessions.len(),
-        instructions: instructions.iter().sum(),
+        instructions: work.iter().map(|w| w.0).sum(),
+        trace_bytes: work.iter().map(|w| w.1).sum(),
         wall: t.elapsed(),
     });
 
     // Stage 2: one forward pass per base session.
     let t = Instant::now();
-    let instructions: Vec<u64> = Benchmark::ALL
+    let work: Vec<(u64, u64)> = Benchmark::ALL
         .par_iter()
         .map(|b| {
             store.forward(*b);
-            store.base_session(*b).trace.len() as u64
+            let trace = &store.base_session(*b).trace;
+            (trace.len() as u64, trace.storage_bytes())
         })
         .collect();
     stages.push(StageReport {
         name: "forward",
         items: Benchmark::ALL.len(),
-        instructions: instructions.iter().sum(),
+        instructions: work.iter().map(|w| w.0).sum(),
+        trace_bytes: work.iter().map(|w| w.1).sum(),
         wall: t.elapsed(),
     });
 
@@ -927,18 +949,24 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
     }
     jobs.push(SliceJob::BingLoadPrefix);
     let t = Instant::now();
-    let instructions: Vec<u64> = jobs
+    let work: Vec<(u64, u64)> = jobs
         .par_iter()
-        .map(|job| match job {
-            SliceJob::Pixel(b) => store.pixel_slice(*b).considered(),
-            SliceJob::Syscall(b) => store.syscall_slice(*b).considered(),
-            SliceJob::BingLoadPrefix => store.bing_load_prefix_slice().considered(),
+        .map(|job| {
+            let (considered, b) = match job {
+                SliceJob::Pixel(b) => (store.pixel_slice(*b).considered(), *b),
+                SliceJob::Syscall(b) => (store.syscall_slice(*b).considered(), *b),
+                SliceJob::BingLoadPrefix => {
+                    (store.bing_load_prefix_slice().considered(), Benchmark::Bing)
+                }
+            };
+            (considered, store.base_session(b).trace.storage_bytes())
         })
         .collect();
     stages.push(StageReport {
         name: "slices",
         items: jobs.len(),
-        instructions: instructions.iter().sum(),
+        instructions: work.iter().map(|w| w.0).sum(),
+        trace_bytes: work.iter().map(|w| w.1).sum(),
         wall: t.elapsed(),
     });
 
@@ -960,6 +988,7 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
         name: "views",
         items: views.len(),
         instructions: views.iter().map(|v| v.unique_instructions).sum(),
+        trace_bytes: 0,
         wall: t.elapsed(),
     });
 

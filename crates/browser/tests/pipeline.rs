@@ -141,8 +141,9 @@ fn scroll_is_compositor_only() {
     // does no style/layout/paint work: no blink:: instructions in the
     // scroll window.
     let funcs = session.trace.functions();
-    for i in &session.trace.instrs()[before as usize..after as usize] {
-        let name = funcs.name(i.func);
+    let cols = session.trace.columns();
+    for idx in before as usize..after as usize {
+        let name = funcs.name(cols.func(idx));
         assert!(
             !name.starts_with("blink::"),
             "main-thread rendering work during plain scroll: {name}"

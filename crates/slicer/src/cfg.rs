@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use wasteprof_trace::{FuncId, Instr, InstrKind, Pc, ThreadId, Trace};
+use wasteprof_trace::{FuncId, InstrKind, Pc, ThreadId, Trace};
 
 /// Index of a node within one function's CFG.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -145,17 +145,19 @@ impl CfgSet {
         let mut cfgs: HashMap<FuncId, Cfg> = HashMap::new();
         let mut stacks: HashMap<ThreadId, Vec<Frame>> = HashMap::new();
 
-        for instr in trace.iter() {
-            let stack = stacks.entry(instr.tid).or_default();
+        // Iterate the columns directly: this pass reads only the thread,
+        // function, PC, and kind fields, so materializing whole `Instr`
+        // views would drag every operand through the cache for nothing.
+        let cols = trace.columns();
+        for idx in 0..cols.len() {
+            let func = cols.func(idx);
+            let stack = stacks.entry(cols.tid(idx)).or_default();
             if stack.is_empty() {
                 // First sight of this thread: its root function never had
                 // a call emitted, so open its frame here.
-                stack.push(Frame {
-                    func: instr.func,
-                    last: None,
-                });
+                stack.push(Frame { func, last: None });
             }
-            Self::step(&mut cfgs, stack, instr);
+            Self::step(&mut cfgs, stack, func, cols.pc(idx), cols.kind(idx));
         }
 
         // Close every frame still open at the end of the trace.
@@ -172,21 +174,25 @@ impl CfgSet {
         CfgSet { cfgs }
     }
 
-    fn step(cfgs: &mut HashMap<FuncId, Cfg>, stack: &mut Vec<Frame>, instr: &Instr) {
+    fn step(
+        cfgs: &mut HashMap<FuncId, Cfg>,
+        stack: &mut Vec<Frame>,
+        func: FuncId,
+        pc: Pc,
+        kind: InstrKind,
+    ) {
         let frame = stack.last_mut().expect("frame exists");
         debug_assert_eq!(
-            frame.func, instr.func,
+            frame.func, func,
             "instruction attributed outside current frame"
         );
-        let cfg = cfgs
-            .entry(instr.func)
-            .or_insert_with(|| Cfg::new(instr.func));
-        let node = cfg.intern(instr.pc);
+        let cfg = cfgs.entry(func).or_insert_with(|| Cfg::new(func));
+        let node = cfg.intern(pc);
         let from = frame.last.unwrap_or(NodeId::ENTRY);
         cfg.add_edge(from, node);
         frame.last = Some(node);
 
-        match instr.kind {
+        match kind {
             InstrKind::Call { callee } => {
                 stack.push(Frame {
                     func: callee,

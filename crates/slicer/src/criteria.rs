@@ -112,15 +112,16 @@ pub fn pixel_criteria(trace: &Trace) -> Criteria {
 /// them.
 pub fn syscall_criteria(trace: &Trace) -> Criteria {
     let mut items = Vec::new();
-    for (idx, instr) in trace.iter().enumerate() {
-        if let InstrKind::Syscall { nr } = instr.kind {
+    let cols = trace.columns();
+    for idx in 0..cols.len() {
+        if let InstrKind::Syscall { nr } = cols.kind(idx) {
             if !nr.is_output() {
                 continue;
             }
             items.push(SlicingCriterion {
                 pos: TracePos(idx as u64),
-                mem: instr.mem_reads().to_vec(),
-                regs: instr.reg_reads,
+                mem: cols.mem_reads(idx).to_vec(),
+                regs: cols.reg_reads(idx),
                 include_instr: true,
             });
         }

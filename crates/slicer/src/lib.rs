@@ -56,6 +56,6 @@ mod slice;
 pub use cdg::{Cdg, ControlDeps};
 pub use cfg::{Cfg, CfgNode, CfgSet, NodeId};
 pub use criteria::{pixel_criteria, syscall_criteria, Criteria, SlicingCriterion};
-pub use live::{AddrSet, LiveState};
+pub use live::{AddrSet, IntervalSet, LiveState};
 pub use postdom::PostDoms;
 pub use slice::{slice, ForwardPass, SliceOptions, SliceResult, TimelinePoint};

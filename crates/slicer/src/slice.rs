@@ -181,10 +181,10 @@ impl SliceResult {
     ) -> f64 {
         let mut total = 0u64;
         let mut hit = 0u64;
+        let cols = trace.columns();
         let end = (to.index() + 1).min(self.considered as usize);
         for idx in from.index()..end {
-            let instr = &trace.instrs()[idx];
-            if tid.is_some_and(|t| t != instr.tid) {
+            if tid.is_some_and(|t| t != cols.tid(idx)) {
                 continue;
             }
             total += 1;
@@ -231,6 +231,52 @@ pub fn slice(
     Backward::new(trace, forward, criteria, options).run()
 }
 
+/// Multiplicative hasher for the pending-branch set's small fixed-size
+/// keys. The set is probed once per branch instruction, so the default
+/// SipHash would cost more than the lookup it guards.
+#[derive(Default)]
+struct FibHasher(u64);
+
+impl FibHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+impl std::hash::Hasher for FibHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The top bits carry the entropy of a multiplicative hash; std's
+        // HashSet masks the *low* bits for the bucket index, so fold them
+        // down.
+        self.0 ^ (self.0 >> 32)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+}
+
+type FibBuild = std::hash::BuildHasherDefault<FibHasher>;
+
 #[derive(Debug)]
 struct Frame {
     /// The function executing in this dynamic frame (needed to decide
@@ -246,7 +292,7 @@ struct Backward<'a> {
     criteria: Vec<&'a crate::criteria::SlicingCriterion>,
     n: usize,
     live: LiveState,
-    pending: HashSet<(ThreadId, FuncId, Pc)>,
+    pending: HashSet<(ThreadId, FuncId, Pc), FibBuild>,
     frames: Vec<Vec<Frame>>,
     bitmap: Vec<u64>,
     slice_count: u64,
@@ -277,12 +323,13 @@ impl<'a> Backward<'a> {
         // so pre-seed each thread's frame stack with those invocations
         // (callee identity included — frame clearing needs it).
         let nthreads = trace.threads().len().max(1);
+        let cols = trace.columns();
         let mut open: Vec<Vec<FuncId>> = vec![Vec::new(); 256];
-        for instr in &trace.instrs()[..n] {
-            match instr.kind {
-                InstrKind::Call { callee } => open[instr.tid.index()].push(callee),
+        for idx in 0..n {
+            match cols.kind(idx) {
+                InstrKind::Call { callee } => open[cols.tid(idx).index()].push(callee),
                 InstrKind::Ret => {
-                    open[instr.tid.index()].pop();
+                    open[cols.tid(idx).index()].pop();
                 }
                 _ => {}
             }
@@ -309,7 +356,7 @@ impl<'a> Backward<'a> {
             criteria: criteria.items().iter().collect(),
             n,
             live: LiveState::new(nthreads.max(256)),
-            pending: HashSet::new(),
+            pending: HashSet::default(),
             frames,
             bitmap: vec![0; n.div_ceil(64)],
             slice_count: 0,
@@ -335,10 +382,12 @@ impl<'a> Backward<'a> {
         }
         self.bitmap[word] |= bit;
         self.slice_count += 1;
-        let instr = &self.trace.instrs()[idx];
-        self.per_thread[instr.tid.index()].0 += 1;
-        self.per_func[instr.func.index()].0 += 1;
-        if instr.tid == self.tracked {
+        let cols = self.trace.columns();
+        let tid = cols.tid(idx);
+        let func = cols.func(idx);
+        self.per_thread[tid.index()].0 += 1;
+        self.per_func[func.index()].0 += 1;
+        if tid == self.tracked {
             self.tracked_in_slice += 1;
         }
         // Every branch this instruction is control-dependent on must also
@@ -349,11 +398,11 @@ impl<'a> Backward<'a> {
         // of the same static branch consume the entry would *drop* the
         // true controlling branch (an under-approximation, not a safe
         // over-approximation).
-        for &bpc in self.deps.controllers(instr.func, instr.pc) {
-            self.pending.insert((instr.tid, instr.func, bpc));
+        for &bpc in self.deps.controllers(func, cols.pc(idx)) {
+            self.pending.insert((tid, func, bpc));
         }
         // The dynamic call that led here becomes necessary too.
-        if let Some(frame) = self.frames[instr.tid.index()].last_mut() {
+        if let Some(frame) = self.frames[tid.index()].last_mut() {
             frame.any_slice = true;
         }
     }
@@ -365,21 +414,29 @@ impl<'a> Backward<'a> {
             crit_idx -= 1;
         }
 
+        // Stream the columns directly: each step touches only the fields it
+        // needs, and operand lists come back as arena slices without any
+        // per-instruction materialization.
+        let cols = self.trace.columns();
+        // Timeline checkpoints fall every `interval` instructions; a
+        // countdown avoids a u64 division on every iteration.
+        let mut until_checkpoint = self.interval;
         for idx in (0..self.n).rev() {
-            let instr = &self.trace.instrs()[idx];
-            let tid = instr.tid;
+            let tid = cols.tid(idx);
+            let func = cols.func(idx);
+            let kind = cols.kind(idx);
 
             // Totals.
             self.per_thread[tid.index()].1 += 1;
-            self.per_func[instr.func.index()].1 += 1;
+            self.per_func[func.index()].1 += 1;
             if tid == self.tracked {
                 self.tracked_processed += 1;
             }
 
             // A return means we are entering a dynamic callee (backwards).
-            if matches!(instr.kind, InstrKind::Ret) {
+            if matches!(kind, InstrKind::Ret) {
                 self.frames[tid.index()].push(Frame {
-                    func: instr.func,
+                    func,
                     any_slice: false,
                 });
             }
@@ -401,39 +458,38 @@ impl<'a> Backward<'a> {
 
             // Pending branch: joins the slice, its condition becomes live.
             let is_pending_branch =
-                instr.kind.is_branch() && self.pending.remove(&(tid, instr.func, instr.pc));
+                kind.is_branch() && self.pending.remove(&(tid, func, cols.pc(idx)));
             if is_pending_branch {
                 self.join_slice(idx);
-                for &r in instr.mem_reads() {
+                for &r in cols.mem_reads(idx) {
                     self.live.mem.insert(r);
                 }
                 let regs = self.live.regs_mut(tid);
-                *regs = regs.union(instr.reg_reads);
+                *regs = regs.union(cols.reg_reads(idx));
             } else {
                 // Liveness kill/gen: an instruction writing a live variable
                 // joins the slice.
-                let writes_live_reg = instr.reg_writes.intersects(self.live.regs(tid));
-                let writes_live_mem = instr
-                    .mem_writes()
-                    .iter()
-                    .any(|w| self.live.mem.intersects(*w));
+                let reg_writes = cols.reg_writes(idx);
+                let mem_writes = cols.mem_writes(idx);
+                let writes_live_reg = reg_writes.intersects(self.live.regs(tid));
+                let writes_live_mem = mem_writes.iter().any(|w| self.live.mem.intersects(*w));
                 if writes_live_reg || writes_live_mem {
-                    self.live.regs_mut(tid).subtract(instr.reg_writes);
-                    for &w in instr.mem_writes() {
+                    self.live.regs_mut(tid).subtract(reg_writes);
+                    for &w in mem_writes {
                         self.live.mem.remove(w);
                     }
-                    for &r in instr.mem_reads() {
+                    for &r in cols.mem_reads(idx) {
                         self.live.mem.insert(r);
                     }
                     let regs = self.live.regs_mut(tid);
-                    *regs = regs.union(instr.reg_reads);
+                    *regs = regs.union(cols.reg_reads(idx));
                     self.join_slice(idx);
                 }
             }
 
             // A call closes the callee's dynamic frame (backwards): if
             // anything inside was necessary, so is the call.
-            if let InstrKind::Call { callee } = instr.kind {
+            if let InstrKind::Call { callee } = kind {
                 let any = self.frames[tid.index()]
                     .pop()
                     .map(|f| f.any_slice)
@@ -462,14 +518,15 @@ impl<'a> Backward<'a> {
             }
 
             // Timeline checkpoint.
-            let processed = (self.n - idx) as u64;
-            if processed.is_multiple_of(self.interval) || idx == 0 {
+            until_checkpoint -= 1;
+            if until_checkpoint == 0 || idx == 0 {
                 self.timeline.push(TimelinePoint {
-                    processed,
+                    processed: (self.n - idx) as u64,
                     in_slice: self.slice_count,
                     tracked_processed: self.tracked_processed,
                     tracked_in_slice: self.tracked_in_slice,
                 });
+                until_checkpoint = self.interval;
             }
         }
 
@@ -622,8 +679,8 @@ mod tests {
         // ...and so is the computation producing its condition.
         let cond_store = (cond_def_start.index()..trace.len())
             .find(|&i| {
-                matches!(trace.instrs()[i].kind, InstrKind::Store)
-                    && trace.instrs()[i].mem_writes()[0] == AddrRange::cell(cond)
+                matches!(trace.columns().kind(i), InstrKind::Store)
+                    && trace.columns().mem_writes(i)[0] == AddrRange::cell(cond)
             })
             .unwrap();
         assert!(
@@ -711,7 +768,7 @@ mod tests {
         // The main-thread producer feeds the rasterizer through shared
         // memory and must be in the pixel slice.
         let store_idx = (producer.index()..trace.len())
-            .find(|&i| matches!(trace.instrs()[i].kind, InstrKind::Store))
+            .find(|&i| matches!(trace.columns().kind(i), InstrKind::Store))
             .unwrap();
         assert!(r.contains(TracePos(store_idx as u64)));
     }
@@ -741,7 +798,7 @@ mod tests {
         assert!(r.contains(TracePos(trace.len() as u64 - 1)));
         assert!(r.contains(sys), "arg load missing");
         let store_idx = (producer.index()..waste.index())
-            .find(|&i| matches!(trace.instrs()[i].kind, InstrKind::Store))
+            .find(|&i| matches!(trace.columns().kind(i), InstrKind::Store))
             .unwrap();
         assert!(
             r.contains(TracePos(store_idx as u64)),
@@ -749,7 +806,7 @@ mod tests {
         );
         // The unrelated computation is out.
         let junk_store = (waste.index()..sys.index())
-            .find(|&i| matches!(trace.instrs()[i].kind, InstrKind::Store))
+            .find(|&i| matches!(trace.columns().kind(i), InstrKind::Store))
             .unwrap();
         assert!(!r.contains(TracePos(junk_store as u64)));
     }

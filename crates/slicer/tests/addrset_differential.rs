@@ -1,14 +1,17 @@
-//! Differential test: [`AddrSet`]'s interval arithmetic against a naive
-//! per-byte `HashSet` model. Random op sequences must leave both sides
-//! agreeing on every membership and aggregate query, and the interval
-//! representation must keep its structural invariants (sorted, disjoint,
-//! non-adjacent, non-empty).
+//! Differential test: the hybrid [`AddrSet`] (granule bitmaps + interval
+//! fallback) against TWO references — a naive per-byte `HashSet` model and
+//! the pre-hybrid interval-only [`IntervalSet`] implementation. Random op
+//! sequences spanning both a dense small-operand window (bitmap-classed
+//! region) and a large-buffer window (interval-classed pixel-tile region)
+//! must leave all three agreeing on every membership and aggregate query,
+//! and the hybrid's run iteration must keep its structural invariants
+//! (sorted, disjoint, non-adjacent, non-empty).
 
 use std::collections::HashSet;
 
 use proptest::prelude::*;
-use wasteprof_slicer::AddrSet;
-use wasteprof_trace::{Addr, AddrRange};
+use wasteprof_slicer::{AddrSet, IntervalSet};
+use wasteprof_trace::{Addr, AddrRange, Region};
 
 /// One mutation on the set under test.
 #[derive(Debug, Clone, Copy)]
@@ -17,12 +20,24 @@ enum Op {
     Remove(u64, u32),
 }
 
-/// Ops confined to a small address window so inserts and removes overlap,
-/// merge, split, and cancel each other constantly.
+/// Mixes two op populations so one sequence hits both halves of the
+/// hybrid: ~3/4 small-operand ops confined to a tight window in the
+/// sub-region space (bitmap-classed) so inserts and removes overlap,
+/// merge, split, and cancel each other constantly; ~1/4 large-buffer ops
+/// in the pixel-tile region (interval-classed) with lengths big enough to
+/// exercise the coalesced-interval half.
 fn arb_op() -> impl Strategy<Value = Op> {
-    (0..2u8, 0..240u64, 1..24u32).prop_map(|(kind, start, len)| match kind {
-        0 => Op::Insert(start, len),
-        _ => Op::Remove(start, len),
+    (0..8u8, 0..1024u64, 1..512u32).prop_map(|(sel, off, len)| {
+        let (start, len) = if sel < 6 {
+            (off % 240, len % 23 + 1)
+        } else {
+            (Region::PixelTile.base().raw() + off, len)
+        };
+        if sel % 2 == 0 {
+            Op::Insert(start, len)
+        } else {
+            Op::Remove(start, len)
+        }
     })
 }
 
@@ -30,47 +45,64 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
     #[test]
-    fn addrset_matches_naive_byte_model(ops in proptest::collection::vec(arb_op(), 1..80)) {
+    fn addrset_matches_byte_model_and_interval_impl(
+        ops in proptest::collection::vec(arb_op(), 1..80),
+    ) {
         let mut set = AddrSet::new();
+        let mut old = IntervalSet::new();
         let mut model: HashSet<u64> = HashSet::new();
         for op in &ops {
             match *op {
                 Op::Insert(s, l) => {
                     set.insert(AddrRange::new(Addr::new(s), l));
+                    old.insert(AddrRange::new(Addr::new(s), l));
                     for b in s..s + l as u64 {
                         model.insert(b);
                     }
                 }
                 Op::Remove(s, l) => {
                     set.remove(AddrRange::new(Addr::new(s), l));
+                    old.remove(AddrRange::new(Addr::new(s), l));
                     for b in s..s + l as u64 {
                         model.remove(&b);
                     }
                 }
             }
-            // Aggregates agree after every single step.
+            // Aggregates agree across all three after every single step.
             prop_assert_eq!(set.byte_count(), model.len() as u64);
+            prop_assert_eq!(set.byte_count(), old.byte_count());
             prop_assert_eq!(set.is_empty(), model.is_empty());
+            prop_assert_eq!(set.is_empty(), old.is_empty());
         }
 
-        // Per-byte membership agrees over the whole touched domain (and a
-        // margin past it).
-        for b in 0..300u64 {
+        // Per-byte membership agrees over both touched windows (and a
+        // margin past each).
+        let tile = Region::PixelTile.base().raw();
+        for b in (0..300u64).chain(tile..tile + 1600) {
             prop_assert_eq!(set.contains(Addr::new(b)), model.contains(&b), "byte {}", b);
+            prop_assert_eq!(set.contains(Addr::new(b)), old.contains(Addr::new(b)), "byte {}", b);
         }
 
-        // Range intersection agrees with the model for sliding probes.
-        for s in (0..296u64).step_by(3) {
+        // Range intersection agrees with both references for sliding
+        // probes through each window.
+        for s in (0..296u64).step_by(3).chain((tile..tile + 1592).step_by(7)) {
             let probe = AddrRange::new(Addr::new(s), 5);
             let expected = (s..s + 5).any(|b| model.contains(&b));
             prop_assert_eq!(set.intersects(probe), expected, "probe at {}", s);
+            prop_assert_eq!(old.intersects(probe), expected, "old probe at {}", s);
         }
 
-        // Structural invariants of the interval representation.
+        // The hybrid's merged run iteration must equal the interval-only
+        // implementation's runs exactly.
+        let hybrid_runs: Vec<_> = set.iter().collect();
+        let old_runs: Vec<_> = old.iter().collect();
+        prop_assert_eq!(&hybrid_runs, &old_runs);
+
+        // Structural invariants of the merged run representation.
         let mut prev_end: Option<u64> = None;
         let mut total = 0u64;
         let mut intervals = 0usize;
-        for (s, e) in set.iter() {
+        for &(s, e) in &hybrid_runs {
             prop_assert!(s < e, "empty interval [{}, {})", s, e);
             if let Some(p) = prev_end {
                 prop_assert!(s > p, "intervals [..{}) and [{}, ..) touch or overlap", p, s);

@@ -199,7 +199,11 @@ pub enum Region {
     Framebuffer,
 }
 
-const REGION_SHIFT: u64 = 44;
+/// Bits below a region's index in an address: `addr >> REGION_SHIFT` is the
+/// region index ([`Region::index`]), or `0` for addresses below every
+/// region. Public so clients can classify addresses by region without the
+/// linear lookup of [`Region::of`].
+pub const REGION_SHIFT: u64 = 44;
 
 impl Region {
     /// All regions, in address order.
@@ -214,7 +218,9 @@ impl Region {
         Region::Framebuffer,
     ];
 
-    fn index(self) -> u64 {
+    /// Dense, stable index of the region in the address space (`1`-based;
+    /// index `0` is the sub-region space below [`Region::Code`]).
+    pub const fn index(self) -> u64 {
         match self {
             Region::Code => 1,
             Region::Heap => 2,

@@ -1,0 +1,343 @@
+//! Columnar (structure-of-arrays) trace storage.
+//!
+//! A trace holds millions of instructions, and the slicer's passes stream
+//! over one or two fields at a time (kinds for the CFG build, operand
+//! ranges for liveness). Storing `Vec<Instr>` wastes cache on fields the
+//! current pass never reads and pays an enum-layout tax per record; this
+//! module instead keeps one packed column per field, with memory operands
+//! in a single side arena indexed by a compact [`MemOpsRef`]. An [`Instr`]
+//! can still be materialized per position, but hot paths read the columns
+//! directly.
+
+use crate::addr::AddrRange;
+use crate::func::FuncId;
+use crate::instr::{Instr, InstrKind, MemOps};
+use crate::pc::Pc;
+use crate::reg::RegSet;
+use crate::syscall::Syscall;
+use crate::thread::ThreadId;
+
+/// One instruction's memory operands: a contiguous run in the shared
+/// operand arena, reads first, then writes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemOpsRef {
+    /// First operand's index in the arena.
+    pub start: u32,
+    /// Number of ranges read.
+    pub nreads: u16,
+    /// Number of ranges written.
+    pub nwrites: u16,
+}
+
+/// Encodes an [`InstrKind`] as a `(tag, payload)` pair for column storage.
+/// The tag values are shared with the serialized trace format.
+pub(crate) fn kind_to_tag(kind: InstrKind) -> (u8, u32) {
+    match kind {
+        InstrKind::Op => (0, 0),
+        InstrKind::Load => (1, 0),
+        InstrKind::Store => (2, 0),
+        InstrKind::Branch { taken } => (3, taken as u32),
+        InstrKind::Call { callee } => (4, callee.0),
+        InstrKind::Ret => (5, 0),
+        InstrKind::Syscall { nr } => (6, nr.number()),
+        InstrKind::Marker => (7, 0),
+    }
+}
+
+/// Packed per-field instruction columns plus the memory-operand arena.
+///
+/// Every column has exactly one entry per instruction; `arena` holds all
+/// operand ranges back to back, addressed through the `mem` column.
+#[derive(Debug, Clone, Default)]
+pub struct Columns {
+    /// Opcode-class tag (same values as the trace wire format).
+    kinds: Vec<u8>,
+    /// Kind payload: branch direction, callee id, or syscall number.
+    kind_data: Vec<u32>,
+    /// Executing thread per instruction.
+    tids: Vec<u8>,
+    /// Enclosing function per instruction.
+    funcs: Vec<u32>,
+    /// Static PC per instruction.
+    pcs: Vec<u32>,
+    /// Registers read, as a bitset.
+    reg_reads: Vec<u16>,
+    /// Registers written, as a bitset.
+    reg_writes: Vec<u16>,
+    /// Memory-operand reference per instruction.
+    mem: Vec<MemOpsRef>,
+    /// All memory operands of all instructions, reads before writes.
+    arena: Vec<AddrRange>,
+}
+
+impl Columns {
+    /// Fixed column bytes per instruction (excluding arena entries).
+    pub const BYTES_PER_INSTR: usize = std::mem::size_of::<u8>()      // kind tag
+        + std::mem::size_of::<u32>()                                  // kind payload
+        + std::mem::size_of::<u8>()                                   // tid
+        + std::mem::size_of::<u32>()                                  // func
+        + std::mem::size_of::<u32>()                                  // pc
+        + 2 * std::mem::size_of::<u16>()                              // reg sets
+        + std::mem::size_of::<MemOpsRef>();
+
+    /// Number of instructions stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True if no instructions are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Number of memory-operand ranges in the arena.
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Logical storage footprint in bytes: packed columns plus the operand
+    /// arena (allocator slack excluded).
+    pub fn storage_bytes(&self) -> u64 {
+        (self.len() * Self::BYTES_PER_INSTR + self.arena.len() * std::mem::size_of::<AddrRange>())
+            as u64
+    }
+
+    /// Appends one instruction.
+    // One parameter per column is the point of a SoA push.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn push(
+        &mut self,
+        tid: ThreadId,
+        func: FuncId,
+        pc: Pc,
+        kind: InstrKind,
+        reg_reads: RegSet,
+        reg_writes: RegSet,
+        reads: &[AddrRange],
+        writes: &[AddrRange],
+    ) {
+        let start = self.arena.len();
+        assert!(
+            start + reads.len() + writes.len() <= u32::MAX as usize,
+            "memory-operand arena exceeds u32 indexing"
+        );
+        assert!(
+            reads.len() <= u16::MAX as usize && writes.len() <= u16::MAX as usize,
+            "too many memory operands on one instruction"
+        );
+        let (tag, data) = kind_to_tag(kind);
+        self.kinds.push(tag);
+        self.kind_data.push(data);
+        self.tids.push(tid.0);
+        self.funcs.push(func.0);
+        self.pcs.push(pc.0);
+        self.reg_reads.push(reg_reads.bits());
+        self.reg_writes.push(reg_writes.bits());
+        self.arena.extend_from_slice(reads);
+        self.arena.extend_from_slice(writes);
+        self.mem.push(MemOpsRef {
+            start: start as u32,
+            nreads: reads.len() as u16,
+            nwrites: writes.len() as u16,
+        });
+    }
+
+    /// Opcode class of instruction `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds (as do all per-index accessors).
+    #[inline]
+    pub fn kind(&self, idx: usize) -> InstrKind {
+        let data = self.kind_data[idx];
+        match self.kinds[idx] {
+            0 => InstrKind::Op,
+            1 => InstrKind::Load,
+            2 => InstrKind::Store,
+            3 => InstrKind::Branch { taken: data != 0 },
+            4 => InstrKind::Call {
+                callee: FuncId(data),
+            },
+            5 => InstrKind::Ret,
+            6 => InstrKind::Syscall {
+                nr: Syscall::from_number(data).expect("column holds a valid syscall number"),
+            },
+            _ => InstrKind::Marker,
+        }
+    }
+
+    /// Executing thread of instruction `idx`.
+    #[inline]
+    pub fn tid(&self, idx: usize) -> ThreadId {
+        ThreadId(self.tids[idx])
+    }
+
+    /// Enclosing function of instruction `idx`.
+    #[inline]
+    pub fn func(&self, idx: usize) -> FuncId {
+        FuncId(self.funcs[idx])
+    }
+
+    /// Static PC of instruction `idx`.
+    #[inline]
+    pub fn pc(&self, idx: usize) -> Pc {
+        Pc(self.pcs[idx])
+    }
+
+    /// Registers read by instruction `idx`.
+    #[inline]
+    pub fn reg_reads(&self, idx: usize) -> RegSet {
+        RegSet::from_bits(self.reg_reads[idx])
+    }
+
+    /// Registers written by instruction `idx`.
+    #[inline]
+    pub fn reg_writes(&self, idx: usize) -> RegSet {
+        RegSet::from_bits(self.reg_writes[idx])
+    }
+
+    /// Memory ranges read by instruction `idx`.
+    #[inline]
+    pub fn mem_reads(&self, idx: usize) -> &[AddrRange] {
+        let m = self.mem[idx];
+        let s = m.start as usize;
+        &self.arena[s..s + m.nreads as usize]
+    }
+
+    /// Memory ranges written by instruction `idx`.
+    #[inline]
+    pub fn mem_writes(&self, idx: usize) -> &[AddrRange] {
+        let m = self.mem[idx];
+        let s = m.start as usize + m.nreads as usize;
+        &self.arena[s..s + m.nwrites as usize]
+    }
+
+    /// Materializes the instruction at `idx` as an owned [`Instr`] view.
+    ///
+    /// Cheap for the common 0/1-operand shapes; only multi-operand
+    /// instructions (syscalls) allocate their operand lists.
+    pub fn instr(&self, idx: usize) -> Instr {
+        let reads = self.mem_reads(idx);
+        let writes = self.mem_writes(idx);
+        let mem = match (reads.len(), writes.len()) {
+            (0, 0) => MemOps::None,
+            (1, 0) => MemOps::Read(reads[0]),
+            (0, 1) => MemOps::Write(writes[0]),
+            (1, 1) => MemOps::ReadWrite(reads[0], writes[0]),
+            _ => MemOps::new(reads.to_vec(), writes.to_vec()),
+        };
+        Instr {
+            tid: self.tid(idx),
+            func: self.func(idx),
+            pc: self.pc(idx),
+            kind: self.kind(idx),
+            reg_reads: self.reg_reads(idx),
+            reg_writes: self.reg_writes(idx),
+            mem,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    fn range(start: u64, len: u32) -> AddrRange {
+        AddrRange::new(Addr::new(start), len)
+    }
+
+    #[test]
+    fn push_then_materialize_roundtrips_every_kind() {
+        let kinds = [
+            InstrKind::Op,
+            InstrKind::Load,
+            InstrKind::Store,
+            InstrKind::Branch { taken: true },
+            InstrKind::Branch { taken: false },
+            InstrKind::Call { callee: FuncId(7) },
+            InstrKind::Ret,
+            InstrKind::Syscall {
+                nr: Syscall::Writev,
+            },
+            InstrKind::Marker,
+        ];
+        let mut cols = Columns::default();
+        for (i, &k) in kinds.iter().enumerate() {
+            cols.push(
+                ThreadId(i as u8),
+                FuncId(i as u32),
+                Pc(100 + i as u32),
+                k,
+                RegSet::EMPTY,
+                RegSet::EMPTY,
+                &[range(0x100 + i as u64 * 16, 8)],
+                &[],
+            );
+        }
+        assert_eq!(cols.len(), kinds.len());
+        for (i, &k) in kinds.iter().enumerate() {
+            assert_eq!(cols.kind(i), k);
+            let instr = cols.instr(i);
+            assert_eq!(instr.kind, k);
+            assert_eq!(instr.tid, ThreadId(i as u8));
+            assert_eq!(instr.pc, Pc(100 + i as u32));
+            assert_eq!(instr.mem_reads(), &[range(0x100 + i as u64 * 16, 8)]);
+            assert!(instr.mem_writes().is_empty());
+        }
+    }
+
+    #[test]
+    fn operand_slices_split_reads_and_writes() {
+        let mut cols = Columns::default();
+        let r1 = range(0x10, 8);
+        let r2 = range(0x20, 8);
+        let w1 = range(0x30, 8);
+        cols.push(
+            ThreadId(0),
+            FuncId(0),
+            Pc(1),
+            InstrKind::Syscall {
+                nr: Syscall::Writev,
+            },
+            RegSet::EMPTY,
+            RegSet::EMPTY,
+            &[r1, r2],
+            &[w1],
+        );
+        cols.push(
+            ThreadId(0),
+            FuncId(0),
+            Pc(2),
+            InstrKind::Store,
+            RegSet::EMPTY,
+            RegSet::EMPTY,
+            &[],
+            &[w1],
+        );
+        assert_eq!(cols.mem_reads(0), &[r1, r2]);
+        assert_eq!(cols.mem_writes(0), &[w1]);
+        assert!(cols.mem_reads(1).is_empty());
+        assert_eq!(cols.mem_writes(1), &[w1]);
+        assert_eq!(cols.arena_len(), 4);
+    }
+
+    #[test]
+    fn storage_bytes_counts_columns_and_arena() {
+        let mut cols = Columns::default();
+        cols.push(
+            ThreadId(0),
+            FuncId(0),
+            Pc(1),
+            InstrKind::Load,
+            RegSet::EMPTY,
+            RegSet::EMPTY,
+            &[range(0x10, 8)],
+            &[],
+        );
+        let expected = (Columns::BYTES_PER_INSTR + std::mem::size_of::<AddrRange>()) as u64;
+        assert_eq!(cols.storage_bytes(), expected);
+    }
+}

@@ -153,13 +153,31 @@ impl Instr {
     }
 }
 
+impl Instr {
+    /// Shared rendering for `Display` and [`crate::Trace::display_instr`]:
+    /// with a resolved function name when one is available, falling back to
+    /// the bare `fn#N` id otherwise.
+    pub(crate) fn fmt_with_name(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        name: Option<&str>,
+    ) -> fmt::Result {
+        match name {
+            Some(n) => write!(f, "t{} {}@{} {:?}", self.tid.0, n, self.pc, self.kind),
+            None => write!(
+                f,
+                "t{} {:?}@{} {:?}",
+                self.tid.0, self.func, self.pc, self.kind
+            ),
+        }
+    }
+}
+
 impl fmt::Display for Instr {
+    /// A bare `Instr` has no symbol table, so the function renders as its
+    /// `fn#N` id; use [`crate::Trace::display_instr`] to resolve the name.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "t{} {:?}@{} {:?}",
-            self.tid.0, self.func, self.pc, self.kind
-        )
+        self.fmt_with_name(f, None)
     }
 }
 
@@ -225,11 +243,32 @@ mod tests {
 
     #[test]
     fn instr_size_is_reasonable() {
-        // Traces hold millions of instructions; keep the record compact.
+        // Traces hold millions of instructions. What they actually store is
+        // the packed columns, so the real budget is per-instruction column
+        // bytes — `Instr` is only a materialized view and gets a looser
+        // bound of its own.
+        const {
+            assert!(
+                crate::columns::Columns::BYTES_PER_INSTR <= 32,
+                "per-instruction column storage grew past 32 bytes"
+            );
+        }
         assert!(
             std::mem::size_of::<Instr>() <= 72,
-            "Instr grew to {} bytes",
+            "Instr view grew to {} bytes",
             std::mem::size_of::<Instr>()
+        );
+    }
+
+    #[test]
+    fn memop_arena_entries_are_compact() {
+        // Each arena entry is one AddrRange addressed by a MemOpsRef; both
+        // must stay pointer-free and small or operand-heavy traces balloon.
+        assert_eq!(std::mem::size_of::<crate::columns::MemOpsRef>(), 8);
+        assert!(
+            std::mem::size_of::<AddrRange>() <= 16,
+            "arena entry grew to {} bytes",
+            std::mem::size_of::<AddrRange>()
         );
     }
 }

@@ -10,8 +10,9 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 use crate::addr::{Addr, AddrRange};
+use crate::columns::Columns;
 use crate::func::{FuncId, FunctionRegistry};
-use crate::instr::{Instr, InstrKind, MemOps, TracePos};
+use crate::instr::{InstrKind, TracePos};
 use crate::pc::Pc;
 use crate::reg::RegSet;
 use crate::syscall::Syscall;
@@ -120,19 +121,6 @@ fn r_range(r: &mut impl Read) -> Result<AddrRange, TraceIoError> {
 
 // ----- trace encoding ----------------------------------------------------
 
-fn kind_tag(kind: &InstrKind) -> u8 {
-    match kind {
-        InstrKind::Op => 0,
-        InstrKind::Load => 1,
-        InstrKind::Store => 2,
-        InstrKind::Branch { .. } => 3,
-        InstrKind::Call { .. } => 4,
-        InstrKind::Ret => 5,
-        InstrKind::Syscall { .. } => 6,
-        InstrKind::Marker => 7,
-    }
-}
-
 fn thread_kind_tag(kind: ThreadKind) -> (u8, u8) {
     match kind {
         ThreadKind::Main => (0, 0),
@@ -181,24 +169,26 @@ pub fn write_trace(w: &mut impl Write, trace: &Trace) -> Result<(), TraceIoError
     }
 
     w_u64(w, trace.len() as u64)?;
-    for i in trace.iter() {
-        w_u8(w, i.tid.0)?;
-        w_u8(w, kind_tag(&i.kind))?;
-        w_u32(w, i.func.0)?;
-        w_u32(w, i.pc.0)?;
-        w_u16(w, i.reg_reads.bits())?;
-        w_u16(w, i.reg_writes.bits())?;
-        match &i.kind {
-            InstrKind::Branch { taken } => w_u8(w, *taken as u8)?,
+    let cols = trace.columns();
+    for idx in 0..cols.len() {
+        let kind = cols.kind(idx);
+        w_u8(w, cols.tid(idx).0)?;
+        w_u8(w, crate::columns::kind_to_tag(kind).0)?;
+        w_u32(w, cols.func(idx).0)?;
+        w_u32(w, cols.pc(idx).0)?;
+        w_u16(w, cols.reg_reads(idx).bits())?;
+        w_u16(w, cols.reg_writes(idx).bits())?;
+        match kind {
+            InstrKind::Branch { taken } => w_u8(w, taken as u8)?,
             InstrKind::Call { callee } => w_u32(w, callee.0)?,
             InstrKind::Syscall { nr } => w_u32(w, nr.number())?,
 
             _ => {}
         }
-        let reads = i.mem_reads();
-        let writes = i.mem_writes();
-        // u16 counts: the recorder never emits that many operands, but the
-        // format must not silently truncate if it ever did.
+        let reads = cols.mem_reads(idx);
+        let writes = cols.mem_writes(idx);
+        // u16 counts: the columns enforce this on push, but the format must
+        // not silently truncate if that ever changed.
         assert!(reads.len() <= u16::MAX as usize && writes.len() <= u16::MAX as usize);
         w_u16(w, reads.len() as u16)?;
         w_u16(w, writes.len() as u16)?;
@@ -254,8 +244,12 @@ pub fn read_trace(r: &mut impl Read) -> Result<Trace, TraceIoError> {
     }
 
     let ninstrs = r_u64(r)?;
-    // Never trust a length field with the allocator: grow as bytes arrive.
-    let mut instrs = Vec::with_capacity((ninstrs as usize).min(1 << 20));
+    // Never trust a length field with the allocator: the columns grow as
+    // bytes actually arrive. The two operand buffers are reused across
+    // instructions — reading allocates no more than recording does.
+    let mut cols = Columns::default();
+    let mut reads: Vec<AddrRange> = Vec::new();
+    let mut writes: Vec<AddrRange> = Vec::new();
     for _ in 0..ninstrs {
         let tid = ThreadId(r_u8(r)?);
         let tag = r_u8(r)?;
@@ -286,26 +280,18 @@ pub fn read_trace(r: &mut impl Read) -> Result<Trace, TraceIoError> {
         };
         let nreads = r_u16(r)? as usize;
         let nwrites = r_u16(r)? as usize;
-        let mut reads = Vec::with_capacity(nreads.min(1 << 12));
+        reads.clear();
         for _ in 0..nreads {
             reads.push(r_range(r)?);
         }
-        let mut writes = Vec::with_capacity(nwrites.min(1 << 12));
+        writes.clear();
         for _ in 0..nwrites {
             writes.push(r_range(r)?);
         }
-        instrs.push(Instr {
-            tid,
-            func,
-            pc,
-            kind,
-            reg_reads,
-            reg_writes,
-            mem: MemOps::new(reads, writes),
-        });
+        cols.push(tid, func, pc, kind, reg_reads, reg_writes, &reads, &writes);
     }
 
-    let trace = Trace::from_parts(instrs, funcs, threads, markers);
+    let trace = Trace::from_columns(cols, funcs, threads, markers);
     trace.validate().map_err(bad)?;
     Ok(trace)
 }

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod columns;
 mod func;
 mod instr;
 mod io;
@@ -54,7 +55,8 @@ mod syscall;
 mod thread;
 mod trace;
 
-pub use addr::{Addr, AddrRange, Region, VirtualMemory, CELL};
+pub use addr::{Addr, AddrRange, Region, VirtualMemory, CELL, REGION_SHIFT};
+pub use columns::{Columns, MemOpsRef};
 pub use func::{FuncId, FuncInfo, FunctionRegistry};
 pub use instr::{Instr, InstrKind, MemMulti, MemOps, TracePos};
 pub use io::{read_trace, write_trace, TraceIoError};
@@ -63,4 +65,4 @@ pub use recorder::Recorder;
 pub use reg::{Reg, RegSet};
 pub use syscall::Syscall;
 pub use thread::{ThreadId, ThreadInfo, ThreadKind, ThreadTable};
-pub use trace::{KindHistogram, MarkerRecord, Trace};
+pub use trace::{InstrDisplay, Instrs, KindHistogram, MarkerRecord, Trace};

@@ -9,8 +9,9 @@
 //! Chromium to one core and attaching Pin (§IV).
 
 use crate::addr::{AddrRange, Region, VirtualMemory};
+use crate::columns::Columns;
 use crate::func::{FuncId, FunctionRegistry};
-use crate::instr::{Instr, InstrKind, MemOps, TracePos};
+use crate::instr::{InstrKind, MemOps, TracePos};
 use crate::pc::Pc;
 use crate::reg::{Reg, RegSet};
 use crate::syscall::Syscall;
@@ -58,12 +59,16 @@ pub struct Recorder {
     mem: VirtualMemory,
     funcs: FunctionRegistry,
     threads: ThreadTable,
-    instrs: Vec<Instr>,
+    cols: Columns,
     markers: Vec<MarkerRecord>,
     cur: Option<ThreadId>,
     ctxs: Vec<ThreadCtx>,
     traced_alloc: bool,
     alloc_fn: Option<FuncId>,
+    /// Reused operand scratch: engine-level emitters assemble their read
+    /// lists here instead of allocating a fresh `Vec` per call, so steady-
+    /// state recording performs no per-instruction heap allocation.
+    scratch_reads: Vec<AddrRange>,
 }
 
 impl Recorder {
@@ -73,12 +78,13 @@ impl Recorder {
             mem: VirtualMemory::new(),
             funcs: FunctionRegistry::new(),
             threads: ThreadTable::new(),
-            instrs: Vec::new(),
+            cols: Columns::default(),
             markers: Vec::new(),
             cur: None,
             ctxs: Vec::new(),
             traced_alloc: false,
             alloc_fn: None,
+            scratch_reads: Vec::new(),
         }
     }
 
@@ -179,12 +185,14 @@ impl Recorder {
         for i in 0..3 {
             self.alu(OP_PC.step(2 + i), t, RegSet::of(&[t]));
         }
+        let cursor_range: AddrRange = cursor.into();
         self.emit(
             OP_PC,
             InstrKind::Op,
             RegSet::of(&[t]),
             RegSet::EMPTY,
-            MemOps::ReadWrite(cursor.into(), cursor.into()),
+            &[cursor_range],
+            &[cursor_range],
         );
         self.leave(RET_PC);
         self.ctxs[idx].alloc_anchor = Some(cursor);
@@ -212,7 +220,7 @@ impl Recorder {
 
     /// Position the *next* emitted instruction will occupy.
     pub fn pos(&self) -> TracePos {
-        TracePos(self.instrs.len() as u64)
+        TracePos(self.cols.len() as u64)
     }
 
     // ----- low-level emission ------------------------------------------
@@ -223,20 +231,14 @@ impl Recorder {
         kind: InstrKind,
         reg_reads: RegSet,
         reg_writes: RegSet,
-        mem: MemOps,
+        reads: &[AddrRange],
+        writes: &[AddrRange],
     ) -> TracePos {
         let tid = self.current_thread();
         let func = self.current_func();
         let pos = self.pos();
-        self.instrs.push(Instr {
-            tid,
-            func,
-            pc,
-            kind,
-            reg_reads,
-            reg_writes,
-            mem,
-        });
+        self.cols
+            .push(tid, func, pc, kind, reg_reads, reg_writes, reads, writes);
         pos
     }
 
@@ -257,7 +259,7 @@ impl Recorder {
         reg_writes: RegSet,
         mem: MemOps,
     ) -> TracePos {
-        self.emit(pc, kind, reg_reads, reg_writes, mem)
+        self.emit(pc, kind, reg_reads, reg_writes, mem.reads(), mem.writes())
     }
 
     /// Emits a load of `src` into register `dst`.
@@ -267,7 +269,8 @@ impl Recorder {
             InstrKind::Load,
             RegSet::EMPTY,
             RegSet::of(&[dst]),
-            MemOps::Read(src.into()),
+            &[src.into()],
+            &[],
         )
     }
 
@@ -278,13 +281,14 @@ impl Recorder {
             InstrKind::Store,
             RegSet::of(&[src]),
             RegSet::EMPTY,
-            MemOps::Write(dst.into()),
+            &[],
+            &[dst.into()],
         )
     }
 
     /// Emits a register-only ALU op computing `dst` from `srcs`.
     pub fn alu(&mut self, pc: Pc, dst: Reg, srcs: RegSet) -> TracePos {
-        self.emit(pc, InstrKind::Op, srcs, RegSet::of(&[dst]), MemOps::None)
+        self.emit(pc, InstrKind::Op, srcs, RegSet::of(&[dst]), &[], &[])
     }
 
     /// Emits a conditional branch whose condition is register `cond`.
@@ -294,7 +298,8 @@ impl Recorder {
             InstrKind::Branch { taken },
             RegSet::of(&[cond]),
             RegSet::EMPTY,
-            MemOps::None,
+            &[],
+            &[],
         )
     }
 
@@ -306,7 +311,8 @@ impl Recorder {
             InstrKind::Branch { taken },
             RegSet::EMPTY,
             RegSet::EMPTY,
-            MemOps::Read(cond.into()),
+            &[cond.into()],
+            &[],
         )
     }
 
@@ -320,7 +326,8 @@ impl Recorder {
             InstrKind::Call { callee },
             RegSet::EMPTY,
             RegSet::EMPTY,
-            MemOps::None,
+            &[],
+            &[],
         );
         let tid = self.current_thread();
         self.ctxs[tid.index()].call_stack.push(callee);
@@ -332,13 +339,7 @@ impl Recorder {
     ///
     /// Panics if it would pop the thread's root frame.
     pub fn leave(&mut self, pc: Pc) {
-        self.emit(
-            pc,
-            InstrKind::Ret,
-            RegSet::EMPTY,
-            RegSet::EMPTY,
-            MemOps::None,
-        );
+        self.emit(pc, InstrKind::Ret, RegSet::EMPTY, RegSet::EMPTY, &[], &[]);
         let tid = self.current_thread();
         let stack = &mut self.ctxs[tid.index()].call_stack;
         assert!(stack.len() > 1, "cannot return from a thread's root frame");
@@ -361,16 +362,25 @@ impl Recorder {
 
     // ----- engine-level operations -------------------------------------
 
-    /// Consumes a pending alloc anchor into a read list: the first memory
-    /// read after an allocation also reads the allocator cursor (the
-    /// pointer was just materialized from it). Shared by every engine-level
-    /// reader so the anchor cannot leak past an unrelated copy or syscall.
-    fn reads_with_anchor(&mut self, reads: &[AddrRange]) -> Vec<AddrRange> {
-        let mut v = reads.to_vec();
+    /// Moves the operand scratch buffer out, filled with `reads` plus any
+    /// pending alloc anchor: the first memory read after an allocation also
+    /// reads the allocator cursor (the pointer was just materialized from
+    /// it). Shared by every engine-level reader so the anchor cannot leak
+    /// past an unrelated copy or syscall. Callers hand the buffer back via
+    /// [`Recorder::put_scratch`]; the round trip reuses one allocation for
+    /// the whole recording.
+    fn take_reads_with_anchor(&mut self, reads: &[AddrRange]) -> Vec<AddrRange> {
+        let mut v = std::mem::take(&mut self.scratch_reads);
+        v.clear();
+        v.extend_from_slice(reads);
         if let Some(c) = self.take_alloc_anchor() {
             v.push(c.into());
         }
         v
+    }
+
+    fn put_scratch(&mut self, v: Vec<AddrRange>) {
+        self.scratch_reads = v;
     }
 
     /// Emits a realistic load/ALU/store expansion computing `writes` from
@@ -379,7 +389,7 @@ impl Recorder {
     ///
     /// Emits `1 + 2·|reads| + |writes|` instructions at sub-PCs of `pc`.
     pub fn compute(&mut self, pc: Pc, reads: &[AddrRange], writes: &[AddrRange]) -> TracePos {
-        let reads = self.reads_with_anchor(reads);
+        let reads = self.take_reads_with_anchor(reads);
         let start = self.pos();
         let acc = self.next_temp();
         // Initialize the accumulator (constant generation).
@@ -397,6 +407,7 @@ impl Recorder {
             self.store(pc.step(i), w, acc);
             i += 1;
         }
+        self.put_scratch(reads);
         start
     }
 
@@ -409,7 +420,7 @@ impl Recorder {
         writes: &[AddrRange],
         extra: u32,
     ) -> TracePos {
-        let reads = self.reads_with_anchor(reads);
+        let reads = self.take_reads_with_anchor(reads);
         let start = self.pos();
         let acc = self.next_temp();
         self.alu(pc.step(0), acc, RegSet::EMPTY);
@@ -430,6 +441,7 @@ impl Recorder {
             self.store(pc.step(i), w, acc);
             i += 1;
         }
+        self.put_scratch(reads);
         start
     }
 
@@ -476,8 +488,12 @@ impl Recorder {
             "{nr} takes {} args",
             nr.arg_count()
         );
-        // The kernel entry reads any just-allocated buffer's pointer.
-        let buf_reads = self.reads_with_anchor(&buf_reads);
+        // The kernel entry reads any just-allocated buffer's pointer; the
+        // caller already owns the read list, so the anchor appends in place.
+        let mut buf_reads = buf_reads;
+        if let Some(c) = self.take_alloc_anchor() {
+            buf_reads.push(c.into());
+        }
         for (i, &cell) in arg_cells.iter().enumerate() {
             self.load(pc.step(i as u32), KERNEL_ARGS[i], cell);
         }
@@ -487,7 +503,8 @@ impl Recorder {
             InstrKind::Syscall { nr },
             reg_reads,
             reg_writes,
-            MemOps::new(buf_reads, buf_writes),
+            &buf_reads,
+            &buf_writes,
         )
     }
 
@@ -496,14 +513,14 @@ impl Recorder {
     /// `RasterBufferProvider::PlaybackToMemory`).
     pub fn marker(&mut self, pc: Pc, tile: AddrRange) -> TracePos {
         let r13 = RegSet::of(&[Reg::R13]);
-        let pos = self.emit(pc, InstrKind::Marker, r13, r13, MemOps::None);
+        let pos = self.emit(pc, InstrKind::Marker, r13, r13, &[], &[]);
         self.markers.push(MarkerRecord { pos, tile });
         pos
     }
 
     /// Finalizes the recording into an immutable [`Trace`].
     pub fn finish(self) -> Trace {
-        Trace::from_parts(self.instrs, self.funcs, self.threads, self.markers)
+        Trace::from_columns(self.cols, self.funcs, self.threads, self.markers)
     }
 }
 

@@ -1,8 +1,10 @@
 //! The finalized instruction trace and its basic statistics.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::addr::AddrRange;
+use crate::columns::Columns;
 use crate::func::{FuncId, FunctionRegistry};
 use crate::instr::{Instr, InstrKind, TracePos};
 use crate::thread::{ThreadId, ThreadTable};
@@ -22,24 +24,27 @@ pub struct MarkerRecord {
 /// An immutable, fully collected instruction trace.
 ///
 /// Produced by [`crate::Recorder::finish`]; consumed by the slicer's forward
-/// and backward passes.
+/// and backward passes. Instructions live in columnar storage
+/// ([`Columns`]); [`Trace::instr`] and [`Trace::iter`] materialize
+/// [`Instr`] views on demand, while hot passes read the columns directly
+/// via [`Trace::columns`].
 #[derive(Debug, Clone)]
 pub struct Trace {
-    instrs: Vec<Instr>,
+    cols: Columns,
     funcs: FunctionRegistry,
     threads: ThreadTable,
     markers: Vec<MarkerRecord>,
 }
 
 impl Trace {
-    pub(crate) fn from_parts(
-        instrs: Vec<Instr>,
+    pub(crate) fn from_columns(
+        cols: Columns,
         funcs: FunctionRegistry,
         threads: ThreadTable,
         markers: Vec<MarkerRecord>,
     ) -> Self {
         Trace {
-            instrs,
+            cols,
             funcs,
             threads,
             markers,
@@ -48,31 +53,35 @@ impl Trace {
 
     /// Number of dynamic instructions.
     pub fn len(&self) -> usize {
-        self.instrs.len()
+        self.cols.len()
     }
 
     /// True if the trace is empty.
     pub fn is_empty(&self) -> bool {
-        self.instrs.is_empty()
+        self.cols.is_empty()
     }
 
-    /// The instruction at `pos`.
+    /// The instruction at `pos`, materialized from the columns.
     ///
     /// # Panics
     ///
     /// Panics if `pos` is out of bounds.
-    pub fn instr(&self, pos: TracePos) -> &Instr {
-        &self.instrs[pos.index()]
+    pub fn instr(&self, pos: TracePos) -> Instr {
+        self.cols.instr(pos.index())
     }
 
-    /// Iterates over instructions in execution order.
-    pub fn iter(&self) -> std::slice::Iter<'_, Instr> {
-        self.instrs.iter()
+    /// The underlying per-field columns (the zero-copy hot-path view).
+    #[inline]
+    pub fn columns(&self) -> &Columns {
+        &self.cols
     }
 
-    /// All instructions as a slice.
-    pub fn instrs(&self) -> &[Instr] {
-        &self.instrs
+    /// Iterates over instructions in execution order, materializing each.
+    pub fn iter(&self) -> Instrs<'_> {
+        Instrs {
+            cols: &self.cols,
+            idx: 0,
+        }
     }
 
     /// The symbol table.
@@ -90,11 +99,28 @@ impl Trace {
         &self.markers
     }
 
+    /// Logical storage footprint of the instruction columns and operand
+    /// arena, in bytes (symbol/thread tables and allocator slack excluded).
+    pub fn storage_bytes(&self) -> u64 {
+        self.cols.storage_bytes()
+    }
+
+    /// Renders the instruction at `pos` with its function *name* (resolved
+    /// through the trace's [`FunctionRegistry`]) rather than the bare
+    /// `fn#N` id that [`Instr`]'s own `Display` falls back to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of bounds.
+    pub fn display_instr(&self, pos: TracePos) -> InstrDisplay<'_> {
+        InstrDisplay { trace: self, pos }
+    }
+
     /// Instruction counts per thread.
     pub fn per_thread_counts(&self) -> HashMap<ThreadId, u64> {
         let mut m = HashMap::new();
-        for i in &self.instrs {
-            *m.entry(i.tid).or_insert(0) += 1;
+        for idx in 0..self.cols.len() {
+            *m.entry(self.cols.tid(idx)).or_insert(0) += 1;
         }
         m
     }
@@ -102,8 +128,8 @@ impl Trace {
     /// Instruction counts per function.
     pub fn per_func_counts(&self) -> HashMap<FuncId, u64> {
         let mut m = HashMap::new();
-        for i in &self.instrs {
-            *m.entry(i.func).or_insert(0) += 1;
+        for idx in 0..self.cols.len() {
+            *m.entry(self.cols.func(idx)).or_insert(0) += 1;
         }
         m
     }
@@ -111,8 +137,8 @@ impl Trace {
     /// Counts of each opcode class.
     pub fn kind_histogram(&self) -> KindHistogram {
         let mut h = KindHistogram::default();
-        for i in &self.instrs {
-            match i.kind {
+        for idx in 0..self.cols.len() {
+            match self.cols.kind(idx) {
                 InstrKind::Op => h.ops += 1,
                 InstrKind::Load => h.loads += 1,
                 InstrKind::Store => h.stores += 1,
@@ -131,24 +157,29 @@ impl Trace {
     /// violation, if any.
     pub fn validate(&self) -> Result<(), String> {
         let mut depths: HashMap<ThreadId, i64> = HashMap::new();
-        for (idx, i) in self.instrs.iter().enumerate() {
-            let d = depths.entry(i.tid).or_insert(0);
-            match i.kind {
-                InstrKind::Call { .. } => *d += 1,
+        for idx in 0..self.cols.len() {
+            match self.cols.kind(idx) {
+                InstrKind::Call { .. } => {
+                    *depths.entry(self.cols.tid(idx)).or_insert(0) += 1;
+                }
                 InstrKind::Ret => {
+                    let d = depths.entry(self.cols.tid(idx)).or_insert(0);
                     *d -= 1;
                     if *d < 0 {
-                        return Err(format!("unmatched return at position {idx} on {:?}", i.tid));
+                        return Err(format!(
+                            "unmatched return at position {idx} on {:?}",
+                            self.cols.tid(idx)
+                        ));
                     }
                 }
                 _ => {}
             }
         }
         for m in &self.markers {
-            if m.pos.index() >= self.instrs.len() {
+            if m.pos.index() >= self.cols.len() {
                 return Err(format!("marker position {} out of bounds", m.pos));
             }
-            if !matches!(self.instrs[m.pos.index()].kind, InstrKind::Marker) {
+            if !matches!(self.cols.kind(m.pos.index()), InstrKind::Marker) {
                 return Err(format!(
                     "marker record at {} does not point at a marker",
                     m.pos
@@ -159,12 +190,69 @@ impl Trace {
     }
 }
 
+/// Iterator over a trace's instructions, materializing an [`Instr`] per
+/// position.
+#[derive(Debug, Clone)]
+pub struct Instrs<'a> {
+    cols: &'a Columns,
+    idx: usize,
+}
+
+impl Iterator for Instrs<'_> {
+    type Item = Instr;
+
+    fn next(&mut self) -> Option<Instr> {
+        if self.idx >= self.cols.len() {
+            return None;
+        }
+        let i = self.cols.instr(self.idx);
+        self.idx += 1;
+        Some(i)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.cols.len() - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Instrs<'_> {}
+
 impl<'a> IntoIterator for &'a Trace {
-    type Item = &'a Instr;
-    type IntoIter = std::slice::Iter<'a, Instr>;
+    type Item = Instr;
+    type IntoIter = Instrs<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
         self.iter()
+    }
+}
+
+/// Displays one instruction with its resolved function name.
+/// Built by [`Trace::display_instr`].
+#[derive(Debug, Clone, Copy)]
+pub struct InstrDisplay<'a> {
+    trace: &'a Trace,
+    pos: TracePos,
+}
+
+impl fmt::Display for InstrDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let instr = self.trace.instr(self.pos);
+        let name = self.trace.funcs.name(instr.func);
+        // Calls carry a second FuncId (the callee) inside the kind; resolve
+        // that one too instead of letting its Debug print `fn#N`.
+        if let InstrKind::Call { callee } = instr.kind {
+            write!(
+                f,
+                "t{} {}@{} Call {{ callee: {} }}",
+                instr.tid.0,
+                name,
+                instr.pc,
+                self.trace.funcs.name(callee)
+            )
+        } else {
+            instr.fmt_with_name(f, Some(name))
+        }
     }
 }
 
@@ -279,5 +367,55 @@ mod tests {
             t.instr(TracePos(0)).kind,
             InstrKind::Branch { taken: false }
         ));
+    }
+
+    #[test]
+    fn iter_matches_positional_access() {
+        let t = sample();
+        for (idx, i) in t.iter().enumerate() {
+            assert_eq!(i, t.instr(TracePos(idx as u64)));
+        }
+        assert_eq!(t.iter().len(), t.len());
+    }
+
+    #[test]
+    fn columns_agree_with_materialized_views() {
+        let t = sample();
+        let cols = t.columns();
+        for idx in 0..t.len() {
+            let i = t.instr(TracePos(idx as u64));
+            assert_eq!(cols.tid(idx), i.tid);
+            assert_eq!(cols.func(idx), i.func);
+            assert_eq!(cols.pc(idx), i.pc);
+            assert_eq!(cols.kind(idx), i.kind);
+            assert_eq!(cols.reg_reads(idx), i.reg_reads);
+            assert_eq!(cols.reg_writes(idx), i.reg_writes);
+            assert_eq!(cols.mem_reads(idx), i.mem_reads());
+            assert_eq!(cols.mem_writes(idx), i.mem_writes());
+        }
+    }
+
+    #[test]
+    fn display_instr_renders_function_name() {
+        let t = sample();
+        // Position 0 is the call into v8::Execute, attributed to main's root.
+        let s = format!("{}", t.display_instr(TracePos(1)));
+        assert!(s.contains("v8::Execute"), "got {s:?}");
+        assert!(!s.contains("fn#"), "display_instr fell back to ids: {s:?}");
+    }
+
+    #[test]
+    fn display_instr_resolves_callee_names() {
+        let t = sample();
+        // Position 0 is the call into v8::Execute from main's root.
+        let s = format!("{}", t.display_instr(TracePos(0)));
+        assert!(s.contains("callee: v8::Execute"), "got {s:?}");
+        assert!(!s.contains("fn#"), "callee fell back to ids: {s:?}");
+    }
+
+    #[test]
+    fn storage_bytes_grow_with_trace() {
+        let t = sample();
+        assert!(t.storage_bytes() >= (t.len() * Columns::BYTES_PER_INSTR) as u64);
     }
 }

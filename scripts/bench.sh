@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Engine benchmark harness: runs the full experiment engine at 1 thread and
+# at N threads (default: nproc), verifies the deterministic artifacts are
+# byte-identical across thread counts, and leaves each run's perf table and
+# bench JSON in a scratch directory for inspection.
+#
+#   scripts/bench.sh [--smoke] [N]
+#
+# --smoke uses 2 threads for the parallel run and skips nothing else — it
+# exists so scripts/check.sh can exercise the harness end to end without
+# caring about core counts. The timing artifacts (perf.txt,
+# bench_engine.json) change run to run by nature and are excluded from the
+# byte-for-byte comparison.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THREADS="$(nproc 2>/dev/null || echo 4)"
+if [[ "${1:-}" == "--smoke" ]]; then
+    THREADS=2
+    shift
+fi
+if [[ -n "${1:-}" ]]; then
+    THREADS="$1"
+fi
+
+echo "== building release engine =="
+cargo build --release --quiet
+
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+mkdir -p "$OUT/t1" "$OUT/tn"
+
+echo "== run_all at 1 thread =="
+WASTEPROF_RESULTS_DIR="$OUT/t1" RAYON_NUM_THREADS=1 ./target/release/run_all >/dev/null
+
+echo "== run_all at $THREADS threads =="
+WASTEPROF_RESULTS_DIR="$OUT/tn" RAYON_NUM_THREADS="$THREADS" ./target/release/run_all >/dev/null
+
+echo "== comparing deterministic artifacts (1 vs $THREADS threads) =="
+status=0
+for f in "$OUT"/t1/*; do
+    name="$(basename "$f")"
+    case "$name" in
+    perf.txt | bench_engine.json) continue ;;
+    esac
+    if ! cmp -s "$f" "$OUT/tn/$name"; then
+        echo "MISMATCH: $name differs between thread counts" >&2
+        status=1
+    else
+        echo "  ok $name"
+    fi
+done
+if [[ "$status" -ne 0 ]]; then
+    echo "determinism check FAILED" >&2
+    exit "$status"
+fi
+
+echo
+echo "== perf (1 thread) =="
+cat "$OUT/t1/perf.txt"
+echo "== perf ($THREADS threads) =="
+cat "$OUT/tn/perf.txt"
+
+# Keep the JSON reports around for the caller.
+cp "$OUT/t1/bench_engine.json" target/bench_engine_t1.json
+cp "$OUT/tn/bench_engine.json" target/bench_engine_tn.json
+echo "bench JSON: target/bench_engine_t1.json target/bench_engine_tn.json"

@@ -17,4 +17,7 @@ cargo test -q
 echo "== full workspace tests (includes the ~2 min engine determinism run) =="
 cargo test -q --workspace
 
+echo "== bench harness smoke (1 vs 2 threads, artifact diff) =="
+scripts/bench.sh --smoke
+
 echo "All checks passed."
