@@ -30,22 +30,33 @@ pub struct BenchmarkRun {
 /// the whole session with default options. Every experiment that reports
 /// "the pixel slice" means exactly this computation.
 pub fn pixel_slice_of(trace: &Trace, forward: &ForwardPass) -> SliceResult {
-    slice(
-        trace,
-        forward,
-        &pixel_criteria(trace),
-        &SliceOptions::default(),
-    )
+    pixel_slice_with(trace, forward, &SliceOptions::default())
+}
+
+/// [`pixel_slice_of`] with explicit options. The slicer guarantees results
+/// identical to the sequential path for any `segments` value, so callers
+/// running many slices concurrently can cap per-slice segmentation to split
+/// a thread budget without changing artifacts.
+pub fn pixel_slice_with(
+    trace: &Trace,
+    forward: &ForwardPass,
+    options: &SliceOptions,
+) -> SliceResult {
+    slice(trace, forward, &pixel_criteria(trace), options)
 }
 
 /// The canonical full-session syscall slice (the §V comparison criteria).
 pub fn syscall_slice_of(trace: &Trace, forward: &ForwardPass) -> SliceResult {
-    slice(
-        trace,
-        forward,
-        &syscall_criteria(trace),
-        &SliceOptions::default(),
-    )
+    syscall_slice_with(trace, forward, &SliceOptions::default())
+}
+
+/// [`syscall_slice_of`] with explicit options (see [`pixel_slice_with`]).
+pub fn syscall_slice_with(
+    trace: &Trace,
+    forward: &ForwardPass,
+    options: &SliceOptions,
+) -> SliceResult {
+    slice(trace, forward, &syscall_criteria(trace), options)
 }
 
 /// Runs a benchmark and slices its trace with pixel criteria (and syscall

@@ -20,8 +20,8 @@ mod utilization;
 
 pub use category::{Category, CategoryBreakdown};
 pub use experiment::{
-    format_count, pixel_slice_of, run_benchmark, syscall_slice_of, thread_rows, BenchmarkRun,
-    SharedBenchmarkRun, ThreadRow,
+    format_count, pixel_slice_of, pixel_slice_with, run_benchmark, syscall_slice_of,
+    syscall_slice_with, thread_rows, BenchmarkRun, SharedBenchmarkRun, ThreadRow,
 };
 pub use render::{ascii_chart, bar_chart, to_csv, TextTable};
 pub use table1::{Table1Row, UnusedBytes};

@@ -28,8 +28,8 @@ use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 use wasteprof_analysis::{
-    ascii_chart, bar_chart, format_count, pixel_slice_of, syscall_slice_of, thread_rows, to_csv,
-    Category, CategoryBreakdown, SharedBenchmarkRun, Table1Row, TextTable, UnusedBytes,
+    ascii_chart, bar_chart, format_count, pixel_slice_with, syscall_slice_with, thread_rows,
+    to_csv, Category, CategoryBreakdown, SharedBenchmarkRun, Table1Row, TextTable, UnusedBytes,
     UtilizationSeries,
 };
 use wasteprof_browser::{BrowserConfig, Session, Tab};
@@ -93,13 +93,38 @@ pub struct SessionStore {
     pixel: [OnceLock<Arc<SliceResult>>; 4],
     syscall: [OnceLock<Arc<SliceResult>>; 4],
     bing_load_prefix: OnceLock<Arc<SliceResult>>,
+    slice_segments: usize,
     stats: StoreStats,
 }
 
 impl SessionStore {
     /// Creates an empty store; nothing is computed until asked for.
+    /// Slices use automatic segmentation (`SliceOptions::segments == 0`),
+    /// which is right when the caller computes one slice at a time — a
+    /// standalone view binary gives the whole thread budget to the slicer.
     pub fn new() -> Self {
         SessionStore::default()
+    }
+
+    /// A store whose slices are capped at `segments` parallel segments
+    /// each. The engine uses this to route the thread budget: when it fans
+    /// many slice jobs across the pool at once (store-level parallelism),
+    /// each individual slice gets `threads / jobs` segments (slice-level
+    /// parallelism) so the two layers multiply to the pool size instead of
+    /// oversubscribing it. Segmented results are identical to sequential
+    /// ones, so this is purely a scheduling choice.
+    pub fn with_slice_segments(segments: usize) -> Self {
+        SessionStore {
+            slice_segments: segments,
+            ..SessionStore::default()
+        }
+    }
+
+    fn slice_options(&self) -> SliceOptions {
+        SliceOptions {
+            segments: self.slice_segments,
+            ..Default::default()
+        }
     }
 
     /// Computation counters.
@@ -119,7 +144,7 @@ impl SessionStore {
     pub fn base_session(&self, b: Benchmark) -> Arc<Session> {
         self.base[idx(b)]
             .get_or_init(|| {
-                eprintln!("running {}...", b.label());
+                crate::progress!("session", "running {}...", b.label());
                 self.stats.sessions_run.fetch_add(1, Ordering::SeqCst);
                 Arc::new(b.run())
             })
@@ -136,7 +161,7 @@ impl SessionStore {
         }
         self.browse[idx(b)]
             .get_or_init(|| {
-                eprintln!("running {} (load + browse)...", b.label());
+                crate::progress!("session", "running {} (load + browse)...", b.label());
                 self.stats.sessions_run.fetch_add(1, Ordering::SeqCst);
                 Arc::new(b.run_with_browse())
             })
@@ -161,7 +186,11 @@ impl SessionStore {
                 let session = self.base_session(b);
                 let forward = self.forward(b);
                 self.stats.slices_run.fetch_add(1, Ordering::SeqCst);
-                Arc::new(pixel_slice_of(&session.trace, &forward))
+                Arc::new(pixel_slice_with(
+                    &session.trace,
+                    &forward,
+                    &self.slice_options(),
+                ))
             })
             .clone()
     }
@@ -173,7 +202,11 @@ impl SessionStore {
                 let session = self.base_session(b);
                 let forward = self.forward(b);
                 self.stats.slices_run.fetch_add(1, Ordering::SeqCst);
-                Arc::new(syscall_slice_of(&session.trace, &forward))
+                Arc::new(syscall_slice_with(
+                    &session.trace,
+                    &forward,
+                    &self.slice_options(),
+                ))
             })
             .clone()
     }
@@ -187,7 +220,7 @@ impl SessionStore {
                 let forward = self.forward(Benchmark::Bing);
                 let bounded = SliceOptions {
                     end: Some(session.load_end),
-                    ..Default::default()
+                    ..self.slice_options()
                 };
                 self.stats.slices_run.fetch_add(1, Ordering::SeqCst);
                 Arc::new(slice(
@@ -568,14 +601,21 @@ pub fn bing_backslice(store: &SessionStore) -> View {
     View::new("bing_backslice", out, artifacts)
 }
 
-fn config_pixel_fraction(session: &Session) -> f64 {
-    let fwd = ForwardPass::build(&session.trace);
-    pixel_slice_of(&session.trace, &fwd).fraction()
+fn config_slice_options(segments: usize) -> SliceOptions {
+    SliceOptions {
+        segments,
+        ..Default::default()
+    }
 }
 
-fn ablate_deferred_compilation(store: &SessionStore) -> (String, u64) {
+fn config_pixel_fraction(session: &Session, segments: usize) -> f64 {
+    let fwd = ForwardPass::build(&session.trace);
+    pixel_slice_with(&session.trace, &fwd, &config_slice_options(segments)).fraction()
+}
+
+fn ablate_deferred_compilation(store: &SessionStore, segments: usize) -> (String, u64) {
     let b = Benchmark::AmazonDesktop;
-    eprintln!("ablation 1/4: deferred JS compilation...");
+    crate::progress!("ablation 1/4", "deferred JS compilation...");
     let eager = store.base_session(b);
     let eager_fraction = store.pixel_slice(b).fraction();
     let lazy = b.run_with_config(BrowserConfig {
@@ -592,7 +632,7 @@ fn ablate_deferred_compilation(store: &SessionStore) -> (String, u64) {
     t.row(vec![
         "deferred to first call (proposed)".to_owned(),
         lazy.trace.len().to_string(),
-        format!("{:.1}%", config_pixel_fraction(&lazy) * 100.0),
+        format!("{:.1}%", config_pixel_fraction(&lazy, segments) * 100.0),
     ]);
     let mut out = String::from("## 1. Deferring JS compilation (paper §VII)\n\n");
     out.push_str(&t.render());
@@ -605,9 +645,9 @@ fn ablate_deferred_compilation(store: &SessionStore) -> (String, u64) {
     (out, lazy.trace.len() as u64)
 }
 
-fn ablate_paint_cache(store: &SessionStore) -> (String, u64) {
+fn ablate_paint_cache(store: &SessionStore, segments: usize) -> (String, u64) {
     let b = Benchmark::Bing; // interaction-heavy: the cache matters most
-    eprintln!("ablation 2/4: paint cache...");
+    crate::progress!("ablation 2/4", "paint cache...");
     let with = store.base_session(b);
     let with_fraction = store.pixel_slice(b).fraction();
     let without = b.run_with_config(BrowserConfig {
@@ -627,7 +667,7 @@ fn ablate_paint_cache(store: &SessionStore) -> (String, u64) {
     t.row(vec![
         "disabled".to_owned(),
         without.trace.len().to_string(),
-        format!("{:.1}%", config_pixel_fraction(&without) * 100.0),
+        format!("{:.1}%", config_pixel_fraction(&without, segments) * 100.0),
     ]);
     let mut out = String::from("## 2. Display-item (paint) caching\n\n");
     out.push_str(&t.render());
@@ -638,9 +678,47 @@ fn ablate_paint_cache(store: &SessionStore) -> (String, u64) {
     (out, without.trace.len() as u64)
 }
 
-fn ablate_prepaint() -> (String, u64) {
-    eprintln!("ablation 3/4: prepaint margin...");
+fn ablate_prepaint(segments: usize) -> (String, u64) {
+    crate::progress!("ablation 3/4", "prepaint margin...");
     let b = Benchmark::AmazonDesktop;
+    // The three margin configurations are independent sessions; fan them
+    // across the pool and keep the table rows in margin order (the par
+    // collect is order-preserving, so output bytes stay deterministic).
+    let margins = [0.0_f32, 768.0, 2048.0];
+    let runs: Vec<(Vec<String>, u64)> = margins
+        .par_iter()
+        .map(|&margin| {
+            let cfg = BrowserConfig {
+                compositor: CompositorConfig {
+                    prepaint_margin: margin,
+                    ..b.browser_config().compositor
+                },
+                ..b.browser_config()
+            };
+            let session = b.run_with_config(cfg);
+            let fwd = ForwardPass::build(&session.trace);
+            let r = pixel_slice_with(&session.trace, &fwd, &config_slice_options(segments));
+            let mut raster_total = 0u64;
+            let mut raster_slice = 0u64;
+            for info in session.trace.threads().iter() {
+                if matches!(info.kind(), ThreadKind::Raster(_)) {
+                    let (s, n) = r.thread_stats(info.id());
+                    raster_total += n;
+                    raster_slice += s;
+                }
+            }
+            let row = vec![
+                format!("{margin:.0} px"),
+                raster_total.to_string(),
+                format!(
+                    "{:.0}%",
+                    raster_slice as f64 / raster_total.max(1) as f64 * 100.0
+                ),
+                format!("{:.1}%", r.fraction() * 100.0),
+            ];
+            (row, session.trace.len() as u64)
+        })
+        .collect();
     let mut instructions = 0u64;
     let mut t = TextTable::new(vec![
         "prepaint margin",
@@ -648,36 +726,9 @@ fn ablate_prepaint() -> (String, u64) {
         "raster slice",
         "pixel slice (all)",
     ]);
-    for margin in [0.0_f32, 768.0, 2048.0] {
-        let cfg = BrowserConfig {
-            compositor: CompositorConfig {
-                prepaint_margin: margin,
-                ..b.browser_config().compositor
-            },
-            ..b.browser_config()
-        };
-        let session = b.run_with_config(cfg);
-        instructions += session.trace.len() as u64;
-        let fwd = ForwardPass::build(&session.trace);
-        let r = pixel_slice_of(&session.trace, &fwd);
-        let mut raster_total = 0u64;
-        let mut raster_slice = 0u64;
-        for info in session.trace.threads().iter() {
-            if matches!(info.kind(), ThreadKind::Raster(_)) {
-                let (s, n) = r.thread_stats(info.id());
-                raster_total += n;
-                raster_slice += s;
-            }
-        }
-        t.row(vec![
-            format!("{margin:.0} px"),
-            raster_total.to_string(),
-            format!(
-                "{:.0}%",
-                raster_slice as f64 / raster_total.max(1) as f64 * 100.0
-            ),
-            format!("{:.1}%", r.fraction() * 100.0),
-        ]);
+    for (row, len) in runs {
+        instructions += len;
+        t.row(row);
     }
     let mut out = String::from("## 3. Prepaint margin (speculative rasterization)\n\n");
     out.push_str(&t.render());
@@ -689,39 +740,49 @@ fn ablate_prepaint() -> (String, u64) {
     (out, instructions)
 }
 
-fn ablate_backing_stores() -> (String, u64) {
-    eprintln!("ablation 4/4: blind backing stores...");
+fn ablate_backing_stores(segments: usize) -> (String, u64) {
+    crate::progress!("ablation 4/4", "blind backing stores...");
+    // Same fan-out as prepaint: one overlay count per work item, rows
+    // assembled in input order afterwards.
+    let overlay_counts = [0usize, 3, 8];
+    let runs: Vec<(Vec<String>, u64)> = overlay_counts
+        .par_iter()
+        .map(|&overlays| {
+            let spec = SiteSpec {
+                hidden_overlays: overlays,
+                ..Benchmark::AmazonDesktop.spec()
+            };
+            let site = wasteprof_workloads::build_site(&spec);
+            let mut tab = Tab::new(Benchmark::AmazonDesktop.browser_config());
+            tab.load(site);
+            tab.pump_vsync(60);
+            let bytes = tab.compositor().backing_store_bytes();
+            let session = tab.finish();
+            let fwd = ForwardPass::build(&session.trace);
+            let r = pixel_slice_with(&session.trace, &fwd, &config_slice_options(segments));
+            let comp = session
+                .trace
+                .threads()
+                .find(ThreadKind::Compositor)
+                .unwrap();
+            let (s, n) = r.thread_stats(comp);
+            let row = vec![
+                overlays.to_string(),
+                bytes.to_string(),
+                format!("{:.0}%", s as f64 / n.max(1) as f64 * 100.0),
+            ];
+            (row, session.trace.len() as u64)
+        })
+        .collect();
     let mut instructions = 0u64;
     let mut t = TextTable::new(vec![
         "hidden overlays",
         "backing-store bytes",
         "compositor slice",
     ]);
-    for overlays in [0usize, 3, 8] {
-        let spec = SiteSpec {
-            hidden_overlays: overlays,
-            ..Benchmark::AmazonDesktop.spec()
-        };
-        let site = wasteprof_workloads::build_site(&spec);
-        let mut tab = Tab::new(Benchmark::AmazonDesktop.browser_config());
-        tab.load(site);
-        tab.pump_vsync(60);
-        let bytes = tab.compositor().backing_store_bytes();
-        let session = tab.finish();
-        instructions += session.trace.len() as u64;
-        let fwd = ForwardPass::build(&session.trace);
-        let r = pixel_slice_of(&session.trace, &fwd);
-        let comp = session
-            .trace
-            .threads()
-            .find(ThreadKind::Compositor)
-            .unwrap();
-        let (s, n) = r.thread_stats(comp);
-        t.row(vec![
-            overlays.to_string(),
-            bytes.to_string(),
-            format!("{:.0}%", s as f64 / n.max(1) as f64 * 100.0),
-        ]);
+    for (row, len) in runs {
+        instructions += len;
+        t.row(row);
     }
     let mut out = String::from("## 4. Blind backing stores (paper §II-B)\n\n");
     out.push_str(&t.render());
@@ -735,15 +796,25 @@ fn ablate_backing_stores() -> (String, u64) {
 
 /// Ablation studies (DESIGN.md §6, paper §VII). The eager/cache baselines
 /// come from the shared store; only the modified-configuration runs are
-/// computed here, fanned across the pool.
+/// computed here. All eight private sessions (1 lazy-JS + 1 no-cache +
+/// 3 prepaint margins + 3 overlay counts) fan across the pool — the four
+/// studies in parallel, and the multi-configuration studies fanning their
+/// own runs too. Output ordering stays fixed: every parallel collect is
+/// order-preserving and the studies are concatenated 1→4.
 pub fn ablations(store: &SessionStore) -> View {
+    // Route the remaining thread budget to the private slices: with eight
+    // config runs in flight, each slice gets threads/8 segments (min 1),
+    // so session-level and slice-level parallelism compose instead of
+    // oversubscribing the pool.
+    let private_runs = 8;
+    let segments = (rayon::current_num_threads() / private_runs).max(1);
     let parts: Vec<(String, u64)> = [0usize, 1, 2, 3]
         .par_iter()
         .map(|&i| match i {
-            0 => ablate_deferred_compilation(store),
-            1 => ablate_paint_cache(store),
-            2 => ablate_prepaint(),
-            _ => ablate_backing_stores(),
+            0 => ablate_deferred_compilation(store, segments),
+            1 => ablate_paint_cache(store, segments),
+            2 => ablate_prepaint(segments),
+            _ => ablate_backing_stores(segments),
         })
         .collect();
     let mut out = String::from("Ablation studies (see DESIGN.md §6 and paper §VII).\n\n");
@@ -886,7 +957,21 @@ impl EngineReport {
 /// sequentially in a fixed order: the artifact bytes are identical no
 /// matter how many threads computed them.
 pub fn run(opts: &EngineOptions) -> EngineReport {
-    let store = SessionStore::new();
+    // Thread-budget routing between store-level and slice-level
+    // parallelism: the slices stage fans `slice_jobs` concurrent slicing
+    // runs, so each run gets `threads / slice_jobs` segments and the two
+    // layers multiply to (at most) the pool size. With more jobs than
+    // threads this degenerates to 1 segment per slice — exactly the
+    // sequential per-slice path, scheduled across jobs.
+    let slice_jobs = Benchmark::ALL.len()
+        + if opts.table2_criteria_both {
+            Benchmark::ALL.len()
+        } else {
+            0
+        }
+        + 1;
+    let store =
+        SessionStore::with_slice_segments((rayon::current_num_threads() / slice_jobs).max(1));
     let started = Instant::now();
     let mut stages = Vec::new();
 

@@ -22,6 +22,7 @@ use std::fs;
 use std::path::PathBuf;
 
 pub mod engine;
+pub mod progress;
 
 /// Directory experiment binaries write artifacts into.
 ///

@@ -1,0 +1,57 @@
+//! Thread-safe progress logging for the parallel experiment engine.
+//!
+//! The engine fans sessions, slices, and ablation runs across a thread
+//! pool, so progress lines from different work items race for stderr.
+//! `eprintln!` keeps each *line* atomic, but a bare message gives no clue
+//! which work item it belongs to once lines interleave. Every line here
+//! therefore carries a work-item prefix (`[session amazon-desktop] ...`,
+//! `[ablation 3/4] ...`), and a single process-wide mutex serializes the
+//! writes so concurrent items cannot shuffle a multi-line message.
+//!
+//! Logging is best-effort: a failed stderr write is ignored, exactly as
+//! `eprintln!` would behave under a closed pipe is *not* (it panics) —
+//! progress output must never take down an experiment run.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+static STDERR_GATE: Mutex<()> = Mutex::new(());
+
+/// Writes one `[prefix] message` line to stderr, serialized against all
+/// other [`emit`] callers. Prefer the [`crate::progress!`] macro, which
+/// formats in the caller and keeps call sites close to `eprintln!` syntax.
+pub fn emit(prefix: &str, message: std::fmt::Arguments<'_>) {
+    // Poisoning is impossible here (the critical section cannot panic),
+    // but recover anyway rather than losing progress output.
+    let guard = STDERR_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let stderr = std::io::stderr();
+    let mut out = stderr.lock();
+    let _ = writeln!(out, "[{prefix}] {message}");
+    drop(out);
+    drop(guard);
+}
+
+/// `progress!("tag", "fmt", args...)` — a tagged, thread-serialized
+/// replacement for the engine's former bare `eprintln!` progress lines.
+#[macro_export]
+macro_rules! progress {
+    ($prefix:expr, $($arg:tt)*) => {
+        $crate::progress::emit($prefix, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn concurrent_emits_do_not_panic() {
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    for i in 0..16 {
+                        crate::progress!("test", "worker {t} line {i}");
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,78 @@
+//! Differential test for the segment-parallel slicer on the real
+//! workloads: for every benchmark, the pixel and syscall slices computed
+//! with forced segment counts K ∈ {1, 3, 8} under 1 and 4 worker threads
+//! must equal the sequential reference exactly — bitmap, counts,
+//! per-thread and per-function stats, and the checkpoint timeline
+//! (`SliceResult` equality is structural over all of them).
+//!
+//! This file deliberately holds a single `#[test]`: it owns the
+//! `RAYON_NUM_THREADS` environment variable for the whole process, so no
+//! sibling test can race on it.
+
+use wasteprof_slicer::{pixel_criteria, slice, syscall_criteria, ForwardPass, SliceOptions};
+use wasteprof_workloads::Benchmark;
+
+#[test]
+fn segmented_slices_match_sequential_on_all_benchmarks() {
+    for benchmark in Benchmark::ALL {
+        let session = benchmark.run();
+        let trace = &session.trace;
+        let forward = ForwardPass::build(trace);
+        let criteria = [
+            ("pixel", pixel_criteria(trace)),
+            ("syscall", syscall_criteria(trace)),
+        ];
+        for (crit_name, criteria) in &criteria {
+            std::env::set_var("RAYON_NUM_THREADS", "1");
+            let sequential = slice(
+                trace,
+                &forward,
+                criteria,
+                &SliceOptions {
+                    segments: 1,
+                    ..Default::default()
+                },
+            );
+
+            // The timeline must report GLOBAL processed-instruction
+            // counts (fig4/fig5 plot them); the final checkpoint has
+            // processed the whole considered range.
+            let timeline = sequential.timeline();
+            assert!(!timeline.is_empty());
+            assert_eq!(
+                timeline.last().unwrap().processed,
+                sequential.considered(),
+                "{} {crit_name}: timeline end must cover the trace",
+                benchmark.label()
+            );
+
+            for threads in ["1", "4"] {
+                std::env::set_var("RAYON_NUM_THREADS", threads);
+                for k in [1usize, 3, 8] {
+                    let segmented = slice(
+                        trace,
+                        &forward,
+                        criteria,
+                        &SliceOptions {
+                            segments: k,
+                            ..Default::default()
+                        },
+                    );
+                    assert_eq!(
+                        segmented,
+                        sequential,
+                        "{} {crit_name} slice diverged at segments={k}, threads={threads}",
+                        benchmark.label()
+                    );
+                    assert_eq!(
+                        segmented.timeline(),
+                        sequential.timeline(),
+                        "{} {crit_name} timeline diverged at segments={k}, threads={threads}",
+                        benchmark.label()
+                    );
+                }
+            }
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}

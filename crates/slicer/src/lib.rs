@@ -50,6 +50,7 @@ mod cdg;
 mod cfg;
 mod criteria;
 mod live;
+mod parallel;
 mod postdom;
 mod slice;
 

@@ -55,10 +55,21 @@ pub struct SliceOptions {
     pub end: Option<TracePos>,
     /// Record a timeline checkpoint every this many processed instructions.
     /// `0` picks ~1000 evenly spaced points.
+    ///
+    /// Intervals count *global* processed instructions of the considered
+    /// prefix, regardless of [`SliceOptions::segments`]: the segment-
+    /// parallel pass places checkpoints at the same trace positions as the
+    /// sequential walk, so timeline artifacts (fig4/fig5) are bit-identical
+    /// at any segment count.
     pub timeline_interval: u64,
     /// Thread highlighted in the timeline (the paper plots the main
     /// thread).
     pub tracked_thread: ThreadId,
+    /// Number of trace segments processed in parallel (summarize → stitch
+    /// → replay). `0` picks a count from the thread budget and trace
+    /// length; `1` forces the sequential reference walk. Any value
+    /// produces byte-identical results — this only trades wall time.
+    pub segments: usize,
 }
 
 impl Default for SliceOptions {
@@ -67,6 +78,7 @@ impl Default for SliceOptions {
             end: None,
             timeline_interval: 0,
             tracked_thread: ThreadId::MAIN,
+            segments: 0,
         }
     }
 }
@@ -108,14 +120,19 @@ impl TimelinePoint {
 }
 
 /// The result of a backward slicing run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every observable component (bitmap, counts,
+/// per-thread/per-func stats, timeline) — the differential tests use it to
+/// assert segment-parallel runs are indistinguishable from the sequential
+/// reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SliceResult {
-    considered: u64,
-    bitmap: Vec<u64>,
-    slice_count: u64,
-    per_thread: HashMap<ThreadId, (u64, u64)>,
-    per_func: HashMap<FuncId, (u64, u64)>,
-    timeline: Vec<TimelinePoint>,
+    pub(crate) considered: u64,
+    pub(crate) bitmap: Vec<u64>,
+    pub(crate) slice_count: u64,
+    pub(crate) per_thread: HashMap<ThreadId, (u64, u64)>,
+    pub(crate) per_func: HashMap<FuncId, (u64, u64)>,
+    pub(crate) timeline: Vec<TimelinePoint>,
 }
 
 impl SliceResult {
@@ -228,14 +245,52 @@ pub fn slice(
     criteria: &Criteria,
     options: &SliceOptions,
 ) -> SliceResult {
+    let n = considered_len(trace, options);
+    let k = effective_segments(options.segments, n);
+    if k > 1 {
+        // The segment-parallel pass bails out (rarely — see
+        // `parallel::run`) when a segment's symbolic state outgrows its
+        // budget; the sequential walk is always the reference fallback.
+        if let Some(result) = crate::parallel::run(trace, forward, criteria, options, k) {
+            return result;
+        }
+    }
     Backward::new(trace, forward, criteria, options).run()
+}
+
+/// Number of instructions the pass will consider (`[0, end]` clamped to
+/// the trace).
+pub(crate) fn considered_len(trace: &Trace, options: &SliceOptions) -> usize {
+    options
+        .end
+        .map(|e| (e.index() + 1).min(trace.len()))
+        .unwrap_or(trace.len())
+}
+
+/// Resolves the requested segment count against the trace length and the
+/// thread budget.
+///
+/// Segment boundaries must land on 64-instruction bitmap-word boundaries
+/// (so parallel finalizers never share a word), which caps the useful
+/// count at `ceil(n / 64)`. With `0` (auto) the pass takes one segment
+/// per available worker, but never segments shorter than ~64k
+/// instructions: below that the per-segment symbolic overhead outweighs
+/// the parallel win (see DESIGN.md on K selection).
+pub(crate) fn effective_segments(requested: usize, n: usize) -> usize {
+    const MIN_AUTO_SEGMENT: usize = 64 * 1024;
+    let cap = n.div_ceil(64).max(1);
+    if requested != 0 {
+        return requested.clamp(1, cap);
+    }
+    let threads = rayon::current_num_threads();
+    threads.min(n / MIN_AUTO_SEGMENT).clamp(1, cap)
 }
 
 /// Multiplicative hasher for the pending-branch set's small fixed-size
 /// keys. The set is probed once per branch instruction, so the default
 /// SipHash would cost more than the lookup it guards.
 #[derive(Default)]
-struct FibHasher(u64);
+pub(crate) struct FibHasher(u64);
 
 impl FibHasher {
     #[inline]
@@ -275,7 +330,7 @@ impl std::hash::Hasher for FibHasher {
     }
 }
 
-type FibBuild = std::hash::BuildHasherDefault<FibHasher>;
+pub(crate) type FibBuild = std::hash::BuildHasherDefault<FibHasher>;
 
 #[derive(Debug)]
 struct Frame {

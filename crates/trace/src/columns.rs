@@ -214,6 +214,17 @@ impl Columns {
         &self.arena[s..s + m.nwrites as usize]
     }
 
+    /// A cursor over the instruction range `[lo, hi)`, for passes that
+    /// work on one contiguous trace segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi` exceeds the trace length.
+    pub fn cursor(&self, lo: usize, hi: usize) -> ColumnCursor<'_> {
+        assert!(lo <= hi && hi <= self.len(), "segment out of bounds");
+        ColumnCursor { cols: self, lo, hi }
+    }
+
     /// Materializes the instruction at `idx` as an owned [`Instr`] view.
     ///
     /// Cheap for the common 0/1-operand shapes; only multi-operand
@@ -237,6 +248,119 @@ impl Columns {
             reg_writes: self.reg_writes(idx),
             mem,
         }
+    }
+}
+
+/// A bounds-checked window over one contiguous instruction range of a
+/// [`Columns`] store.
+///
+/// The segment-parallel slicer hands each worker one cursor; indices stay
+/// *global* trace positions (so results line up with the sequential pass),
+/// but every access is debug-asserted to the segment, which catches a
+/// summarizer reading past its boundary — the bug class that silently
+/// breaks segment/sequential equivalence.
+#[derive(Clone, Copy, Debug)]
+pub struct ColumnCursor<'a> {
+    cols: &'a Columns,
+    lo: usize,
+    hi: usize,
+}
+
+impl<'a> ColumnCursor<'a> {
+    /// First instruction index of the segment.
+    #[inline]
+    pub fn lo(&self) -> usize {
+        self.lo
+    }
+
+    /// One past the last instruction index of the segment.
+    #[inline]
+    pub fn hi(&self) -> usize {
+        self.hi
+    }
+
+    /// Number of instructions in the segment.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// True if the segment holds no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Global indices of the segment in backward (slicing) order.
+    #[inline]
+    pub fn rev_indices(&self) -> impl Iterator<Item = usize> {
+        (self.lo..self.hi).rev()
+    }
+
+    #[inline]
+    fn check(&self, idx: usize) {
+        debug_assert!(
+            self.lo <= idx && idx < self.hi,
+            "index {idx} outside segment [{}, {})",
+            self.lo,
+            self.hi
+        );
+    }
+
+    /// Opcode class of instruction `idx` (global index).
+    #[inline]
+    pub fn kind(&self, idx: usize) -> InstrKind {
+        self.check(idx);
+        self.cols.kind(idx)
+    }
+
+    /// Executing thread of instruction `idx`.
+    #[inline]
+    pub fn tid(&self, idx: usize) -> ThreadId {
+        self.check(idx);
+        self.cols.tid(idx)
+    }
+
+    /// Enclosing function of instruction `idx`.
+    #[inline]
+    pub fn func(&self, idx: usize) -> FuncId {
+        self.check(idx);
+        self.cols.func(idx)
+    }
+
+    /// Static PC of instruction `idx`.
+    #[inline]
+    pub fn pc(&self, idx: usize) -> Pc {
+        self.check(idx);
+        self.cols.pc(idx)
+    }
+
+    /// Registers read by instruction `idx`.
+    #[inline]
+    pub fn reg_reads(&self, idx: usize) -> RegSet {
+        self.check(idx);
+        self.cols.reg_reads(idx)
+    }
+
+    /// Registers written by instruction `idx`.
+    #[inline]
+    pub fn reg_writes(&self, idx: usize) -> RegSet {
+        self.check(idx);
+        self.cols.reg_writes(idx)
+    }
+
+    /// Memory ranges read by instruction `idx`.
+    #[inline]
+    pub fn mem_reads(&self, idx: usize) -> &'a [AddrRange] {
+        self.check(idx);
+        self.cols.mem_reads(idx)
+    }
+
+    /// Memory ranges written by instruction `idx`.
+    #[inline]
+    pub fn mem_writes(&self, idx: usize) -> &'a [AddrRange] {
+        self.check(idx);
+        self.cols.mem_writes(idx)
     }
 }
 
@@ -322,6 +446,36 @@ mod tests {
         assert!(cols.mem_reads(1).is_empty());
         assert_eq!(cols.mem_writes(1), &[w1]);
         assert_eq!(cols.arena_len(), 4);
+    }
+
+    #[test]
+    fn cursor_windows_a_segment_with_global_indices() {
+        let mut cols = Columns::default();
+        for i in 0..10u32 {
+            cols.push(
+                ThreadId(0),
+                FuncId(i),
+                Pc(i),
+                InstrKind::Op,
+                RegSet::EMPTY,
+                RegSet::EMPTY,
+                &[],
+                &[],
+            );
+        }
+        let cur = cols.cursor(4, 8);
+        assert_eq!((cur.lo(), cur.hi(), cur.len()), (4, 8, 4));
+        assert!(!cur.is_empty());
+        assert_eq!(cur.rev_indices().collect::<Vec<_>>(), vec![7, 6, 5, 4]);
+        assert_eq!(cur.func(5), FuncId(5), "indices stay global");
+        assert!(cols.cursor(3, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "segment out of bounds")]
+    fn cursor_rejects_out_of_range_segments() {
+        let cols = Columns::default();
+        let _ = cols.cursor(0, 1);
     }
 
     #[test]

@@ -56,7 +56,7 @@ mod thread;
 mod trace;
 
 pub use addr::{Addr, AddrRange, Region, VirtualMemory, CELL, REGION_SHIFT};
-pub use columns::{Columns, MemOpsRef};
+pub use columns::{ColumnCursor, Columns, MemOpsRef};
 pub use func::{FuncId, FuncInfo, FunctionRegistry};
 pub use instr::{Instr, InstrKind, MemMulti, MemOps, TracePos};
 pub use io::{read_trace, write_trace, TraceIoError};

@@ -15,7 +15,12 @@ cargo build --release
 cargo test -q
 
 echo "== full workspace tests (includes the ~2 min engine determinism run) =="
-cargo test -q --workspace
+# The segment differential runs separately below at a pinned thread count,
+# so skip its (process-wide, env-var-owning) test here.
+cargo test -q --workspace -- --skip segmented_slices_match_sequential_on_all_benchmarks
+
+echo "== segment-parallel slicer differential (all benchmarks, 4 threads) =="
+RAYON_NUM_THREADS=4 cargo test -q -p wasteprof-bench --test segment_differential
 
 echo "== bench harness smoke (1 vs 2 threads, artifact diff) =="
 scripts/bench.sh --smoke
