@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Analysis and reporting for the wasteprof reproduction: the computations
 //! behind every table and figure of the paper's evaluation (§V).
 //!

@@ -10,6 +10,7 @@ fn main() {
     let both = std::env::args().any(|a| a == "--criteria=both" || a == "both");
     let opts = EngineOptions {
         table2_criteria_both: both,
+        ..Default::default()
     };
     let store = SessionStore::new();
     let view = engine::table2(&store, &opts);

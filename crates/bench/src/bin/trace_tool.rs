@@ -6,7 +6,12 @@
 //! trace_tool export amazon_mobile /tmp/amazon_mobile.wptrace
 //! trace_tool inspect /tmp/amazon_mobile.wptrace [--head N]
 //! trace_tool slice   /tmp/amazon_mobile.wptrace [--criteria syscalls]
+//! trace_tool check   /tmp/amazon_mobile.wptrace [--json] [--max-diags N]
 //! ```
+//!
+//! `check` runs the wasteprof-checker battery (happens-before race
+//! detector + well-formedness lints) and exits 0 when the trace is
+//! clean, 1 when it has findings, 2 on usage errors.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -20,7 +25,8 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  trace_tool export <amazon_desktop|amazon_mobile|maps|bing> <file>\n  \
          trace_tool inspect <file> [--head N]\n  \
-         trace_tool slice <file> [--criteria pixels|syscalls]"
+         trace_tool slice <file> [--criteria pixels|syscalls]\n  \
+         trace_tool check <file> [--json] [--max-diags N]"
     );
     std::process::exit(2);
 }
@@ -130,6 +136,47 @@ fn main() {
                 ]);
             }
             println!("{}", table.render());
+        }
+        Some("check") => {
+            let Some(path) = args.get(1) else { usage() };
+            let mut json = false;
+            let mut max_diags: Option<usize> = None;
+            let mut rest = args[2..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--max-diags" => {
+                        let n = rest
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage());
+                        max_diags = Some(n);
+                    }
+                    _ => usage(),
+                }
+            }
+            let trace = load(path);
+            let mut diags = wasteprof_checker::verify(&trace);
+            let total = diags.len();
+            if let Some(cap) = max_diags {
+                diags.truncate(cap);
+            }
+            if json {
+                println!("{}", wasteprof_checker::render_json(&diags));
+            } else if total == 0 {
+                println!(
+                    "clean: {} instructions, 0 diagnostics",
+                    format_count(trace.len() as u64)
+                );
+            } else {
+                print!("{}", wasteprof_checker::render_text(&diags));
+                println!(
+                    "{total} diagnostic{} ({} shown)",
+                    if total == 1 { "" } else { "s" },
+                    diags.len()
+                );
+            }
+            std::process::exit(if total == 0 { 0 } else { 1 });
         }
         _ => usage(),
     }

@@ -56,6 +56,16 @@ pub enum SessionKey {
     Browse(Benchmark),
 }
 
+impl SessionKey {
+    /// Human-readable session name, used by the verifier report.
+    pub fn label(&self) -> String {
+        match self {
+            SessionKey::Base(b) => b.label().to_owned(),
+            SessionKey::Browse(b) => format!("{} (load + browse)", b.label()),
+        }
+    }
+}
+
 /// Counters proving the memoization works: how many times the store
 /// actually computed each artifact kind.
 #[derive(Debug, Default)]
@@ -254,13 +264,19 @@ pub struct EngineOptions {
     /// Table II: also compute the syscall-criteria slices and append the
     /// §V pixel-vs-syscall comparison.
     pub table2_criteria_both: bool,
+    /// Run the trace verifier (race detector + well-formedness lints)
+    /// over every session before the experiments consume it, emitting
+    /// `results/check.txt`.
+    pub verify_traces: bool,
 }
 
 impl Default for EngineOptions {
-    /// `run_all` defaults: the full Table II including the §V comparison.
+    /// `run_all` defaults: the full Table II including the §V comparison,
+    /// with every trace verified.
     fn default() -> Self {
         EngineOptions {
             table2_criteria_both: true,
+            verify_traces: true,
         }
     }
 }
@@ -1002,6 +1018,74 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
         wall: t.elapsed(),
     });
 
+    // Stage 1b (optional): verify every session trace — the race detector
+    // plus the well-formedness lints — before any experiment consumes it.
+    // Sessions are memoized already, so this costs exactly one streaming
+    // checker sweep per trace. The report lands in `results/check.txt`;
+    // diagnostics are pre-sorted by the checker, so the bytes do not
+    // depend on the thread count.
+    let check_view = opts.verify_traces.then(|| {
+        let t = Instant::now();
+        let results: Vec<(String, u64, u64, Vec<wasteprof_checker::Diag>)> = sessions
+            .par_iter()
+            .map(|k| {
+                let session = store.session(*k);
+                let diags = wasteprof_checker::verify(&session.trace);
+                (
+                    k.label(),
+                    session.trace.len() as u64,
+                    session.trace.storage_bytes(),
+                    diags,
+                )
+            })
+            .collect();
+        let mut out = String::from(
+            "Trace verification: happens-before race detector + streaming\n\
+             lints (wasteprof-checker, codes WP0001-WP0007) over every\n\
+             engine session.\n\n",
+        );
+        let mut total_diags = 0usize;
+        for (label, len, _, diags) in &results {
+            if diags.is_empty() {
+                out.push_str(&format!(
+                    "{:<44} clean  {:>12} instructions\n",
+                    label,
+                    format_count(*len)
+                ));
+            } else {
+                total_diags += diags.len();
+                out.push_str(&format!(
+                    "{:<44} {} diagnostic{}  {:>12} instructions\n",
+                    label,
+                    diags.len(),
+                    if diags.len() == 1 { "" } else { "s" },
+                    format_count(*len)
+                ));
+                // Cap the per-session listing so a badly broken trace
+                // cannot explode the artifact.
+                for d in diags.iter().take(20) {
+                    out.push_str(&format!("    {d}\n"));
+                }
+                if diags.len() > 20 {
+                    out.push_str(&format!("    ... {} more\n", diags.len() - 20));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "\n{} sessions verified, {} diagnostics.\n",
+            results.len(),
+            total_diags
+        ));
+        stages.push(StageReport {
+            name: "check",
+            items: results.len(),
+            instructions: results.iter().map(|r| r.1).sum(),
+            trace_bytes: results.iter().map(|r| r.2).sum(),
+            wall: t.elapsed(),
+        });
+        View::new("check", out.clone(), vec![("check.txt".to_owned(), out)])
+    });
+
     // Stage 2: one forward pass per base session.
     let t = Instant::now();
     let work: Vec<(u64, u64)> = Benchmark::ALL
@@ -1068,7 +1152,7 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
         |s, _| ablations(s),
     ];
     let t = Instant::now();
-    let views: Vec<View> = view_fns.par_iter().map(|f| f(&store, opts)).collect();
+    let mut views: Vec<View> = view_fns.par_iter().map(|f| f(&store, opts)).collect();
     stages.push(StageReport {
         name: "views",
         items: views.len(),
@@ -1076,6 +1160,9 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
         trace_bytes: 0,
         wall: t.elapsed(),
     });
+    // The verifier report is emitted last, after the experiment views, in
+    // a fixed position — its bytes are part of the determinism contract.
+    views.extend(check_view);
 
     EngineReport {
         threads: rayon::current_num_threads(),

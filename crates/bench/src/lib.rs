@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Experiment harness for the wasteprof reproduction.
 //!
 //! Each binary regenerates one table or figure of the paper's evaluation:

@@ -35,6 +35,40 @@ fn engine_output_is_byte_identical_across_thread_counts() {
         }
     }
 
+    // The verifier view exists, carries the `check.txt` artifact (covered
+    // by the byte-wise comparison above), and found every session clean —
+    // no WP diagnostic codes anywhere in the report.
+    for report in [&single, &parallel] {
+        let check = report
+            .views
+            .iter()
+            .find(|v| v.name == "check")
+            .expect("verifier view present by default");
+        assert!(
+            check.artifacts.iter().any(|(n, _)| n == "check.txt"),
+            "verifier view must emit check.txt"
+        );
+        assert!(
+            check.stdout.contains("6 sessions verified, 0 diagnostics."),
+            "all engine sessions must verify clean:\n{}",
+            check.stdout
+        );
+        // Rendered diagnostics are indented under their session line; the
+        // report header legitimately names the code range.
+        assert!(
+            !check.stdout.contains("\n    WP0"),
+            "no diagnostic lines expected:\n{}",
+            check.stdout
+        );
+        let stage = report
+            .stages
+            .iter()
+            .find(|s| s.name == "check")
+            .expect("check stage recorded");
+        assert_eq!(stage.items, 6, "one check item per session");
+        assert!(stage.instructions > 0, "check stage counts instructions");
+    }
+
     // The store computed each shared artifact exactly once per run:
     // 6 sessions (4 base + the Amazon-desktop and Maps browse sessions;
     // Bing's browse request aliases its base session), 4 forward passes,

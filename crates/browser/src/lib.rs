@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! The wasteprof browser: a tab process whose execution is fully mirrored
 //! into a machine-level instruction trace.
 //!

@@ -1,0 +1,245 @@
+//! Typed diagnostics with stable codes.
+//!
+//! Every finding a lint produces is a [`Diag`]: a stable [`Code`] (so
+//! tests and tooling can match on `WP0001` instead of message text), an
+//! optional trace position, and a human-readable message. Diagnostics are
+//! sorted deterministically — by position, then code, then message — so a
+//! checker run over the same trace renders byte-identical output no
+//! matter how the lints interleaved their reports.
+
+use std::fmt;
+
+use wasteprof_trace::TracePos;
+
+/// Stable diagnostic codes, one per lint.
+///
+/// The numeric suffix is part of the public contract: fault-injection
+/// tests assert that a given corruption fires exactly its code, and
+/// `trace_tool check --json` emits the code string for machine consumers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Code {
+    /// `WP0001` — conflicting accesses to the same bytes with no
+    /// happens-before edge between them (data race).
+    Race,
+    /// `WP0002` — call/return nesting broken: a return with no matching
+    /// call, or a non-root frame still open at the end of the trace.
+    UnmatchedCallRet,
+    /// `WP0003` — a read of producer-region bytes (IPC channel, network
+    /// input, pixel tiles, framebuffer) that were never written.
+    UninitRead,
+    /// `WP0004` — one memory operand spanning two region classes, which
+    /// breaks every pass that routes an address by `addr >> REGION_SHIFT`.
+    RegionOverlap,
+    /// `WP0005` — an instruction attributed to a thread id the thread
+    /// table never registered.
+    InvalidTid,
+    /// `WP0006` — marker instruction / marker record pairing broken: a
+    /// `Marker` with no record, or a record not pointing at a `Marker`.
+    UnpairedMarker,
+    /// `WP0007` — a call target outside the symbol table, or one that
+    /// never executes a single instruction anywhere in the trace.
+    UndefinedCallee,
+}
+
+impl Code {
+    /// All codes, in numeric order.
+    pub const ALL: [Code; 7] = [
+        Code::Race,
+        Code::UnmatchedCallRet,
+        Code::UninitRead,
+        Code::RegionOverlap,
+        Code::InvalidTid,
+        Code::UnpairedMarker,
+        Code::UndefinedCallee,
+    ];
+
+    /// The stable code string, e.g. `"WP0001"`.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Code::Race => "WP0001",
+            Code::UnmatchedCallRet => "WP0002",
+            Code::UninitRead => "WP0003",
+            Code::RegionOverlap => "WP0004",
+            Code::InvalidTid => "WP0005",
+            Code::UnpairedMarker => "WP0006",
+            Code::UndefinedCallee => "WP0007",
+        }
+    }
+
+    /// Short human title used in rendered output.
+    pub const fn title(self) -> &'static str {
+        match self {
+            Code::Race => "data race",
+            Code::UnmatchedCallRet => "unmatched call/return",
+            Code::UninitRead => "read of unwritten producer bytes",
+            Code::RegionOverlap => "operand spans region classes",
+            Code::InvalidTid => "invalid thread id",
+            Code::UnpairedMarker => "unpaired pixel marker",
+            Code::UndefinedCallee => "undefined call target",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One checker finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diag {
+    /// The stable code of the lint that fired.
+    pub code: Code,
+    /// The trace position the finding anchors to; `None` for end-of-trace
+    /// findings (e.g. a frame still open when the trace stops).
+    pub pos: Option<TracePos>,
+    /// Human-readable description, including resolved symbol names where
+    /// the lint has them.
+    pub message: String,
+}
+
+impl Diag {
+    /// A finding anchored at instruction index `idx`.
+    pub fn at(code: Code, idx: usize, message: String) -> Diag {
+        Diag {
+            code,
+            pos: Some(TracePos(idx as u64)),
+            message,
+        }
+    }
+
+    /// An end-of-trace finding with no single anchoring instruction.
+    pub fn at_end(code: Code, message: String) -> Diag {
+        Diag {
+            code,
+            pos: None,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(p) => write!(
+                f,
+                "{} {}: {} ({})",
+                self.code,
+                p,
+                self.message,
+                self.code.title()
+            ),
+            None => write!(
+                f,
+                "{} @end: {} ({})",
+                self.code,
+                self.message,
+                self.code.title()
+            ),
+        }
+    }
+}
+
+/// Sorts diagnostics into the canonical deterministic order: by trace
+/// position (end-of-trace findings last), then code, then message.
+pub fn sort_diags(diags: &mut [Diag]) {
+    diags.sort_by(|a, b| {
+        let ka = (a.pos.map_or(u64::MAX, |p| p.0), a.code, &a.message);
+        let kb = (b.pos.map_or(u64::MAX, |p| p.0), b.code, &b.message);
+        ka.cmp(&kb)
+    });
+}
+
+/// Renders diagnostics as plain text, one per line.
+pub fn render_text(diags: &[Diag]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as a JSON array (`trace_tool check --json`).
+pub fn render_json(diags: &[Diag]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        let pos = match d.pos {
+            Some(p) => p.0.to_string(),
+            None => "null".to_owned(),
+        };
+        out.push_str(&format!(
+            "  {{\"code\": \"{}\", \"title\": \"{}\", \"pos\": {}, \"message\": \"{}\"}}{}\n",
+            d.code,
+            escape_json(d.code.title()),
+            pos,
+            escape_json(&d.message),
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let strs: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(
+            strs,
+            vec!["WP0001", "WP0002", "WP0003", "WP0004", "WP0005", "WP0006", "WP0007"]
+        );
+    }
+
+    #[test]
+    fn sort_is_position_then_code_then_message() {
+        let mut diags = vec![
+            Diag::at_end(Code::UnmatchedCallRet, "frame open".into()),
+            Diag::at(Code::UnpairedMarker, 7, "b".into()),
+            Diag::at(Code::Race, 7, "a".into()),
+            Diag::at(Code::Race, 3, "z".into()),
+        ];
+        sort_diags(&mut diags);
+        assert_eq!(diags[0].pos, Some(wasteprof_trace::TracePos(3)));
+        assert_eq!(diags[1].code, Code::Race);
+        assert_eq!(diags[2].code, Code::UnpairedMarker);
+        assert_eq!(diags[3].pos, None, "end-of-trace findings sort last");
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let diags = vec![Diag::at(Code::Race, 0, "say \"hi\"\nagain".into())];
+        let json = render_json(&diags);
+        assert!(json.contains("say \\\"hi\\\"\\nagain"), "{json}");
+        assert!(json.contains("\"pos\": 0"));
+    }
+
+    #[test]
+    fn text_render_carries_code_position_and_title() {
+        let d = Diag::at(Code::UninitRead, 42, "read of nothing".into());
+        let s = d.to_string();
+        assert!(s.contains("WP0003"), "{s}");
+        assert!(s.contains("@42"), "{s}");
+        assert!(s.contains("read of nothing"), "{s}");
+    }
+}

@@ -1,0 +1,51 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Streaming trace verifier: a happens-before race detector plus a
+//! battery of well-formedness lints, all sharing one sweep over the
+//! packed trace columns.
+//!
+//! The paper's shared live-memory model (PAPER.md §III-B) is only sound
+//! when cross-thread accesses to the same bytes are ordered by
+//! happens-before, and every downstream pass (CFG build, liveness,
+//! Table 2 classification) assumes traces are structurally well-formed —
+//! balanced call/ret nesting, in-table thread ids, paired pixel markers,
+//! operands confined to one region class. This crate checks all of that
+//! directly instead of assuming it:
+//!
+//! - [`verify`] runs the full default battery over a trace and returns
+//!   typed [`Diag`]s with stable `WP0001…WP0007` codes;
+//! - [`Registry`] / [`Lint`] let callers compose their own battery — all
+//!   registered lints run behind one shared cursor, so N lints cost
+//!   roughly one pass;
+//! - [`RaceLint`] is the FastTrack-style vector-clock detector, deriving
+//!   happens-before edges from lock frames, channel syscalls, and thread
+//!   spawn hand-offs already present in the trace;
+//! - [`TraceMutator`] injects single surgical faults into known-good
+//!   traces so differential tests can prove each lint catches exactly the
+//!   invariant it owns.
+
+pub mod diag;
+pub mod lint;
+pub mod lints;
+pub mod mutate;
+pub mod race;
+
+pub use diag::{render_json, render_text, sort_diags, Code, Diag};
+pub use lint::{Ctx, Lint, Registry};
+pub use lints::{
+    CallRetLint, InvalidTidLint, MarkerPairingLint, RegionOverlapLint, UndefinedCalleeLint,
+    UninitReadLint, PRODUCER_REGIONS,
+};
+pub use mutate::{Mutation, TraceMutator};
+pub use race::{RaceLint, LOCK_SYMBOL};
+
+use wasteprof_trace::Trace;
+
+/// Runs the default lint battery (race detector + six well-formedness
+/// lints) over `trace`, returning diagnostics in canonical sorted order.
+/// An empty result means the trace is well-formed and race-free under
+/// the checker's happens-before model.
+pub fn verify(trace: &Trace) -> Vec<Diag> {
+    Registry::with_default_lints().run(trace)
+}

@@ -1,0 +1,103 @@
+//! The streaming lint framework: one sweep, N analyses.
+//!
+//! Every analysis implements [`Lint`] and receives the instruction stream
+//! exactly once, in program order, reading the packed [`Columns`] directly
+//! (no `Instr` materialization on the hot path). A [`Registry`] drives all
+//! registered lints behind a single shared cursor, so the cost of running
+//! six lints and the race detector together is roughly one pass over the
+//! columns instead of seven.
+
+use wasteprof_trace::{Columns, Trace};
+
+use crate::diag::{sort_diags, Diag};
+use crate::lints;
+use crate::race::RaceLint;
+
+/// Shared read-only context handed to every lint callback.
+pub struct Ctx<'a> {
+    /// The trace under analysis (symbol/thread tables, markers, display).
+    pub trace: &'a Trace,
+    /// The packed columns — lints index these directly.
+    pub cols: &'a Columns,
+}
+
+/// A streaming analysis over one trace.
+///
+/// Lints are driven front to back: `begin`, then `on_instr` for every
+/// index in `0..cols.len()`, then `finish`. Lints must tolerate malformed
+/// traces (that is the point of a verifier): guard any per-thread or
+/// per-function table indexing rather than assuming ids are in range.
+pub trait Lint {
+    /// Stable lint name, used in logs and registry listings.
+    fn name(&self) -> &'static str;
+
+    /// Called once before the sweep; allocate per-trace state here.
+    fn begin(&mut self, _ctx: &Ctx<'_>) {}
+
+    /// Called for every instruction index, in program order.
+    fn on_instr(&mut self, ctx: &Ctx<'_>, idx: usize, out: &mut Vec<Diag>);
+
+    /// Called once after the last instruction; report end-of-trace
+    /// findings (unclosed frames, never-defined callees) here.
+    fn finish(&mut self, _ctx: &Ctx<'_>, _out: &mut Vec<Diag>) {}
+}
+
+/// A set of lints sharing one streaming sweep.
+#[derive(Default)]
+pub struct Registry {
+    lints: Vec<Box<dyn Lint>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The full default battery: the race detector plus all six
+    /// well-formedness lints. This is what [`crate::verify`] runs.
+    pub fn with_default_lints() -> Registry {
+        let mut r = Registry::new();
+        r.register(Box::new(RaceLint::default()));
+        r.register(Box::new(lints::CallRetLint::default()));
+        r.register(Box::new(lints::UninitReadLint::default()));
+        r.register(Box::new(lints::RegionOverlapLint));
+        r.register(Box::new(lints::InvalidTidLint));
+        r.register(Box::new(lints::MarkerPairingLint::default()));
+        r.register(Box::new(lints::UndefinedCalleeLint::default()));
+        r
+    }
+
+    /// Adds a lint to the battery.
+    pub fn register(&mut self, lint: Box<dyn Lint>) {
+        self.lints.push(lint);
+    }
+
+    /// Names of the registered lints, in registration order.
+    pub fn lint_names(&self) -> Vec<&'static str> {
+        self.lints.iter().map(|l| l.name()).collect()
+    }
+
+    /// Runs every registered lint over the trace in one streaming sweep
+    /// and returns the diagnostics in canonical sorted order.
+    pub fn run(&mut self, trace: &Trace) -> Vec<Diag> {
+        let ctx = Ctx {
+            trace,
+            cols: trace.columns(),
+        };
+        let mut out = Vec::new();
+        for lint in &mut self.lints {
+            lint.begin(&ctx);
+        }
+        for idx in 0..ctx.cols.len() {
+            for lint in &mut self.lints {
+                lint.on_instr(&ctx, idx, &mut out);
+            }
+        }
+        for lint in &mut self.lints {
+            lint.finish(&ctx, &mut out);
+        }
+        sort_diags(&mut out);
+        out
+    }
+}

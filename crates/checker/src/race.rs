@@ -1,0 +1,564 @@
+//! FastTrack-style vector-clock data-race detection over one trace sweep.
+//!
+//! The paper's shared live-memory set is only exact when every pair of
+//! conflicting cross-thread accesses is ordered by happens-before
+//! (PAPER.md §III-B); this lint checks that assumption directly. The
+//! happens-before relation is synthesized from the sync events the trace
+//! already carries:
+//!
+//! - **program order** — each thread's own instructions, via its vector
+//!   clock;
+//! - **lock sections** — instructions inside
+//!   [`LOCK_SYMBOL`] frames: a read of a lock cell acquires (joins the
+//!   lock's clock into the thread), a write releases (stores the thread's
+//!   clock into the lock and bumps the thread's own component). The
+//!   scheduler wraps every cross-thread task hand-off in these frames;
+//! - **channel syscalls** — output syscalls (`sendto`/`writev`/`write`)
+//!   release into a global channel clock, all other syscalls acquire it,
+//!   modelling IPC send/receive ordering;
+//! - **thread spawn** — the first instruction a thread ever executes
+//!   acquires the clock of the thread that scheduled it.
+//!
+//! Every release bumps the releasing thread's own clock component so its
+//! *later* accesses are not mistaken for ordered ones — dropping that bump
+//! makes the detector vacuously quiet, which the unit tests pin down.
+//!
+//! Shadow state is an interval map over accessed bytes (split on operand
+//! boundaries) holding the last write epoch and, FastTrack-style, the last
+//! read epoch per thread, so both sides of a race are reported with pc and
+//! resolved function names.
+
+use std::collections::{BTreeMap, HashSet};
+
+use wasteprof_trace::{FuncId, InstrKind, Region};
+
+use crate::diag::{Code, Diag};
+use crate::lint::{Ctx, Lint};
+
+/// The function symbol whose frames carry lock acquire/release semantics.
+pub const LOCK_SYMBOL: &str = "base::threading::LockImpl::Lock";
+
+/// A vector clock: one logical clock per thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Vc(Vec<u32>);
+
+impl Vc {
+    fn with_threads(n: usize) -> Vc {
+        Vc(vec![0; n])
+    }
+
+    fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+
+    fn set(&mut self, tid: usize, clk: u32) {
+        self.0[tid] = clk;
+    }
+
+    /// `self ⊔= other` (pointwise max).
+    fn join(&mut self, other: &Vc) {
+        for (a, &b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(b);
+        }
+    }
+}
+
+/// One recorded access: who, at what clock, and where in the trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Access {
+    tid: u8,
+    clk: u32,
+    pos: u64,
+}
+
+impl Access {
+    /// FastTrack's `epoch ⊑ vc`: the access happens-before anything that
+    /// holds `vc`.
+    fn ordered_before(&self, vc: &Vc) -> bool {
+        self.clk <= vc.get(self.tid as usize)
+    }
+}
+
+/// Shadow state for one byte interval: last write plus last read per tid.
+#[derive(Clone, Debug, Default)]
+struct CellState {
+    write: Option<Access>,
+    /// At most one entry per tid (the most recent read).
+    reads: Vec<Access>,
+}
+
+impl CellState {
+    fn record_read(&mut self, access: Access) {
+        match self.reads.iter_mut().find(|r| r.tid == access.tid) {
+            Some(r) => *r = access,
+            None => self.reads.push(access),
+        }
+    }
+}
+
+/// One interval of the shadow map: `[start, end)` with uniform state.
+#[derive(Clone, Debug)]
+struct Interval {
+    end: u64,
+    cell: CellState,
+}
+
+/// Interval map over accessed bytes, keyed by interval start.
+#[derive(Default)]
+struct Shadow {
+    map: BTreeMap<u64, Interval>,
+}
+
+impl Shadow {
+    /// Splits existing intervals at `at` so no interval straddles it.
+    fn split_at(&mut self, at: u64) {
+        let split = match self.map.range(..at).next_back() {
+            Some((&s, iv)) if iv.end > at => Some((s, iv.end, iv.cell.clone())),
+            _ => None,
+        };
+        if let Some((s, end, cell)) = split {
+            self.map.get_mut(&s).expect("interval just observed").end = at;
+            self.map.insert(at, Interval { end, cell });
+        }
+    }
+
+    /// Makes `[start, end)` exactly tiled by intervals (inserting fresh
+    /// empty cells for uncovered gaps) and visits each in order.
+    fn for_range(&mut self, start: u64, end: u64, mut f: impl FnMut(u64, u64, &mut CellState)) {
+        self.split_at(start);
+        self.split_at(end);
+        let mut at = start;
+        let mut gaps = Vec::new();
+        for (&s, iv) in self.map.range(start..end) {
+            if s > at {
+                gaps.push((at, s));
+            }
+            at = iv.end;
+        }
+        if at < end {
+            gaps.push((at, end));
+        }
+        for &(gs, ge) in &gaps {
+            self.map.insert(
+                gs,
+                Interval {
+                    end: ge,
+                    cell: CellState::default(),
+                },
+            );
+        }
+        for (&s, iv) in self.map.range_mut(start..end) {
+            f(s, iv.end, &mut iv.cell);
+        }
+    }
+}
+
+/// `WP0001`: conflicting unsynchronized cross-thread accesses.
+#[derive(Default)]
+pub struct RaceLint {
+    /// Per-thread vector clocks.
+    vcs: Vec<Vc>,
+    /// Whether a thread has executed its first instruction yet.
+    started: Vec<bool>,
+    /// Per-lock-cell clocks, keyed by the lock cell's start address.
+    lock_vcs: BTreeMap<u64, Vc>,
+    /// Global IPC/channel clock (output syscalls release, others acquire).
+    channel_vc: Vc,
+    /// The interned id of [`LOCK_SYMBOL`], if the trace uses it.
+    lock_fid: Option<FuncId>,
+    /// Byte-interval shadow memory.
+    shadow: Shadow,
+    /// `(earlier pos, later pos)` pairs already reported.
+    reported: HashSet<(u64, u64)>,
+}
+
+/// A one-line rendering of the instruction for race messages; falls back
+/// to raw ids when the mutated trace's symbol references are out of range
+/// (where `Trace::display_instr` would panic).
+fn describe(ctx: &Ctx<'_>, idx: usize) -> String {
+    let funcs = ctx.trace.functions();
+    let func_ok = ctx.cols.func(idx).index() < funcs.len();
+    let callee_ok = match ctx.cols.kind(idx) {
+        InstrKind::Call { callee } => callee.index() < funcs.len(),
+        _ => true,
+    };
+    if func_ok && callee_ok {
+        ctx.trace
+            .display_instr(wasteprof_trace::TracePos(idx as u64))
+            .to_string()
+    } else {
+        format!(
+            "t{} fn#{}@{} {:?}",
+            ctx.cols.tid(idx).index(),
+            ctx.cols.func(idx).index(),
+            ctx.cols.pc(idx),
+            ctx.cols.kind(idx),
+        )
+    }
+}
+
+impl RaceLint {
+    #[allow(clippy::too_many_arguments)]
+    fn report(
+        &mut self,
+        ctx: &Ctx<'_>,
+        out: &mut Vec<Diag>,
+        earlier: Access,
+        earlier_what: &str,
+        later_idx: usize,
+        later_what: &str,
+        lo: u64,
+        hi: u64,
+    ) {
+        if !self.reported.insert((earlier.pos, later_idx as u64)) {
+            return;
+        }
+        let region = wasteprof_trace::Addr::new(lo)
+            .region()
+            .map_or("unmapped", Region::name);
+        out.push(Diag::at(
+            Code::Race,
+            later_idx,
+            format!(
+                "{later_what} [{}] races earlier {earlier_what} [{}] on {region} bytes {lo:#x}..{hi:#x}",
+                describe(ctx, later_idx),
+                describe(ctx, earlier.pos as usize),
+            ),
+        ));
+    }
+
+    /// Handles thread bootstrap: a thread's first instruction acquires the
+    /// clock of the thread that ran immediately before it (the spawner /
+    /// scheduler), and that thread's clock is bumped past the hand-off.
+    fn on_thread_start(&mut self, ctx: &Ctx<'_>, idx: usize, t: usize) {
+        self.started[t] = true;
+        self.vcs[t].set(t, 1);
+        if idx == 0 {
+            return;
+        }
+        let prev = ctx.cols.tid(idx - 1);
+        let p = prev.index();
+        if p != t && p < self.started.len() && self.started[p] {
+            let spawner = self.vcs[p].clone();
+            self.vcs[t].join(&spawner);
+            self.vcs[p].bump(p);
+        }
+    }
+}
+
+impl Lint for RaceLint {
+    fn name(&self) -> &'static str {
+        "race"
+    }
+
+    fn begin(&mut self, ctx: &Ctx<'_>) {
+        let n = ctx.trace.threads().len();
+        self.vcs = (0..n).map(|_| Vc::with_threads(n)).collect();
+        self.started = vec![false; n];
+        self.lock_vcs.clear();
+        self.channel_vc = Vc::with_threads(n);
+        self.lock_fid = ctx.trace.functions().get(LOCK_SYMBOL);
+        self.shadow = Shadow::default();
+        self.reported.clear();
+    }
+
+    fn on_instr(&mut self, ctx: &Ctx<'_>, idx: usize, out: &mut Vec<Diag>) {
+        let tid = ctx.cols.tid(idx);
+        let t = tid.index();
+        if t >= self.started.len() {
+            return; // WP0005 reports it; no thread state to attribute.
+        }
+        if !self.started[t] {
+            self.on_thread_start(ctx, idx, t);
+        }
+
+        let kind = ctx.cols.kind(idx);
+
+        // Lock-section instructions carry the sync protocol instead of
+        // ordinary shadow-memory traffic.
+        if self.lock_fid == Some(ctx.cols.func(idx)) {
+            for r in ctx.cols.mem_reads(idx) {
+                if let Some(lock_vc) = self.lock_vcs.get(&r.start().raw()) {
+                    let lock_vc = lock_vc.clone();
+                    self.vcs[t].join(&lock_vc);
+                }
+            }
+            for w in ctx.cols.mem_writes(idx) {
+                self.lock_vcs.insert(w.start().raw(), self.vcs[t].clone());
+            }
+            if !ctx.cols.mem_writes(idx).is_empty() {
+                self.vcs[t].bump(t);
+            }
+            return;
+        }
+
+        // An input syscall acquires the channel clock before its operands
+        // are shadow-processed (the received bytes are ordered after the
+        // send that produced them).
+        if let InstrKind::Syscall { nr } = kind {
+            if !nr.is_output() {
+                let ch = self.channel_vc.clone();
+                self.vcs[t].join(&ch);
+            }
+        }
+
+        let epoch = Access {
+            tid: tid.0,
+            clk: self.vcs[t].get(t),
+            pos: idx as u64,
+        };
+
+        // Reads first (read-modify-write consumes before it produces).
+        for op_idx in 0..ctx.cols.mem_reads(idx).len() {
+            let r = ctx.cols.mem_reads(idx)[op_idx];
+            let mut races: Vec<(Access, u64, u64)> = Vec::new();
+            let vc = self.vcs[t].clone();
+            self.shadow
+                .for_range(r.start().raw(), r.end().raw(), |lo, hi, cell| {
+                    if let Some(w) = cell.write {
+                        if w.tid != tid.0 && !w.ordered_before(&vc) {
+                            races.push((w, lo, hi));
+                        }
+                    }
+                    cell.record_read(epoch);
+                });
+            for (w, lo, hi) in races {
+                self.report(ctx, out, w, "write", idx, "read", lo, hi);
+            }
+        }
+        for op_idx in 0..ctx.cols.mem_writes(idx).len() {
+            let w = ctx.cols.mem_writes(idx)[op_idx];
+            let mut races: Vec<(Access, &'static str, u64, u64)> = Vec::new();
+            let vc = self.vcs[t].clone();
+            self.shadow
+                .for_range(w.start().raw(), w.end().raw(), |lo, hi, cell| {
+                    if let Some(prev) = cell.write {
+                        if prev.tid != tid.0 && !prev.ordered_before(&vc) {
+                            races.push((prev, "write", lo, hi));
+                        }
+                    }
+                    for &r in &cell.reads {
+                        if r.tid != tid.0 && !r.ordered_before(&vc) {
+                            races.push((r, "read", lo, hi));
+                        }
+                    }
+                    cell.write = Some(epoch);
+                    cell.reads.clear();
+                });
+            for (prev, what, lo, hi) in races {
+                self.report(ctx, out, prev, what, idx, "write", lo, hi);
+            }
+        }
+
+        // An output syscall releases into the channel clock after its
+        // operands are processed.
+        if let InstrKind::Syscall { nr } = kind {
+            if nr.is_output() {
+                let vc = self.vcs[t].clone();
+                self.channel_vc.join(&vc);
+                self.vcs[t].bump(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::Registry;
+    use wasteprof_trace::{AddrRange, Pc, Recorder, Reg, Region, Syscall, ThreadKind, Trace};
+
+    fn lock_ops(rec: &mut Recorder, lock: AddrRange) {
+        let f = rec.intern_func(LOCK_SYMBOL);
+        rec.in_func(Pc(999), f, |rec| {
+            rec.branch_mem(Pc(1000), lock, false);
+            rec.compute(Pc(1001), &[lock], &[lock]);
+        });
+    }
+
+    /// Two threads touching one heap cell, either with only bare
+    /// scheduler switches between them or with the scheduler's lock
+    /// hand-off protocol around each switch.
+    fn switch_trace(lock_protected: bool) -> Trace {
+        let mut rec = Recorder::new();
+        let main = rec.spawn_thread(ThreadKind::Main, "main");
+        let worker = rec.spawn_thread(ThreadKind::Other, "worker");
+        rec.switch_to(main);
+        let shared = AddrRange::cell(rec.memory_mut().alloc_cell(Region::Heap));
+        let lock = AddrRange::cell(rec.memory_mut().alloc_cell(Region::Heap));
+
+        let producer = rec.intern_func("producer");
+        let consumer = rec.intern_func("consumer");
+        rec.in_func(Pc(1), producer, |rec| {
+            rec.store(Pc(2), shared, Reg::Rax);
+        });
+        if lock_protected {
+            lock_ops(&mut rec, lock);
+        }
+        rec.switch_to(worker);
+        if lock_protected {
+            lock_ops(&mut rec, lock);
+        }
+        rec.in_func(Pc(3), consumer, |rec| {
+            rec.load(Pc(4), Reg::Rbx, shared);
+        });
+        if lock_protected {
+            lock_ops(&mut rec, lock);
+        }
+        rec.switch_to(main);
+        if lock_protected {
+            lock_ops(&mut rec, lock);
+        }
+        rec.in_func(Pc(5), producer, |rec| {
+            rec.store(Pc(6), shared, Reg::Rax);
+        });
+        rec.finish()
+    }
+
+    fn race_diags(trace: &Trace) -> Vec<Diag> {
+        let mut reg = Registry::new();
+        reg.register(Box::new(RaceLint::default()));
+        reg.run(trace)
+    }
+
+    #[test]
+    fn lock_protected_accesses_are_race_free() {
+        let trace = switch_trace(true);
+        let diags = race_diags(&trace);
+        assert!(
+            diags.is_empty(),
+            "lock hand-off orders the accesses: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn spawn_edge_orders_prior_writes_but_not_later_ones() {
+        // The worker's read of the pre-spawn write is ordered by the
+        // spawn edge (no race on the read itself); main's *post-switch*
+        // write conflicts with that read and must be the one reported.
+        // This pins the release-bump: without bumping the releasing
+        // thread's clock after the spawn hand-off, main's later write
+        // would falsely appear ordered and the detector would be
+        // vacuously quiet.
+        let trace = switch_trace(false);
+        let diags = race_diags(&trace);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::Race);
+        assert!(diags[0].message.contains("write"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("read"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("heap"), "{}", diags[0].message);
+        assert!(
+            diags[0].message.contains("producer") && diags[0].message.contains("consumer"),
+            "both sides resolved: {}",
+            diags[0].message
+        );
+    }
+
+    /// Both threads run once first (consuming the spawn edge), so the
+    /// later producer→consumer hand-off is ordered *only* if the channel
+    /// syscall edges work.
+    fn channel_trace(with_sync: bool) -> Trace {
+        use wasteprof_trace::RegSet;
+        let mut rec = Recorder::new();
+        let main = rec.spawn_thread(ThreadKind::Main, "main");
+        let worker = rec.spawn_thread(ThreadKind::Other, "worker");
+        rec.switch_to(main);
+        let buf = rec.memory_mut().alloc(Region::Channel, 64);
+        let sender = rec.intern_func("sender");
+        let receiver = rec.intern_func("receiver");
+        // Boot both threads so the hand-off below cannot ride the spawn edge.
+        rec.alu(Pc(10), Reg::Rax, RegSet::EMPTY);
+        rec.switch_to(worker);
+        rec.alu(Pc(11), Reg::Rax, RegSet::EMPTY);
+        rec.switch_to(main);
+        // Sender fills the buffer, then releases via an output syscall.
+        rec.in_func(Pc(1), sender, |rec| {
+            rec.store(Pc(2), buf, Reg::Rax);
+            if with_sync {
+                rec.syscall(Pc(3), Syscall::Sendto, &[], vec![buf], vec![]);
+            }
+        });
+        rec.switch_to(worker);
+        // Receiver acquires via an input syscall, then writes the buffer.
+        rec.in_func(Pc(4), receiver, |rec| {
+            if with_sync {
+                rec.syscall(Pc(5), Syscall::Recvfrom, &[], vec![], vec![]);
+            }
+            rec.store(Pc(6), buf, Reg::Rbx);
+        });
+        rec.finish()
+    }
+
+    #[test]
+    fn channel_syscalls_order_producer_and_consumer() {
+        let diags = race_diags(&channel_trace(true));
+        assert!(
+            diags.is_empty(),
+            "send/recv must order the hand-off: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn unsynchronized_channel_handoff_races() {
+        let diags = race_diags(&channel_trace(false));
+        assert!(!diags.is_empty(), "no sync edge between conflicting stores");
+        assert!(diags.iter().all(|d| d.code == Code::Race));
+        assert!(diags[0].message.contains("channel"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn vc_join_and_epoch_ordering() {
+        let mut a = Vc::with_threads(3);
+        a.set(0, 5);
+        let mut b = Vc::with_threads(3);
+        b.set(1, 7);
+        b.join(&a);
+        assert_eq!(b.get(0), 5);
+        assert_eq!(b.get(1), 7);
+        assert!(Access {
+            tid: 0,
+            clk: 5,
+            pos: 0
+        }
+        .ordered_before(&b));
+        assert!(!Access {
+            tid: 0,
+            clk: 6,
+            pos: 0
+        }
+        .ordered_before(&b));
+        assert!(Access {
+            tid: 2,
+            clk: 0,
+            pos: 0
+        }
+        .ordered_before(&b));
+    }
+
+    #[test]
+    fn shadow_splits_intervals_on_partial_overlap() {
+        let mut shadow = Shadow::default();
+        shadow.for_range(0, 16, |_, _, cell| {
+            cell.write = Some(Access {
+                tid: 1,
+                clk: 1,
+                pos: 0,
+            })
+        });
+        let mut seen = Vec::new();
+        shadow.for_range(8, 24, |lo, hi, cell| {
+            seen.push((lo, hi, cell.write.is_some()));
+        });
+        assert_eq!(seen, vec![(8, 16, true), (16, 24, false)]);
+        // The untouched left half still holds the original write.
+        let mut left = Vec::new();
+        shadow.for_range(0, 8, |lo, hi, cell| {
+            left.push((lo, hi, cell.write.is_some()))
+        });
+        assert_eq!(left, vec![(0, 8, true)]);
+    }
+}

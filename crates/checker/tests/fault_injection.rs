@@ -1,0 +1,63 @@
+//! Differential fault-injection tests: pristine canonical sessions must
+//! verify clean, and each single-fault corruption must trigger exactly
+//! its own diagnostic code.
+
+use wasteprof_browser::Session;
+use wasteprof_checker::{verify, Mutation, TraceMutator};
+use wasteprof_workloads::Benchmark;
+
+/// The six canonical engine sessions (four loads + two browse phases).
+fn canonical_sessions() -> Vec<(String, Session)> {
+    let mut out = Vec::new();
+    for b in Benchmark::ALL {
+        out.push((b.label().to_owned(), b.run()));
+    }
+    for b in [Benchmark::AmazonDesktop, Benchmark::GoogleMaps] {
+        out.push((
+            format!("{} (load + browse)", b.label()),
+            b.run_with_browse(),
+        ));
+    }
+    out
+}
+
+#[test]
+fn pristine_canonical_sessions_verify_clean() {
+    for (label, session) in canonical_sessions() {
+        let diags = verify(&session.trace);
+        assert!(
+            diags.is_empty(),
+            "{label}: expected a clean verify, got {} diagnostics; first: {}",
+            diags.len(),
+            diags[0],
+        );
+    }
+}
+
+#[test]
+fn each_mutation_triggers_exactly_its_lint_code() {
+    // One session is enough for the per-mutation differential (the
+    // pristine test already covers all six); mobile Amazon is the
+    // smallest load.
+    let session = Benchmark::AmazonMobile.run();
+    for m in Mutation::ALL {
+        let mutated = TraceMutator::new(&session.trace)
+            .apply(m)
+            .unwrap_or_else(|| panic!("{}: no injection site found", m.name()));
+        let diags = verify(&mutated);
+        assert!(
+            !diags.is_empty(),
+            "{}: corruption went undetected",
+            m.name()
+        );
+        for d in &diags {
+            assert_eq!(
+                d.code,
+                m.expected_code(),
+                "{}: expected only {}, got {d}",
+                m.name(),
+                m.expected_code(),
+            );
+        }
+    }
+}

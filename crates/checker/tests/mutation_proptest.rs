@@ -1,0 +1,81 @@
+//! Property test: randomized synthetic sessions verify clean, and every
+//! single-fault mutation of them triggers exactly its own lint code.
+//!
+//! Programs are random cross-thread task chains built on the browser's
+//! real scheduler (`Sched::post_task`), so all shared-state traffic is
+//! lock-ordered the same way canonical sessions are — the pristine trace
+//! must be race-free and well-formed by construction, and every
+//! [`Mutation`] must break exactly one invariant.
+
+use proptest::prelude::*;
+use wasteprof_browser::Sched;
+use wasteprof_checker::{verify, Mutation, TraceMutator};
+use wasteprof_trace::{site, Recorder, Region, ThreadKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mutations_fire_their_code_on_synthetic_sessions(
+        hops in proptest::collection::vec((0..3u8, 1..4u32), 4..16),
+        mutation_sel in 0..7usize,
+    ) {
+        let mut rec = Recorder::new();
+        let main = rec.spawn_thread(ThreadKind::Main, "main_root");
+        let workers = [
+            rec.spawn_thread(ThreadKind::Compositor, "comp_root"),
+            rec.spawn_thread(ThreadKind::Raster(0), "raster_root"),
+            rec.spawn_thread(ThreadKind::Io, "io_root"),
+        ];
+        rec.switch_to(main);
+        let mut sched = Sched::new(&mut rec, 4);
+        let shared = rec.alloc_cell(Region::Heap);
+        let input = rec.alloc(Region::Input, 64);
+        let tile = rec.alloc(Region::PixelTile, 64);
+        let work = rec.intern_func("worker::Work");
+
+        // Producer bytes: write the input buffer once, consume it once.
+        rec.compute(site!(), &[], &[input]);
+        rec.compute(site!(), &[input], &[shared.into()]);
+        // Random task chain: every hop crosses threads through the
+        // scheduler's lock hand-off, touching the shared cell on both
+        // sides — ordered, so race-free.
+        for &(w, weight) in &hops {
+            sched.post_task(&mut rec, workers[w as usize]);
+            rec.in_func(site!(), work, |rec| {
+                rec.compute_weighted(site!(), &[shared.into()], &[shared.into()], weight);
+            });
+            sched.post_task(&mut rec, main);
+        }
+        rec.compute(site!(), &[shared.into()], &[tile]);
+        rec.marker(site!(), tile);
+        sched.ipc_send(&mut rec, &[tile], 2);
+        let trace = rec.finish();
+
+        let clean = verify(&trace);
+        prop_assert!(
+            clean.is_empty(),
+            "pristine synthetic trace not clean: {} diags, first: {}",
+            clean.len(),
+            clean[0]
+        );
+
+        let m = Mutation::ALL[mutation_sel];
+        let mutated = TraceMutator::new(&trace).apply(m);
+        // Every synthetic program carries all seven injection sites.
+        prop_assert!(mutated.is_some(), "{}: no injection site found", m.name());
+        if let Some(mutated) = mutated {
+            let diags = verify(&mutated);
+            prop_assert!(!diags.is_empty(), "{} went undetected", m.name());
+            for d in &diags {
+                prop_assert_eq!(
+                    d.code,
+                    m.expected_code(),
+                    "{}: unexpected diagnostic {}",
+                    m.name(),
+                    d
+                );
+            }
+        }
+    }
+}

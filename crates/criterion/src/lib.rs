@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline drop-in subset of the
 //! [criterion](https://crates.io/crates/criterion) API. The build
 //! container has no network access to crates.io; swap back to the real

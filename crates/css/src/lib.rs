@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! CSS engine for the wasteprof browser: tokenizer-free recursive parser,
 //! selectors with specificity and rule-hash buckets, media queries, the
 //! cascade, and unused-rule coverage (the CSS half of the paper's Table I).

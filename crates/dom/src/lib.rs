@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! DOM tree substrate for the wasteprof browser engine.
 //!
 //! The Document Object Model is the first artifact of the rendering

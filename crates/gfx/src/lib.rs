@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Compositing and rasterization for the wasteprof browser: the layer
 //! tree with per-layer backing stores, 256×256 tiling, rasterizer playback
 //! of display lists into pixel buffers (with the paper's pixel-buffer

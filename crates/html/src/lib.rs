@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! HTML parsing for the wasteprof browser engine: tokenizer and tree
 //! builder (the first stage of the rendering pipeline, paper §II-A).
 //!

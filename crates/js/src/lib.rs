@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! A miniature JavaScript engine for the wasteprof browser, modeled after
 //! the V8 pipeline the paper instruments: eager parse + compile of every
 //! function (`v8::Parser`, `v8::Compiler`), a traced interpreter

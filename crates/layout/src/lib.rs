@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Layout and paint for the wasteprof browser: render-tree construction,
 //! block/inline box layout, positioned elements and stacking, and
 //! display-list generation per compositing layer (the Layout and Paint

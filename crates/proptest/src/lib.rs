@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline drop-in subset of the [proptest](https://crates.io/crates/proptest)
 //! API.
 //!

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline drop-in subset of the [rand](https://crates.io/crates/rand) 0.8
 //! API: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and
 //! [`Rng::gen_range`] / [`Rng::gen_bool`] — everything the synthetic-site

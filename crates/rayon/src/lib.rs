@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline drop-in subset of the [rayon](https://crates.io/crates/rayon)
 //! API, implemented over `std::thread::scope`. The build container has no
 //! network access to crates.io; swap back to the real crate when vendoring

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Dynamic backward program slicing over browser instruction traces — the
 //! core contribution of *Characterization of Unnecessary Computations in
 //! Web Applications* (ISPASS 2019), §III.

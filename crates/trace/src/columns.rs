@@ -105,9 +105,20 @@ impl Columns {
     }
 
     /// Appends one instruction.
+    ///
+    /// Public so tools that build traces outside a [`crate::Recorder`] —
+    /// fault injectors, trace rewriters, importers — can assemble columns
+    /// directly. Nothing is validated here beyond arena-indexing limits;
+    /// run `wasteprof-checker` lints over the finished trace to find
+    /// structural mistakes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand arena exceeds `u32` indexing or one
+    /// instruction carries more than `u16::MAX` operands per direction.
     // One parameter per column is the point of a SoA push.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn push(
+    pub fn push(
         &mut self,
         tid: ThreadId,
         func: FuncId,

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Virtual-ISA instruction tracing: the substrate beneath the wasteprof
 //! profiler.
 //!

@@ -51,6 +51,24 @@ impl Trace {
         }
     }
 
+    /// Assembles a trace from externally built parts: instruction columns,
+    /// a symbol table, a thread table, and marker records.
+    ///
+    /// This is the constructor for everything that is *not* a live
+    /// recording — trace rewriters, importers, and the checker's fault
+    /// injector ([`Columns::push`] is public for the same reason). No
+    /// structural validation happens here; a trace assembled from
+    /// inconsistent parts is exactly what `wasteprof-checker` lints exist
+    /// to diagnose.
+    pub fn from_parts(
+        cols: Columns,
+        funcs: FunctionRegistry,
+        threads: ThreadTable,
+        markers: Vec<MarkerRecord>,
+    ) -> Self {
+        Trace::from_columns(cols, funcs, threads, markers)
+    }
+
     /// Number of dynamic instructions.
     pub fn len(&self) -> usize {
         self.cols.len()
@@ -411,6 +429,37 @@ mod tests {
         let s = format!("{}", t.display_instr(TracePos(0)));
         assert!(s.contains("callee: v8::Execute"), "got {s:?}");
         assert!(!s.contains("fn#"), "callee fell back to ids: {s:?}");
+    }
+
+    #[test]
+    fn from_parts_roundtrips_a_rebuilt_trace() {
+        let t = sample();
+        let mut cols = Columns::default();
+        for idx in 0..t.len() {
+            let i = t.instr(TracePos(idx as u64));
+            cols.push(
+                i.tid,
+                i.func,
+                i.pc,
+                i.kind,
+                i.reg_reads,
+                i.reg_writes,
+                i.mem_reads(),
+                i.mem_writes(),
+            );
+        }
+        let rebuilt = Trace::from_parts(
+            cols,
+            t.functions().clone(),
+            t.threads().clone(),
+            t.markers().to_vec(),
+        );
+        assert_eq!(rebuilt.len(), t.len());
+        for idx in 0..t.len() {
+            let pos = TracePos(idx as u64);
+            assert_eq!(rebuilt.instr(pos), t.instr(pos));
+        }
+        assert_eq!(rebuilt.markers(), t.markers());
     }
 
     #[test]

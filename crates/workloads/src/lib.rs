@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Synthetic website workloads reproducing the paper's four benchmarks
 //! (§IV-B): Amazon in desktop and emulated mobile views, Google Maps, and
 //! Bing with its scripted browse session.

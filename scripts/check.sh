@@ -4,6 +4,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== forbid(unsafe_code) gate =="
+# Every crate must carry the attribute, and no source file may contain
+# the keyword at all (word-boundary match, so e.g. docs mentioning
+# "unsafety" don't trip it).
+missing=$(grep -L 'forbid(unsafe_code)' src/lib.rs crates/*/src/lib.rs || true)
+if [ -n "$missing" ]; then
+    echo "crates missing #![forbid(unsafe_code)]:" >&2
+    echo "$missing" >&2
+    exit 1
+fi
+if grep -rnw unsafe --include='*.rs' src crates; then
+    echo "found 'unsafe' in the sources above" >&2
+    exit 1
+fi
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
@@ -24,5 +39,11 @@ RAYON_NUM_THREADS=4 cargo test -q -p wasteprof-bench --test segment_differential
 
 echo "== bench harness smoke (1 vs 2 threads, artifact diff) =="
 scripts/bench.sh --smoke
+
+echo "== checker smoke (export one session, verify clean) =="
+smoke_trace=$(mktemp /tmp/wasteprof-check-XXXXXX.wptrace)
+trap 'rm -f "$smoke_trace"' EXIT
+target/release/trace_tool export amazon_mobile "$smoke_trace"
+target/release/trace_tool check "$smoke_trace"
 
 echo "All checks passed."

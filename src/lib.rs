@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! **wasteprof** — a reproduction of *Characterization of Unnecessary
 //! Computations in Web Applications* (Golestani, Mahlke, Narayanasamy;
 //! ISPASS 2019) as a Rust workspace.
