@@ -1,17 +1,13 @@
 //! Trace tooling: export a benchmark's instruction trace to disk, inspect
-//! a trace file, or slice it — the paper's workflow of storing traces in
-//! stable storage and re-profiling them with different criteria (§III-A).
-//!
-//! ```sh
-//! trace_tool export amazon_mobile /tmp/amazon_mobile.wptrace
-//! trace_tool inspect /tmp/amazon_mobile.wptrace [--head N]
-//! trace_tool slice   /tmp/amazon_mobile.wptrace [--criteria syscalls]
-//! trace_tool check   /tmp/amazon_mobile.wptrace [--json] [--max-diags N]
-//! ```
+//! a trace file, slice it, verify it, or certify a witnessed slice of it —
+//! the paper's workflow of storing traces in stable storage and
+//! re-profiling them with different criteria (§III-A).
 //!
 //! `check` runs the wasteprof-checker battery (happens-before race
-//! detector + well-formedness lints) and exits 0 when the trace is
-//! clean, 1 when it has findings, 2 on usage errors.
+//! detector + well-formedness lints); `certify` computes a witnessed
+//! backward slice and replays its dependence witness through the
+//! independent certifier (codes WP0008-WP0011). Both exit 0 when clean,
+//! 1 with findings, 2 on usage errors.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -21,12 +17,17 @@ use wasteprof_slicer::{pixel_criteria, slice, syscall_criteria, ForwardPass, Sli
 use wasteprof_trace::{read_trace, write_trace, Trace, TracePos};
 use wasteprof_workloads::Benchmark;
 
+/// One consolidated usage table for every subcommand; all usage errors —
+/// including unknown flags anywhere — exit 2.
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  trace_tool export <amazon_desktop|amazon_mobile|maps|bing> <file>\n  \
+        "usage:\n  \
+         trace_tool export  <amazon_desktop|amazon_mobile|maps|bing> <file>\n  \
          trace_tool inspect <file> [--head N]\n  \
-         trace_tool slice <file> [--criteria pixels|syscalls]\n  \
-         trace_tool check <file> [--json] [--max-diags N]"
+         trace_tool slice   <file> [--criteria pixels|syscalls]\n  \
+         trace_tool check   <file> [--json] [--max-diags N]\n  \
+         trace_tool certify <file> [--criteria pixels|syscalls] [--segments K] [--json]\n\n\
+         exit codes: 0 clean / success, 1 findings or I/O error, 2 usage error"
     );
     std::process::exit(2);
 }
@@ -42,6 +43,15 @@ fn load(path: &str) -> Trace {
     })
 }
 
+/// Parses the value of `--criteria`; returns `true` for syscalls.
+fn parse_criteria(value: Option<&String>) -> bool {
+    match value.map(String::as_str) {
+        Some("pixels") => false,
+        Some("syscalls") => true,
+        _ => usage(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -49,6 +59,9 @@ fn main() {
             let (Some(name), Some(path)) = (args.get(1), args.get(2)) else {
                 usage()
             };
+            if args.len() > 3 {
+                usage();
+            }
             let benchmark = Benchmark::ALL
                 .into_iter()
                 .find(|b| b.short_name() == name)
@@ -65,6 +78,20 @@ fn main() {
         }
         Some("inspect") => {
             let Some(path) = args.get(1) else { usage() };
+            let mut head: Option<usize> = None;
+            let mut rest = args[2..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--head" => {
+                        head = Some(
+                            rest.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        );
+                    }
+                    _ => usage(),
+                }
+            }
             let trace = load(path);
             println!("instructions: {}", format_count(trace.len() as u64));
             println!("markers:      {}", trace.markers().len());
@@ -94,11 +121,7 @@ fn main() {
             }
             // `--head N`: print the first N instructions with resolved
             // function names.
-            if let Some(i) = args.iter().position(|a| a == "--head") {
-                let n: usize = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+            if let Some(n) = head {
                 println!("\nfirst {} instructions:", n.min(trace.len()));
                 for pos in 0..n.min(trace.len()) {
                     println!(
@@ -111,7 +134,14 @@ fn main() {
         }
         Some("slice") => {
             let Some(path) = args.get(1) else { usage() };
-            let syscalls = args.iter().any(|a| a == "syscalls");
+            let mut syscalls = false;
+            let mut rest = args[2..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--criteria" => syscalls = parse_criteria(rest.next()),
+                    _ => usage(),
+                }
+            }
             let trace = load(path);
             let forward = ForwardPass::build(&trace);
             let criteria = if syscalls {
@@ -177,6 +207,57 @@ fn main() {
                 );
             }
             std::process::exit(if total == 0 { 0 } else { 1 });
+        }
+        Some("certify") => {
+            let Some(path) = args.get(1) else { usage() };
+            let mut json = false;
+            let mut syscalls = false;
+            let mut segments = 0usize;
+            let mut rest = args[2..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--criteria" => syscalls = parse_criteria(rest.next()),
+                    "--segments" => {
+                        segments = rest
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage());
+                    }
+                    _ => usage(),
+                }
+            }
+            let trace = load(path);
+            let forward = ForwardPass::build(&trace);
+            let criteria = if syscalls {
+                syscall_criteria(&trace)
+            } else {
+                pixel_criteria(&trace)
+            };
+            let opts = SliceOptions {
+                witness: true,
+                segments,
+                ..Default::default()
+            };
+            let result = slice(&trace, &forward, &criteria, &opts);
+            let diags = wasteprof_checker::certify(&trace, &forward, &criteria, &result);
+            if json {
+                println!("{}", wasteprof_checker::render_json(&diags));
+            } else if diags.is_empty() {
+                println!(
+                    "certified: {} slice members, {} witness rows, 0 diagnostics",
+                    format_count(result.slice_count()),
+                    format_count(result.witness().map_or(0, |w| w.len() as u64))
+                );
+            } else {
+                print!("{}", wasteprof_checker::render_text(&diags));
+                println!(
+                    "{} diagnostic{}",
+                    diags.len(),
+                    if diags.len() == 1 { "" } else { "s" }
+                );
+            }
+            std::process::exit(if diags.is_empty() { 0 } else { 1 });
         }
         _ => usage(),
     }

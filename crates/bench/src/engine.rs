@@ -7,10 +7,10 @@
 //!
 //! * [`SessionStore`] memoizes sessions, forward passes, and slices behind
 //!   `Arc` — the first caller computes, everyone else shares.
-//! * [`run`] stages the work (sessions → forward passes → slices → views)
-//!   and fans each stage across a thread pool, then the caller emits
-//!   artifacts sequentially in a fixed order, so output bytes do not
-//!   depend on the thread count.
+//! * [`run`] stages the work (sessions → check → forward passes → slices
+//!   → certify → views) and fans each stage across a thread pool, then
+//!   the caller emits artifacts sequentially in a fixed order, so output
+//!   bytes do not depend on the thread count.
 //! * [`EngineReport`] carries per-stage wall time and instruction
 //!   throughput, rendered into `results/perf.txt` and
 //!   `results/bench_engine.json`.
@@ -34,7 +34,9 @@ use wasteprof_analysis::{
 };
 use wasteprof_browser::{BrowserConfig, Session, Tab};
 use wasteprof_gfx::CompositorConfig;
-use wasteprof_slicer::{pixel_criteria, slice, ForwardPass, SliceOptions, SliceResult};
+use wasteprof_slicer::{
+    pixel_criteria, slice, syscall_criteria, ForwardPass, SliceOptions, SliceResult,
+};
 use wasteprof_trace::{ThreadKind, TracePos};
 use wasteprof_workloads::{Benchmark, SiteSpec};
 
@@ -102,8 +104,12 @@ pub struct SessionStore {
     forward: [OnceLock<Arc<ForwardPass>>; 4],
     pixel: [OnceLock<Arc<SliceResult>>; 4],
     syscall: [OnceLock<Arc<SliceResult>>; 4],
+    browse_forward: [OnceLock<Arc<ForwardPass>>; 4],
+    browse_pixel: [OnceLock<Arc<SliceResult>>; 4],
+    browse_syscall: [OnceLock<Arc<SliceResult>>; 4],
     bing_load_prefix: OnceLock<Arc<SliceResult>>,
     slice_segments: usize,
+    slice_witness: bool,
     stats: StoreStats,
 }
 
@@ -124,8 +130,17 @@ impl SessionStore {
     /// oversubscribing it. Segmented results are identical to sequential
     /// ones, so this is purely a scheduling choice.
     pub fn with_slice_segments(segments: usize) -> Self {
+        SessionStore::with_slice_config(segments, false)
+    }
+
+    /// Like [`SessionStore::with_slice_segments`], with dependence-witness
+    /// emission switched on or off for every slice the store computes.
+    /// The engine turns witnesses on so the certify stage can re-check
+    /// each slice; standalone view binaries leave them off.
+    pub fn with_slice_config(segments: usize, witness: bool) -> Self {
         SessionStore {
             slice_segments: segments,
+            slice_witness: witness,
             ..SessionStore::default()
         }
     }
@@ -133,6 +148,7 @@ impl SessionStore {
     fn slice_options(&self) -> SliceOptions {
         SliceOptions {
             segments: self.slice_segments,
+            witness: self.slice_witness,
             ..Default::default()
         }
     }
@@ -221,6 +237,60 @@ impl SessionStore {
             .clone()
     }
 
+    /// The forward pass over the session for `key`. Browse sessions get
+    /// their own pass; Bing's browse request aliases its base cell, just
+    /// like [`SessionStore::browse_session`].
+    pub fn forward_for(&self, key: SessionKey) -> Arc<ForwardPass> {
+        match key {
+            SessionKey::Base(b) | SessionKey::Browse(b @ Benchmark::Bing) => self.forward(b),
+            SessionKey::Browse(b) => self.browse_forward[idx(b)]
+                .get_or_init(|| {
+                    let session = self.browse_session(b);
+                    self.stats.forward_builds.fetch_add(1, Ordering::SeqCst);
+                    Arc::new(ForwardPass::build(&session.trace))
+                })
+                .clone(),
+        }
+    }
+
+    /// The full-session pixel slice of the session for `key`.
+    pub fn pixel_slice_for(&self, key: SessionKey) -> Arc<SliceResult> {
+        match key {
+            SessionKey::Base(b) | SessionKey::Browse(b @ Benchmark::Bing) => self.pixel_slice(b),
+            SessionKey::Browse(b) => self.browse_pixel[idx(b)]
+                .get_or_init(|| {
+                    let session = self.browse_session(b);
+                    let forward = self.forward_for(key);
+                    self.stats.slices_run.fetch_add(1, Ordering::SeqCst);
+                    Arc::new(pixel_slice_with(
+                        &session.trace,
+                        &forward,
+                        &self.slice_options(),
+                    ))
+                })
+                .clone(),
+        }
+    }
+
+    /// The syscall-criteria slice of the session for `key`.
+    pub fn syscall_slice_for(&self, key: SessionKey) -> Arc<SliceResult> {
+        match key {
+            SessionKey::Base(b) | SessionKey::Browse(b @ Benchmark::Bing) => self.syscall_slice(b),
+            SessionKey::Browse(b) => self.browse_syscall[idx(b)]
+                .get_or_init(|| {
+                    let session = self.browse_session(b);
+                    let forward = self.forward_for(key);
+                    self.stats.slices_run.fetch_add(1, Ordering::SeqCst);
+                    Arc::new(syscall_slice_with(
+                        &session.trace,
+                        &forward,
+                        &self.slice_options(),
+                    ))
+                })
+                .clone(),
+        }
+    }
+
     /// The §V-A bounded slice: pixel criteria truncated to the load point,
     /// sliced over the load-time prefix of the Bing session only.
     pub fn bing_load_prefix_slice(&self) -> Arc<SliceResult> {
@@ -268,15 +338,20 @@ pub struct EngineOptions {
     /// over every session before the experiments consume it, emitting
     /// `results/check.txt`.
     pub verify_traces: bool,
+    /// Emit dependence witnesses on every slice and run the independent
+    /// certifier over the pixel and syscall slices of all six sessions,
+    /// emitting `results/certify.txt`.
+    pub certify_slices: bool,
 }
 
 impl Default for EngineOptions {
     /// `run_all` defaults: the full Table II including the §V comparison,
-    /// with every trace verified.
+    /// with every trace verified and every slice certified.
     fn default() -> Self {
         EngineOptions {
             table2_criteria_both: true,
             verify_traces: true,
+            certify_slices: true,
         }
     }
 }
@@ -848,7 +923,8 @@ pub fn ablations(store: &SessionStore) -> View {
 /// Timing for one engine stage.
 #[derive(Debug, Clone)]
 pub struct StageReport {
-    /// Stage name (`sessions`, `forward`, `slices`, `views`).
+    /// Stage name (`sessions`, `check`, `forward`, `slices`, `certify`,
+    /// `views`).
     pub name: &'static str,
     /// Parallel work items in the stage.
     pub items: usize,
@@ -985,9 +1061,12 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
         } else {
             0
         }
-        + 1;
-    let store =
-        SessionStore::with_slice_segments((rayon::current_num_threads() / slice_jobs).max(1));
+        + 1
+        + if opts.certify_slices { 4 } else { 0 };
+    let store = SessionStore::with_slice_config(
+        (rayon::current_num_threads() / slice_jobs).max(1),
+        opts.certify_slices,
+    );
     let started = Instant::now();
     let mut stages = Vec::new();
 
@@ -1026,40 +1105,48 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
     // depend on the thread count.
     let check_view = opts.verify_traces.then(|| {
         let t = Instant::now();
-        let results: Vec<(String, u64, u64, Vec<wasteprof_checker::Diag>)> = sessions
+        let results: Vec<(String, u64, u64, Vec<wasteprof_checker::Diag>, usize)> = sessions
             .par_iter()
             .map(|k| {
                 let session = store.session(*k);
                 let diags = wasteprof_checker::verify(&session.trace);
+                let dead = wasteprof_checker::dead_writes(&session.trace).len();
                 (
                     k.label(),
                     session.trace.len() as u64,
                     session.trace.storage_bytes(),
                     diags,
+                    dead,
                 )
             })
             .collect();
         let mut out = String::from(
             "Trace verification: happens-before race detector + streaming\n\
              lints (wasteprof-checker, codes WP0001-WP0007) over every\n\
-             engine session.\n\n",
+             engine session, plus the WP0012 dead-producer-write waste\n\
+             metric (writes to Channel/Input/Framebuffer regions that are\n\
+             overwritten before any read).\n\n",
         );
         let mut total_diags = 0usize;
-        for (label, len, _, diags) in &results {
+        let mut total_dead = 0usize;
+        for (label, len, _, diags, dead) in &results {
+            total_dead += dead;
             if diags.is_empty() {
                 out.push_str(&format!(
-                    "{:<44} clean  {:>12} instructions\n",
+                    "{:<44} clean  {:>12} instructions  {:>6} dead writes\n",
                     label,
-                    format_count(*len)
+                    format_count(*len),
+                    dead
                 ));
             } else {
                 total_diags += diags.len();
                 out.push_str(&format!(
-                    "{:<44} {} diagnostic{}  {:>12} instructions\n",
+                    "{:<44} {} diagnostic{}  {:>12} instructions  {:>6} dead writes\n",
                     label,
                     diags.len(),
                     if diags.len() == 1 { "" } else { "s" },
-                    format_count(*len)
+                    format_count(*len),
+                    dead
                 ));
                 // Cap the per-session listing so a badly broken trace
                 // cannot explode the artifact.
@@ -1072,9 +1159,10 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
             }
         }
         out.push_str(&format!(
-            "\n{} sessions verified, {} diagnostics.\n",
+            "\n{} sessions verified, {} diagnostics, {} dead producer writes.\n",
             results.len(),
-            total_diags
+            total_diags,
+            total_dead
         ));
         stages.push(StageReport {
             name: "check",
@@ -1086,30 +1174,44 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
         View::new("check", out.clone(), vec![("check.txt".to_owned(), out)])
     });
 
-    // Stage 2: one forward pass per base session.
+    // Stage 2: one forward pass per base session, plus the two distinct
+    // browse sessions when the certifier will need their slices.
+    let mut forward_keys: Vec<SessionKey> = Benchmark::ALL
+        .iter()
+        .map(|b| SessionKey::Base(*b))
+        .collect();
+    if opts.certify_slices {
+        forward_keys.extend([
+            SessionKey::Browse(Benchmark::AmazonDesktop),
+            SessionKey::Browse(Benchmark::GoogleMaps),
+        ]);
+    }
     let t = Instant::now();
-    let work: Vec<(u64, u64)> = Benchmark::ALL
+    let work: Vec<(u64, u64)> = forward_keys
         .par_iter()
-        .map(|b| {
-            store.forward(*b);
-            let trace = &store.base_session(*b).trace;
+        .map(|k| {
+            store.forward_for(*k);
+            let trace = &store.session(*k).trace;
             (trace.len() as u64, trace.storage_bytes())
         })
         .collect();
     stages.push(StageReport {
         name: "forward",
-        items: Benchmark::ALL.len(),
+        items: forward_keys.len(),
         instructions: work.iter().map(|w| w.0).sum(),
         trace_bytes: work.iter().map(|w| w.1).sum(),
         wall: t.elapsed(),
     });
 
     // Stage 3: independent slicing runs — pixel everywhere, syscall when
-    // Table II wants the §V comparison, and the §V-A bounded Bing slice.
+    // Table II wants the §V comparison, the §V-A bounded Bing slice, and
+    // the browse-session slices the certifier will re-check.
     #[derive(Clone, Copy)]
     enum SliceJob {
         Pixel(Benchmark),
         Syscall(Benchmark),
+        BrowsePixel(Benchmark),
+        BrowseSyscall(Benchmark),
         BingLoadPrefix,
     }
     let mut jobs: Vec<SliceJob> = Benchmark::ALL.iter().map(|b| SliceJob::Pixel(*b)).collect();
@@ -1117,18 +1219,35 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
         jobs.extend(Benchmark::ALL.iter().map(|b| SliceJob::Syscall(*b)));
     }
     jobs.push(SliceJob::BingLoadPrefix);
+    if opts.certify_slices {
+        for b in [Benchmark::AmazonDesktop, Benchmark::GoogleMaps] {
+            jobs.push(SliceJob::BrowsePixel(b));
+            jobs.push(SliceJob::BrowseSyscall(b));
+        }
+    }
     let t = Instant::now();
     let work: Vec<(u64, u64)> = jobs
         .par_iter()
         .map(|job| {
-            let (considered, b) = match job {
-                SliceJob::Pixel(b) => (store.pixel_slice(*b).considered(), *b),
-                SliceJob::Syscall(b) => (store.syscall_slice(*b).considered(), *b),
-                SliceJob::BingLoadPrefix => {
-                    (store.bing_load_prefix_slice().considered(), Benchmark::Bing)
+            let (considered, key) = match job {
+                SliceJob::Pixel(b) => (store.pixel_slice(*b).considered(), SessionKey::Base(*b)),
+                SliceJob::Syscall(b) => {
+                    (store.syscall_slice(*b).considered(), SessionKey::Base(*b))
                 }
+                SliceJob::BrowsePixel(b) => {
+                    let key = SessionKey::Browse(*b);
+                    (store.pixel_slice_for(key).considered(), key)
+                }
+                SliceJob::BrowseSyscall(b) => {
+                    let key = SessionKey::Browse(*b);
+                    (store.syscall_slice_for(key).considered(), key)
+                }
+                SliceJob::BingLoadPrefix => (
+                    store.bing_load_prefix_slice().considered(),
+                    SessionKey::Base(Benchmark::Bing),
+                ),
             };
-            (considered, store.base_session(b).trace.storage_bytes())
+            (considered, store.session(key).trace.storage_bytes())
         })
         .collect();
     stages.push(StageReport {
@@ -1137,6 +1256,95 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
         instructions: work.iter().map(|w| w.0).sum(),
         trace_bytes: work.iter().map(|w| w.1).sum(),
         wall: t.elapsed(),
+    });
+
+    // Stage 3b (optional): the independent slice certifier — replay every
+    // dependence witness against the columnar trace and check complement
+    // safety (codes WP0008-WP0011) over the pixel and syscall slices of
+    // all six sessions. Slices and forward passes are memoized above, so
+    // this stage measures exactly the certifier sweeps. Diagnostics are
+    // pre-sorted and jobs render in a fixed order, so the artifact bytes
+    // do not depend on the thread count.
+    let certify_view = opts.certify_slices.then(|| {
+        let t = Instant::now();
+        let jobs: Vec<(SessionKey, bool)> = sessions
+            .iter()
+            .flat_map(|k| [(*k, false), (*k, true)])
+            .collect();
+        type CertifyRow = (String, u64, u64, u64, Vec<wasteprof_checker::Diag>);
+        let results: Vec<CertifyRow> = jobs
+            .par_iter()
+            .map(|&(k, syscall)| {
+                let session = store.session(k);
+                let forward = store.forward_for(k);
+                let (criteria, result) = if syscall {
+                    (syscall_criteria(&session.trace), store.syscall_slice_for(k))
+                } else {
+                    (pixel_criteria(&session.trace), store.pixel_slice_for(k))
+                };
+                let diags =
+                    wasteprof_checker::certify(&session.trace, &forward, &criteria, &result);
+                let rows = result.witness().map_or(0, |w| w.len() as u64);
+                (
+                    format!(
+                        "{} [{}]",
+                        k.label(),
+                        if syscall { "syscall" } else { "pixel" }
+                    ),
+                    result.considered(),
+                    rows,
+                    session.trace.storage_bytes(),
+                    diags,
+                )
+            })
+            .collect();
+        let mut out = String::from(
+            "Slice certification: dependence-witness replay + complement\n\
+             safety (wasteprof-checker certify, codes WP0008-WP0011) over\n\
+             the pixel and syscall slices of every engine session.\n\n",
+        );
+        let mut total_diags = 0usize;
+        for (label, _, rows, _, diags) in &results {
+            if diags.is_empty() {
+                out.push_str(&format!(
+                    "{:<54} certified  {:>12} witness rows\n",
+                    label,
+                    format_count(*rows)
+                ));
+            } else {
+                total_diags += diags.len();
+                out.push_str(&format!(
+                    "{:<54} {} diagnostic{}  {:>12} witness rows\n",
+                    label,
+                    diags.len(),
+                    if diags.len() == 1 { "" } else { "s" },
+                    format_count(*rows)
+                ));
+                for d in diags.iter().take(20) {
+                    out.push_str(&format!("    {d}\n"));
+                }
+                if diags.len() > 20 {
+                    out.push_str(&format!("    ... {} more\n", diags.len() - 20));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "\n{} slices certified, {} diagnostics.\n",
+            results.len(),
+            total_diags
+        ));
+        stages.push(StageReport {
+            name: "certify",
+            items: results.len(),
+            instructions: results.iter().map(|r| r.1).sum(),
+            trace_bytes: results.iter().map(|r| r.3).sum(),
+            wall: t.elapsed(),
+        });
+        View::new(
+            "certify",
+            out.clone(),
+            vec![("certify.txt".to_owned(), out)],
+        )
     });
 
     // Stage 4: the experiment views. Everything shared is already in the
@@ -1160,9 +1368,11 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
         trace_bytes: 0,
         wall: t.elapsed(),
     });
-    // The verifier report is emitted last, after the experiment views, in
-    // a fixed position — its bytes are part of the determinism contract.
+    // The verifier and certifier reports are emitted last, after the
+    // experiment views, in a fixed order — their bytes are part of the
+    // determinism contract.
     views.extend(check_view);
+    views.extend(certify_view);
 
     EngineReport {
         threads: rayon::current_num_threads(),

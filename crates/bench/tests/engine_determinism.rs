@@ -49,7 +49,7 @@ fn engine_output_is_byte_identical_across_thread_counts() {
             "verifier view must emit check.txt"
         );
         assert!(
-            check.stdout.contains("6 sessions verified, 0 diagnostics."),
+            check.stdout.contains("6 sessions verified, 0 diagnostics"),
             "all engine sessions must verify clean:\n{}",
             check.stdout
         );
@@ -69,16 +69,52 @@ fn engine_output_is_byte_identical_across_thread_counts() {
         assert!(stage.instructions > 0, "check stage counts instructions");
     }
 
+    // The certifier view exists, carries `certify.txt` (covered by the
+    // byte-wise comparison above), and certified every pixel and syscall
+    // slice of every session with zero diagnostics.
+    for report in [&single, &parallel] {
+        let certify = report
+            .views
+            .iter()
+            .find(|v| v.name == "certify")
+            .expect("certifier view present by default");
+        assert!(
+            certify.artifacts.iter().any(|(n, _)| n == "certify.txt"),
+            "certifier view must emit certify.txt"
+        );
+        assert!(
+            certify
+                .stdout
+                .contains("12 slices certified, 0 diagnostics."),
+            "every engine slice must certify clean:\n{}",
+            certify.stdout
+        );
+        assert!(
+            !certify.stdout.contains("\n    WP0"),
+            "no certifier diagnostic lines expected:\n{}",
+            certify.stdout
+        );
+        let stage = report
+            .stages
+            .iter()
+            .find(|s| s.name == "certify")
+            .expect("certify stage recorded");
+        assert_eq!(stage.items, 12, "pixel + syscall per session");
+        assert!(stage.instructions > 0, "certify stage counts instructions");
+    }
+
     // The store computed each shared artifact exactly once per run:
     // 6 sessions (4 base + the Amazon-desktop and Maps browse sessions;
-    // Bing's browse request aliases its base session), 4 forward passes,
-    // and 9 slices (4 pixel + 4 syscall + the bounded §V-A Bing slice).
+    // Bing's browse request aliases its base session), 6 forward passes
+    // (4 base + the 2 distinct browse sessions), and 13 slices (4 pixel +
+    // 4 syscall + the bounded §V-A Bing slice + pixel and syscall over
+    // both distinct browse sessions).
     for report in [&single, &parallel] {
         assert_eq!(report.sessions_run, 6, "sessions must run exactly once");
         assert_eq!(
-            report.forward_builds, 4,
-            "one forward pass per base session"
+            report.forward_builds, 6,
+            "one forward pass per distinct session"
         );
-        assert_eq!(report.slices_run, 9, "independent slices computed once");
+        assert_eq!(report.slices_run, 13, "independent slices computed once");
     }
 }

@@ -1,0 +1,467 @@
+//! Independent slice certifier: one forward sweep that re-checks a
+//! backward slice against the trace it came from.
+//!
+//! The slicer emits a dependence witness (see `wasteprof-slicer`'s
+//! `Witnesses`): one row per slice member naming the live fact the member
+//! defined and the downstream member or criterion that consumed it, the
+//! CDG edge for control-dependence members, or the contained member for
+//! dynamic calls. [`certify`] replays those claims *forward* over the
+//! packed [`Columns`] — no `Instr` materialization, the same streaming
+//! style as the race detector — and shares no code with the backward
+//! walk, so a bug in the slicer's liveness machinery cannot hide itself.
+//!
+//! Two properties are checked:
+//!
+//! - **Soundness of every edge.** A `mem`/`reg` row claims its member is
+//!   the *last* write to those bytes / that register before the consumer
+//!   (registers on the consumer's own thread); the sweep tracks
+//!   last-writer shadows and compares at the consumer ([`Code::CertifyStaleDef`]).
+//!   `control` rows must be real edges of the recovered control-dependence
+//!   graph, `call` rows must match the dynamic call stack, and `criterion`
+//!   rows must anchor a real `include_instr` criterion
+//!   ([`Code::CertifyBadEdge`]).
+//! - **Complement safety.** Wherever a slice member or criterion consumes
+//!   bytes or a register, the last writer must itself be in the slice (or
+//!   the bytes were never written). A non-slice last writer means the
+//!   slicer wrongly excluded an instruction whose value reached the
+//!   criteria ([`Code::CertifyLiveLeak`]).
+//!
+//! Together these imply slice soundness: every value flowing into the
+//! criteria is produced inside the slice, and every member has a checked
+//! reason to be there. Bookkeeping defects — missing table, row counts
+//! disagreeing with the slice population, rows whose member is not in the
+//! bitmap — report [`Code::CertifyMismatch`].
+
+use std::collections::BTreeMap;
+
+use wasteprof_slicer::{Criteria, ForwardPass, SliceResult, WitnessKind, WitnessRow};
+use wasteprof_trace::{Columns, InstrKind, Trace, TracePos};
+
+use crate::diag::{sort_diags, Code, Diag};
+
+/// Last-writer shadow over byte intervals: disjoint `[start, end)` spans
+/// mapping to the instruction index that last wrote them.
+#[derive(Default)]
+struct MemShadow {
+    map: BTreeMap<u64, (u64, u32)>,
+}
+
+impl MemShadow {
+    /// Splits any span straddling `at` so no interval crosses it.
+    fn split_at(&mut self, at: u64) {
+        let split = match self.map.range(..at).next_back() {
+            Some((&s, &(end, wr))) if end > at => Some((s, end, wr)),
+            _ => None,
+        };
+        if let Some((s, end, wr)) = split {
+            self.map.get_mut(&s).expect("entry just observed").0 = at;
+            self.map.insert(at, (end, wr));
+        }
+    }
+
+    /// Records `writer` as the last writer of `[lo, hi)`.
+    fn write(&mut self, lo: u64, hi: u64, writer: u32) {
+        if lo >= hi {
+            return;
+        }
+        self.split_at(lo);
+        self.split_at(hi);
+        let doomed: Vec<u64> = self.map.range(lo..hi).map(|(&s, _)| s).collect();
+        for s in doomed {
+            self.map.remove(&s);
+        }
+        self.map.insert(lo, (hi, writer));
+    }
+
+    /// Visits every sub-interval of `[lo, hi)` with its last writer,
+    /// `None` for bytes never written. Gaps are materialized so callers
+    /// see full coverage of the query.
+    fn for_range(&self, lo: u64, hi: u64, mut f: impl FnMut(u64, u64, Option<u32>)) {
+        if lo >= hi {
+            return;
+        }
+        let mut at = lo;
+        if let Some((_, &(end, wr))) = self.map.range(..=lo).next_back() {
+            if end > lo {
+                let stop = end.min(hi);
+                f(at, stop, Some(wr));
+                at = stop;
+            }
+        }
+        for (&s, &(end, wr)) in self.map.range(at..hi) {
+            if s > at {
+                f(at, s, None);
+            }
+            let stop = end.min(hi);
+            f(s, stop, Some(wr));
+            at = stop;
+            if at >= hi {
+                break;
+            }
+        }
+        if at < hi {
+            f(at, hi, None);
+        }
+    }
+}
+
+/// Sweep state shared by the edge and complement checks.
+struct Sweep<'a> {
+    cols: &'a Columns,
+    result: &'a SliceResult,
+    mem: MemShadow,
+    regs: Vec<[Option<u32>; 16]>,
+    stacks: Vec<Vec<u32>>,
+}
+
+impl Sweep<'_> {
+    fn member(&self, idx: u32) -> bool {
+        self.result.contains(TracePos(idx as u64))
+    }
+
+    /// Checks one witness row at its consumer position. `mem`/`reg` rows
+    /// compare against the last-writer shadows (called before the
+    /// consumer's own writes for member consumers, after them for
+    /// criterion consumers — a criterion observes memory *after* its
+    /// anchor instruction executes, matching the backward walk's event
+    /// order). Structural rows check the CDG, the dynamic call stack, or
+    /// the criteria list.
+    fn check_edge(
+        &self,
+        row: &WitnessRow,
+        deps: &wasteprof_slicer::ControlDeps,
+        include_crit: &[u32],
+        out: &mut Vec<Diag>,
+    ) {
+        let m = row.member.index();
+        let c = row.consumer.index();
+        match row.kind {
+            WitnessKind::Mem => {
+                if row.fact_lo >= row.fact_hi {
+                    out.push(Diag::at(
+                        Code::CertifyBadEdge,
+                        m,
+                        format!("empty mem fact {:#x}..{:#x}", row.fact_lo, row.fact_hi),
+                    ));
+                    return;
+                }
+                let mut bad: Option<(u64, u64, Option<u32>)> = None;
+                self.mem.for_range(row.fact_lo, row.fact_hi, |lo, hi, wr| {
+                    if bad.is_none() && wr != Some(m as u32) {
+                        bad = Some((lo, hi, wr));
+                    }
+                });
+                if let Some((lo, hi, wr)) = bad {
+                    let actual = match wr {
+                        Some(w) => format!("{}", TracePos(w as u64)),
+                        None => "never written".to_owned(),
+                    };
+                    out.push(Diag::at(
+                        Code::CertifyStaleDef,
+                        m,
+                        format!(
+                            "claims the last write to {lo:#x}..{hi:#x} before {}, \
+                             but that is {actual}",
+                            row.consumer
+                        ),
+                    ));
+                }
+            }
+            WitnessKind::Reg => {
+                let ri = row.fact_lo as usize;
+                if ri >= 16 {
+                    out.push(Diag::at(
+                        Code::CertifyBadEdge,
+                        m,
+                        format!("register index {ri} out of range"),
+                    ));
+                    return;
+                }
+                let ti = self.cols.tid(c).index();
+                if self.cols.tid(m) != self.cols.tid(c) {
+                    out.push(Diag::at(
+                        Code::CertifyStaleDef,
+                        m,
+                        format!(
+                            "register fact crosses threads: def on {:?}, use at {} on {:?}",
+                            self.cols.tid(m),
+                            row.consumer,
+                            self.cols.tid(c)
+                        ),
+                    ));
+                    return;
+                }
+                if self.regs[ti][ri] != Some(m as u32) {
+                    let actual = match self.regs[ti][ri] {
+                        Some(w) => format!("{}", TracePos(w as u64)),
+                        None => "never written".to_owned(),
+                    };
+                    out.push(Diag::at(
+                        Code::CertifyStaleDef,
+                        m,
+                        format!(
+                            "claims the last write to register {ri} before {}, \
+                             but that is {actual}",
+                            row.consumer
+                        ),
+                    ));
+                }
+            }
+            WitnessKind::Control => {
+                let ok = self.cols.kind(m).is_branch()
+                    && m < c
+                    && self.cols.tid(m) == self.cols.tid(c)
+                    && self.cols.func(m) == self.cols.func(c)
+                    && deps
+                        .controllers(self.cols.func(c), self.cols.pc(c))
+                        .contains(&self.cols.pc(m));
+                if !ok {
+                    out.push(Diag::at(
+                        Code::CertifyBadEdge,
+                        m,
+                        format!(
+                            "control edge {} -> {} is not in the recovered CDG",
+                            row.member, row.consumer
+                        ),
+                    ));
+                }
+            }
+            WitnessKind::Call => {
+                let ti = self.cols.tid(c).index();
+                let ok = matches!(self.cols.kind(m), InstrKind::Call { .. })
+                    && m < c
+                    && self.cols.tid(m) == self.cols.tid(c)
+                    && self.stacks[ti].last() == Some(&(m as u32));
+                if !ok {
+                    out.push(Diag::at(
+                        Code::CertifyBadEdge,
+                        m,
+                        format!(
+                            "call edge {} -> {} does not match the dynamic call stack",
+                            row.member, row.consumer
+                        ),
+                    ));
+                }
+            }
+            WitnessKind::Criterion => {
+                if row.consumer != row.member || !include_crit.contains(&(m as u32)) {
+                    out.push(Diag::at(
+                        Code::CertifyBadEdge,
+                        m,
+                        format!(
+                            "{} is not an include-instruction criterion anchor",
+                            row.member
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Complement safety for one consumed byte range: every last writer
+    /// must be a slice member or nonexistent.
+    fn check_mem_complement(&self, lo: u64, hi: u64, consumed_by: &str, out: &mut Vec<Diag>) {
+        self.mem.for_range(lo, hi, |s, e, wr| {
+            if let Some(w) = wr {
+                if !self.member(w) {
+                    out.push(Diag::at(
+                        Code::CertifyLiveLeak,
+                        w as usize,
+                        format!("non-slice write to {s:#x}..{e:#x} read by {consumed_by}"),
+                    ));
+                }
+            }
+        });
+    }
+}
+
+/// Certifies `result` — a slice of `trace` under `criteria`, carrying a
+/// witness table — in one forward sweep. Returns diagnostics in canonical
+/// sorted order; empty means the slice and its complement check out.
+///
+/// `forward` must be the same forward pass the slice was built from (the
+/// control-dependence edges are checked against its recovered CDG).
+pub fn certify(
+    trace: &Trace,
+    forward: &ForwardPass,
+    criteria: &Criteria,
+    result: &SliceResult,
+) -> Vec<Diag> {
+    let mut out = Vec::new();
+    let cols = trace.columns();
+    let n = result.considered() as usize;
+    let deps = forward.control_deps();
+
+    let Some(w) = result.witness() else {
+        out.push(Diag::at_end(
+            Code::CertifyMismatch,
+            "slice carries no witness table".to_owned(),
+        ));
+        return out;
+    };
+    if w.len() as u64 != result.slice_count() {
+        out.push(Diag::at_end(
+            Code::CertifyMismatch,
+            format!(
+                "witness has {} rows for {} slice members",
+                w.len(),
+                result.slice_count()
+            ),
+        ));
+    }
+
+    // Row sanity: positions inside the considered prefix, members in the
+    // slice bitmap. Defective rows are reported and left out of the sweep.
+    let mut valid: Vec<u32> = Vec::with_capacity(w.len());
+    for (i, row) in w.rows().enumerate() {
+        if row.member.index() >= n || row.consumer.index() >= n {
+            out.push(Diag::at_end(
+                Code::CertifyMismatch,
+                format!(
+                    "witness row {i} ({} -> {}) outside the {} considered instructions",
+                    row.member, row.consumer, n
+                ),
+            ));
+        } else if !result.contains(row.member) {
+            out.push(Diag::at(
+                Code::CertifyMismatch,
+                row.member.index(),
+                format!("witness row for {} which is not in the slice", row.member),
+            ));
+        } else {
+            valid.push(i as u32);
+        }
+    }
+
+    // Rows grouped by consumer; at one position, member-consumer rows
+    // sort before criterion-consumer rows (checked before / after the
+    // position's own writes respectively).
+    let mut by_consumer = valid.clone();
+    by_consumer.sort_by_key(|&i| {
+        let r = w.row(i as usize);
+        (r.consumer.0, r.consumer_is_criterion, i)
+    });
+    // Members whose own reads entered the live sets. Honest tables are
+    // member-sorted and duplicate-free already; sorting defensively keeps
+    // the sweep cursor correct on mutated tables too.
+    let mut gen_members: Vec<u32> = valid
+        .iter()
+        .map(|&i| w.row(i as usize))
+        .filter(|r| r.genned_reads)
+        .map(|r| r.member.0 as u32)
+        .collect();
+    gen_members.sort_unstable();
+    gen_members.dedup();
+    let include_crit: Vec<u32> = criteria
+        .items()
+        .iter()
+        .filter(|c| c.include_instr && c.pos.index() < n)
+        .map(|c| c.pos.0 as u32)
+        .collect();
+    let items = criteria.items();
+
+    let mut sweep = Sweep {
+        cols,
+        result,
+        mem: MemShadow::default(),
+        regs: vec![[None; 16]; 256],
+        stacks: vec![Vec::new(); 256],
+    };
+    let mut cons_cur = 0usize;
+    let mut gen_cur = 0usize;
+    // Criteria with positions beyond the considered prefix never match an
+    // `idx` and are skipped, mirroring the slicer.
+    let mut crit_cur = 0usize;
+
+    for idx in 0..n {
+        let tid = cols.tid(idx);
+        let ti = tid.index();
+
+        // 1. Edges whose consumer is the member at `idx`: the member's
+        // reads happen before its writes, so check against the shadows
+        // as they stand.
+        while cons_cur < by_consumer.len() {
+            let row = w.row(by_consumer[cons_cur] as usize);
+            if row.consumer.index() != idx || row.consumer_is_criterion {
+                break;
+            }
+            cons_cur += 1;
+            sweep.check_edge(&row, deps, &include_crit, &mut out);
+        }
+
+        // 2. Complement safety for members whose reads entered the live
+        // sets: their last writers must be members (or nothing).
+        if gen_cur < gen_members.len() && gen_members[gen_cur] as usize == idx {
+            gen_cur += 1;
+            let by = format!("slice member {}", TracePos(idx as u64));
+            for &rd in cols.mem_reads(idx) {
+                sweep.check_mem_complement(rd.start().raw(), rd.end().raw(), &by, &mut out);
+            }
+            for r in cols.reg_reads(idx).iter() {
+                if let Some(wr) = sweep.regs[ti][r.index()] {
+                    if !sweep.member(wr) {
+                        out.push(Diag::at(
+                            Code::CertifyLiveLeak,
+                            wr as usize,
+                            format!("non-slice write to {r:?} read by {by}"),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // 3. The instruction's own writes become the last writers.
+        for &wr in cols.mem_writes(idx) {
+            sweep
+                .mem
+                .write(wr.start().raw(), wr.end().raw(), idx as u32);
+        }
+        for r in cols.reg_writes(idx).iter() {
+            sweep.regs[ti][r.index()] = Some(idx as u32);
+        }
+
+        // 4. Edges whose consumer is a criterion anchored here: criteria
+        // observe state after the anchor executes.
+        while cons_cur < by_consumer.len() {
+            let row = w.row(by_consumer[cons_cur] as usize);
+            if row.consumer.index() != idx {
+                break;
+            }
+            cons_cur += 1;
+            sweep.check_edge(&row, deps, &include_crit, &mut out);
+        }
+
+        // 5. Complement safety for the criteria themselves.
+        while crit_cur < items.len() && items[crit_cur].pos.index() == idx {
+            let c = &items[crit_cur];
+            crit_cur += 1;
+            let by = format!("the criterion at {}", c.pos);
+            for &range in &c.mem {
+                sweep.check_mem_complement(range.start().raw(), range.end().raw(), &by, &mut out);
+            }
+            for r in c.regs.iter() {
+                if let Some(wr) = sweep.regs[ti][r.index()] {
+                    if !sweep.member(wr) {
+                        out.push(Diag::at(
+                            Code::CertifyLiveLeak,
+                            wr as usize,
+                            format!("non-slice write to {r:?} read by {by}"),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // 6. Dynamic call stack maintenance.
+        match cols.kind(idx) {
+            InstrKind::Call { .. } => sweep.stacks[ti].push(idx as u32),
+            InstrKind::Ret => {
+                sweep.stacks[ti].pop();
+            }
+            _ => {}
+        }
+    }
+
+    sort_diags(&mut out);
+    out
+}

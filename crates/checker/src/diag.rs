@@ -39,11 +39,30 @@ pub enum Code {
     /// `WP0007` — a call target outside the symbol table, or one that
     /// never executes a single instruction anywhere in the trace.
     UndefinedCallee,
+    /// `WP0008` — a witness data edge whose def is *not* the last write
+    /// to the claimed bytes/register before the consumer (stale def).
+    CertifyStaleDef,
+    /// `WP0009` — a witness edge that is structurally impossible: a
+    /// control edge absent from the recovered CDG, a call edge that does
+    /// not match the dynamic call stack, or a malformed fact.
+    CertifyBadEdge,
+    /// `WP0010` — complement-safety violation: an instruction *outside*
+    /// the slice is the last writer of bytes or a register that a slice
+    /// member (or criterion) consumes.
+    CertifyLiveLeak,
+    /// `WP0011` — witness bookkeeping mismatch: missing witness table,
+    /// row count disagreeing with the slice population, or a row whose
+    /// member is not in the slice bitmap.
+    CertifyMismatch,
+    /// `WP0012` — dead producer write: bytes in a single-producer region
+    /// (IPC channel, network input, framebuffer) overwritten before any
+    /// read — the simplest unnecessary computation the paper motivates.
+    DeadWrite,
 }
 
 impl Code {
     /// All codes, in numeric order.
-    pub const ALL: [Code; 7] = [
+    pub const ALL: [Code; 12] = [
         Code::Race,
         Code::UnmatchedCallRet,
         Code::UninitRead,
@@ -51,6 +70,11 @@ impl Code {
         Code::InvalidTid,
         Code::UnpairedMarker,
         Code::UndefinedCallee,
+        Code::CertifyStaleDef,
+        Code::CertifyBadEdge,
+        Code::CertifyLiveLeak,
+        Code::CertifyMismatch,
+        Code::DeadWrite,
     ];
 
     /// The stable code string, e.g. `"WP0001"`.
@@ -63,6 +87,11 @@ impl Code {
             Code::InvalidTid => "WP0005",
             Code::UnpairedMarker => "WP0006",
             Code::UndefinedCallee => "WP0007",
+            Code::CertifyStaleDef => "WP0008",
+            Code::CertifyBadEdge => "WP0009",
+            Code::CertifyLiveLeak => "WP0010",
+            Code::CertifyMismatch => "WP0011",
+            Code::DeadWrite => "WP0012",
         }
     }
 
@@ -76,6 +105,11 @@ impl Code {
             Code::InvalidTid => "invalid thread id",
             Code::UnpairedMarker => "unpaired pixel marker",
             Code::UndefinedCallee => "undefined call target",
+            Code::CertifyStaleDef => "stale witness def",
+            Code::CertifyBadEdge => "impossible witness edge",
+            Code::CertifyLiveLeak => "non-slice write reaches a consumer",
+            Code::CertifyMismatch => "witness bookkeeping mismatch",
+            Code::DeadWrite => "dead producer write",
         }
     }
 }
@@ -207,7 +241,10 @@ mod tests {
         let strs: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
         assert_eq!(
             strs,
-            vec!["WP0001", "WP0002", "WP0003", "WP0004", "WP0005", "WP0006", "WP0007"]
+            vec![
+                "WP0001", "WP0002", "WP0003", "WP0004", "WP0005", "WP0006", "WP0007", "WP0008",
+                "WP0009", "WP0010", "WP0011", "WP0012"
+            ]
         );
     }
 

@@ -23,21 +23,30 @@
 //!   spawn hand-offs already present in the trace;
 //! - [`TraceMutator`] injects single surgical faults into known-good
 //!   traces so differential tests can prove each lint catches exactly the
-//!   invariant it owns.
+//!   invariant it owns;
+//! - [`certify()`] independently re-checks a backward slice: it replays the
+//!   slicer's dependence witness forward over the columns, verifying that
+//!   every witness edge is a real def→use (or CDG/call-stack edge) and
+//!   that no non-slice instruction feeds a value into the slice
+//!   (`WP0008…WP0011`);
+//! - [`dead_writes`] runs the `WP0012` dead-producer-write lint, the
+//!   simplest waste category the paper motivates.
 
+pub mod certify;
 pub mod diag;
 pub mod lint;
 pub mod lints;
 pub mod mutate;
 pub mod race;
 
+pub use certify::certify;
 pub use diag::{render_json, render_text, sort_diags, Code, Diag};
 pub use lint::{Ctx, Lint, Registry};
 pub use lints::{
-    CallRetLint, InvalidTidLint, MarkerPairingLint, RegionOverlapLint, UndefinedCalleeLint,
-    UninitReadLint, PRODUCER_REGIONS,
+    CallRetLint, DeadWriteLint, InvalidTidLint, MarkerPairingLint, RegionOverlapLint,
+    UndefinedCalleeLint, UninitReadLint, PRODUCER_REGIONS,
 };
-pub use mutate::{Mutation, TraceMutator};
+pub use mutate::{Mutation, SliceMutation, TraceMutator};
 pub use race::{RaceLint, LOCK_SYMBOL};
 
 use wasteprof_trace::Trace;
@@ -48,4 +57,15 @@ use wasteprof_trace::Trace;
 /// the checker's happens-before model.
 pub fn verify(trace: &Trace) -> Vec<Diag> {
     Registry::with_default_lints().run(trace)
+}
+
+/// Runs only the `WP0012` dead-write lint over `trace`: writes to
+/// single-producer regions (IPC channel, network input, framebuffer)
+/// whose bytes are overwritten before any read. Kept out of [`verify`]'s
+/// battery because dead writes are a waste *metric*, not a malformation —
+/// well-formed sessions legitimately contain them.
+pub fn dead_writes(trace: &Trace) -> Vec<Diag> {
+    let mut r = Registry::new();
+    r.register(Box::new(DeadWriteLint::default()));
+    r.run(trace)
 }

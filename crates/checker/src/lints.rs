@@ -411,6 +411,113 @@ impl Lint for UndefinedCalleeLint {
     }
 }
 
+/// One tracked producer-region span: who wrote it last and whether any
+/// read consumed it since.
+#[derive(Clone, Copy)]
+struct DeadSpan {
+    end: u64,
+    writer: usize,
+    read: bool,
+}
+
+/// `WP0012`: a write to a single-producer region (IPC channel, network
+/// input, framebuffer) overwritten before any read — the simplest
+/// unnecessary computation the paper motivates: the producer paid for
+/// bytes no consumer ever looked at.
+///
+/// This is a *waste metric*, not a malformation, so it is not part of
+/// [`crate::verify`]'s default battery (canonical sessions legitimately
+/// contain dead producer writes); run it via [`crate::dead_writes`].
+/// Bytes still unread when the trace ends are not reported — the final
+/// frame and unconsumed channel tails are ordinary shutdown state.
+#[derive(Default)]
+pub struct DeadWriteLint {
+    /// Disjoint `[start, end)` spans of producer bytes, keyed by start.
+    spans: BTreeMap<u64, DeadSpan>,
+}
+
+fn in_producer(r: AddrRange) -> bool {
+    r.start()
+        .region()
+        .is_some_and(|reg| PRODUCER_REGIONS.contains(&reg))
+}
+
+impl DeadWriteLint {
+    /// Splits any span straddling `at` so no span crosses it.
+    fn split_at(&mut self, at: u64) {
+        let split = match self.spans.range(..at).next_back() {
+            Some((&s, sp)) if sp.end > at => Some((s, *sp)),
+            _ => None,
+        };
+        if let Some((s, sp)) = split {
+            self.spans.get_mut(&s).expect("entry just observed").end = at;
+            self.spans.insert(at, DeadSpan { end: sp.end, ..sp });
+        }
+    }
+}
+
+impl Lint for DeadWriteLint {
+    fn name(&self) -> &'static str {
+        "dead-write"
+    }
+
+    fn begin(&mut self, _ctx: &Ctx<'_>) {
+        self.spans.clear();
+    }
+
+    fn on_instr(&mut self, ctx: &Ctx<'_>, idx: usize, out: &mut Vec<Diag>) {
+        // Reads first: a read-modify-write consumes the old bytes.
+        for r in ctx.cols.mem_reads(idx) {
+            if !in_producer(*r) {
+                continue;
+            }
+            let (lo, hi) = (r.start().raw(), r.end().raw());
+            self.split_at(lo);
+            self.split_at(hi);
+            for (_, sp) in self.spans.range_mut(lo..hi) {
+                sp.read = true;
+            }
+        }
+        for w in ctx.cols.mem_writes(idx) {
+            if !in_producer(*w) {
+                continue;
+            }
+            let region = w.start().region().expect("in_producer implies a region");
+            let (lo, hi) = (w.start().raw(), w.end().raw());
+            self.split_at(lo);
+            self.split_at(hi);
+            let doomed: Vec<u64> = self.spans.range(lo..hi).map(|(&s, _)| s).collect();
+            let mut dead: Vec<usize> = Vec::new();
+            for s in doomed {
+                let sp = self.spans.remove(&s).expect("span just listed");
+                if !sp.read && sp.writer != idx && !dead.contains(&sp.writer) {
+                    dead.push(sp.writer);
+                }
+            }
+            for wpos in dead {
+                out.push(Diag::at(
+                    Code::DeadWrite,
+                    wpos,
+                    format!(
+                        "{} bytes never read before being overwritten at {} in `{}`",
+                        region.name(),
+                        wasteprof_trace::TracePos(idx as u64),
+                        func_name(ctx, ctx.cols.func(idx)),
+                    ),
+                ));
+            }
+            self.spans.insert(
+                lo,
+                DeadSpan {
+                    end: hi,
+                    writer: idx,
+                    read: false,
+                },
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +545,24 @@ mod tests {
         cov.insert(10, 20);
         assert_eq!(cov.spans.len(), 1);
         assert_eq!(cov.first_gap(0, 100), None);
+    }
+
+    #[test]
+    fn dead_write_fires_only_on_unread_overwrite() {
+        use wasteprof_trace::{site, Recorder, ThreadKind, TracePos};
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "root");
+        let ch = rec.alloc(Region::Channel, 16);
+        let dead = rec.compute(site!(), &[], &[ch]); // overwritten before any read
+        rec.compute(site!(), &[], &[ch]); // read before the next overwrite
+        rec.compute(site!(), &[ch], &[]);
+        rec.compute(site!(), &[], &[ch]); // unread at trace end: not reported
+        let trace = rec.finish();
+        let diags = crate::dead_writes(&trace);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::DeadWrite);
+        // `compute` expands to ALU + store; the store carries the write.
+        assert_eq!(diags[0].pos, Some(TracePos(dead.0 + 1)));
     }
 
     #[test]

@@ -13,9 +13,15 @@
 //! semantics) and scheduler hand-off boundaries (where the instruction
 //! before a thread's first instruction defines its spawn edge), because
 //! collateral damage there would surface unrelated race diagnostics.
+//!
+//! [`SliceMutation`] is the slicer-side counterpart: it corrupts a
+//! *witnessed slice* (the membership bitmap plus its dependence witness)
+//! instead of the trace, modeling slicer bugs for the certifier's
+//! differential tests.
 
 use std::collections::BTreeMap;
 
+use wasteprof_slicer::{SliceResult, WitnessKind, WitnessRow, Witnesses};
 use wasteprof_trace::{
     Addr, AddrRange, Columns, FuncId, InstrKind, MarkerRecord, Region, ThreadId, Trace, TracePos,
 };
@@ -87,6 +93,53 @@ impl Mutation {
     }
 }
 
+/// One way of corrupting a witnessed slice, each paired with the
+/// certifier code it must trigger. The trace stays pristine: these model
+/// *slicer* bugs (lost members, wrong dependence edges, wrongly excluded
+/// instructions), not recorder bugs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SliceMutation {
+    /// Remove one data-witness row while leaving its member in the
+    /// bitmap: the row count no longer matches the slice population
+    /// (`WP0011`).
+    DropWitnessedDef,
+    /// Re-attribute a mem-witness row to a different member: the claimed
+    /// def is no longer the last write to those bytes before the consumer
+    /// (`WP0008`).
+    RetargetStaleDef,
+    /// Remove a live-writing member from the bitmap along with its row:
+    /// its value still reaches a slice consumer, so the complement is no
+    /// longer safe (`WP0010`).
+    UnmarkLiveWriter,
+}
+
+impl SliceMutation {
+    /// Every slice mutation, in diagnostic-code order.
+    pub const ALL: [SliceMutation; 3] = [
+        SliceMutation::RetargetStaleDef,
+        SliceMutation::UnmarkLiveWriter,
+        SliceMutation::DropWitnessedDef,
+    ];
+
+    /// The one diagnostic code this corruption must trigger.
+    pub fn expected_code(self) -> Code {
+        match self {
+            SliceMutation::RetargetStaleDef => Code::CertifyStaleDef,
+            SliceMutation::UnmarkLiveWriter => Code::CertifyLiveLeak,
+            SliceMutation::DropWitnessedDef => Code::CertifyMismatch,
+        }
+    }
+
+    /// Short name for test labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            SliceMutation::RetargetStaleDef => "retarget-stale-def",
+            SliceMutation::UnmarkLiveWriter => "unmark-live-writer",
+            SliceMutation::DropWitnessedDef => "drop-witnessed-def",
+        }
+    }
+}
+
 /// One surgical edit to a trace, applied during the columnar rebuild.
 enum Edit {
     /// Remove instruction `0`.
@@ -146,6 +199,57 @@ impl<'a> TraceMutator<'a> {
             Mutation::WildCallee => self.plan_wild_callee()?,
         };
         Some(self.rebuild(edit))
+    }
+
+    /// Applies slice mutation `m` to a witnessed slice of this mutator's
+    /// trace, returning the corrupted [`SliceResult`], or `None` when the
+    /// slice offers no site for this corruption (no data-witness rows, or
+    /// no member that is nobody's consumer).
+    pub fn apply_slice(&self, m: SliceMutation, result: &SliceResult) -> Option<SliceResult> {
+        let rows: Vec<WitnessRow> = result.witness()?.rows().collect();
+        match m {
+            SliceMutation::DropWitnessedDef => {
+                let i = rows
+                    .iter()
+                    .position(|r| matches!(r.kind, WitnessKind::Mem | WitnessKind::Reg))?;
+                let mut out = result.clone();
+                out.set_witness(Some(Witnesses::from_rows(
+                    rows.iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .map(|(_, &r)| r),
+                )));
+                Some(out)
+            }
+            SliceMutation::RetargetStaleDef => {
+                let i = rows.iter().position(|r| r.kind == WitnessKind::Mem)?;
+                let j = rows
+                    .iter()
+                    .position(|r| r.kind == WitnessKind::Mem && r.member != rows[i].member)?;
+                let mut rows = rows;
+                rows[j].member = rows[i].member;
+                let mut out = result.clone();
+                out.set_witness(Some(Witnesses::from_rows(rows)));
+                Some(out)
+            }
+            SliceMutation::UnmarkLiveWriter => {
+                // A mem-witness member provably wrote no live register
+                // (the walk checks registers before memory), so unmarking
+                // it leaks exactly bytes: the complement check at every
+                // consumer of its writes fires WP0010 and nothing else.
+                let i = rows.iter().position(|r| r.kind == WitnessKind::Mem)?;
+                let member = rows[i].member;
+                let mut out = result.clone();
+                out.remove_member(member);
+                out.set_witness(Some(Witnesses::from_rows(
+                    rows.iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .map(|(_, &r)| r),
+                )));
+                Some(out)
+            }
+        }
     }
 
     /// True when removing/retagging instruction `idx` would change which

@@ -1,0 +1,110 @@
+//! Differential certifier tests: witnessed slices of every canonical
+//! session must certify clean at segment counts 1 and 8, and every
+//! [`SliceMutation`] must trigger exactly its own certifier code.
+
+use wasteprof_browser::Session;
+use wasteprof_checker::{certify, Code, SliceMutation, TraceMutator};
+use wasteprof_slicer::{
+    pixel_criteria, slice, syscall_criteria, Criteria, ForwardPass, SliceOptions,
+};
+use wasteprof_trace::Trace;
+use wasteprof_workloads::Benchmark;
+
+/// The six canonical engine sessions (four loads + two browse phases).
+fn canonical_sessions() -> Vec<(String, Session)> {
+    let mut out = Vec::new();
+    for b in Benchmark::ALL {
+        out.push((b.label().to_owned(), b.run()));
+    }
+    for b in [Benchmark::AmazonDesktop, Benchmark::GoogleMaps] {
+        out.push((
+            format!("{} (load + browse)", b.label()),
+            b.run_with_browse(),
+        ));
+    }
+    out
+}
+
+fn witnessed(k: usize) -> SliceOptions {
+    SliceOptions {
+        witness: true,
+        segments: k,
+        ..Default::default()
+    }
+}
+
+fn certify_clean(label: &str, trace: &Trace, fwd: &ForwardPass, criteria: &Criteria, k: usize) {
+    let result = slice(trace, fwd, criteria, &witnessed(k));
+    assert!(
+        result.witness().is_some(),
+        "{label} K={k}: witness missing from result"
+    );
+    let diags = certify(trace, fwd, criteria, &result);
+    assert!(
+        diags.is_empty(),
+        "{label} K={k}: expected a clean certify, got {} diagnostics; first: {}",
+        diags.len(),
+        diags[0],
+    );
+}
+
+#[test]
+fn canonical_slices_certify_clean_at_one_and_eight_segments() {
+    for (label, session) in canonical_sessions() {
+        let fwd = ForwardPass::build(&session.trace);
+        for (kind, criteria) in [
+            ("pixel", pixel_criteria(&session.trace)),
+            ("syscall", syscall_criteria(&session.trace)),
+        ] {
+            for k in [1, 8] {
+                certify_clean(
+                    &format!("{label} [{kind}]"),
+                    &session.trace,
+                    &fwd,
+                    &criteria,
+                    k,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn each_slice_mutation_triggers_exactly_its_certifier_code() {
+    let session = Benchmark::AmazonMobile.run();
+    let fwd = ForwardPass::build(&session.trace);
+    let criteria = pixel_criteria(&session.trace);
+    let result = slice(&session.trace, &fwd, &criteria, &witnessed(1));
+    let mutator = TraceMutator::new(&session.trace);
+    for m in SliceMutation::ALL {
+        let mutated = mutator
+            .apply_slice(m, &result)
+            .unwrap_or_else(|| panic!("{}: no injection site found", m.name()));
+        let diags = certify(&session.trace, &fwd, &criteria, &mutated);
+        assert!(
+            !diags.is_empty(),
+            "{}: corruption went undetected",
+            m.name()
+        );
+        for d in &diags {
+            assert_eq!(
+                d.code,
+                m.expected_code(),
+                "{}: expected only {}, got {d}",
+                m.name(),
+                m.expected_code(),
+            );
+        }
+    }
+}
+
+#[test]
+fn unwitnessed_slice_reports_mismatch() {
+    let session = Benchmark::AmazonMobile.run();
+    let fwd = ForwardPass::build(&session.trace);
+    let criteria = pixel_criteria(&session.trace);
+    let result = slice(&session.trace, &fwd, &criteria, &SliceOptions::default());
+    let diags = certify(&session.trace, &fwd, &criteria, &result);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, Code::CertifyMismatch);
+}

@@ -9,7 +9,8 @@
 
 use proptest::prelude::*;
 use wasteprof_browser::Sched;
-use wasteprof_checker::{verify, Mutation, TraceMutator};
+use wasteprof_checker::{certify, verify, Mutation, SliceMutation, TraceMutator};
+use wasteprof_slicer::{pixel_criteria, slice, ForwardPass, SliceOptions};
 use wasteprof_trace::{site, Recorder, Region, ThreadKind};
 
 proptest! {
@@ -66,6 +67,73 @@ proptest! {
         prop_assert!(mutated.is_some(), "{}: no injection site found", m.name());
         if let Some(mutated) = mutated {
             let diags = verify(&mutated);
+            prop_assert!(!diags.is_empty(), "{} went undetected", m.name());
+            for d in &diags {
+                prop_assert_eq!(
+                    d.code,
+                    m.expected_code(),
+                    "{}: unexpected diagnostic {}",
+                    m.name(),
+                    d
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_mutations_fire_their_code_on_synthetic_sessions(
+        hops in proptest::collection::vec((0..3u8, 1..4u32), 4..16),
+        mutation_sel in 0..3usize,
+    ) {
+        // Same task-chain shape as above: the pixel slice threads through
+        // the scheduler hand-offs, so the witness carries mem, reg,
+        // control, and call edges across threads.
+        let mut rec = Recorder::new();
+        let main = rec.spawn_thread(ThreadKind::Main, "main_root");
+        let workers = [
+            rec.spawn_thread(ThreadKind::Compositor, "comp_root"),
+            rec.spawn_thread(ThreadKind::Raster(0), "raster_root"),
+            rec.spawn_thread(ThreadKind::Io, "io_root"),
+        ];
+        rec.switch_to(main);
+        let mut sched = Sched::new(&mut rec, 4);
+        let shared = rec.alloc_cell(Region::Heap);
+        let input = rec.alloc(Region::Input, 64);
+        let tile = rec.alloc(Region::PixelTile, 64);
+        let work = rec.intern_func("worker::Work");
+
+        rec.compute(site!(), &[], &[input]);
+        rec.compute(site!(), &[input], &[shared.into()]);
+        for &(w, weight) in &hops {
+            sched.post_task(&mut rec, workers[w as usize]);
+            rec.in_func(site!(), work, |rec| {
+                rec.compute_weighted(site!(), &[shared.into()], &[shared.into()], weight);
+            });
+            sched.post_task(&mut rec, main);
+        }
+        rec.compute(site!(), &[shared.into()], &[tile]);
+        rec.marker(site!(), tile);
+        sched.ipc_send(&mut rec, &[tile], 2);
+        let trace = rec.finish();
+
+        let fwd = ForwardPass::build(&trace);
+        let criteria = pixel_criteria(&trace);
+        let opts = SliceOptions { witness: true, ..Default::default() };
+        let result = slice(&trace, &fwd, &criteria, &opts);
+        let clean = certify(&trace, &fwd, &criteria, &result);
+        prop_assert!(
+            clean.is_empty(),
+            "pristine synthetic slice failed certification: {} diags, first: {}",
+            clean.len(),
+            clean[0]
+        );
+
+        let m = SliceMutation::ALL[mutation_sel];
+        let mutated = TraceMutator::new(&trace).apply_slice(m, &result);
+        // Every synthetic slice has >= 2 distinct mem-witnessed members.
+        prop_assert!(mutated.is_some(), "{}: no injection site found", m.name());
+        if let Some(mutated) = mutated {
+            let diags = certify(&trace, &fwd, &criteria, &mutated);
             prop_assert!(!diags.is_empty(), "{} went undetected", m.name());
             for d in &diags {
                 prop_assert_eq!(

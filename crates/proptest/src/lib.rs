@@ -5,7 +5,7 @@
 //!
 //! The build container has no network access to crates.io, so this crate
 //! provides the slice of proptest this workspace actually uses: the
-//! [`Strategy`] trait with `prop_map` / `prop_filter` / `prop_filter_map` /
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_filter` / `prop_filter_map` /
 //! `prop_recursive`, integer-range and tuple strategies, regex-lite string
 //! strategies, `proptest::collection::vec`, `proptest::option::of`,
 //! [`Just`](strategy::Just), [`any`](strategy::any), and the `proptest!` /

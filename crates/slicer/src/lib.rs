@@ -55,6 +55,7 @@ mod live;
 mod parallel;
 mod postdom;
 mod slice;
+mod witness;
 
 pub use cdg::{Cdg, ControlDeps};
 pub use cfg::{Cfg, CfgNode, CfgSet, NodeId};
@@ -62,3 +63,4 @@ pub use criteria::{pixel_criteria, syscall_criteria, Criteria, SlicingCriterion}
 pub use live::{AddrSet, IntervalSet, LiveState};
 pub use postdom::PostDoms;
 pub use slice::{slice, ForwardPass, SliceOptions, SliceResult, TimelinePoint};
+pub use witness::{WitnessKind, WitnessRow, Witnesses};

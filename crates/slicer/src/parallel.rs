@@ -337,6 +337,7 @@ pub(crate) fn run(
             .map(|(i, &v)| (FuncId(i as u32), v))
             .collect(),
         timeline,
+        witness: None,
     })
 }
 

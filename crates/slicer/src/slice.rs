@@ -70,6 +70,12 @@ pub struct SliceOptions {
     /// length; `1` forces the sequential reference walk. Any value
     /// produces byte-identical results — this only trades wall time.
     pub segments: usize,
+    /// Emit a dependence witness ([`crate::Witnesses`]) alongside the
+    /// slice: one row per member recording the def→use, CDG, or call edge
+    /// that pulled it in, for independent certification by
+    /// `wasteprof-checker`. The table is identical at any segment count.
+    /// Off by default (the experiment engine turns it on).
+    pub witness: bool,
 }
 
 impl Default for SliceOptions {
@@ -79,6 +85,7 @@ impl Default for SliceOptions {
             timeline_interval: 0,
             tracked_thread: ThreadId::MAIN,
             segments: 0,
+            witness: false,
         }
     }
 }
@@ -133,6 +140,7 @@ pub struct SliceResult {
     pub(crate) per_thread: HashMap<ThreadId, (u64, u64)>,
     pub(crate) per_func: HashMap<FuncId, (u64, u64)>,
     pub(crate) timeline: Vec<TimelinePoint>,
+    pub(crate) witness: Option<crate::witness::Witnesses>,
 }
 
 impl SliceResult {
@@ -184,6 +192,33 @@ impl SliceResult {
     /// Backward-pass checkpoints, in processing order.
     pub fn timeline(&self) -> &[TimelinePoint] {
         &self.timeline
+    }
+
+    /// The dependence-witness table, if the slice was computed with
+    /// [`SliceOptions::witness`] on.
+    pub fn witness(&self) -> Option<&crate::witness::Witnesses> {
+        self.witness.as_ref()
+    }
+
+    /// Replaces the witness table (fault-injection support: differential
+    /// tests corrupt one row and hand the result to the certifier).
+    pub fn set_witness(&mut self, witness: Option<crate::witness::Witnesses>) {
+        self.witness = witness;
+    }
+
+    /// Removes `pos` from the slice bitmap and decrements the slice
+    /// count, leaving per-thread/per-function stats untouched.
+    /// Fault-injection support only — the result is deliberately *not* a
+    /// valid slice; the certifier must catch it. Returns false when `pos`
+    /// was not a member.
+    pub fn remove_member(&mut self, pos: TracePos) -> bool {
+        let idx = pos.index();
+        if !self.contains(pos) {
+            return false;
+        }
+        self.bitmap[idx / 64] &= !(1u64 << (idx % 64));
+        self.slice_count -= 1;
+        true
     }
 
     /// Slice fraction restricted to trace positions `[from, to]`, optionally
@@ -247,15 +282,26 @@ pub fn slice(
 ) -> SliceResult {
     let n = considered_len(trace, options);
     let k = effective_segments(options.segments, n);
+    let mut result = None;
     if k > 1 {
         // The segment-parallel pass bails out (rarely — see
         // `parallel::run`) when a segment's symbolic state outgrows its
         // budget; the sequential walk is always the reference fallback.
-        if let Some(result) = crate::parallel::run(trace, forward, criteria, options, k) {
-            return result;
-        }
+        result = crate::parallel::run(trace, forward, criteria, options, k);
     }
-    Backward::new(trace, forward, criteria, options).run()
+    let mut result =
+        result.unwrap_or_else(|| Backward::new(trace, forward, criteria, options).run());
+    if options.witness {
+        // The witness is a pure function of (trace, criteria, bitmap), so
+        // emitting it after either path keeps it identical at any K.
+        result.witness = Some(crate::witness::emit(
+            trace,
+            forward.control_deps(),
+            criteria,
+            &result,
+        ));
+    }
+    result
 }
 
 /// Number of instructions the pass will consider (`[0, end]` clamped to
@@ -604,6 +650,7 @@ impl<'a> Backward<'a> {
                 .map(|(i, &v)| (FuncId(i as u32), v))
                 .collect(),
             timeline: self.timeline,
+            witness: None,
         }
     }
 }

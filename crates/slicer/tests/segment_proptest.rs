@@ -151,14 +151,16 @@ proptest! {
             &trace,
             &fwd,
             &criteria,
-            &SliceOptions { segments: 1, ..Default::default() },
+            &SliceOptions { segments: 1, witness: true, ..Default::default() },
         );
+        let w = seq.witness().expect("witness requested");
+        prop_assert_eq!(w.len() as u64, seq.slice_count(), "one witness row per member");
         for k in [2, 3, 8] {
             let par = slice(
                 &trace,
                 &fwd,
                 &criteria,
-                &SliceOptions { segments: k, ..Default::default() },
+                &SliceOptions { segments: k, witness: true, ..Default::default() },
             );
             prop_assert_eq!(&par, &seq, "segments={} diverged", k);
         }

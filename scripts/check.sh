@@ -46,4 +46,10 @@ trap 'rm -f "$smoke_trace"' EXIT
 target/release/trace_tool export amazon_mobile "$smoke_trace"
 target/release/trace_tool check "$smoke_trace"
 
+echo "== certifier smoke (witnessed slice certifies clean) =="
+target/release/trace_tool certify "$smoke_trace"
+
+echo "== rustdoc (no warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "All checks passed."
