@@ -144,13 +144,23 @@ impl ThreadRow {
 /// Builds the Table II rows: `All` first, then the important threads in the
 /// paper's order (Main, Compositor, Rasterizer 1..n).
 pub fn thread_rows(trace: &Trace, result: &SliceResult) -> Vec<ThreadRow> {
+    thread_rows_from(trace.threads(), result)
+}
+
+/// [`thread_rows`] from a bare thread table — the out-of-core path has a
+/// `WPTRACE2` footer (and thus a [`ThreadTable`]) but never a full
+/// in-memory [`Trace`].
+pub fn thread_rows_from(
+    threads: &wasteprof_trace::ThreadTable,
+    result: &SliceResult,
+) -> Vec<ThreadRow> {
     let mut rows = vec![ThreadRow {
         label: "All".to_owned(),
         slice: result.slice_count(),
         total: result.considered(),
     }];
     let mut ordered: Vec<(u8, String, wasteprof_trace::ThreadId)> = Vec::new();
-    for info in trace.threads().iter() {
+    for info in threads.iter() {
         let rank = match info.kind() {
             ThreadKind::Main => 0,
             ThreadKind::Compositor => 1,

@@ -8,13 +8,23 @@
 //! backward slice and replays its dependence witness through the
 //! independent certifier (codes WP0008-WP0011). Both exit 0 when clean,
 //! 1 with findings, 2 on usage errors.
+//!
+//! `convert` re-encodes a WPTRACE1 file into the chunked, per-column
+//! compressed WPTRACE2 tier; `slice`/`check`/`certify --out-of-core`
+//! then run entirely from that file through [`TraceReader`]'s bounded
+//! chunk window — the whole trace never lives in memory.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
-use wasteprof_analysis::{format_count, thread_rows, TextTable};
-use wasteprof_slicer::{pixel_criteria, slice, syscall_criteria, ForwardPass, SliceOptions};
-use wasteprof_trace::{read_trace, write_trace, Trace, TracePos};
+use wasteprof_analysis::{format_count, thread_rows, thread_rows_from, TextTable};
+use wasteprof_slicer::{
+    pixel_criteria, pixel_criteria_streamed, slice, slice_streamed, syscall_criteria,
+    syscall_criteria_streamed, Criteria, ForwardPass, SliceOptions, SliceResult,
+};
+use wasteprof_trace::{
+    read_trace, write_trace, write_trace2, Trace, TraceIoError, TracePos, TraceReader,
+};
 use wasteprof_workloads::Benchmark;
 
 /// One consolidated usage table for every subcommand; all usage errors —
@@ -23,10 +33,13 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          trace_tool export  <amazon_desktop|amazon_mobile|maps|bing> <file>\n  \
+         trace_tool convert <in.wptrace> <out.wptrace2>\n  \
          trace_tool inspect <file> [--head N]\n  \
-         trace_tool slice   <file> [--criteria pixels|syscalls]\n  \
-         trace_tool check   <file> [--json] [--max-diags N]\n  \
-         trace_tool certify <file> [--criteria pixels|syscalls] [--segments K] [--json]\n\n\
+         trace_tool slice   <file> [--criteria pixels|syscalls] [--out-of-core]\n  \
+         trace_tool check   <file> [--json] [--max-diags N] [--out-of-core]\n  \
+         trace_tool certify <file> [--criteria pixels|syscalls] [--segments K] [--json] [--out-of-core]\n\n\
+         `--out-of-core` reads a WPTRACE2 file produced by `convert`,\n  \
+         streaming bounded chunks instead of loading the whole trace.\n\n\
          exit codes: 0 clean / success, 1 findings or I/O error, 2 usage error"
     );
     std::process::exit(2);
@@ -41,6 +54,47 @@ fn load(path: &str) -> Trace {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
     })
+}
+
+/// Opens a `WPTRACE2` file for streaming; exits 1 on any I/O or format
+/// error, like [`load`] does for the in-memory tier.
+fn open_reader(path: &str) -> TraceReader<BufReader<File>> {
+    let file = File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    TraceReader::open(BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Exits 1 with a message when a streamed pass fails mid-trace.
+fn stream_ok<T>(res: Result<T, TraceIoError>) -> T {
+    res.unwrap_or_else(|e| {
+        eprintln!("stream error: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Computes the streamed slice: forward pass, criteria, and backward
+/// slice all driven from the reader's bounded chunk window.
+fn slice_out_of_core(
+    reader: &mut TraceReader<BufReader<File>>,
+    syscalls: bool,
+    options: &SliceOptions,
+) -> SliceResult {
+    let forward = stream_ok(ForwardPass::build_streamed(reader));
+    let criteria = streamed_criteria(reader, syscalls);
+    stream_ok(slice_streamed(reader, &forward, &criteria, options))
+}
+
+fn streamed_criteria(reader: &mut TraceReader<BufReader<File>>, syscalls: bool) -> Criteria {
+    if syscalls {
+        stream_ok(syscall_criteria_streamed(reader))
+    } else {
+        pixel_criteria_streamed(reader)
+    }
 }
 
 /// Parses the value of `--criteria`; returns `true` for syscalls.
@@ -74,6 +128,33 @@ fn main() {
                 "wrote {} instructions ({} markers) to {path}",
                 format_count(session.trace.len() as u64),
                 session.trace.markers().len()
+            );
+        }
+        Some("convert") => {
+            let (Some(input), Some(output)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            if args.len() > 3 {
+                usage();
+            }
+            let trace = load(input);
+            let file = File::create(output).unwrap_or_else(|e| {
+                eprintln!("cannot create {output}: {e}");
+                std::process::exit(1);
+            });
+            let mut w = BufWriter::new(file);
+            let stats = write_trace2(&mut w, &trace).unwrap_or_else(|e| {
+                eprintln!("cannot write {output}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "wrote {} instructions in {} segments to {output}\n\
+                 file: {} bytes; payload: {} bytes ({:.2} bytes/instr compressed)",
+                format_count(stats.instrs),
+                format_count(stats.segments),
+                format_count(stats.file_bytes),
+                format_count(stats.payload_bytes),
+                stats.bytes_per_instr()
             );
         }
         Some("inspect") => {
@@ -135,21 +216,32 @@ fn main() {
         Some("slice") => {
             let Some(path) = args.get(1) else { usage() };
             let mut syscalls = false;
+            let mut out_of_core = false;
             let mut rest = args[2..].iter();
             while let Some(arg) = rest.next() {
                 match arg.as_str() {
                     "--criteria" => syscalls = parse_criteria(rest.next()),
+                    "--out-of-core" => out_of_core = true,
                     _ => usage(),
                 }
             }
-            let trace = load(path);
-            let forward = ForwardPass::build(&trace);
-            let criteria = if syscalls {
-                syscall_criteria(&trace)
+            let (result, rows) = if out_of_core {
+                let mut reader = open_reader(path);
+                let result = slice_out_of_core(&mut reader, syscalls, &SliceOptions::default());
+                let rows = thread_rows_from(reader.threads(), &result);
+                (result, rows)
             } else {
-                pixel_criteria(&trace)
+                let trace = load(path);
+                let forward = ForwardPass::build(&trace);
+                let criteria = if syscalls {
+                    syscall_criteria(&trace)
+                } else {
+                    pixel_criteria(&trace)
+                };
+                let result = slice(&trace, &forward, &criteria, &SliceOptions::default());
+                let rows = thread_rows(&trace, &result);
+                (result, rows)
             };
-            let result = slice(&trace, &forward, &criteria, &SliceOptions::default());
             println!(
                 "{} criteria; slice = {} of {} instructions ({:.1}%)\n",
                 if syscalls { "syscall" } else { "pixel" },
@@ -158,7 +250,7 @@ fn main() {
                 result.fraction() * 100.0
             );
             let mut table = TextTable::new(vec!["Threads", "slice", "total"]);
-            for r in thread_rows(&trace, &result) {
+            for r in rows {
                 table.row(vec![
                     r.label.clone(),
                     format!("{:.0}%", r.percentage()),
@@ -170,11 +262,13 @@ fn main() {
         Some("check") => {
             let Some(path) = args.get(1) else { usage() };
             let mut json = false;
+            let mut out_of_core = false;
             let mut max_diags: Option<usize> = None;
             let mut rest = args[2..].iter();
             while let Some(arg) = rest.next() {
                 match arg.as_str() {
                     "--json" => json = true,
+                    "--out-of-core" => out_of_core = true,
                     "--max-diags" => {
                         let n = rest
                             .next()
@@ -185,8 +279,14 @@ fn main() {
                     _ => usage(),
                 }
             }
-            let trace = load(path);
-            let mut diags = wasteprof_checker::verify(&trace);
+            let (mut diags, instrs) = if out_of_core {
+                let mut reader = open_reader(path);
+                let diags = stream_ok(wasteprof_checker::verify_streamed(&mut reader));
+                (diags, reader.len() as u64)
+            } else {
+                let trace = load(path);
+                (wasteprof_checker::verify(&trace), trace.len() as u64)
+            };
             let total = diags.len();
             if let Some(cap) = max_diags {
                 diags.truncate(cap);
@@ -196,7 +296,7 @@ fn main() {
             } else if total == 0 {
                 println!(
                     "clean: {} instructions, 0 diagnostics",
-                    format_count(trace.len() as u64)
+                    format_count(instrs)
                 );
             } else {
                 print!("{}", wasteprof_checker::render_text(&diags));
@@ -212,12 +312,14 @@ fn main() {
             let Some(path) = args.get(1) else { usage() };
             let mut json = false;
             let mut syscalls = false;
+            let mut out_of_core = false;
             let mut segments = 0usize;
             let mut rest = args[2..].iter();
             while let Some(arg) = rest.next() {
                 match arg.as_str() {
                     "--json" => json = true,
                     "--criteria" => syscalls = parse_criteria(rest.next()),
+                    "--out-of-core" => out_of_core = true,
                     "--segments" => {
                         segments = rest
                             .next()
@@ -227,20 +329,35 @@ fn main() {
                     _ => usage(),
                 }
             }
-            let trace = load(path);
-            let forward = ForwardPass::build(&trace);
-            let criteria = if syscalls {
-                syscall_criteria(&trace)
-            } else {
-                pixel_criteria(&trace)
-            };
             let opts = SliceOptions {
                 witness: true,
                 segments,
                 ..Default::default()
             };
-            let result = slice(&trace, &forward, &criteria, &opts);
-            let diags = wasteprof_checker::certify(&trace, &forward, &criteria, &result);
+            let (result, diags) = if out_of_core {
+                let mut reader = open_reader(path);
+                let forward = stream_ok(ForwardPass::build_streamed(&mut reader));
+                let criteria = streamed_criteria(&mut reader, syscalls);
+                let result = stream_ok(slice_streamed(&mut reader, &forward, &criteria, &opts));
+                let diags = stream_ok(wasteprof_checker::certify_streamed(
+                    &mut reader,
+                    &forward,
+                    &criteria,
+                    &result,
+                ));
+                (result, diags)
+            } else {
+                let trace = load(path);
+                let forward = ForwardPass::build(&trace);
+                let criteria = if syscalls {
+                    syscall_criteria(&trace)
+                } else {
+                    pixel_criteria(&trace)
+                };
+                let result = slice(&trace, &forward, &criteria, &opts);
+                let diags = wasteprof_checker::certify(&trace, &forward, &criteria, &result);
+                (result, diags)
+            };
             if json {
                 println!("{}", wasteprof_checker::render_json(&diags));
             } else if diags.is_empty() {

@@ -6,9 +6,11 @@
 //! defined and the downstream member or criterion that consumed it, the
 //! CDG edge for control-dependence members, or the contained member for
 //! dynamic calls. [`certify`] replays those claims *forward* over the
-//! packed [`Columns`] — no `Instr` materialization, the same streaming
+//! packed columns — no `Instr` materialization, the same streaming
 //! style as the race detector — and shares no code with the backward
 //! walk, so a bug in the slicer's liveness machinery cannot hide itself.
+//! [`certify_streamed`] runs the identical sweep from a `WPTRACE2` reader
+//! without ever holding the whole trace in memory.
 //!
 //! Two properties are checked:
 //!
@@ -32,10 +34,16 @@
 //! disagreeing with the slice population, rows whose member is not in the
 //! bitmap — report [`Code::CertifyMismatch`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Seek};
 
-use wasteprof_slicer::{Criteria, ForwardPass, SliceResult, WitnessKind, WitnessRow};
-use wasteprof_trace::{Columns, InstrKind, Trace, TracePos};
+use wasteprof_slicer::{
+    ControlDeps, Criteria, ForwardPass, SliceResult, SlicingCriterion, WitnessKind, WitnessRow,
+    Witnesses,
+};
+use wasteprof_trace::{
+    ColumnCursor, FuncId, InstrKind, Pc, ThreadId, Trace, TraceIoError, TracePos, TraceReader,
+};
 
 use crate::diag::{sort_diags, Code, Diag};
 
@@ -105,40 +113,75 @@ impl MemShadow {
     }
 }
 
-/// Sweep state shared by the edge and complement checks.
-struct Sweep<'a> {
-    cols: &'a Columns,
+/// Static facts about one instruction of interest (a witness member or
+/// consumer), captured when the forward sweep passes its position.
+///
+/// Edge checks at a consumer need the member side's thread, location, and
+/// opcode class — positions an out-of-core sweep has already evicted. Since
+/// every member precedes its consumer in an honest table, capturing these
+/// five fields at member time makes the edge checks window-local; a row
+/// whose member does *not* precede its consumer finds no meta and fails
+/// the check, exactly as it should.
+#[derive(Clone, Copy)]
+struct MemberMeta {
+    tid: ThreadId,
+    func: FuncId,
+    pc: Pc,
+    is_branch: bool,
+    is_call: bool,
+}
+
+/// Sweep state shared by the edge and complement checks. Fed forward one
+/// [`ColumnCursor`] window at a time — the whole-trace cursor in
+/// [`certify`], bounded disk chunks in [`certify_streamed`] — so it never
+/// needs random access outside the current window.
+struct Certifier<'a> {
+    w: &'a Witnesses,
+    deps: &'a ControlDeps,
+    items: &'a [SlicingCriterion],
     result: &'a SliceResult,
+    /// Considered prefix length: the sweep covers `0..n`.
+    n: usize,
+    /// Valid row indices sorted by `(consumer, is_criterion, row)`.
+    by_consumer: Vec<u32>,
+    /// Members whose own reads entered the live sets, sorted.
+    gen_members: Vec<u32>,
+    /// Positions of `include_instr` criteria inside the prefix.
+    include_crit: Vec<u32>,
+    /// Sorted, deduplicated member/consumer positions needing meta.
+    interesting: Vec<u32>,
+    meta: HashMap<u32, MemberMeta>,
     mem: MemShadow,
     regs: Vec<[Option<u32>; 16]>,
     stacks: Vec<Vec<u32>>,
+    cons_cur: usize,
+    gen_cur: usize,
+    crit_cur: usize,
+    meta_cur: usize,
+    out: Vec<Diag>,
 }
 
-impl Sweep<'_> {
+impl Certifier<'_> {
     fn member(&self, idx: u32) -> bool {
         self.result.contains(TracePos(idx as u64))
     }
 
-    /// Checks one witness row at its consumer position. `mem`/`reg` rows
-    /// compare against the last-writer shadows (called before the
-    /// consumer's own writes for member consumers, after them for
-    /// criterion consumers — a criterion observes memory *after* its
-    /// anchor instruction executes, matching the backward walk's event
-    /// order). Structural rows check the CDG, the dynamic call stack, or
-    /// the criteria list.
-    fn check_edge(
-        &self,
-        row: &WitnessRow,
-        deps: &wasteprof_slicer::ControlDeps,
-        include_crit: &[u32],
-        out: &mut Vec<Diag>,
-    ) {
+    /// Checks one witness row at its consumer position (the index the
+    /// cursor is currently on). `mem`/`reg` rows compare against the
+    /// last-writer shadows (called before the consumer's own writes for
+    /// member consumers, after them for criterion consumers — a criterion
+    /// observes memory *after* its anchor instruction executes, matching
+    /// the backward walk's event order). Structural rows check the CDG,
+    /// the dynamic call stack, or the criteria list, reading the member
+    /// side from the captured [`MemberMeta`].
+    fn check_edge(&mut self, row: &WitnessRow, cur: &ColumnCursor<'_>) {
         let m = row.member.index();
         let c = row.consumer.index();
+        let mm = self.meta.get(&(m as u32)).copied();
         match row.kind {
             WitnessKind::Mem => {
                 if row.fact_lo >= row.fact_hi {
-                    out.push(Diag::at(
+                    self.out.push(Diag::at(
                         Code::CertifyBadEdge,
                         m,
                         format!("empty mem fact {:#x}..{:#x}", row.fact_lo, row.fact_hi),
@@ -156,7 +199,7 @@ impl Sweep<'_> {
                         Some(w) => format!("{}", TracePos(w as u64)),
                         None => "never written".to_owned(),
                     };
-                    out.push(Diag::at(
+                    self.out.push(Diag::at(
                         Code::CertifyStaleDef,
                         m,
                         format!(
@@ -170,33 +213,34 @@ impl Sweep<'_> {
             WitnessKind::Reg => {
                 let ri = row.fact_lo as usize;
                 if ri >= 16 {
-                    out.push(Diag::at(
+                    self.out.push(Diag::at(
                         Code::CertifyBadEdge,
                         m,
                         format!("register index {ri} out of range"),
                     ));
                     return;
                 }
-                let ti = self.cols.tid(c).index();
-                if self.cols.tid(m) != self.cols.tid(c) {
-                    out.push(Diag::at(
-                        Code::CertifyStaleDef,
-                        m,
-                        format!(
-                            "register fact crosses threads: def on {:?}, use at {} on {:?}",
-                            self.cols.tid(m),
-                            row.consumer,
-                            self.cols.tid(c)
-                        ),
-                    ));
-                    return;
+                let tid_c = cur.tid(c);
+                let ti = tid_c.index();
+                if let Some(mm) = mm {
+                    if mm.tid != tid_c {
+                        self.out.push(Diag::at(
+                            Code::CertifyStaleDef,
+                            m,
+                            format!(
+                                "register fact crosses threads: def on {:?}, use at {} on {:?}",
+                                mm.tid, row.consumer, tid_c
+                            ),
+                        ));
+                        return;
+                    }
                 }
                 if self.regs[ti][ri] != Some(m as u32) {
                     let actual = match self.regs[ti][ri] {
                         Some(w) => format!("{}", TracePos(w as u64)),
                         None => "never written".to_owned(),
                     };
-                    out.push(Diag::at(
+                    self.out.push(Diag::at(
                         Code::CertifyStaleDef,
                         m,
                         format!(
@@ -208,15 +252,18 @@ impl Sweep<'_> {
                 }
             }
             WitnessKind::Control => {
-                let ok = self.cols.kind(m).is_branch()
-                    && m < c
-                    && self.cols.tid(m) == self.cols.tid(c)
-                    && self.cols.func(m) == self.cols.func(c)
-                    && deps
-                        .controllers(self.cols.func(c), self.cols.pc(c))
-                        .contains(&self.cols.pc(m));
+                let ok = m < c
+                    && mm.is_some_and(|mm| {
+                        mm.is_branch
+                            && mm.tid == cur.tid(c)
+                            && mm.func == cur.func(c)
+                            && self
+                                .deps
+                                .controllers(cur.func(c), cur.pc(c))
+                                .contains(&mm.pc)
+                    });
                 if !ok {
-                    out.push(Diag::at(
+                    self.out.push(Diag::at(
                         Code::CertifyBadEdge,
                         m,
                         format!(
@@ -227,13 +274,12 @@ impl Sweep<'_> {
                 }
             }
             WitnessKind::Call => {
-                let ti = self.cols.tid(c).index();
-                let ok = matches!(self.cols.kind(m), InstrKind::Call { .. })
-                    && m < c
-                    && self.cols.tid(m) == self.cols.tid(c)
+                let ti = cur.tid(c).index();
+                let ok = m < c
+                    && mm.is_some_and(|mm| mm.is_call && mm.tid == cur.tid(c))
                     && self.stacks[ti].last() == Some(&(m as u32));
                 if !ok {
-                    out.push(Diag::at(
+                    self.out.push(Diag::at(
                         Code::CertifyBadEdge,
                         m,
                         format!(
@@ -244,8 +290,8 @@ impl Sweep<'_> {
                 }
             }
             WitnessKind::Criterion => {
-                if row.consumer != row.member || !include_crit.contains(&(m as u32)) {
-                    out.push(Diag::at(
+                if row.consumer != row.member || !self.include_crit.contains(&(m as u32)) {
+                    self.out.push(Diag::at(
                         Code::CertifyBadEdge,
                         m,
                         format!(
@@ -260,44 +306,157 @@ impl Sweep<'_> {
 
     /// Complement safety for one consumed byte range: every last writer
     /// must be a slice member or nonexistent.
-    fn check_mem_complement(&self, lo: u64, hi: u64, consumed_by: &str, out: &mut Vec<Diag>) {
+    fn check_mem_complement(&mut self, lo: u64, hi: u64, consumed_by: &str) {
+        let mut leaks: Vec<(u64, u64, u32)> = Vec::new();
         self.mem.for_range(lo, hi, |s, e, wr| {
             if let Some(w) = wr {
-                if !self.member(w) {
-                    out.push(Diag::at(
-                        Code::CertifyLiveLeak,
-                        w as usize,
-                        format!("non-slice write to {s:#x}..{e:#x} read by {consumed_by}"),
-                    ));
-                }
+                leaks.push((s, e, w));
             }
         });
+        for (s, e, w) in leaks {
+            if !self.member(w) {
+                self.out.push(Diag::at(
+                    Code::CertifyLiveLeak,
+                    w as usize,
+                    format!("non-slice write to {s:#x}..{e:#x} read by {consumed_by}"),
+                ));
+            }
+        }
+    }
+
+    /// Advances the sweep over one cursor window, running every check
+    /// whose position falls inside it.
+    fn feed(&mut self, cur: &ColumnCursor<'_>) {
+        for idx in cur.lo()..cur.hi() {
+            let ti = cur.tid(idx).index();
+
+            // 0. Capture member/consumer meta the edge checks will need
+            // once the window has moved past this position.
+            if self.meta_cur < self.interesting.len()
+                && self.interesting[self.meta_cur] as usize == idx
+            {
+                self.meta_cur += 1;
+                let kind = cur.kind(idx);
+                self.meta.insert(
+                    idx as u32,
+                    MemberMeta {
+                        tid: cur.tid(idx),
+                        func: cur.func(idx),
+                        pc: cur.pc(idx),
+                        is_branch: kind.is_branch(),
+                        is_call: matches!(kind, InstrKind::Call { .. }),
+                    },
+                );
+            }
+
+            // 1. Edges whose consumer is the member at `idx`: the member's
+            // reads happen before its writes, so check against the shadows
+            // as they stand.
+            while self.cons_cur < self.by_consumer.len() {
+                let row = self.w.row(self.by_consumer[self.cons_cur] as usize);
+                if row.consumer.index() != idx || row.consumer_is_criterion {
+                    break;
+                }
+                self.cons_cur += 1;
+                self.check_edge(&row, cur);
+            }
+
+            // 2. Complement safety for members whose reads entered the live
+            // sets: their last writers must be members (or nothing).
+            if self.gen_cur < self.gen_members.len()
+                && self.gen_members[self.gen_cur] as usize == idx
+            {
+                self.gen_cur += 1;
+                let by = format!("slice member {}", TracePos(idx as u64));
+                for &rd in cur.mem_reads(idx) {
+                    self.check_mem_complement(rd.start().raw(), rd.end().raw(), &by);
+                }
+                for r in cur.reg_reads(idx).iter() {
+                    if let Some(wr) = self.regs[ti][r.index()] {
+                        if !self.member(wr) {
+                            self.out.push(Diag::at(
+                                Code::CertifyLiveLeak,
+                                wr as usize,
+                                format!("non-slice write to {r:?} read by {by}"),
+                            ));
+                        }
+                    }
+                }
+            }
+
+            // 3. The instruction's own writes become the last writers.
+            for &wr in cur.mem_writes(idx) {
+                self.mem.write(wr.start().raw(), wr.end().raw(), idx as u32);
+            }
+            for r in cur.reg_writes(idx).iter() {
+                self.regs[ti][r.index()] = Some(idx as u32);
+            }
+
+            // 4. Edges whose consumer is a criterion anchored here: criteria
+            // observe state after the anchor executes.
+            while self.cons_cur < self.by_consumer.len() {
+                let row = self.w.row(self.by_consumer[self.cons_cur] as usize);
+                if row.consumer.index() != idx {
+                    break;
+                }
+                self.cons_cur += 1;
+                self.check_edge(&row, cur);
+            }
+
+            // 5. Complement safety for the criteria themselves.
+            while self.crit_cur < self.items.len() && self.items[self.crit_cur].pos.index() == idx {
+                let c = self.items[self.crit_cur].clone();
+                self.crit_cur += 1;
+                let by = format!("the criterion at {}", c.pos);
+                for &range in &c.mem {
+                    self.check_mem_complement(range.start().raw(), range.end().raw(), &by);
+                }
+                for r in c.regs.iter() {
+                    if let Some(wr) = self.regs[ti][r.index()] {
+                        if !self.member(wr) {
+                            self.out.push(Diag::at(
+                                Code::CertifyLiveLeak,
+                                wr as usize,
+                                format!("non-slice write to {r:?} read by {by}"),
+                            ));
+                        }
+                    }
+                }
+            }
+
+            // 6. Dynamic call stack maintenance.
+            match cur.kind(idx) {
+                InstrKind::Call { .. } => self.stacks[ti].push(idx as u32),
+                InstrKind::Ret => {
+                    self.stacks[ti].pop();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn finish(mut self) -> Vec<Diag> {
+        sort_diags(&mut self.out);
+        self.out
     }
 }
 
-/// Certifies `result` — a slice of `trace` under `criteria`, carrying a
-/// witness table — in one forward sweep. Returns diagnostics in canonical
-/// sorted order; empty means the slice and its complement check out.
-///
-/// `forward` must be the same forward pass the slice was built from (the
-/// control-dependence edges are checked against its recovered CDG).
-pub fn certify(
-    trace: &Trace,
-    forward: &ForwardPass,
-    criteria: &Criteria,
-    result: &SliceResult,
-) -> Vec<Diag> {
+/// Builds the sweep state from the witness table, or returns the
+/// diagnostics directly when there is no table to sweep.
+fn prepare<'a>(
+    forward: &'a ForwardPass,
+    criteria: &'a Criteria,
+    result: &'a SliceResult,
+) -> Result<Certifier<'a>, Vec<Diag>> {
     let mut out = Vec::new();
-    let cols = trace.columns();
     let n = result.considered() as usize;
-    let deps = forward.control_deps();
 
     let Some(w) = result.witness() else {
         out.push(Diag::at_end(
             Code::CertifyMismatch,
             "slice carries no witness table".to_owned(),
         ));
-        return out;
+        return Err(out);
     };
     if w.len() as u64 != result.slice_count() {
         out.push(Diag::at_end(
@@ -358,110 +517,79 @@ pub fn certify(
         .filter(|c| c.include_instr && c.pos.index() < n)
         .map(|c| c.pos.0 as u32)
         .collect();
-    let items = criteria.items();
+    // Positions the edge checks need static facts for, once the sweep
+    // window has moved on: every valid row's member and consumer.
+    let mut interesting: Vec<u32> = valid
+        .iter()
+        .flat_map(|&i| {
+            let r = w.row(i as usize);
+            [r.member.0 as u32, r.consumer.0 as u32]
+        })
+        .collect();
+    interesting.sort_unstable();
+    interesting.dedup();
 
-    let mut sweep = Sweep {
-        cols,
+    Ok(Certifier {
+        w,
+        deps: forward.control_deps(),
+        items: criteria.items(),
         result,
+        n,
+        by_consumer,
+        gen_members,
+        include_crit,
+        meta: HashMap::with_capacity(interesting.len()),
+        interesting,
         mem: MemShadow::default(),
         regs: vec![[None; 16]; 256],
         stacks: vec![Vec::new(); 256],
-    };
-    let mut cons_cur = 0usize;
-    let mut gen_cur = 0usize;
-    // Criteria with positions beyond the considered prefix never match an
-    // `idx` and are skipped, mirroring the slicer.
-    let mut crit_cur = 0usize;
+        cons_cur: 0,
+        gen_cur: 0,
+        // Criteria with positions beyond the considered prefix never match
+        // an `idx` and are skipped, mirroring the slicer.
+        crit_cur: 0,
+        meta_cur: 0,
+        out,
+    })
+}
 
-    for idx in 0..n {
-        let tid = cols.tid(idx);
-        let ti = tid.index();
-
-        // 1. Edges whose consumer is the member at `idx`: the member's
-        // reads happen before its writes, so check against the shadows
-        // as they stand.
-        while cons_cur < by_consumer.len() {
-            let row = w.row(by_consumer[cons_cur] as usize);
-            if row.consumer.index() != idx || row.consumer_is_criterion {
-                break;
-            }
-            cons_cur += 1;
-            sweep.check_edge(&row, deps, &include_crit, &mut out);
-        }
-
-        // 2. Complement safety for members whose reads entered the live
-        // sets: their last writers must be members (or nothing).
-        if gen_cur < gen_members.len() && gen_members[gen_cur] as usize == idx {
-            gen_cur += 1;
-            let by = format!("slice member {}", TracePos(idx as u64));
-            for &rd in cols.mem_reads(idx) {
-                sweep.check_mem_complement(rd.start().raw(), rd.end().raw(), &by, &mut out);
-            }
-            for r in cols.reg_reads(idx).iter() {
-                if let Some(wr) = sweep.regs[ti][r.index()] {
-                    if !sweep.member(wr) {
-                        out.push(Diag::at(
-                            Code::CertifyLiveLeak,
-                            wr as usize,
-                            format!("non-slice write to {r:?} read by {by}"),
-                        ));
-                    }
-                }
-            }
-        }
-
-        // 3. The instruction's own writes become the last writers.
-        for &wr in cols.mem_writes(idx) {
-            sweep
-                .mem
-                .write(wr.start().raw(), wr.end().raw(), idx as u32);
-        }
-        for r in cols.reg_writes(idx).iter() {
-            sweep.regs[ti][r.index()] = Some(idx as u32);
-        }
-
-        // 4. Edges whose consumer is a criterion anchored here: criteria
-        // observe state after the anchor executes.
-        while cons_cur < by_consumer.len() {
-            let row = w.row(by_consumer[cons_cur] as usize);
-            if row.consumer.index() != idx {
-                break;
-            }
-            cons_cur += 1;
-            sweep.check_edge(&row, deps, &include_crit, &mut out);
-        }
-
-        // 5. Complement safety for the criteria themselves.
-        while crit_cur < items.len() && items[crit_cur].pos.index() == idx {
-            let c = &items[crit_cur];
-            crit_cur += 1;
-            let by = format!("the criterion at {}", c.pos);
-            for &range in &c.mem {
-                sweep.check_mem_complement(range.start().raw(), range.end().raw(), &by, &mut out);
-            }
-            for r in c.regs.iter() {
-                if let Some(wr) = sweep.regs[ti][r.index()] {
-                    if !sweep.member(wr) {
-                        out.push(Diag::at(
-                            Code::CertifyLiveLeak,
-                            wr as usize,
-                            format!("non-slice write to {r:?} read by {by}"),
-                        ));
-                    }
-                }
-            }
-        }
-
-        // 6. Dynamic call stack maintenance.
-        match cols.kind(idx) {
-            InstrKind::Call { .. } => sweep.stacks[ti].push(idx as u32),
-            InstrKind::Ret => {
-                sweep.stacks[ti].pop();
-            }
-            _ => {}
+/// Certifies `result` — a slice of `trace` under `criteria`, carrying a
+/// witness table — in one forward sweep. Returns diagnostics in canonical
+/// sorted order; empty means the slice and its complement check out.
+///
+/// `forward` must be the same forward pass the slice was built from (the
+/// control-dependence edges are checked against its recovered CDG).
+pub fn certify(
+    trace: &Trace,
+    forward: &ForwardPass,
+    criteria: &Criteria,
+    result: &SliceResult,
+) -> Vec<Diag> {
+    match prepare(forward, criteria, result) {
+        Err(out) => out,
+        Ok(mut c) => {
+            let n = c.n;
+            c.feed(&trace.columns().cursor(0, n));
+            c.finish()
         }
     }
+}
 
-    sort_diags(&mut out);
-    out
+/// Out-of-core variant of [`certify`]: the same forward sweep fed from a
+/// [`TraceReader`]'s segment stream, holding only the reader's bounded
+/// chunk window (plus per-position meta for witness rows) in memory.
+pub fn certify_streamed<R: Read + Seek>(
+    reader: &mut TraceReader<R>,
+    forward: &ForwardPass,
+    criteria: &Criteria,
+    result: &SliceResult,
+) -> Result<Vec<Diag>, TraceIoError> {
+    match prepare(forward, criteria, result) {
+        Err(out) => Ok(out),
+        Ok(mut c) => {
+            let n = c.n;
+            reader.stream_range(0, n, |cur| c.feed(cur))?;
+            Ok(c.finish())
+        }
+    }
 }

@@ -39,7 +39,7 @@ pub mod lints;
 pub mod mutate;
 pub mod race;
 
-pub use certify::certify;
+pub use certify::{certify, certify_streamed};
 pub use diag::{render_json, render_text, sort_diags, Code, Diag};
 pub use lint::{Ctx, Lint, Registry};
 pub use lints::{
@@ -49,7 +49,8 @@ pub use lints::{
 pub use mutate::{Mutation, SliceMutation, TraceMutator};
 pub use race::{RaceLint, LOCK_SYMBOL};
 
-use wasteprof_trace::Trace;
+use std::io::{Read, Seek};
+use wasteprof_trace::{Trace, TraceIoError, TraceReader};
 
 /// Runs the default lint battery (race detector + six well-formedness
 /// lints) over `trace`, returning diagnostics in canonical sorted order.
@@ -68,4 +69,23 @@ pub fn dead_writes(trace: &Trace) -> Vec<Diag> {
     let mut r = Registry::new();
     r.register(Box::new(DeadWriteLint::default()));
     r.run(trace)
+}
+
+/// Out-of-core variant of [`verify`]: runs the same default battery from a
+/// `WPTRACE2` [`TraceReader`]'s segment stream, holding only the reader's
+/// bounded chunk window in memory.
+pub fn verify_streamed<R: Read + Seek>(
+    reader: &mut TraceReader<R>,
+) -> Result<Vec<Diag>, TraceIoError> {
+    Registry::with_default_lints().run_streamed(reader)
+}
+
+/// Out-of-core variant of [`dead_writes`], streaming from a `WPTRACE2`
+/// [`TraceReader`].
+pub fn dead_writes_streamed<R: Read + Seek>(
+    reader: &mut TraceReader<R>,
+) -> Result<Vec<Diag>, TraceIoError> {
+    let mut r = Registry::new();
+    r.register(Box::new(DeadWriteLint::default()));
+    r.run_streamed(reader)
 }

@@ -1,13 +1,27 @@
 //! The streaming lint framework: one sweep, N analyses.
 //!
 //! Every analysis implements [`Lint`] and receives the instruction stream
-//! exactly once, in program order, reading the packed [`Columns`] directly
-//! (no `Instr` materialization on the hot path). A [`Registry`] drives all
-//! registered lints behind a single shared cursor, so the cost of running
-//! six lints and the race detector together is roughly one pass over the
-//! columns instead of seven.
+//! exactly once, in program order, reading the packed columns through a
+//! [`ColumnCursor`] (no `Instr` materialization on the hot path). A
+//! [`Registry`] drives all registered lints behind a single shared cursor,
+//! so the cost of running six lints and the race detector together is
+//! roughly one pass over the columns instead of seven.
+//!
+//! The cursor indirection is what makes the battery out-of-core capable:
+//! [`Registry::run`] hands every lint one cursor spanning the whole
+//! in-memory trace, while [`Registry::run_streamed`] replays the same
+//! callbacks chunk by chunk from a [`TraceReader`], holding only the
+//! reader's bounded window in memory. Lints therefore must only touch
+//! `ctx.cols` at the *current* instruction index (or indices inside the
+//! cursor's window) — end-of-trace reporting works from state captured
+//! during the sweep, not by random access back into the columns.
 
-use wasteprof_trace::{Columns, Trace};
+use std::io::{Read, Seek};
+
+use wasteprof_trace::{
+    ColumnCursor, Columns, FunctionRegistry, MarkerRecord, ThreadTable, Trace, TraceIoError,
+    TraceReader,
+};
 
 use crate::diag::{sort_diags, Diag};
 use crate::lints;
@@ -15,16 +29,25 @@ use crate::race::RaceLint;
 
 /// Shared read-only context handed to every lint callback.
 pub struct Ctx<'a> {
-    /// The trace under analysis (symbol/thread tables, markers, display).
-    pub trace: &'a Trace,
-    /// The packed columns — lints index these directly.
-    pub cols: &'a Columns,
+    /// The symbol table (function id → name).
+    pub funcs: &'a FunctionRegistry,
+    /// The thread table.
+    pub threads: &'a ThreadTable,
+    /// The marker (tile-log) records.
+    pub markers: &'a [MarkerRecord],
+    /// Cursor over the packed columns. During `on_instr` it always
+    /// contains the current index; during `begin`/`finish` of a streamed
+    /// run it may be empty.
+    pub cols: ColumnCursor<'a>,
+    /// Total instruction count of the trace under analysis. Unlike the
+    /// cursor bounds, this is valid in every callback.
+    pub total: usize,
 }
 
 /// A streaming analysis over one trace.
 ///
 /// Lints are driven front to back: `begin`, then `on_instr` for every
-/// index in `0..cols.len()`, then `finish`. Lints must tolerate malformed
+/// index in `0..ctx.total`, then `finish`. Lints must tolerate malformed
 /// traces (that is the point of a verifier): guard any per-thread or
 /// per-function table indexing rather than assuming ids are in range.
 pub trait Lint {
@@ -81,15 +104,19 @@ impl Registry {
     /// Runs every registered lint over the trace in one streaming sweep
     /// and returns the diagnostics in canonical sorted order.
     pub fn run(&mut self, trace: &Trace) -> Vec<Diag> {
+        let total = trace.columns().len();
         let ctx = Ctx {
-            trace,
-            cols: trace.columns(),
+            funcs: trace.functions(),
+            threads: trace.threads(),
+            markers: trace.markers(),
+            cols: trace.columns().cursor(0, total),
+            total,
         };
         let mut out = Vec::new();
         for lint in &mut self.lints {
             lint.begin(&ctx);
         }
-        for idx in 0..ctx.cols.len() {
+        for idx in 0..total {
             for lint in &mut self.lints {
                 lint.on_instr(&ctx, idx, &mut out);
             }
@@ -99,5 +126,62 @@ impl Registry {
         }
         sort_diags(&mut out);
         out
+    }
+
+    /// Out-of-core variant of [`Registry::run`]: drives the same lint
+    /// battery over a [`TraceReader`]'s segment stream, holding only the
+    /// reader's bounded chunk window in memory. `begin` and `finish` see
+    /// an empty cursor (but the real tables and `total`); `on_instr` sees
+    /// a cursor over the chunk containing the current index.
+    pub fn run_streamed<R: Read + Seek>(
+        &mut self,
+        reader: &mut TraceReader<R>,
+    ) -> Result<Vec<Diag>, TraceIoError> {
+        let funcs = reader.functions().clone();
+        let threads = reader.threads().clone();
+        let markers = reader.markers().to_vec();
+        let total = reader.len();
+        let empty = Columns::default();
+        let mut out = Vec::new();
+        {
+            let ctx = Ctx {
+                funcs: &funcs,
+                threads: &threads,
+                markers: &markers,
+                cols: empty.cursor(0, 0),
+                total,
+            };
+            for lint in &mut self.lints {
+                lint.begin(&ctx);
+            }
+        }
+        reader.stream_range(0, total, |cur| {
+            let ctx = Ctx {
+                funcs: &funcs,
+                threads: &threads,
+                markers: &markers,
+                cols: *cur,
+                total,
+            };
+            for idx in cur.lo()..cur.hi() {
+                for lint in &mut self.lints {
+                    lint.on_instr(&ctx, idx, &mut out);
+                }
+            }
+        })?;
+        {
+            let ctx = Ctx {
+                funcs: &funcs,
+                threads: &threads,
+                markers: &markers,
+                cols: empty.cursor(0, 0),
+                total,
+            };
+            for lint in &mut self.lints {
+                lint.finish(&ctx, &mut out);
+            }
+        }
+        sort_diags(&mut out);
+        Ok(out)
     }
 }

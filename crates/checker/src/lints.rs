@@ -17,8 +17,8 @@ use crate::lint::{Ctx, Lint};
 
 /// Resolves a function name, tolerating malformed ids.
 fn func_name<'a>(ctx: &Ctx<'a>, id: wasteprof_trace::FuncId) -> &'a str {
-    if id.index() < ctx.trace.functions().len() {
-        ctx.trace.functions().name(id)
+    if id.index() < ctx.funcs.len() {
+        ctx.funcs.name(id)
     } else {
         "<out of range>"
     }
@@ -28,15 +28,17 @@ fn func_name<'a>(ctx: &Ctx<'a>, id: wasteprof_trace::FuncId) -> &'a str {
 /// instructions are reported by [`InvalidTidLint`] alone and skipped by
 /// every lint that keeps per-thread state.
 fn tid_invalid(ctx: &Ctx<'_>, tid: ThreadId) -> bool {
-    tid.index() >= ctx.trace.threads().len()
+    tid.index() >= ctx.threads.len()
 }
 
 /// `WP0002`: every `Ret` must pop a matching `Call` on the same thread,
 /// and every non-root frame must be closed by the end of the trace.
 #[derive(Default)]
 pub struct CallRetLint {
-    /// Per-tid stack of open call positions.
-    stacks: Vec<Vec<usize>>,
+    /// Per-tid stack of open calls: `(position, callee)`. The callee is
+    /// captured at push time so `finish` never reaches back into columns
+    /// that a streamed run has already evicted.
+    stacks: Vec<Vec<(usize, wasteprof_trace::FuncId)>>,
 }
 
 impl Lint for CallRetLint {
@@ -45,7 +47,7 @@ impl Lint for CallRetLint {
     }
 
     fn begin(&mut self, ctx: &Ctx<'_>) {
-        self.stacks = vec![Vec::new(); ctx.trace.threads().len()];
+        self.stacks = vec![Vec::new(); ctx.threads.len()];
     }
 
     fn on_instr(&mut self, ctx: &Ctx<'_>, idx: usize, out: &mut Vec<Diag>) {
@@ -54,7 +56,7 @@ impl Lint for CallRetLint {
             return;
         }
         match ctx.cols.kind(idx) {
-            InstrKind::Call { .. } => self.stacks[tid.index()].push(idx),
+            InstrKind::Call { callee } => self.stacks[tid.index()].push((idx, callee)),
             InstrKind::Ret if self.stacks[tid.index()].pop().is_none() => {
                 out.push(Diag::at(
                     Code::UnmatchedCallRet,
@@ -72,11 +74,7 @@ impl Lint for CallRetLint {
 
     fn finish(&mut self, ctx: &Ctx<'_>, out: &mut Vec<Diag>) {
         for (t, stack) in self.stacks.iter().enumerate() {
-            for &call_idx in stack {
-                let callee = match ctx.cols.kind(call_idx) {
-                    InstrKind::Call { callee } => callee,
-                    _ => continue,
-                };
+            for &(call_idx, callee) in stack {
                 out.push(Diag::at(
                     Code::UnmatchedCallRet,
                     call_idx,
@@ -277,7 +275,7 @@ impl Lint for InvalidTidLint {
                 format!(
                     "tid {} outside the thread table ({} threads registered)",
                     tid.index(),
-                    ctx.trace.threads().len(),
+                    ctx.threads.len(),
                 ),
             ));
         }
@@ -289,8 +287,10 @@ impl Lint for InvalidTidLint {
 /// record pointing elsewhere corrupts the pixel replay.
 #[derive(Default)]
 pub struct MarkerPairingLint {
-    /// Positions of `Marker` instructions seen in the sweep.
-    marker_positions: Vec<usize>,
+    /// `(position, enclosing func)` of `Marker` instructions seen in the
+    /// sweep. The func is captured live so `finish` can name it without
+    /// random access back into the columns.
+    marker_positions: Vec<(usize, wasteprof_trace::FuncId)>,
 }
 
 impl Lint for MarkerPairingLint {
@@ -304,14 +304,16 @@ impl Lint for MarkerPairingLint {
 
     fn on_instr(&mut self, ctx: &Ctx<'_>, idx: usize, _out: &mut Vec<Diag>) {
         if matches!(ctx.cols.kind(idx), InstrKind::Marker) {
-            self.marker_positions.push(idx);
+            self.marker_positions.push((idx, ctx.cols.func(idx)));
         }
     }
 
     fn finish(&mut self, ctx: &Ctx<'_>, out: &mut Vec<Diag>) {
-        let len = ctx.cols.len();
+        let len = ctx.total;
+        // The instruction at `pos` is a marker iff the sweep recorded it.
+        let marker_at: HashSet<usize> = self.marker_positions.iter().map(|&(p, _)| p).collect();
         let mut record_at: HashSet<usize> = HashSet::new();
-        for rec in ctx.trace.markers() {
+        for rec in ctx.markers {
             let pos = rec.pos.index();
             if pos >= len {
                 out.push(Diag::at_end(
@@ -320,7 +322,7 @@ impl Lint for MarkerPairingLint {
                 ));
                 continue;
             }
-            if !matches!(ctx.cols.kind(pos), InstrKind::Marker) {
+            if !marker_at.contains(&pos) {
                 out.push(Diag::at(
                     Code::UnpairedMarker,
                     pos,
@@ -336,14 +338,14 @@ impl Lint for MarkerPairingLint {
                 ));
             }
         }
-        for &pos in &self.marker_positions {
+        for &(pos, func) in &self.marker_positions {
             if !record_at.contains(&pos) {
                 out.push(Diag::at(
                     Code::UnpairedMarker,
                     pos,
                     format!(
                         "marker instruction in `{}` has no tile-log record",
-                        func_name(ctx, ctx.cols.func(pos)),
+                        func_name(ctx, func),
                     ),
                 ));
             }
@@ -369,7 +371,7 @@ impl Lint for UndefinedCalleeLint {
     }
 
     fn begin(&mut self, ctx: &Ctx<'_>) {
-        self.seen = vec![false; ctx.trace.functions().len()];
+        self.seen = vec![false; ctx.funcs.len()];
         self.pending.clear();
     }
 
@@ -379,14 +381,14 @@ impl Lint for UndefinedCalleeLint {
             self.seen[func.index()] = true;
         }
         if let InstrKind::Call { callee } = ctx.cols.kind(idx) {
-            if callee.index() >= ctx.trace.functions().len() {
+            if callee.index() >= ctx.funcs.len() {
                 out.push(Diag::at(
                     Code::UndefinedCallee,
                     idx,
                     format!(
                         "call target id {} outside the symbol table ({} functions)",
                         callee.index(),
-                        ctx.trace.functions().len(),
+                        ctx.funcs.len(),
                     ),
                 ));
             } else {
@@ -403,7 +405,7 @@ impl Lint for UndefinedCalleeLint {
                     first_idx,
                     format!(
                         "call target `{}` never executes an instruction",
-                        ctx.trace.functions().name(wasteprof_trace::FuncId(callee)),
+                        ctx.funcs.name(wasteprof_trace::FuncId(callee)),
                     ),
                 ));
             }

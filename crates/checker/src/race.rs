@@ -30,7 +30,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 
-use wasteprof_trace::{FuncId, InstrKind, Region};
+use wasteprof_trace::{FuncId, InstrKind, Region, ThreadId, TracePos};
 
 use crate::diag::{Code, Diag};
 use crate::lint::{Ctx, Lint};
@@ -174,30 +174,47 @@ pub struct RaceLint {
     shadow: Shadow,
     /// `(earlier pos, later pos)` pairs already reported.
     reported: HashSet<(u64, u64)>,
+    /// Thread of the instruction immediately before the current one,
+    /// carried across chunk boundaries so the spawn hand-off works in
+    /// streamed runs without touching `idx - 1` in an evicted chunk.
+    prev_tid: Option<ThreadId>,
 }
 
 /// A one-line rendering of the instruction for race messages; falls back
 /// to raw ids when the mutated trace's symbol references are out of range
-/// (where `Trace::display_instr` would panic).
+/// (where name resolution would panic), and to the bare position when the
+/// index lies outside the cursor's window (the earlier side of a
+/// cross-chunk race in a streamed run).
 fn describe(ctx: &Ctx<'_>, idx: usize) -> String {
-    let funcs = ctx.trace.functions();
-    let func_ok = ctx.cols.func(idx).index() < funcs.len();
-    let callee_ok = match ctx.cols.kind(idx) {
-        InstrKind::Call { callee } => callee.index() < funcs.len(),
+    if !ctx.cols.contains(idx) {
+        return format!("instruction {}", TracePos(idx as u64));
+    }
+    let tid = ctx.cols.tid(idx);
+    let func = ctx.cols.func(idx);
+    let pc = ctx.cols.pc(idx);
+    let kind = ctx.cols.kind(idx);
+    let func_ok = func.index() < ctx.funcs.len();
+    let callee_ok = match kind {
+        InstrKind::Call { callee } => callee.index() < ctx.funcs.len(),
         _ => true,
     };
     if func_ok && callee_ok {
-        ctx.trace
-            .display_instr(wasteprof_trace::TracePos(idx as u64))
-            .to_string()
+        let name = ctx.funcs.name(func);
+        // Calls carry a second FuncId (the callee); resolve that one too
+        // instead of letting its Debug print `fn#N`.
+        if let InstrKind::Call { callee } = kind {
+            format!(
+                "t{} {}@{} Call {{ callee: {} }}",
+                tid.0,
+                name,
+                pc,
+                ctx.funcs.name(callee)
+            )
+        } else {
+            format!("t{} {}@{} {:?}", tid.0, name, pc, kind)
+        }
     } else {
-        format!(
-            "t{} fn#{}@{} {:?}",
-            ctx.cols.tid(idx).index(),
-            ctx.cols.func(idx).index(),
-            ctx.cols.pc(idx),
-            ctx.cols.kind(idx),
-        )
+        format!("t{} fn#{}@{} {:?}", tid.index(), func.index(), pc, kind)
     }
 }
 
@@ -234,13 +251,13 @@ impl RaceLint {
     /// Handles thread bootstrap: a thread's first instruction acquires the
     /// clock of the thread that ran immediately before it (the spawner /
     /// scheduler), and that thread's clock is bumped past the hand-off.
-    fn on_thread_start(&mut self, ctx: &Ctx<'_>, idx: usize, t: usize) {
+    /// `prev` is the tid of the preceding instruction (`None` at index 0).
+    fn on_thread_start(&mut self, prev: Option<ThreadId>, t: usize) {
         self.started[t] = true;
         self.vcs[t].set(t, 1);
-        if idx == 0 {
+        let Some(prev) = prev else {
             return;
-        }
-        let prev = ctx.cols.tid(idx - 1);
+        };
         let p = prev.index();
         if p != t && p < self.started.len() && self.started[p] {
             let spawner = self.vcs[p].clone();
@@ -256,24 +273,26 @@ impl Lint for RaceLint {
     }
 
     fn begin(&mut self, ctx: &Ctx<'_>) {
-        let n = ctx.trace.threads().len();
+        let n = ctx.threads.len();
         self.vcs = (0..n).map(|_| Vc::with_threads(n)).collect();
         self.started = vec![false; n];
         self.lock_vcs.clear();
         self.channel_vc = Vc::with_threads(n);
-        self.lock_fid = ctx.trace.functions().get(LOCK_SYMBOL);
+        self.lock_fid = ctx.funcs.get(LOCK_SYMBOL);
         self.shadow = Shadow::default();
         self.reported.clear();
+        self.prev_tid = None;
     }
 
     fn on_instr(&mut self, ctx: &Ctx<'_>, idx: usize, out: &mut Vec<Diag>) {
         let tid = ctx.cols.tid(idx);
+        let prev = self.prev_tid.replace(tid);
         let t = tid.index();
         if t >= self.started.len() {
             return; // WP0005 reports it; no thread state to attribute.
         }
         if !self.started[t] {
-            self.on_thread_start(ctx, idx, t);
+            self.on_thread_start(prev, t);
         }
 
         let kind = ctx.cols.kind(idx);

@@ -9,8 +9,11 @@
 //! execution of the function.
 
 use std::collections::HashMap;
+use std::io::{Read, Seek};
 
-use wasteprof_trace::{FuncId, InstrKind, Pc, ThreadId, Trace};
+use wasteprof_trace::{
+    ColumnCursor, FuncId, InstrKind, Pc, ThreadId, Trace, TraceIoError, TraceReader,
+};
 
 /// Index of a node within one function's CFG.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -129,6 +132,57 @@ struct Frame {
     last: Option<NodeId>,
 }
 
+/// Incremental [`CfgSet`] construction: the trace-folding state of
+/// [`CfgSet::build`], lifted out so the same pass can be driven either by
+/// one cursor over an in-memory trace or by a sequence of streamed chunk
+/// cursors. Both drivers execute the identical per-instruction step, so
+/// the resulting CFGs are equal by construction.
+#[derive(Debug, Default)]
+pub(crate) struct CfgBuilder {
+    cfgs: HashMap<FuncId, Cfg>,
+    stacks: HashMap<ThreadId, Vec<Frame>>,
+}
+
+impl CfgBuilder {
+    pub(crate) fn new() -> Self {
+        CfgBuilder::default()
+    }
+
+    /// Folds one window of instructions in. Windows must arrive in trace
+    /// order and tile the trace without gaps.
+    pub(crate) fn feed(&mut self, cur: &ColumnCursor<'_>) {
+        // Iterate the columns directly: this pass reads only the thread,
+        // function, PC, and kind fields, so materializing whole `Instr`
+        // views would drag every operand through the cache for nothing.
+        for idx in cur.lo()..cur.hi() {
+            let func = cur.func(idx);
+            let stack = self.stacks.entry(cur.tid(idx)).or_default();
+            if stack.is_empty() {
+                // First sight of this thread: its root function never had
+                // a call emitted, so open its frame here.
+                stack.push(Frame { func, last: None });
+            }
+            CfgSet::step(&mut self.cfgs, stack, func, cur.pc(idx), cur.kind(idx));
+        }
+    }
+
+    /// Closes every frame still open at the end of the trace and returns
+    /// the finished set.
+    pub(crate) fn finish(mut self) -> CfgSet {
+        for stack in self.stacks.values_mut() {
+            while let Some(frame) = stack.pop() {
+                let cfg = self
+                    .cfgs
+                    .entry(frame.func)
+                    .or_insert_with(|| Cfg::new(frame.func));
+                let from = frame.last.unwrap_or(NodeId::ENTRY);
+                cfg.add_edge(from, NodeId::EXIT);
+            }
+        }
+        CfgSet { cfgs: self.cfgs }
+    }
+}
+
 /// All per-function CFGs discovered in a trace.
 #[derive(Debug, Clone, Default)]
 pub struct CfgSet {
@@ -142,36 +196,25 @@ impl CfgSet {
     /// frames still open at the end of the trace are closed with an edge to
     /// the virtual exit so every observed node reaches it.
     pub fn build(trace: &Trace) -> Self {
-        let mut cfgs: HashMap<FuncId, Cfg> = HashMap::new();
-        let mut stacks: HashMap<ThreadId, Vec<Frame>> = HashMap::new();
+        let mut b = CfgBuilder::new();
+        b.feed(&trace.columns().cursor(0, trace.len()));
+        b.finish()
+    }
 
-        // Iterate the columns directly: this pass reads only the thread,
-        // function, PC, and kind fields, so materializing whole `Instr`
-        // views would drag every operand through the cache for nothing.
-        let cols = trace.columns();
-        for idx in 0..cols.len() {
-            let func = cols.func(idx);
-            let stack = stacks.entry(cols.tid(idx)).or_default();
-            if stack.is_empty() {
-                // First sight of this thread: its root function never had
-                // a call emitted, so open its frame here.
-                stack.push(Frame { func, last: None });
-            }
-            Self::step(&mut cfgs, stack, func, cols.pc(idx), cols.kind(idx));
-        }
-
-        // Close every frame still open at the end of the trace.
-        for stack in stacks.values_mut() {
-            while let Some(frame) = stack.pop() {
-                let cfg = cfgs
-                    .entry(frame.func)
-                    .or_insert_with(|| Cfg::new(frame.func));
-                let from = frame.last.unwrap_or(NodeId::ENTRY);
-                cfg.add_edge(from, NodeId::EXIT);
-            }
-        }
-
-        CfgSet { cfgs }
+    /// Builds the CFG set from a `WPTRACE2` stream without materializing
+    /// the trace: chunks are decoded one bounded window at a time.
+    ///
+    /// # Errors
+    ///
+    /// Any chunk decode or read error from the underlying
+    /// [`TraceReader`].
+    pub fn build_streamed<R: Read + Seek>(
+        reader: &mut TraceReader<R>,
+    ) -> Result<Self, TraceIoError> {
+        let mut b = CfgBuilder::new();
+        let n = reader.len();
+        reader.stream_range(0, n, |cur| b.feed(cur))?;
+        Ok(b.finish())
     }
 
     fn step(

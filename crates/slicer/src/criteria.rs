@@ -10,7 +10,8 @@
 //!   audio). This slice is by construction a superset of the pixel slice
 //!   whenever the framebuffer is handed to the display through a syscall.
 
-use wasteprof_trace::{AddrRange, InstrKind, RegSet, Trace, TracePos};
+use std::io::{Read, Seek};
+use wasteprof_trace::{AddrRange, InstrKind, RegSet, Trace, TraceIoError, TracePos, TraceReader};
 
 /// One slicing criterion: at `pos`, the given memory ranges and registers
 /// are declared *necessary*.
@@ -103,6 +104,17 @@ pub fn pixel_criteria(trace: &Trace) -> Criteria {
         .collect()
 }
 
+/// Streamed variant of [`pixel_criteria`] over a [`TraceReader`].
+///
+/// Markers live in the footer, so this needs no segment reads at all.
+pub fn pixel_criteria_streamed<R: Read + Seek>(reader: &TraceReader<R>) -> Criteria {
+    reader
+        .markers()
+        .iter()
+        .map(|m| SlicingCriterion::mem_at(m.pos, vec![m.tile]))
+        .collect()
+}
+
 /// Builds syscall criteria: at every *output* syscall, the values it reads
 /// (payload buffers and argument registers) are necessary, and the syscall
 /// itself is part of the slice.
@@ -127,6 +139,31 @@ pub fn syscall_criteria(trace: &Trace) -> Criteria {
         }
     }
     Criteria::new(items)
+}
+
+/// Streamed variant of [`syscall_criteria`]: one forward pass over the
+/// reader's segments, holding only the bounded chunk window in memory.
+pub fn syscall_criteria_streamed<R: Read + Seek>(
+    reader: &mut TraceReader<R>,
+) -> Result<Criteria, TraceIoError> {
+    let mut items = Vec::new();
+    let n = reader.len();
+    reader.stream_range(0, n, |cur| {
+        for idx in cur.lo()..cur.hi() {
+            if let InstrKind::Syscall { nr } = cur.kind(idx) {
+                if !nr.is_output() {
+                    continue;
+                }
+                items.push(SlicingCriterion {
+                    pos: TracePos(idx as u64),
+                    mem: cur.mem_reads(idx).to_vec(),
+                    regs: cur.reg_reads(idx),
+                    include_instr: true,
+                });
+            }
+        }
+    })?;
+    Ok(Criteria::new(items))
 }
 
 #[cfg(test)]

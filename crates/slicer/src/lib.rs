@@ -59,8 +59,11 @@ mod witness;
 
 pub use cdg::{Cdg, ControlDeps};
 pub use cfg::{Cfg, CfgNode, CfgSet, NodeId};
-pub use criteria::{pixel_criteria, syscall_criteria, Criteria, SlicingCriterion};
+pub use criteria::{
+    pixel_criteria, pixel_criteria_streamed, syscall_criteria, syscall_criteria_streamed, Criteria,
+    SlicingCriterion,
+};
 pub use live::{AddrSet, IntervalSet, LiveState};
 pub use postdom::PostDoms;
-pub use slice::{slice, ForwardPass, SliceOptions, SliceResult, TimelinePoint};
+pub use slice::{slice, slice_streamed, ForwardPass, SliceOptions, SliceResult, TimelinePoint};
 pub use witness::{WitnessKind, WitnessRow, Witnesses};

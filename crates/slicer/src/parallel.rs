@@ -40,17 +40,20 @@
 //! consumes, never kills" symmetry depends on it, so it is checked).
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::{Read, Seek};
 
 use rayon::prelude::*;
 use wasteprof_trace::{
-    AddrRange, ColumnCursor, Columns, FuncId, InstrKind, RegSet, ThreadId, Trace,
+    AddrRange, ColumnCursor, Columns, FuncId, InstrKind, Pc, RegSet, ThreadId, Trace, TraceIoError,
+    TraceReader,
 };
 
 use crate::cdg::{ControlDeps, PendKey, PendingTransfer};
 use crate::criteria::{Criteria, SlicingCriterion};
 use crate::live::{for_run_chunks, AddrSet};
 use crate::slice::{
-    considered_len, FibBuild, ForwardPass, SliceOptions, SliceResult, TimelinePoint,
+    considered_len, considered_prefix, FibBuild, ForwardPass, SliceOptions, SliceResult,
+    TimelinePoint,
 };
 
 /// Thread-slot count, mirroring the sequential pass's dense tables.
@@ -246,13 +249,15 @@ pub(crate) fn run(
     let summaries: Vec<Option<SegSummary>> = jobs
         .par_iter()
         .map(|job| {
-            Summarizer::new(
-                trace.columns().cursor(job.lo, job.hi),
+            let mut s = Summarizer::new(
+                job.lo,
+                job.hi,
                 deps,
                 &items[job.ci.0..job.ci.1],
                 job.bnd.clone(),
-            )
-            .run()
+            );
+            s.feed(&trace.columns().cursor(job.lo, job.hi));
+            s.finish()
         })
         .collect();
     let mut summaries: Vec<SegSummary> = {
@@ -279,14 +284,115 @@ pub(crate) fn run(
     replays.reverse();
 
     // Phase 3: parallel replay, then a sequential suffix-sum merge.
+    let nfuncs = trace.functions().len();
     let finals: Vec<SegFinal> = replays
         .par_iter()
-        .map(|r| finalize(trace, r, n, interval, tracked))
+        .map(|r| {
+            let mut f = Finalizer::new(r, n, nfuncs, interval, tracked);
+            f.feed(&trace.columns().cursor(r.lo, r.hi));
+            f.finish()
+        })
         .collect();
 
+    Some(assemble(n, nfuncs, &replays, finals))
+}
+
+/// Streamed counterpart of [`run`]: identical summarize → stitch → replay
+/// structure, but segments are scanned one at a time through the reader's
+/// bounded chunk window instead of in parallel over a resident trace. The
+/// result is byte-identical to [`run`] (and hence to the sequential walk);
+/// only the scheduling differs.
+pub(crate) fn run_streamed<R: Read + Seek>(
+    reader: &mut TraceReader<R>,
+    forward: &ForwardPass,
+    criteria: &Criteria,
+    options: &SliceOptions,
+    k: usize,
+) -> Result<Option<SliceResult>, TraceIoError> {
+    let n = considered_prefix(reader.len(), options);
+    let seg = n.div_ceil(k).div_ceil(64) * 64;
+    if seg == 0 {
+        return Ok(None);
+    }
+    let nsegs = n.div_ceil(seg);
+    if nsegs <= 1 {
+        return Ok(None);
+    }
+    let bounds: Vec<usize> = (0..nsegs).map(|i| i * seg).chain([n]).collect();
+    let mut scan = StructuralScan::new(&bounds);
+    reader.stream_range(0, n, |cur| scan.feed(cur))?;
+    let (mut stacks, branch_writes) = scan.finish();
+    if branch_writes {
+        return Ok(None);
+    }
+    let init_frames: Vec<Vec<(FuncId, bool)>> = stacks[nsegs - 1]
+        .iter()
+        .map(|fs| fs.iter().map(|&f| (f, false)).collect())
+        .collect();
+
+    let deps = forward.control_deps();
+    let items = criteria.items();
+    let interval = if options.timeline_interval == 0 {
+        ((n as u64) / 1000).max(1)
+    } else {
+        options.timeline_interval
+    };
+    let tracked = options.tracked_thread;
+
+    // Phase 1: one segment at a time, each fed backward from disk chunks.
+    let mut summaries: Vec<SegSummary> = Vec::with_capacity(nsegs);
+    for ki in 0..nsegs {
+        let (lo, hi) = (bounds[ki], bounds[ki + 1]);
+        let c0 = items.partition_point(|c| c.pos.index() < lo);
+        let c1 = items.partition_point(|c| c.pos.index() < hi);
+        let mut s = Summarizer::new(
+            lo,
+            hi,
+            deps,
+            &items[c0..c1],
+            std::mem::take(&mut stacks[ki]),
+        );
+        reader.stream_range_rev(lo, hi, |cur| s.feed(cur))?;
+        match s.finish() {
+            Some(sum) => summaries.push(sum),
+            None => return Ok(None),
+        }
+    }
+
+    // Phase 2: sequential stitch from the trace end (no trace access).
+    let mut state = BoundaryState {
+        mem: AddrSet::new(),
+        regs: vec![RegSet::EMPTY; NTHREADS],
+        pend: HashSet::default(),
+        frames: init_frames,
+    };
+    let mut replays: Vec<Replay> = Vec::with_capacity(nsegs);
+    while let Some(sum) = summaries.pop() {
+        let (next, replay) = stitch(sum, &state);
+        state = next;
+        replays.push(replay);
+    }
+    replays.reverse();
+
+    // Phase 3: streamed replay, then the shared merge.
+    let nfuncs = reader.functions().len();
+    let mut finals: Vec<SegFinal> = Vec::with_capacity(nsegs);
+    for r in &replays {
+        let mut f = Finalizer::new(r, n, nfuncs, interval, tracked);
+        reader.stream_range_rev(r.lo, r.hi, |cur| f.feed(cur))?;
+        finals.push(f.finish());
+    }
+    Ok(Some(assemble(n, nfuncs, &replays, finals)))
+}
+
+/// The suffix-sum merge shared by [`run`] and [`run_streamed`]: copies the
+/// per-segment bitmaps into place (boundaries are 64-aligned, so words
+/// never straddle segments), sums the counters, and rebuilds the global
+/// cumulative timeline from per-segment local counts.
+fn assemble(n: usize, nfuncs: usize, replays: &[Replay], finals: Vec<SegFinal>) -> SliceResult {
     let mut bitmap = vec![0u64; n.div_ceil(64)];
     let mut per_thread = vec![(0u64, 0u64); NTHREADS];
-    let mut per_func = vec![(0u64, 0u64); trace.functions().len()];
+    let mut per_func = vec![(0u64, 0u64); nfuncs];
     for (r, f) in replays.iter().zip(&finals) {
         let w0 = r.lo / 64;
         bitmap[w0..w0 + f.bitmap.len()].copy_from_slice(&f.bitmap);
@@ -320,7 +426,7 @@ pub(crate) fn run(
         off_ts += f.tracked_slice;
     }
 
-    Some(SliceResult {
+    SliceResult {
         considered: n as u64,
         bitmap,
         slice_count,
@@ -338,52 +444,80 @@ pub(crate) fn run(
             .collect(),
         timeline,
         witness: None,
-    })
+    }
 }
 
 /// Phase 0: one cheap forward walk capturing, at every segment boundary,
 /// each thread's open-call stack (the backward pass's frame stack at that
 /// point is exactly this, built from `Ret`s/`Call`s). Also verifies that
-/// no branch carries write effects.
+/// no branch carries write effects. Cursor-fed so the walk works equally
+/// over a resident trace or a sequence of streamed disk chunks.
+struct StructuralScan {
+    bounds: Vec<usize>,
+    stacks: Vec<Vec<FuncId>>,
+    out: Vec<Vec<Vec<FuncId>>>,
+    bi: usize,
+    branch_writes: bool,
+}
+
+impl StructuralScan {
+    fn new(bounds: &[usize]) -> Self {
+        StructuralScan {
+            bounds: bounds.to_vec(),
+            stacks: vec![Vec::new(); NTHREADS],
+            out: Vec::with_capacity(bounds.len().saturating_sub(1)),
+            bi: 1,
+            branch_writes: false,
+        }
+    }
+
+    fn feed(&mut self, cur: &ColumnCursor<'_>) {
+        for idx in cur.lo()..cur.hi() {
+            while self.bi < self.bounds.len() && self.bounds[self.bi] == idx {
+                self.out.push(self.stacks.clone());
+                self.bi += 1;
+            }
+            let kind = cur.kind(idx);
+            match kind {
+                InstrKind::Call { callee } => self.stacks[cur.tid(idx).index()].push(callee),
+                InstrKind::Ret => {
+                    self.stacks[cur.tid(idx).index()].pop();
+                }
+                _ => {}
+            }
+            if kind.is_branch()
+                && (!cur.reg_writes(idx).is_empty() || !cur.mem_writes(idx).is_empty())
+            {
+                self.branch_writes = true;
+            }
+        }
+    }
+
+    fn finish(mut self) -> (Vec<Vec<Vec<FuncId>>>, bool) {
+        while self.bi < self.bounds.len() {
+            self.out.push(self.stacks.clone());
+            self.bi += 1;
+        }
+        (self.out, self.branch_writes)
+    }
+}
+
 #[allow(clippy::type_complexity)]
 fn structural_scan(cols: &Columns, n: usize, bounds: &[usize]) -> (Vec<Vec<Vec<FuncId>>>, bool) {
-    let mut stacks: Vec<Vec<FuncId>> = vec![Vec::new(); NTHREADS];
-    let mut out: Vec<Vec<Vec<FuncId>>> = Vec::with_capacity(bounds.len() - 1);
-    let mut bi = 1;
-    let mut branch_writes = false;
-    for idx in 0..n {
-        while bi < bounds.len() && bounds[bi] == idx {
-            out.push(stacks.clone());
-            bi += 1;
-        }
-        let kind = cols.kind(idx);
-        match kind {
-            InstrKind::Call { callee } => stacks[cols.tid(idx).index()].push(callee),
-            InstrKind::Ret => {
-                stacks[cols.tid(idx).index()].pop();
-            }
-            _ => {}
-        }
-        if kind.is_branch()
-            && (!cols.reg_writes(idx).is_empty() || !cols.mem_writes(idx).is_empty())
-        {
-            branch_writes = true;
-        }
-    }
-    while bi < bounds.len() {
-        out.push(stacks.clone());
-        bi += 1;
-    }
-    (out, branch_writes)
+    let mut scan = StructuralScan::new(bounds);
+    scan.feed(&cols.cursor(0, n));
+    scan.finish()
 }
 
 /// The symbolic backward scan of one segment (phase 1). Mirrors the
 /// sequential step logic exactly; every consultation of state that the
 /// boundary could influence goes through [`Cond`]s instead of booleans.
 struct Summarizer<'a> {
-    cur: ColumnCursor<'a>,
+    lo: usize,
+    hi: usize,
     deps: &'a ControlDeps,
     criteria: &'a [SlicingCriterion],
+    crit_idx: usize,
     nodes: Vec<Node>,
     or_cache: HashMap<(NodeId, NodeId), NodeId, FibBuild>,
     conc_mem: AddrSet,
@@ -407,7 +541,8 @@ struct Summarizer<'a> {
 
 impl<'a> Summarizer<'a> {
     fn new(
-        cur: ColumnCursor<'a>,
+        lo: usize,
+        hi: usize,
         deps: &'a ControlDeps,
         criteria: &'a [SlicingCriterion],
         bnd: Vec<Vec<FuncId>>,
@@ -424,11 +559,13 @@ impl<'a> Summarizer<'a> {
                 }
             })
             .collect();
-        let words = cur.len().div_ceil(64);
+        let words = (hi - lo).div_ceil(64);
         Summarizer {
-            cur,
+            lo,
+            hi,
             deps,
             criteria,
+            crit_idx: criteria.len(),
             nodes: Vec::new(),
             or_cache: HashMap::default(),
             conc_mem: AddrSet::new(),
@@ -511,15 +648,23 @@ impl<'a> Summarizer<'a> {
     /// The symbolic `join_slice(idx)`: records membership under `c`, arms
     /// the instruction's controlling branches, and marks the enclosing
     /// frame. `jc` accumulates the instruction's total join condition.
-    fn contribute(&mut self, idx: usize, c: Cond, jc: &mut Cond, tid: ThreadId, func: FuncId) {
+    #[allow(clippy::too_many_arguments)]
+    fn contribute(
+        &mut self,
+        idx: usize,
+        c: Cond,
+        jc: &mut Cond,
+        tid: ThreadId,
+        func: FuncId,
+        pc: Pc,
+    ) {
         if c == Cond::False {
             return;
         }
         if c == Cond::True {
-            let l = idx - self.cur.lo();
+            let l = idx - self.lo;
             self.bitmap[l / 64] |= 1u64 << (l % 64);
         }
-        let pc = self.cur.pc(idx);
         for i in 0..self.deps.controllers(func, pc).len() {
             let bpc = self.deps.controllers(func, pc)[i];
             let key = (tid, func, bpc);
@@ -706,7 +851,13 @@ impl<'a> Summarizer<'a> {
     /// either way: runtime-live pieces force the join which kills them;
     /// runtime-dead pieces make the kill a no-op) and returns the join
     /// condition, `Cond::False` when no boundary could make it join.
-    fn symbolic_join(&mut self, tid: ThreadId, reg_writes: RegSet, idx: usize) -> Cond {
+    fn symbolic_join(
+        &mut self,
+        cur: &ColumnCursor<'_>,
+        tid: ThreadId,
+        reg_writes: RegSet,
+        idx: usize,
+    ) -> Cond {
         let mut acc = Cond::False;
         let mut bits = reg_writes.bits();
         while bits != 0 {
@@ -729,8 +880,8 @@ impl<'a> Summarizer<'a> {
             }
             self.set_cell(tid, b, RegCell::Dead);
         }
-        for wi in 0..self.cur.mem_writes(idx).len() {
-            let w = self.cur.mem_writes(idx)[wi];
+        for wi in 0..cur.mem_writes(idx).len() {
+            let w = cur.mem_writes(idx)[wi];
             self.spans_out.clear();
             self.cond_take(w, true);
             let mut spans = std::mem::take(&mut self.spans_out);
@@ -760,39 +911,41 @@ impl<'a> Summarizer<'a> {
         acc
     }
 
-    fn run(mut self) -> Option<SegSummary> {
-        let (lo, hi) = (self.cur.lo(), self.cur.hi());
-        let mut crit_idx = self.criteria.len();
-        for idx in (lo..hi).rev() {
+    /// Feeds one backward window of the segment (a whole resident segment
+    /// or one streamed disk chunk). Windows must arrive in descending
+    /// index order, together covering exactly `[self.lo, self.hi)`.
+    fn feed(&mut self, cur: &ColumnCursor<'_>) {
+        for idx in cur.rev_indices() {
             if self.overflow {
-                return None;
+                return;
             }
-            let tid = self.cur.tid(idx);
-            let func = self.cur.func(idx);
-            let kind = self.cur.kind(idx);
+            let tid = cur.tid(idx);
+            let func = cur.func(idx);
+            let kind = cur.kind(idx);
+            let pc = cur.pc(idx);
             let mut jc = Cond::False;
 
             if matches!(kind, InstrKind::Ret) {
                 self.frames[tid.index()].local.push((func, Cond::False));
             }
 
-            while crit_idx > 0 && self.criteria[crit_idx - 1].pos.index() == idx {
-                crit_idx -= 1;
-                let c = &self.criteria[crit_idx];
-                for i in 0..c.mem.len() {
-                    let range = self.criteria[crit_idx].mem[i];
+            while self.crit_idx > 0 && self.criteria[self.crit_idx - 1].pos.index() == idx {
+                self.crit_idx -= 1;
+                let ci = self.crit_idx;
+                for i in 0..self.criteria[ci].mem.len() {
+                    let range = self.criteria[ci].mem[i];
                     self.insert_conc_mem(range);
                 }
-                let regs = self.criteria[crit_idx].regs;
+                let regs = self.criteria[ci].regs;
                 self.gen_regs_conc(tid, regs);
-                if self.criteria[crit_idx].include_instr {
-                    self.contribute(idx, Cond::True, &mut jc, tid, func);
+                if self.criteria[ci].include_instr {
+                    self.contribute(idx, Cond::True, &mut jc, tid, func, pc);
                 }
             }
 
             let mut concrete_branch = false;
             if kind.is_branch() {
-                let key = (tid, func, self.cur.pc(idx));
+                let key = (tid, func, pc);
                 let pcond = self.pend_cond(key);
                 if pcond != Cond::False {
                     // The probe consumes the entry whenever it fires; the
@@ -802,20 +955,20 @@ impl<'a> Summarizer<'a> {
                     match pcond {
                         Cond::True => {
                             concrete_branch = true;
-                            for i in 0..self.cur.mem_reads(idx).len() {
-                                let r = self.cur.mem_reads(idx)[i];
+                            for i in 0..cur.mem_reads(idx).len() {
+                                let r = cur.mem_reads(idx)[i];
                                 self.insert_conc_mem(r);
                             }
-                            self.gen_regs_conc(tid, self.cur.reg_reads(idx));
-                            self.contribute(idx, Cond::True, &mut jc, tid, func);
+                            self.gen_regs_conc(tid, cur.reg_reads(idx));
+                            self.contribute(idx, Cond::True, &mut jc, tid, func, pc);
                         }
                         Cond::Node(j) => {
-                            for i in 0..self.cur.mem_reads(idx).len() {
-                                let r = self.cur.mem_reads(idx)[i];
+                            for i in 0..cur.mem_reads(idx).len() {
+                                let r = cur.mem_reads(idx)[i];
                                 self.gen_mem_cond(r, j);
                             }
-                            self.gen_regs_cond(tid, self.cur.reg_reads(idx), j);
-                            self.contribute(idx, Cond::Node(j), &mut jc, tid, func);
+                            self.gen_regs_cond(tid, cur.reg_reads(idx), j);
+                            self.contribute(idx, Cond::Node(j), &mut jc, tid, func, pc);
                         }
                         Cond::False => unreachable!(),
                     }
@@ -824,36 +977,35 @@ impl<'a> Summarizer<'a> {
                 }
             }
             if !concrete_branch {
-                let reg_writes = self.cur.reg_writes(idx);
+                let reg_writes = cur.reg_writes(idx);
                 let conc_hit = reg_writes.intersects(self.conc_regs[tid.index()])
-                    || self
-                        .cur
+                    || cur
                         .mem_writes(idx)
                         .iter()
                         .any(|w| self.conc_mem.intersects(*w));
                 if conc_hit {
                     self.kill_regs(tid, reg_writes);
-                    for i in 0..self.cur.mem_writes(idx).len() {
-                        let w = self.cur.mem_writes(idx)[i];
+                    for i in 0..cur.mem_writes(idx).len() {
+                        let w = cur.mem_writes(idx)[i];
                         self.kill_mem(w);
                     }
-                    for i in 0..self.cur.mem_reads(idx).len() {
-                        let r = self.cur.mem_reads(idx)[i];
+                    for i in 0..cur.mem_reads(idx).len() {
+                        let r = cur.mem_reads(idx)[i];
                         self.insert_conc_mem(r);
                     }
-                    self.gen_regs_conc(tid, self.cur.reg_reads(idx));
-                    self.contribute(idx, Cond::True, &mut jc, tid, func);
+                    self.gen_regs_conc(tid, cur.reg_reads(idx));
+                    self.contribute(idx, Cond::True, &mut jc, tid, func, pc);
                 } else {
-                    match self.symbolic_join(tid, reg_writes, idx) {
+                    match self.symbolic_join(cur, tid, reg_writes, idx) {
                         Cond::False => {}
                         Cond::True => unreachable!("symbolic join is built from atoms"),
                         Cond::Node(j) => {
-                            for i in 0..self.cur.mem_reads(idx).len() {
-                                let r = self.cur.mem_reads(idx)[i];
+                            for i in 0..cur.mem_reads(idx).len() {
+                                let r = cur.mem_reads(idx)[i];
                                 self.gen_mem_cond(r, j);
                             }
-                            self.gen_regs_cond(tid, self.cur.reg_reads(idx), j);
-                            self.contribute(idx, Cond::Node(j), &mut jc, tid, func);
+                            self.gen_regs_cond(tid, cur.reg_reads(idx), j);
+                            self.contribute(idx, Cond::Node(j), &mut jc, tid, func, pc);
                         }
                     }
                 }
@@ -872,7 +1024,7 @@ impl<'a> Summarizer<'a> {
                 } else {
                     Cond::False
                 };
-                self.contribute(idx, anyc, &mut jc, tid, func);
+                self.contribute(idx, anyc, &mut jc, tid, func, pc);
                 // Sequential re-marks the *caller* frame when the call is
                 // in the slice; `jc` is the exact membership condition.
                 if jc != Cond::False {
@@ -889,15 +1041,18 @@ impl<'a> Summarizer<'a> {
             }
 
             if let Cond::Node(j) = jc {
-                self.members.push(((idx - lo) as u32, j));
+                self.members.push(((idx - self.lo) as u32, j));
             }
         }
+    }
+
+    fn finish(self) -> Option<SegSummary> {
         if self.overflow {
             return None;
         }
         Some(SegSummary {
-            lo,
-            hi,
+            lo: self.lo,
+            hi: self.hi,
             nodes: self.nodes,
             bitmap: self.bitmap,
             members: self.members,
@@ -1033,64 +1188,92 @@ fn stitch(sum: SegSummary, st: &BoundaryState) -> (BoundaryState, Replay) {
 /// Phase 3: resolves one segment's membership bitmap and recomputes its
 /// stats and timeline checkpoints. Checkpoints land where the sequential
 /// countdown would put them: global positions with
-/// `(n - idx) % interval == 0`, plus `idx == 0`.
-fn finalize(trace: &Trace, r: &Replay, n: usize, interval: u64, tracked: ThreadId) -> SegFinal {
-    let mut bitmap = r.bitmap.clone();
-    for &(l, node) in &r.members {
-        if r.active[node as usize] {
-            bitmap[(l / 64) as usize] |= 1u64 << (l % 64);
-        }
-    }
-    let cur = trace.columns().cursor(r.lo, r.hi);
-    let mut per_thread = vec![(0u64, 0u64); NTHREADS];
-    let mut per_func = vec![(0u64, 0u64); trace.functions().len()];
-    let mut slice_count = 0u64;
-    let mut tracked_total = 0u64;
-    let mut tracked_slice = 0u64;
-    let mut timeline = Vec::new();
-    // First checkpoint below `hi`: `(n - hi)` instructions are already
-    // processed when this segment starts, so the countdown resumes from
-    // the interval's remainder.
-    let mut until = interval - (n - r.hi) as u64 % interval;
-    for idx in (r.lo..r.hi).rev() {
-        let tid = cur.tid(idx);
-        let func = cur.func(idx);
-        per_thread[tid.index()].1 += 1;
-        per_func[func.index()].1 += 1;
-        if tid == tracked {
-            tracked_total += 1;
-        }
-        let l = idx - r.lo;
-        if bitmap[l / 64] & (1u64 << (l % 64)) != 0 {
-            slice_count += 1;
-            per_thread[tid.index()].0 += 1;
-            per_func[func.index()].0 += 1;
-            if tid == tracked {
-                tracked_slice += 1;
+/// `(n - idx) % interval == 0`, plus `idx == 0`. Cursor-fed (descending
+/// windows) for the same resident-or-streamed duality as [`Summarizer`].
+struct Finalizer {
+    lo: usize,
+    bitmap: Vec<u64>,
+    per_thread: Vec<(u64, u64)>,
+    per_func: Vec<(u64, u64)>,
+    slice_count: u64,
+    tracked_total: u64,
+    tracked_slice: u64,
+    timeline: Vec<(usize, TimelinePoint)>,
+    until: u64,
+    interval: u64,
+    tracked: ThreadId,
+}
+
+impl Finalizer {
+    fn new(r: &Replay, n: usize, nfuncs: usize, interval: u64, tracked: ThreadId) -> Self {
+        let mut bitmap = r.bitmap.clone();
+        for &(l, node) in &r.members {
+            if r.active[node as usize] {
+                bitmap[(l / 64) as usize] |= 1u64 << (l % 64);
             }
         }
-        until -= 1;
-        if until == 0 || idx == 0 {
-            timeline.push((
-                idx,
-                TimelinePoint {
-                    processed: 0, // filled by the merge
-                    in_slice: slice_count,
-                    tracked_processed: tracked_total,
-                    tracked_in_slice: tracked_slice,
-                },
-            ));
-            until = interval;
+        Finalizer {
+            lo: r.lo,
+            bitmap,
+            per_thread: vec![(0u64, 0u64); NTHREADS],
+            per_func: vec![(0u64, 0u64); nfuncs],
+            slice_count: 0,
+            tracked_total: 0,
+            tracked_slice: 0,
+            timeline: Vec::new(),
+            // First checkpoint below `hi`: `(n - hi)` instructions are
+            // already processed when this segment starts, so the countdown
+            // resumes from the interval's remainder.
+            until: interval - (n - r.hi) as u64 % interval,
+            interval,
+            tracked,
         }
     }
-    SegFinal {
-        bitmap,
-        slice_count,
-        per_thread,
-        per_func,
-        tracked_total,
-        tracked_slice,
-        timeline,
+
+    fn feed(&mut self, cur: &ColumnCursor<'_>) {
+        for idx in cur.rev_indices() {
+            let tid = cur.tid(idx);
+            let func = cur.func(idx);
+            self.per_thread[tid.index()].1 += 1;
+            self.per_func[func.index()].1 += 1;
+            if tid == self.tracked {
+                self.tracked_total += 1;
+            }
+            let l = idx - self.lo;
+            if self.bitmap[l / 64] & (1u64 << (l % 64)) != 0 {
+                self.slice_count += 1;
+                self.per_thread[tid.index()].0 += 1;
+                self.per_func[func.index()].0 += 1;
+                if tid == self.tracked {
+                    self.tracked_slice += 1;
+                }
+            }
+            self.until -= 1;
+            if self.until == 0 || idx == 0 {
+                self.timeline.push((
+                    idx,
+                    TimelinePoint {
+                        processed: 0, // filled by the merge
+                        in_slice: self.slice_count,
+                        tracked_processed: self.tracked_total,
+                        tracked_in_slice: self.tracked_slice,
+                    },
+                ));
+                self.until = self.interval;
+            }
+        }
+    }
+
+    fn finish(self) -> SegFinal {
+        SegFinal {
+            bitmap: self.bitmap,
+            slice_count: self.slice_count,
+            per_thread: self.per_thread,
+            per_func: self.per_func,
+            tracked_total: self.tracked_total,
+            tracked_slice: self.tracked_slice,
+            timeline: self.timeline,
+        }
     }
 }
 

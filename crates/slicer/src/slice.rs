@@ -11,8 +11,11 @@
 //! instruction of their dynamic callee did.
 
 use std::collections::{HashMap, HashSet};
+use std::io::{Read, Seek};
 
-use wasteprof_trace::{FuncId, InstrKind, Pc, ThreadId, Trace, TracePos};
+use wasteprof_trace::{
+    ColumnCursor, FuncId, InstrKind, Pc, ThreadId, Trace, TraceIoError, TracePos, TraceReader,
+};
 
 use crate::cdg::ControlDeps;
 use crate::cfg::CfgSet;
@@ -34,6 +37,21 @@ impl ForwardPass {
         let cfgs = CfgSet::build(trace);
         let deps = ControlDeps::compute(&cfgs);
         ForwardPass { cfgs, deps }
+    }
+
+    /// Runs the forward pass over a `WPTRACE2` stream without ever holding
+    /// the whole trace: the CFG fold consumes one bounded chunk at a time,
+    /// and the control-dependence relation is a function of the CFGs alone.
+    ///
+    /// # Errors
+    ///
+    /// Any chunk decode or read error from the underlying [`TraceReader`].
+    pub fn build_streamed<R: Read + Seek>(
+        reader: &mut TraceReader<R>,
+    ) -> Result<Self, TraceIoError> {
+        let cfgs = CfgSet::build_streamed(reader)?;
+        let deps = ControlDeps::compute(&cfgs);
+        Ok(ForwardPass { cfgs, deps })
     }
 
     /// The reconstructed CFGs.
@@ -289,8 +307,14 @@ pub fn slice(
         // budget; the sequential walk is always the reference fallback.
         result = crate::parallel::run(trace, forward, criteria, options, k);
     }
-    let mut result =
-        result.unwrap_or_else(|| Backward::new(trace, forward, criteria, options).run());
+    let mut result = result.unwrap_or_else(|| {
+        let mut bw = Backward::new(trace.functions().len(), forward, criteria, options, n);
+        let cur = trace.columns().cursor(0, n);
+        bw.prescan(&cur);
+        bw.seal_frames();
+        bw.feed(&cur);
+        bw.finish()
+    });
     if options.witness {
         // The witness is a pure function of (trace, criteria, bitmap), so
         // emitting it after either path keeps it identical at any K.
@@ -304,13 +328,57 @@ pub fn slice(
     result
 }
 
+/// Runs the backward pass over a `WPTRACE2` stream, never holding more
+/// than a bounded window of decoded chunks: the exact per-instruction
+/// steps of [`slice`] driven by streamed cursors instead of one in-memory
+/// cursor, so the result is byte-identical to the in-memory path at any
+/// segment count.
+///
+/// # Errors
+///
+/// Any chunk decode or read error from the underlying [`TraceReader`].
+pub fn slice_streamed<R: Read + Seek>(
+    reader: &mut TraceReader<R>,
+    forward: &ForwardPass,
+    criteria: &Criteria,
+    options: &SliceOptions,
+) -> Result<SliceResult, TraceIoError> {
+    let n = considered_prefix(reader.len(), options);
+    let k = effective_segments(options.segments, n);
+    let mut result = None;
+    if k > 1 {
+        result = crate::parallel::run_streamed(reader, forward, criteria, options, k)?;
+    }
+    let mut result = match result {
+        Some(r) => r,
+        None => {
+            let mut bw = Backward::new(reader.functions().len(), forward, criteria, options, n);
+            reader.stream_range(0, n, |cur| bw.prescan(cur))?;
+            bw.seal_frames();
+            reader.stream_range_rev(0, n, |cur| bw.feed(cur))?;
+            bw.finish()
+        }
+    };
+    if options.witness {
+        result.witness = Some(crate::witness::emit_streamed(
+            reader,
+            forward.control_deps(),
+            criteria,
+            &result,
+        )?);
+    }
+    Ok(result)
+}
+
 /// Number of instructions the pass will consider (`[0, end]` clamped to
 /// the trace).
 pub(crate) fn considered_len(trace: &Trace, options: &SliceOptions) -> usize {
-    options
-        .end
-        .map(|e| (e.index() + 1).min(trace.len()))
-        .unwrap_or(trace.len())
+    considered_prefix(trace.len(), options)
+}
+
+/// [`considered_len`] for callers that only know the trace length.
+pub(crate) fn considered_prefix(len: usize, options: &SliceOptions) -> usize {
+    options.end.map(|e| (e.index() + 1).min(len)).unwrap_or(len)
 }
 
 /// Resolves the requested segment count against the trace length and the
@@ -387,13 +455,19 @@ struct Frame {
     any_slice: bool,
 }
 
+/// The sequential backward walk, restructured around [`Backward::feed`]
+/// so the same per-instruction step runs over either one in-memory cursor
+/// or a sequence of streamed chunk cursors — results are identical by
+/// construction. Protocol: [`Backward::prescan`] forward over the whole
+/// considered range, [`Backward::seal_frames`], then [`Backward::feed`]
+/// backward (last window first), then [`Backward::finish`].
 struct Backward<'a> {
-    trace: &'a Trace,
     deps: &'a ControlDeps,
     criteria: Vec<&'a crate::criteria::SlicingCriterion>,
     n: usize,
     live: LiveState,
     pending: HashSet<(ThreadId, FuncId, Pc), FibBuild>,
+    open: Vec<Vec<FuncId>>,
     frames: Vec<Vec<Frame>>,
     bitmap: Vec<u64>,
     slice_count: u64,
@@ -404,6 +478,8 @@ struct Backward<'a> {
     per_func: Vec<(u64, u64)>,
     timeline: Vec<TimelinePoint>,
     interval: u64,
+    until_checkpoint: u64,
+    crit_idx: usize,
     tracked: ThreadId,
     tracked_processed: u64,
     tracked_in_slice: u64,
@@ -411,31 +487,65 @@ struct Backward<'a> {
 
 impl<'a> Backward<'a> {
     fn new(
-        trace: &'a Trace,
+        nfuncs: usize,
         forward: &'a ForwardPass,
         criteria: &'a Criteria,
         options: &SliceOptions,
+        n: usize,
     ) -> Self {
-        let n = options
-            .end
-            .map(|e| (e.index() + 1).min(trace.len()))
-            .unwrap_or(trace.len());
-        // Calls still open at the cut never see their Ret in the prefix,
-        // so pre-seed each thread's frame stack with those invocations
-        // (callee identity included — frame clearing needs it).
-        let nthreads = trace.threads().len().max(1);
-        let cols = trace.columns();
-        let mut open: Vec<Vec<FuncId>> = vec![Vec::new(); 256];
-        for idx in 0..n {
-            match cols.kind(idx) {
-                InstrKind::Call { callee } => open[cols.tid(idx).index()].push(callee),
+        let interval = if options.timeline_interval == 0 {
+            ((n as u64) / 1000).max(1)
+        } else {
+            options.timeline_interval
+        };
+        let criteria: Vec<&crate::criteria::SlicingCriterion> = criteria.items().iter().collect();
+        let mut crit_idx = criteria.len();
+        // Skip criteria beyond the considered prefix.
+        while crit_idx > 0 && criteria[crit_idx - 1].pos.index() >= n {
+            crit_idx -= 1;
+        }
+        Backward {
+            deps: forward.control_deps(),
+            criteria,
+            n,
+            live: LiveState::new(256),
+            pending: HashSet::default(),
+            open: vec![Vec::new(); 256],
+            frames: Vec::new(),
+            bitmap: vec![0; n.div_ceil(64)],
+            slice_count: 0,
+            per_thread: vec![(0, 0); 256],
+            per_func: vec![(0, 0); nfuncs],
+            timeline: Vec::new(),
+            interval,
+            until_checkpoint: interval,
+            crit_idx,
+            tracked: options.tracked_thread,
+            tracked_processed: 0,
+            tracked_in_slice: 0,
+        }
+    }
+
+    /// Forward open-frames pre-scan over one window: calls still open at
+    /// the cut never see their Ret in the prefix, so each thread's frame
+    /// stack is pre-seeded with those invocations (callee identity
+    /// included — frame clearing needs it).
+    fn prescan(&mut self, cur: &ColumnCursor<'_>) {
+        for idx in cur.lo()..cur.hi() {
+            match cur.kind(idx) {
+                InstrKind::Call { callee } => self.open[cur.tid(idx).index()].push(callee),
                 InstrKind::Ret => {
-                    open[cols.tid(idx).index()].pop();
+                    self.open[cur.tid(idx).index()].pop();
                 }
                 _ => {}
             }
         }
-        let frames = open
+    }
+
+    /// Converts the pre-scan's open-call stacks into live frames; call
+    /// once, after the last [`Backward::prescan`] window.
+    fn seal_frames(&mut self) {
+        self.frames = std::mem::take(&mut self.open)
             .into_iter()
             .map(|fs| {
                 fs.into_iter()
@@ -446,36 +556,13 @@ impl<'a> Backward<'a> {
                     .collect()
             })
             .collect();
-        let interval = if options.timeline_interval == 0 {
-            ((n as u64) / 1000).max(1)
-        } else {
-            options.timeline_interval
-        };
-        Backward {
-            trace,
-            deps: forward.control_deps(),
-            criteria: criteria.items().iter().collect(),
-            n,
-            live: LiveState::new(nthreads.max(256)),
-            pending: HashSet::default(),
-            frames,
-            bitmap: vec![0; n.div_ceil(64)],
-            slice_count: 0,
-            per_thread: vec![(0, 0); 256],
-            per_func: vec![(0, 0); trace.functions().len()],
-            timeline: Vec::new(),
-            interval,
-            tracked: options.tracked_thread,
-            tracked_processed: 0,
-            tracked_in_slice: 0,
-        }
     }
 
     fn in_slice(&self, idx: usize) -> bool {
         self.bitmap[idx / 64] & (1u64 << (idx % 64)) != 0
     }
 
-    fn join_slice(&mut self, idx: usize) {
+    fn join_slice(&mut self, idx: usize, tid: ThreadId, func: FuncId, pc: Pc) {
         let word = idx / 64;
         let bit = 1u64 << (idx % 64);
         if self.bitmap[word] & bit != 0 {
@@ -483,9 +570,6 @@ impl<'a> Backward<'a> {
         }
         self.bitmap[word] |= bit;
         self.slice_count += 1;
-        let cols = self.trace.columns();
-        let tid = cols.tid(idx);
-        let func = cols.func(idx);
         self.per_thread[tid.index()].0 += 1;
         self.per_func[func.index()].0 += 1;
         if tid == self.tracked {
@@ -499,7 +583,7 @@ impl<'a> Backward<'a> {
         // of the same static branch consume the entry would *drop* the
         // true controlling branch (an under-approximation, not a safe
         // over-approximation).
-        for &bpc in self.deps.controllers(func, cols.pc(idx)) {
+        for &bpc in self.deps.controllers(func, pc) {
             self.pending.insert((tid, func, bpc));
         }
         // The dynamic call that led here becomes necessary too.
@@ -508,24 +592,17 @@ impl<'a> Backward<'a> {
         }
     }
 
-    fn run(mut self) -> SliceResult {
-        let mut crit_idx = self.criteria.len();
-        // Skip criteria beyond the considered prefix.
-        while crit_idx > 0 && self.criteria[crit_idx - 1].pos.index() >= self.n {
-            crit_idx -= 1;
-        }
-
+    /// The backward walk over one window, highest indices first. Windows
+    /// must arrive in reverse trace order and tile `[0, n)` exactly.
+    fn feed(&mut self, cur: &ColumnCursor<'_>) {
         // Stream the columns directly: each step touches only the fields it
         // needs, and operand lists come back as arena slices without any
-        // per-instruction materialization.
-        let cols = self.trace.columns();
-        // Timeline checkpoints fall every `interval` instructions; a
-        // countdown avoids a u64 division on every iteration.
-        let mut until_checkpoint = self.interval;
-        for idx in (0..self.n).rev() {
-            let tid = cols.tid(idx);
-            let func = cols.func(idx);
-            let kind = cols.kind(idx);
+        // per-instruction materialization. The checkpoint countdown avoids
+        // a u64 division on every iteration.
+        for idx in cur.rev_indices() {
+            let tid = cur.tid(idx);
+            let func = cur.func(idx);
+            let kind = cur.kind(idx);
 
             // Totals.
             self.per_thread[tid.index()].1 += 1;
@@ -544,34 +621,34 @@ impl<'a> Backward<'a> {
 
             // Apply criteria anchored at this position: their variables are
             // the values *after* this instruction executed.
-            while crit_idx > 0 && self.criteria[crit_idx - 1].pos.index() == idx {
-                crit_idx -= 1;
-                let c = self.criteria[crit_idx];
+            while self.crit_idx > 0 && self.criteria[self.crit_idx - 1].pos.index() == idx {
+                self.crit_idx -= 1;
+                let c = self.criteria[self.crit_idx];
                 for &range in &c.mem {
                     self.live.mem.insert(range);
                 }
                 let regs = self.live.regs_mut(tid);
                 *regs = regs.union(c.regs);
                 if c.include_instr {
-                    self.join_slice(idx);
+                    self.join_slice(idx, tid, func, cur.pc(idx));
                 }
             }
 
             // Pending branch: joins the slice, its condition becomes live.
             let is_pending_branch =
-                kind.is_branch() && self.pending.remove(&(tid, func, cols.pc(idx)));
+                kind.is_branch() && self.pending.remove(&(tid, func, cur.pc(idx)));
             if is_pending_branch {
-                self.join_slice(idx);
-                for &r in cols.mem_reads(idx) {
+                self.join_slice(idx, tid, func, cur.pc(idx));
+                for &r in cur.mem_reads(idx) {
                     self.live.mem.insert(r);
                 }
                 let regs = self.live.regs_mut(tid);
-                *regs = regs.union(cols.reg_reads(idx));
+                *regs = regs.union(cur.reg_reads(idx));
             } else {
                 // Liveness kill/gen: an instruction writing a live variable
                 // joins the slice.
-                let reg_writes = cols.reg_writes(idx);
-                let mem_writes = cols.mem_writes(idx);
+                let reg_writes = cur.reg_writes(idx);
+                let mem_writes = cur.mem_writes(idx);
                 let writes_live_reg = reg_writes.intersects(self.live.regs(tid));
                 let writes_live_mem = mem_writes.iter().any(|w| self.live.mem.intersects(*w));
                 if writes_live_reg || writes_live_mem {
@@ -579,12 +656,12 @@ impl<'a> Backward<'a> {
                     for &w in mem_writes {
                         self.live.mem.remove(w);
                     }
-                    for &r in cols.mem_reads(idx) {
+                    for &r in cur.mem_reads(idx) {
                         self.live.mem.insert(r);
                     }
                     let regs = self.live.regs_mut(tid);
-                    *regs = regs.union(cols.reg_reads(idx));
-                    self.join_slice(idx);
+                    *regs = regs.union(cur.reg_reads(idx));
+                    self.join_slice(idx, tid, func, cur.pc(idx));
                 }
             }
 
@@ -596,7 +673,7 @@ impl<'a> Backward<'a> {
                     .map(|f| f.any_slice)
                     .unwrap_or(false);
                 if any {
-                    self.join_slice(idx);
+                    self.join_slice(idx, tid, func, cur.pc(idx));
                 }
                 // If the call itself is in the slice (a criterion or a live
                 // write anchored on it), that membership belongs to the
@@ -619,18 +696,20 @@ impl<'a> Backward<'a> {
             }
 
             // Timeline checkpoint.
-            until_checkpoint -= 1;
-            if until_checkpoint == 0 || idx == 0 {
+            self.until_checkpoint -= 1;
+            if self.until_checkpoint == 0 || idx == 0 {
                 self.timeline.push(TimelinePoint {
                     processed: (self.n - idx) as u64,
                     in_slice: self.slice_count,
                     tracked_processed: self.tracked_processed,
                     tracked_in_slice: self.tracked_in_slice,
                 });
-                until_checkpoint = self.interval;
+                self.until_checkpoint = self.interval;
             }
         }
+    }
 
+    fn finish(self) -> SliceResult {
         SliceResult {
             considered: self.n as u64,
             bitmap: self.bitmap,

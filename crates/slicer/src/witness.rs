@@ -22,8 +22,11 @@
 //! sequential paths produce the same bitmap, hence the same witnesses.
 
 use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Seek};
 
-use wasteprof_trace::{FuncId, InstrKind, Trace, TracePos};
+use wasteprof_trace::{
+    ColumnCursor, FuncId, InstrKind, Trace, TraceIoError, TracePos, TraceReader,
+};
 
 use crate::cdg::ControlDeps;
 use crate::criteria::Criteria;
@@ -242,14 +245,21 @@ struct WFrame {
     any_slice: Option<u32>,
 }
 
+/// The witness replay, restructured around [`Emitter::feed`] so the same
+/// per-instruction step runs over either one in-memory cursor or a
+/// sequence of streamed chunk cursors. Protocol mirrors the backward
+/// walk's: `prescan` forward, `seal_frames`, `feed` backward (last window
+/// first), `finish`.
 struct Emitter<'a> {
-    trace: &'a Trace,
     deps: &'a ControlDeps,
     result: &'a SliceResult,
     n: usize,
+    criteria: Vec<&'a crate::criteria::SlicingCriterion>,
+    crit_idx: usize,
     mem: FactMap,
     regs: Vec<[Option<Fact>; 16]>,
     pending: HashMap<(wasteprof_trace::ThreadId, FuncId, wasteprof_trace::Pc), u32, FibBuild>,
+    open: Vec<Vec<FuncId>>,
     frames: Vec<Vec<WFrame>>,
     /// Rows in *descending* member order (reversed at the end): each
     /// member joins exactly at its own index of the backward walk.
@@ -259,6 +269,63 @@ struct Emitter<'a> {
 }
 
 impl<'a> Emitter<'a> {
+    fn new(deps: &'a ControlDeps, criteria: &'a Criteria, result: &'a SliceResult) -> Self {
+        let n = result.considered() as usize;
+        assert!(
+            n <= u32::MAX as usize,
+            "witness table uses 32-bit positions"
+        );
+        let criteria: Vec<&crate::criteria::SlicingCriterion> = criteria.items().iter().collect();
+        let mut crit_idx = criteria.len();
+        while crit_idx > 0 && criteria[crit_idx - 1].pos.index() >= n {
+            crit_idx -= 1;
+        }
+        Emitter {
+            deps,
+            result,
+            n,
+            criteria,
+            crit_idx,
+            mem: FactMap::default(),
+            regs: vec![[None; 16]; 256],
+            pending: HashMap::default(),
+            open: vec![Vec::new(); 256],
+            frames: Vec::new(),
+            rows: Vec::with_capacity(result.slice_count() as usize),
+            joined: vec![0; n.div_ceil(64)],
+            current_row: None,
+        }
+    }
+
+    /// Forward pre-scan over one window: collects calls still open at the
+    /// cut, like the backward walk does.
+    fn prescan(&mut self, cur: &ColumnCursor<'_>) {
+        for idx in cur.lo()..cur.hi() {
+            match cur.kind(idx) {
+                InstrKind::Call { callee } => self.open[cur.tid(idx).index()].push(callee),
+                InstrKind::Ret => {
+                    self.open[cur.tid(idx).index()].pop();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Converts the pre-scan's open-call stacks into live frames.
+    fn seal_frames(&mut self) {
+        self.frames = std::mem::take(&mut self.open)
+            .into_iter()
+            .map(|fs| {
+                fs.into_iter()
+                    .map(|func| WFrame {
+                        func,
+                        any_slice: None,
+                    })
+                    .collect()
+            })
+            .collect();
+    }
+
     fn in_slice(&self, idx: usize) -> bool {
         self.result.contains(TracePos(idx as u64))
     }
@@ -267,7 +334,18 @@ impl<'a> Emitter<'a> {
     /// then arms its controllers and marks its enclosing frame — the same
     /// side effects as the sequential walk's `join_slice`, with consumers
     /// attached (keep-first, deterministic).
-    fn join(&mut self, idx: usize, kind: WitnessKind, fact_lo: u64, fact_hi: u64, consumer: Fact) {
+    #[allow(clippy::too_many_arguments)]
+    fn join(
+        &mut self,
+        idx: usize,
+        tid: wasteprof_trace::ThreadId,
+        func: FuncId,
+        pc: wasteprof_trace::Pc,
+        kind: WitnessKind,
+        fact_lo: u64,
+        fact_hi: u64,
+        consumer: Fact,
+    ) {
         let word = idx / 64;
         let bit = 1u64 << (idx % 64);
         if self.joined[word] & bit != 0 {
@@ -288,10 +366,7 @@ impl<'a> Emitter<'a> {
             consumer_is_criterion: consumer.crit,
             genned_reads: false,
         });
-        let cols = self.trace.columns();
-        let tid = cols.tid(idx);
-        let func = cols.func(idx);
-        for &bpc in self.deps.controllers(func, cols.pc(idx)) {
+        for &bpc in self.deps.controllers(func, pc) {
             self.pending.entry((tid, func, bpc)).or_insert(idx as u32);
         }
         if let Some(frame) = self.frames[tid.index()].last_mut() {
@@ -305,6 +380,155 @@ impl<'a> Emitter<'a> {
             self.rows[r].genned_reads = true;
         }
     }
+
+    /// The backward replay over one window, highest indices first.
+    /// Windows must arrive in reverse trace order and tile `[0, n)`.
+    fn feed(&mut self, cur: &ColumnCursor<'_>) {
+        for idx in cur.rev_indices() {
+            self.current_row = None;
+            let tid = cur.tid(idx);
+            let ti = tid.index();
+            let func = cur.func(idx);
+            let pc = cur.pc(idx);
+            let kind = cur.kind(idx);
+
+            if matches!(kind, InstrKind::Ret) {
+                self.frames[ti].push(WFrame {
+                    func,
+                    any_slice: None,
+                });
+            }
+
+            while self.crit_idx > 0 && self.criteria[self.crit_idx - 1].pos.index() == idx {
+                self.crit_idx -= 1;
+                let c = self.criteria[self.crit_idx];
+                let fact = Fact {
+                    pos: idx as u32,
+                    crit: true,
+                };
+                for &range in &c.mem {
+                    self.mem
+                        .insert(range.start().raw(), range.end().raw(), fact);
+                }
+                for r in c.regs.iter() {
+                    self.regs[ti][r.index()] = Some(fact);
+                }
+                if c.include_instr {
+                    self.join(idx, tid, func, pc, WitnessKind::Criterion, 0, 0, fact);
+                }
+            }
+
+            let pending_armer = if kind.is_branch() {
+                self.pending.remove(&(tid, func, pc))
+            } else {
+                None
+            };
+            if let Some(armer) = pending_armer {
+                self.join(
+                    idx,
+                    tid,
+                    func,
+                    pc,
+                    WitnessKind::Control,
+                    pc.0 as u64,
+                    0,
+                    Fact {
+                        pos: armer,
+                        crit: false,
+                    },
+                );
+                let gen = Fact {
+                    pos: idx as u32,
+                    crit: false,
+                };
+                for &r in cur.mem_reads(idx) {
+                    self.mem.insert(r.start().raw(), r.end().raw(), gen);
+                }
+                for r in cur.reg_reads(idx).iter() {
+                    self.regs[ti][r.index()] = Some(gen);
+                }
+                self.mark_genned();
+            } else if self.in_slice(idx) {
+                // Kill/gen runs only for members: a non-member never writes
+                // live state (it would have joined), so skipping it here
+                // keeps the replay proportional to the slice, not the
+                // trace.
+                let reg_writes = cur.reg_writes(idx);
+                let mem_writes = cur.mem_writes(idx);
+                let reg_fact = reg_writes
+                    .iter()
+                    .find_map(|r| self.regs[ti][r.index()].map(|f| (r, f)));
+                let mem_fact = if reg_fact.is_none() {
+                    mem_writes
+                        .iter()
+                        .find_map(|w| self.mem.first_overlap(w.start().raw(), w.end().raw()))
+                } else {
+                    None
+                };
+                if reg_fact.is_some() || mem_fact.is_some() {
+                    if let Some((r, f)) = reg_fact {
+                        self.join(idx, tid, func, pc, WitnessKind::Reg, r.index() as u64, 0, f);
+                    } else if let Some((lo, hi, f)) = mem_fact {
+                        self.join(idx, tid, func, pc, WitnessKind::Mem, lo, hi, f);
+                    }
+                    for r in reg_writes.iter() {
+                        self.regs[ti][r.index()] = None;
+                    }
+                    for &w in mem_writes {
+                        self.mem.remove(w.start().raw(), w.end().raw());
+                    }
+                    let gen = Fact {
+                        pos: idx as u32,
+                        crit: false,
+                    };
+                    for &r in cur.mem_reads(idx) {
+                        self.mem.insert(r.start().raw(), r.end().raw(), gen);
+                    }
+                    for r in cur.reg_reads(idx).iter() {
+                        self.regs[ti][r.index()] = Some(gen);
+                    }
+                    self.mark_genned();
+                }
+            }
+
+            if let InstrKind::Call { callee } = kind {
+                let closed = self.frames[ti].pop();
+                if let Some(consumer) = closed.and_then(|f| f.any_slice) {
+                    self.join(
+                        idx,
+                        tid,
+                        func,
+                        pc,
+                        WitnessKind::Call,
+                        0,
+                        0,
+                        Fact {
+                            pos: consumer,
+                            crit: false,
+                        },
+                    );
+                }
+                if self.in_slice(idx) {
+                    if let Some(frame) = self.frames[ti].last_mut() {
+                        frame.any_slice.get_or_insert(idx as u32);
+                    }
+                }
+                if !self.frames[ti].iter().any(|f| f.func == callee) {
+                    self.pending.retain(|&(t, f, _), _| t != tid || f != callee);
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) -> Witnesses {
+        self.rows.reverse();
+        debug_assert_eq!(
+            self.rows.len() as u64,
+            self.result.slice_count(),
+            "witness replay diverged from the slice it explains"
+        );
+        Witnesses::from_rows(self.rows)
+    }
 }
 
 /// Replays the member mutations of the backward walk over the final
@@ -315,189 +539,28 @@ pub(crate) fn emit(
     criteria: &Criteria,
     result: &SliceResult,
 ) -> Witnesses {
-    let n = result.considered() as usize;
-    assert!(
-        n <= u32::MAX as usize,
-        "witness table uses 32-bit positions"
-    );
-    let cols = trace.columns();
+    let mut em = Emitter::new(deps, criteria, result);
+    let cur = trace.columns().cursor(0, em.n);
+    em.prescan(&cur);
+    em.seal_frames();
+    em.feed(&cur);
+    em.finish()
+}
 
-    // Pre-seed frames with calls still open at the cut, like the walk.
-    let mut open: Vec<Vec<FuncId>> = vec![Vec::new(); 256];
-    for idx in 0..n {
-        match cols.kind(idx) {
-            InstrKind::Call { callee } => open[cols.tid(idx).index()].push(callee),
-            InstrKind::Ret => {
-                open[cols.tid(idx).index()].pop();
-            }
-            _ => {}
-        }
-    }
-    let frames = open
-        .into_iter()
-        .map(|fs| {
-            fs.into_iter()
-                .map(|func| WFrame {
-                    func,
-                    any_slice: None,
-                })
-                .collect()
-        })
-        .collect();
-
-    let mut em = Emitter {
-        trace,
-        deps,
-        result,
-        n,
-        mem: FactMap::default(),
-        regs: vec![[None; 16]; 256],
-        pending: HashMap::default(),
-        frames,
-        rows: Vec::with_capacity(result.slice_count() as usize),
-        joined: vec![0; n.div_ceil(64)],
-        current_row: None,
-    };
-
-    let items: Vec<&crate::criteria::SlicingCriterion> = criteria.items().iter().collect();
-    let mut crit_idx = items.len();
-    while crit_idx > 0 && items[crit_idx - 1].pos.index() >= em.n {
-        crit_idx -= 1;
-    }
-
-    for idx in (0..em.n).rev() {
-        em.current_row = None;
-        let tid = cols.tid(idx);
-        let ti = tid.index();
-        let func = cols.func(idx);
-        let kind = cols.kind(idx);
-
-        if matches!(kind, InstrKind::Ret) {
-            em.frames[ti].push(WFrame {
-                func,
-                any_slice: None,
-            });
-        }
-
-        while crit_idx > 0 && items[crit_idx - 1].pos.index() == idx {
-            crit_idx -= 1;
-            let c = items[crit_idx];
-            let fact = Fact {
-                pos: idx as u32,
-                crit: true,
-            };
-            for &range in &c.mem {
-                em.mem.insert(range.start().raw(), range.end().raw(), fact);
-            }
-            for r in c.regs.iter() {
-                em.regs[ti][r.index()] = Some(fact);
-            }
-            if c.include_instr {
-                em.join(idx, WitnessKind::Criterion, 0, 0, fact);
-            }
-        }
-
-        let pending_armer = if kind.is_branch() {
-            em.pending.remove(&(tid, func, cols.pc(idx)))
-        } else {
-            None
-        };
-        if let Some(armer) = pending_armer {
-            em.join(
-                idx,
-                WitnessKind::Control,
-                cols.pc(idx).0 as u64,
-                0,
-                Fact {
-                    pos: armer,
-                    crit: false,
-                },
-            );
-            let gen = Fact {
-                pos: idx as u32,
-                crit: false,
-            };
-            for &r in cols.mem_reads(idx) {
-                em.mem.insert(r.start().raw(), r.end().raw(), gen);
-            }
-            for r in cols.reg_reads(idx).iter() {
-                em.regs[ti][r.index()] = Some(gen);
-            }
-            em.mark_genned();
-        } else if em.in_slice(idx) {
-            // Kill/gen runs only for members: a non-member never writes
-            // live state (it would have joined), so skipping it here keeps
-            // the replay proportional to the slice, not the trace.
-            let reg_writes = cols.reg_writes(idx);
-            let mem_writes = cols.mem_writes(idx);
-            let reg_fact = reg_writes
-                .iter()
-                .find_map(|r| em.regs[ti][r.index()].map(|f| (r, f)));
-            let mem_fact = if reg_fact.is_none() {
-                mem_writes
-                    .iter()
-                    .find_map(|w| em.mem.first_overlap(w.start().raw(), w.end().raw()))
-            } else {
-                None
-            };
-            if reg_fact.is_some() || mem_fact.is_some() {
-                if let Some((r, f)) = reg_fact {
-                    em.join(idx, WitnessKind::Reg, r.index() as u64, 0, f);
-                } else if let Some((lo, hi, f)) = mem_fact {
-                    em.join(idx, WitnessKind::Mem, lo, hi, f);
-                }
-                for r in reg_writes.iter() {
-                    em.regs[ti][r.index()] = None;
-                }
-                for &w in mem_writes {
-                    em.mem.remove(w.start().raw(), w.end().raw());
-                }
-                let gen = Fact {
-                    pos: idx as u32,
-                    crit: false,
-                };
-                for &r in cols.mem_reads(idx) {
-                    em.mem.insert(r.start().raw(), r.end().raw(), gen);
-                }
-                for r in cols.reg_reads(idx).iter() {
-                    em.regs[ti][r.index()] = Some(gen);
-                }
-                em.mark_genned();
-            }
-        }
-
-        if let InstrKind::Call { callee } = kind {
-            let closed = em.frames[ti].pop();
-            if let Some(consumer) = closed.and_then(|f| f.any_slice) {
-                em.join(
-                    idx,
-                    WitnessKind::Call,
-                    0,
-                    0,
-                    Fact {
-                        pos: consumer,
-                        crit: false,
-                    },
-                );
-            }
-            if em.in_slice(idx) {
-                if let Some(frame) = em.frames[ti].last_mut() {
-                    frame.any_slice.get_or_insert(idx as u32);
-                }
-            }
-            if !em.frames[ti].iter().any(|f| f.func == callee) {
-                em.pending.retain(|&(t, f, _), _| t != tid || f != callee);
-            }
-        }
-    }
-
-    em.rows.reverse();
-    debug_assert_eq!(
-        em.rows.len() as u64,
-        result.slice_count(),
-        "witness replay diverged from the slice it explains"
-    );
-    Witnesses::from_rows(em.rows)
+/// [`emit`] driven by streamed chunk cursors: identical rows, bounded
+/// memory.
+pub(crate) fn emit_streamed<R: Read + Seek>(
+    reader: &mut TraceReader<R>,
+    deps: &ControlDeps,
+    criteria: &Criteria,
+    result: &SliceResult,
+) -> Result<Witnesses, TraceIoError> {
+    let mut em = Emitter::new(deps, criteria, result);
+    let n = em.n;
+    reader.stream_range(0, n, |cur| em.prescan(cur))?;
+    em.seal_frames();
+    reader.stream_range_rev(0, n, |cur| em.feed(cur))?;
+    Ok(em.finish())
 }
 
 #[cfg(test)]

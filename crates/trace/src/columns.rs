@@ -233,7 +233,89 @@ impl Columns {
     /// Panics if `lo > hi` or `hi` exceeds the trace length.
     pub fn cursor(&self, lo: usize, hi: usize) -> ColumnCursor<'_> {
         assert!(lo <= hi && hi <= self.len(), "segment out of bounds");
-        ColumnCursor { cols: self, lo, hi }
+        ColumnCursor {
+            cols: self,
+            base: 0,
+            lo,
+            hi,
+        }
+    }
+
+    /// A cursor whose *global* indices `[lo, hi)` map onto this store with
+    /// an offset: global index `i` reads physical entry `i - base`. This is
+    /// how a decoded on-disk chunk (stored physically from 0) presents
+    /// itself at its true trace position to streaming consumers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base > lo`, `lo > hi`, or the physical range exceeds the
+    /// stored length.
+    pub fn cursor_at(&self, base: usize, lo: usize, hi: usize) -> ColumnCursor<'_> {
+        assert!(
+            base <= lo && lo <= hi && hi - base <= self.len(),
+            "offset segment out of bounds"
+        );
+        ColumnCursor {
+            cols: self,
+            base,
+            lo,
+            hi,
+        }
+    }
+
+    // ----- raw column access for the chunked on-disk codec --------------
+
+    /// Raw `(kind tag, kind payload)` of instruction `idx`.
+    pub(crate) fn raw_kind(&self, idx: usize) -> (u8, u32) {
+        (self.kinds[idx], self.kind_data[idx])
+    }
+
+    /// Raw memory-operand reference of instruction `idx`.
+    pub(crate) fn raw_mem(&self, idx: usize) -> MemOpsRef {
+        self.mem[idx]
+    }
+
+    /// Assembles a store directly from decoded column vectors.
+    ///
+    /// Used by the `WPTRACE2` segment decoder, which reconstructs each
+    /// column wholesale instead of pushing row by row. Lengths must agree;
+    /// `mem` entries must index inside `arena`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_parts(
+        kinds: Vec<u8>,
+        kind_data: Vec<u32>,
+        tids: Vec<u8>,
+        funcs: Vec<u32>,
+        pcs: Vec<u32>,
+        reg_reads: Vec<u16>,
+        reg_writes: Vec<u16>,
+        mem: Vec<MemOpsRef>,
+        arena: Vec<AddrRange>,
+    ) -> Columns {
+        let n = kinds.len();
+        debug_assert!(
+            kind_data.len() == n
+                && tids.len() == n
+                && funcs.len() == n
+                && pcs.len() == n
+                && reg_reads.len() == n
+                && reg_writes.len() == n
+                && mem.len() == n
+        );
+        debug_assert!(mem
+            .iter()
+            .all(|m| m.start as usize + m.nreads as usize + m.nwrites as usize <= arena.len()));
+        Columns {
+            kinds,
+            kind_data,
+            tids,
+            funcs,
+            pcs,
+            reg_reads,
+            reg_writes,
+            mem,
+            arena,
+        }
     }
 
     /// Materializes the instruction at `idx` as an owned [`Instr`] view.
@@ -273,6 +355,9 @@ impl Columns {
 #[derive(Clone, Copy, Debug)]
 pub struct ColumnCursor<'a> {
     cols: &'a Columns,
+    /// Global index of the store's physical entry 0 (see
+    /// [`Columns::cursor_at`]); 0 for whole-trace cursors.
+    base: usize,
     lo: usize,
     hi: usize,
 }
@@ -288,6 +373,14 @@ impl<'a> ColumnCursor<'a> {
     #[inline]
     pub fn hi(&self) -> usize {
         self.hi
+    }
+
+    /// True if global index `idx` falls inside this window — streamed
+    /// consumers use this to fall back gracefully when asked about a
+    /// position outside the currently loaded chunk.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        self.lo <= idx && idx < self.hi
     }
 
     /// Number of instructions in the segment.
@@ -322,56 +415,63 @@ impl<'a> ColumnCursor<'a> {
     #[inline]
     pub fn kind(&self, idx: usize) -> InstrKind {
         self.check(idx);
-        self.cols.kind(idx)
+        self.cols.kind(idx - self.base)
     }
 
     /// Executing thread of instruction `idx`.
     #[inline]
     pub fn tid(&self, idx: usize) -> ThreadId {
         self.check(idx);
-        self.cols.tid(idx)
+        self.cols.tid(idx - self.base)
     }
 
     /// Enclosing function of instruction `idx`.
     #[inline]
     pub fn func(&self, idx: usize) -> FuncId {
         self.check(idx);
-        self.cols.func(idx)
+        self.cols.func(idx - self.base)
     }
 
     /// Static PC of instruction `idx`.
     #[inline]
     pub fn pc(&self, idx: usize) -> Pc {
         self.check(idx);
-        self.cols.pc(idx)
+        self.cols.pc(idx - self.base)
     }
 
     /// Registers read by instruction `idx`.
     #[inline]
     pub fn reg_reads(&self, idx: usize) -> RegSet {
         self.check(idx);
-        self.cols.reg_reads(idx)
+        self.cols.reg_reads(idx - self.base)
     }
 
     /// Registers written by instruction `idx`.
     #[inline]
     pub fn reg_writes(&self, idx: usize) -> RegSet {
         self.check(idx);
-        self.cols.reg_writes(idx)
+        self.cols.reg_writes(idx - self.base)
     }
 
     /// Memory ranges read by instruction `idx`.
     #[inline]
     pub fn mem_reads(&self, idx: usize) -> &'a [AddrRange] {
         self.check(idx);
-        self.cols.mem_reads(idx)
+        self.cols.mem_reads(idx - self.base)
     }
 
     /// Memory ranges written by instruction `idx`.
     #[inline]
     pub fn mem_writes(&self, idx: usize) -> &'a [AddrRange] {
         self.check(idx);
-        self.cols.mem_writes(idx)
+        self.cols.mem_writes(idx - self.base)
+    }
+
+    /// Materializes the instruction at global index `idx` (see
+    /// [`Columns::instr`]).
+    pub fn instr(&self, idx: usize) -> Instr {
+        self.check(idx);
+        self.cols.instr(idx - self.base)
     }
 }
 
@@ -480,6 +580,50 @@ mod tests {
         assert_eq!(cur.rev_indices().collect::<Vec<_>>(), vec![7, 6, 5, 4]);
         assert_eq!(cur.func(5), FuncId(5), "indices stay global");
         assert!(cols.cursor(3, 3).is_empty());
+    }
+
+    #[test]
+    fn offset_cursor_maps_global_indices_to_physical_entries() {
+        // A 4-entry store standing in for a decoded chunk whose first
+        // instruction is global index 100.
+        let mut cols = Columns::default();
+        for i in 0..4u32 {
+            cols.push(
+                ThreadId(0),
+                FuncId(i),
+                Pc(1000 + i),
+                InstrKind::Op,
+                RegSet::EMPTY,
+                RegSet::EMPTY,
+                &[range(0x40 + i as u64 * 16, 8)],
+                &[],
+            );
+        }
+        let cur = cols.cursor_at(100, 101, 104);
+        assert_eq!((cur.lo(), cur.hi(), cur.len()), (101, 104, 3));
+        assert_eq!(cur.func(101), FuncId(1));
+        assert_eq!(cur.pc(103), Pc(1003));
+        assert_eq!(cur.mem_reads(102), &[range(0x60, 8)]);
+        assert_eq!(cur.instr(101).pc, Pc(1001));
+        assert!(cur.contains(101) && cur.contains(103));
+        assert!(!cur.contains(100) && !cur.contains(104));
+    }
+
+    #[test]
+    #[should_panic(expected = "offset segment out of bounds")]
+    fn offset_cursor_rejects_ranges_past_the_store() {
+        let mut cols = Columns::default();
+        cols.push(
+            ThreadId(0),
+            FuncId(0),
+            Pc(1),
+            InstrKind::Op,
+            RegSet::EMPTY,
+            RegSet::EMPTY,
+            &[],
+            &[],
+        );
+        let _ = cols.cursor_at(10, 10, 12);
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Per-column compression primitives for the `WPTRACE2` chunked format.
+//!
+//! Everything here operates on streams of `u64` values; the segment codec
+//! (`segment.rs`) chooses a per-column *pre-transform* (zigzag delta for
+//! monotone-ish columns like pcs and operand start addresses, dictionary
+//! indices for funcs, raw values otherwise) and then encodes the
+//! transformed stream through [`encode_stream`], which emits the smaller
+//! of two wire encodings per column:
+//!
+//! * **plain** — each value as a LEB128 varint;
+//! * **run-length** — `(value, run length)` varint pairs, which collapses
+//!   the long constant runs real traces are full of (tids during a
+//!   scheduling quantum, zero operand counts on ALU ops, constant pc
+//!   deltas in straight-line code).
+//!
+//! Decoding is fully bounds-checked through [`ByteReader`]: every length
+//! and count is validated against the bytes that actually remain, so a
+//! corrupt or truncated chunk yields a [`TraceIoError::Format`] instead of
+//! a panic or an attacker-sized allocation.
+
+use crate::io::TraceIoError;
+
+fn bad(msg: impl Into<String>) -> TraceIoError {
+    TraceIoError::Format(msg.into())
+}
+
+// ----- varint / zigzag ---------------------------------------------------
+
+/// Appends `v` to `out` as an LEB128 varint (7 bits per byte, high bit =
+/// continuation).
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Zigzag-encodes a signed delta so small magnitudes of either sign stay
+/// small varints.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ----- bounds-checked reader --------------------------------------------
+
+/// A cursor over an in-memory byte slice whose every read is checked
+/// against the remaining length.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True if every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, TraceIoError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| bad("truncated chunk: byte past the end"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads `n` bytes as a slice without copying.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], TraceIoError> {
+        if n > self.remaining() {
+            return Err(bad(format!(
+                "truncated chunk: {n} bytes requested, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, TraceIoError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, TraceIoError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, TraceIoError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads one LEB128 varint (at most 10 bytes).
+    pub fn varint(&mut self) -> Result<u64, TraceIoError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift == 63 && b > 1 {
+                return Err(bad("varint overflows u64"));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(bad("varint longer than 10 bytes"));
+            }
+        }
+    }
+}
+
+// ----- dual-encoding u64 stream blocks ----------------------------------
+
+/// Wire tag for a plain varint stream.
+const ENC_PLAIN: u8 = 0;
+/// Wire tag for a run-length (`value`,`runlen`) varint-pair stream.
+const ENC_RLE: u8 = 1;
+
+/// Encodes `values` as one column block: a 1-byte encoder tag followed by
+/// either a plain varint stream or a run-length stream — whichever is
+/// smaller for this column of this segment.
+pub fn encode_stream(out: &mut Vec<u8>, values: &[u64]) {
+    let mut plain = Vec::new();
+    for &v in values {
+        put_varint(&mut plain, v);
+    }
+    let mut rle = Vec::new();
+    let mut i = 0;
+    while i < values.len() {
+        let v = values[i];
+        let mut j = i + 1;
+        while j < values.len() && values[j] == v {
+            j += 1;
+        }
+        put_varint(&mut rle, v);
+        put_varint(&mut rle, (j - i) as u64);
+        i = j;
+    }
+    if rle.len() < plain.len() {
+        out.push(ENC_RLE);
+        out.extend_from_slice(&rle);
+    } else {
+        out.push(ENC_PLAIN);
+        out.extend_from_slice(&plain);
+    }
+}
+
+/// Decodes exactly `n` values of a block written by [`encode_stream`],
+/// appending them to `out`.
+///
+/// # Errors
+///
+/// [`TraceIoError::Format`] on an unknown encoder tag, a truncated
+/// stream, or a run-length stream whose runs do not sum to `n` exactly.
+pub fn decode_stream(
+    r: &mut ByteReader<'_>,
+    n: usize,
+    out: &mut Vec<u64>,
+) -> Result<(), TraceIoError> {
+    out.reserve(n.min(r.remaining().saturating_add(1)));
+    match r.u8()? {
+        ENC_PLAIN => {
+            for _ in 0..n {
+                out.push(r.varint()?);
+            }
+        }
+        ENC_RLE => {
+            let mut got = 0usize;
+            while got < n {
+                let v = r.varint()?;
+                let run = r.varint()?;
+                let run = usize::try_from(run).map_err(|_| bad("run length overflows usize"))?;
+                if run == 0 || run > n - got {
+                    return Err(bad(format!(
+                        "run of {run} values does not fit the {} still expected",
+                        n - got
+                    )));
+                }
+                for _ in 0..run {
+                    out.push(v);
+                }
+                got += run;
+            }
+        }
+        tag => return Err(bad(format!("unknown column encoder tag {tag}"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u64]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        encode_stream(&mut buf, values);
+        let mut r = ByteReader::new(&buf);
+        let mut back = Vec::new();
+        decode_stream(&mut r, values.len(), &mut back).unwrap();
+        assert!(r.is_exhausted(), "trailing bytes after decode");
+        assert_eq!(back, values);
+        buf
+    }
+
+    #[test]
+    fn varint_roundtrips_boundary_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            assert!(r.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrips_and_keeps_small_magnitudes_small() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert!(zigzag(-1) < 8 && zigzag(1) < 8);
+    }
+
+    #[test]
+    fn constant_runs_choose_rle() {
+        let buf = roundtrip(&[7u64; 1000]);
+        assert_eq!(buf[0], ENC_RLE);
+        assert!(buf.len() < 8, "1000 constants in {} bytes", buf.len());
+    }
+
+    #[test]
+    fn incompressible_streams_choose_plain() {
+        let values: Vec<u64> = (0..256u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+        let buf = roundtrip(&values);
+        assert_eq!(buf[0], ENC_PLAIN);
+    }
+
+    #[test]
+    fn empty_stream_roundtrips() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn decode_rejects_overlong_runs_and_truncation() {
+        // RLE claiming a run of 5 where only 3 values are expected.
+        let mut buf = vec![ENC_RLE];
+        put_varint(&mut buf, 9);
+        put_varint(&mut buf, 5);
+        let mut out = Vec::new();
+        let err = decode_stream(&mut ByteReader::new(&buf), 3, &mut out).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "{err:?}");
+
+        // Plain stream that ends before all values arrive.
+        let mut buf = vec![ENC_PLAIN];
+        put_varint(&mut buf, 1);
+        let mut out = Vec::new();
+        let err = decode_stream(&mut ByteReader::new(&buf), 2, &mut out).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "{err:?}");
+    }
+
+    #[test]
+    fn reader_rejects_varint_overflow() {
+        let buf = [0xffu8; 11];
+        let err = ByteReader::new(&buf).varint().unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "{err:?}");
+    }
+}

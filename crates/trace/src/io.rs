@@ -58,6 +58,21 @@ fn bad(msg: impl Into<String>) -> TraceIoError {
     TraceIoError::Format(msg.into())
 }
 
+/// Longest symbol name either format accepts, writer- and reader-side.
+pub(crate) const MAX_NAME_LEN: usize = 1 << 20;
+
+/// Checked narrowing for header count fields: a count that does not fit
+/// its wire field is a loud [`TraceIoError::Format`], never a silent
+/// truncation.
+pub(crate) fn count_u32(n: usize, what: &str) -> Result<u32, TraceIoError> {
+    u32::try_from(n).map_err(|_| bad(format!("{what} count {n} exceeds the u32 wire field")))
+}
+
+/// Checked narrowing for per-instruction operand counts.
+fn count_u16(n: usize, what: &str) -> Result<u16, TraceIoError> {
+    u16::try_from(n).map_err(|_| bad(format!("{what} count {n} exceeds the u16 wire field")))
+}
+
 // ----- primitive writers/readers ---------------------------------------
 
 fn w_u8(w: &mut impl Write, v: u8) -> io::Result<()> {
@@ -72,9 +87,13 @@ fn w_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
 fn w_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
-fn w_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+pub(crate) fn w_str(w: &mut impl Write, s: &str) -> Result<(), TraceIoError> {
+    if s.len() > MAX_NAME_LEN {
+        return Err(bad(format!("symbol name of {} bytes too long", s.len())));
+    }
     w_u32(w, s.len() as u32)?;
-    w.write_all(s.as_bytes())
+    w.write_all(s.as_bytes())?;
+    Ok(())
 }
 fn w_range(w: &mut impl Write, r: AddrRange) -> io::Result<()> {
     w_u64(w, r.start().raw())?;
@@ -103,11 +122,17 @@ fn r_u64(r: &mut impl Read) -> io::Result<u64> {
 }
 fn r_str(r: &mut impl Read) -> Result<String, TraceIoError> {
     let len = r_u32(r)? as usize;
-    if len > 1 << 20 {
+    if len > MAX_NAME_LEN {
         return Err(bad("string too long"));
     }
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
+    // Grow with the bytes that actually arrive instead of pre-allocating
+    // from the (possibly corrupt) length field: `take` caps the read, and
+    // a short stream is a truncation (`Io`), not an allocation.
+    let mut buf = Vec::new();
+    let got = r.by_ref().take(len as u64).read_to_end(&mut buf)?;
+    if got != len {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated string").into());
+    }
     String::from_utf8(buf).map_err(|_| bad("invalid utf-8 in symbol name"))
 }
 fn r_range(r: &mut impl Read) -> Result<AddrRange, TraceIoError> {
@@ -121,7 +146,7 @@ fn r_range(r: &mut impl Read) -> Result<AddrRange, TraceIoError> {
 
 // ----- trace encoding ----------------------------------------------------
 
-fn thread_kind_tag(kind: ThreadKind) -> (u8, u8) {
+pub(crate) fn thread_kind_tag(kind: ThreadKind) -> (u8, u8) {
     match kind {
         ThreadKind::Main => (0, 0),
         ThreadKind::Compositor => (1, 0),
@@ -131,7 +156,7 @@ fn thread_kind_tag(kind: ThreadKind) -> (u8, u8) {
     }
 }
 
-fn thread_kind_from(tag: u8, payload: u8) -> Result<ThreadKind, TraceIoError> {
+pub(crate) fn thread_kind_from(tag: u8, payload: u8) -> Result<ThreadKind, TraceIoError> {
     Ok(match tag {
         0 => ThreadKind::Main,
         1 => ThreadKind::Compositor,
@@ -146,23 +171,25 @@ fn thread_kind_from(tag: u8, payload: u8) -> Result<ThreadKind, TraceIoError> {
 ///
 /// # Errors
 ///
-/// Returns [`TraceIoError::Io`] if writing fails.
+/// Returns [`TraceIoError::Io`] if writing fails, or
+/// [`TraceIoError::Format`] if a table or operand count does not fit its
+/// wire field (the format never silently truncates a count).
 pub fn write_trace(w: &mut impl Write, trace: &Trace) -> Result<(), TraceIoError> {
     w.write_all(MAGIC)?;
 
-    w_u32(w, trace.functions().len() as u32)?;
+    w_u32(w, count_u32(trace.functions().len(), "function")?)?;
     for (_, info) in trace.functions().iter() {
         w_str(w, info.name())?;
     }
 
-    w_u32(w, trace.threads().len() as u32)?;
+    w_u32(w, count_u32(trace.threads().len(), "thread")?)?;
     for t in trace.threads().iter() {
         let (tag, payload) = thread_kind_tag(t.kind());
         w_u8(w, tag)?;
         w_u8(w, payload)?;
     }
 
-    w_u32(w, trace.markers().len() as u32)?;
+    w_u32(w, count_u32(trace.markers().len(), "marker")?)?;
     for m in trace.markers() {
         w_u64(w, m.pos.0)?;
         w_range(w, m.tile)?;
@@ -188,10 +215,9 @@ pub fn write_trace(w: &mut impl Write, trace: &Trace) -> Result<(), TraceIoError
         let reads = cols.mem_reads(idx);
         let writes = cols.mem_writes(idx);
         // u16 counts: the columns enforce this on push, but the format must
-        // not silently truncate if that ever changed.
-        assert!(reads.len() <= u16::MAX as usize && writes.len() <= u16::MAX as usize);
-        w_u16(w, reads.len() as u16)?;
-        w_u16(w, writes.len() as u16)?;
+        // not panic or silently truncate if that ever changed.
+        w_u16(w, count_u16(reads.len(), "memory read operand")?)?;
+        w_u16(w, count_u16(writes.len(), "memory write operand")?)?;
         for r in reads {
             w_range(w, *r)?;
         }
@@ -236,7 +262,9 @@ pub fn read_trace(r: &mut impl Read) -> Result<Trace, TraceIoError> {
     }
 
     let nmarkers = r_u32(r)?;
-    let mut markers = Vec::with_capacity((nmarkers as usize).min(1 << 16));
+    // No pre-allocation from the count field: each record costs 20 stream
+    // bytes, so the vector can only grow as far as the input actually goes.
+    let mut markers = Vec::new();
     for _ in 0..nmarkers {
         let pos = TracePos(r_u64(r)?);
         let tile = r_range(r)?;
@@ -371,5 +399,48 @@ mod tests {
     fn error_display_is_informative() {
         let e = bad("boom");
         assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn count_fields_never_truncate() {
+        assert_eq!(count_u32(7, "x").unwrap(), 7);
+        let err = count_u32(u32::MAX as usize + 1, "function").unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "{err:?}");
+        assert_eq!(count_u16(7, "x").unwrap(), 7);
+        let err = count_u16(u16::MAX as usize + 1, "operand").unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "{err:?}");
+    }
+
+    #[test]
+    fn writer_rejects_oversized_symbol_name() {
+        let name = "x".repeat(MAX_NAME_LEN + 1);
+        let mut buf = Vec::new();
+        let err = w_str(&mut buf, &name).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "{err:?}");
+    }
+
+    #[test]
+    fn truncated_symbol_name_is_io_not_oom() {
+        // Header claims a 100-byte name but the stream carries 3 bytes:
+        // the reader must report truncation, not read garbage.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"WPTRACE1");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(b"abc");
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)), "{err:?}");
+    }
+
+    #[test]
+    fn huge_string_length_is_rejected_without_allocating() {
+        // A 4 GiB name length must be a Format error up front, never a
+        // 4 GiB buffer.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"WPTRACE1");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "{err:?}");
     }
 }

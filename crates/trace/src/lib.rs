@@ -47,12 +47,15 @@
 
 mod addr;
 mod columns;
+pub mod compress;
 mod func;
 mod instr;
 mod io;
 mod pc;
+mod reader;
 mod recorder;
 mod reg;
+pub mod segment;
 mod syscall;
 mod thread;
 mod trace;
@@ -63,8 +66,10 @@ pub use func::{FuncId, FuncInfo, FunctionRegistry};
 pub use instr::{Instr, InstrKind, MemMulti, MemOps, TracePos};
 pub use io::{read_trace, write_trace, TraceIoError};
 pub use pc::Pc;
+pub use reader::{write_trace2, Trace2Stats, Trace2Writer, TraceReader};
 pub use recorder::Recorder;
 pub use reg::{Reg, RegSet};
+pub use segment::{SegmentMeta, SEGMENT_LEN};
 pub use syscall::Syscall;
 pub use thread::{ThreadId, ThreadInfo, ThreadKind, ThreadTable};
 pub use trace::{InstrDisplay, Instrs, KindHistogram, MarkerRecord, Trace};

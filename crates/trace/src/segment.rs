@@ -1,0 +1,564 @@
+//! `WPTRACE2` segment codec: fixed-size, 64-aligned instruction segments,
+//! each encoded as independently decodable per-column blocks, plus the
+//! file footer that indexes them.
+//!
+//! A `WPTRACE2` file is laid out as
+//!
+//! ```text
+//! "WPTRACE2"  segment_0 .. segment_{k-1}  footer  footer_len:u64  "WPT2END\0"
+//! ```
+//!
+//! Segments are found through the footer's index (offset + byte length per
+//! segment), so a writer can stream segments out as they fill and a reader
+//! can seek straight to any chunk. Each segment covers a contiguous
+//! instruction range whose start is 64-aligned — the same alignment the
+//! segment-parallel slicer uses for its phase boundaries, so slicer
+//! segments are always unions of whole disk chunks.
+//!
+//! Inside a segment every column is one [`crate::compress`] stream with a
+//! column-specific pre-transform:
+//!
+//! * `pc` and operand start addresses: zigzag delta (straight-line code
+//!   and sequential buffers become tiny constant-delta runs);
+//! * `func`: a per-segment sorted dictionary of global function ids
+//!   (delta-coded), then dictionary indices;
+//! * kind tags, tids, register bitsets, operand counts, operand lengths:
+//!   raw values (the run-length encoder collapses their long runs);
+//! * kind payloads: present only for the branch/call/syscall rows that
+//!   carry one.
+//!
+//! Decoding validates every count against the bytes that remain and every
+//! value against its column's domain, so corrupt input produces
+//! [`TraceIoError::Format`] — never a panic, and never an allocation the
+//! input's own size does not justify.
+
+use crate::addr::{Addr, AddrRange};
+use crate::columns::{Columns, MemOpsRef};
+use crate::compress::{decode_stream, encode_stream, unzigzag, zigzag, ByteReader};
+use crate::io::TraceIoError;
+use crate::syscall::Syscall;
+use crate::thread::ThreadId;
+
+/// Magic bytes opening a `WPTRACE2` file.
+pub const MAGIC2: &[u8; 8] = b"WPTRACE2";
+/// Trailer bytes closing a `WPTRACE2` file.
+pub const TRAILER2: &[u8; 8] = b"WPT2END\0";
+
+/// Default instructions per segment (64-aligned, matching the slicer's
+/// phase-boundary alignment).
+pub const SEGMENT_LEN: usize = 1 << 16;
+
+/// Hard cap on instructions per segment a reader will decode. Bounds the
+/// allocation a corrupt footer can demand from one chunk.
+pub const MAX_SEGMENT_INSTRS: usize = 1 << 22;
+
+/// Hard cap on memory-operand arena entries per segment, for the same
+/// reason (run-length operand counts could otherwise claim arbitrarily
+/// many operands from a few bytes).
+pub const MAX_SEGMENT_ARENA: usize = 1 << 22;
+
+fn bad(msg: impl Into<String>) -> TraceIoError {
+    TraceIoError::Format(msg.into())
+}
+
+/// One segment's entry in the file footer's index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Byte offset of the segment's payload in the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub byte_len: u64,
+    /// Global index of the segment's first instruction (64-aligned).
+    pub first_instr: u64,
+    /// Number of instructions in the segment.
+    pub n_instr: u64,
+    /// Bitmap of thread ids appearing in the segment (bit `t` of word
+    /// `t / 64`).
+    pub thread_bits: [u64; 4],
+    /// Bitmap of [`crate::Region`]s touched by the segment's memory
+    /// operands; bit 15 marks unmapped addresses.
+    pub region_bits: u16,
+}
+
+impl SegmentMeta {
+    /// True if any instruction of this segment executes on `tid`.
+    pub fn has_thread(&self, tid: ThreadId) -> bool {
+        self.thread_bits[tid.index() / 64] >> (tid.index() % 64) & 1 == 1
+    }
+}
+
+/// Encodes the instruction range `[lo, hi)` of `cols` (physical indices)
+/// as one segment payload appended to `out`, returning the thread and
+/// region bitmaps for the footer index.
+///
+/// # Errors
+///
+/// [`TraceIoError::Format`] if the range's operand arena exceeds the
+/// per-segment cap ([`MAX_SEGMENT_ARENA`]) — a format limit, reported
+/// loudly rather than written unreadably.
+pub fn encode_segment(
+    cols: &Columns,
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<u8>,
+) -> Result<([u64; 4], u16), TraceIoError> {
+    let n = hi - lo;
+    debug_assert!(n <= MAX_SEGMENT_INSTRS);
+    let mut thread_bits = [0u64; 4];
+    let mut region_bits = 0u16;
+
+    // Column working buffers, reused stream by stream.
+    let mut vals: Vec<u64> = Vec::with_capacity(n);
+
+    // 1. kind tags.
+    let mut payload_rows = 0usize;
+    for idx in lo..hi {
+        let (tag, _) = cols.raw_kind(idx);
+        if matches!(tag, 3 | 4 | 6) {
+            payload_rows += 1;
+        }
+        vals.push(u64::from(tag));
+    }
+    encode_stream(out, &vals);
+
+    // 2. kind payloads, only for rows that carry one.
+    vals.clear();
+    vals.reserve(payload_rows);
+    for idx in lo..hi {
+        let (tag, data) = cols.raw_kind(idx);
+        if matches!(tag, 3 | 4 | 6) {
+            vals.push(u64::from(data));
+        }
+    }
+    encode_stream(out, &vals);
+
+    // 3. tids.
+    vals.clear();
+    for idx in lo..hi {
+        let t = cols.tid(idx);
+        thread_bits[t.index() / 64] |= 1 << (t.index() % 64);
+        vals.push(u64::from(t.0));
+    }
+    encode_stream(out, &vals);
+
+    // 4. funcs: per-segment sorted dictionary + indices.
+    let mut dict: Vec<u32> = (lo..hi).map(|idx| cols.func(idx).0).collect();
+    dict.sort_unstable();
+    dict.dedup();
+    vals.clear();
+    let mut prev = 0u64;
+    for (i, &f) in dict.iter().enumerate() {
+        let f = u64::from(f);
+        vals.push(if i == 0 { f } else { f - prev });
+        prev = f;
+    }
+    let mut dict_block = Vec::new();
+    encode_stream(&mut dict_block, &vals);
+    crate::compress::put_varint(out, dict.len() as u64);
+    out.extend_from_slice(&dict_block);
+    vals.clear();
+    for idx in lo..hi {
+        let i = dict
+            .binary_search(&cols.func(idx).0)
+            .expect("dictionary built from this column");
+        vals.push(i as u64);
+    }
+    encode_stream(out, &vals);
+
+    // 5. pcs: zigzag delta.
+    vals.clear();
+    let mut prev = 0i64;
+    for idx in lo..hi {
+        let pc = i64::from(cols.pc(idx).0);
+        vals.push(zigzag(pc - prev));
+        prev = pc;
+    }
+    encode_stream(out, &vals);
+
+    // 6–7. register bitsets.
+    for writes in [false, true] {
+        vals.clear();
+        for idx in lo..hi {
+            let bits = if writes {
+                cols.reg_writes(idx).bits()
+            } else {
+                cols.reg_reads(idx).bits()
+            };
+            vals.push(u64::from(bits));
+        }
+        encode_stream(out, &vals);
+    }
+
+    // 8–9. operand counts.
+    let mut total_ops = 0usize;
+    for writes in [false, true] {
+        vals.clear();
+        for idx in lo..hi {
+            let m = cols.raw_mem(idx);
+            let c = if writes { m.nwrites } else { m.nreads };
+            total_ops += c as usize;
+            vals.push(u64::from(c));
+        }
+        encode_stream(out, &vals);
+    }
+    if total_ops > MAX_SEGMENT_ARENA {
+        return Err(bad(format!(
+            "segment carries {total_ops} memory operands, above the {MAX_SEGMENT_ARENA} format cap"
+        )));
+    }
+
+    // 10–11. operand start addresses (zigzag delta over the arena
+    // sequence, reads before writes per instruction) and lengths.
+    vals.clear();
+    let mut lens: Vec<u64> = Vec::with_capacity(total_ops);
+    let mut prev = 0i64;
+    for idx in lo..hi {
+        for r in cols.mem_reads(idx).iter().chain(cols.mem_writes(idx)) {
+            let start = r.start().raw() as i64;
+            vals.push(zigzag(start.wrapping_sub(prev)));
+            prev = start;
+            lens.push(u64::from(r.len()));
+            match r.start().region() {
+                Some(reg) => region_bits |= 1 << reg.index(),
+                None => region_bits |= 1 << 15,
+            }
+        }
+    }
+    encode_stream(out, &vals);
+    encode_stream(out, &lens);
+
+    Ok((thread_bits, region_bits))
+}
+
+/// Decodes one segment payload of `n` instructions into a fresh physical
+/// [`Columns`] store (indices `0..n`).
+///
+/// `nfuncs` is the symbol-table size from the footer; the func column is
+/// validated against it so downstream per-function tables can index
+/// without guards, matching what [`crate::Trace`] guarantees in memory.
+///
+/// # Errors
+///
+/// [`TraceIoError::Format`] on any structural defect: truncated streams,
+/// out-of-domain values, dictionary misuse, operand caps exceeded, or
+/// trailing bytes after the last column.
+pub fn decode_segment(bytes: &[u8], n: usize, nfuncs: usize) -> Result<Columns, TraceIoError> {
+    if n > MAX_SEGMENT_INSTRS {
+        return Err(bad(format!(
+            "segment claims {n} instructions, above the {MAX_SEGMENT_INSTRS} format cap"
+        )));
+    }
+    let r = &mut ByteReader::new(bytes);
+    let mut vals: Vec<u64> = Vec::new();
+
+    // 1. kind tags.
+    decode_stream(r, n, &mut vals)?;
+    let mut kinds = Vec::with_capacity(n);
+    let mut payload_rows = 0usize;
+    for &v in &vals {
+        let tag = u8::try_from(v).map_err(|_| bad("kind tag overflows u8"))?;
+        if tag > 7 {
+            return Err(bad(format!("unknown instr tag {tag}")));
+        }
+        if matches!(tag, 3 | 4 | 6) {
+            payload_rows += 1;
+        }
+        kinds.push(tag);
+    }
+
+    // 2. kind payloads.
+    vals.clear();
+    decode_stream(r, payload_rows, &mut vals)?;
+    let mut kind_data = vec![0u32; n];
+    let mut pi = 0usize;
+    for (i, &tag) in kinds.iter().enumerate() {
+        if matches!(tag, 3 | 4 | 6) {
+            let data = u32::try_from(vals[pi]).map_err(|_| bad("kind payload overflows u32"))?;
+            if tag == 6 && Syscall::from_number(data).is_none() {
+                return Err(bad(format!("unknown syscall {data}")));
+            }
+            kind_data[i] = data;
+            pi += 1;
+        }
+    }
+
+    // 3. tids.
+    vals.clear();
+    decode_stream(r, n, &mut vals)?;
+    let mut tids = Vec::with_capacity(n);
+    for &v in &vals {
+        tids.push(u8::try_from(v).map_err(|_| bad("tid overflows u8"))?);
+    }
+
+    // 4. funcs: dictionary, then indices.
+    let dict_len = r.varint()?;
+    let dict_len = usize::try_from(dict_len).map_err(|_| bad("dictionary too large"))?;
+    if dict_len > n {
+        return Err(bad(format!(
+            "function dictionary of {dict_len} entries for {n} instructions"
+        )));
+    }
+    vals.clear();
+    decode_stream(r, dict_len, &mut vals)?;
+    let mut dict: Vec<u32> = Vec::with_capacity(dict_len);
+    let mut acc = 0u64;
+    for (i, &d) in vals.iter().enumerate() {
+        acc = if i == 0 {
+            d
+        } else {
+            acc.checked_add(d)
+                .ok_or_else(|| bad("function dictionary overflows"))?
+        };
+        let f = u32::try_from(acc).map_err(|_| bad("function id overflows u32"))?;
+        if f as usize >= nfuncs {
+            return Err(bad(format!(
+                "function id {f} outside the {nfuncs}-entry symbol table"
+            )));
+        }
+        dict.push(f);
+    }
+    vals.clear();
+    decode_stream(r, n, &mut vals)?;
+    let mut funcs = Vec::with_capacity(n);
+    for &v in &vals {
+        let i = usize::try_from(v).map_err(|_| bad("dictionary index overflows"))?;
+        let f = *dict
+            .get(i)
+            .ok_or_else(|| bad(format!("dictionary index {i} out of range {dict_len}")))?;
+        funcs.push(f);
+    }
+
+    // 5. pcs.
+    vals.clear();
+    decode_stream(r, n, &mut vals)?;
+    let mut pcs = Vec::with_capacity(n);
+    let mut prev = 0i64;
+    for &v in &vals {
+        let pc = prev
+            .checked_add(unzigzag(v))
+            .ok_or_else(|| bad("pc delta overflows"))?;
+        pcs.push(u32::try_from(pc).map_err(|_| bad("pc outside u32 range"))?);
+        prev = pc;
+    }
+
+    // 6–7. register bitsets.
+    let mut reg_cols: [Vec<u16>; 2] = [Vec::with_capacity(n), Vec::with_capacity(n)];
+    for col in reg_cols.iter_mut() {
+        vals.clear();
+        decode_stream(r, n, &mut vals)?;
+        for &v in &vals {
+            col.push(u16::try_from(v).map_err(|_| bad("register bitset overflows u16"))?);
+        }
+    }
+    let [reg_reads, reg_writes] = reg_cols;
+
+    // 8–9. operand counts → MemOpsRef column.
+    let mut count_cols: [Vec<u16>; 2] = [Vec::with_capacity(n), Vec::with_capacity(n)];
+    for col in count_cols.iter_mut() {
+        vals.clear();
+        decode_stream(r, n, &mut vals)?;
+        let mut total = 0usize;
+        for &v in &vals {
+            let c = u16::try_from(v).map_err(|_| bad("operand count overflows u16"))?;
+            total += c as usize;
+            if total > MAX_SEGMENT_ARENA {
+                return Err(bad(format!(
+                    "segment claims more than {MAX_SEGMENT_ARENA} memory operands"
+                )));
+            }
+            col.push(c);
+        }
+    }
+    let [nreads, nwrites] = count_cols;
+    let mut mem = Vec::with_capacity(n);
+    let mut start = 0u32;
+    for i in 0..n {
+        mem.push(MemOpsRef {
+            start,
+            nreads: nreads[i],
+            nwrites: nwrites[i],
+        });
+        start += u32::from(nreads[i]) + u32::from(nwrites[i]);
+    }
+    let total_ops = start as usize;
+
+    // 10–11. operand starts and lengths → arena.
+    vals.clear();
+    decode_stream(r, total_ops, &mut vals)?;
+    let mut starts: Vec<u64> = Vec::with_capacity(total_ops);
+    let mut prev = 0i64;
+    for &v in &vals {
+        let s = prev.wrapping_add(unzigzag(v));
+        starts.push(s as u64);
+        prev = s;
+    }
+    vals.clear();
+    decode_stream(r, total_ops, &mut vals)?;
+    let mut arena = Vec::with_capacity(total_ops);
+    for (i, &lv) in vals.iter().enumerate() {
+        let len = u32::try_from(lv).map_err(|_| bad("operand length overflows u32"))?;
+        if len == 0 {
+            return Err(bad("zero-length memory operand"));
+        }
+        let s = starts[i];
+        if s.checked_add(u64::from(len)).is_none() {
+            return Err(bad("memory operand wraps the address space"));
+        }
+        arena.push(AddrRange::new(Addr::new(s), len));
+    }
+
+    if !r.is_exhausted() {
+        return Err(bad(format!(
+            "{} trailing bytes after the last column",
+            r.remaining()
+        )));
+    }
+    Ok(Columns::from_raw_parts(
+        kinds, kind_data, tids, funcs, pcs, reg_reads, reg_writes, mem, arena,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FuncId;
+    use crate::instr::InstrKind;
+    use crate::pc::Pc;
+    use crate::reg::RegSet;
+    use crate::Region;
+
+    fn sample_columns(n: usize) -> Columns {
+        let mut cols = Columns::default();
+        let heap = Region::Heap.base().raw();
+        for i in 0..n {
+            let kind = match i % 5 {
+                0 => InstrKind::Op,
+                1 => InstrKind::Load,
+                2 => InstrKind::Store,
+                3 => InstrKind::Branch { taken: i % 2 == 0 },
+                _ => InstrKind::Call {
+                    callee: FuncId((i % 3) as u32),
+                },
+            };
+            let reads = [AddrRange::new(Addr::new(heap + (i as u64 % 7) * 8), 8)];
+            cols.push(
+                ThreadId((i % 3) as u8),
+                FuncId((i % 4) as u32),
+                Pc(1000 + (i % 13) as u32),
+                kind,
+                RegSet::from_bits(0b11),
+                RegSet::from_bits(0b100),
+                if i % 2 == 0 { &reads } else { &[] },
+                &[],
+            );
+        }
+        cols
+    }
+
+    fn assert_columns_eq(a: &Columns, b: &Columns, lo: usize) {
+        for i in 0..b.len() {
+            assert_eq!(a.kind(lo + i), b.kind(i), "kind at {i}");
+            assert_eq!(a.tid(lo + i), b.tid(i));
+            assert_eq!(a.func(lo + i), b.func(i));
+            assert_eq!(a.pc(lo + i), b.pc(i));
+            assert_eq!(a.reg_reads(lo + i), b.reg_reads(i));
+            assert_eq!(a.reg_writes(lo + i), b.reg_writes(i));
+            assert_eq!(a.mem_reads(lo + i), b.mem_reads(i));
+            assert_eq!(a.mem_writes(lo + i), b.mem_writes(i));
+        }
+    }
+
+    #[test]
+    fn segment_roundtrip_preserves_all_columns() {
+        let cols = sample_columns(300);
+        let mut buf = Vec::new();
+        let (threads, regions) = encode_segment(&cols, 0, 300, &mut buf).unwrap();
+        assert_eq!(threads[0], 0b111);
+        assert_ne!(regions & (1 << Region::Heap.index()), 0);
+        let back = decode_segment(&buf, 300, 4).unwrap();
+        assert_eq!(back.len(), 300);
+        assert_columns_eq(&cols, &back, 0);
+    }
+
+    #[test]
+    fn partial_range_roundtrips_with_rebased_arena() {
+        let cols = sample_columns(200);
+        let mut buf = Vec::new();
+        encode_segment(&cols, 64, 192, &mut buf).unwrap();
+        let back = decode_segment(&buf, 128, 4).unwrap();
+        assert_eq!(back.len(), 128);
+        assert_columns_eq(&cols, &back, 64);
+    }
+
+    #[test]
+    fn compresses_repetitive_traces_below_a_byte_per_instr() {
+        // A tight one-site loop: constant tid/func/pc, striding addresses.
+        let mut cols = Columns::default();
+        let heap = Region::Heap.base().raw();
+        for i in 0..10_000u64 {
+            cols.push(
+                ThreadId(0),
+                FuncId(0),
+                Pc(500),
+                InstrKind::Op,
+                RegSet::from_bits(1),
+                RegSet::from_bits(2),
+                &[],
+                &[AddrRange::new(Addr::new(heap + i * 8), 8)],
+            );
+        }
+        let mut buf = Vec::new();
+        encode_segment(&cols, 0, 10_000, &mut buf).unwrap();
+        assert!(
+            buf.len() * 2 < 10_000,
+            "loop encodes at {} bytes for 10k instrs",
+            buf.len()
+        );
+        let back = decode_segment(&buf, 10_000, 1).unwrap();
+        assert_columns_eq(&cols, &back, 0);
+    }
+
+    #[test]
+    fn decode_rejects_bad_tags_funcs_and_truncation() {
+        let cols = sample_columns(64);
+        let mut buf = Vec::new();
+        encode_segment(&cols, 0, 64, &mut buf).unwrap();
+
+        // Symbol table smaller than the func ids used.
+        let err = decode_segment(&buf, 64, 2).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "{err:?}");
+
+        // Wrong instruction count.
+        let err = decode_segment(&buf, 63, 4).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "{err:?}");
+
+        // Truncation at every prefix must never panic.
+        for cut in 0..buf.len() {
+            let res = decode_segment(&buf[..cut], 64, 4);
+            assert!(res.is_err(), "prefix {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_oversized_claims() {
+        let err = decode_segment(&[], MAX_SEGMENT_INSTRS + 1, 1).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "{err:?}");
+    }
+
+    #[test]
+    fn segment_meta_thread_bitmap() {
+        let meta = SegmentMeta {
+            offset: 0,
+            byte_len: 0,
+            first_instr: 0,
+            n_instr: 64,
+            thread_bits: [0b101, 0, 0, 1],
+            region_bits: 0,
+        };
+        assert!(meta.has_thread(ThreadId(0)));
+        assert!(!meta.has_thread(ThreadId(1)));
+        assert!(meta.has_thread(ThreadId(2)));
+        assert!(meta.has_thread(ThreadId(192)));
+        assert!(!meta.has_thread(ThreadId(255)));
+    }
+}

@@ -1,10 +1,17 @@
 //! Property-based tests for the trace substrate: serialization
-//! round-trips arbitrary recordings, and recordings always satisfy the
-//! structural invariants.
+//! round-trips arbitrary recordings (both the `WPTRACE1` whole-trace
+//! format and the `WPTRACE2` chunked tier), recordings always satisfy
+//! the structural invariants, and — the hardening contract — no mutated
+//! or truncated byte stream can make either reader panic or allocate
+//! beyond the input it was given: every outcome is `Ok` or a typed
+//! [`TraceIoError`].
+
+use std::io::Cursor;
 
 use proptest::prelude::*;
 use wasteprof_trace::{
-    read_trace, write_trace, Pc, Recorder, Reg, RegSet, Region, Syscall, ThreadKind,
+    read_trace, write_trace, write_trace2, Pc, Recorder, Reg, RegSet, Region, Syscall, ThreadKind,
+    TraceReader,
 };
 
 /// One random emission step.
@@ -118,6 +125,86 @@ proptest! {
         prop_assert_eq!(back.functions().len(), trace.functions().len());
         for (a, b) in trace.iter().zip(back.iter()) {
             prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn wptrace2_roundtrips_and_streams(steps in proptest::collection::vec(step(), 0..60)) {
+        let trace = record(&steps);
+        let mut buf = Vec::new();
+        write_trace2(&mut buf, &trace).unwrap();
+        let mut reader = TraceReader::open(Cursor::new(buf)).unwrap();
+        prop_assert_eq!(reader.len(), trace.len());
+        prop_assert_eq!(reader.markers(), trace.markers());
+        prop_assert_eq!(reader.functions().len(), trace.functions().len());
+        prop_assert_eq!(reader.threads().len(), trace.threads().len());
+        // Field-for-field comparison against the in-memory columns
+        // through the streaming cursor window.
+        let cols = trace.columns();
+        let n = reader.len();
+        let mut seen = 0usize;
+        reader.stream_range(0, n, |cur| {
+            for idx in cur.lo()..cur.hi() {
+                assert_eq!(cur.tid(idx), cols.tid(idx));
+                assert_eq!(cur.func(idx), cols.func(idx));
+                assert_eq!(cur.pc(idx), cols.pc(idx));
+                assert_eq!(cur.kind(idx), cols.kind(idx));
+                assert_eq!(cur.reg_reads(idx), cols.reg_reads(idx));
+                assert_eq!(cur.reg_writes(idx), cols.reg_writes(idx));
+                assert_eq!(cur.mem_reads(idx), cols.mem_reads(idx));
+                assert_eq!(cur.mem_writes(idx), cols.mem_writes(idx));
+                seen += 1;
+            }
+        }).unwrap();
+        prop_assert_eq!(seen, trace.len());
+    }
+
+    #[test]
+    fn corrupt_wptrace1_never_panics(
+        steps in proptest::collection::vec(step(), 0..30),
+        flip_at in 0usize..1000,
+        flip_to in any::<u8>(),
+        trunc_at in 0usize..1000,
+        truncate in any::<bool>(),
+    ) {
+        let trace = record(&steps);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        if truncate {
+            buf.truncate(buf.len() * trunc_at / 1000);
+        } else if !buf.is_empty() {
+            let idx = (buf.len() - 1) * flip_at / 1000;
+            buf[idx] = flip_to;
+        }
+        // The hardening contract: any corruption yields Ok (the flip
+        // happened to stay valid) or a typed error — never a panic, and
+        // never an allocation beyond what the remaining bytes justify.
+        let _ = read_trace(&mut buf.as_slice());
+    }
+
+    #[test]
+    fn corrupt_wptrace2_never_panics(
+        steps in proptest::collection::vec(step(), 0..30),
+        flip_at in 0usize..1000,
+        flip_to in any::<u8>(),
+        trunc_at in 0usize..1000,
+        truncate in any::<bool>(),
+    ) {
+        let trace = record(&steps);
+        let mut buf = Vec::new();
+        write_trace2(&mut buf, &trace).unwrap();
+        if truncate {
+            buf.truncate(buf.len() * trunc_at / 1000);
+        } else if !buf.is_empty() {
+            let idx = (buf.len() - 1) * flip_at / 1000;
+            buf[idx] = flip_to;
+        }
+        // Open validates the trailer and footer; if that survives the
+        // corruption, every chunk decode must still be bounds-checked.
+        if let Ok(mut reader) = TraceReader::open(Cursor::new(buf)) {
+            let n = reader.len();
+            let _ = reader.stream_range(0, n, |_| {});
+            let _ = reader.read_to_trace();
         }
     }
 

@@ -6,6 +6,7 @@
 #
 #   scripts/bench.sh [--smoke] [N]
 #   scripts/bench.sh --slice-scaling
+#   scripts/bench.sh --out-of-core [SYNTH_INSTRS]
 #
 # --smoke uses 2 threads for the parallel run and skips nothing else — it
 # exists so scripts/check.sh can exercise the harness end to end without
@@ -17,8 +18,25 @@
 # writes results/BENCH_3.json: the per-stage table before the
 # segment-parallel slicer (BENCH_2's "after"), the current per-stage table
 # at 1 thread, and the slices-stage wall time at each thread count.
+#
+# --out-of-core runs the WPTRACE2 streaming bench (DESIGN.md §10): every
+# canonical session serialized to the chunked compressed tier, sliced
+# streamed at K ∈ {1, 8} segments, and asserted equal to the in-memory
+# SliceResult; then a synthetic session (default 10⁹ instructions —
+# override with SYNTH_INSTRS) is generated straight to disk and sliced
+# with bounded RSS. Writes results/BENCH_6.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--out-of-core" ]]; then
+    SYNTH="${2:-1000000000}"
+    echo "== building release out-of-core bench =="
+    cargo build --release --quiet -p wasteprof-bench
+    echo "== out-of-core streaming bench (synthetic: $SYNTH instrs) =="
+    ./target/release/out_of_core --synthetic-instrs "$SYNTH"
+    echo "wrote results/BENCH_6.json"
+    exit 0
+fi
 
 if [[ "${1:-}" == "--slice-scaling" ]]; then
     echo "== building release engine =="

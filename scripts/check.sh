@@ -49,6 +49,16 @@ target/release/trace_tool check "$smoke_trace"
 echo "== certifier smoke (witnessed slice certifies clean) =="
 target/release/trace_tool certify "$smoke_trace"
 
+echo "== out-of-core smoke (convert, streamed slice identical, streamed certify) =="
+trap 'rm -f "$smoke_trace" "$smoke_trace.2"' EXIT
+target/release/trace_tool convert "$smoke_trace" "$smoke_trace.2"
+diff <(target/release/trace_tool slice "$smoke_trace") \
+    <(target/release/trace_tool slice "$smoke_trace.2" --out-of-core)
+diff <(target/release/trace_tool slice "$smoke_trace" --criteria syscalls) \
+    <(target/release/trace_tool slice "$smoke_trace.2" --criteria syscalls --out-of-core)
+target/release/trace_tool check "$smoke_trace.2" --out-of-core
+target/release/trace_tool certify "$smoke_trace.2" --segments 8 --out-of-core
+
 echo "== rustdoc (no warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
