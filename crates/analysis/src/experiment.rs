@@ -148,7 +148,7 @@ pub fn thread_rows(trace: &Trace, result: &SliceResult) -> Vec<ThreadRow> {
 }
 
 /// [`thread_rows`] from a bare thread table — the out-of-core path has a
-/// `WPTRACE2` footer (and thus a [`ThreadTable`]) but never a full
+/// `WPTRACE2` footer (and thus a [`ThreadTable`](wasteprof_trace::ThreadTable)) but never a full
 /// in-memory [`Trace`].
 pub fn thread_rows_from(
     threads: &wasteprof_trace::ThreadTable,

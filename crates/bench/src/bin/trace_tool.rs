@@ -16,30 +16,47 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::Path;
 
 use wasteprof_analysis::{format_count, thread_rows, thread_rows_from, TextTable};
 use wasteprof_slicer::{
     pixel_criteria, pixel_criteria_streamed, slice, slice_streamed, syscall_criteria,
-    syscall_criteria_streamed, Criteria, ForwardPass, SliceOptions, SliceResult,
+    syscall_criteria_streamed, Criteria, ForwardPass, SliceOptions, SliceResult, SummaryCache,
 };
 use wasteprof_trace::{
     read_trace, write_trace, write_trace2, Trace, TraceIoError, TracePos, TraceReader,
 };
-use wasteprof_workloads::Benchmark;
+use wasteprof_workloads::{bing_frames, Benchmark};
+
+/// Summary-cache byte budget for the CLI (the library default).
+const CACHE_BUDGET: u64 = 256 << 20;
 
 /// One consolidated usage table for every subcommand; all usage errors —
 /// including unknown flags anywhere — exit 2.
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
-         trace_tool export  <amazon_desktop|amazon_mobile|maps|bing> <file>\n  \
+         trace_tool export  <amazon_desktop|amazon_mobile|maps|bing> <file> [--frames N]\n  \
          trace_tool convert <in.wptrace> <out.wptrace2>\n  \
          trace_tool inspect <file> [--head N]\n  \
-         trace_tool slice   <file> [--criteria pixels|syscalls] [--out-of-core]\n  \
+         trace_tool slice   <file> [shared flags] [--incremental] [--cache-dir DIR | --no-cache]\n  \
          trace_tool check   <file> [--json] [--max-diags N] [--out-of-core]\n  \
-         trace_tool certify <file> [--criteria pixels|syscalls] [--segments K] [--json] [--out-of-core]\n\n\
-         `--out-of-core` reads a WPTRACE2 file produced by `convert`,\n  \
-         streaming bounded chunks instead of loading the whole trace.\n\n\
+         trace_tool certify <file> [shared flags] [--json]\n\n\
+         shared flags:\n  \
+         flag                  slice  check  certify  convert   meaning\n  \
+         --criteria p|s        yes    -      yes      -         pixels (default) or syscalls\n  \
+         --segments K          yes    -      yes      -         parallel slice segments (0 = auto)\n  \
+         --out-of-core         yes    yes    yes      (output)  stream a WPTRACE2 file from `convert`\n  \
+         --json                -      yes    yes      -         machine-readable diagnostics\n\n\
+         incremental slicing (`slice` only):\n  \
+         --incremental         slice through the segment-summary cache; output is\n  \
+                               byte-identical to a from-scratch slice, cache stats\n  \
+                               go to stderr\n  \
+         --cache-dir DIR       load the summary cache from DIR before slicing and\n  \
+                               persist it back after (DIR is created on save)\n  \
+         --no-cache            keep the cache transient (excludes --cache-dir)\n\n\
+         `export --frames N` (bing only) records an N-frame browse session and\n  \
+         writes one WPTRACE1 file per frame: <file>.f0 ... <file>.f{{N-1}}.\n\n\
          exit codes: 0 clean / success, 1 findings or I/O error, 2 usage error"
     );
     std::process::exit(2);
@@ -113,22 +130,54 @@ fn main() {
             let (Some(name), Some(path)) = (args.get(1), args.get(2)) else {
                 usage()
             };
-            if args.len() > 3 {
-                usage();
+            let mut frames: Option<usize> = None;
+            let mut rest = args[3..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--frames" => {
+                        frames = Some(
+                            rest.next()
+                                .and_then(|v| v.parse().ok())
+                                .filter(|&n| n > 0)
+                                .unwrap_or_else(|| usage()),
+                        );
+                    }
+                    _ => usage(),
+                }
             }
             let benchmark = Benchmark::ALL
                 .into_iter()
                 .find(|b| b.short_name() == name)
                 .unwrap_or_else(|| usage());
-            eprintln!("running {}...", benchmark.label());
-            let session = benchmark.run();
-            let file = File::create(path).expect("create output file");
-            write_trace(&mut BufWriter::new(file), &session.trace).expect("serialize");
-            println!(
-                "wrote {} instructions ({} markers) to {path}",
-                format_count(session.trace.len() as u64),
-                session.trace.markers().len()
-            );
+            if let Some(n) = frames {
+                // Frame export is a Bing feature: the multi-frame browse
+                // generator scripts that benchmark's interactions.
+                if benchmark != Benchmark::Bing {
+                    usage();
+                }
+                eprintln!("running {} ({n} frames)...", benchmark.label());
+                let fs = bing_frames(n);
+                for k in 0..fs.frames() {
+                    let frame = fs.frame_trace(k);
+                    let out = format!("{path}.f{k}");
+                    let file = File::create(&out).expect("create output file");
+                    write_trace(&mut BufWriter::new(file), &frame).expect("serialize");
+                    println!(
+                        "wrote {} instructions to {out}",
+                        format_count(frame.len() as u64)
+                    );
+                }
+            } else {
+                eprintln!("running {}...", benchmark.label());
+                let session = benchmark.run();
+                let file = File::create(path).expect("create output file");
+                write_trace(&mut BufWriter::new(file), &session.trace).expect("serialize");
+                println!(
+                    "wrote {} instructions ({} markers) to {path}",
+                    format_count(session.trace.len() as u64),
+                    session.trace.markers().len()
+                );
+            }
         }
         Some("convert") => {
             let (Some(input), Some(output)) = (args.get(1), args.get(2)) else {
@@ -217,17 +266,85 @@ fn main() {
             let Some(path) = args.get(1) else { usage() };
             let mut syscalls = false;
             let mut out_of_core = false;
+            let mut incremental = false;
+            let mut no_cache = false;
+            let mut segments = 0usize;
+            let mut cache_dir: Option<String> = None;
             let mut rest = args[2..].iter();
             while let Some(arg) = rest.next() {
                 match arg.as_str() {
                     "--criteria" => syscalls = parse_criteria(rest.next()),
                     "--out-of-core" => out_of_core = true,
+                    "--incremental" => incremental = true,
+                    "--no-cache" => no_cache = true,
+                    "--cache-dir" => {
+                        cache_dir = Some(rest.next().cloned().unwrap_or_else(|| usage()));
+                    }
+                    "--segments" => {
+                        segments = rest
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage());
+                    }
                     _ => usage(),
                 }
             }
-            let (result, rows) = if out_of_core {
+            // Cache flags only make sense for the incremental engine, and
+            // a persisted cache cannot also be transient.
+            if (cache_dir.is_some() || no_cache) && !incremental {
+                usage();
+            }
+            if cache_dir.is_some() && no_cache {
+                usage();
+            }
+            let opts = SliceOptions {
+                segments,
+                ..Default::default()
+            };
+            let (result, rows) = if incremental {
+                let mut cache = match &cache_dir {
+                    Some(dir) => SummaryCache::load(Path::new(dir), CACHE_BUDGET),
+                    None => SummaryCache::new(),
+                };
+                let (result, rows) = if out_of_core {
+                    let mut reader = open_reader(path);
+                    let criteria = streamed_criteria(&mut reader, syscalls);
+                    let result = stream_ok(cache.slice_streamed(&mut reader, &criteria, &opts));
+                    let rows = thread_rows_from(reader.threads(), &result);
+                    (result, rows)
+                } else {
+                    let trace = load(path);
+                    let criteria = if syscalls {
+                        syscall_criteria(&trace)
+                    } else {
+                        pixel_criteria(&trace)
+                    };
+                    let result = cache.slice(&trace, &criteria, &opts);
+                    let rows = thread_rows(&trace, &result);
+                    (result, rows)
+                };
+                // Stats go to stderr so stdout stays diffable against a
+                // from-scratch slice.
+                let s = cache.stats();
+                eprintln!(
+                    "cache: {} hits, {} misses ({:.0}% hit rate), \
+                     {} stitch states reused, {} evictions",
+                    s.hits,
+                    s.misses,
+                    s.hit_rate() * 100.0,
+                    s.stitch_reused,
+                    s.evictions
+                );
+                if let Some(dir) = &cache_dir {
+                    if let Err(e) = cache.save(Path::new(dir)) {
+                        eprintln!("cannot persist cache to {dir}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+                (result, rows)
+            } else if out_of_core {
                 let mut reader = open_reader(path);
-                let result = slice_out_of_core(&mut reader, syscalls, &SliceOptions::default());
+                let result = slice_out_of_core(&mut reader, syscalls, &opts);
                 let rows = thread_rows_from(reader.threads(), &result);
                 (result, rows)
             } else {
@@ -238,7 +355,7 @@ fn main() {
                 } else {
                     pixel_criteria(&trace)
                 };
-                let result = slice(&trace, &forward, &criteria, &SliceOptions::default());
+                let result = slice(&trace, &forward, &criteria, &opts);
                 let rows = thread_rows(&trace, &result);
                 (result, rows)
             };

@@ -35,10 +35,11 @@ use wasteprof_analysis::{
 use wasteprof_browser::{BrowserConfig, Session, Tab};
 use wasteprof_gfx::CompositorConfig;
 use wasteprof_slicer::{
-    pixel_criteria, slice, syscall_criteria, ForwardPass, SliceOptions, SliceResult,
+    pixel_criteria, slice, syscall_criteria, CacheStats, ForwardPass, SegmentHashes, SliceOptions,
+    SliceResult, SummaryCache,
 };
 use wasteprof_trace::{ThreadKind, TracePos};
-use wasteprof_workloads::{Benchmark, SiteSpec};
+use wasteprof_workloads::{bing_frames, Benchmark, SiteSpec};
 
 fn idx(b: Benchmark) -> usize {
     Benchmark::ALL
@@ -151,6 +152,17 @@ impl SessionStore {
             witness: self.slice_witness,
             ..Default::default()
         }
+    }
+
+    /// Fingerprint of the slice configuration every memoized slice in
+    /// this store was computed under
+    /// ([`SliceOptions::config_fingerprint`]). The `OnceLock` cells are
+    /// implicitly keyed by it: results from stores with different
+    /// fingerprints are not interchangeable (except for the documented
+    /// `segments` invariance), and the engine report records it so a
+    /// perf artifact can be traced back to its exact slice config.
+    pub fn slice_fingerprint(&self) -> u64 {
+        self.slice_options().config_fingerprint()
     }
 
     /// Computation counters.
@@ -342,6 +354,13 @@ pub struct EngineOptions {
     /// certifier over the pixel and syscall slices of all six sessions,
     /// emitting `results/certify.txt`.
     pub certify_slices: bool,
+    /// Drive the incremental slicing tier (the content-addressed
+    /// [`SummaryCache`]) over this many Bing browse frames plus one
+    /// steady-state re-slice, reporting reuse counters as an engine
+    /// stage in `perf.txt` / `bench_engine.json`. `0` disables the
+    /// stage. This produces no `results/` artifact, so the determinism
+    /// contract is untouched.
+    pub incremental_frames: usize,
 }
 
 impl Default for EngineOptions {
@@ -352,6 +371,7 @@ impl Default for EngineOptions {
             table2_criteria_both: true,
             verify_traces: true,
             certify_slices: true,
+            incremental_frames: 3,
         }
     }
 }
@@ -971,6 +991,12 @@ pub struct EngineReport {
     pub forward_builds: u32,
     /// Backward slices computed.
     pub slices_run: u32,
+    /// [`SliceOptions::config_fingerprint`] of the store's slice config —
+    /// the key every memoized slice (and summary-cache entry) was
+    /// computed under.
+    pub slice_fingerprint: u64,
+    /// Summary-cache counters from the incremental stage, when it ran.
+    pub incremental: Option<CacheStats>,
 }
 
 impl EngineReport {
@@ -1004,6 +1030,22 @@ impl EngineReport {
             "store computations: {} sessions, {} forward passes, {} slices\n",
             self.sessions_run, self.forward_builds, self.slices_run
         ));
+        out.push_str(&format!(
+            "slice config fingerprint: {:#018x}\n",
+            self.slice_fingerprint
+        ));
+        if let Some(c) = &self.incremental {
+            out.push_str(&format!(
+                "incremental cache: {} hits, {} misses ({:.0}% hit rate), \
+                 {} stitch states reused, {} evictions, {} bytes held\n",
+                c.hits,
+                c.misses,
+                c.hit_rate() * 100.0,
+                c.stitch_reused,
+                c.evictions,
+                c.bytes_held
+            ));
+        }
         out
     }
 
@@ -1036,8 +1078,26 @@ impl EngineReport {
             "    \"forward_builds\": {},\n",
             self.forward_builds
         ));
-        out.push_str(&format!("    \"slices_run\": {}\n", self.slices_run));
-        out.push_str("  }\n}\n");
+        out.push_str(&format!("    \"slices_run\": {},\n", self.slices_run));
+        out.push_str(&format!(
+            "    \"slice_fingerprint\": \"{:#018x}\"\n",
+            self.slice_fingerprint
+        ));
+        out.push_str("  }");
+        if let Some(c) = &self.incremental {
+            out.push_str(&format!(
+                ",\n  \"incremental\": {{\"hits\": {}, \"misses\": {}, \
+                 \"hit_rate\": {:.4}, \"stitch_reused\": {}, \"evictions\": {}, \
+                 \"bytes_held\": {}}}",
+                c.hits,
+                c.misses,
+                c.hit_rate(),
+                c.stitch_reused,
+                c.evictions,
+                c.bytes_held
+            ));
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -1347,6 +1407,45 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
         )
     });
 
+    // Stage 3c (optional): the incremental slicing tier. Drives the
+    // content-addressed summary cache over a short multi-frame Bing
+    // browse sequence — each frame extends the previous one by one
+    // interaction, hashes are maintained via
+    // [`SegmentHashes::extend_appended`] — then re-slices the final
+    // frame once to exercise the steady-state (fully warm) path. Only
+    // reuse counters and timing are reported; no `results/` artifact, so
+    // determinism comparisons are untouched.
+    let incremental_stats = (opts.incremental_frames > 0).then(|| {
+        let t = Instant::now();
+        let fs = bing_frames(opts.incremental_frames);
+        let mut cache = SummaryCache::new();
+        let sopts = SliceOptions::default();
+        let mut hashes: Option<SegmentHashes> = None;
+        let mut instructions = 0u64;
+        for k in 0..fs.frames() {
+            let frame = fs.frame_trace(k);
+            let h = match &hashes {
+                None => SegmentHashes::compute(&frame),
+                Some(prev) => prev.extend_appended(&frame),
+            };
+            cache.slice_with_hashes(&frame, &h, &pixel_criteria(&frame), &sopts);
+            instructions += frame.len() as u64;
+            hashes = Some(h);
+        }
+        let last = fs.frame_trace(fs.frames() - 1);
+        let h = hashes.expect("at least one frame");
+        cache.slice_with_hashes(&last, &h, &pixel_criteria(&last), &sopts);
+        instructions += last.len() as u64;
+        stages.push(StageReport {
+            name: "incremental",
+            items: fs.frames() + 1,
+            instructions,
+            trace_bytes: fs.session.trace.storage_bytes(),
+            wall: t.elapsed(),
+        });
+        cache.stats()
+    });
+
     // Stage 4: the experiment views. Everything shared is already in the
     // store; views only format and run their unique extra work.
     type ViewFn = fn(&SessionStore, &EngineOptions) -> View;
@@ -1382,6 +1481,8 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
         sessions_run: store.stats().sessions_run(),
         forward_builds: store.stats().forward_builds(),
         slices_run: store.stats().slices_run(),
+        slice_fingerprint: store.slice_fingerprint(),
+        incremental: incremental_stats,
     }
 }
 
@@ -1410,5 +1511,29 @@ mod tests {
         assert_eq!(store.stats().sessions_run(), 1);
         assert_eq!(store.stats().forward_builds(), 1);
         assert_eq!(store.stats().slices_run(), 1);
+    }
+
+    /// The store's memo cells are keyed by its slice config: identical
+    /// configs share a fingerprint, any perturbation changes it.
+    #[test]
+    fn store_fingerprint_tracks_slice_config() {
+        let a = SessionStore::with_slice_config(4, true);
+        let b = SessionStore::with_slice_config(4, true);
+        assert_eq!(a.slice_fingerprint(), b.slice_fingerprint());
+        assert_ne!(
+            a.slice_fingerprint(),
+            SessionStore::with_slice_config(2, true).slice_fingerprint(),
+            "segment cap must be part of the fingerprint"
+        );
+        assert_ne!(
+            a.slice_fingerprint(),
+            SessionStore::with_slice_config(4, false).slice_fingerprint(),
+            "witness emission must be part of the fingerprint"
+        );
+        assert_eq!(
+            SessionStore::new().slice_fingerprint(),
+            SliceOptions::default().config_fingerprint(),
+            "a default store slices under the default config"
+        );
     }
 }

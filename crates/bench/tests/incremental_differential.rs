@@ -1,0 +1,77 @@
+//! Differential test for the incremental slicer on the real workloads:
+//! for every canonical engine session, the pixel slice computed through
+//! a *shared* [`SummaryCache`] must equal the from-scratch slicer
+//! exactly at forced segment counts K ∈ {1, 8} (`SliceResult` equality
+//! is structural over bitmap, counts, per-thread/per-function stats,
+//! and the checkpoint timeline).
+//!
+//! One cache instance serves all sessions and both configs on purpose:
+//! summary keys must separate distinct traces (content hashes) and
+//! distinct slice configs (`SliceOptions::config_fingerprint`), so a
+//! collision anywhere shows up as a divergence here.
+
+use wasteprof_bench::engine::{SessionKey, SessionStore};
+use wasteprof_slicer::{pixel_criteria, slice, SliceOptions, SummaryCache};
+use wasteprof_workloads::Benchmark;
+
+#[test]
+fn incremental_slices_match_from_scratch_on_all_sessions() {
+    let store = SessionStore::new();
+    let sessions = [
+        SessionKey::Base(Benchmark::AmazonDesktop),
+        SessionKey::Base(Benchmark::AmazonMobile),
+        SessionKey::Base(Benchmark::GoogleMaps),
+        SessionKey::Base(Benchmark::Bing),
+        SessionKey::Browse(Benchmark::AmazonDesktop),
+        SessionKey::Browse(Benchmark::GoogleMaps),
+    ];
+    // Six sessions x two configs of summaries outgrow the default
+    // ~256 MiB budget (the LRU would — correctly — evict, which is
+    // covered elsewhere); this test wants every entry retained so the
+    // final warm-re-slice assertion is deterministic.
+    let mut cache = SummaryCache::with_budget(2 << 30);
+    for key in sessions {
+        let session = store.session(key);
+        let trace = &session.trace;
+        let forward = store.forward_for(key);
+        let criteria = pixel_criteria(trace);
+        for k in [1usize, 8] {
+            let opts = SliceOptions {
+                segments: k,
+                ..Default::default()
+            };
+            let want = slice(trace, &forward, &criteria, &opts);
+            let got = cache.slice(trace, &criteria, &opts);
+            assert_eq!(
+                got,
+                want,
+                "{} incremental slice diverged at segments={k}",
+                key.label()
+            );
+        }
+    }
+
+    // The shared cache must have been an accelerator, not a bystander:
+    // re-slicing the *last* session it saw is fully warm. (An earlier
+    // session would not be: sessions sharing a content prefix but
+    // differing in their dynamic CFGs — base vs browse — overwrite each
+    // other's entries for the shared segments, and the per-lookup
+    // control-dependence validation then correctly refuses the stored
+    // summary rather than serve one computed under the other CFG.)
+    let key = SessionKey::Browse(Benchmark::GoogleMaps);
+    let session = store.session(key);
+    let criteria = pixel_criteria(&session.trace);
+    let opts = SliceOptions {
+        segments: 8,
+        ..Default::default()
+    };
+    cache.reset_stats();
+    let again = cache.slice(&session.trace, &criteria, &opts);
+    assert_eq!(
+        again,
+        slice(&session.trace, &store.forward_for(key), &criteria, &opts)
+    );
+    let s = cache.stats();
+    assert!(s.hits > 0, "warm re-slice should reuse summaries: {s:?}");
+    assert_eq!(s.misses, 0, "warm re-slice should be all hits: {s:?}");
+}

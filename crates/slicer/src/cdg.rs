@@ -202,6 +202,18 @@ impl<C: Clone> PendingTransfer<C> {
     pub(crate) fn entries(&self) -> impl Iterator<Item = (&PendKey, &C)> {
         self.entries.iter()
     }
+
+    /// Iterates over the structurally-cleared `(tid, func)` pairs
+    /// (cache serialization walks these; order is irrelevant).
+    pub(crate) fn cleared_entries(&self) -> impl Iterator<Item = &(ThreadId, FuncId)> {
+        self.cleared.iter()
+    }
+
+    /// Marks `(tid, func)` cleared without touching tracked entries —
+    /// the deserialization counterpart of [`Self::cleared_entries`].
+    pub(crate) fn mark_cleared(&mut self, tid: ThreadId, func: FuncId) {
+        self.cleared.insert((tid, func));
+    }
 }
 
 #[cfg(test)]

@@ -126,7 +126,7 @@ impl Cfg {
 }
 
 /// Per-thread, per-frame cursor used while folding the trace into CFGs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Frame {
     func: FuncId,
     last: Option<NodeId>,
@@ -137,7 +137,12 @@ struct Frame {
 /// one cursor over an in-memory trace or by a sequence of streamed chunk
 /// cursors. Both drivers execute the identical per-instruction step, so
 /// the resulting CFGs are equal by construction.
-#[derive(Debug, Default)]
+/// `Clone` lets the incremental engine checkpoint the fold mid-trace: a
+/// cloned builder resumes from a segment boundary, so appending a frame
+/// re-folds only the new tail. Edge insertion is first-observation-order
+/// sensitive, but windows always arrive in trace order, so a resumed
+/// clone produces the same `CfgSet` as a from-scratch fold.
+#[derive(Debug, Default, Clone)]
 pub(crate) struct CfgBuilder {
     cfgs: HashMap<FuncId, Cfg>,
     stacks: HashMap<ThreadId, Vec<Frame>>,

@@ -51,6 +51,7 @@
 mod cdg;
 mod cfg;
 mod criteria;
+mod incremental;
 mod live;
 mod parallel;
 mod postdom;
@@ -63,6 +64,7 @@ pub use criteria::{
     pixel_criteria, pixel_criteria_streamed, syscall_criteria, syscall_criteria_streamed, Criteria,
     SlicingCriterion,
 };
+pub use incremental::{CacheStats, SegmentHashes, SummaryCache};
 pub use live::{AddrSet, IntervalSet, LiveState};
 pub use postdom::PostDoms;
 pub use slice::{slice, slice_streamed, ForwardPass, SliceOptions, SliceResult, TimelinePoint};

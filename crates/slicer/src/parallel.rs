@@ -57,22 +57,22 @@ use crate::slice::{
 };
 
 /// Thread-slot count, mirroring the sequential pass's dense tables.
-const NTHREADS: usize = 256;
+pub(crate) const NTHREADS: usize = 256;
 /// Register-file width per thread ([`RegSet`] is a 16-bit mask).
-const NREGS: usize = 16;
+pub(crate) const NREGS: usize = 16;
 /// Per-segment cap on condition-graph nodes. A summary bigger than this
 /// would make the sequential stitch phase the bottleneck anyway, so the
 /// pass bails out to the reference walk instead of degrading.
 const MAX_NODES: usize = 1 << 22;
 
-type NodeId = u32;
+pub(crate) type NodeId = u32;
 
 /// One condition-graph node: a predicate over the segment's incoming
 /// boundary state. Atoms are created at the moment the symbolic scan
 /// consults an unknown, `Or`s when two conditions merge, so ids are in
 /// dependency order and one forward pass evaluates the whole graph.
 #[derive(Debug, Clone, Copy)]
-enum Node {
+pub(crate) enum Node {
     /// Boundary live memory intersects this range.
     Mem(AddrRange),
     /// Boundary live registers of the thread intersect this set.
@@ -89,7 +89,7 @@ enum Node {
 /// A tri-state condition: statically false, statically true (concrete),
 /// or dependent on the boundary via a graph node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Cond {
+pub(crate) enum Cond {
     False,
     True,
     Node(NodeId),
@@ -97,7 +97,7 @@ enum Cond {
 
 /// Symbolic liveness of one register of one thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RegCell {
+pub(crate) enum RegCell {
     /// No in-segment event touched it: boundary liveness passes through.
     Untouched,
     /// Killed by a write; boundary liveness is masked.
@@ -112,7 +112,7 @@ enum RegCell {
 /// One conditionally-live memory span `[start, end)`. `atom` marks spans
 /// whose *boundary* liveness also passes through (the span was never
 /// killed below the point that made it conditional).
-type Span = (u64, u64, bool, NodeId);
+pub(crate) type Span = (u64, u64, bool, NodeId);
 
 /// Per-thread frame state of one segment's symbolic scan: frames opened
 /// inside the segment (`local`, from `Ret`s) stacked on top of the frames
@@ -122,65 +122,95 @@ type Span = (u64, u64, bool, NodeId);
 /// whose `any_slice` flag is only known at stitch time — `Frame` atoms
 /// stand in for it, OR-ed with in-segment marks (`bnd_marks`).
 #[derive(Debug, Clone, Default)]
-struct SegFrames {
-    local: Vec<(FuncId, Cond)>,
-    bnd_funcs: Vec<FuncId>,
-    bnd_popped: usize,
-    bnd_marks: Vec<Cond>,
+pub(crate) struct SegFrames {
+    pub(crate) local: Vec<(FuncId, Cond)>,
+    pub(crate) bnd_funcs: Vec<FuncId>,
+    pub(crate) bnd_popped: usize,
+    pub(crate) bnd_marks: Vec<Cond>,
 }
 
 /// Everything phase 2 needs to know about one segment.
-struct SegSummary {
-    lo: usize,
-    hi: usize,
-    nodes: Vec<Node>,
+///
+/// Apart from `lo`/`hi`, every field is *position-independent*: bitmap
+/// words and `members` indices are segment-relative, and the symbolic
+/// transfer sets speak in addresses, registers, and static locations.
+/// The incremental cache relies on this to reuse a summary after the
+/// segment's absolute position shifts (it only rewrites `lo`/`hi`).
+#[derive(Debug, Clone)]
+pub(crate) struct SegSummary {
+    pub(crate) lo: usize,
+    pub(crate) hi: usize,
+    pub(crate) nodes: Vec<Node>,
     /// Concrete slice members (∅-seeded), one bit per instruction,
     /// word 0 = instructions `[lo, lo+64)`.
-    bitmap: Vec<u64>,
+    pub(crate) bitmap: Vec<u64>,
     /// Conditional members: `(idx - lo, node)`.
-    members: Vec<(u32, NodeId)>,
+    pub(crate) members: Vec<(u32, NodeId)>,
     /// Concretely live memory at the segment's lower boundary.
-    conc_mem: AddrSet,
+    pub(crate) conc_mem: AddrSet,
     /// Bytes the segment wrote or made concretely/conditionally live:
     /// boundary liveness of everything *outside* passes through.
-    touched: AddrSet,
+    pub(crate) touched: AddrSet,
     /// Conditionally live memory spans at the lower boundary.
-    cond_mem: Vec<Span>,
+    pub(crate) cond_mem: Vec<Span>,
     /// Concretely live registers per thread slot.
-    conc_regs: Vec<RegSet>,
+    pub(crate) conc_regs: Vec<RegSet>,
     /// Symbolic register cells, `NREGS` per thread slot.
-    reg_cells: Vec<RegCell>,
-    pend: PendingTransfer<Cond>,
-    frames: Vec<SegFrames>,
+    pub(crate) reg_cells: Vec<RegCell>,
+    pub(crate) pend: PendingTransfer<Cond>,
+    pub(crate) frames: Vec<SegFrames>,
 }
 
 /// Exact state at a segment boundary, computed by the stitch phase.
-struct BoundaryState {
-    mem: AddrSet,
-    regs: Vec<RegSet>,
-    pend: HashSet<PendKey, FibBuild>,
-    frames: Vec<Vec<(FuncId, bool)>>,
+///
+/// Position-independent (addresses, registers, pending keys, and frame
+/// stacks carry no trace indices), which is what lets the incremental
+/// stitch memo reuse one across runs whose absolute positions differ.
+#[derive(Debug, Clone)]
+pub(crate) struct BoundaryState {
+    pub(crate) mem: AddrSet,
+    pub(crate) regs: Vec<RegSet>,
+    pub(crate) pend: HashSet<PendKey, FibBuild>,
+    pub(crate) frames: Vec<Vec<(FuncId, bool)>>,
+}
+
+impl BoundaryState {
+    /// The state at the very end of the considered prefix: nothing live,
+    /// nothing pending, and the open-call frames captured there, all
+    /// flags down.
+    pub(crate) fn initial(stacks_at_end: &[Vec<FuncId>]) -> Self {
+        BoundaryState {
+            mem: AddrSet::new(),
+            regs: vec![RegSet::EMPTY; NTHREADS],
+            pend: HashSet::default(),
+            frames: stacks_at_end
+                .iter()
+                .map(|fs| fs.iter().map(|&f| (f, false)).collect())
+                .collect(),
+        }
+    }
 }
 
 /// A stitched segment, ready for parallel replay.
-struct Replay {
-    lo: usize,
-    hi: usize,
-    bitmap: Vec<u64>,
-    members: Vec<(u32, NodeId)>,
-    active: Vec<bool>,
+pub(crate) struct Replay {
+    pub(crate) lo: usize,
+    pub(crate) hi: usize,
+    pub(crate) bitmap: Vec<u64>,
+    pub(crate) members: Vec<(u32, NodeId)>,
+    pub(crate) active: Vec<bool>,
 }
 
 /// Per-segment replay output; `timeline` holds *local* cumulative counts
 /// keyed by global instruction index.
-struct SegFinal {
-    bitmap: Vec<u64>,
-    slice_count: u64,
-    per_thread: Vec<(u64, u64)>,
-    per_func: Vec<(u64, u64)>,
-    tracked_total: u64,
-    tracked_slice: u64,
-    timeline: Vec<(usize, TimelinePoint)>,
+#[derive(Clone)]
+pub(crate) struct SegFinal {
+    pub(crate) bitmap: Vec<u64>,
+    pub(crate) slice_count: u64,
+    pub(crate) per_thread: Vec<(u64, u64)>,
+    pub(crate) per_func: Vec<(u64, u64)>,
+    pub(crate) tracked_total: u64,
+    pub(crate) tracked_slice: u64,
+    pub(crate) timeline: Vec<(usize, TimelinePoint)>,
 }
 
 /// Runs the segment-parallel pass with `k` requested segments. Returns
@@ -210,10 +240,7 @@ pub(crate) fn run(
     if branch_writes {
         return None;
     }
-    let init_frames: Vec<Vec<(FuncId, bool)>> = stacks[nsegs - 1]
-        .iter()
-        .map(|fs| fs.iter().map(|&f| (f, false)).collect())
-        .collect();
+    let init = BoundaryState::initial(&stacks[nsegs - 1]);
 
     let deps = forward.control_deps();
     let items = criteria.items();
@@ -269,12 +296,7 @@ pub(crate) fn run(
     };
 
     // Phase 2: sequential stitch from the trace end.
-    let mut state = BoundaryState {
-        mem: AddrSet::new(),
-        regs: vec![RegSet::EMPTY; NTHREADS],
-        pend: HashSet::default(),
-        frames: init_frames,
-    };
+    let mut state = init;
     let mut replays: Vec<Replay> = Vec::with_capacity(nsegs);
     while let Some(sum) = summaries.pop() {
         let (next, replay) = stitch(sum, &state);
@@ -325,10 +347,7 @@ pub(crate) fn run_streamed<R: Read + Seek>(
     if branch_writes {
         return Ok(None);
     }
-    let init_frames: Vec<Vec<(FuncId, bool)>> = stacks[nsegs - 1]
-        .iter()
-        .map(|fs| fs.iter().map(|&f| (f, false)).collect())
-        .collect();
+    let init = BoundaryState::initial(&stacks[nsegs - 1]);
 
     let deps = forward.control_deps();
     let items = criteria.items();
@@ -360,12 +379,7 @@ pub(crate) fn run_streamed<R: Read + Seek>(
     }
 
     // Phase 2: sequential stitch from the trace end (no trace access).
-    let mut state = BoundaryState {
-        mem: AddrSet::new(),
-        regs: vec![RegSet::EMPTY; NTHREADS],
-        pend: HashSet::default(),
-        frames: init_frames,
-    };
+    let mut state = init;
     let mut replays: Vec<Replay> = Vec::with_capacity(nsegs);
     while let Some(sum) = summaries.pop() {
         let (next, replay) = stitch(sum, &state);
@@ -389,7 +403,12 @@ pub(crate) fn run_streamed<R: Read + Seek>(
 /// per-segment bitmaps into place (boundaries are 64-aligned, so words
 /// never straddle segments), sums the counters, and rebuilds the global
 /// cumulative timeline from per-segment local counts.
-fn assemble(n: usize, nfuncs: usize, replays: &[Replay], finals: Vec<SegFinal>) -> SliceResult {
+pub(crate) fn assemble(
+    n: usize,
+    nfuncs: usize,
+    replays: &[Replay],
+    finals: Vec<SegFinal>,
+) -> SliceResult {
     let mut bitmap = vec![0u64; n.div_ceil(64)];
     let mut per_thread = vec![(0u64, 0u64); NTHREADS];
     let mut per_func = vec![(0u64, 0u64); nfuncs];
@@ -452,7 +471,7 @@ fn assemble(n: usize, nfuncs: usize, replays: &[Replay], finals: Vec<SegFinal>) 
 /// point is exactly this, built from `Ret`s/`Call`s). Also verifies that
 /// no branch carries write effects. Cursor-fed so the walk works equally
 /// over a resident trace or a sequence of streamed disk chunks.
-struct StructuralScan {
+pub(crate) struct StructuralScan {
     bounds: Vec<usize>,
     stacks: Vec<Vec<FuncId>>,
     out: Vec<Vec<Vec<FuncId>>>,
@@ -461,7 +480,7 @@ struct StructuralScan {
 }
 
 impl StructuralScan {
-    fn new(bounds: &[usize]) -> Self {
+    pub(crate) fn new(bounds: &[usize]) -> Self {
         StructuralScan {
             bounds: bounds.to_vec(),
             stacks: vec![Vec::new(); NTHREADS],
@@ -471,7 +490,20 @@ impl StructuralScan {
         }
     }
 
-    fn feed(&mut self, cur: &ColumnCursor<'_>) {
+    /// Resumes a scan from a checkpoint: the open-call stacks and
+    /// branch-write flag captured at `bounds[0]` by a previous scan, so
+    /// only the tail beyond the checkpoint needs feeding.
+    pub(crate) fn resume(bounds: &[usize], stacks: Vec<Vec<FuncId>>, branch_writes: bool) -> Self {
+        StructuralScan {
+            bounds: bounds.to_vec(),
+            stacks,
+            out: Vec::with_capacity(bounds.len().saturating_sub(1)),
+            bi: 1,
+            branch_writes,
+        }
+    }
+
+    pub(crate) fn feed(&mut self, cur: &ColumnCursor<'_>) {
         for idx in cur.lo()..cur.hi() {
             while self.bi < self.bounds.len() && self.bounds[self.bi] == idx {
                 self.out.push(self.stacks.clone());
@@ -493,7 +525,8 @@ impl StructuralScan {
         }
     }
 
-    fn finish(mut self) -> (Vec<Vec<Vec<FuncId>>>, bool) {
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn finish(mut self) -> (Vec<Vec<Vec<FuncId>>>, bool) {
         while self.bi < self.bounds.len() {
             self.out.push(self.stacks.clone());
             self.bi += 1;
@@ -512,7 +545,7 @@ fn structural_scan(cols: &Columns, n: usize, bounds: &[usize]) -> (Vec<Vec<Vec<F
 /// The symbolic backward scan of one segment (phase 1). Mirrors the
 /// sequential step logic exactly; every consultation of state that the
 /// boundary could influence goes through [`Cond`]s instead of booleans.
-struct Summarizer<'a> {
+pub(crate) struct Summarizer<'a> {
     lo: usize,
     hi: usize,
     deps: &'a ControlDeps,
@@ -540,7 +573,7 @@ struct Summarizer<'a> {
 }
 
 impl<'a> Summarizer<'a> {
-    fn new(
+    pub(crate) fn new(
         lo: usize,
         hi: usize,
         deps: &'a ControlDeps,
@@ -914,7 +947,7 @@ impl<'a> Summarizer<'a> {
     /// Feeds one backward window of the segment (a whole resident segment
     /// or one streamed disk chunk). Windows must arrive in descending
     /// index order, together covering exactly `[self.lo, self.hi)`.
-    fn feed(&mut self, cur: &ColumnCursor<'_>) {
+    pub(crate) fn feed(&mut self, cur: &ColumnCursor<'_>) {
         for idx in cur.rev_indices() {
             if self.overflow {
                 return;
@@ -1046,7 +1079,7 @@ impl<'a> Summarizer<'a> {
         }
     }
 
-    fn finish(self) -> Option<SegSummary> {
+    pub(crate) fn finish(self) -> Option<SegSummary> {
         if self.overflow {
             return None;
         }
@@ -1082,7 +1115,7 @@ fn cond_active(c: Cond, active: &[bool]) -> bool {
 /// Phase 2 step: evaluates one summary against the exact state at its
 /// upper boundary and produces the exact state at its lower boundary plus
 /// the replay inputs.
-fn stitch(sum: SegSummary, st: &BoundaryState) -> (BoundaryState, Replay) {
+pub(crate) fn stitch(sum: SegSummary, st: &BoundaryState) -> (BoundaryState, Replay) {
     // Nodes are in dependency order: one forward pass settles them all.
     let mut active = vec![false; sum.nodes.len()];
     for i in 0..sum.nodes.len() {
@@ -1190,7 +1223,7 @@ fn stitch(sum: SegSummary, st: &BoundaryState) -> (BoundaryState, Replay) {
 /// countdown would put them: global positions with
 /// `(n - idx) % interval == 0`, plus `idx == 0`. Cursor-fed (descending
 /// windows) for the same resident-or-streamed duality as [`Summarizer`].
-struct Finalizer {
+pub(crate) struct Finalizer {
     lo: usize,
     bitmap: Vec<u64>,
     per_thread: Vec<(u64, u64)>,
@@ -1205,7 +1238,13 @@ struct Finalizer {
 }
 
 impl Finalizer {
-    fn new(r: &Replay, n: usize, nfuncs: usize, interval: u64, tracked: ThreadId) -> Self {
+    pub(crate) fn new(
+        r: &Replay,
+        n: usize,
+        nfuncs: usize,
+        interval: u64,
+        tracked: ThreadId,
+    ) -> Self {
         let mut bitmap = r.bitmap.clone();
         for &(l, node) in &r.members {
             if r.active[node as usize] {
@@ -1230,7 +1269,7 @@ impl Finalizer {
         }
     }
 
-    fn feed(&mut self, cur: &ColumnCursor<'_>) {
+    pub(crate) fn feed(&mut self, cur: &ColumnCursor<'_>) {
         for idx in cur.rev_indices() {
             let tid = cur.tid(idx);
             let func = cur.func(idx);
@@ -1264,7 +1303,7 @@ impl Finalizer {
         }
     }
 
-    fn finish(self) -> SegFinal {
+    pub(crate) fn finish(self) -> SegFinal {
         SegFinal {
             bitmap: self.bitmap,
             slice_count: self.slice_count,

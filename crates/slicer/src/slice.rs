@@ -63,6 +63,14 @@ impl ForwardPass {
     pub fn control_deps(&self) -> &ControlDeps {
         &self.deps
     }
+
+    /// Builds the pass artifacts from an already-folded CFG set — the
+    /// incremental engine resumes the fold from a checkpoint and derives
+    /// the (whole-trace) control-dependence relation from the result.
+    pub(crate) fn from_cfgs(cfgs: CfgSet) -> Self {
+        let deps = ControlDeps::compute(&cfgs);
+        ForwardPass { cfgs, deps }
+    }
 }
 
 /// Options for one backward slicing run.
@@ -94,6 +102,29 @@ pub struct SliceOptions {
     /// `wasteprof-checker`. The table is identical at any segment count.
     /// Off by default (the experiment engine turns it on).
     pub witness: bool,
+}
+
+impl SliceOptions {
+    /// A fingerprint covering **every** public option field, used wherever
+    /// a computed slice is memoized against its configuration — the
+    /// incremental [`crate::SummaryCache`] key and the experiment engine's
+    /// session store both derive from this one function, so a new option
+    /// field added here (and to the perturbation unit test) can never be
+    /// silently ignored by one cache but honored by the other.
+    pub fn config_fingerprint(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = FibHasher::default();
+        // Field-order tags keep a value that migrates between fields from
+        // fingerprinting identically.
+        h.write_u64(0x5EED_C0F1_6001);
+        h.write_u8(self.end.is_some() as u8);
+        h.write_u64(self.end.map(|p| p.0).unwrap_or(0));
+        h.write_u64(self.timeline_interval);
+        h.write_u8(self.tracked_thread.0);
+        h.write_u64(self.segments as u64);
+        h.write_u8(self.witness as u8);
+        h.finish()
+    }
 }
 
 impl Default for SliceOptions {
@@ -330,7 +361,7 @@ pub fn slice(
 
 /// Runs the backward pass over a `WPTRACE2` stream, never holding more
 /// than a bounded window of decoded chunks: the exact per-instruction
-/// steps of [`slice`] driven by streamed cursors instead of one in-memory
+/// steps of [`slice()`] driven by streamed cursors instead of one in-memory
 /// cursor, so the result is byte-identical to the in-memory path at any
 /// segment count.
 ///
@@ -743,6 +774,60 @@ mod tests {
     fn run(trace: &Trace, criteria: &Criteria) -> SliceResult {
         let fwd = ForwardPass::build(trace);
         slice(trace, &fwd, criteria, &SliceOptions::default())
+    }
+
+    #[test]
+    fn config_fingerprint_perturbs_on_every_public_field() {
+        // One variant per public field of SliceOptions. When a field is
+        // added, this list must grow with it or the assertion below (kept
+        // in sync with the struct's field count) fails the build of this
+        // test, forcing the fingerprint to cover the new field.
+        let base = SliceOptions::default();
+        let variants = [
+            SliceOptions {
+                end: Some(TracePos(0)),
+                ..base.clone()
+            },
+            SliceOptions {
+                timeline_interval: 17,
+                ..base.clone()
+            },
+            SliceOptions {
+                tracked_thread: ThreadId(3),
+                ..base.clone()
+            },
+            SliceOptions {
+                segments: 8,
+                ..base.clone()
+            },
+            SliceOptions {
+                witness: true,
+                ..base.clone()
+            },
+        ];
+        let SliceOptions {
+            end: _,
+            timeline_interval: _,
+            tracked_thread: _,
+            segments: _,
+            witness: _,
+        } = &base; // exhaustive destructure: field count == variant count
+        assert_eq!(variants.len(), 5);
+
+        let f0 = base.config_fingerprint();
+        assert_eq!(f0, SliceOptions::default().config_fingerprint(), "stable");
+        let mut seen = vec![f0];
+        for (i, v) in variants.iter().enumerate() {
+            let f = v.config_fingerprint();
+            assert!(
+                !seen.contains(&f),
+                "variant {i} collides with an earlier fingerprint"
+            );
+            seen.push(f);
+        }
+        // None vs Some(end-of-trace 0) must differ even though both leave
+        // the considered prefix unchanged on an empty trace.
+        assert_ne!(f0, variants[0].config_fingerprint());
     }
 
     #[test]

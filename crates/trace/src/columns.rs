@@ -318,6 +318,37 @@ impl Columns {
         }
     }
 
+    /// A copy of the first `n` instructions' columns.
+    ///
+    /// Rows are pushed in order, so their arena entries form a prefix of
+    /// the shared operand arena; the copy truncates the arena right after
+    /// the last referenced entry, making the result identical to what
+    /// recording only those rows would have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the stored length.
+    pub(crate) fn prefix(&self, n: usize) -> Columns {
+        assert!(n <= self.len(), "prefix length out of bounds");
+        let arena_end = if n == 0 {
+            0
+        } else {
+            let m = self.mem[n - 1];
+            m.start as usize + m.nreads as usize + m.nwrites as usize
+        };
+        Columns {
+            kinds: self.kinds[..n].to_vec(),
+            kind_data: self.kind_data[..n].to_vec(),
+            tids: self.tids[..n].to_vec(),
+            funcs: self.funcs[..n].to_vec(),
+            pcs: self.pcs[..n].to_vec(),
+            reg_reads: self.reg_reads[..n].to_vec(),
+            reg_writes: self.reg_writes[..n].to_vec(),
+            mem: self.mem[..n].to_vec(),
+            arena: self.arena[..arena_end].to_vec(),
+        }
+    }
+
     /// Materializes the instruction at `idx` as an owned [`Instr`] view.
     ///
     /// Cheap for the common 0/1-operand shapes; only multi-operand

@@ -69,7 +69,7 @@ pub use pc::Pc;
 pub use reader::{write_trace2, Trace2Stats, Trace2Writer, TraceReader};
 pub use recorder::Recorder;
 pub use reg::{Reg, RegSet};
-pub use segment::{SegmentMeta, SEGMENT_LEN};
+pub use segment::{segment_content_hash, ContentHasher, SegmentMeta, SEGMENT_LEN};
 pub use syscall::Syscall;
 pub use thread::{ThreadId, ThreadInfo, ThreadKind, ThreadTable};
 pub use trace::{InstrDisplay, Instrs, KindHistogram, MarkerRecord, Trace};

@@ -32,7 +32,8 @@ use crate::io::{count_u32, thread_kind_from, thread_kind_tag, w_str, TraceIoErro
 use crate::pc::Pc;
 use crate::reg::RegSet;
 use crate::segment::{
-    decode_segment, encode_segment, SegmentMeta, MAGIC2, MAX_SEGMENT_INSTRS, SEGMENT_LEN, TRAILER2,
+    decode_segment, encode_segment, segment_content_hash, SegmentMeta, MAGIC2, MAX_SEGMENT_INSTRS,
+    SEGMENT_LEN, TRAILER2,
 };
 use crate::thread::{ThreadId, ThreadTable};
 use crate::trace::{MarkerRecord, Trace};
@@ -42,8 +43,9 @@ pub const MAX_CACHED_CHUNKS: usize = 4;
 
 /// Footer bytes per marker record (`pos` + range start + range len).
 const MARKER_WIRE_BYTES: usize = 8 + 8 + 4;
-/// Footer bytes per segment index entry.
-const SEGMENT_WIRE_BYTES: usize = 8 + 8 + 8 + 8 + 32 + 2;
+/// Footer bytes per segment index entry (fixed fields + thread bitmap +
+/// region bitmap + 128-bit content hash).
+const SEGMENT_WIRE_BYTES: usize = 8 + 8 + 8 + 8 + 32 + 2 + 16;
 
 fn bad(msg: impl Into<String>) -> TraceIoError {
     TraceIoError::Format(msg.into())
@@ -91,6 +93,9 @@ fn write_footer(
             f.extend_from_slice(&word.to_le_bytes());
         }
         f.extend_from_slice(&s.region_bits.to_le_bytes());
+        for word in s.content_hash {
+            f.extend_from_slice(&word.to_le_bytes());
+        }
     }
 
     w.write_all(&f)?;
@@ -176,6 +181,10 @@ fn parse_footer(bytes: &[u8], payload_end: u64) -> Result<Footer, TraceIoError> 
             *word = r.u64()?;
         }
         let region_bits = r.u16()?;
+        let mut content_hash = [0u64; 2];
+        for word in content_hash.iter_mut() {
+            *word = r.u64()?;
+        }
 
         if first_instr != running {
             return Err(bad(format!(
@@ -207,6 +216,7 @@ fn parse_footer(bytes: &[u8], payload_end: u64) -> Result<Footer, TraceIoError> 
             n_instr,
             thread_bits,
             region_bits,
+            content_hash,
         });
     }
     if running != total {
@@ -352,6 +362,7 @@ impl<W: Write> Trace2Writer<W> {
             n_instr: n as u64,
             thread_bits,
             region_bits,
+            content_hash: segment_content_hash(&self.buf, 0, n),
         });
         self.offset += self.enc.len() as u64;
         self.total += n as u64;
@@ -412,6 +423,7 @@ pub fn write_trace2(w: &mut impl Write, trace: &Trace) -> Result<Trace2Stats, Tr
             n_instr: (hi - lo) as u64,
             thread_bits,
             region_bits,
+            content_hash: segment_content_hash(cols, lo, hi),
         });
         offset += enc.len() as u64;
         lo = hi;
@@ -562,6 +574,17 @@ impl<R: Read + Seek> TraceReader<R> {
         let mut buf = vec![0u8; meta.byte_len as usize];
         self.r.read_exact(&mut buf)?;
         let cols = decode_segment(&buf, meta.n_instr as usize, self.funcs.len())?;
+        // The footer's content hash is the end-to-end integrity check: a
+        // payload bit-flip the per-column codecs happen to decode
+        // "successfully" still changes the decoded rows, and is caught
+        // here instead of silently corrupting downstream analyses.
+        let got = segment_content_hash(&cols, 0, cols.len());
+        if got != meta.content_hash {
+            return Err(bad(format!(
+                "segment {i} content hash mismatch: footer {:016x}{:016x}, decoded {:016x}{:016x}",
+                meta.content_hash[0], meta.content_hash[1], got[0], got[1]
+            )));
+        }
         if self.cache.len() >= MAX_CACHED_CHUNKS {
             self.cache.pop();
         }
@@ -870,6 +893,42 @@ mod tests {
             TraceReader::open(Cursor::new(b"WPTRACE2".to_vec())).err(),
             Some(TraceIoError::Format(_))
         ));
+    }
+
+    #[test]
+    fn payload_bit_flips_never_decode_to_different_rows() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace2(&mut buf, &t).unwrap();
+        let probe = TraceReader::open(Cursor::new(buf.clone())).unwrap();
+        let meta = probe.chunk_meta(0).clone();
+        assert_ne!(meta.content_hash, [0, 0]);
+        let (lo, hi) = (meta.offset as usize, (meta.offset + meta.byte_len) as usize);
+        let mut caught_by_hash = 0usize;
+        for pos in lo..hi {
+            for bit in [0u8, 3, 7] {
+                let mut b = buf.clone();
+                b[pos] ^= 1 << bit;
+                let mut rd = TraceReader::open(Cursor::new(b)).unwrap();
+                match rd.chunk(0) {
+                    // Either the codec rejects the flip outright, or the
+                    // footer hash catches a "successful" decode of
+                    // different rows. A clean Ok means the flip did not
+                    // change the decoded rows at all (hash verified).
+                    Err(TraceIoError::Format(msg)) => {
+                        if msg.contains("content hash mismatch") {
+                            caught_by_hash += 1;
+                        }
+                    }
+                    Err(e) => panic!("unexpected error kind: {e:?}"),
+                    Ok(_) => {}
+                }
+            }
+        }
+        assert!(
+            caught_by_hash > 0,
+            "no flip exercised the content-hash check"
+        );
     }
 
     #[test]

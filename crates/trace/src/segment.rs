@@ -78,6 +78,12 @@ pub struct SegmentMeta {
     /// Bitmap of [`crate::Region`]s touched by the segment's memory
     /// operands; bit 15 marks unmapped addresses.
     pub region_bits: u16,
+    /// 128-bit content hash of the segment's instruction rows (see
+    /// [`segment_content_hash`]); position-independent, so identical rows
+    /// at a different trace offset hash identically. Doubles as an
+    /// integrity check on decode and as the incremental slicer's cache
+    /// granule identity.
+    pub content_hash: [u64; 2],
 }
 
 impl SegmentMeta {
@@ -85,6 +91,86 @@ impl SegmentMeta {
     pub fn has_thread(&self, tid: ThreadId) -> bool {
         self.thread_bits[tid.index() / 64] >> (tid.index() % 64) & 1 == 1
     }
+}
+
+/// Streaming accumulator for [`segment_content_hash`]: two independently
+/// seeded 64-bit multiplicative-mix lanes, giving a 128-bit digest. The
+/// collision bar matters here — a colliding pair of segments would make
+/// the incremental slicer silently reuse a stale summary — so a single
+/// 64-bit lane is not enough, and the two lanes use distinct odd
+/// constants and seeds so they do not degenerate into one.
+#[derive(Clone, Copy, Debug)]
+pub struct ContentHasher {
+    lanes: [u64; 2],
+}
+
+const LANE_MUL: [u64; 2] = [0x9E37_79B9_7F4A_7C15, 0xC2B2_AE3D_27D4_EB4F];
+const LANE_SEED: [u64; 2] = [0x5851_F42D_4C95_7F2D, 0x1405_7B7E_F767_814F];
+
+impl ContentHasher {
+    /// A fresh hasher over zero rows.
+    pub fn new() -> ContentHasher {
+        ContentHasher { lanes: LANE_SEED }
+    }
+
+    #[inline]
+    fn word(&mut self, w: u64) {
+        for (lane, mul) in self.lanes.iter_mut().zip(LANE_MUL) {
+            let v = (*lane ^ w).wrapping_mul(mul);
+            *lane = v.rotate_left(29) ^ (v >> 32);
+        }
+    }
+
+    /// Folds the instruction rows `[lo, hi)` of `cols` (physical indices)
+    /// into the digest. Every field the slicer can observe is hashed —
+    /// kind tag and payload, thread, function, pc, both register bitsets,
+    /// and each memory operand's start and length — but nothing
+    /// positional, so the digest is invariant under relocating the rows
+    /// to a different trace offset.
+    pub fn fold(&mut self, cols: &Columns, lo: usize, hi: usize) {
+        for idx in lo..hi {
+            let (tag, data) = cols.raw_kind(idx);
+            self.word(u64::from(tag) | u64::from(data) << 8);
+            self.word(
+                u64::from(cols.tid(idx).0)
+                    | u64::from(cols.reg_reads(idx).bits()) << 8
+                    | u64::from(cols.reg_writes(idx).bits()) << 24,
+            );
+            self.word(u64::from(cols.func(idx).0) | u64::from(cols.pc(idx).0) << 32);
+            let reads = cols.mem_reads(idx);
+            let writes = cols.mem_writes(idx);
+            self.word(reads.len() as u64 | (writes.len() as u64) << 32);
+            for r in reads.iter().chain(writes) {
+                self.word(r.start().raw());
+                self.word(u64::from(r.len()));
+            }
+        }
+    }
+
+    /// Finishes the digest. The row count is folded in last so a segment
+    /// is never a hash-prefix of a longer one.
+    pub fn finish(mut self, n_rows: u64) -> [u64; 2] {
+        self.word(n_rows ^ 0x0165_6667_C78F_u64);
+        self.word(self.lanes[1] ^ self.lanes[0].rotate_left(17));
+        self.lanes
+    }
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        ContentHasher::new()
+    }
+}
+
+/// 128-bit content hash of the instruction rows `[lo, hi)` of `cols`
+/// (physical indices). This is the canonical segment identity used by the
+/// `WPTRACE2` footer index and the incremental slicer's summary cache:
+/// equal row content ⇒ equal hash regardless of trace position, and any
+/// slicer-visible field difference perturbs it.
+pub fn segment_content_hash(cols: &Columns, lo: usize, hi: usize) -> [u64; 2] {
+    let mut h = ContentHasher::new();
+    h.fold(cols, lo, hi);
+    h.finish((hi - lo) as u64)
 }
 
 /// Encodes the instruction range `[lo, hi)` of `cols` (physical indices)
@@ -546,6 +632,68 @@ mod tests {
     }
 
     #[test]
+    fn content_hash_is_position_independent_and_field_sensitive() {
+        let cols = sample_columns(200);
+        // Same rows materialized at physical offset 0 hash identically to
+        // the windowed range — the property the cache and footer rely on.
+        let mut buf = Vec::new();
+        encode_segment(&cols, 64, 192, &mut buf).unwrap();
+        let rebased = decode_segment(&buf, 128, 4).unwrap();
+        assert_eq!(
+            segment_content_hash(&cols, 64, 192),
+            segment_content_hash(&rebased, 0, 128)
+        );
+
+        // Streaming fold over split ranges matches the one-shot hash.
+        let mut h = ContentHasher::new();
+        h.fold(&cols, 64, 100);
+        h.fold(&cols, 100, 192);
+        assert_eq!(h.finish(128), segment_content_hash(&cols, 64, 192));
+
+        // Every slicer-visible field of a single row perturbs the digest:
+        // variant 0 is the reference, each later variant changes exactly
+        // one field of the appended row.
+        let heap = Region::Heap.base().raw();
+        let make = |which: usize| {
+            let mut c = sample_columns(63);
+            let (tid, func, pc, kind, rr, mem) = match which {
+                1 => (ThreadId(9), FuncId(0), Pc(1000), InstrKind::Op, 0b11, 0),
+                2 => (ThreadId(0), FuncId(3), Pc(1000), InstrKind::Op, 0b11, 0),
+                3 => (ThreadId(0), FuncId(0), Pc(999), InstrKind::Op, 0b11, 0),
+                4 => (ThreadId(0), FuncId(0), Pc(1000), InstrKind::Ret, 0b11, 0),
+                5 => (ThreadId(0), FuncId(0), Pc(1000), InstrKind::Op, 0b10, 0),
+                6 => (ThreadId(0), FuncId(0), Pc(1000), InstrKind::Op, 0b11, 1),
+                _ => (ThreadId(0), FuncId(0), Pc(1000), InstrKind::Op, 0b11, 0),
+            };
+            let reads = [AddrRange::new(Addr::new(heap), 8)];
+            c.push(
+                tid,
+                func,
+                pc,
+                kind,
+                RegSet::from_bits(rr),
+                RegSet::from_bits(0b100),
+                &reads[..mem],
+                &[],
+            );
+            segment_content_hash(&c, 0, 64)
+        };
+        let base = make(0);
+        for which in 1..=6 {
+            assert_ne!(
+                make(which),
+                base,
+                "variant {which} failed to perturb the content hash"
+            );
+        }
+        // Prefixes never collide with the full segment.
+        assert_ne!(
+            segment_content_hash(&cols, 0, 63),
+            segment_content_hash(&cols, 0, 64)
+        );
+    }
+
+    #[test]
     fn segment_meta_thread_bitmap() {
         let meta = SegmentMeta {
             offset: 0,
@@ -554,6 +702,7 @@ mod tests {
             n_instr: 64,
             thread_bits: [0b101, 0, 0, 1],
             region_bits: 0,
+            content_hash: [0, 0],
         };
         assert!(meta.has_thread(ThreadId(0)));
         assert!(!meta.has_thread(ThreadId(1)));

@@ -123,6 +123,36 @@ impl Trace {
         self.cols.storage_bytes()
     }
 
+    /// A new trace holding exactly the first `n` instructions.
+    ///
+    /// This is how evolving-session experiments materialize "frame K" from
+    /// one long recording: every prefix of a valid recording is itself the
+    /// trace the recorder would have produced had it stopped there (column
+    /// prefixes are bit-identical, markers past `n` are dropped, and the
+    /// symbol/thread tables are carried over whole — a superset of the
+    /// functions actually referenced, which no consumer forbids). Open
+    /// calls at the cut point are fine: the slicer treats them exactly
+    /// like a trace captured mid-execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the trace length.
+    pub fn prefix(&self, n: usize) -> Trace {
+        assert!(n <= self.len(), "prefix length out of bounds");
+        let markers = self
+            .markers
+            .iter()
+            .filter(|m| m.pos.index() < n)
+            .copied()
+            .collect();
+        Trace {
+            cols: self.cols.prefix(n),
+            funcs: self.funcs.clone(),
+            threads: self.threads.clone(),
+            markers,
+        }
+    }
+
     /// Renders the instruction at `pos` with its function *name* (resolved
     /// through the trace's [`FunctionRegistry`]) rather than the bare
     /// `fn#N` id that [`Instr`]'s own `Display` falls back to.
@@ -460,6 +490,34 @@ mod tests {
             assert_eq!(rebuilt.instr(pos), t.instr(pos));
         }
         assert_eq!(rebuilt.markers(), t.markers());
+    }
+
+    #[test]
+    fn prefix_matches_rows_and_drops_later_markers() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "main");
+        let f = rec.intern_func("paint");
+        let cell = rec.alloc_cell(Region::Heap);
+        rec.in_func(site!(), f, |rec| {
+            rec.compute(site!(), &[], &[cell.into()]);
+            let tile = rec.alloc(Region::PixelTile, 64);
+            rec.marker(site!(), tile);
+            rec.compute(site!(), &[cell.into()], &[cell.into()]);
+            let tile2 = rec.alloc(Region::PixelTile, 64);
+            rec.marker(site!(), tile2);
+        });
+        let t = rec.finish();
+        assert_eq!(t.markers().len(), 2);
+        let cut = t.markers()[1].pos.index(); // keep marker 0, drop marker 1
+        let p = t.prefix(cut);
+        assert_eq!(p.len(), cut);
+        assert_eq!(p.markers(), &t.markers()[..1]);
+        for idx in 0..cut {
+            let pos = TracePos(idx as u64);
+            assert_eq!(p.instr(pos), t.instr(pos));
+        }
+        assert!(t.prefix(0).is_empty());
+        assert_eq!(t.prefix(t.len()).len(), t.len());
     }
 
     #[test]

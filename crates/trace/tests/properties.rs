@@ -209,6 +209,50 @@ proptest! {
     }
 
     #[test]
+    fn payload_bit_flips_never_yield_wrong_rows(
+        steps in proptest::collection::vec(step(), 1..30),
+        flip_at in 0usize..1000,
+        flip_bit in 0u8..8,
+    ) {
+        // Stronger than "never panics": a bit-flip strictly inside a
+        // segment payload — the region the per-column codecs might decode
+        // "successfully" — must either produce a typed error (codec or
+        // footer content-hash mismatch) or leave the decoded rows
+        // identical to the original. It must never hand back different
+        // rows as if they were genuine.
+        let trace = record(&steps);
+        let mut buf = Vec::new();
+        write_trace2(&mut buf, &trace).unwrap();
+        let probe = TraceReader::open(Cursor::new(buf.clone())).unwrap();
+        if probe.n_chunks() == 0 {
+            // A step list of pure thread switches records nothing.
+            return Ok(());
+        }
+        let meta = probe.chunk_meta(0).clone();
+        let lo = meta.offset as usize;
+        let hi = lo + meta.byte_len as usize;
+        let idx = lo + (hi - lo - 1) * flip_at / 1000;
+        buf[idx] ^= 1 << flip_bit;
+        let mut reader = TraceReader::open(Cursor::new(buf)).unwrap();
+        let cols = trace.columns();
+        let end = (meta.n_instr as usize).min(reader.len());
+        // If the chunk decodes at all, the content hash has vouched for
+        // it, so the rows must match the original exactly.
+        let _ = reader.stream_range(0, end, |cur| {
+            for idx in cur.lo()..cur.hi() {
+                assert_eq!(cur.kind(idx), cols.kind(idx));
+                assert_eq!(cur.tid(idx), cols.tid(idx));
+                assert_eq!(cur.func(idx), cols.func(idx));
+                assert_eq!(cur.pc(idx), cols.pc(idx));
+                assert_eq!(cur.reg_reads(idx), cols.reg_reads(idx));
+                assert_eq!(cur.reg_writes(idx), cols.reg_writes(idx));
+                assert_eq!(cur.mem_reads(idx), cols.mem_reads(idx));
+                assert_eq!(cur.mem_writes(idx), cols.mem_writes(idx));
+            }
+        });
+    }
+
+    #[test]
     fn traced_allocations_keep_recordings_valid(
         steps in proptest::collection::vec(step(), 0..40),
     ) {

@@ -13,8 +13,10 @@
 
 #![warn(missing_docs)]
 
+mod frames;
 mod generator;
 mod sites;
 
+pub use frames::{bing_frames, FrameSession};
 pub use generator::{build_site, DeferredResource, SiteSpec};
 pub use sites::{amazon_browse, bing_browse, maps_browse, Benchmark};

@@ -59,6 +59,30 @@ diff <(target/release/trace_tool slice "$smoke_trace" --criteria syscalls) \
 target/release/trace_tool check "$smoke_trace.2" --out-of-core
 target/release/trace_tool certify "$smoke_trace.2" --segments 8 --out-of-core
 
+echo "== incremental smoke (two frames, cached slice identical, warm hits) =="
+smoke_cache=$(mktemp -d /tmp/wasteprof-cache-XXXXXX)
+trap 'rm -f "$smoke_trace" "$smoke_trace.2" "$smoke_trace".f*; rm -rf "$smoke_cache"' EXIT
+target/release/trace_tool export bing "$smoke_trace" --frames 2
+for f in 0 1; do
+    diff <(target/release/trace_tool slice "$smoke_trace.f$f") \
+        <(target/release/trace_tool slice "$smoke_trace.f$f" --incremental --cache-dir "$smoke_cache")
+done
+# Re-slicing the last frame against the persisted cache must be warm:
+# every segment summary comes back from disk, zero recomputed.
+target/release/trace_tool slice "$smoke_trace.f1" --incremental --cache-dir "$smoke_cache" \
+    >/dev/null 2>"$smoke_cache/stderr"
+grep -Eq 'cache: [1-9][0-9]* hits, 0 misses' "$smoke_cache/stderr" || {
+    echo "incremental re-slice was not warm:" >&2
+    cat "$smoke_cache/stderr" >&2
+    exit 1
+}
+
+echo "== incremental bench artifact sanity (results/BENCH_7.json) =="
+# The committed bench artifact must report byte-identical frames and a
+# nonzero warm hit rate (the cache actually served the re-slices).
+jq -e '.identical and .warm_hit_rate > 0 and .certify_diagnostics == 0' \
+    results/BENCH_7.json >/dev/null
+
 echo "== rustdoc (no warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
