@@ -11,7 +11,10 @@ use std::collections::HashMap;
 use std::fmt;
 
 use wasteprof_slicer::SliceResult;
-use wasteprof_trace::{Trace, TracePos};
+use wasteprof_trace::{
+    AnalysisCtx, AnalysisDriver, ColumnMask, FunctionRegistry, Subscription, Trace, TraceAnalysis,
+    TracePos,
+};
 
 /// The paper's eight categories (§V-B).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -117,25 +120,16 @@ pub struct CategoryBreakdown {
 }
 
 impl CategoryBreakdown {
-    /// Classifies every instruction *outside* the slice.
+    /// Classifies every instruction *outside* the slice. This is a
+    /// solo-driver run of [`CategoryAnalysis`]; fused callers register the
+    /// analysis directly and get the same breakdown from one shared sweep.
     pub fn compute(trace: &Trace, slice: &SliceResult) -> Self {
-        let mut out = CategoryBreakdown::default();
-        // Pre-resolve category per function id.
-        let mut cat_of: Vec<Option<Category>> = Vec::with_capacity(trace.functions().len());
-        for (_, info) in trace.functions().iter() {
-            cat_of.push(Category::of_function(info.name()));
-        }
-        for (idx, instr) in trace.iter().enumerate() {
-            if slice.contains(TracePos(idx as u64)) {
-                continue;
-            }
-            out.total_unnecessary += 1;
-            match cat_of[instr.func.index()] {
-                Some(c) => *out.counts.entry(c).or_insert(0) += 1,
-                None => out.uncategorized += 1,
-            }
-        }
-        out
+        let mut analysis = CategoryAnalysis::new(slice);
+        let mut driver = AnalysisDriver::new();
+        driver.register(&mut analysis);
+        driver.run(trace);
+        drop(driver);
+        analysis.into_breakdown()
     }
 
     /// Instructions in `category`.
@@ -166,6 +160,69 @@ impl CategoryBreakdown {
             0.0
         } else {
             self.categorized() as f64 / self.total_unnecessary as f64
+        }
+    }
+}
+
+/// Resolves [`Category::of_function`] once per function id, so the
+/// per-instruction hot path is a table lookup instead of prefix matching.
+pub(crate) fn categories_of(funcs: &FunctionRegistry) -> Vec<Option<Category>> {
+    let mut cat_of: Vec<Option<Category>> = Vec::with_capacity(funcs.len());
+    for (_, info) in funcs.iter() {
+        cat_of.push(Category::of_function(info.name()));
+    }
+    cat_of
+}
+
+/// The Figure 5 computation as a fusable [`TraceAnalysis`]: categorizes
+/// every non-slice instruction by its function's namespace.
+///
+/// Subscribes to the funcs column only; slice membership comes from the
+/// borrowed [`SliceResult`], not from the trace.
+pub struct CategoryAnalysis<'s> {
+    slice: &'s SliceResult,
+    cat_of: Vec<Option<Category>>,
+    breakdown: CategoryBreakdown,
+}
+
+impl<'s> CategoryAnalysis<'s> {
+    /// An analysis classifying every instruction outside `slice`.
+    pub fn new(slice: &'s SliceResult) -> CategoryAnalysis<'s> {
+        CategoryAnalysis {
+            slice,
+            cat_of: Vec::new(),
+            breakdown: CategoryBreakdown::default(),
+        }
+    }
+
+    /// The computed breakdown; call after the driver run.
+    pub fn into_breakdown(self) -> CategoryBreakdown {
+        self.breakdown
+    }
+}
+
+impl TraceAnalysis for CategoryAnalysis<'_> {
+    fn name(&self) -> &'static str {
+        "category"
+    }
+
+    fn subscription(&self) -> Subscription {
+        Subscription::instructions(ColumnMask::FUNCS)
+    }
+
+    fn begin(&mut self, ctx: &AnalysisCtx<'_>) {
+        self.cat_of = categories_of(ctx.funcs);
+        self.breakdown = CategoryBreakdown::default();
+    }
+
+    fn on_instr(&mut self, ctx: &AnalysisCtx<'_>, idx: usize) {
+        if self.slice.contains(TracePos(idx as u64)) {
+            return;
+        }
+        self.breakdown.total_unnecessary += 1;
+        match self.cat_of[ctx.cols.func(idx).index()] {
+            Some(c) => *self.breakdown.counts.entry(c).or_insert(0) += 1,
+            None => self.breakdown.uncategorized += 1,
         }
     }
 }

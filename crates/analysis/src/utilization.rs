@@ -8,7 +8,9 @@
 //! executing.
 
 use wasteprof_browser::IdleSpan;
-use wasteprof_trace::{ThreadId, Trace};
+use wasteprof_trace::{
+    AnalysisCtx, AnalysisDriver, ColumnMask, Subscription, ThreadId, Trace, TraceAnalysis,
+};
 
 /// A utilization time series for one thread.
 #[derive(Debug, Clone)]
@@ -21,7 +23,9 @@ pub struct UtilizationSeries {
 
 impl UtilizationSeries {
     /// Computes the utilization of `tid` over the session, in `buckets`
-    /// equal slices of virtual time.
+    /// equal slices of virtual time. This is a solo-driver run of
+    /// [`UtilizationAnalysis`]; fused callers register the analysis
+    /// directly and get the same series from one shared sweep.
     ///
     /// # Panics
     ///
@@ -32,39 +36,12 @@ impl UtilizationSeries {
         tid: ThreadId,
         buckets: usize,
     ) -> UtilizationSeries {
-        assert!(buckets > 0, "need at least one bucket");
-        let total_idle: u64 = idle_spans.iter().map(|s| s.ticks).sum();
-        let virtual_total = trace.len() as u64 + total_idle;
-        let width = (virtual_total / buckets as u64).max(1);
-
-        // Virtual timestamp of each instruction = position + idle ticks
-        // that occurred before it.
-        let mut busy = vec![0u64; buckets];
-        let mut idle_iter = idle_spans.iter().peekable();
-        let mut idle_so_far = 0u64;
-        for (pos, instr) in trace.iter().enumerate() {
-            while let Some(span) = idle_iter.peek() {
-                if span.at.index() <= pos {
-                    idle_so_far += span.ticks;
-                    idle_iter.next();
-                } else {
-                    break;
-                }
-            }
-            if instr.tid != tid {
-                continue;
-            }
-            let vt = pos as u64 + idle_so_far;
-            let b = ((vt / width) as usize).min(buckets - 1);
-            busy[b] += 1;
-        }
-        UtilizationSeries {
-            buckets: busy
-                .iter()
-                .map(|&b| (b as f64 / width as f64).min(1.0))
-                .collect(),
-            bucket_width: width,
-        }
+        let mut analysis = UtilizationAnalysis::new(idle_spans.to_vec(), tid, buckets);
+        let mut driver = AnalysisDriver::new();
+        driver.register(&mut analysis);
+        driver.run(trace);
+        drop(driver);
+        analysis.into_series()
     }
 
     /// Mean utilization over the whole session.
@@ -79,6 +56,93 @@ impl UtilizationSeries {
     /// Peak bucket utilization.
     pub fn peak(&self) -> f64 {
         self.buckets.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// The Figure 2 computation as a fusable [`TraceAnalysis`]: buckets one
+/// thread's instructions over virtual time (`instructions + idle ticks`).
+///
+/// Subscribes to the tid column only, so a streamed fused run that carries
+/// just this analysis decodes two of the eleven segment streams.
+pub struct UtilizationAnalysis {
+    idle_spans: Vec<IdleSpan>,
+    tid: ThreadId,
+    buckets: usize,
+    width: u64,
+    idle_next: usize,
+    idle_so_far: u64,
+    busy: Vec<u64>,
+}
+
+impl UtilizationAnalysis {
+    /// An analysis computing `tid`'s utilization in `buckets` equal slices
+    /// of virtual time. `idle_spans` must be ordered by position, as the
+    /// browser emits them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0`.
+    pub fn new(idle_spans: Vec<IdleSpan>, tid: ThreadId, buckets: usize) -> UtilizationAnalysis {
+        assert!(buckets > 0, "need at least one bucket");
+        UtilizationAnalysis {
+            idle_spans,
+            tid,
+            buckets,
+            width: 1,
+            idle_next: 0,
+            idle_so_far: 0,
+            busy: Vec::new(),
+        }
+    }
+
+    /// The computed series; call after the driver run.
+    pub fn into_series(self) -> UtilizationSeries {
+        UtilizationSeries {
+            buckets: self
+                .busy
+                .iter()
+                .map(|&b| (b as f64 / self.width as f64).min(1.0))
+                .collect(),
+            bucket_width: self.width,
+        }
+    }
+}
+
+impl TraceAnalysis for UtilizationAnalysis {
+    fn name(&self) -> &'static str {
+        "utilization"
+    }
+
+    fn subscription(&self) -> Subscription {
+        Subscription::instructions(ColumnMask::TIDS)
+    }
+
+    fn begin(&mut self, ctx: &AnalysisCtx<'_>) {
+        let total_idle: u64 = self.idle_spans.iter().map(|s| s.ticks).sum();
+        let virtual_total = ctx.total as u64 + total_idle;
+        self.width = (virtual_total / self.buckets as u64).max(1);
+        self.idle_next = 0;
+        self.idle_so_far = 0;
+        self.busy = vec![0; self.buckets];
+    }
+
+    fn on_instr(&mut self, ctx: &AnalysisCtx<'_>, idx: usize) {
+        // Virtual timestamp of each instruction = position + idle ticks
+        // that occurred before it.
+        while let Some(span) = self.idle_spans.get(self.idle_next) {
+            if span.at.index() <= idx {
+                self.idle_so_far += span.ticks;
+                self.idle_next += 1;
+            } else {
+                break;
+            }
+        }
+        if ctx.cols.tid(idx) != self.tid {
+            return;
+        }
+        let vt = idx as u64 + self.idle_so_far;
+        let b = ((vt / self.width) as usize).min(self.buckets - 1);
+        self.busy[b] += 1;
     }
 }
 

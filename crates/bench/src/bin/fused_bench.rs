@@ -1,0 +1,515 @@
+//! Fused-analysis benchmark (`results/BENCH_8.json`).
+//!
+//! Measures the tentpole claim of the fused streaming-analysis framework:
+//! running every per-instruction consumer in ONE shared sweep beats
+//! running one sweep per consumer. For every base benchmark session the
+//! pre-fusion cost is one trace walk each for the verifier lint battery
+//! (WP0001-WP0007), the WP0012 dead-write metric, the Figure 5 category
+//! breakdown, and the Table II × Figure 5 waste cross — exactly the
+//! consumers the engine's `analyze` stage fuses. The fused cost is one
+//! [`AnalysisDriver`] sweep carrying all four. Every fused output is
+//! asserted equal to its solo twin; any divergence fails the run with
+//! exit code 1.
+//!
+//! The streamed section serializes one session to `WPTRACE2` and repeats
+//! the comparison out-of-core at three tiers: separate passes with the
+//! decode mask pinned wide open (the pre-framework reader decompressed
+//! every column stream on every trip — today's separate-stage cost),
+//! separate passes each narrowed to its own subscription (selective
+//! decode without fusion), and one fused selectively-decoded pass. The
+//! headline `totals.speedup` is fused vs full-decode separate — the two
+//! mechanisms this framework adds, measured together. The decoding
+//! ledger — compressed stream bytes decoded vs skipped — is reported for
+//! each tier plus a sparse two-analysis subset, proving the reader skips
+//! what nobody subscribed to.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use wasteprof_analysis::{
+    format_count, Category, CategoryAnalysis, CategoryBreakdown, WasteAnalysis, WasteBreakdown,
+};
+use wasteprof_bench::save;
+use wasteprof_checker::{DeadWriteLint, Diag, Registry};
+use wasteprof_slicer::{pixel_criteria, slice, ForwardPass, SliceOptions, SliceResult};
+use wasteprof_trace::{
+    write_trace2, AnalysisDriver, ColumnMask, DecodeStats, Subscription, Trace, TraceAnalysis,
+    TraceReader,
+};
+use wasteprof_workloads::Benchmark;
+
+/// Subscribes to every column without any event dispatch, pinning the
+/// reader's decode mask wide open. Registering this next to a real
+/// analysis reproduces the pre-selective-decode reader, which
+/// decompressed all seven column streams no matter who was listening —
+/// the baseline the streamed comparison calls "full decode".
+struct FullDecode;
+
+impl TraceAnalysis for FullDecode {
+    fn name(&self) -> &'static str {
+        "full-decode"
+    }
+
+    fn subscription(&self) -> Subscription {
+        Subscription {
+            columns: ColumnMask::ALL,
+            ..Subscription::default()
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: fused_bench [REPS]");
+    std::process::exit(2);
+}
+
+/// A scratch file that disappears with the value.
+struct ScratchFile(PathBuf);
+
+impl ScratchFile {
+    fn new(name: &str) -> ScratchFile {
+        ScratchFile(std::env::temp_dir().join(format!("wasteprof-{}-{name}", std::process::id())))
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// `CategoryBreakdown` carries a map, so compare it field by field.
+fn categories_equal(a: &CategoryBreakdown, b: &CategoryBreakdown) -> bool {
+    a.total_unnecessary == b.total_unnecessary
+        && a.uncategorized == b.uncategorized
+        && Category::ALL.iter().all(|&c| a.count(c) == b.count(c))
+}
+
+/// Solo outputs of the four consumers, with per-consumer wall times.
+struct SoloRun {
+    verify: Vec<Diag>,
+    dead: Vec<Diag>,
+    category: CategoryBreakdown,
+    waste: WasteBreakdown,
+    verify_ms: f64,
+    dead_ms: f64,
+    category_ms: f64,
+    waste_ms: f64,
+}
+
+impl SoloRun {
+    fn total_ms(&self) -> f64 {
+        self.verify_ms + self.dead_ms + self.category_ms + self.waste_ms
+    }
+}
+
+fn run_solo(trace: &Trace, pixel: &SliceResult) -> SoloRun {
+    let t = Instant::now();
+    let verify = wasteprof_checker::verify(trace);
+    let verify_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let dead = wasteprof_checker::dead_writes(trace);
+    let dead_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let category = CategoryBreakdown::compute(trace, pixel);
+    let category_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let waste = WasteBreakdown::compute(trace, pixel);
+    let waste_ms = t.elapsed().as_secs_f64() * 1e3;
+    SoloRun {
+        verify,
+        dead,
+        category,
+        waste,
+        verify_ms,
+        dead_ms,
+        category_ms,
+        waste_ms,
+    }
+}
+
+/// Fused outputs of the same four consumers from one driver sweep.
+struct FusedRun {
+    verify: Vec<Diag>,
+    dead: Vec<Diag>,
+    category: CategoryBreakdown,
+    waste: WasteBreakdown,
+    wall_ms: f64,
+}
+
+fn run_fused(trace: &Trace, pixel: &SliceResult) -> FusedRun {
+    let mut verify_reg = Registry::with_default_lints();
+    let mut dead_reg = Registry::new();
+    dead_reg.register(Box::new(DeadWriteLint::default()));
+    let mut category = CategoryAnalysis::new(pixel);
+    let mut waste = WasteAnalysis::new(pixel);
+    let mut verify_battery = verify_reg.as_analysis("verify");
+    let mut dead_battery = dead_reg.as_analysis("dead-writes");
+    let t = Instant::now();
+    let mut driver = AnalysisDriver::new();
+    driver.register(&mut verify_battery);
+    driver.register(&mut dead_battery);
+    driver.register(&mut category);
+    driver.register(&mut waste);
+    driver.run(trace);
+    drop(driver);
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    FusedRun {
+        verify: verify_battery.take_diags(),
+        dead: dead_battery.take_diags(),
+        category: category.into_breakdown(),
+        waste: waste.into_breakdown(),
+        wall_ms,
+    }
+}
+
+/// One benchmark's measurements.
+struct Entry {
+    label: &'static str,
+    instructions: u64,
+    solo: SoloRun,
+    fused_ms: f64,
+    identical: bool,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.solo.total_ms() / self.fused_ms.max(1e-9)
+    }
+}
+
+/// Best-of-`reps` measurement of one session; outputs must match on
+/// every rep, not just the fastest one.
+fn measure(label: &'static str, trace: &Trace, pixel: &SliceResult, reps: usize) -> Entry {
+    let mut best_solo: Option<SoloRun> = None;
+    let mut best_fused_ms = f64::INFINITY;
+    let mut identical = true;
+    for _ in 0..reps {
+        let solo = run_solo(trace, pixel);
+        let fused = run_fused(trace, pixel);
+        identical &= fused.verify == solo.verify
+            && fused.dead == solo.dead
+            && categories_equal(&fused.category, &solo.category)
+            && fused.waste == solo.waste;
+        best_fused_ms = best_fused_ms.min(fused.wall_ms);
+        if best_solo
+            .as_ref()
+            .is_none_or(|b| solo.total_ms() < b.total_ms())
+        {
+            best_solo = Some(solo);
+        }
+    }
+    Entry {
+        label,
+        instructions: trace.len() as u64,
+        solo: best_solo.expect("at least one rep"),
+        fused_ms: best_fused_ms,
+        identical,
+    }
+}
+
+/// Streamed measurements over one `WPTRACE2` scratch file.
+struct StreamedEntry {
+    instructions: u64,
+    file_bytes: u64,
+    /// Four one-analysis passes with the pre-PR reader behavior: every
+    /// column stream decompressed on every trip. This is what the
+    /// separate engine stages cost out-of-core before this framework.
+    full_ms: f64,
+    full_stats: DecodeStats,
+    /// Four one-analysis passes, each narrowed to its own subscription —
+    /// selective decoding without fusion.
+    separate_ms: f64,
+    separate_stats: DecodeStats,
+    /// One fused selectively-decoded pass.
+    fused_ms: f64,
+    fused_stats: DecodeStats,
+    /// A sparse subset (categories + waste: funcs and tids only),
+    /// demonstrating how far selective decoding narrows.
+    sparse_stats: DecodeStats,
+    identical: bool,
+}
+
+fn open_reader(path: &Path) -> TraceReader<BufReader<File>> {
+    let file = File::open(path).expect("open scratch trace");
+    TraceReader::open(BufReader::new(file)).expect("read scratch trace")
+}
+
+fn run_streamed(trace: &Trace, pixel: &SliceResult, baseline: &SoloRun) -> StreamedEntry {
+    let scratch = ScratchFile::new("fused");
+    let file = File::create(scratch.path()).expect("create scratch trace");
+    let mut w = BufWriter::new(file);
+    let stats = write_trace2(&mut w, trace).expect("serialize scratch trace");
+    drop(w);
+    // One streamed pass per consumer. With `full_decode` a `FullDecode`
+    // sentinel rides along in every pass, pinning the decode mask wide
+    // open like the pre-framework reader; without it each pass narrows
+    // the mask to its own subscription.
+    let run_separate = |full_decode: bool| -> (f64, DecodeStats, bool) {
+        let mut reader = open_reader(scratch.path());
+        let mut sentinel = FullDecode;
+        let t = Instant::now();
+        let mut verify_reg = Registry::with_default_lints();
+        let mut verify_battery = verify_reg.as_analysis("verify");
+        let mut dead_reg = Registry::new();
+        dead_reg.register(Box::new(DeadWriteLint::default()));
+        let mut dead_battery = dead_reg.as_analysis("dead-writes");
+        let mut category = CategoryAnalysis::new(pixel);
+        let mut waste = WasteAnalysis::new(pixel);
+        let passes: [&mut dyn wasteprof_trace::TraceAnalysis; 4] = [
+            &mut verify_battery,
+            &mut dead_battery,
+            &mut category,
+            &mut waste,
+        ];
+        for a in passes {
+            let mut driver = AnalysisDriver::new();
+            driver.register(a);
+            if full_decode {
+                driver.register(&mut sentinel);
+            }
+            driver.run_streamed(&mut reader).expect("streamed pass");
+        }
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let ok = verify_battery.take_diags() == baseline.verify
+            && dead_battery.take_diags() == baseline.dead
+            && categories_equal(&category.into_breakdown(), &baseline.category)
+            && waste.into_breakdown() == baseline.waste;
+        (ms, reader.decode_stats(), ok)
+    };
+    let (full_ms, full_stats, full_ok) = run_separate(true);
+    let (separate_ms, separate_stats, separate_ok) = run_separate(false);
+    let mut identical = full_ok && separate_ok;
+
+    // Fused: everything in one trip. A fresh reader so the chunk cache
+    // and the decode ledger start cold, like the separate pass did.
+    let mut reader = open_reader(scratch.path());
+    let mut verify_reg = Registry::with_default_lints();
+    let mut dead_reg = Registry::new();
+    dead_reg.register(Box::new(DeadWriteLint::default()));
+    let mut category = CategoryAnalysis::new(pixel);
+    let mut waste = WasteAnalysis::new(pixel);
+    let mut verify_battery = verify_reg.as_analysis("verify");
+    let mut dead_battery = dead_reg.as_analysis("dead-writes");
+    let t = Instant::now();
+    let mut driver = AnalysisDriver::new();
+    driver.register(&mut verify_battery);
+    driver.register(&mut dead_battery);
+    driver.register(&mut category);
+    driver.register(&mut waste);
+    driver.run_streamed(&mut reader).expect("streamed fused");
+    drop(driver);
+    let fused_ms = t.elapsed().as_secs_f64() * 1e3;
+    let fused_stats = reader.decode_stats();
+    identical &= verify_battery.take_diags() == baseline.verify
+        && dead_battery.take_diags() == baseline.dead
+        && categories_equal(&category.into_breakdown(), &baseline.category)
+        && waste.into_breakdown() == baseline.waste;
+
+    // Sparse subset: categories + waste subscribe to funcs and tids only,
+    // so most of the segment streams are skipped through their length
+    // prefixes instead of decompressed.
+    let mut reader = open_reader(scratch.path());
+    let mut category = CategoryAnalysis::new(pixel);
+    let mut waste = WasteAnalysis::new(pixel);
+    let mut driver = AnalysisDriver::new();
+    driver.register(&mut category);
+    driver.register(&mut waste);
+    driver.run_streamed(&mut reader).expect("streamed sparse");
+    drop(driver);
+    let sparse_stats = reader.decode_stats();
+    identical &= categories_equal(&category.into_breakdown(), &baseline.category)
+        && waste.into_breakdown() == baseline.waste;
+
+    StreamedEntry {
+        instructions: trace.len() as u64,
+        file_bytes: stats.file_bytes,
+        full_ms,
+        full_stats,
+        separate_ms,
+        separate_stats,
+        fused_ms,
+        fused_stats,
+        sparse_stats,
+        identical,
+    }
+}
+
+fn stats_json(s: &DecodeStats) -> String {
+    let total = s.decoded_stream_bytes + s.skipped_stream_bytes;
+    format!(
+        "{{\"chunks_decoded\": {}, \"decoded_stream_bytes\": {}, \
+         \"skipped_stream_bytes\": {}, \"skipped_fraction\": {:.4}}}",
+        s.chunks_decoded,
+        s.decoded_stream_bytes,
+        s.skipped_stream_bytes,
+        s.skipped_stream_bytes as f64 / total.max(1) as f64
+    )
+}
+
+fn render_json(reps: usize, entries: &[Entry], streamed: &StreamedEntry) -> String {
+    let solo_total: f64 = entries.iter().map(|e| e.solo.total_ms()).sum();
+    let fused_total: f64 = entries.iter().map(|e| e.fused_ms).sum();
+    let identical = entries.iter().all(|e| e.identical) && streamed.identical;
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"note\": \"fused streaming-analysis framework: one AnalysisDriver sweep \
+         carrying the verifier lint battery, the WP0012 dead-write metric, the Figure 5 \
+         category breakdown, and the thread-by-namespace waste cross, vs one trace sweep \
+         per consumer; every fused output asserted equal to its solo twin. in_memory \
+         fuses sweeps over already-materialized columns (the gain is the shared walk); \
+         streamed repeats the comparison out-of-core from a WPTRACE2 file, where \
+         separate_full_ms is the pre-framework cost (one full-decode trip per consumer), \
+         and reports the selective-decoding ledger (compressed stream bytes skipped via \
+         block length prefixes). totals is the out-of-core comparison: fused selective \
+         pass vs the sum of today's separate full-decode passes\",\n",
+    );
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str("  \"in_memory\": {\n  \"per_benchmark\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"benchmark\": \"{}\", \"instructions\": {}, \
+             \"solo_ms\": {{\"verify\": {:.3}, \"dead_writes\": {:.3}, \
+             \"category\": {:.3}, \"waste\": {:.3}, \"total\": {:.3}}}, \
+             \"fused_ms\": {:.3}, \"speedup\": {:.2}, \"identical\": {}}}{}\n",
+            e.label,
+            e.instructions,
+            e.solo.verify_ms,
+            e.solo.dead_ms,
+            e.solo.category_ms,
+            e.solo.waste_ms,
+            e.solo.total_ms(),
+            e.fused_ms,
+            e.speedup(),
+            e.identical,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"solo_ms\": {:.1}, \"fused_ms\": {:.1}, \"speedup\": {:.2}\n  }},\n",
+        solo_total,
+        fused_total,
+        solo_total / fused_total.max(1e-9)
+    ));
+    out.push_str(&format!(
+        "  \"streamed\": {{\n    \"benchmark\": \"{}\",\n    \"instructions\": {},\n    \
+         \"file_bytes\": {},\n    \"separate_full_ms\": {:.1},\n    \
+         \"separate_selective_ms\": {:.1},\n    \"fused_ms\": {:.1},\n    \
+         \"speedup_vs_full\": {:.2},\n    \"speedup_vs_selective\": {:.2},\n    \
+         \"full_decode\": {},\n    \"separate_decode\": {},\n    \"fused_decode\": {},\n    \
+         \"sparse_decode\": {}\n  }},\n",
+        Benchmark::AmazonDesktop.short_name(),
+        streamed.instructions,
+        streamed.file_bytes,
+        streamed.full_ms,
+        streamed.separate_ms,
+        streamed.fused_ms,
+        streamed.full_ms / streamed.fused_ms.max(1e-9),
+        streamed.separate_ms / streamed.fused_ms.max(1e-9),
+        stats_json(&streamed.full_stats),
+        stats_json(&streamed.separate_stats),
+        stats_json(&streamed.fused_stats),
+        stats_json(&streamed.sparse_stats),
+    ));
+    out.push_str(&format!(
+        "  \"totals\": {{\"separate_ms\": {:.1}, \"fused_ms\": {:.1}, \"speedup\": {:.2}}},\n",
+        streamed.full_ms,
+        streamed.fused_ms,
+        streamed.full_ms / streamed.fused_ms.max(1e-9)
+    ));
+    out.push_str(&format!("  \"identical\": {identical}\n"));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reps: usize = match args.as_slice() {
+        [] => 3,
+        [n] => n
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| usage()),
+        _ => usage(),
+    };
+
+    let mut entries = Vec::new();
+    let mut streamed: Option<StreamedEntry> = None;
+    for b in Benchmark::ALL {
+        eprintln!("running {}...", b.label());
+        let session = b.run();
+        let trace = &session.trace;
+        let forward = ForwardPass::build(trace);
+        let pixel = slice(
+            trace,
+            &forward,
+            &pixel_criteria(trace),
+            &SliceOptions::default(),
+        );
+        let entry = measure(b.short_name(), trace, &pixel, reps);
+        eprintln!(
+            "  {:<16} {:>10} instructions  solo {:>7.1} ms  fused {:>7.1} ms  \
+             ({:.2}x, identical: {})",
+            entry.label,
+            format_count(entry.instructions),
+            entry.solo.total_ms(),
+            entry.fused_ms,
+            entry.speedup(),
+            entry.identical
+        );
+        if b == Benchmark::AmazonDesktop {
+            let s = run_streamed(trace, &pixel, &entry.solo);
+            eprintln!(
+                "  streamed: separate full-decode {:.1} ms / separate selective {:.1} ms \
+                 / fused {:.1} ms ({:.2}x vs full); fused pass decoded {} and skipped {} \
+                 stream bytes (sparse subset skipped {})",
+                s.full_ms,
+                s.separate_ms,
+                s.fused_ms,
+                s.full_ms / s.fused_ms.max(1e-9),
+                format_count(s.fused_stats.decoded_stream_bytes),
+                format_count(s.fused_stats.skipped_stream_bytes),
+                format_count(s.sparse_stats.skipped_stream_bytes),
+            );
+            streamed = Some(s);
+        }
+        entries.push(entry);
+    }
+    let streamed = streamed.expect("amazon desktop is in Benchmark::ALL");
+
+    let json = render_json(reps, &entries, &streamed);
+    save("BENCH_8.json", &json);
+
+    let solo_total: f64 = entries.iter().map(|e| e.solo.total_ms()).sum();
+    let fused_total: f64 = entries.iter().map(|e| e.fused_ms).sum();
+    let identical = entries.iter().all(|e| e.identical) && streamed.identical;
+    if !identical {
+        eprintln!("FAILED: a fused analysis diverged from its solo twin");
+        std::process::exit(1);
+    }
+    println!(
+        "fused analysis verified: {} benchmarks identical solo/fused (in-memory and \
+         streamed); in-memory {:.1} ms solo vs {:.1} ms fused ({:.2}x); out-of-core \
+         {:.1} ms separate full-decode vs {:.1} ms fused selective ({:.2}x), fused pass \
+         skipped {} of {} compressed stream bytes",
+        entries.len(),
+        solo_total,
+        fused_total,
+        solo_total / fused_total.max(1e-9),
+        streamed.full_ms,
+        streamed.fused_ms,
+        streamed.full_ms / streamed.fused_ms.max(1e-9),
+        format_count(streamed.fused_stats.skipped_stream_bytes),
+        format_count(
+            streamed.fused_stats.decoded_stream_bytes + streamed.fused_stats.skipped_stream_bytes
+        ),
+    );
+}

@@ -18,13 +18,15 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 
-use wasteprof_analysis::{format_count, thread_rows, thread_rows_from, TextTable};
+use wasteprof_analysis::{format_count, thread_rows, thread_rows_from, FrameAnalysis, TextTable};
+use wasteprof_checker::{DeadWriteLint, Registry};
 use wasteprof_slicer::{
     pixel_criteria, pixel_criteria_streamed, slice, slice_streamed, syscall_criteria,
     syscall_criteria_streamed, Criteria, ForwardPass, SliceOptions, SliceResult, SummaryCache,
 };
 use wasteprof_trace::{
-    read_trace, write_trace, write_trace2, Trace, TraceIoError, TracePos, TraceReader,
+    read_trace, write_trace, write_trace2, AnalysisDriver, Trace, TraceIoError, TracePos,
+    TraceReader,
 };
 use wasteprof_workloads::{bing_frames, Benchmark};
 
@@ -41,6 +43,7 @@ fn usage() -> ! {
          trace_tool inspect <file> [--head N]\n  \
          trace_tool slice   <file> [shared flags] [--incremental] [--cache-dir DIR | --no-cache]\n  \
          trace_tool check   <file> [--json] [--max-diags N] [--out-of-core]\n  \
+         trace_tool analyze <file> [--analyses a,b,c] [--json] [--out-of-core]\n  \
          trace_tool certify <file> [shared flags] [--json]\n\n\
          shared flags:\n  \
          flag                  slice  check  certify  convert   meaning\n  \
@@ -55,6 +58,13 @@ fn usage() -> ! {
          --cache-dir DIR       load the summary cache from DIR before slicing and\n  \
                                persist it back after (DIR is created on save)\n  \
          --no-cache            keep the cache transient (excludes --cache-dir)\n\n\
+         `analyze` runs any subset of the registered analyses in ONE fused\n  \
+         sweep (default: all of them):\n  \
+         lints          the full verifier battery (WP0001-WP0007)\n  \
+         dead-writes    the WP0012 dead-producer-write metric\n  \
+         frames         call-frame nesting + syscall profile\n  \
+         with --out-of-core only the column streams the selected analyses\n  \
+         subscribe to are decompressed; skipped bytes go to stderr.\n\n\
          `export --frames N` (bing only) records an N-frame browse session and\n  \
          writes one WPTRACE1 file per frame: <file>.f0 ... <file>.f{{N-1}}.\n\n\
          exit codes: 0 clean / success, 1 findings or I/O error, 2 usage error"
@@ -424,6 +434,136 @@ fn main() {
                 );
             }
             std::process::exit(if total == 0 { 0 } else { 1 });
+        }
+        Some("analyze") => {
+            let Some(path) = args.get(1) else { usage() };
+            let mut json = false;
+            let mut out_of_core = false;
+            let mut selected: Option<Vec<String>> = None;
+            let mut rest = args[2..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--out-of-core" => out_of_core = true,
+                    "--analyses" => {
+                        let list = rest.next().unwrap_or_else(|| usage());
+                        selected = Some(list.split(',').map(str::to_owned).collect());
+                    }
+                    _ => usage(),
+                }
+            }
+            // The registry of analyses `analyze` can fuse, in canonical
+            // order. `--analyses` picks a subset; unknown names are usage
+            // errors so a typo cannot silently run nothing.
+            const ANALYSES: [&str; 3] = ["lints", "dead-writes", "frames"];
+            let names: Vec<&str> = match &selected {
+                None => ANALYSES.to_vec(),
+                Some(list) => {
+                    if list.iter().any(|n| !ANALYSES.contains(&n.as_str())) {
+                        usage();
+                    }
+                    ANALYSES
+                        .iter()
+                        .copied()
+                        .filter(|a| list.iter().any(|n| n == a))
+                        .collect()
+                }
+            };
+            if names.is_empty() {
+                usage();
+            }
+            let mut lint_reg = names.contains(&"lints").then(Registry::with_default_lints);
+            let mut dead_reg = names.contains(&"dead-writes").then(|| {
+                let mut r = Registry::new();
+                r.register(Box::new(DeadWriteLint::default()));
+                r
+            });
+            let mut frames = names.contains(&"frames").then(FrameAnalysis::new);
+            let mut lint_battery = lint_reg.as_mut().map(|r| r.as_analysis("lints"));
+            let mut dead_battery = dead_reg.as_mut().map(|r| r.as_analysis("dead-writes"));
+            let mut driver = AnalysisDriver::new();
+            if let Some(a) = lint_battery.as_mut() {
+                driver.register(a);
+            }
+            if let Some(a) = dead_battery.as_mut() {
+                driver.register(a);
+            }
+            if let Some(a) = frames.as_mut() {
+                driver.register(a);
+            }
+            let instrs = if out_of_core {
+                let mut reader = open_reader(path);
+                stream_ok(driver.run_streamed(&mut reader));
+                drop(driver);
+                let s = reader.decode_stats();
+                // Selective decoding is the point of the fused streamed
+                // pass; stderr keeps stdout diffable against in-memory.
+                eprintln!(
+                    "decode: {} chunks, {} stream bytes decoded, {} skipped",
+                    s.chunks_decoded,
+                    format_count(s.decoded_stream_bytes),
+                    format_count(s.skipped_stream_bytes)
+                );
+                reader.len() as u64
+            } else {
+                let trace = load(path);
+                driver.run(&trace);
+                drop(driver);
+                trace.len() as u64
+            };
+            let mut diags = lint_battery.map(|mut b| b.take_diags()).unwrap_or_default();
+            diags.extend(dead_battery.map(|mut b| b.take_diags()).unwrap_or_default());
+            wasteprof_checker::sort_diags(&mut diags);
+            let profile = frames.map(FrameAnalysis::into_profile);
+            if json {
+                let frames_json = match &profile {
+                    Some(p) => format!(
+                        "{{\"calls\": {}, \"rets\": {}, \"unmatched_rets\": {}, \
+                         \"max_depth\": {}, \"syscalls\": {}}}",
+                        p.calls,
+                        p.rets,
+                        p.unmatched_rets,
+                        p.max_depth,
+                        p.total_syscalls()
+                    ),
+                    None => "null".to_owned(),
+                };
+                let quoted: Vec<String> = names.iter().map(|n| format!("\"{n}\"")).collect();
+                println!(
+                    "{{\n  \"analyses\": [{}],\n  \"instructions\": {},\n  \
+                     \"frames\": {},\n  \"diagnostics\": {}\n}}",
+                    quoted.join(", "),
+                    instrs,
+                    frames_json,
+                    wasteprof_checker::render_json(&diags)
+                );
+            } else {
+                println!("fused analyses: {}", names.join(", "));
+                if let Some(p) = &profile {
+                    println!(
+                        "frames: {} calls, {} rets ({} unmatched), max depth {}, {} syscalls",
+                        format_count(p.calls),
+                        format_count(p.rets),
+                        p.unmatched_rets,
+                        p.max_depth,
+                        format_count(p.total_syscalls())
+                    );
+                }
+                if diags.is_empty() {
+                    println!(
+                        "clean: {} instructions, 0 diagnostics",
+                        format_count(instrs)
+                    );
+                } else {
+                    print!("{}", wasteprof_checker::render_text(&diags));
+                    println!(
+                        "{} diagnostic{}",
+                        diags.len(),
+                        if diags.len() == 1 { "" } else { "s" }
+                    );
+                }
+            }
+            std::process::exit(if diags.is_empty() { 0 } else { 1 });
         }
         Some("certify") => {
             let Some(path) = args.get(1) else { usage() };

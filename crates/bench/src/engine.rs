@@ -7,10 +7,15 @@
 //!
 //! * [`SessionStore`] memoizes sessions, forward passes, and slices behind
 //!   `Arc` — the first caller computes, everyone else shares.
-//! * [`run`] stages the work (sessions → check → forward passes → slices
-//!   → certify → views) and fans each stage across a thread pool, then
-//!   the caller emits artifacts sequentially in a fixed order, so output
-//!   bytes do not depend on the thread count.
+//! * [`run`] stages the work (sessions → forward passes → slices →
+//!   analyze → certify → views) and fans each stage across a thread pool,
+//!   then the caller emits artifacts sequentially in a fixed order, so
+//!   output bytes do not depend on the thread count. The `analyze` stage
+//!   is one fused [`AnalysisDriver`] sweep per session: the verifier lint
+//!   battery, the dead-write metric, and the per-instruction figure
+//!   computations (Figure 2 utilization, Figure 5 categories, the
+//!   Table II × Figure 5 waste cross) all share a single pass over each
+//!   trace instead of sweeping it once per consumer.
 //! * [`EngineReport`] carries per-stage wall time and instruction
 //!   throughput, rendered into `results/perf.txt` and
 //!   `results/bench_engine.json`.
@@ -29,16 +34,17 @@ use std::time::{Duration, Instant};
 use rayon::prelude::*;
 use wasteprof_analysis::{
     ascii_chart, bar_chart, format_count, pixel_slice_with, syscall_slice_with, thread_rows,
-    to_csv, Category, CategoryBreakdown, SharedBenchmarkRun, Table1Row, TextTable, UnusedBytes,
-    UtilizationSeries,
+    to_csv, Category, CategoryAnalysis, CategoryBreakdown, SharedBenchmarkRun, Table1Row,
+    TextTable, UnusedBytes, UtilizationAnalysis, UtilizationSeries, WasteAnalysis, WasteBreakdown,
 };
 use wasteprof_browser::{BrowserConfig, Session, Tab};
+use wasteprof_checker::{DeadWriteLint, Registry};
 use wasteprof_gfx::CompositorConfig;
 use wasteprof_slicer::{
     pixel_criteria, slice, syscall_criteria, CacheStats, ForwardPass, SegmentHashes, SliceOptions,
     SliceResult, SummaryCache,
 };
-use wasteprof_trace::{ThreadKind, TracePos};
+use wasteprof_trace::{AnalysisDriver, ThreadKind, TracePos};
 use wasteprof_workloads::{bing_frames, Benchmark, SiteSpec};
 
 fn idx(b: Benchmark) -> usize {
@@ -520,7 +526,14 @@ pub fn table2(store: &SessionStore, opts: &EngineOptions) -> View {
     View::new("table2", out, artifacts)
 }
 
+/// Figure 2 buckets: resolution of the main-thread utilization series.
+pub const FIG2_BUCKETS: usize = 120;
+
 /// Figure 2: main-thread CPU utilization while browsing amazon.com.
+///
+/// Standalone entry point: computes the utilization series with a solo
+/// driver run. The engine computes the same series in its fused `analyze`
+/// sweep and calls [`fig2_from`] instead.
 pub fn fig2(store: &SessionStore) -> View {
     let session = store.browse_session(Benchmark::AmazonDesktop);
     let main_tid = session
@@ -528,8 +541,15 @@ pub fn fig2(store: &SessionStore) -> View {
         .threads()
         .find(ThreadKind::Main)
         .expect("main thread");
-    let series = UtilizationSeries::compute(&session.trace, &session.idle_spans, main_tid, 120);
+    let series =
+        UtilizationSeries::compute(&session.trace, &session.idle_spans, main_tid, FIG2_BUCKETS);
+    fig2_from(store, &series)
+}
 
+/// Renders Figure 2 from an already-computed utilization series (the
+/// engine's fused `analyze` stage produces it; [`fig2`] computes it solo).
+pub fn fig2_from(store: &SessionStore, series: &UtilizationSeries) -> View {
+    let session = store.browse_session(Benchmark::AmazonDesktop);
     let mut out = String::new();
     out.push_str("Figure 2: CPU utilization by the main thread of the tab process\n");
     out.push_str("while browsing amazon.com (virtual time; 1 tick = 1 instruction).\n");
@@ -633,15 +653,35 @@ pub fn fig4(store: &SessionStore) -> View {
 }
 
 /// Figure 5: categorization of potentially unnecessary computations.
+///
+/// Standalone entry point: computes each benchmark's breakdown with a
+/// solo driver run. The engine computes the same breakdowns in its fused
+/// `analyze` sweep and calls [`fig5_from`] instead.
 pub fn fig5(store: &SessionStore) -> View {
+    let breakdowns: Vec<CategoryBreakdown> = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let run = store.benchmark_run(b, false);
+            CategoryBreakdown::compute(&run.session.trace, &run.pixel)
+        })
+        .collect();
+    fig5_from(&breakdowns)
+}
+
+/// Renders Figure 5 from already-computed breakdowns, one per benchmark
+/// in [`Benchmark::ALL`] order.
+///
+/// # Panics
+///
+/// Panics if `breakdowns.len() != Benchmark::ALL.len()`.
+pub fn fig5_from(breakdowns: &[CategoryBreakdown]) -> View {
+    assert_eq!(breakdowns.len(), Benchmark::ALL.len());
     let mut out = String::new();
     out.push_str("Figure 5: categorization of potentially unnecessary computations\n");
     out.push_str("(distribution over the categorized portion of non-slice instructions).\n\n");
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
 
-    for benchmark in Benchmark::ALL {
-        let run = store.benchmark_run(benchmark, false);
-        let breakdown = CategoryBreakdown::compute(&run.session.trace, &run.pixel);
+    for (benchmark, breakdown) in Benchmark::ALL.into_iter().zip(breakdowns) {
         let items: Vec<(String, f64)> = Category::ALL
             .iter()
             .map(|&c| (c.label().to_owned(), breakdown.share(c)))
@@ -676,6 +716,46 @@ pub fn fig5(store: &SessionStore) -> View {
         ("fig5.csv".to_owned(), csv),
     ];
     View::new("fig5", out, artifacts)
+}
+
+/// Table II × Figure 5: per-thread-role namespace categorization of the
+/// non-slice instructions in every benchmark's base session.
+///
+/// Standalone entry point: computes each breakdown with a solo driver
+/// run. The engine computes the same breakdowns in its fused `analyze`
+/// sweep and calls [`table2_waste_from`] instead.
+pub fn table2_waste(store: &SessionStore) -> View {
+    let breakdowns: Vec<WasteBreakdown> = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let run = store.benchmark_run(b, false);
+            WasteBreakdown::compute(&run.session.trace, &run.pixel)
+        })
+        .collect();
+    table2_waste_from(&breakdowns)
+}
+
+/// Renders the waste cross-table from already-computed breakdowns, one
+/// per benchmark in [`Benchmark::ALL`] order.
+///
+/// # Panics
+///
+/// Panics if `breakdowns.len() != Benchmark::ALL.len()`.
+pub fn table2_waste_from(breakdowns: &[WasteBreakdown]) -> View {
+    assert_eq!(breakdowns.len(), Benchmark::ALL.len());
+    let mut out = String::new();
+    out.push_str("Table II x Figure 5: namespace categorization of potentially\n");
+    out.push_str("unnecessary (non-slice) instructions, split by thread role.\n");
+    out.push_str("Rows partition: every per-role count sums back to `All`.\n\n");
+    for (benchmark, breakdown) in Benchmark::ALL.into_iter().zip(breakdowns) {
+        out.push_str(&format!(
+            "== {} ==\n{}\n",
+            benchmark.label(),
+            breakdown.render()
+        ));
+    }
+    let artifacts = vec![("table2_waste.txt".to_owned(), out.clone())];
+    View::new("table2_waste", out, artifacts)
 }
 
 /// §V-A: the Bing load-time slice vs the full-session slice.
@@ -943,8 +1023,8 @@ pub fn ablations(store: &SessionStore) -> View {
 /// Timing for one engine stage.
 #[derive(Debug, Clone)]
 pub struct StageReport {
-    /// Stage name (`sessions`, `check`, `forward`, `slices`, `certify`,
-    /// `views`).
+    /// Stage name (`sessions`, `forward`, `slices`, `analyze`, `certify`,
+    /// `incremental`, `views`).
     pub name: &'static str,
     /// Parallel work items in the stage.
     pub items: usize,
@@ -1012,14 +1092,22 @@ impl EngineReport {
             "stage", "items", "instructions", "wall ms", "Minstr/s", "bytes/instr"
         ));
         for s in &self.stages {
+            // Stages that touch no trace storage (pure formatting views,
+            // private ablation sessions) render `-` instead of a
+            // misleading `0.0` footprint.
+            let bytes_per_instr = if s.trace_bytes == 0 {
+                "-".to_owned()
+            } else {
+                format!("{:.1}", s.bytes_per_instr())
+            };
             out.push_str(&format!(
-                "{:<10} {:>6} {:>16} {:>12.1} {:>12.1} {:>12.1}\n",
+                "{:<10} {:>6} {:>16} {:>12.1} {:>12.1} {:>12}\n",
                 s.name,
                 s.items,
                 s.instructions,
                 s.wall.as_secs_f64() * 1e3,
                 s.instr_per_sec() / 1e6,
-                s.bytes_per_instr(),
+                bytes_per_instr,
             ));
         }
         out.push_str(&format!(
@@ -1157,83 +1245,6 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
         wall: t.elapsed(),
     });
 
-    // Stage 1b (optional): verify every session trace — the race detector
-    // plus the well-formedness lints — before any experiment consumes it.
-    // Sessions are memoized already, so this costs exactly one streaming
-    // checker sweep per trace. The report lands in `results/check.txt`;
-    // diagnostics are pre-sorted by the checker, so the bytes do not
-    // depend on the thread count.
-    let check_view = opts.verify_traces.then(|| {
-        let t = Instant::now();
-        let results: Vec<(String, u64, u64, Vec<wasteprof_checker::Diag>, usize)> = sessions
-            .par_iter()
-            .map(|k| {
-                let session = store.session(*k);
-                let diags = wasteprof_checker::verify(&session.trace);
-                let dead = wasteprof_checker::dead_writes(&session.trace).len();
-                (
-                    k.label(),
-                    session.trace.len() as u64,
-                    session.trace.storage_bytes(),
-                    diags,
-                    dead,
-                )
-            })
-            .collect();
-        let mut out = String::from(
-            "Trace verification: happens-before race detector + streaming\n\
-             lints (wasteprof-checker, codes WP0001-WP0007) over every\n\
-             engine session, plus the WP0012 dead-producer-write waste\n\
-             metric (writes to Channel/Input/Framebuffer regions that are\n\
-             overwritten before any read).\n\n",
-        );
-        let mut total_diags = 0usize;
-        let mut total_dead = 0usize;
-        for (label, len, _, diags, dead) in &results {
-            total_dead += dead;
-            if diags.is_empty() {
-                out.push_str(&format!(
-                    "{:<44} clean  {:>12} instructions  {:>6} dead writes\n",
-                    label,
-                    format_count(*len),
-                    dead
-                ));
-            } else {
-                total_diags += diags.len();
-                out.push_str(&format!(
-                    "{:<44} {} diagnostic{}  {:>12} instructions  {:>6} dead writes\n",
-                    label,
-                    diags.len(),
-                    if diags.len() == 1 { "" } else { "s" },
-                    format_count(*len),
-                    dead
-                ));
-                // Cap the per-session listing so a badly broken trace
-                // cannot explode the artifact.
-                for d in diags.iter().take(20) {
-                    out.push_str(&format!("    {d}\n"));
-                }
-                if diags.len() > 20 {
-                    out.push_str(&format!("    ... {} more\n", diags.len() - 20));
-                }
-            }
-        }
-        out.push_str(&format!(
-            "\n{} sessions verified, {} diagnostics, {} dead producer writes.\n",
-            results.len(),
-            total_diags,
-            total_dead
-        ));
-        stages.push(StageReport {
-            name: "check",
-            items: results.len(),
-            instructions: results.iter().map(|r| r.1).sum(),
-            trace_bytes: results.iter().map(|r| r.2).sum(),
-            wall: t.elapsed(),
-        });
-        View::new("check", out.clone(), vec![("check.txt".to_owned(), out)])
-    });
-
     // Stage 2: one forward pass per base session, plus the two distinct
     // browse sessions when the certifier will need their slices.
     let mut forward_keys: Vec<SessionKey> = Benchmark::ALL
@@ -1317,6 +1328,164 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
         trace_bytes: work.iter().map(|w| w.1).sum(),
         wall: t.elapsed(),
     });
+
+    // Stage 3½: one *fused* analysis sweep per session. A single
+    // [`AnalysisDriver`] carries the verifier lint battery (WP0001-WP0007)
+    // and the WP0012 dead-write metric (when `verify_traces` is on)
+    // together with the per-instruction figure computations: Figure 5
+    // categories and the Table II × Figure 5 waste cross for every base
+    // session, Figure 2 utilization for the browse session it plots. Each
+    // trace is walked once for all of them instead of once per consumer.
+    // Fused results are identical to solo runs — the driver dispatches
+    // each analysis independently and lint batteries sort their own
+    // diagnostics — so `check.txt` and the figure artifacts keep their
+    // bytes (the `fused_matches_solo` tests pin this).
+    struct AnalyzeRow {
+        label: String,
+        len: u64,
+        bytes: u64,
+        diags: Vec<wasteprof_checker::Diag>,
+        dead: usize,
+        category: Option<CategoryBreakdown>,
+        waste: Option<WasteBreakdown>,
+        utilization: Option<UtilizationSeries>,
+    }
+    let t = Instant::now();
+    let rows: Vec<AnalyzeRow> = sessions
+        .par_iter()
+        .map(|k| {
+            let session = store.session(*k);
+            let trace = &session.trace;
+            let mut verify_reg = opts.verify_traces.then(Registry::with_default_lints);
+            let mut dead_reg = opts.verify_traces.then(|| {
+                let mut r = Registry::new();
+                r.register(Box::new(DeadWriteLint::default()));
+                r
+            });
+            // Base sessions own the canonical pixel slice (memoized by the
+            // slices stage above), which the category and waste analyses
+            // classify against; the browse sessions have no slice-derived
+            // figures.
+            let pixel = match k {
+                SessionKey::Base(b) => Some(store.pixel_slice(*b)),
+                SessionKey::Browse(_) => None,
+            };
+            let mut category = pixel.as_deref().map(CategoryAnalysis::new);
+            let mut waste = pixel.as_deref().map(WasteAnalysis::new);
+            let mut utilization =
+                matches!(k, SessionKey::Browse(Benchmark::AmazonDesktop)).then(|| {
+                    let main = trace.threads().find(ThreadKind::Main).expect("main thread");
+                    UtilizationAnalysis::new(session.idle_spans.clone(), main, FIG2_BUCKETS)
+                });
+            let mut verify_battery = verify_reg.as_mut().map(|r| r.as_analysis("verify"));
+            let mut dead_battery = dead_reg.as_mut().map(|r| r.as_analysis("dead-writes"));
+            let mut driver = AnalysisDriver::new();
+            if let Some(a) = verify_battery.as_mut() {
+                driver.register(a);
+            }
+            if let Some(a) = dead_battery.as_mut() {
+                driver.register(a);
+            }
+            if let Some(a) = category.as_mut() {
+                driver.register(a);
+            }
+            if let Some(a) = waste.as_mut() {
+                driver.register(a);
+            }
+            if let Some(a) = utilization.as_mut() {
+                driver.register(a);
+            }
+            driver.run(trace);
+            drop(driver);
+            AnalyzeRow {
+                label: k.label(),
+                len: trace.len() as u64,
+                bytes: trace.storage_bytes(),
+                diags: verify_battery
+                    .map(|mut b| b.take_diags())
+                    .unwrap_or_default(),
+                dead: dead_battery.map(|mut b| b.take_diags().len()).unwrap_or(0),
+                category: category.map(CategoryAnalysis::into_breakdown),
+                waste: waste.map(WasteAnalysis::into_breakdown),
+                utilization: utilization.map(UtilizationAnalysis::into_series),
+            }
+        })
+        .collect();
+    stages.push(StageReport {
+        name: "analyze",
+        items: rows.len(),
+        instructions: rows.iter().map(|r| r.len).sum(),
+        trace_bytes: rows.iter().map(|r| r.bytes).sum(),
+        wall: t.elapsed(),
+    });
+
+    // The verifier report (`results/check.txt`): same bytes as the old
+    // dedicated check stage — diagnostics are pre-sorted by the lint
+    // batteries, so they do not depend on the thread count.
+    let check_view = opts.verify_traces.then(|| {
+        let mut out = String::from(
+            "Trace verification: happens-before race detector + streaming\n\
+             lints (wasteprof-checker, codes WP0001-WP0007) over every\n\
+             engine session, plus the WP0012 dead-producer-write waste\n\
+             metric (writes to Channel/Input/Framebuffer regions that are\n\
+             overwritten before any read).\n\n",
+        );
+        let mut total_diags = 0usize;
+        let mut total_dead = 0usize;
+        for row in &rows {
+            total_dead += row.dead;
+            if row.diags.is_empty() {
+                out.push_str(&format!(
+                    "{:<44} clean  {:>12} instructions  {:>6} dead writes\n",
+                    row.label,
+                    format_count(row.len),
+                    row.dead
+                ));
+            } else {
+                total_diags += row.diags.len();
+                out.push_str(&format!(
+                    "{:<44} {} diagnostic{}  {:>12} instructions  {:>6} dead writes\n",
+                    row.label,
+                    row.diags.len(),
+                    if row.diags.len() == 1 { "" } else { "s" },
+                    format_count(row.len),
+                    row.dead
+                ));
+                // Cap the per-session listing so a badly broken trace
+                // cannot explode the artifact.
+                for d in row.diags.iter().take(20) {
+                    out.push_str(&format!("    {d}\n"));
+                }
+                if row.diags.len() > 20 {
+                    out.push_str(&format!("    ... {} more\n", row.diags.len() - 20));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "\n{} sessions verified, {} diagnostics, {} dead producer writes.\n",
+            rows.len(),
+            total_diags,
+            total_dead
+        ));
+        View::new("check", out.clone(), vec![("check.txt".to_owned(), out)])
+    });
+
+    // The fused figure results, pulled out of the rows for the views
+    // stage. `sessions[..4]` are the base sessions in `Benchmark::ALL`
+    // order, so the breakdown vectors line up benchmark-by-benchmark.
+    let fig5_breakdowns: Vec<CategoryBreakdown> = rows[..Benchmark::ALL.len()]
+        .iter()
+        .map(|r| r.category.clone().expect("base session breakdown"))
+        .collect();
+    let waste_breakdowns: Vec<WasteBreakdown> = rows[..Benchmark::ALL.len()]
+        .iter()
+        .map(|r| r.waste.clone().expect("base session waste breakdown"))
+        .collect();
+    let fig2_series = rows
+        .iter()
+        .find_map(|r| r.utilization.clone())
+        .expect("browse-session utilization series");
+    drop(rows);
 
     // Stage 3b (optional): the independent slice certifier — replay every
     // dependence witness against the columnar trace and check complement
@@ -1447,19 +1616,22 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
     });
 
     // Stage 4: the experiment views. Everything shared is already in the
-    // store; views only format and run their unique extra work.
-    type ViewFn = fn(&SessionStore, &EngineOptions) -> View;
-    let view_fns: [ViewFn; 7] = [
-        |s, _| table1(s),
-        |s, o| table2(s, o),
-        |s, _| fig2(s),
-        |s, _| fig4(s),
-        |s, _| fig5(s),
-        |s, _| bing_backslice(s),
-        |s, _| ablations(s),
-    ];
+    // store — fig2, fig5, and the waste cross render the fused `analyze`
+    // results; the rest only format and run their unique extra work.
     let t = Instant::now();
-    let mut views: Vec<View> = view_fns.par_iter().map(|f| f(&store, opts)).collect();
+    let mut views: Vec<View> = [0usize, 1, 2, 3, 4, 5, 6, 7]
+        .par_iter()
+        .map(|&i| match i {
+            0 => table1(&store),
+            1 => table2(&store, opts),
+            2 => table2_waste_from(&waste_breakdowns),
+            3 => fig2_from(&store, &fig2_series),
+            4 => fig4(&store),
+            5 => fig5_from(&fig5_breakdowns),
+            6 => bing_backslice(&store),
+            _ => ablations(&store),
+        })
+        .collect();
     stages.push(StageReport {
         name: "views",
         items: views.len(),

@@ -63,10 +63,36 @@ fn engine_output_is_byte_identical_across_thread_counts() {
         let stage = report
             .stages
             .iter()
-            .find(|s| s.name == "check")
-            .expect("check stage recorded");
-        assert_eq!(stage.items, 6, "one check item per session");
-        assert!(stage.instructions > 0, "check stage counts instructions");
+            .find(|s| s.name == "analyze")
+            .expect("fused analyze stage recorded");
+        assert_eq!(stage.items, 6, "one fused sweep per session");
+        assert!(stage.instructions > 0, "analyze stage counts instructions");
+        assert!(
+            !report.stages.iter().any(|s| s.name == "check"),
+            "the dedicated check stage is folded into analyze"
+        );
+    }
+
+    // The fused analyze stage feeds the figure views; the waste cross it
+    // introduces must be present, byte-identical (covered above), and
+    // well-formed on both runs.
+    for report in [&single, &parallel] {
+        let waste = report
+            .views
+            .iter()
+            .find(|v| v.name == "table2_waste")
+            .expect("waste cross view present");
+        assert!(
+            waste.artifacts.iter().any(|(n, _)| n == "table2_waste.txt"),
+            "waste view must emit table2_waste.txt"
+        );
+        for label in ["All", "Main", "Compositor", "Rasterizers"] {
+            assert!(
+                waste.stdout.contains(label),
+                "waste cross must report the {label} thread role:\n{}",
+                waste.stdout
+            );
+        }
     }
 
     // The certifier view exists, carries `certify.txt` (covered by the

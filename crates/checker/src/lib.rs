@@ -41,7 +41,7 @@ pub mod race;
 
 pub use certify::{certify, certify_streamed};
 pub use diag::{render_json, render_text, sort_diags, Code, Diag};
-pub use lint::{Ctx, Lint, Registry};
+pub use lint::{Ctx, Lint, LintBattery, Registry};
 pub use lints::{
     CallRetLint, DeadWriteLint, InvalidTidLint, MarkerPairingLint, RegionOverlapLint,
     UndefinedCalleeLint, UninitReadLint, PRODUCER_REGIONS,

@@ -2,10 +2,23 @@
 //!
 //! Every analysis implements [`Lint`] and receives the instruction stream
 //! exactly once, in program order, reading the packed columns through a
-//! [`ColumnCursor`] (no `Instr` materialization on the hot path). A
-//! [`Registry`] drives all registered lints behind a single shared cursor,
-//! so the cost of running six lints and the race detector together is
-//! roughly one pass over the columns instead of seven.
+//! [`wasteprof_trace::ColumnCursor`] (no `Instr` materialization on the
+//! hot path). A [`Registry`] drives all registered lints behind a single
+//! shared cursor, so the cost of running six lints and the race detector
+//! together is roughly one pass over the columns instead of seven.
+//!
+//! Since the fused-analysis refactor the sweep itself lives in
+//! [`wasteprof_trace::AnalysisDriver`]: a whole lint battery adapts into
+//! ONE [`TraceAnalysis`] (a [`LintBattery`]) and fuses with whatever other
+//! analyses share the run — the engine's `analyze` stage registers the
+//! verify battery, the dead-write battery, and the figure/table analyses
+//! in one driver and sweeps each trace once. The lint context [`Ctx`] *is*
+//! [`wasteprof_trace::AnalysisCtx`] — lints and external analyses read the
+//! trace through one vocabulary — and each lint declares a
+//! [`Subscription`] naming the columns it reads, so a streamed run
+//! ([`Registry::run_streamed`]) decodes only the subscribed column streams
+//! and skips the rest (the verify battery reads everything except register
+//! bitsets).
 //!
 //! The cursor indirection is what makes the battery out-of-core capable:
 //! [`Registry::run`] hands every lint one cursor spanning the whole
@@ -19,8 +32,7 @@
 use std::io::{Read, Seek};
 
 use wasteprof_trace::{
-    ColumnCursor, Columns, FunctionRegistry, MarkerRecord, ThreadTable, Trace, TraceIoError,
-    TraceReader,
+    AnalysisDriver, ColumnMask, Subscription, Trace, TraceAnalysis, TraceIoError, TraceReader,
 };
 
 use crate::diag::{sort_diags, Diag};
@@ -28,21 +40,11 @@ use crate::lints;
 use crate::race::RaceLint;
 
 /// Shared read-only context handed to every lint callback.
-pub struct Ctx<'a> {
-    /// The symbol table (function id → name).
-    pub funcs: &'a FunctionRegistry,
-    /// The thread table.
-    pub threads: &'a ThreadTable,
-    /// The marker (tile-log) records.
-    pub markers: &'a [MarkerRecord],
-    /// Cursor over the packed columns. During `on_instr` it always
-    /// contains the current index; during `begin`/`finish` of a streamed
-    /// run it may be empty.
-    pub cols: ColumnCursor<'a>,
-    /// Total instruction count of the trace under analysis. Unlike the
-    /// cursor bounds, this is valid in every callback.
-    pub total: usize,
-}
+///
+/// This is [`wasteprof_trace::AnalysisCtx`] under a local name: the same
+/// `funcs`/`threads`/`markers`/`cols`/`total` fields every fused analysis
+/// sees, so a lint is just a diagnostics-emitting analysis.
+pub use wasteprof_trace::AnalysisCtx as Ctx;
 
 /// A streaming analysis over one trace.
 ///
@@ -53,6 +55,15 @@ pub struct Ctx<'a> {
 pub trait Lint {
     /// Stable lint name, used in logs and registry listings.
     fn name(&self) -> &'static str;
+
+    /// The columns this lint reads. The default subscribes to everything;
+    /// lints narrow it so fused streamed runs can skip decoding column
+    /// streams no registered lint reads. The mask is a contract: on a
+    /// masked streamed run an undeclared column decodes to default values,
+    /// so an under-declared lint silently diverges from its in-memory run.
+    fn subscription(&self) -> Subscription {
+        Subscription::instructions(ColumnMask::ALL)
+    }
 
     /// Called once before the sweep; allocate per-trace state here.
     fn begin(&mut self, _ctx: &Ctx<'_>) {}
@@ -101,87 +112,109 @@ impl Registry {
         self.lints.iter().map(|l| l.name()).collect()
     }
 
+    /// Union of every registered lint's subscription — what one fused
+    /// sweep over this battery decodes and dispatches.
+    pub fn subscription(&self) -> Subscription {
+        self.lints
+            .iter()
+            .map(|l| l.subscription())
+            .fold(Subscription::default(), Subscription::union)
+    }
+
+    /// Borrows the whole battery as ONE fusable [`TraceAnalysis`], so a
+    /// caller-owned [`AnalysisDriver`] can sweep it together with other
+    /// analyses. Diagnostics accumulate inside the battery; take them with
+    /// [`LintBattery::take_diags`] after the driver run.
+    pub fn as_analysis(&mut self, name: &'static str) -> LintBattery<'_> {
+        LintBattery {
+            name,
+            lints: &mut self.lints,
+            diags: Vec::new(),
+        }
+    }
+
     /// Runs every registered lint over the trace in one streaming sweep
     /// and returns the diagnostics in canonical sorted order.
     pub fn run(&mut self, trace: &Trace) -> Vec<Diag> {
-        let total = trace.columns().len();
-        let ctx = Ctx {
-            funcs: trace.functions(),
-            threads: trace.threads(),
-            markers: trace.markers(),
-            cols: trace.columns().cursor(0, total),
-            total,
-        };
-        let mut out = Vec::new();
-        for lint in &mut self.lints {
-            lint.begin(&ctx);
-        }
-        for idx in 0..total {
-            for lint in &mut self.lints {
-                lint.on_instr(&ctx, idx, &mut out);
-            }
-        }
-        for lint in &mut self.lints {
-            lint.finish(&ctx, &mut out);
-        }
-        sort_diags(&mut out);
-        out
+        let mut battery = self.as_analysis("lints");
+        let mut driver = AnalysisDriver::new();
+        driver.register(&mut battery);
+        driver.run(trace);
+        drop(driver);
+        battery.take_diags()
     }
 
     /// Out-of-core variant of [`Registry::run`]: drives the same lint
     /// battery over a [`TraceReader`]'s segment stream, holding only the
-    /// reader's bounded chunk window in memory. `begin` and `finish` see
-    /// an empty cursor (but the real tables and `total`); `on_instr` sees
-    /// a cursor over the chunk containing the current index.
+    /// reader's bounded chunk window in memory. The reader's decode mask
+    /// is narrowed to the battery's subscription union for the duration,
+    /// so unsubscribed column streams are skipped, not decompressed.
+    /// `begin` and `finish` see an empty cursor (but the real tables and
+    /// `total`); `on_instr` sees a cursor over the chunk containing the
+    /// current index.
     pub fn run_streamed<R: Read + Seek>(
         &mut self,
         reader: &mut TraceReader<R>,
     ) -> Result<Vec<Diag>, TraceIoError> {
-        let funcs = reader.functions().clone();
-        let threads = reader.threads().clone();
-        let markers = reader.markers().to_vec();
-        let total = reader.len();
-        let empty = Columns::default();
-        let mut out = Vec::new();
-        {
-            let ctx = Ctx {
-                funcs: &funcs,
-                threads: &threads,
-                markers: &markers,
-                cols: empty.cursor(0, 0),
-                total,
-            };
-            for lint in &mut self.lints {
-                lint.begin(&ctx);
-            }
+        let mut battery = self.as_analysis("lints");
+        let mut driver = AnalysisDriver::new();
+        driver.register(&mut battery);
+        let swept = driver.run_streamed(reader);
+        drop(driver);
+        swept?;
+        Ok(battery.take_diags())
+    }
+}
+
+/// A borrowed lint battery adapted into one [`TraceAnalysis`].
+///
+/// Dispatch inside the battery is the classic nested-loop order
+/// (instruction index major, registration order minor), and `finish` sorts
+/// canonically — so whether the battery runs alone or fused with other
+/// analyses, the diagnostics come out byte-identical.
+pub struct LintBattery<'a> {
+    name: &'static str,
+    lints: &'a mut Vec<Box<dyn Lint>>,
+    diags: Vec<Diag>,
+}
+
+impl LintBattery<'_> {
+    /// The diagnostics accumulated by the last driver run, sorted
+    /// canonically; leaves the battery empty for reuse.
+    pub fn take_diags(&mut self) -> Vec<Diag> {
+        std::mem::take(&mut self.diags)
+    }
+}
+
+impl TraceAnalysis for LintBattery<'_> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn subscription(&self) -> Subscription {
+        self.lints
+            .iter()
+            .map(|l| l.subscription())
+            .fold(Subscription::default(), Subscription::union)
+    }
+
+    fn begin(&mut self, ctx: &Ctx<'_>) {
+        self.diags.clear();
+        for lint in self.lints.iter_mut() {
+            lint.begin(ctx);
         }
-        reader.stream_range(0, total, |cur| {
-            let ctx = Ctx {
-                funcs: &funcs,
-                threads: &threads,
-                markers: &markers,
-                cols: *cur,
-                total,
-            };
-            for idx in cur.lo()..cur.hi() {
-                for lint in &mut self.lints {
-                    lint.on_instr(&ctx, idx, &mut out);
-                }
-            }
-        })?;
-        {
-            let ctx = Ctx {
-                funcs: &funcs,
-                threads: &threads,
-                markers: &markers,
-                cols: empty.cursor(0, 0),
-                total,
-            };
-            for lint in &mut self.lints {
-                lint.finish(&ctx, &mut out);
-            }
+    }
+
+    fn on_instr(&mut self, ctx: &Ctx<'_>, idx: usize) {
+        for lint in self.lints.iter_mut() {
+            lint.on_instr(ctx, idx, &mut self.diags);
         }
-        sort_diags(&mut out);
-        Ok(out)
+    }
+
+    fn finish(&mut self, ctx: &Ctx<'_>) {
+        for lint in self.lints.iter_mut() {
+            lint.finish(ctx, &mut self.diags);
+        }
+        sort_diags(&mut self.diags);
     }
 }

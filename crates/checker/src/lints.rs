@@ -10,7 +10,9 @@
 
 use std::collections::{BTreeMap, HashSet};
 
-use wasteprof_trace::{AddrRange, InstrKind, Region, ThreadId, REGION_SHIFT};
+use wasteprof_trace::{
+    AddrRange, ColumnMask, InstrKind, Region, Subscription, ThreadId, REGION_SHIFT,
+};
 
 use crate::diag::{Code, Diag};
 use crate::lint::{Ctx, Lint};
@@ -44,6 +46,16 @@ pub struct CallRetLint {
 impl Lint for CallRetLint {
     fn name(&self) -> &'static str {
         "call-ret"
+    }
+
+    fn subscription(&self) -> Subscription {
+        // Kinds to see the call/ret stream, tids to keep per-thread
+        // stacks, funcs to name the frame in diagnostics.
+        Subscription::instructions(
+            ColumnMask::KINDS
+                .union(ColumnMask::TIDS)
+                .union(ColumnMask::FUNCS),
+        )
     }
 
     fn begin(&mut self, ctx: &Ctx<'_>) {
@@ -174,6 +186,10 @@ impl Lint for UninitReadLint {
         "uninit-read"
     }
 
+    fn subscription(&self) -> Subscription {
+        Subscription::instructions(ColumnMask::OPERANDS.union(ColumnMask::FUNCS))
+    }
+
     fn begin(&mut self, _ctx: &Ctx<'_>) {
         self.written = (0..=Region::ALL.len())
             .map(|_| Coverage::default())
@@ -234,6 +250,10 @@ impl Lint for RegionOverlapLint {
         "region-overlap"
     }
 
+    fn subscription(&self) -> Subscription {
+        Subscription::instructions(ColumnMask::OPERANDS)
+    }
+
     fn on_instr(&mut self, ctx: &Ctx<'_>, idx: usize, out: &mut Vec<Diag>) {
         let reads = ctx.cols.mem_reads(idx);
         let writes = ctx.cols.mem_writes(idx);
@@ -266,6 +286,10 @@ impl Lint for InvalidTidLint {
         "invalid-tid"
     }
 
+    fn subscription(&self) -> Subscription {
+        Subscription::instructions(ColumnMask::TIDS)
+    }
+
     fn on_instr(&mut self, ctx: &Ctx<'_>, idx: usize, out: &mut Vec<Diag>) {
         let tid = ctx.cols.tid(idx);
         if tid_invalid(ctx, tid) {
@@ -296,6 +320,14 @@ pub struct MarkerPairingLint {
 impl Lint for MarkerPairingLint {
     fn name(&self) -> &'static str {
         "marker-pairing"
+    }
+
+    fn subscription(&self) -> Subscription {
+        Subscription::instructions(
+            ColumnMask::KINDS
+                .union(ColumnMask::FUNCS)
+                .union(ColumnMask::MARKERS),
+        )
     }
 
     fn begin(&mut self, _ctx: &Ctx<'_>) {
@@ -368,6 +400,10 @@ pub struct UndefinedCalleeLint {
 impl Lint for UndefinedCalleeLint {
     fn name(&self) -> &'static str {
         "undefined-callee"
+    }
+
+    fn subscription(&self) -> Subscription {
+        Subscription::instructions(ColumnMask::KINDS.union(ColumnMask::FUNCS))
     }
 
     fn begin(&mut self, ctx: &Ctx<'_>) {
@@ -461,6 +497,10 @@ impl DeadWriteLint {
 impl Lint for DeadWriteLint {
     fn name(&self) -> &'static str {
         "dead-write"
+    }
+
+    fn subscription(&self) -> Subscription {
+        Subscription::instructions(ColumnMask::OPERANDS.union(ColumnMask::FUNCS))
     }
 
     fn begin(&mut self, _ctx: &Ctx<'_>) {

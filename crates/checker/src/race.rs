@@ -30,7 +30,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 
-use wasteprof_trace::{FuncId, InstrKind, Region, ThreadId, TracePos};
+use wasteprof_trace::{ColumnMask, FuncId, InstrKind, Region, Subscription, ThreadId, TracePos};
 
 use crate::diag::{Code, Diag};
 use crate::lint::{Ctx, Lint};
@@ -129,6 +129,16 @@ impl Shadow {
     /// Makes `[start, end)` exactly tiled by intervals (inserting fresh
     /// empty cells for uncovered gaps) and visits each in order.
     fn for_range(&mut self, start: u64, end: u64, mut f: impl FnMut(u64, u64, &mut CellState)) {
+        // Fast path: the range is already tiled by exactly one interval.
+        // Operands are cell-granular and heavily reused, so in steady
+        // state nearly every access lands here — one tree walk instead of
+        // the two splits plus two range scans below.
+        if let Some((&s, iv)) = self.map.range_mut(..=start).next_back() {
+            if s == start && iv.end == end {
+                f(start, end, &mut iv.cell);
+                return;
+            }
+        }
         self.split_at(start);
         self.split_at(end);
         let mut at = start;
@@ -272,6 +282,19 @@ impl Lint for RaceLint {
         "race"
     }
 
+    fn subscription(&self) -> Subscription {
+        // Everything except register bitsets: kinds for syscalls, tids and
+        // funcs for clocks and lock frames, operands for shadow memory,
+        // pcs for `describe` in race messages.
+        Subscription::instructions(
+            ColumnMask::KINDS
+                .union(ColumnMask::TIDS)
+                .union(ColumnMask::FUNCS)
+                .union(ColumnMask::PCS)
+                .union(ColumnMask::OPERANDS),
+        )
+    }
+
     fn begin(&mut self, ctx: &Ctx<'_>) {
         let n = ctx.threads.len();
         self.vcs = (0..n).map(|_| Vc::with_threads(n)).collect();
@@ -320,8 +343,7 @@ impl Lint for RaceLint {
         // send that produced them).
         if let InstrKind::Syscall { nr } = kind {
             if !nr.is_output() {
-                let ch = self.channel_vc.clone();
-                self.vcs[t].join(&ch);
+                self.vcs[t].join(&self.channel_vc);
             }
         }
 
@@ -332,14 +354,16 @@ impl Lint for RaceLint {
         };
 
         // Reads first (read-modify-write consumes before it produces).
-        for op_idx in 0..ctx.cols.mem_reads(idx).len() {
-            let r = ctx.cols.mem_reads(idx)[op_idx];
+        // The shadow map and the thread's clock are disjoint fields, so
+        // the closure can read the clock by reference while the map is
+        // borrowed mutably — no per-operand clock clone on the hot path.
+        for &r in ctx.cols.mem_reads(idx) {
             let mut races: Vec<(Access, u64, u64)> = Vec::new();
-            let vc = self.vcs[t].clone();
+            let vc = &self.vcs[t];
             self.shadow
                 .for_range(r.start().raw(), r.end().raw(), |lo, hi, cell| {
                     if let Some(w) = cell.write {
-                        if w.tid != tid.0 && !w.ordered_before(&vc) {
+                        if w.tid != tid.0 && !w.ordered_before(vc) {
                             races.push((w, lo, hi));
                         }
                     }
@@ -349,19 +373,18 @@ impl Lint for RaceLint {
                 self.report(ctx, out, w, "write", idx, "read", lo, hi);
             }
         }
-        for op_idx in 0..ctx.cols.mem_writes(idx).len() {
-            let w = ctx.cols.mem_writes(idx)[op_idx];
+        for &w in ctx.cols.mem_writes(idx) {
             let mut races: Vec<(Access, &'static str, u64, u64)> = Vec::new();
-            let vc = self.vcs[t].clone();
+            let vc = &self.vcs[t];
             self.shadow
                 .for_range(w.start().raw(), w.end().raw(), |lo, hi, cell| {
                     if let Some(prev) = cell.write {
-                        if prev.tid != tid.0 && !prev.ordered_before(&vc) {
+                        if prev.tid != tid.0 && !prev.ordered_before(vc) {
                             races.push((prev, "write", lo, hi));
                         }
                     }
                     for &r in &cell.reads {
-                        if r.tid != tid.0 && !r.ordered_before(&vc) {
+                        if r.tid != tid.0 && !r.ordered_before(vc) {
                             races.push((r, "read", lo, hi));
                         }
                     }
@@ -377,8 +400,7 @@ impl Lint for RaceLint {
         // operands are processed.
         if let InstrKind::Syscall { nr } = kind {
             if nr.is_output() {
-                let vc = self.vcs[t].clone();
-                self.channel_vc.join(&vc);
+                self.channel_vc.join(&self.vcs[t]);
                 self.vcs[t].bump(t);
             }
         }

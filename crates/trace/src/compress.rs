@@ -143,9 +143,11 @@ const ENC_PLAIN: u8 = 0;
 /// Wire tag for a run-length (`value`,`runlen`) varint-pair stream.
 const ENC_RLE: u8 = 1;
 
-/// Encodes `values` as one column block: a 1-byte encoder tag followed by
-/// either a plain varint stream or a run-length stream — whichever is
-/// smaller for this column of this segment.
+/// Encodes `values` as one column block: a varint byte length covering the
+/// rest of the block, a 1-byte encoder tag, then either a plain varint
+/// stream or a run-length stream — whichever is smaller for this column of
+/// this segment. The length prefix lets a selective decoder skip a block
+/// it never subscribed to in O(1) without touching its payload.
 pub fn encode_stream(out: &mut Vec<u8>, values: &[u64]) {
     let mut plain = Vec::new();
     for &v in values {
@@ -163,13 +165,18 @@ pub fn encode_stream(out: &mut Vec<u8>, values: &[u64]) {
         put_varint(&mut rle, (j - i) as u64);
         i = j;
     }
-    if rle.len() < plain.len() {
-        out.push(ENC_RLE);
-        out.extend_from_slice(&rle);
+    let body = if rle.len() < plain.len() {
+        &rle
     } else {
-        out.push(ENC_PLAIN);
-        out.extend_from_slice(&plain);
-    }
+        &plain
+    };
+    put_varint(out, (body.len() + 1) as u64);
+    out.push(if rle.len() < plain.len() {
+        ENC_RLE
+    } else {
+        ENC_PLAIN
+    });
+    out.extend_from_slice(body);
 }
 
 /// Decodes exactly `n` values of a block written by [`encode_stream`],
@@ -178,13 +185,20 @@ pub fn encode_stream(out: &mut Vec<u8>, values: &[u64]) {
 /// # Errors
 ///
 /// [`TraceIoError::Format`] on an unknown encoder tag, a truncated
-/// stream, or a run-length stream whose runs do not sum to `n` exactly.
+/// stream, a run-length stream whose runs do not sum to `n` exactly, or a
+/// block whose decoded payload does not consume its declared byte length.
 pub fn decode_stream(
     r: &mut ByteReader<'_>,
     n: usize,
     out: &mut Vec<u64>,
 ) -> Result<(), TraceIoError> {
-    out.reserve(n.min(r.remaining().saturating_add(1)));
+    let len = r.varint()?;
+    let len = usize::try_from(len).map_err(|_| bad("block length overflows usize"))?;
+    if len == 0 {
+        return Err(bad("column block with zero length"));
+    }
+    let mut r = ByteReader::new(r.bytes(len)?);
+    out.reserve(n.min(len));
     match r.u8()? {
         ENC_PLAIN => {
             for _ in 0..n {
@@ -211,7 +225,32 @@ pub fn decode_stream(
         }
         tag => return Err(bad(format!("unknown column encoder tag {tag}"))),
     }
+    if !r.is_exhausted() {
+        return Err(bad(format!(
+            "column block declares {len} bytes but decoding left {}",
+            r.remaining()
+        )));
+    }
     Ok(())
+}
+
+/// Skips one block written by [`encode_stream`] without decoding its
+/// payload, returning the number of payload bytes (tag included) skipped.
+/// This is the selective-decode fast path: a column no registered analysis
+/// subscribed to costs one varint read and a cursor bump.
+///
+/// # Errors
+///
+/// [`TraceIoError::Format`] when the declared length runs past the bytes
+/// that remain.
+pub fn skip_stream(r: &mut ByteReader<'_>) -> Result<usize, TraceIoError> {
+    let len = r.varint()?;
+    let len = usize::try_from(len).map_err(|_| bad("block length overflows usize"))?;
+    if len == 0 {
+        return Err(bad("column block with zero length"));
+    }
+    r.bytes(len)?;
+    Ok(len)
 }
 
 #[cfg(test)]
@@ -227,6 +266,13 @@ mod tests {
         assert!(r.is_exhausted(), "trailing bytes after decode");
         assert_eq!(back, values);
         buf
+    }
+
+    /// Encoder tag of a block (the byte after the length prefix).
+    fn block_tag(buf: &[u8]) -> u8 {
+        let mut r = ByteReader::new(buf);
+        r.varint().unwrap();
+        r.u8().unwrap()
     }
 
     #[test]
@@ -251,7 +297,7 @@ mod tests {
     #[test]
     fn constant_runs_choose_rle() {
         let buf = roundtrip(&[7u64; 1000]);
-        assert_eq!(buf[0], ENC_RLE);
+        assert_eq!(block_tag(&buf), ENC_RLE);
         assert!(buf.len() < 8, "1000 constants in {} bytes", buf.len());
     }
 
@@ -259,7 +305,7 @@ mod tests {
     fn incompressible_streams_choose_plain() {
         let values: Vec<u64> = (0..256u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
         let buf = roundtrip(&values);
-        assert_eq!(buf[0], ENC_PLAIN);
+        assert_eq!(block_tag(&buf), ENC_PLAIN);
     }
 
     #[test]
@@ -268,20 +314,60 @@ mod tests {
     }
 
     #[test]
+    fn skip_stream_advances_exactly_one_block() {
+        let mut buf = Vec::new();
+        encode_stream(&mut buf, &[3u64; 500]);
+        encode_stream(&mut buf, &[1, 2, 3, 4]);
+        let mut r = ByteReader::new(&buf);
+        let skipped = skip_stream(&mut r).unwrap();
+        assert!(skipped > 0);
+        let mut back = Vec::new();
+        decode_stream(&mut r, 4, &mut back).unwrap();
+        assert_eq!(back, vec![1, 2, 3, 4]);
+        assert!(r.is_exhausted());
+    }
+
+    fn framed(body: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, body.len() as u64);
+        buf.extend_from_slice(body);
+        buf
+    }
+
+    #[test]
     fn decode_rejects_overlong_runs_and_truncation() {
         // RLE claiming a run of 5 where only 3 values are expected.
-        let mut buf = vec![ENC_RLE];
-        put_varint(&mut buf, 9);
-        put_varint(&mut buf, 5);
+        let mut body = vec![ENC_RLE];
+        put_varint(&mut body, 9);
+        put_varint(&mut body, 5);
+        let buf = framed(&body);
         let mut out = Vec::new();
         let err = decode_stream(&mut ByteReader::new(&buf), 3, &mut out).unwrap_err();
         assert!(matches!(err, TraceIoError::Format(_)), "{err:?}");
 
         // Plain stream that ends before all values arrive.
-        let mut buf = vec![ENC_PLAIN];
-        put_varint(&mut buf, 1);
+        let mut body = vec![ENC_PLAIN];
+        put_varint(&mut body, 1);
+        let buf = framed(&body);
         let mut out = Vec::new();
         let err = decode_stream(&mut ByteReader::new(&buf), 2, &mut out).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "{err:?}");
+    }
+
+    #[test]
+    fn decode_rejects_wrong_declared_length() {
+        // A valid 1-value plain block whose frame claims one extra byte.
+        let mut body = vec![ENC_PLAIN];
+        put_varint(&mut body, 1);
+        body.push(0x55); // stray byte inside the declared frame
+        let buf = framed(&body);
+        let mut out = Vec::new();
+        let err = decode_stream(&mut ByteReader::new(&buf), 1, &mut out).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)), "{err:?}");
+
+        // A zero-length frame is never valid (the tag byte is mandatory).
+        let buf = framed(&[]);
+        let err = skip_stream(&mut ByteReader::new(&buf)).unwrap_err();
         assert!(matches!(err, TraceIoError::Format(_)), "{err:?}");
     }
 

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+pub mod analysis;
 mod columns;
 pub mod compress;
 mod func;
@@ -61,12 +62,13 @@ mod thread;
 mod trace;
 
 pub use addr::{Addr, AddrRange, Region, VirtualMemory, CELL, REGION_SHIFT};
+pub use analysis::{AnalysisCtx, AnalysisDriver, ColumnMask, Subscription, TraceAnalysis};
 pub use columns::{ColumnCursor, Columns, MemOpsRef};
 pub use func::{FuncId, FuncInfo, FunctionRegistry};
 pub use instr::{Instr, InstrKind, MemMulti, MemOps, TracePos};
 pub use io::{read_trace, write_trace, TraceIoError};
 pub use pc::Pc;
-pub use reader::{write_trace2, Trace2Stats, Trace2Writer, TraceReader};
+pub use reader::{write_trace2, DecodeStats, Trace2Stats, Trace2Writer, TraceReader};
 pub use recorder::Recorder;
 pub use reg::{Reg, RegSet};
 pub use segment::{segment_content_hash, ContentHasher, SegmentMeta, SEGMENT_LEN};

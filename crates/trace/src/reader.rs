@@ -24,6 +24,7 @@
 use std::io::{Read, Seek, SeekFrom, Write};
 
 use crate::addr::{Addr, AddrRange};
+use crate::analysis::ColumnMask;
 use crate::columns::{ColumnCursor, Columns};
 use crate::compress::ByteReader;
 use crate::func::{FuncId, FunctionRegistry};
@@ -32,8 +33,8 @@ use crate::io::{count_u32, thread_kind_from, thread_kind_tag, w_str, TraceIoErro
 use crate::pc::Pc;
 use crate::reg::RegSet;
 use crate::segment::{
-    decode_segment, encode_segment, segment_content_hash, SegmentMeta, MAGIC2, MAX_SEGMENT_INSTRS,
-    SEGMENT_LEN, TRAILER2,
+    decode_segment_masked, encode_segment, segment_content_hash, SegmentMeta, MAGIC2,
+    MAX_SEGMENT_INSTRS, SEGMENT_LEN, TRAILER2,
 };
 use crate::thread::{ThreadId, ThreadTable};
 use crate::trace::{MarkerRecord, Trace};
@@ -446,6 +447,21 @@ pub fn write_trace2(w: &mut impl Write, trace: &Trace) -> Result<Trace2Stats, Tr
 
 // ----- reader ------------------------------------------------------------
 
+/// Cumulative decode accounting of one [`TraceReader`]: how many segment
+/// decodes it performed and how the payload bytes split between decoded
+/// and mask-skipped column blocks. Selective-decode benchmarks read this
+/// to report the bytes a narrowed mask saved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Segment payloads decoded from disk (cache hits excluded).
+    pub chunks_decoded: u64,
+    /// Payload bytes decompressed into columns.
+    pub decoded_stream_bytes: u64,
+    /// Payload bytes skipped via block length prefixes under a narrowed
+    /// [`ColumnMask`].
+    pub skipped_stream_bytes: u64,
+}
+
 /// Streaming random-chunk access to a `WPTRACE2` trace.
 ///
 /// Holds the footer tables plus a bounded cache of decoded segments (see
@@ -457,8 +473,16 @@ pub struct TraceReader<R: Read + Seek> {
     threads: ThreadTable,
     markers: Vec<MarkerRecord>,
     segs: Vec<SegmentMeta>,
-    /// Most-recently-used decoded chunks, front first.
-    cache: Vec<(usize, Columns)>,
+    /// Most-recently-used decoded chunks, front first, each tagged with
+    /// the mask it was decoded under: a cached chunk only serves requests
+    /// whose mask it covers, so a narrowly decoded chunk can never leak
+    /// default-filled columns to a consumer that subscribed to them.
+    cache: Vec<(usize, ColumnMask, Columns)>,
+    /// Column groups [`TraceReader::chunk`] decodes; defaults to
+    /// [`ColumnMask::ALL`].
+    decode_mask: ColumnMask,
+    /// Cumulative decode accounting.
+    stats: DecodeStats,
 }
 
 impl<R: Read + Seek> TraceReader<R> {
@@ -506,7 +530,42 @@ impl<R: Read + Seek> TraceReader<R> {
             markers: footer.markers,
             segs: footer.segs,
             cache: Vec::new(),
+            decode_mask: ColumnMask::ALL,
+            stats: DecodeStats::default(),
         })
+    }
+
+    /// Column groups [`TraceReader::chunk`] currently decodes.
+    pub fn decode_mask(&self) -> ColumnMask {
+        self.decode_mask
+    }
+
+    /// Narrows (or restores) the column groups [`TraceReader::chunk`]
+    /// decodes. Streams outside `mask` are skipped through their block
+    /// length prefixes instead of decompressed, and come back as default
+    /// values — callers must only read the columns in `mask` (this is the
+    /// [`crate::analysis::Subscription`] contract, enforced there by the
+    /// fused driver's union).
+    ///
+    /// Under any mask other than [`ColumnMask::ALL`] the footer's
+    /// per-segment content hash — which covers every column — cannot be
+    /// recomputed, so the end-to-end integrity check is skipped; block
+    /// framing and per-value domain checks on the decoded columns still
+    /// apply. Cached chunks are tagged with their decode mask, so
+    /// narrowing then widening never serves default-filled columns.
+    pub fn set_decode_mask(&mut self, mask: ColumnMask) {
+        self.decode_mask = mask;
+    }
+
+    /// Cumulative decode accounting since `open` (or the last
+    /// [`TraceReader::reset_decode_stats`]).
+    pub fn decode_stats(&self) -> DecodeStats {
+        self.stats
+    }
+
+    /// Zeroes the decode accounting, so a benchmark can meter one pass.
+    pub fn reset_decode_stats(&mut self) {
+        self.stats = DecodeStats::default();
     }
 
     /// Number of dynamic instructions in the trace.
@@ -562,34 +621,54 @@ impl<R: Read + Seek> TraceReader<R> {
     /// [`TraceIoError::Format`] if the segment payload is corrupt,
     /// [`TraceIoError::Io`] on read failure.
     pub fn chunk(&mut self, i: usize) -> Result<&Columns, TraceIoError> {
-        if let Some(p) = self.cache.iter().position(|(j, _)| *j == i) {
+        if let Some(p) = self
+            .cache
+            .iter()
+            .position(|(j, m, _)| *j == i && m.contains(self.decode_mask))
+        {
             let hit = self.cache.remove(p);
             self.cache.insert(0, hit);
-            return Ok(&self.cache[0].1);
+            return Ok(&self.cache[0].2);
         }
+        // Any cached copy decoded under a narrower mask is stale for this
+        // request; drop it before decoding fresh.
+        self.cache.retain(|(j, _, _)| *j != i);
         let meta = &self.segs[i];
         self.r.seek(SeekFrom::Start(meta.offset))?;
         // Bounded: offset + byte_len was validated against the payload
         // area when the footer was parsed.
         let mut buf = vec![0u8; meta.byte_len as usize];
         self.r.read_exact(&mut buf)?;
-        let cols = decode_segment(&buf, meta.n_instr as usize, self.funcs.len())?;
+        let (cols, seg_stats) = decode_segment_masked(
+            &buf,
+            meta.n_instr as usize,
+            self.funcs.len(),
+            self.decode_mask,
+        )?;
+        self.stats.chunks_decoded += 1;
+        self.stats.decoded_stream_bytes += seg_stats.decoded_bytes;
+        self.stats.skipped_stream_bytes += seg_stats.skipped_bytes;
         // The footer's content hash is the end-to-end integrity check: a
         // payload bit-flip the per-column codecs happen to decode
         // "successfully" still changes the decoded rows, and is caught
-        // here instead of silently corrupting downstream analyses.
-        let got = segment_content_hash(&cols, 0, cols.len());
-        if got != meta.content_hash {
-            return Err(bad(format!(
-                "segment {i} content hash mismatch: footer {:016x}{:016x}, decoded {:016x}{:016x}",
-                meta.content_hash[0], meta.content_hash[1], got[0], got[1]
-            )));
+        // here instead of silently corrupting downstream analyses. It
+        // covers every column, so it is only checkable on a full decode;
+        // a narrowed mask trades it for skipping (see
+        // [`TraceReader::set_decode_mask`]).
+        if self.decode_mask == ColumnMask::ALL {
+            let got = segment_content_hash(&cols, 0, cols.len());
+            if got != meta.content_hash {
+                return Err(bad(format!(
+                    "segment {i} content hash mismatch: footer {:016x}{:016x}, decoded {:016x}{:016x}",
+                    meta.content_hash[0], meta.content_hash[1], got[0], got[1]
+                )));
+            }
         }
         if self.cache.len() >= MAX_CACHED_CHUNKS {
             self.cache.pop();
         }
-        self.cache.insert(0, (i, cols));
-        Ok(&self.cache[0].1)
+        self.cache.insert(0, (i, self.decode_mask, cols));
+        Ok(&self.cache[0].2)
     }
 
     /// Decodes chunk `i` and presents it at its global instruction range:
@@ -929,6 +1008,43 @@ mod tests {
             caught_by_hash > 0,
             "no flip exercised the content-hash check"
         );
+    }
+
+    #[test]
+    fn masked_chunks_never_poison_the_cache() {
+        let t = sample();
+        let mut buf = Vec::new();
+        let mut w = Trace2Writer::with_segment_len(&mut buf, 64).unwrap();
+        push_all(&mut w, &t);
+        w.finish(t.functions(), t.threads(), t.markers()).unwrap();
+        let mut rd = TraceReader::open(Cursor::new(buf)).unwrap();
+
+        // Narrow decode: tids real, everything else skipped.
+        rd.set_decode_mask(ColumnMask::TIDS);
+        assert_eq!(rd.decode_mask(), ColumnMask::TIDS);
+        {
+            let cols = rd.chunk(0).unwrap();
+            for idx in 0..cols.len() {
+                assert_eq!(cols.tid(idx), t.columns().tid(idx));
+            }
+        }
+        let narrow = rd.decode_stats();
+        assert_eq!(narrow.chunks_decoded, 1);
+        assert!(narrow.skipped_stream_bytes > 0, "{narrow:?}");
+
+        // Widening re-decodes rather than serving the default-filled copy,
+        // and the full decode re-enables the content-hash check.
+        rd.set_decode_mask(ColumnMask::ALL);
+        let cur = rd.chunk_cursor(0).unwrap();
+        assert_eq!(cur.instr(0), t.instr(TracePos(0)));
+        assert_eq!(rd.decode_stats().chunks_decoded, 2);
+
+        // A full-mask cached chunk covers any narrower request.
+        rd.set_decode_mask(ColumnMask::TIDS);
+        rd.chunk(0).unwrap();
+        assert_eq!(rd.decode_stats().chunks_decoded, 2, "cache hit expected");
+        rd.reset_decode_stats();
+        assert_eq!(rd.decode_stats(), DecodeStats::default());
     }
 
     #[test]

@@ -33,8 +33,9 @@
 //! input's own size does not justify.
 
 use crate::addr::{Addr, AddrRange};
+use crate::analysis::ColumnMask;
 use crate::columns::{Columns, MemOpsRef};
-use crate::compress::{decode_stream, encode_stream, unzigzag, zigzag, ByteReader};
+use crate::compress::{decode_stream, encode_stream, skip_stream, unzigzag, zigzag, ByteReader};
 use crate::io::TraceIoError;
 use crate::syscall::Syscall;
 use crate::thread::ThreadId;
@@ -316,6 +317,24 @@ pub fn encode_segment(
     Ok((thread_bits, region_bits))
 }
 
+/// Byte accounting of one masked segment decode: how much of the payload
+/// was actually decompressed vs. skipped through block length prefixes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegmentDecodeStats {
+    /// Payload bytes decoded (column blocks some analysis subscribed to).
+    pub decoded_bytes: u64,
+    /// Payload bytes skipped without decompression.
+    pub skipped_bytes: u64,
+}
+
+impl SegmentDecodeStats {
+    /// Accumulates another segment's accounting into this one.
+    pub fn add(&mut self, other: SegmentDecodeStats) {
+        self.decoded_bytes += other.decoded_bytes;
+        self.skipped_bytes += other.skipped_bytes;
+    }
+}
+
 /// Decodes one segment payload of `n` instructions into a fresh physical
 /// [`Columns`] store (indices `0..n`).
 ///
@@ -329,169 +348,269 @@ pub fn encode_segment(
 /// out-of-domain values, dictionary misuse, operand caps exceeded, or
 /// trailing bytes after the last column.
 pub fn decode_segment(bytes: &[u8], n: usize, nfuncs: usize) -> Result<Columns, TraceIoError> {
+    decode_segment_masked(bytes, n, nfuncs, ColumnMask::ALL).map(|(cols, _)| cols)
+}
+
+/// Selective variant of [`decode_segment`]: decompresses only the column
+/// groups present in `mask`, skipping the rest through their block length
+/// prefixes. Skipped columns come back as defaults (kind `Op`, tid 0,
+/// func 0, pc 0, empty register sets, no memory operands), so the result
+/// is a structurally valid store whose unsubscribed columns must simply
+/// never be read — the [`crate::analysis::Subscription`] contract.
+///
+/// Every block-level length is still validated and the payload must be
+/// consumed exactly, so truncation and framing corruption are caught even
+/// under a narrow mask; value-domain validation only happens for decoded
+/// columns, and whole-row integrity (the footer content hash) is only
+/// checkable on a full decode.
+pub fn decode_segment_masked(
+    bytes: &[u8],
+    n: usize,
+    nfuncs: usize,
+    mask: ColumnMask,
+) -> Result<(Columns, SegmentDecodeStats), TraceIoError> {
     if n > MAX_SEGMENT_INSTRS {
         return Err(bad(format!(
             "segment claims {n} instructions, above the {MAX_SEGMENT_INSTRS} format cap"
         )));
     }
     let r = &mut ByteReader::new(bytes);
+    let mut stats = SegmentDecodeStats::default();
     let mut vals: Vec<u64> = Vec::new();
 
-    // 1. kind tags.
-    decode_stream(r, n, &mut vals)?;
-    let mut kinds = Vec::with_capacity(n);
-    let mut payload_rows = 0usize;
-    for &v in &vals {
-        let tag = u8::try_from(v).map_err(|_| bad("kind tag overflows u8"))?;
-        if tag > 7 {
-            return Err(bad(format!("unknown instr tag {tag}")));
-        }
-        if matches!(tag, 3 | 4 | 6) {
-            payload_rows += 1;
-        }
-        kinds.push(tag);
-    }
-
-    // 2. kind payloads.
-    vals.clear();
-    decode_stream(r, payload_rows, &mut vals)?;
-    let mut kind_data = vec![0u32; n];
-    let mut pi = 0usize;
-    for (i, &tag) in kinds.iter().enumerate() {
-        if matches!(tag, 3 | 4 | 6) {
-            let data = u32::try_from(vals[pi]).map_err(|_| bad("kind payload overflows u32"))?;
-            if tag == 6 && Syscall::from_number(data).is_none() {
-                return Err(bad(format!("unknown syscall {data}")));
+    // 1–2. kind tags and payloads. The payload stream's value count is
+    // only known from the decoded tags, but skipping needs no count —
+    // that is what the block length prefix buys.
+    let (kinds, kind_data) = if mask.contains(ColumnMask::KINDS) {
+        let before = r.remaining();
+        decode_stream(r, n, &mut vals)?;
+        let mut kinds = Vec::with_capacity(n);
+        let mut payload_rows = 0usize;
+        for &v in &vals {
+            let tag = u8::try_from(v).map_err(|_| bad("kind tag overflows u8"))?;
+            if tag > 7 {
+                return Err(bad(format!("unknown instr tag {tag}")));
             }
-            kind_data[i] = data;
-            pi += 1;
+            if matches!(tag, 3 | 4 | 6) {
+                payload_rows += 1;
+            }
+            kinds.push(tag);
         }
-    }
+        vals.clear();
+        decode_stream(r, payload_rows, &mut vals)?;
+        let mut kind_data = vec![0u32; n];
+        let mut pi = 0usize;
+        for (i, &tag) in kinds.iter().enumerate() {
+            if matches!(tag, 3 | 4 | 6) {
+                let data =
+                    u32::try_from(vals[pi]).map_err(|_| bad("kind payload overflows u32"))?;
+                if tag == 6 && Syscall::from_number(data).is_none() {
+                    return Err(bad(format!("unknown syscall {data}")));
+                }
+                kind_data[i] = data;
+                pi += 1;
+            }
+        }
+        stats.decoded_bytes += (before - r.remaining()) as u64;
+        (kinds, kind_data)
+    } else {
+        let before = r.remaining();
+        skip_stream(r)?;
+        skip_stream(r)?;
+        stats.skipped_bytes += (before - r.remaining()) as u64;
+        (vec![0u8; n], vec![0u32; n])
+    };
 
     // 3. tids.
-    vals.clear();
-    decode_stream(r, n, &mut vals)?;
-    let mut tids = Vec::with_capacity(n);
-    for &v in &vals {
-        tids.push(u8::try_from(v).map_err(|_| bad("tid overflows u8"))?);
-    }
+    let tids = if mask.contains(ColumnMask::TIDS) {
+        let before = r.remaining();
+        vals.clear();
+        decode_stream(r, n, &mut vals)?;
+        let mut tids = Vec::with_capacity(n);
+        for &v in &vals {
+            tids.push(u8::try_from(v).map_err(|_| bad("tid overflows u8"))?);
+        }
+        stats.decoded_bytes += (before - r.remaining()) as u64;
+        tids
+    } else {
+        let before = r.remaining();
+        skip_stream(r)?;
+        stats.skipped_bytes += (before - r.remaining()) as u64;
+        vec![0u8; n]
+    };
 
-    // 4. funcs: dictionary, then indices.
-    let dict_len = r.varint()?;
-    let dict_len = usize::try_from(dict_len).map_err(|_| bad("dictionary too large"))?;
-    if dict_len > n {
-        return Err(bad(format!(
-            "function dictionary of {dict_len} entries for {n} instructions"
-        )));
-    }
-    vals.clear();
-    decode_stream(r, dict_len, &mut vals)?;
-    let mut dict: Vec<u32> = Vec::with_capacity(dict_len);
-    let mut acc = 0u64;
-    for (i, &d) in vals.iter().enumerate() {
-        acc = if i == 0 {
-            d
-        } else {
-            acc.checked_add(d)
-                .ok_or_else(|| bad("function dictionary overflows"))?
-        };
-        let f = u32::try_from(acc).map_err(|_| bad("function id overflows u32"))?;
-        if f as usize >= nfuncs {
+    // 4. funcs: dictionary length (raw varint), dictionary, indices.
+    let funcs = if mask.contains(ColumnMask::FUNCS) {
+        let before = r.remaining();
+        let dict_len = r.varint()?;
+        let dict_len = usize::try_from(dict_len).map_err(|_| bad("dictionary too large"))?;
+        if dict_len > n {
             return Err(bad(format!(
-                "function id {f} outside the {nfuncs}-entry symbol table"
+                "function dictionary of {dict_len} entries for {n} instructions"
             )));
         }
-        dict.push(f);
-    }
-    vals.clear();
-    decode_stream(r, n, &mut vals)?;
-    let mut funcs = Vec::with_capacity(n);
-    for &v in &vals {
-        let i = usize::try_from(v).map_err(|_| bad("dictionary index overflows"))?;
-        let f = *dict
-            .get(i)
-            .ok_or_else(|| bad(format!("dictionary index {i} out of range {dict_len}")))?;
-        funcs.push(f);
-    }
-
-    // 5. pcs.
-    vals.clear();
-    decode_stream(r, n, &mut vals)?;
-    let mut pcs = Vec::with_capacity(n);
-    let mut prev = 0i64;
-    for &v in &vals {
-        let pc = prev
-            .checked_add(unzigzag(v))
-            .ok_or_else(|| bad("pc delta overflows"))?;
-        pcs.push(u32::try_from(pc).map_err(|_| bad("pc outside u32 range"))?);
-        prev = pc;
-    }
-
-    // 6–7. register bitsets.
-    let mut reg_cols: [Vec<u16>; 2] = [Vec::with_capacity(n), Vec::with_capacity(n)];
-    for col in reg_cols.iter_mut() {
         vals.clear();
-        decode_stream(r, n, &mut vals)?;
-        for &v in &vals {
-            col.push(u16::try_from(v).map_err(|_| bad("register bitset overflows u16"))?);
-        }
-    }
-    let [reg_reads, reg_writes] = reg_cols;
-
-    // 8–9. operand counts → MemOpsRef column.
-    let mut count_cols: [Vec<u16>; 2] = [Vec::with_capacity(n), Vec::with_capacity(n)];
-    for col in count_cols.iter_mut() {
-        vals.clear();
-        decode_stream(r, n, &mut vals)?;
-        let mut total = 0usize;
-        for &v in &vals {
-            let c = u16::try_from(v).map_err(|_| bad("operand count overflows u16"))?;
-            total += c as usize;
-            if total > MAX_SEGMENT_ARENA {
+        decode_stream(r, dict_len, &mut vals)?;
+        let mut dict: Vec<u32> = Vec::with_capacity(dict_len);
+        let mut acc = 0u64;
+        for (i, &d) in vals.iter().enumerate() {
+            acc = if i == 0 {
+                d
+            } else {
+                acc.checked_add(d)
+                    .ok_or_else(|| bad("function dictionary overflows"))?
+            };
+            let f = u32::try_from(acc).map_err(|_| bad("function id overflows u32"))?;
+            if f as usize >= nfuncs {
                 return Err(bad(format!(
-                    "segment claims more than {MAX_SEGMENT_ARENA} memory operands"
+                    "function id {f} outside the {nfuncs}-entry symbol table"
                 )));
             }
-            col.push(c);
+            dict.push(f);
         }
-    }
-    let [nreads, nwrites] = count_cols;
-    let mut mem = Vec::with_capacity(n);
-    let mut start = 0u32;
-    for i in 0..n {
-        mem.push(MemOpsRef {
-            start,
-            nreads: nreads[i],
-            nwrites: nwrites[i],
-        });
-        start += u32::from(nreads[i]) + u32::from(nwrites[i]);
-    }
-    let total_ops = start as usize;
+        vals.clear();
+        decode_stream(r, n, &mut vals)?;
+        let mut funcs = Vec::with_capacity(n);
+        for &v in &vals {
+            let i = usize::try_from(v).map_err(|_| bad("dictionary index overflows"))?;
+            let f = *dict
+                .get(i)
+                .ok_or_else(|| bad(format!("dictionary index {i} out of range {dict_len}")))?;
+            funcs.push(f);
+        }
+        stats.decoded_bytes += (before - r.remaining()) as u64;
+        funcs
+    } else {
+        let before = r.remaining();
+        r.varint()?; // dictionary length, unused under the mask
+        skip_stream(r)?;
+        skip_stream(r)?;
+        stats.skipped_bytes += (before - r.remaining()) as u64;
+        vec![0u32; n]
+    };
 
-    // 10–11. operand starts and lengths → arena.
-    vals.clear();
-    decode_stream(r, total_ops, &mut vals)?;
-    let mut starts: Vec<u64> = Vec::with_capacity(total_ops);
-    let mut prev = 0i64;
-    for &v in &vals {
-        let s = prev.wrapping_add(unzigzag(v));
-        starts.push(s as u64);
-        prev = s;
-    }
-    vals.clear();
-    decode_stream(r, total_ops, &mut vals)?;
-    let mut arena = Vec::with_capacity(total_ops);
-    for (i, &lv) in vals.iter().enumerate() {
-        let len = u32::try_from(lv).map_err(|_| bad("operand length overflows u32"))?;
-        if len == 0 {
-            return Err(bad("zero-length memory operand"));
+    // 5. pcs.
+    let pcs = if mask.contains(ColumnMask::PCS) {
+        let before = r.remaining();
+        vals.clear();
+        decode_stream(r, n, &mut vals)?;
+        let mut pcs = Vec::with_capacity(n);
+        let mut prev = 0i64;
+        for &v in &vals {
+            let pc = prev
+                .checked_add(unzigzag(v))
+                .ok_or_else(|| bad("pc delta overflows"))?;
+            pcs.push(u32::try_from(pc).map_err(|_| bad("pc outside u32 range"))?);
+            prev = pc;
         }
-        let s = starts[i];
-        if s.checked_add(u64::from(len)).is_none() {
-            return Err(bad("memory operand wraps the address space"));
+        stats.decoded_bytes += (before - r.remaining()) as u64;
+        pcs
+    } else {
+        let before = r.remaining();
+        skip_stream(r)?;
+        stats.skipped_bytes += (before - r.remaining()) as u64;
+        vec![0u32; n]
+    };
+
+    // 6–7. register bitsets.
+    let (reg_reads, reg_writes) = if mask.contains(ColumnMask::REGSETS) {
+        let before = r.remaining();
+        let mut reg_cols: [Vec<u16>; 2] = [Vec::with_capacity(n), Vec::with_capacity(n)];
+        for col in reg_cols.iter_mut() {
+            vals.clear();
+            decode_stream(r, n, &mut vals)?;
+            for &v in &vals {
+                col.push(u16::try_from(v).map_err(|_| bad("register bitset overflows u16"))?);
+            }
         }
-        arena.push(AddrRange::new(Addr::new(s), len));
-    }
+        stats.decoded_bytes += (before - r.remaining()) as u64;
+        let [rr, rw] = reg_cols;
+        (rr, rw)
+    } else {
+        let before = r.remaining();
+        skip_stream(r)?;
+        skip_stream(r)?;
+        stats.skipped_bytes += (before - r.remaining()) as u64;
+        (vec![0u16; n], vec![0u16; n])
+    };
+
+    // 8–11. operand counts, start addresses, and lengths. Like the kind
+    // payloads, the start/length streams' counts derive from the decoded
+    // counts, and skipping needs none of them.
+    let (mem, arena) = if mask.contains(ColumnMask::OPERANDS) {
+        let before = r.remaining();
+        let mut count_cols: [Vec<u16>; 2] = [Vec::with_capacity(n), Vec::with_capacity(n)];
+        for col in count_cols.iter_mut() {
+            vals.clear();
+            decode_stream(r, n, &mut vals)?;
+            let mut total = 0usize;
+            for &v in &vals {
+                let c = u16::try_from(v).map_err(|_| bad("operand count overflows u16"))?;
+                total += c as usize;
+                if total > MAX_SEGMENT_ARENA {
+                    return Err(bad(format!(
+                        "segment claims more than {MAX_SEGMENT_ARENA} memory operands"
+                    )));
+                }
+                col.push(c);
+            }
+        }
+        let [nreads, nwrites] = count_cols;
+        let mut mem = Vec::with_capacity(n);
+        let mut start = 0u32;
+        for i in 0..n {
+            mem.push(MemOpsRef {
+                start,
+                nreads: nreads[i],
+                nwrites: nwrites[i],
+            });
+            start += u32::from(nreads[i]) + u32::from(nwrites[i]);
+        }
+        let total_ops = start as usize;
+
+        vals.clear();
+        decode_stream(r, total_ops, &mut vals)?;
+        let mut starts: Vec<u64> = Vec::with_capacity(total_ops);
+        let mut prev = 0i64;
+        for &v in &vals {
+            let s = prev.wrapping_add(unzigzag(v));
+            starts.push(s as u64);
+            prev = s;
+        }
+        vals.clear();
+        decode_stream(r, total_ops, &mut vals)?;
+        let mut arena = Vec::with_capacity(total_ops);
+        for (i, &lv) in vals.iter().enumerate() {
+            let len = u32::try_from(lv).map_err(|_| bad("operand length overflows u32"))?;
+            if len == 0 {
+                return Err(bad("zero-length memory operand"));
+            }
+            let s = starts[i];
+            if s.checked_add(u64::from(len)).is_none() {
+                return Err(bad("memory operand wraps the address space"));
+            }
+            arena.push(AddrRange::new(Addr::new(s), len));
+        }
+        stats.decoded_bytes += (before - r.remaining()) as u64;
+        (mem, arena)
+    } else {
+        let before = r.remaining();
+        for _ in 0..4 {
+            skip_stream(r)?;
+        }
+        stats.skipped_bytes += (before - r.remaining()) as u64;
+        (
+            vec![
+                MemOpsRef {
+                    start: 0,
+                    nreads: 0,
+                    nwrites: 0
+                };
+                n
+            ],
+            Vec::new(),
+        )
+    };
 
     if !r.is_exhausted() {
         return Err(bad(format!(
@@ -499,8 +618,11 @@ pub fn decode_segment(bytes: &[u8], n: usize, nfuncs: usize) -> Result<Columns, 
             r.remaining()
         )));
     }
-    Ok(Columns::from_raw_parts(
-        kinds, kind_data, tids, funcs, pcs, reg_reads, reg_writes, mem, arena,
+    Ok((
+        Columns::from_raw_parts(
+            kinds, kind_data, tids, funcs, pcs, reg_reads, reg_writes, mem, arena,
+        ),
+        stats,
     ))
 }
 
@@ -629,6 +751,49 @@ mod tests {
     fn decode_rejects_oversized_claims() {
         let err = decode_segment(&[], MAX_SEGMENT_INSTRS + 1, 1).unwrap_err();
         assert!(matches!(err, TraceIoError::Format(_)), "{err:?}");
+    }
+
+    #[test]
+    fn masked_decode_keeps_subscribed_columns_and_defaults_the_rest() {
+        let cols = sample_columns(300);
+        let mut buf = Vec::new();
+        encode_segment(&cols, 0, 300, &mut buf).unwrap();
+        let mask = ColumnMask::KINDS.union(ColumnMask::TIDS);
+        let (back, stats) = decode_segment_masked(&buf, 300, 4, mask).unwrap();
+        assert_eq!(back.len(), 300);
+        for i in 0..300 {
+            assert_eq!(back.kind(i), cols.kind(i), "kind at {i}");
+            assert_eq!(back.tid(i), cols.tid(i));
+            assert_eq!(back.func(i), FuncId(0), "unsubscribed funcs default");
+            assert_eq!(back.pc(i), Pc(0));
+            assert_eq!(back.reg_reads(i), RegSet::from_bits(0));
+            assert!(back.mem_reads(i).is_empty() && back.mem_writes(i).is_empty());
+        }
+        assert!(stats.decoded_bytes > 0 && stats.skipped_bytes > 0);
+        assert_eq!(
+            stats.decoded_bytes + stats.skipped_bytes,
+            buf.len() as u64,
+            "every payload byte is either decoded or skipped"
+        );
+
+        // The full mask decodes everything and skips nothing.
+        let (full, fstats) = decode_segment_masked(&buf, 300, 4, ColumnMask::ALL).unwrap();
+        assert_columns_eq(&cols, &full, 0);
+        assert_eq!(fstats.skipped_bytes, 0);
+        assert_eq!(fstats.decoded_bytes, buf.len() as u64);
+    }
+
+    #[test]
+    fn masked_decode_rejects_truncation_at_every_prefix() {
+        let cols = sample_columns(64);
+        let mut buf = Vec::new();
+        encode_segment(&cols, 0, 64, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            for mask in [ColumnMask::NONE, ColumnMask::TIDS, ColumnMask::OPERANDS] {
+                let res = decode_segment_masked(&buf[..cut], 64, 4, mask);
+                assert!(res.is_err(), "prefix {cut} decoded under mask {mask:?}");
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 #   scripts/bench.sh --slice-scaling
 #   scripts/bench.sh --out-of-core [SYNTH_INSTRS]
 #   scripts/bench.sh --incremental [FRAMES]
+#   scripts/bench.sh --fused [REPS]
 #
 # --smoke uses 2 threads for the parallel run and skips nothing else — it
 # exists so scripts/check.sh can exercise the harness end to end without
@@ -33,6 +34,15 @@
 # evolved from prior frames), warm (immediate re-slice) — asserting every
 # incremental result byte-identical to from-scratch and certifying a
 # sample of frames. Writes results/BENCH_7.json.
+#
+# --fused runs the fused-analysis bench (DESIGN.md §12): per benchmark,
+# the verifier lint battery, WP0012 dead-write metric, Figure 5 category
+# breakdown, and Table II × Fig 5 waste cross timed one-sweep-each vs ONE
+# fused AnalysisDriver sweep (best of REPS, default 3), every fused output
+# asserted equal to its solo twin; plus an out-of-core section comparing
+# separate full-decode WPTRACE2 passes (the pre-framework reader) against
+# one fused selectively-decoded pass, with the decoded-vs-skipped stream
+# byte ledger. Writes results/BENCH_8.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,6 +63,16 @@ if [[ "${1:-}" == "--incremental" ]]; then
     echo "== incremental slicing bench ($FRAMES frames) =="
     ./target/release/incremental_bench "$FRAMES"
     echo "wrote results/BENCH_7.json"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--fused" ]]; then
+    REPS="${2:-3}"
+    echo "== building release fused-analysis bench =="
+    cargo build --release --quiet -p wasteprof-bench
+    echo "== fused-analysis bench ($REPS reps) =="
+    ./target/release/fused_bench "$REPS"
+    echo "wrote results/BENCH_8.json"
     exit 0
 fi
 

@@ -59,6 +59,19 @@ diff <(target/release/trace_tool slice "$smoke_trace" --criteria syscalls) \
 target/release/trace_tool check "$smoke_trace.2" --out-of-core
 target/release/trace_tool certify "$smoke_trace.2" --segments 8 --out-of-core
 
+echo "== fused analyze smoke (subset selection, in-memory vs streamed identical) =="
+# The full fused pass and every subset must agree between the in-memory
+# and selectively-decoded out-of-core paths; the clean session exits 0.
+diff <(target/release/trace_tool analyze "$smoke_trace" --json 2>/dev/null) \
+    <(target/release/trace_tool analyze "$smoke_trace.2" --out-of-core --json 2>/dev/null)
+diff <(target/release/trace_tool analyze "$smoke_trace" --analyses lints,frames --json 2>/dev/null) \
+    <(target/release/trace_tool analyze "$smoke_trace.2" --analyses lints,frames --out-of-core --json 2>/dev/null)
+# Unknown analysis names are a usage error (exit 2), not a silent no-op.
+if target/release/trace_tool analyze "$smoke_trace" --analyses bogus 2>/dev/null; then
+    echo "analyze accepted an unknown analysis name" >&2
+    exit 1
+fi
+
 echo "== incremental smoke (two frames, cached slice identical, warm hits) =="
 smoke_cache=$(mktemp -d /tmp/wasteprof-cache-XXXXXX)
 trap 'rm -f "$smoke_trace" "$smoke_trace.2" "$smoke_trace".f*; rm -rf "$smoke_cache"' EXIT
@@ -82,6 +95,14 @@ echo "== incremental bench artifact sanity (results/BENCH_7.json) =="
 # nonzero warm hit rate (the cache actually served the re-slices).
 jq -e '.identical and .warm_hit_rate > 0 and .certify_diagnostics == 0' \
     results/BENCH_7.json >/dev/null
+
+echo "== fused bench artifact sanity (results/BENCH_8.json) =="
+# The committed fused-analysis artifact must report every fused output
+# identical to its solo twin, a fused-vs-separate speedup, and an
+# out-of-core fused pass that actually skipped unsubscribed column bytes.
+jq -e '.identical and .totals.speedup > 1
+       and .streamed.fused_decode.skipped_stream_bytes > 0' \
+    results/BENCH_8.json >/dev/null
 
 echo "== rustdoc (no warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
