@@ -1,0 +1,163 @@
+//! Static-vs-dynamic referee benchmark (`results/BENCH_9.json`).
+//!
+//! Runs the ahead-of-time wasteprof-staticjs analyzer over each
+//! benchmark's script sources and scores its predictions against all six
+//! canonical engine sessions: the four base sessions plus the two
+//! distinct load-and-browse sessions. For every session the referee
+//! reports per-analysis precision and recall — unreachable code
+//! (WP0103), dead stores (WP0102), and the static effect slice (WP0104)
+//! — plus the soundness-violation count for the two must-be-sound
+//! claims. A sound analyzer exits 0 with zero violations; any refuted
+//! claim exits 1.
+
+use std::time::Instant;
+
+use wasteprof_bench::save;
+use wasteprof_browser::Session;
+use wasteprof_slicer::{pixel_criteria, slice, ForwardPass, SliceOptions};
+use wasteprof_staticjs::{analyze_sources, compare, Metric, RefereeReport};
+use wasteprof_trace::TracePos;
+use wasteprof_workloads::Benchmark;
+
+struct Entry {
+    session: String,
+    scripts: usize,
+    diags: usize,
+    analyze_ms: f64,
+    report: RefereeReport,
+}
+
+fn metric_json(m: &Metric) -> String {
+    let opt = |v: Option<f64>| v.map_or_else(|| "null".to_owned(), |p| format!("{p:.4}"));
+    format!(
+        "{{\"predicted\": {}, \"observed\": {}, \"tp\": {}, \"gt\": {}, \
+         \"precision\": {}, \"recall\": {}, \"violations\": {}}}",
+        m.predicted,
+        m.observed,
+        m.tp,
+        m.gt,
+        opt(m.precision()),
+        opt(m.recall()),
+        m.violations
+    )
+}
+
+fn referee(b: Benchmark, kind: &str, session: &Session) -> Entry {
+    let scripts = b.scripts();
+    let t = Instant::now();
+    let analysis = analyze_sources(&scripts).expect("canonical site scripts parse");
+    let analyze_ms = t.elapsed().as_secs_f64() * 1e3;
+    let forward = ForwardPass::build(&session.trace);
+    let pixel = slice(
+        &session.trace,
+        &forward,
+        &pixel_criteria(&session.trace),
+        &SliceOptions::default(),
+    );
+    let report = compare(&analysis, &session.js_witness, &|p| {
+        pixel.contains(TracePos(p))
+    });
+    Entry {
+        session: format!("{} [{kind}]", b.short_name()),
+        scripts: scripts.len(),
+        diags: analysis.diags.len(),
+        analyze_ms,
+        report,
+    }
+}
+
+fn main() {
+    let mut entries = Vec::new();
+    for b in Benchmark::ALL {
+        eprintln!("refereeing {} [base]...", b.short_name());
+        entries.push(referee(b, "base", &b.run()));
+    }
+    for b in [Benchmark::AmazonDesktop, Benchmark::GoogleMaps] {
+        eprintln!("refereeing {} [browse]...", b.short_name());
+        entries.push(referee(b, "browse", &b.run_with_browse()));
+    }
+
+    let mut totals = RefereeReport::default();
+    let add = |t: &mut Metric, m: &Metric| {
+        t.predicted += m.predicted;
+        t.observed += m.observed;
+        t.tp += m.tp;
+        t.gt += m.gt;
+        t.violations += m.violations;
+    };
+    for e in &entries {
+        add(&mut totals.unreachable, &e.report.unreachable);
+        add(&mut totals.dead_stores, &e.report.dead_stores);
+        add(&mut totals.wasted, &e.report.wasted);
+        totals.maybe_undef += e.report.maybe_undef;
+        totals.units_compared += e.report.units_compared;
+    }
+    let analyze_ms: f64 = entries.iter().map(|e| e.analyze_ms).sum();
+
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"note\": \"static-vs-dynamic referee: the wasteprof-staticjs dataflow \
+         analyzer (CFG lowering + worklist solver, codes WP0101-WP0104) predicts waste \
+         from script sources alone; predictions are scored against the execution witness \
+         and pixel slice of all six canonical engine sessions. unreachable and dead_stores \
+         are must-be-sound (violations counts dynamically refuted claims and must be 0); \
+         wasted is the static effect slice scored on precision/recall only\",\n",
+    );
+    out.push_str("  \"per_session\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"session\": \"{}\", \"scripts\": {}, \"units_compared\": {}, \
+             \"diags\": {}, \"analyze_ms\": {:.3},\n     \"unreachable\": {},\n     \
+             \"dead_stores\": {},\n     \"wasted\": {},\n     \"maybe_undef\": {}}}{}\n",
+            e.session,
+            e.scripts,
+            e.report.units_compared,
+            e.diags,
+            e.analyze_ms,
+            metric_json(&e.report.unreachable),
+            metric_json(&e.report.dead_stores),
+            metric_json(&e.report.wasted),
+            e.report.maybe_undef,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"totals\": {{\n    \"unreachable\": {},\n    \"dead_stores\": {},\n    \
+         \"wasted\": {},\n    \"maybe_undef\": {},\n    \"analyze_ms\": {:.3},\n    \
+         \"soundness_violations\": {}\n  }}\n",
+        metric_json(&totals.unreachable),
+        metric_json(&totals.dead_stores),
+        metric_json(&totals.wasted),
+        totals.maybe_undef,
+        analyze_ms,
+        totals.soundness_violations()
+    ));
+    out.push_str("}\n");
+    save("BENCH_9.json", &out);
+
+    let violations = totals.soundness_violations();
+    println!(
+        "static referee: {} sessions, {} units compared, analyzer {:.1} ms total; \
+         unreachable precision {} / recall {}, dead-store precision {} / recall {}, \
+         wasted precision {} / recall {}; {} soundness violations",
+        entries.len(),
+        totals.units_compared,
+        analyze_ms,
+        fmt_opt(totals.unreachable.precision()),
+        fmt_opt(totals.unreachable.recall()),
+        fmt_opt(totals.dead_stores.precision()),
+        fmt_opt(totals.dead_stores.recall()),
+        fmt_opt(totals.wasted.precision()),
+        fmt_opt(totals.wasted.recall()),
+        violations
+    );
+    if violations > 0 {
+        eprintln!("FAILED: the dynamic run refuted {violations} must-be-sound claims");
+        std::process::exit(1);
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "n/a".to_owned(), |p| format!("{p:.3}"))
+}

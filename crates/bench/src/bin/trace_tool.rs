@@ -13,6 +13,11 @@
 //! compressed WPTRACE2 tier; `slice`/`check`/`certify --out-of-core`
 //! then run entirely from that file through [`TraceReader`]'s bounded
 //! chunk window — the whole trace never lives in memory.
+//!
+//! `static` needs no trace at all: it runs the wasteprof-staticjs
+//! dataflow analyzer (codes WP0101-WP0104) over a benchmark's script
+//! sources, the ahead-of-time counterpart the engine's
+//! `static_vs_dynamic` referee scores against execution witnesses.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -44,6 +49,7 @@ fn usage() -> ! {
          trace_tool slice   <file> [shared flags] [--incremental] [--cache-dir DIR | --no-cache]\n  \
          trace_tool check   <file> [--json] [--max-diags N] [--out-of-core]\n  \
          trace_tool analyze <file> [--analyses a,b,c] [--json] [--out-of-core]\n  \
+         trace_tool static  <amazon_desktop|amazon_mobile|maps|bing> [--json]\n  \
          trace_tool certify <file> [shared flags] [--json]\n\n\
          shared flags:\n  \
          flag                  slice  check  certify  convert   meaning\n  \
@@ -65,6 +71,10 @@ fn usage() -> ! {
          frames         call-frame nesting + syscall profile\n  \
          with --out-of-core only the column streams the selected analyses\n  \
          subscribe to are decompressed; skipped bytes go to stderr.\n\n\
+         `static` runs the ahead-of-time dataflow analyzer over a site's\n  \
+         scripts — no trace needed: possibly-undefined reads (WP0101),\n  \
+         dead stores (WP0102), unreachable code (WP0103), and statements\n  \
+         outside the static effect slice (WP0104).\n\n\
          `export --frames N` (bing only) records an N-frame browse session and\n  \
          writes one WPTRACE1 file per frame: <file>.f0 ... <file>.f{{N-1}}.\n\n\
          exit codes: 0 clean / success, 1 findings or I/O error, 2 usage error"
@@ -431,6 +441,39 @@ fn main() {
                     "{total} diagnostic{} ({} shown)",
                     if total == 1 { "" } else { "s" },
                     diags.len()
+                );
+            }
+            std::process::exit(if total == 0 { 0 } else { 1 });
+        }
+        Some("static") => {
+            let Some(name) = args.get(1) else { usage() };
+            let mut json = false;
+            for arg in &args[2..] {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    _ => usage(),
+                }
+            }
+            let benchmark = Benchmark::ALL
+                .into_iter()
+                .find(|b| b.short_name() == name)
+                .unwrap_or_else(|| usage());
+            let analysis = wasteprof_staticjs::analyze_sources(&benchmark.scripts())
+                .unwrap_or_else(|e| {
+                    eprintln!("static analysis failed: {e}");
+                    std::process::exit(1);
+                });
+            let total = analysis.diags.len();
+            if json {
+                println!("{}", wasteprof_checker::render_json(&analysis.diags));
+            } else if total == 0 {
+                println!("clean: {} scripts, 0 findings", analysis.units.len());
+            } else {
+                print!("{}", wasteprof_checker::render_text(&analysis.diags));
+                println!(
+                    "{total} finding{} across {} scripts",
+                    if total == 1 { "" } else { "s" },
+                    analysis.units.len()
                 );
             }
             std::process::exit(if total == 0 { 0 } else { 1 });

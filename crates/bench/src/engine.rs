@@ -367,6 +367,11 @@ pub struct EngineOptions {
     /// stage. This produces no `results/` artifact, so the determinism
     /// contract is untouched.
     pub incremental_frames: usize,
+    /// Run the ahead-of-time static analyzer over every benchmark's
+    /// scripts and referee its predictions against each session's
+    /// execution witness and pixel slice, emitting
+    /// `results/static_vs_dynamic.txt`.
+    pub static_referee: bool,
 }
 
 impl Default for EngineOptions {
@@ -378,6 +383,7 @@ impl Default for EngineOptions {
             verify_traces: true,
             certify_slices: true,
             incremental_frames: 3,
+            static_referee: true,
         }
     }
 }
@@ -1024,7 +1030,7 @@ pub fn ablations(store: &SessionStore) -> View {
 #[derive(Debug, Clone)]
 pub struct StageReport {
     /// Stage name (`sessions`, `forward`, `slices`, `analyze`, `certify`,
-    /// `incremental`, `views`).
+    /// `static`, `incremental`, `views`).
     pub name: &'static str,
     /// Parallel work items in the stage.
     pub items: usize,
@@ -1576,6 +1582,100 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
         )
     });
 
+    // Stage 3d (optional): the static-vs-dynamic referee. The
+    // ahead-of-time analyzer (wasteprof-staticjs) sees only each
+    // benchmark's script sources; its predictions are then scored
+    // against the execution witness and the pixel slice of every engine
+    // session. Unreachable-code and dead-store claims are must-be-sound
+    // (a refuted claim is a violation); static-waste claims are scored
+    // on precision/recall only. Sessions render in the fixed `sessions`
+    // order, so the artifact bytes do not depend on the thread count.
+    let static_view = opts.static_referee.then(|| {
+        let t = Instant::now();
+        type StaticRow = (String, u64, wasteprof_staticjs::RefereeReport);
+        let results: Vec<StaticRow> = sessions
+            .par_iter()
+            .map(|&k| {
+                let b = match k {
+                    SessionKey::Base(b) | SessionKey::Browse(b) => b,
+                };
+                let analysis = wasteprof_staticjs::analyze_sources(&b.scripts())
+                    .expect("canonical site scripts parse");
+                let session = store.session(k);
+                let slice = store.pixel_slice_for(k);
+                let report = wasteprof_staticjs::compare(&analysis, &session.js_witness, &|p| {
+                    slice.contains(TracePos(p))
+                });
+                (k.label(), session.js_witness.total_exec(), report)
+            })
+            .collect();
+        fn ratio(v: Option<f64>) -> String {
+            v.map_or_else(|| "n/a".to_owned(), |p| format!("{p:.3}"))
+        }
+        fn metric_line(name: &str, m: &wasteprof_staticjs::Metric) -> String {
+            format!(
+                "  {name:<12} predicted {:>4}  observed {:>4}  tp {:>4}  gt {:>4}  \
+                 precision {:>5}  recall {:>5}  violations {}\n",
+                m.predicted,
+                m.observed,
+                m.tp,
+                m.gt,
+                ratio(m.precision()),
+                ratio(m.recall()),
+                m.violations
+            )
+        }
+        let mut out = String::from(
+            "Static-vs-dynamic referee: ahead-of-time dataflow predictions\n\
+             (wasteprof-staticjs, codes WP0101-WP0104) scored against the\n\
+             execution witness and pixel slice of every engine session.\n\n",
+        );
+        let mut totals = wasteprof_staticjs::RefereeReport::default();
+        let add = |t: &mut wasteprof_staticjs::Metric, m: &wasteprof_staticjs::Metric| {
+            t.predicted += m.predicted;
+            t.observed += m.observed;
+            t.tp += m.tp;
+            t.gt += m.gt;
+            t.violations += m.violations;
+        };
+        for (label, _, r) in &results {
+            out.push_str(&format!("{label}\n"));
+            out.push_str(&metric_line("unreachable", &r.unreachable));
+            out.push_str(&metric_line("dead stores", &r.dead_stores));
+            out.push_str(&metric_line("wasted", &r.wasted));
+            out.push_str(&format!(
+                "  {:<12} predicted {:>4}  ({} units compared)\n\n",
+                "maybe-undef", r.maybe_undef, r.units_compared
+            ));
+            add(&mut totals.unreachable, &r.unreachable);
+            add(&mut totals.dead_stores, &r.dead_stores);
+            add(&mut totals.wasted, &r.wasted);
+            totals.maybe_undef += r.maybe_undef;
+            totals.units_compared += r.units_compared;
+        }
+        out.push_str("all sessions\n");
+        out.push_str(&metric_line("unreachable", &totals.unreachable));
+        out.push_str(&metric_line("dead stores", &totals.dead_stores));
+        out.push_str(&metric_line("wasted", &totals.wasted));
+        out.push_str(&format!(
+            "\n{} sessions refereed, {} soundness violations.\n",
+            results.len(),
+            totals.soundness_violations()
+        ));
+        stages.push(StageReport {
+            name: "static",
+            items: results.len(),
+            instructions: results.iter().map(|r| r.1).sum(),
+            trace_bytes: 0,
+            wall: t.elapsed(),
+        });
+        View::new(
+            "static_vs_dynamic",
+            out.clone(),
+            vec![("static_vs_dynamic.txt".to_owned(), out)],
+        )
+    });
+
     // Stage 3c (optional): the incremental slicing tier. Drives the
     // content-addressed summary cache over a short multi-frame Bing
     // browse sequence — each frame extends the previous one by one
@@ -1644,6 +1744,7 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
     // determinism contract.
     views.extend(check_view);
     views.extend(certify_view);
+    views.extend(static_view);
 
     EngineReport {
         threads: rayon::current_num_threads(),

@@ -12,7 +12,7 @@ use wasteprof_css::{parse_stylesheet, CssCoverage, StyleEngine, StyleMap, Viewpo
 use wasteprof_dom::{Document, NodeId};
 use wasteprof_gfx::{Compositor, CompositorConfig, RasterTask};
 use wasteprof_html::{parse_into, Resource};
-use wasteprof_js::{JsCoverage, JsEngine};
+use wasteprof_js::{JsCoverage, JsEngine, JsWitness};
 use wasteprof_layout::{layout_document, paint_document, BoxTree, PaintCache};
 use wasteprof_trace::{site, Recorder, ThreadId, ThreadKind, Trace, TracePos};
 
@@ -103,6 +103,10 @@ pub struct Session {
     pub interactions: Vec<(String, TracePos)>,
     /// Frames drawn.
     pub frames: u64,
+    /// Per-statement dynamic execution witness from the JS engine
+    /// (exec counts, store fates, self spans) — ground truth for the
+    /// static analyzer's referee.
+    pub js_witness: JsWitness,
 }
 
 /// One renderer tab.
@@ -695,9 +699,10 @@ impl Tab {
     /// Ends the session and produces the trace plus all measurements.
     pub fn finish(self) -> Session {
         let load_end = self.load_end.unwrap_or(TracePos(0));
+        let mut js = self.js;
         Session {
             site_url: self.site.map(|s| s.url).unwrap_or_default(),
-            js_coverage: self.js.coverage(),
+            js_coverage: js.coverage(),
             css_coverage: self.style_engine.coverage(),
             js_coverage_at_load: self.js_coverage_at_load,
             css_coverage_at_load: self.css_coverage_at_load,
@@ -707,6 +712,7 @@ impl Tab {
             idle_spans: self.idle_spans,
             interactions: self.interactions,
             frames: self.frames,
+            js_witness: js.take_witness(),
             trace: self.rec.finish(),
         }
     }

@@ -6,6 +6,32 @@
 //! sorted deterministically — by position, then code, then message — so a
 //! checker run over the same trace renders byte-identical output no
 //! matter how the lints interleaved their reports.
+//!
+//! # The full stable code table
+//!
+//! `WP00xx` codes are *dynamic* findings anchored to trace positions;
+//! `WP01xx` codes are *static* predictions from `wasteprof-staticjs`
+//! anchored to statement ids (their `pos` carries the statement id of the
+//! numbered script, not a trace position).
+//!
+//! | Code     | Family    | Meaning |
+//! |----------|-----------|---------|
+//! | `WP0001` | checker   | data race: conflicting accesses, no happens-before edge |
+//! | `WP0002` | checker   | call/return nesting broken |
+//! | `WP0003` | checker   | read of never-written producer-region bytes |
+//! | `WP0004` | checker   | one memory operand spans two region classes |
+//! | `WP0005` | checker   | instruction attributed to an unregistered thread id |
+//! | `WP0006` | checker   | marker instruction / marker record pairing broken |
+//! | `WP0007` | checker   | call target unknown or never executes |
+//! | `WP0008` | certifier | witness data edge def is not the last write (stale def) |
+//! | `WP0009` | certifier | structurally impossible witness edge |
+//! | `WP0010` | certifier | complement-safety violation: non-slice write reaches a consumer |
+//! | `WP0011` | certifier | witness bookkeeping mismatch |
+//! | `WP0012` | checker   | dead producer write: overwritten before any read |
+//! | `WP0101` | staticjs  | possibly-undefined variable use (uninitialized def reaches a read) |
+//! | `WP0102` | staticjs  | statically dead store: no path reads the value before overwrite |
+//! | `WP0103` | staticjs  | statically unreachable code (CFG- or call-graph-unreachable) |
+//! | `WP0104` | staticjs  | statically wasted: outside the static slice from effect sinks |
 
 use std::fmt;
 
@@ -58,11 +84,26 @@ pub enum Code {
     /// (IPC channel, network input, framebuffer) overwritten before any
     /// read — the simplest unnecessary computation the paper motivates.
     DeadWrite,
+    /// `WP0101` — a use of a declared variable that an uninitialized
+    /// definition may reach (static reaching-definitions analysis).
+    MaybeUndef,
+    /// `WP0102` — statically dead store: on every path the stored value
+    /// is overwritten (or the scope exits) before any read. Soundness
+    /// contract: the dynamic witness must never observe a read-back.
+    StaticDeadStore,
+    /// `WP0103` — statically unreachable statement: in a CFG-unreachable
+    /// block, or in a function the call graph can never reach. Soundness
+    /// contract: the dynamic witness must never count an execution.
+    StaticUnreachable,
+    /// `WP0104` — statically wasted statement: reachable, but outside the
+    /// static backward slice from every side-effect sink (DOM writes,
+    /// timers, network/beacons) — predicted to never feed pixels.
+    StaticWasted,
 }
 
 impl Code {
     /// All codes, in numeric order.
-    pub const ALL: [Code; 12] = [
+    pub const ALL: [Code; 16] = [
         Code::Race,
         Code::UnmatchedCallRet,
         Code::UninitRead,
@@ -75,6 +116,10 @@ impl Code {
         Code::CertifyLiveLeak,
         Code::CertifyMismatch,
         Code::DeadWrite,
+        Code::MaybeUndef,
+        Code::StaticDeadStore,
+        Code::StaticUnreachable,
+        Code::StaticWasted,
     ];
 
     /// The stable code string, e.g. `"WP0001"`.
@@ -92,6 +137,10 @@ impl Code {
             Code::CertifyLiveLeak => "WP0010",
             Code::CertifyMismatch => "WP0011",
             Code::DeadWrite => "WP0012",
+            Code::MaybeUndef => "WP0101",
+            Code::StaticDeadStore => "WP0102",
+            Code::StaticUnreachable => "WP0103",
+            Code::StaticWasted => "WP0104",
         }
     }
 
@@ -110,6 +159,10 @@ impl Code {
             Code::CertifyLiveLeak => "non-slice write reaches a consumer",
             Code::CertifyMismatch => "witness bookkeeping mismatch",
             Code::DeadWrite => "dead producer write",
+            Code::MaybeUndef => "possibly-undefined variable use",
+            Code::StaticDeadStore => "statically dead store",
+            Code::StaticUnreachable => "statically unreachable code",
+            Code::StaticWasted => "statement outside static slice",
         }
     }
 }
@@ -243,8 +296,51 @@ mod tests {
             strs,
             vec![
                 "WP0001", "WP0002", "WP0003", "WP0004", "WP0005", "WP0006", "WP0007", "WP0008",
-                "WP0009", "WP0010", "WP0011", "WP0012"
+                "WP0009", "WP0010", "WP0011", "WP0012", "WP0101", "WP0102", "WP0103", "WP0104"
             ]
+        );
+        // Uniqueness of code strings, titles, and enum ordering agreeing
+        // with numeric ordering (sort_diags relies on the derive).
+        let mut dedup = strs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), Code::ALL.len(), "code strings unique");
+        let mut titles: Vec<&str> = Code::ALL.iter().map(|c| c.title()).collect();
+        titles.sort_unstable();
+        titles.dedup();
+        assert_eq!(titles.len(), Code::ALL.len(), "titles unique");
+        for pair in Code::ALL.windows(2) {
+            assert!(pair[0] < pair[1], "enum order matches numeric order");
+            assert!(pair[0].as_str() < pair[1].as_str());
+        }
+    }
+
+    #[test]
+    fn static_codes_sort_in_canonical_pos_code_message_order() {
+        let mut diags = vec![
+            Diag::at(Code::StaticWasted, 5, "w".into()),
+            Diag::at(Code::StaticDeadStore, 5, "d".into()),
+            Diag::at(Code::MaybeUndef, 5, "u".into()),
+            Diag::at(Code::StaticUnreachable, 2, "x".into()),
+            Diag::at(Code::DeadWrite, 5, "dynamic first".into()),
+            Diag::at(Code::StaticDeadStore, 5, "a".into()),
+        ];
+        sort_diags(&mut diags);
+        let order: Vec<(u64, &str, &str)> = diags
+            .iter()
+            .map(|d| (d.pos.unwrap().0, d.code.as_str(), d.message.as_str()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (2, "WP0103", "x"),
+                (5, "WP0012", "dynamic first"),
+                (5, "WP0101", "u"),
+                (5, "WP0102", "a"),
+                (5, "WP0102", "d"),
+                (5, "WP0104", "w"),
+            ],
+            "canonical (pos, code, message) order"
         );
     }
 

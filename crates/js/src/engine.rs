@@ -22,8 +22,10 @@ use wasteprof_dom::{Document, NodeId};
 use wasteprof_trace::{site, Addr, AddrRange, FuncId, Recorder, Region};
 
 use crate::ast::Script;
+use crate::numbering::{number_script, UnitNumbering};
 use crate::parser::{parse, ParseError};
 use crate::value::{Ev, FunId, JsError, JsObject, Prop, Scope, ScopeId, Slot, Value};
+use crate::witness::{JsWitness, WitnessState};
 
 /// Default per-entry-point step budget (guards against runaway scripts).
 pub const DEFAULT_STEP_BUDGET: u64 = 2_000_000;
@@ -36,6 +38,8 @@ pub(crate) struct ScriptUnit {
     pub top_executed: bool,
     /// Index of this script's first function in the engine's def table.
     pub fn_base: usize,
+    /// Stable statement numbering shared with the static analyzer.
+    pub numbering: UnitNumbering,
 }
 
 pub(crate) struct FnDef {
@@ -142,6 +146,7 @@ pub struct JsEngine {
     pub(crate) call_depth: usize,
     pub(crate) lazy_compilation: bool,
     pub(crate) compile_instructions: u64,
+    pub(crate) wit: WitnessState,
 }
 
 impl JsEngine {
@@ -171,7 +176,18 @@ impl JsEngine {
             call_depth: 0,
             lazy_compilation: false,
             compile_instructions: 0,
+            wit: WitnessState::default(),
         }
+    }
+
+    /// Takes the dynamic execution witness accumulated so far (statement
+    /// execution counts, variable store fates, per-statement self spans).
+    ///
+    /// Still-pending stores are finalized as dead (never read). The
+    /// engine's witness resets to empty and keeps collecting, so this can
+    /// be called once at session teardown or repeatedly between phases.
+    pub fn take_witness(&mut self) -> JsWitness {
+        self.wit.take()
     }
 
     /// Switches between the paper's observed behaviour (eager compilation
@@ -257,6 +273,7 @@ impl JsEngine {
     ) -> usize {
         let unit_idx = self.scripts.len();
         let fn_base = self.defs.len();
+        let numbering = number_script(&script);
         let compiler = rec.intern_func("v8::Compiler::CompileFunction");
         let mut lit_cells = vec![Addr::new(0); script.literal_count as usize];
 
@@ -316,7 +333,9 @@ impl JsEngine {
             origin: origin.to_owned(),
             top_executed: false,
             fn_base,
+            numbering,
         });
+        self.wit.add_unit(origin);
         unit_idx
     }
 
@@ -350,9 +369,10 @@ impl JsEngine {
         // Top-level declarations are globals, shared across scripts.
         let scope = self.global;
         let body = self.scripts[unit].script.body.clone();
+        let nodes = std::rc::Rc::clone(&self.scripts[unit].numbering.top);
         rec.enter(site!(), trace_fn);
         let result = self
-            .exec_hoisted_block(rec, doc, unit, &body, scope)
+            .exec_hoisted_block(rec, doc, unit, &body, &nodes, scope)
             .map(|_| ());
         rec.leave(site!());
         result

@@ -11,6 +11,7 @@ use wasteprof_trace::{site, AddrRange, Recorder, Region, Syscall};
 
 use crate::ast::{AssignOp, BinOp, Expr, Stmt, Target, UnOp};
 use crate::engine::{ev_undefined, JsEngine, PendingBeacon, PendingTimer};
+use crate::numbering::StmtNode;
 use crate::value::{Ev, FunId, JsError, ObjId, ScopeId, Value};
 
 /// Statement-level control flow.
@@ -39,6 +40,7 @@ impl JsEngine {
         doc: &mut Document,
         unit: usize,
         body: &[Stmt],
+        nodes: &[StmtNode],
         scope: ScopeId,
     ) -> Result<Flow, JsError> {
         for stmt in body {
@@ -51,7 +53,7 @@ impl JsEngine {
                 rec.compute(site!(), &[code], &[cell.into()]);
             }
         }
-        self.exec_block(rec, doc, unit, body, scope)
+        self.exec_block(rec, doc, unit, body, nodes, scope)
     }
 
     fn exec_block(
@@ -60,10 +62,11 @@ impl JsEngine {
         doc: &mut Document,
         unit: usize,
         body: &[Stmt],
+        nodes: &[StmtNode],
         scope: ScopeId,
     ) -> Result<Flow, JsError> {
-        for stmt in body {
-            match self.exec_stmt(rec, doc, unit, stmt, scope)? {
+        for (stmt, node) in body.iter().zip(nodes) {
+            match self.exec_stmt(rec, doc, unit, stmt, node, scope)? {
                 Flow::Normal => {}
                 other => return Ok(other),
             }
@@ -71,12 +74,31 @@ impl JsEngine {
         Ok(Flow::Normal)
     }
 
+    /// Witness-wrapped statement dispatch: the enter/exit pair always
+    /// balances (even when a `JsError` unwinds through `?` inside), so the
+    /// witness's self-span stack mirrors the statement recursion exactly.
     fn exec_stmt(
         &mut self,
         rec: &mut Recorder,
         doc: &mut Document,
         unit: usize,
         stmt: &Stmt,
+        node: &StmtNode,
+        scope: ScopeId,
+    ) -> Result<Flow, JsError> {
+        self.wit.enter(unit, node.id, rec.pos().0);
+        let result = self.exec_stmt_inner(rec, doc, unit, stmt, node, scope);
+        self.wit.exit(rec.pos().0);
+        result
+    }
+
+    fn exec_stmt_inner(
+        &mut self,
+        rec: &mut Recorder,
+        doc: &mut Document,
+        unit: usize,
+        stmt: &Stmt,
+        node: &StmtNode,
         scope: ScopeId,
     ) -> Result<Flow, JsError> {
         self.charge()?;
@@ -89,6 +111,7 @@ impl JsEngine {
                 };
                 let cell = self.declare(rec, scope, name, ev.v);
                 rec.compute(site!(), &[ev.cell], &[cell.into()]);
+                self.wit.store(cell, name);
                 Ok(Flow::Normal)
             }
             Stmt::Expr(e) => {
@@ -100,9 +123,9 @@ impl JsEngine {
                 let taken = c.v.truthy();
                 rec.branch_mem(site!(), c.cell, taken);
                 if taken {
-                    self.exec_block(rec, doc, unit, then, scope)
+                    self.exec_block(rec, doc, unit, then, &node.blocks[0], scope)
                 } else {
-                    self.exec_block(rec, doc, unit, els, scope)
+                    self.exec_block(rec, doc, unit, els, &node.blocks[1], scope)
                 }
             }
             Stmt::While(cond, body) => {
@@ -115,7 +138,7 @@ impl JsEngine {
                     if !taken {
                         break;
                     }
-                    match self.exec_block(rec, doc, unit, body, scope)? {
+                    match self.exec_block(rec, doc, unit, body, &node.blocks[0], scope)? {
                         Flow::Break => break,
                         Flow::Return(ev) => return Ok(Flow::Return(ev)),
                         Flow::Normal | Flow::Continue => {}
@@ -125,7 +148,7 @@ impl JsEngine {
             }
             Stmt::For(init, cond, step, body) => {
                 if let Some(init) = init {
-                    self.exec_stmt(rec, doc, unit, init, scope)?;
+                    self.exec_stmt(rec, doc, unit, init, &node.blocks[0][0], scope)?;
                 }
                 let head = site!();
                 loop {
@@ -142,7 +165,7 @@ impl JsEngine {
                     if !taken {
                         break;
                     }
-                    match self.exec_block(rec, doc, unit, body, scope)? {
+                    match self.exec_block(rec, doc, unit, body, &node.blocks[1], scope)? {
                         Flow::Break => break,
                         Flow::Return(ev) => return Ok(Flow::Return(ev)),
                         Flow::Normal | Flow::Continue => {}
@@ -184,6 +207,7 @@ impl JsEngine {
         let fn_idx = self.defs[def_idx].idx;
         let params = self.scripts[unit].script.funcs[fn_idx].params.clone();
         let body = std::rc::Rc::clone(&self.scripts[unit].script.funcs[fn_idx].body);
+        let nodes = std::rc::Rc::clone(&self.scripts[unit].numbering.funcs[fn_idx]);
 
         if self.call_depth() >= MAX_CALL_DEPTH {
             return Err(JsError::new("maximum call stack size exceeded"));
@@ -214,7 +238,7 @@ impl JsEngine {
                 None => rec.compute(site!(), &[code], &[cell.into()]),
             };
         }
-        let result = self.exec_hoisted_block(rec, doc, unit, &body, scope);
+        let result = self.exec_hoisted_block(rec, doc, unit, &body, &nodes, scope);
         self.depth_dec();
         rec.leave(site!());
         match result? {
@@ -438,9 +462,11 @@ impl JsEngine {
         name: &str,
     ) -> Result<Ev, JsError> {
         if let Some(slot) = self.lookup(scope, name) {
+            let (v, cell) = (slot.value.clone(), slot.cell);
+            self.wit.read(cell);
             return Ok(Ev {
-                v: slot.value.clone(),
-                cell: slot.cell.into(),
+                v,
+                cell: cell.into(),
             });
         }
         let host = match name {
@@ -487,9 +513,14 @@ impl JsEngine {
                 let new = apply_assign(op, &old, &rhs.v);
                 let reads: Vec<AddrRange> = match op {
                     AssignOp::Set => vec![rhs.cell],
-                    _ => vec![cell.into(), rhs.cell],
+                    _ => {
+                        // Compound assignment reads the slot first.
+                        self.wit.read(cell);
+                        vec![cell.into(), rhs.cell]
+                    }
                 };
                 rec.compute(site!(), &reads, &[cell.into()]);
+                self.wit.store(cell, name);
                 self.lookup_mut(scope, name).expect("slot exists").value = new.clone();
                 Ok(Ev {
                     v: new,

@@ -17,11 +17,15 @@ mod ast;
 mod engine;
 mod interp;
 mod lexer;
+mod numbering;
 mod parser;
 mod value;
+mod witness;
 
 pub use ast::{AssignOp, BinOp, Expr, FuncDef, Script, Stmt, Target, UnOp};
 pub use engine::{JsCoverage, JsEngine, PendingBeacon, PendingTimer, DEFAULT_STEP_BUDGET};
 pub use lexer::{lex, LexError, Spanned, Tok};
+pub use numbering::{number_script, StmtNode, UnitNumbering};
 pub use parser::{parse, ParseError};
 pub use value::{Ev, FunId, JsError, JsObject, ObjId, Prop, Scope, ScopeId, Slot, Value};
+pub use witness::{JsWitness, StoreFate, UnitWitness};

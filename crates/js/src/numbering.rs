@@ -1,0 +1,135 @@
+//! Stable statement numbering shared by the interpreter and the static
+//! analyzer.
+//!
+//! `wasteprof-staticjs` predicts facts about *statements* ("this store is
+//! dead", "this statement can never execute") and the interpreter's
+//! execution witness records facts about *statements* ("this statement ran
+//! 7 times", "this store was read back"). For the referee to match the two
+//! sides up, both must agree on what "statement 12 of app.js" means. This
+//! module is that contract: a deterministic preorder numbering of every
+//! statement in a parsed [`Script`], derived from the AST alone, so any
+//! consumer that parses the same source gets the same ids.
+//!
+//! The numbering mirrors the AST shape exactly: top-level statements
+//! first, then each function's body in function-table order, each walked
+//! in preorder. A [`StmtNode`] carries the id plus the node lists for the
+//! statement's nested blocks (`If` has two, loops have their body, `For`
+//! also has its optional init statement), in the same positions the
+//! interpreter executes them.
+
+use std::rc::Rc;
+
+use crate::ast::{Script, Stmt};
+
+/// Numbering node for one statement: its stable id plus the numbering of
+/// each nested statement block, in execution order.
+///
+/// Block layout per statement kind:
+/// * `If` — `blocks[0]` is the then-branch, `blocks[1]` the else-branch.
+/// * `While` — `blocks[0]` is the loop body.
+/// * `For` — `blocks[0]` holds the init statement (empty when absent),
+///   `blocks[1]` the loop body.
+/// * every other statement — no blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmtNode {
+    /// Stable statement id, unique within one script.
+    pub id: u32,
+    /// Numbering of the statement's nested blocks (see layout above).
+    pub blocks: Vec<Vec<StmtNode>>,
+}
+
+/// The full numbering of one script: top-level body plus every function
+/// body, with a shared id space.
+///
+/// Node lists are behind [`Rc`] so the interpreter can clone a handle
+/// across its recursion without cloning the tree (mirroring how it shares
+/// statement bodies).
+#[derive(Debug, Clone)]
+pub struct UnitNumbering {
+    /// Numbering of the top-level statements.
+    pub top: Rc<Vec<StmtNode>>,
+    /// Numbering of each function body, in function-table order.
+    pub funcs: Vec<Rc<Vec<StmtNode>>>,
+    /// Total statements numbered; ids are `0..stmt_count`.
+    pub stmt_count: u32,
+}
+
+/// Numbers every statement of `script` deterministically: top-level body
+/// first, then each function body in table order, preorder within each.
+pub fn number_script(script: &Script) -> UnitNumbering {
+    let mut next = 0u32;
+    let top = Rc::new(number_block(&script.body, &mut next));
+    let funcs = script
+        .funcs
+        .iter()
+        .map(|f| Rc::new(number_block(&f.body, &mut next)))
+        .collect();
+    UnitNumbering {
+        top,
+        funcs,
+        stmt_count: next,
+    }
+}
+
+fn number_block(body: &[Stmt], next: &mut u32) -> Vec<StmtNode> {
+    body.iter().map(|s| number_stmt(s, next)).collect()
+}
+
+fn number_stmt(stmt: &Stmt, next: &mut u32) -> StmtNode {
+    let id = *next;
+    *next += 1;
+    let blocks = match stmt {
+        Stmt::If(_, then, els) => {
+            vec![number_block(then, next), number_block(els, next)]
+        }
+        Stmt::While(_, body) => vec![number_block(body, next)],
+        Stmt::For(init, _, _, body) => {
+            let init_nodes = match init {
+                Some(s) => vec![number_stmt(s, next)],
+                None => Vec::new(),
+            };
+            vec![init_nodes, number_block(body, next)]
+        }
+        _ => Vec::new(),
+    };
+    StmtNode { id, blocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn numbering_is_deterministic_preorder() {
+        let src = "var a = 1; if (a) { a = 2; } else { a = 3; } \
+                   function f() { while (a < 9) { a += 1; } return a; } f();";
+        let script = parse(src).unwrap();
+        let n1 = number_script(&script);
+        let n2 = number_script(&script);
+        assert_eq!(*n1.top, *n2.top);
+        assert_eq!(n1.stmt_count, n2.stmt_count);
+        // Top-level: var, if (+2 nested), f-decl, call = 6; function body:
+        // while (+1 nested), return = 3.
+        assert_eq!(n1.stmt_count, 9);
+        assert_eq!(n1.top[0].id, 0);
+        assert_eq!(n1.top[1].id, 1); // the if
+        assert_eq!(n1.top[1].blocks[0][0].id, 2); // then
+        assert_eq!(n1.top[1].blocks[1][0].id, 3); // else
+        assert_eq!(n1.funcs[0][0].id, 6); // while
+        assert_eq!(n1.funcs[0][0].blocks[0][0].id, 7); // loop body
+    }
+
+    #[test]
+    fn for_init_occupies_block_zero() {
+        let script = parse("for (var i = 0; i < 3; i += 1) { i = i; }").unwrap();
+        let n = number_script(&script);
+        assert_eq!(n.top[0].id, 0);
+        assert_eq!(n.top[0].blocks[0][0].id, 1, "init statement");
+        assert_eq!(n.top[0].blocks[1][0].id, 2, "body statement");
+        let script = parse("for (; ; ) { break; }").unwrap();
+        let n = number_script(&script);
+        assert!(n.top[0].blocks[0].is_empty(), "absent init");
+        assert_eq!(n.top[0].blocks[1][0].id, 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Dynamic execution witness: per-statement ground truth for the static
+//! analyzer's referee.
+//!
+//! While the interpreter runs it keeps, per script unit and per statement
+//! id (see [`crate::numbering`]):
+//!
+//! * **execution counts** — how many times each statement ran, so a
+//!   statically-unreachable claim can be checked against "never ran";
+//! * **store fates** — for every `var` declaration / variable assignment,
+//!   whether the stored value was read back before being overwritten
+//!   (or never read at all: a dynamically dead store);
+//! * **self spans** — half-open trace-position ranges of the instructions
+//!   recorded while the statement itself (not its nested statements) was
+//!   executing, so a statically-wasted claim can be checked against the
+//!   dynamic pixel slice.
+//!
+//! The witness never touches the [`wasteprof_trace::Recorder`]: traces,
+//! slices, and every downstream artifact stay byte-identical whether or
+//! not anyone reads the witness.
+
+use std::collections::HashMap;
+
+use wasteprof_trace::Addr;
+
+/// Fate counters for one static store site `(stmt id, variable name)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreFate {
+    /// Dynamic stores executed at this site.
+    pub stores: u64,
+    /// Stores whose value was read at least once before being overwritten.
+    pub read_back: u64,
+    /// Stores overwritten (or left at engine teardown) without ever being
+    /// read: dynamically dead.
+    pub dead: u64,
+}
+
+/// Witness for one script unit (one registered script, keyed by origin).
+#[derive(Debug, Clone, Default)]
+pub struct UnitWitness {
+    /// Script origin (the resource URL, or `"inline"`).
+    pub origin: String,
+    /// Statement id → number of times the statement executed.
+    pub exec: HashMap<u32, u64>,
+    /// `(stmt id, variable name)` → store fate counters.
+    pub stores: HashMap<(u32, String), StoreFate>,
+    /// Statement id → half-open `[start, end)` trace-position spans of the
+    /// statement's *self* instructions (nested statements excluded).
+    pub self_spans: HashMap<u32, Vec<(u64, u64)>>,
+}
+
+impl UnitWitness {
+    /// Total dynamic executions of `stmt`.
+    #[must_use]
+    pub fn exec_count(&self, stmt: u32) -> u64 {
+        self.exec.get(&stmt).copied().unwrap_or(0)
+    }
+
+    /// Total self instructions recorded for `stmt` across all executions.
+    #[must_use]
+    pub fn self_instructions(&self, stmt: u32) -> u64 {
+        self.self_spans
+            .get(&stmt)
+            .map(|v| v.iter().map(|(s, e)| e - s).sum())
+            .unwrap_or(0)
+    }
+}
+
+/// Execution witness across every script unit the engine has run.
+#[derive(Debug, Clone, Default)]
+pub struct JsWitness {
+    /// One entry per registered script, in registration order.
+    pub units: Vec<UnitWitness>,
+}
+
+impl JsWitness {
+    /// Looks up a unit's witness by script origin.
+    #[must_use]
+    pub fn unit(&self, origin: &str) -> Option<&UnitWitness> {
+        self.units.iter().find(|u| u.origin == origin)
+    }
+
+    /// Total dynamic statement executions across all units.
+    #[must_use]
+    pub fn total_exec(&self) -> u64 {
+        self.units
+            .iter()
+            .map(|u| u.exec.values().sum::<u64>())
+            .sum()
+    }
+}
+
+/// Mutable witness-collection state owned by the engine.
+///
+/// `stack` mirrors the interpreter's statement recursion: one frame per
+/// in-flight `exec_stmt`, holding `(unit, stmt id, self-span start)`. The
+/// enter/exit hooks are called from a wrapper around the interpreter's
+/// statement dispatch, so the stack stays balanced even when a `JsError`
+/// unwinds through `?`.
+#[derive(Debug, Default)]
+pub(crate) struct WitnessState {
+    pub(crate) witness: JsWitness,
+    stack: Vec<(usize, u32, u64)>,
+    /// Variable cell → site of its most recent unread store.
+    last_store: HashMap<Addr, (usize, u32, String)>,
+}
+
+impl WitnessState {
+    /// Enters a statement frame at trace position `pos`: flushes the
+    /// parent's open self span and bumps the execution count.
+    pub(crate) fn enter(&mut self, unit: usize, stmt: u32, pos: u64) {
+        if let Some(&mut (pu, ps, ref mut start)) = self.stack.last_mut() {
+            if pos > *start {
+                push_span(&mut self.witness.units, pu, ps, *start, pos);
+            }
+            *start = pos;
+        }
+        if let Some(u) = self.witness.units.get_mut(unit) {
+            *u.exec.entry(stmt).or_insert(0) += 1;
+        }
+        self.stack.push((unit, stmt, pos));
+    }
+
+    /// Exits the current statement frame at trace position `pos`, flushing
+    /// its final self span and resuming the parent's span.
+    pub(crate) fn exit(&mut self, pos: u64) {
+        if let Some((u, s, start)) = self.stack.pop() {
+            if pos > start {
+                push_span(&mut self.witness.units, u, s, start, pos);
+            }
+            if let Some(top) = self.stack.last_mut() {
+                top.2 = pos;
+            }
+        }
+    }
+
+    /// Records a variable store into `cell` named `name`, attributed to
+    /// the innermost in-flight statement. A previous unread store into the
+    /// same cell becomes dead.
+    pub(crate) fn store(&mut self, cell: Addr, name: &str) {
+        let Some(&(unit, stmt, _)) = self.stack.last() else {
+            return;
+        };
+        if let Some((pu, ps, pn)) = self.last_store.insert(cell, (unit, stmt, name.to_owned())) {
+            fate(&mut self.witness.units, pu, ps, pn).dead += 1;
+        }
+        fate(&mut self.witness.units, unit, stmt, name.to_owned()).stores += 1;
+    }
+
+    /// Records a read of variable `cell`: the pending store (if any) is
+    /// marked read-back and stops being a dead-store candidate.
+    pub(crate) fn read(&mut self, cell: Addr) {
+        if let Some((u, s, n)) = self.last_store.remove(&cell) {
+            fate(&mut self.witness.units, u, s, n).read_back += 1;
+        }
+    }
+
+    /// Finalizes and takes the witness: every still-pending store was
+    /// never read, so it counts as dead. The per-unit slots are re-seeded
+    /// (same origins, empty counters) so the engine can keep running.
+    pub(crate) fn take(&mut self) -> JsWitness {
+        let pending: Vec<_> = self.last_store.drain().map(|(_, site)| site).collect();
+        for (u, s, n) in pending {
+            fate(&mut self.witness.units, u, s, n).dead += 1;
+        }
+        self.stack.clear();
+        let fresh = JsWitness {
+            units: self
+                .witness
+                .units
+                .iter()
+                .map(|u| UnitWitness {
+                    origin: u.origin.clone(),
+                    ..UnitWitness::default()
+                })
+                .collect(),
+        };
+        std::mem::replace(&mut self.witness, fresh)
+    }
+
+    /// Registers the witness slot for a newly-registered script unit.
+    pub(crate) fn add_unit(&mut self, origin: &str) {
+        self.witness.units.push(UnitWitness {
+            origin: origin.to_owned(),
+            ..UnitWitness::default()
+        });
+    }
+}
+
+fn push_span(units: &mut [UnitWitness], unit: usize, stmt: u32, start: u64, end: u64) {
+    if let Some(u) = units.get_mut(unit) {
+        u.self_spans.entry(stmt).or_default().push((start, end));
+    }
+}
+
+fn fate(units: &mut [UnitWitness], unit: usize, stmt: u32, name: String) -> &mut StoreFate {
+    // Witness slots exist for every registered unit; a stale index (after
+    // `take`) still resolves because slots are re-seeded in place.
+    units
+        .get_mut(unit)
+        .expect("witness unit registered")
+        .stores
+        .entry((stmt, name))
+        .or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use wasteprof_dom::Document;
+    use wasteprof_trace::{Recorder, Region, ThreadKind};
+
+    use crate::{JsEngine, JsWitness};
+
+    fn run(src: &str) -> JsWitness {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "content::RendererMain");
+        let mut doc = Document::new(&mut rec);
+        let body = doc.create_element(&mut rec, "body", &[]);
+        doc.append_child(&mut rec, doc.root(), body);
+        let mut js = JsEngine::new();
+        let range = rec.alloc(Region::Input, src.len() as u32);
+        js.load_script(&mut rec, &mut doc, src, range, "test.js")
+            .unwrap();
+        js.take_witness()
+    }
+
+    #[test]
+    fn store_fates_and_exec_counts() {
+        let w = run("var a = 1; a = 2; var b = a; b = 9;");
+        let u = w.unit("test.js").unwrap();
+        // `var a = 1` is overwritten by `a = 2` without a read: dead.
+        let f0 = u.stores[&(0, "a".to_owned())];
+        assert_eq!((f0.stores, f0.read_back, f0.dead), (1, 0, 1));
+        // `a = 2` is read back by `var b = a`.
+        let f1 = u.stores[&(1, "a".to_owned())];
+        assert_eq!((f1.stores, f1.read_back, f1.dead), (1, 1, 0));
+        // `b = 9` is never read: finalized dead at teardown.
+        let f3 = u.stores[&(3, "b".to_owned())];
+        assert_eq!((f3.stores, f3.read_back, f3.dead), (1, 0, 1));
+        assert_eq!(u.exec_count(0), 1);
+        assert!(u.self_instructions(1) > 0);
+        assert_eq!(w.unit("test.js").unwrap().exec.len(), 4);
+    }
+
+    #[test]
+    fn loop_bodies_count_and_untaken_branches_stay_zero() {
+        let w = run("var i = 0; while (i < 3) { i += 1; } if (i > 99) { i = 0; }");
+        let u = w.unit("test.js").unwrap();
+        assert_eq!(u.exec_count(1), 1, "while statement entered once");
+        assert_eq!(u.exec_count(2), 3, "loop body per iteration");
+        assert_eq!(u.exec_count(4), 0, "untaken branch body never runs");
+        // Every `i += 1` store is read back by the next condition check.
+        let f = u.stores[&(2, "i".to_owned())];
+        assert_eq!((f.stores, f.read_back, f.dead), (3, 3, 0));
+    }
+}

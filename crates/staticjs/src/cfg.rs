@@ -1,0 +1,767 @@
+//! Control-flow-graph lowering for the JS AST.
+//!
+//! Each scope (a unit's top level, or one function body) lowers to a CFG
+//! of basic blocks whose contents are *ops*: variable/property reads and
+//! writes, dynamic (computed-key) accesses, effect sinks, call sites, and
+//! function-value escapes, each tagged with the stable statement id it
+//! belongs to (see [`wasteprof_js::number_script`]). Expressions lower in
+//! evaluation order; short-circuit `&&` / `||` and `?:` get real branch
+//! blocks so conditionally-executed reads and writes merge correctly, and
+//! literal conditions constant-fold their dead edge (the seed of
+//! unreachable-code detection).
+//!
+//! Call sites are opaque may-effect nodes: a direct call by the name of a
+//! known `function` declaration resolves to candidate targets, everything
+//! else is [`CallTarget::Unknown`]. Host intrinsics go through the
+//! conservative builtin effect table ([`method_effect`]): DOM mutation,
+//! timer registration, and network beacons are [`OpKind::Sink`]s; console
+//! and `Math` are deliberately *not* sinks (the paper's analytics/logging
+//! waste), and anything unrecognized is an unknown call.
+
+use std::collections::HashMap;
+
+use wasteprof_js::{AssignOp, Expr, Stmt, StmtNode, Target};
+
+/// Block index within one scope's CFG.
+pub type BlockId = usize;
+
+/// Program-wide interned variable-name id.
+pub type VarId = usize;
+
+/// A function scope in the whole-program sense.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ScopeRef {
+    /// Index of the script unit.
+    pub unit: usize,
+    /// `None` for the unit's top level, `Some(i)` for `script.funcs[i]`.
+    pub func: Option<usize>,
+}
+
+/// How a call site resolves statically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallTarget {
+    /// A direct call by the name of one or more `function` declarations
+    /// (more than one candidate when units reuse a name).
+    Known(Vec<ScopeRef>),
+    /// Anything else: a closure held in a variable or property, or an
+    /// unrecognized host method.
+    Unknown,
+}
+
+/// A property key, base-sensitive when the receiver is a plain variable
+/// (`wpState.model` keys differently from `wpPerf.model`); `base: None`
+/// means the receiver is a compound expression.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PropKey {
+    /// Interned receiver variable, when the receiver is a simple `Ident`.
+    pub base: Option<VarId>,
+    /// Property name.
+    pub prop: String,
+}
+
+/// One dataflow-relevant operation, in evaluation order within its block.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpKind {
+    /// Read of a variable slot.
+    ReadVar(VarId),
+    /// Write of a variable slot. The flag is true when the op itself
+    /// *declares* the name in the current scope (a `var` statement, or a
+    /// hoisted function definition): the interpreter only binds a local at
+    /// the moment its declaration executes, so a plain assignment before
+    /// that point resolves through the scope chain to an outer binding.
+    WriteVar(VarId, bool),
+    /// Read of a named property.
+    ReadProp(PropKey),
+    /// Write of a named property.
+    WriteProp(PropKey),
+    /// Computed-key read (`obj[k]`, `indexOf`): may read any property of
+    /// the base.
+    DynRead(Option<VarId>),
+    /// Computed-key write (`obj[k] = v`, `push`): may write any property
+    /// of the base.
+    DynWrite(Option<VarId>),
+    /// An externally-observable effect: DOM mutation, handler/timer
+    /// registration, or network send. The roots of the static slice.
+    Sink,
+    /// A call site (effects summarized per target).
+    Call(CallTarget),
+    /// A function value escapes (address taken): it may be invoked later
+    /// by the host or through any unknown call.
+    UseFun(ScopeRef),
+    /// Return from the scope.
+    Return,
+}
+
+/// An op tagged with the statement it belongs to.
+#[derive(Clone, Debug)]
+pub struct Op {
+    /// Stable statement id within the unit.
+    pub stmt: u32,
+    /// What the op does.
+    pub kind: OpKind,
+}
+
+/// A basic block: ops in evaluation order plus successor edges.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Ops in evaluation order.
+    pub ops: Vec<Op>,
+    /// Successor blocks.
+    pub succs: Vec<BlockId>,
+}
+
+/// One scope's control-flow graph.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Basic blocks; `blocks[entry]` is the entry.
+    pub blocks: Vec<Block>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// Single synthetic exit block (returns and fall-through edge here).
+    pub exit: BlockId,
+    /// Statement id → block where the statement starts (for
+    /// unreachable-statement detection).
+    pub stmt_entry: HashMap<u32, BlockId>,
+}
+
+impl Cfg {
+    /// Predecessor lists, computed on demand.
+    pub fn preds(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+}
+
+/// Program-wide variable-name interner.
+#[derive(Default, Debug)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, VarId>,
+}
+
+impl Interner {
+    /// Interns `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = self.names.len();
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<VarId> {
+        self.map.get(name).copied()
+    }
+
+    /// The name for an id.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.names[id]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// The effect a host method call has, per the builtin effect table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MethodEffect {
+    /// No heap/DOM effect the slice cares about (`Math.*`, `console.*`,
+    /// `performance.now`, `parseInt`). Console is deliberately pure: log
+    /// output never feeds pixels, which is exactly the analytics waste
+    /// the paper measures.
+    Pure,
+    /// DOM or host *read* (node lookup, `getAttribute`): produces a value
+    /// but mutates nothing.
+    HostRead,
+    /// Externally-observable effect: DOM mutation, listener/timer
+    /// registration, network send.
+    Sink,
+    /// Array/object mutation through a computed key (`push`).
+    DynWrite,
+    /// Array/object read through computed keys (`indexOf`, `contains`).
+    DynRead,
+    /// Unrecognized: may be a stored closure (unknown call).
+    Unknown,
+}
+
+/// Host globals the interpreter resolves when the name is not shadowed.
+pub const HOST_GLOBALS: [&str; 6] = [
+    "document",
+    "window",
+    "console",
+    "Math",
+    "performance",
+    "navigator",
+];
+
+/// The conservative builtin effect table for DOM/timer/console/network
+/// intrinsics, mirroring the interpreter's host method dispatch.
+///
+/// `host_base` is `Some(name)` when the receiver expression is one of the
+/// [`HOST_GLOBALS`] (and the caller verified the name is never shadowed);
+/// `classlist_recv` flags a `x.classList.<m>()` receiver shape.
+pub fn method_effect(host_base: Option<&str>, classlist_recv: bool, name: &str) -> MethodEffect {
+    match host_base {
+        Some("console") | Some("Math") | Some("performance") => MethodEffect::Pure,
+        Some("navigator") => match name {
+            "sendBeacon" => MethodEffect::Sink,
+            _ => MethodEffect::Unknown,
+        },
+        Some("document") => match name {
+            "getElementById"
+            | "querySelector"
+            | "querySelectorAll"
+            | "getElementsByTagName"
+            | "getElementsByClassName"
+            | "createElement"
+            | "createTextNode" => MethodEffect::HostRead,
+            "addEventListener" => MethodEffect::Sink,
+            _ => MethodEffect::Unknown,
+        },
+        Some("window") => match name {
+            "addEventListener" | "setTimeout" | "requestAnimationFrame" => MethodEffect::Sink,
+            _ => MethodEffect::Unknown,
+        },
+        _ if classlist_recv => match name {
+            "add" | "remove" | "toggle" => MethodEffect::Sink,
+            "contains" => MethodEffect::HostRead,
+            _ => MethodEffect::Unknown,
+        },
+        _ => match name {
+            // Node mutation / registration by name: receivers are nodes in
+            // every workload; treating a same-named user method as a sink
+            // only over-approximates the slice (never unsound for
+            // WP0102/WP0103, which do not depend on sinks).
+            "appendChild" | "removeChild" | "remove" | "setAttribute" | "addEventListener" => {
+                MethodEffect::Sink
+            }
+            "getAttribute" => MethodEffect::HostRead,
+            "push" => MethodEffect::DynWrite,
+            "indexOf" => MethodEffect::DynRead,
+            _ => MethodEffect::Unknown,
+        },
+    }
+}
+
+/// Properties whose *assignment* mutates the rendered page when the
+/// receiver is a DOM node. Writes to them are sinks.
+const DOM_WRITE_PROPS: [&str; 3] = ["textContent", "className", "id"];
+
+/// Everything the lowering needs to know about the surrounding program.
+pub struct LowerCtx<'a> {
+    /// Variable interner (shared across the program).
+    pub vars: &'a mut Interner,
+    /// `function` declaration name → candidate targets (whole program).
+    pub fn_map: &'a HashMap<String, Vec<ScopeRef>>,
+    /// Names declared anywhere in the program (a host global in this set
+    /// is shadowed and loses its host meaning).
+    pub declared: &'a std::collections::HashSet<String>,
+    /// The unit being lowered.
+    pub unit: usize,
+}
+
+struct Lowerer<'a, 'b> {
+    ctx: &'b mut LowerCtx<'a>,
+    blocks: Vec<Block>,
+    cur: BlockId,
+    stmt_entry: HashMap<u32, BlockId>,
+    /// (continue target, break target) per enclosing loop.
+    loops: Vec<(BlockId, BlockId)>,
+    exit: BlockId,
+    stmt: u32,
+}
+
+/// Lowers one scope's body to a CFG. `body`/`nodes` are the statement
+/// list and its numbering. Each hoisted `function` declaration name gets
+/// a `WriteVar` definition at scope entry, matching interpreter hoisting.
+pub fn lower_scope(ctx: &mut LowerCtx<'_>, body: &[Stmt], nodes: &[StmtNode]) -> Cfg {
+    let mut lw = Lowerer {
+        ctx,
+        blocks: vec![Block::default(), Block::default()],
+        cur: 0,
+        stmt_entry: HashMap::new(),
+        loops: Vec::new(),
+        exit: 1,
+        stmt: 0,
+    };
+    // Hoisted function declarations define their names at scope entry.
+    for (stmt, node) in body.iter().zip(nodes) {
+        if let Stmt::FuncDecl(name, _) = stmt {
+            let v = lw.ctx.vars.intern(name);
+            lw.emit_at(node.id, OpKind::WriteVar(v, true));
+        }
+    }
+    lw.lower_block(body, nodes);
+    let cur = lw.cur;
+    let exit = lw.exit;
+    lw.edge(cur, exit);
+    Cfg {
+        blocks: lw.blocks,
+        entry: 0,
+        exit,
+        stmt_entry: lw.stmt_entry,
+    }
+}
+
+impl<'a, 'b> Lowerer<'a, 'b> {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn emit(&mut self, kind: OpKind) {
+        let stmt = self.stmt;
+        self.emit_at(stmt, kind);
+    }
+
+    fn emit_at(&mut self, stmt: u32, kind: OpKind) {
+        let cur = self.cur;
+        self.blocks[cur].ops.push(Op { stmt, kind });
+    }
+
+    fn lower_block(&mut self, body: &[Stmt], nodes: &[StmtNode]) {
+        for (stmt, node) in body.iter().zip(nodes) {
+            self.lower_stmt(stmt, node);
+        }
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, node: &StmtNode) {
+        self.stmt = node.id;
+        self.stmt_entry.insert(node.id, self.cur);
+        match stmt {
+            Stmt::FuncDecl(..) => {} // hoisted at scope entry
+            Stmt::Decl(name, init) => {
+                if let Some(e) = init {
+                    self.lower_expr(e);
+                }
+                let v = self.ctx.vars.intern(name);
+                self.emit(OpKind::WriteVar(v, true));
+            }
+            Stmt::Expr(e) => {
+                self.lower_expr(e);
+            }
+            Stmt::If(cond, then, els) => {
+                self.lower_expr(cond);
+                let cond_blk = self.cur;
+                let join = self.new_block();
+                match const_truthy(cond) {
+                    Some(true) => {
+                        let t = self.new_block();
+                        self.edge(cond_blk, t);
+                        self.cur = t;
+                        self.lower_block(then, &node.blocks[0]);
+                        let end = self.cur;
+                        self.edge(end, join);
+                        // The else arm still lowers (for stmt_entry and
+                        // ops) but gets no incoming edge: unreachable.
+                        let e = self.new_block();
+                        self.cur = e;
+                        self.lower_block(els, &node.blocks[1]);
+                        let end = self.cur;
+                        self.edge(end, join);
+                    }
+                    Some(false) => {
+                        let t = self.new_block();
+                        self.cur = t;
+                        self.lower_block(then, &node.blocks[0]);
+                        let end = self.cur;
+                        self.edge(end, join);
+                        let e = self.new_block();
+                        self.edge(cond_blk, e);
+                        self.cur = e;
+                        self.lower_block(els, &node.blocks[1]);
+                        let end = self.cur;
+                        self.edge(end, join);
+                    }
+                    None => {
+                        let t = self.new_block();
+                        let e = self.new_block();
+                        self.edge(cond_blk, t);
+                        self.edge(cond_blk, e);
+                        self.cur = t;
+                        self.lower_block(then, &node.blocks[0]);
+                        let end = self.cur;
+                        self.edge(end, join);
+                        self.cur = e;
+                        self.lower_block(els, &node.blocks[1]);
+                        let end = self.cur;
+                        self.edge(end, join);
+                    }
+                }
+                self.cur = join;
+            }
+            Stmt::While(cond, body) => {
+                let head = self.new_block();
+                let prev = self.cur;
+                self.edge(prev, head);
+                self.cur = head;
+                self.lower_expr(cond);
+                let cond_end = self.cur;
+                let body_blk = self.new_block();
+                let after = self.new_block();
+                match const_truthy(cond) {
+                    Some(true) => self.edge(cond_end, body_blk),
+                    Some(false) => self.edge(cond_end, after),
+                    None => {
+                        self.edge(cond_end, body_blk);
+                        self.edge(cond_end, after);
+                    }
+                }
+                self.loops.push((head, after));
+                self.cur = body_blk;
+                self.lower_block(body, &node.blocks[0]);
+                let body_end = self.cur;
+                self.edge(body_end, head);
+                self.loops.pop();
+                self.cur = after;
+            }
+            Stmt::For(init, cond, step, body) => {
+                if let Some(i) = init {
+                    // The init statement numbers as node.blocks[0][0].
+                    let inner = self.stmt;
+                    self.lower_stmt(i, &node.blocks[0][0]);
+                    self.stmt = inner;
+                }
+                let head = self.new_block();
+                let prev = self.cur;
+                self.edge(prev, head);
+                self.cur = head;
+                let fold = cond.as_ref().map_or(Some(true), const_truthy);
+                if let Some(c) = cond {
+                    self.lower_expr(c);
+                }
+                let cond_end = self.cur;
+                let body_blk = self.new_block();
+                let step_blk = self.new_block();
+                let after = self.new_block();
+                match fold {
+                    Some(true) => self.edge(cond_end, body_blk),
+                    Some(false) => self.edge(cond_end, after),
+                    None => {
+                        self.edge(cond_end, body_blk);
+                        self.edge(cond_end, after);
+                    }
+                }
+                self.loops.push((step_blk, after));
+                self.cur = body_blk;
+                self.lower_block(body, &node.blocks[1]);
+                let body_end = self.cur;
+                self.edge(body_end, step_blk);
+                self.loops.pop();
+                self.cur = step_blk;
+                if let Some(s) = step {
+                    self.lower_expr(s);
+                }
+                let step_end = self.cur;
+                self.edge(step_end, head);
+                self.cur = after;
+            }
+            Stmt::Return(value) => {
+                if let Some(e) = value {
+                    self.lower_expr(e);
+                }
+                self.emit(OpKind::Return);
+                let cur = self.cur;
+                let exit = self.exit;
+                self.edge(cur, exit);
+                self.cur = self.new_block(); // unreachable continuation
+            }
+            Stmt::Break => {
+                if let Some(&(_, brk)) = self.loops.last() {
+                    let cur = self.cur;
+                    self.edge(cur, brk);
+                }
+                self.cur = self.new_block();
+            }
+            Stmt::Continue => {
+                if let Some(&(cont, _)) = self.loops.last() {
+                    let cur = self.cur;
+                    self.edge(cur, cont);
+                }
+                self.cur = self.new_block();
+            }
+        }
+    }
+
+    /// True when `name` refers to the host global of that name here:
+    /// host globals lose their meaning if the program ever declares them.
+    fn is_host(&self, name: &str) -> bool {
+        HOST_GLOBALS.contains(&name) && !self.ctx.declared.contains(name)
+    }
+
+    fn base_of(&mut self, obj: &Expr) -> Option<VarId> {
+        match obj {
+            Expr::Ident(n) if !self.is_host(n) => Some(self.ctx.vars.intern(n)),
+            _ => None,
+        }
+    }
+
+    fn prop_key(&mut self, obj: &Expr, prop: &str) -> PropKey {
+        PropKey {
+            base: self.base_of(obj),
+            prop: prop.to_owned(),
+        }
+    }
+
+    /// Lowers an identifier read. Reading a `function`-declaration name as
+    /// a value (not as a direct callee) lets the function escape.
+    fn lower_ident(&mut self, name: &str, as_callee: bool) {
+        if self.is_host(name) {
+            return;
+        }
+        let v = self.ctx.vars.intern(name);
+        self.emit(OpKind::ReadVar(v));
+        if !as_callee {
+            if let Some(targets) = self.ctx.fn_map.get(name) {
+                for &t in targets.clone().iter() {
+                    self.emit(OpKind::UseFun(t));
+                }
+            }
+        }
+    }
+
+    fn lower_expr(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Num(..) | Expr::Str(..) | Expr::Bool(_) | Expr::Null | Expr::Undefined => {}
+            Expr::Ident(name) => self.lower_ident(name, false),
+            Expr::Array(items) => {
+                for it in items {
+                    self.lower_expr(it);
+                }
+            }
+            Expr::Object(props) => {
+                for (_, e) in props {
+                    self.lower_expr(e);
+                }
+            }
+            Expr::Function(idx) => {
+                let unit = self.ctx.unit;
+                self.emit(OpKind::UseFun(ScopeRef {
+                    unit,
+                    func: Some(*idx as usize),
+                }));
+            }
+            Expr::Binary(_, a, b) => {
+                self.lower_expr(a);
+                self.lower_expr(b);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                self.lower_expr(a);
+                let lhs_end = self.cur;
+                let rhs = self.new_block();
+                let join = self.new_block();
+                self.edge(lhs_end, rhs);
+                self.edge(lhs_end, join);
+                self.cur = rhs;
+                self.lower_expr(b);
+                let rhs_end = self.cur;
+                self.edge(rhs_end, join);
+                self.cur = join;
+            }
+            Expr::Unary(_, e) => self.lower_expr(e),
+            Expr::Ternary(c, a, b) => {
+                self.lower_expr(c);
+                let cond_end = self.cur;
+                let t = self.new_block();
+                let e = self.new_block();
+                let join = self.new_block();
+                self.edge(cond_end, t);
+                self.edge(cond_end, e);
+                self.cur = t;
+                self.lower_expr(a);
+                let end = self.cur;
+                self.edge(end, join);
+                self.cur = e;
+                self.lower_expr(b);
+                let end = self.cur;
+                self.edge(end, join);
+                self.cur = join;
+            }
+            Expr::Assign(op, target, value) => self.lower_assign(*op, target, value),
+            Expr::Call(callee, args) => self.lower_call(callee, args),
+            Expr::MethodCall(obj, name, args) => self.lower_method(obj, name, args),
+            Expr::Member(obj, name) => {
+                self.lower_expr(obj);
+                if let Expr::Ident(base) = &**obj {
+                    if self.is_host(base) {
+                        return; // host property read (viewport, title, body)
+                    }
+                }
+                let key = self.prop_key(obj, name);
+                self.emit(OpKind::ReadProp(key));
+            }
+            Expr::Index(obj, key) => {
+                self.lower_expr(obj);
+                self.lower_expr(key);
+                let base = self.base_of(obj);
+                self.emit(OpKind::DynRead(base));
+            }
+            Expr::PostIncDec { target, .. } => {
+                // Old value read, then write-back of the updated value.
+                match target {
+                    Target::Var(name) => {
+                        self.lower_ident(name, false);
+                        let v = self.ctx.vars.intern(name);
+                        self.emit(OpKind::WriteVar(v, false));
+                    }
+                    Target::Member(obj, prop) => {
+                        self.lower_expr(obj);
+                        let key = self.prop_key(obj, prop);
+                        self.emit(OpKind::ReadProp(key.clone()));
+                        self.lower_prop_write(obj, prop);
+                    }
+                    Target::Index(obj, key) => {
+                        self.lower_expr(obj);
+                        self.lower_expr(key);
+                        let base = self.base_of(obj);
+                        self.emit(OpKind::DynRead(base));
+                        self.emit(OpKind::DynWrite(base));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emits the write op for `obj.prop = ...`: a sink when the target is
+    /// DOM-mutating (node content props, `style` sub-properties, host
+    /// globals), otherwise a plain property write.
+    fn lower_prop_write(&mut self, obj: &Expr, prop: &str) {
+        let style_recv = matches!(obj, Expr::Member(_, m) if m == "style");
+        let host_recv = matches!(obj, Expr::Ident(n) if self.is_host(n));
+        if style_recv || host_recv || DOM_WRITE_PROPS.contains(&prop) {
+            self.emit(OpKind::Sink);
+        } else {
+            let key = self.prop_key(obj, prop);
+            self.emit(OpKind::WriteProp(key));
+        }
+    }
+
+    fn lower_assign(&mut self, op: AssignOp, target: &Target, value: &Expr) {
+        self.lower_expr(value);
+        match target {
+            Target::Var(name) => {
+                let v = self.ctx.vars.intern(name);
+                if op != AssignOp::Set {
+                    self.emit(OpKind::ReadVar(v));
+                }
+                self.emit(OpKind::WriteVar(v, false));
+            }
+            Target::Member(obj, prop) => {
+                self.lower_expr(obj);
+                if op != AssignOp::Set {
+                    let key = self.prop_key(obj, prop);
+                    self.emit(OpKind::ReadProp(key));
+                }
+                self.lower_prop_write(obj, prop);
+            }
+            Target::Index(obj, key) => {
+                self.lower_expr(obj);
+                self.lower_expr(key);
+                let base = self.base_of(obj);
+                if op != AssignOp::Set {
+                    self.emit(OpKind::DynRead(base));
+                }
+                self.emit(OpKind::DynWrite(base));
+            }
+        }
+    }
+
+    fn lower_call(&mut self, callee: &Expr, args: &[Expr]) {
+        // Global host natives (when not shadowed), as in the interpreter.
+        if let Expr::Ident(name) = callee {
+            if !self.ctx.declared.contains(name.as_str()) {
+                match name.as_str() {
+                    "setTimeout" | "requestAnimationFrame" => {
+                        for a in args {
+                            self.lower_expr(a);
+                        }
+                        self.emit(OpKind::Sink);
+                        return;
+                    }
+                    "parseInt" => {
+                        for a in args {
+                            self.lower_expr(a);
+                        }
+                        return; // pure
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let target = match callee {
+            Expr::Ident(name) => {
+                self.lower_ident(name, true);
+                match self.ctx.fn_map.get(name.as_str()) {
+                    Some(t) => CallTarget::Known(t.clone()),
+                    None => CallTarget::Unknown,
+                }
+            }
+            other => {
+                self.lower_expr(other);
+                CallTarget::Unknown
+            }
+        };
+        for a in args {
+            self.lower_expr(a);
+        }
+        self.emit(OpKind::Call(target));
+    }
+
+    fn lower_method(&mut self, obj: &Expr, name: &str, args: &[Expr]) {
+        self.lower_expr(obj);
+        for a in args {
+            self.lower_expr(a);
+        }
+        let host_base = match obj {
+            Expr::Ident(n) if self.is_host(n) => Some(n.as_str()),
+            _ => None,
+        };
+        let classlist_recv = matches!(obj, Expr::Member(_, m) if m == "classList");
+        match method_effect(host_base, classlist_recv, name) {
+            MethodEffect::Pure | MethodEffect::HostRead => {}
+            MethodEffect::Sink => self.emit(OpKind::Sink),
+            MethodEffect::DynWrite => {
+                let base = self.base_of(obj);
+                self.emit(OpKind::DynWrite(base));
+            }
+            MethodEffect::DynRead => {
+                let base = self.base_of(obj);
+                self.emit(OpKind::DynRead(base));
+            }
+            MethodEffect::Unknown => self.emit(OpKind::Call(CallTarget::Unknown)),
+        }
+    }
+}
+
+/// Truthiness of a literal condition (the interpreter's `Value::truthy`),
+/// `None` when not statically known.
+pub fn const_truthy(e: &Expr) -> Option<bool> {
+    match e {
+        Expr::Bool(b) => Some(*b),
+        Expr::Num(n, _) => Some(*n != 0.0 && !n.is_nan()),
+        Expr::Str(s, _) => Some(!s.is_empty()),
+        Expr::Null | Expr::Undefined => Some(false),
+        _ => None,
+    }
+}

@@ -1,0 +1,37 @@
+#![forbid(unsafe_code)]
+
+//! Ahead-of-time static waste analyzer for the wasteprof JS workloads.
+//!
+//! The dynamic pipeline (trace → backward slice) measures unnecessary
+//! computation *after the fact*; this crate asks how much of it a purely
+//! static analysis could have predicted from source alone, reproducing
+//! the paper's observation that much of the waste (unused libraries,
+//! analytics-only work, speculative precomputation) is visible before a
+//! single instruction runs.
+//!
+//! The pipeline:
+//!
+//! 1. [`mod@cfg`] lowers every scope of every script to a CFG of basic blocks
+//!    whose contents are dataflow ops, with call sites as opaque
+//!    may-effect nodes resolved through a conservative builtin effect
+//!    table for the DOM/timer/console/network intrinsics.
+//! 2. [`solver`] is a generic join-lattice worklist solver
+//!    (forward/backward), shared by all clients.
+//! 3. [`analyses`] runs the four clients — possibly-undefined use
+//!    (`WP0101`), dead stores (`WP0102`), unreachable code (`WP0103`),
+//!    and the backward static slice from effect sinks (`WP0104`) — and
+//!    renders findings through the checker's [`wasteprof_checker::Diag`]
+//!    machinery.
+//! 4. [`referee`] scores the predictions against the interpreter's
+//!    execution witness and the dynamic slice, reporting per-analysis
+//!    precision/recall and (for the must-be-sound claims) violations.
+
+#![warn(missing_docs)]
+
+pub mod analyses;
+pub mod cfg;
+pub mod referee;
+pub mod solver;
+
+pub use analyses::{analyze_sources, ProgramAnalysis, UnitReport};
+pub use referee::{compare, Metric, RefereeReport};

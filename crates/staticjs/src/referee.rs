@@ -1,0 +1,271 @@
+//! The static-vs-dynamic referee: scores static predictions against the
+//! interpreter's execution witness and the dynamic pixel slice.
+//!
+//! For each canonical session the engine hands the referee three things:
+//! the [`ProgramAnalysis`] of the session's scripts, the
+//! [`wasteprof_js::JsWitness`] those same scripts produced when the
+//! session actually ran, and a membership test for the dynamic
+//! backward-slice ground truth. The referee then checks, per analysis:
+//!
+//! * **unreachable (WP0103)** — a statement the analyzer calls
+//!   unreachable that *executed* is a soundness violation; precision over
+//!   executed claims must be 1.0. Recall is measured against every
+//!   statement that never ran (which includes statements a richer input
+//!   would have reached, so static recall is honestly partial).
+//! * **dead stores (WP0102)** — a claimed site that executed and was
+//!   read back is a soundness violation; ground truth is every witnessed
+//!   site whose stores were never read back. Claims the session never
+//!   executed are excluded from the precision denominator.
+//! * **static waste (WP0104)** — no soundness class: precision is the
+//!   fraction of executed claims whose self instructions stay entirely
+//!   outside the dynamic slice, recall the fraction of dynamically
+//!   wasted statements the analyzer found.
+//!
+//! Only units present in both the analysis and the witness are compared,
+//! and every aggregate is computed in deterministic order.
+
+use wasteprof_js::JsWitness;
+
+use crate::analyses::ProgramAnalysis;
+
+/// Counters for one analysis on one session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metric {
+    /// Statically predicted findings (in compared units).
+    pub predicted: u64,
+    /// Predictions the dynamic run actually exercised (the precision
+    /// denominator).
+    pub observed: u64,
+    /// Predictions the dynamic ground truth confirms.
+    pub tp: u64,
+    /// Dynamic ground-truth findings (the recall denominator).
+    pub gt: u64,
+    /// Soundness violations: predictions the dynamic run refutes.
+    pub violations: u64,
+}
+
+impl Metric {
+    /// `tp / observed`; `None` when nothing was observed.
+    #[must_use]
+    pub fn precision(&self) -> Option<f64> {
+        (self.observed > 0).then(|| self.tp as f64 / self.observed as f64)
+    }
+
+    /// `tp / gt`; `None` when the ground truth is empty.
+    #[must_use]
+    pub fn recall(&self) -> Option<f64> {
+        (self.gt > 0).then(|| self.tp as f64 / self.gt as f64)
+    }
+}
+
+/// One session's static-vs-dynamic comparison.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RefereeReport {
+    /// WP0103 unreachable-code metrics.
+    pub unreachable: Metric,
+    /// WP0102 dead-store metrics.
+    pub dead_stores: Metric,
+    /// WP0104 static-waste metrics.
+    pub wasted: Metric,
+    /// WP0101 predictions (counts only; undefined reads have no dynamic
+    /// ground-truth channel in the witness).
+    pub maybe_undef: u64,
+    /// Units present in both the analysis and the witness.
+    pub units_compared: usize,
+}
+
+impl RefereeReport {
+    /// Total soundness violations (must be zero for a sound analyzer).
+    #[must_use]
+    pub fn soundness_violations(&self) -> u64 {
+        self.unreachable.violations + self.dead_stores.violations
+    }
+}
+
+/// Scores `analysis` against the witness of an actual run. `in_slice`
+/// answers whether a trace position belongs to the dynamic pixel slice
+/// (the ground truth for WP0104).
+pub fn compare(
+    analysis: &ProgramAnalysis,
+    witness: &JsWitness,
+    in_slice: &dyn Fn(u64) -> bool,
+) -> RefereeReport {
+    let mut r = RefereeReport::default();
+    for unit in &analysis.units {
+        let Some(w) = witness.unit(&unit.origin) else {
+            continue;
+        };
+        r.units_compared += 1;
+        r.maybe_undef += unit.maybe_undef.len() as u64;
+
+        // WP0103: predicted-unreachable vs execution counts.
+        for &s in &unit.unreachable {
+            r.unreachable.predicted += 1;
+            r.unreachable.observed += 1;
+            if w.exec_count(s) > 0 {
+                r.unreachable.violations += 1;
+            } else {
+                r.unreachable.tp += 1;
+            }
+        }
+        for s in 0..unit.stmt_count {
+            if w.exec_count(s) == 0 {
+                r.unreachable.gt += 1;
+            }
+        }
+
+        // WP0102: predicted-dead stores vs store fates.
+        for key in &unit.dead_stores {
+            r.dead_stores.predicted += 1;
+            let Some(f) = w.stores.get(key) else {
+                continue; // site never executed: unmeasurable
+            };
+            if f.stores == 0 {
+                continue;
+            }
+            r.dead_stores.observed += 1;
+            if f.read_back > 0 {
+                r.dead_stores.violations += 1;
+            } else {
+                r.dead_stores.tp += 1;
+            }
+        }
+        let mut gt_sites: Vec<_> = w
+            .stores
+            .iter()
+            .filter(|(_, f)| f.stores > 0 && f.read_back == 0)
+            .collect();
+        gt_sites.sort_by_key(|(k, _)| (*k).clone());
+        r.dead_stores.gt += gt_sites.len() as u64;
+
+        // WP0104: predicted-wasted vs the dynamic slice over self spans.
+        let dyn_wasted = |s: u32| -> Option<bool> {
+            if w.exec_count(s) == 0 {
+                return None;
+            }
+            let spans = w.self_spans.get(&s)?;
+            if spans.iter().all(|(a, b)| a == b) {
+                return None;
+            }
+            Some(spans.iter().all(|&(a, b)| (a..b).all(|p| !in_slice(p))))
+        };
+        for &s in &unit.wasted {
+            r.wasted.predicted += 1;
+            let Some(is_wasted) = dyn_wasted(s) else {
+                continue; // never executed, or no self instructions
+            };
+            r.wasted.observed += 1;
+            if is_wasted {
+                r.wasted.tp += 1;
+            }
+        }
+        for s in 0..unit.stmt_count {
+            if dyn_wasted(s) == Some(true) {
+                r.wasted.gt += 1;
+            }
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+
+    use wasteprof_js::{JsWitness, StoreFate, UnitWitness};
+
+    use super::*;
+    use crate::analyses::{ProgramAnalysis, UnitReport};
+
+    fn unit_report() -> UnitReport {
+        UnitReport {
+            origin: "a.js".to_owned(),
+            stmt_count: 4,
+            unreachable: BTreeSet::from([2]),
+            dead_stores: BTreeSet::from([(0, "x".to_owned()), (3, "y".to_owned())]),
+            wasted: BTreeSet::from([1]),
+            maybe_undef: BTreeSet::new(),
+        }
+    }
+
+    fn witness(exec2: u64, read_back: u64) -> JsWitness {
+        let mut w = UnitWitness {
+            origin: "a.js".to_owned(),
+            ..UnitWitness::default()
+        };
+        w.exec.insert(0, 1);
+        w.exec.insert(1, 1);
+        if exec2 > 0 {
+            w.exec.insert(2, exec2);
+        }
+        w.stores.insert(
+            (0, "x".to_owned()),
+            StoreFate {
+                stores: 1,
+                read_back,
+                dead: 1 - read_back,
+            },
+        );
+        // Stmt 1 ran its own instructions at positions 10..12; stmt 3
+        // (the second dead-store claim) never executed.
+        w.self_spans.insert(1, vec![(10, 12)]);
+        JsWitness { units: vec![w] }
+    }
+
+    #[test]
+    fn clean_run_scores_perfect_precision() {
+        let analysis = ProgramAnalysis {
+            units: vec![unit_report()],
+            diags: Vec::new(),
+        };
+        let w = witness(0, 0);
+        let r = compare(&analysis, &w, &|p| p < 5);
+        assert_eq!(r.units_compared, 1);
+        assert_eq!(r.soundness_violations(), 0);
+        assert_eq!(r.unreachable.tp, 1);
+        assert_eq!(r.unreachable.precision(), Some(1.0));
+        // gt: stmts 2 and 3 never ran.
+        assert_eq!(r.unreachable.gt, 2);
+        // The (3, y) claim never executed: excluded from the denominator.
+        assert_eq!(r.dead_stores.predicted, 2);
+        assert_eq!(r.dead_stores.observed, 1);
+        assert_eq!(r.dead_stores.precision(), Some(1.0));
+        assert_eq!(r.dead_stores.gt, 1);
+        // Stmt 1's spans (10..12) are outside the slice (p < 5).
+        assert_eq!(r.wasted.observed, 1);
+        assert_eq!(r.wasted.tp, 1);
+        assert_eq!(r.wasted.recall(), Some(1.0));
+    }
+
+    #[test]
+    fn refuted_claims_count_as_violations() {
+        let analysis = ProgramAnalysis {
+            units: vec![unit_report()],
+            diags: Vec::new(),
+        };
+        // Stmt 2 executed despite the unreachable claim; the store at
+        // stmt 0 was read back despite the dead-store claim.
+        let w = witness(3, 1);
+        let r = compare(&analysis, &w, &|p| p >= 10);
+        assert_eq!(r.unreachable.violations, 1);
+        assert_eq!(r.dead_stores.violations, 1);
+        assert_eq!(r.soundness_violations(), 2);
+        // Stmt 1's spans now overlap the slice: predicted wasted but
+        // dynamically useful — precision loss, not a violation.
+        assert_eq!(r.wasted.observed, 1);
+        assert_eq!(r.wasted.tp, 0);
+        assert_eq!(r.wasted.precision(), Some(0.0));
+    }
+
+    #[test]
+    fn units_missing_from_witness_are_skipped() {
+        let analysis = ProgramAnalysis {
+            units: vec![unit_report()],
+            diags: Vec::new(),
+        };
+        let w = JsWitness { units: Vec::new() };
+        let r = compare(&analysis, &w, &|_| false);
+        assert_eq!(r.units_compared, 0);
+        assert_eq!(r, RefereeReport::default());
+    }
+}

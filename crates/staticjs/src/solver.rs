@@ -1,0 +1,184 @@
+//! Generic worklist dataflow solver over a scope CFG.
+//!
+//! An analysis implements [`DataflowAnalysis`]: it names its direction,
+//! lattice bottom, boundary fact, join, and per-block transfer. The
+//! solver iterates a worklist to the (unique, by monotonicity on a
+//! finite lattice) fixpoint and returns each block's *pre-transfer* fact
+//! — the fact at block entry for a forward analysis, at block exit for a
+//! backward one — which is what clients need to then walk the block's
+//! ops themselves.
+
+use crate::cfg::Cfg;
+
+/// Direction a dataflow analysis propagates facts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Facts flow along CFG edges (e.g. reaching definitions).
+    Forward,
+    /// Facts flow against CFG edges (e.g. liveness, demand).
+    Backward,
+}
+
+/// A join-lattice dataflow problem over one CFG.
+pub trait DataflowAnalysis {
+    /// The lattice element.
+    type Fact: Clone + PartialEq;
+
+    /// Propagation direction.
+    fn direction(&self) -> Direction;
+
+    /// Least element; the initial fact at every non-boundary block.
+    fn bottom(&self) -> Self::Fact;
+
+    /// Fact at the boundary (entry block for forward, exit for backward).
+    fn boundary(&self) -> Self::Fact;
+
+    /// Least upper bound; must be monotone and idempotent.
+    fn join(&self, a: &Self::Fact, b: &Self::Fact) -> Self::Fact;
+
+    /// Transfer of one whole block (in evaluation order for forward
+    /// analyses, reverse order for backward ones).
+    fn transfer(&self, cfg: &Cfg, block: usize, fact: &Self::Fact) -> Self::Fact;
+}
+
+/// Runs `analysis` over `cfg` to fixpoint; `result[b]` is block `b`'s
+/// pre-transfer fact.
+pub fn solve<A: DataflowAnalysis>(analysis: &A, cfg: &Cfg) -> Vec<A::Fact> {
+    let n = cfg.blocks.len();
+    let preds = cfg.preds();
+    let forward = analysis.direction() == Direction::Forward;
+    let boundary_block = if forward { cfg.entry } else { cfg.exit };
+    let mut facts: Vec<A::Fact> = (0..n).map(|_| analysis.bottom()).collect();
+    facts[boundary_block] = analysis.boundary();
+    // Every block seeds the worklist so isolated blocks still stabilize.
+    let mut work: std::collections::VecDeque<usize> = (0..n).collect();
+    let mut queued = vec![true; n];
+    while let Some(b) = work.pop_front() {
+        queued[b] = false;
+        let out = analysis.transfer(cfg, b, &facts[b]);
+        // Push the post-transfer fact into each dependent block.
+        let deps: &[usize] = if forward {
+            &cfg.blocks[b].succs
+        } else {
+            &preds[b]
+        };
+        for &d in deps {
+            let joined = analysis.join(&facts[d], &out);
+            if joined != facts[d] {
+                facts[d] = joined;
+                if !queued[d] {
+                    queued[d] = true;
+                    work.push_back(d);
+                }
+            }
+        }
+    }
+    facts
+}
+
+/// A dense bitset over a fixed universe, the usual dataflow fact.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set sized for `n` elements.
+    pub fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `i`; returns true if it was newly added.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes `i`.
+    pub fn remove(&mut self, i: usize) {
+        let (w, b) = (i / 64, i % 64);
+        if w < self.words.len() {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// The full set over a universe of `n` elements (for must-analyses,
+    /// whose lattice order runs downward by intersection).
+    pub fn full(n: usize) -> Self {
+        let mut s = BitSet::new(n);
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Intersects `other` into `self`, keeping `self`'s word length so
+    /// equal sets stay representation-equal across joins.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (i, w) in self.words.iter_mut().enumerate() {
+            *w &= other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Unions `other` into `self`; returns true if `self` grew.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut grew = false;
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            let next = *w | o;
+            grew |= next != *w;
+            *w = next;
+        }
+        grew
+    }
+
+    /// Iterates set members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| wi * 64 + b)
+        })
+    }
+
+    /// True when no element is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new(10);
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(70)); // beyond initial sizing
+        assert!(s.contains(3) && s.contains(70) && !s.contains(4));
+        let mut t = BitSet::new(0);
+        assert!(t.union_with(&s));
+        assert!(!t.union_with(&s));
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![3, 70]);
+        t.remove(3);
+        assert!(!t.contains(3));
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based soundness differential: random programs go through the
+//! real interpreter, and the static analyzer's must-be-sound claims are
+//! checked against the execution witness.
+//!
+//! * A statement the analyzer calls unreachable (WP0103) must never
+//!   execute.
+//! * A store site the analyzer calls dead (WP0102) must never be read
+//!   back before being overwritten.
+//! * Analyzing the same program twice must produce identical findings.
+//!
+//! Runtime errors and step-budget aborts are fine: they only *reduce*
+//! execution, which is the sound direction for both claims.
+
+use proptest::prelude::*;
+use wasteprof_dom::Document;
+use wasteprof_js::{JsEngine, JsWitness};
+use wasteprof_staticjs::analyze_sources;
+use wasteprof_trace::{Recorder, Region, ThreadKind};
+
+/// Runs `src` through the interpreter exactly the way the browser does,
+/// returning the execution witness. Script errors are ignored — partial
+/// execution only under-approximates the dynamic ground truth.
+fn run_witnessed(src: &str) -> JsWitness {
+    let mut rec = Recorder::new();
+    rec.spawn_thread(ThreadKind::Main, "content::RendererMain");
+    let mut doc = Document::new(&mut rec);
+    let body = doc.create_element(&mut rec, "body", &[]);
+    doc.append_child(&mut rec, doc.root(), body);
+    let mut js = JsEngine::new();
+    let range = rec.alloc(Region::Input, src.len() as u32);
+    let _ = js.load_script(&mut rec, &mut doc, src, range, "prop.js");
+    js.take_witness()
+}
+
+fn expr() -> BoxedStrategy<String> {
+    let var = prop_oneof![
+        Just("a".to_owned()),
+        Just("b".to_owned()),
+        Just("c".to_owned()),
+        Just("d".to_owned()),
+    ];
+    let num = (0u32..7).prop_map(|n| n.to_string());
+    prop_oneof![
+        var.clone(),
+        num.clone(),
+        (var.clone(), num.clone()).prop_map(|(v, n)| format!("{v} + {n}")),
+        (var.clone(), var.clone()).prop_map(|(x, y)| format!("{x} * {y}")),
+        (var, num).prop_map(|(v, n)| format!("({v} < {n} ? {v} : {n})")),
+    ]
+    .boxed()
+}
+
+/// Conditions exercise the literal-truthiness folding (numbers, strings,
+/// booleans) alongside genuinely dynamic variable tests.
+fn cond() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just("true".to_owned()),
+        Just("false".to_owned()),
+        Just("0".to_owned()),
+        Just("1".to_owned()),
+        Just("''".to_owned()),
+        Just("'x'".to_owned()),
+        (expr(), 0u32..7).prop_map(|(e, n)| format!("{e} < {n}")),
+        prop_oneof![Just("a".to_owned()), Just("c".to_owned())],
+    ]
+    .boxed()
+}
+
+fn simple_stmt() -> BoxedStrategy<String> {
+    let var = prop_oneof![
+        Just("a".to_owned()),
+        Just("b".to_owned()),
+        Just("c".to_owned()),
+        Just("d".to_owned()),
+    ];
+    prop_oneof![
+        (var.clone(), expr()).prop_map(|(v, e)| format!("var {v} = {e};")),
+        (var.clone(), expr()).prop_map(|(v, e)| format!("{v} = {e};")),
+        (var.clone(), expr()).prop_map(|(v, e)| format!("{v} += {e};")),
+        var.clone().prop_map(|v| format!("{v}++;")),
+        expr().prop_map(|e| format!("console.log({e});")),
+        expr().prop_map(|e| format!("document.title = {e};")),
+    ]
+    .boxed()
+}
+
+/// Statement strategy: simple statements at the leaves, `if` / bounded
+/// `while` (with early `break` and statically dead code after it) as the
+/// recursive wrap. Every loop drives the shared counter `t` to at least
+/// its bound before exiting, so all generated programs terminate.
+fn stmt() -> BoxedStrategy<String> {
+    simple_stmt().prop_recursive(3, 24, 4, |inner| {
+        let block = proptest::collection::vec(inner.clone(), 0..4).prop_map(|v| v.join(" "));
+        prop_oneof![
+            inner.clone(),
+            (cond(), block.clone(), block.clone())
+                .prop_map(|(c, t, e)| format!("if ({c}) {{ {t} }} else {{ {e} }}")),
+            block
+                .clone()
+                .prop_map(|b| format!("t = 0; while (t < 3) {{ {b} t += 1; }}")),
+            (block.clone(), block).prop_map(|(b, after)| {
+                format!("t = 0; while (t < 2) {{ {b} break; {after} }}")
+            }),
+        ]
+    })
+}
+
+/// A whole program: a prologue declaring the variable pool, function
+/// declarations (some never called — unreachable ground truth), and a
+/// top-level statement mix.
+fn program() -> BoxedStrategy<String> {
+    let funcs = proptest::collection::vec(
+        (
+            proptest::collection::vec(stmt(), 0..4),
+            expr(),
+            any::<bool>(),
+            any::<bool>(),
+        ),
+        0..3,
+    );
+    let top = proptest::collection::vec(stmt(), 1..6);
+    (funcs, top)
+        .prop_map(|(funcs, top)| {
+            let mut src = String::from("var a = 0; var b = 1; var c = 2; var d = 3; var t = 0; ");
+            let mut calls = String::new();
+            for (i, (body, ret, early_return, called)) in funcs.iter().enumerate() {
+                let mut b = body.join(" ");
+                if *early_return {
+                    // Code after the return is statically unreachable.
+                    b = format!("return {ret}; {b}");
+                } else {
+                    b = format!("{b} return {ret};");
+                }
+                src.push_str(&format!("function fn{i}() {{ {b} }} "));
+                if *called {
+                    calls.push_str(&format!("d = fn{i}(); "));
+                }
+            }
+            src.push_str(&top.join(" "));
+            src.push(' ');
+            src.push_str(&calls);
+            src
+        })
+        .boxed()
+}
+
+proptest! {
+    // 64 cases keep the suite under a minute; raise via PROPTEST_CASES
+    // for deeper soaks.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn static_claims_survive_dynamic_execution(src in program()) {
+        let analysis = analyze_sources(&[("prop.js".to_owned(), src.clone())])
+            .expect("generated programs always parse");
+        let witness = run_witnessed(&src);
+        let w = witness.unit("prop.js").expect("unit registered");
+        let report = &analysis.units[0];
+
+        // WP0103: statically unreachable statements never execute.
+        for &s in &report.unreachable {
+            prop_assert_eq!(
+                w.exec_count(s),
+                0,
+                "unreachable stmt {} executed in: {}",
+                s,
+                src
+            );
+        }
+
+        // WP0102: statically dead stores are never read back.
+        for key in &report.dead_stores {
+            if let Some(f) = w.stores.get(key) {
+                prop_assert_eq!(
+                    f.read_back,
+                    0,
+                    "dead store {:?} was read back in: {}",
+                    key,
+                    src
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analysis_is_deterministic_on_random_programs(src in program()) {
+        let a1 = analyze_sources(&[("prop.js".to_owned(), src.clone())]).unwrap();
+        let a2 = analyze_sources(&[("prop.js".to_owned(), src)]).unwrap();
+        prop_assert_eq!(
+            wasteprof_checker::render_json(&a1.diags),
+            wasteprof_checker::render_json(&a2.diags)
+        );
+        for (u1, u2) in a1.units.iter().zip(&a2.units) {
+            prop_assert_eq!(&u1.unreachable, &u2.unreachable);
+            prop_assert_eq!(&u1.dead_stores, &u2.dead_stores);
+            prop_assert_eq!(&u1.wasted, &u2.wasted);
+            prop_assert_eq!(&u1.maybe_undef, &u2.maybe_undef);
+        }
+    }
+}

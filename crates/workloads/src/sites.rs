@@ -193,6 +193,23 @@ impl Benchmark {
         build_site(&self.spec())
     }
 
+    /// Every JavaScript source the site serves, as `(url, source)` pairs
+    /// in resource order (including deferred scripts fetched during
+    /// browse interactions).
+    ///
+    /// This is the public enumeration the static analyzer and tests use;
+    /// the URLs are the same origin strings the trace and the execution
+    /// witness record, so static findings can be joined against dynamic
+    /// ground truth without duplicating site definitions.
+    pub fn scripts(&self) -> Vec<(String, String)> {
+        self.site()
+            .resources
+            .into_iter()
+            .filter(|r| r.kind == ResourceKind::Js)
+            .map(|r| (r.url, r.content))
+            .collect()
+    }
+
     /// Browser configuration: the paper observed 3 rasterizer threads for
     /// Amazon desktop and 2 everywhere else; mobile uses the emulated
     /// 360×640 display.
@@ -411,6 +428,27 @@ mod tests {
         assert!(mc.compositor.viewport_w < dc.compositor.viewport_w);
         assert_eq!(dc.raster_threads, 3);
         assert_eq!(mc.raster_threads, 2);
+    }
+
+    #[test]
+    fn scripts_enumerates_js_sources_by_origin_url() {
+        for b in Benchmark::ALL {
+            let scripts = b.scripts();
+            assert!(scripts.len() >= 3, "{b:?} serves lib/app/analytics");
+            for (url, src) in &scripts {
+                assert!(url.ends_with(".js"), "{url} is a script URL");
+                assert!(!src.is_empty());
+                assert!(
+                    wasteprof_js::parse(src).is_ok(),
+                    "{b:?} {url} must parse for the static analyzer"
+                );
+            }
+            // URLs are unique: they key the join with the dynamic witness.
+            let mut urls: Vec<_> = scripts.iter().map(|(u, _)| u.clone()).collect();
+            urls.sort();
+            urls.dedup();
+            assert_eq!(urls.len(), scripts.len());
+        }
     }
 
     #[test]

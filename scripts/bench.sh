@@ -9,6 +9,7 @@
 #   scripts/bench.sh --out-of-core [SYNTH_INSTRS]
 #   scripts/bench.sh --incremental [FRAMES]
 #   scripts/bench.sh --fused [REPS]
+#   scripts/bench.sh --static
 #
 # --smoke uses 2 threads for the parallel run and skips nothing else — it
 # exists so scripts/check.sh can exercise the harness end to end without
@@ -43,6 +44,13 @@
 # separate full-decode WPTRACE2 passes (the pre-framework reader) against
 # one fused selectively-decoded pass, with the decoded-vs-skipped stream
 # byte ledger. Writes results/BENCH_8.json.
+#
+# --static runs the static-vs-dynamic referee bench (DESIGN.md §13): the
+# wasteprof-staticjs ahead-of-time analyzer over every benchmark's script
+# sources, scored against the execution witness and pixel slice of all
+# six canonical sessions — per-analysis precision/recall plus the
+# soundness-violation count (refuted unreachable or dead-store claims
+# exit 1). Writes results/BENCH_9.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -73,6 +81,15 @@ if [[ "${1:-}" == "--fused" ]]; then
     echo "== fused-analysis bench ($REPS reps) =="
     ./target/release/fused_bench "$REPS"
     echo "wrote results/BENCH_8.json"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--static" ]]; then
+    echo "== building release static referee bench =="
+    cargo build --release --quiet -p wasteprof-bench
+    echo "== static-vs-dynamic referee bench =="
+    ./target/release/static_bench
+    echo "wrote results/BENCH_9.json"
     exit 0
 fi
 

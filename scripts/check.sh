@@ -90,6 +90,46 @@ grep -Eq 'cache: [1-9][0-9]* hits, 0 misses' "$smoke_cache/stderr" || {
     exit 1
 }
 
+echo "== static analyzer smoke (all sites, json, exit codes, determinism) =="
+# The ahead-of-time analyzer runs on every canonical site; findings exit
+# 1 and render as parseable WP01xx diagnostics; reruns are byte-identical.
+static_out=$(mktemp -d /tmp/wasteprof-static-XXXXXX)
+trap 'rm -f "$smoke_trace" "$smoke_trace.2" "$smoke_trace".f*; rm -rf "$smoke_cache" "$static_out"' EXIT
+for site in amazon_desktop amazon_mobile maps bing; do
+    rc=0
+    target/release/trace_tool static "$site" --json >"$static_out/$site.json" || rc=$?
+    if [ "$rc" -gt 1 ]; then
+        echo "trace_tool static $site failed (exit $rc)" >&2
+        exit 1
+    fi
+    jq -e 'all(.[]; .code | startswith("WP01"))' "$static_out/$site.json" >/dev/null
+    rc2=0
+    target/release/trace_tool static "$site" --json >"$static_out/$site.rerun.json" || rc2=$?
+    [ "$rc" -eq "$rc2" ]
+    cmp -s "$static_out/$site.json" "$static_out/$site.rerun.json" || {
+        echo "trace_tool static $site is not deterministic" >&2
+        exit 1
+    }
+done
+# Unknown sites are a usage error (exit 2), not a crash or a silent pass.
+if target/release/trace_tool static bogus_site 2>/dev/null; then
+    echo "trace_tool static accepted an unknown site" >&2
+    exit 1
+elif [ $? -ne 2 ]; then
+    echo "trace_tool static usage error did not exit 2" >&2
+    exit 1
+fi
+
+echo "== static referee artifact sanity (results/BENCH_9.json) =="
+# The committed static-vs-dynamic artifact must show a sound analyzer
+# (no dynamically refuted unreachable/dead-store claims) whose static
+# waste predictions carry nonzero precision against the pixel slice.
+jq -e '.totals.soundness_violations == 0
+       and .totals.wasted.precision > 0
+       and .totals.unreachable.precision == 1
+       and (.per_session | length == 6)' \
+    results/BENCH_9.json >/dev/null
+
 echo "== incremental bench artifact sanity (results/BENCH_7.json) =="
 # The committed bench artifact must report byte-identical frames and a
 # nonzero warm hit rate (the cache actually served the re-slices).
