@@ -1,20 +1,26 @@
-//! Static-vs-dynamic referee benchmark (`results/BENCH_9.json`).
+//! Static-vs-dynamic referee benchmark (`results/BENCH_10.json`).
 //!
-//! Runs the ahead-of-time wasteprof-staticjs analyzer over each
-//! benchmark's script sources and scores its predictions against all six
-//! canonical engine sessions: the four base sessions plus the two
-//! distinct load-and-browse sessions. For every session the referee
-//! reports per-analysis precision and recall — unreachable code
-//! (WP0103), dead stores (WP0102), and the static effect slice (WP0104)
-//! — plus the soundness-violation count for the two must-be-sound
-//! claims. A sound analyzer exits 0 with zero violations; any refuted
-//! claim exits 1.
+//! Runs the ahead-of-time wasteprof-staticjs analyzer — now
+//! interprocedural: call graph, SCC-fixpoint effect summaries, and six
+//! diagnostic codes — over each benchmark's script sources and scores
+//! its predictions against all six canonical engine sessions: the four
+//! base sessions plus the two distinct load-and-browse sessions. The
+//! pixel-slice ground truth comes from the *stripped* trace (allocator
+//! bump-cursor dependences removed, see `wasteprof_slicer::strip`),
+//! which is the right referee for a source-level analyzer. For every
+//! session the referee reports per-analysis precision and recall —
+//! unreachable code (WP0103), dead stores (WP0102), the static effect
+//! slice (WP0104), useless calls (WP0105), and uncallable functions
+//! (WP0106) — plus the soundness-violation count for the must-be-sound
+//! claims and the fundamental/weakness split of missed dead stores. A
+//! sound analyzer exits 0 with zero violations; any refuted claim
+//! exits 1.
 
 use std::time::Instant;
 
 use wasteprof_bench::save;
 use wasteprof_browser::Session;
-use wasteprof_slicer::{pixel_criteria, slice, ForwardPass, SliceOptions};
+use wasteprof_slicer::{pixel_criteria, slice, strip_allocator_deps, ForwardPass, SliceOptions};
 use wasteprof_staticjs::{analyze_sources, compare, Metric, RefereeReport};
 use wasteprof_trace::TracePos;
 use wasteprof_workloads::Benchmark;
@@ -47,11 +53,12 @@ fn referee(b: Benchmark, kind: &str, session: &Session) -> Entry {
     let t = Instant::now();
     let analysis = analyze_sources(&scripts).expect("canonical site scripts parse");
     let analyze_ms = t.elapsed().as_secs_f64() * 1e3;
-    let forward = ForwardPass::build(&session.trace);
+    let stripped = strip_allocator_deps(&session.trace);
+    let forward = ForwardPass::build(&stripped);
     let pixel = slice(
-        &session.trace,
+        &stripped,
         &forward,
-        &pixel_criteria(&session.trace),
+        &pixel_criteria(&stripped),
         &SliceOptions::default(),
     );
     let report = compare(&analysis, &session.js_witness, &|p| {
@@ -78,37 +85,31 @@ fn main() {
     }
 
     let mut totals = RefereeReport::default();
-    let add = |t: &mut Metric, m: &Metric| {
-        t.predicted += m.predicted;
-        t.observed += m.observed;
-        t.tp += m.tp;
-        t.gt += m.gt;
-        t.violations += m.violations;
-    };
     for e in &entries {
-        add(&mut totals.unreachable, &e.report.unreachable);
-        add(&mut totals.dead_stores, &e.report.dead_stores);
-        add(&mut totals.wasted, &e.report.wasted);
-        totals.maybe_undef += e.report.maybe_undef;
-        totals.units_compared += e.report.units_compared;
+        totals.merge(&e.report);
     }
     let analyze_ms: f64 = entries.iter().map(|e| e.analyze_ms).sum();
 
     let mut out = String::from("{\n");
     out.push_str(
-        "  \"note\": \"static-vs-dynamic referee: the wasteprof-staticjs dataflow \
-         analyzer (CFG lowering + worklist solver, codes WP0101-WP0104) predicts waste \
-         from script sources alone; predictions are scored against the execution witness \
-         and pixel slice of all six canonical engine sessions. unreachable and dead_stores \
-         are must-be-sound (violations counts dynamically refuted claims and must be 0); \
-         wasted is the static effect slice scored on precision/recall only\",\n",
+        "  \"note\": \"static-vs-dynamic referee: the wasteprof-staticjs interprocedural \
+         analyzer (call graph + SCC effect summaries + worklist solver, codes WP0101-WP0106) \
+         predicts waste from script sources alone; predictions are scored against the \
+         execution witness and the allocator-stripped pixel slice of all six canonical \
+         engine sessions. unreachable, dead_stores, useless_calls, and uncallable are \
+         must-be-sound (violations counts dynamically refuted claims and must be 0); \
+         wasted is the static effect slice scored on precision/recall only. missed dead \
+         stores split into fundamental (the sound model proves them live) and weakness \
+         (unmodeled)\",\n",
     );
     out.push_str("  \"per_session\": [\n");
     for (i, e) in entries.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"session\": \"{}\", \"scripts\": {}, \"units_compared\": {}, \
              \"diags\": {}, \"analyze_ms\": {:.3},\n     \"unreachable\": {},\n     \
-             \"dead_stores\": {},\n     \"wasted\": {},\n     \"maybe_undef\": {}}}{}\n",
+             \"dead_stores\": {},\n     \"wasted\": {},\n     \"useless_calls\": {},\n     \
+             \"uncallable\": {},\n     \"maybe_undef\": {}, \
+             \"misses_fundamental\": {}, \"misses_weakness\": {}, \"functions\": {}}}{}\n",
             e.session,
             e.scripts,
             e.report.units_compared,
@@ -117,30 +118,43 @@ fn main() {
             metric_json(&e.report.unreachable),
             metric_json(&e.report.dead_stores),
             metric_json(&e.report.wasted),
+            metric_json(&e.report.useless_calls),
+            metric_json(&e.report.uncallable),
             e.report.maybe_undef,
+            e.report.misses_fundamental,
+            e.report.misses_weakness,
+            e.report.per_function.len(),
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
         "  \"totals\": {{\n    \"unreachable\": {},\n    \"dead_stores\": {},\n    \
-         \"wasted\": {},\n    \"maybe_undef\": {},\n    \"analyze_ms\": {:.3},\n    \
+         \"wasted\": {},\n    \"useless_calls\": {},\n    \"uncallable\": {},\n    \
+         \"maybe_undef\": {},\n    \"misses_fundamental\": {},\n    \
+         \"misses_weakness\": {},\n    \"analyze_ms\": {:.3},\n    \
          \"soundness_violations\": {}\n  }}\n",
         metric_json(&totals.unreachable),
         metric_json(&totals.dead_stores),
         metric_json(&totals.wasted),
+        metric_json(&totals.useless_calls),
+        metric_json(&totals.uncallable),
         totals.maybe_undef,
+        totals.misses_fundamental,
+        totals.misses_weakness,
         analyze_ms,
         totals.soundness_violations()
     ));
     out.push_str("}\n");
-    save("BENCH_9.json", &out);
+    save("BENCH_10.json", &out);
 
     let violations = totals.soundness_violations();
     println!(
         "static referee: {} sessions, {} units compared, analyzer {:.1} ms total; \
          unreachable precision {} / recall {}, dead-store precision {} / recall {}, \
-         wasted precision {} / recall {}; {} soundness violations",
+         wasted precision {} / recall {}, useless-call precision {}, uncallable \
+         precision {} / recall {}; missed dead stores {} fundamental / {} weakness; \
+         {} soundness violations",
         entries.len(),
         totals.units_compared,
         analyze_ms,
@@ -150,6 +164,11 @@ fn main() {
         fmt_opt(totals.dead_stores.recall()),
         fmt_opt(totals.wasted.precision()),
         fmt_opt(totals.wasted.recall()),
+        fmt_opt(totals.useless_calls.precision()),
+        fmt_opt(totals.uncallable.precision()),
+        fmt_opt(totals.uncallable.recall()),
+        totals.misses_fundamental,
+        totals.misses_weakness,
         violations
     );
     if violations > 0 {

@@ -15,9 +15,11 @@
 //! chunk window — the whole trace never lives in memory.
 //!
 //! `static` needs no trace at all: it runs the wasteprof-staticjs
-//! dataflow analyzer (codes WP0101-WP0104) over a benchmark's script
-//! sources, the ahead-of-time counterpart the engine's
-//! `static_vs_dynamic` referee scores against execution witnesses.
+//! interprocedural analyzer (codes WP0101-WP0106) over a benchmark's
+//! script sources, the ahead-of-time counterpart the engine's
+//! `static_vs_dynamic` referee scores against execution witnesses;
+//! `static --referee` runs that scoring inline against the site's
+//! canonical session and the allocator-stripped pixel slice.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -26,8 +28,9 @@ use std::path::Path;
 use wasteprof_analysis::{format_count, thread_rows, thread_rows_from, FrameAnalysis, TextTable};
 use wasteprof_checker::{DeadWriteLint, Registry};
 use wasteprof_slicer::{
-    pixel_criteria, pixel_criteria_streamed, slice, slice_streamed, syscall_criteria,
-    syscall_criteria_streamed, Criteria, ForwardPass, SliceOptions, SliceResult, SummaryCache,
+    pixel_criteria, pixel_criteria_streamed, slice, slice_streamed, strip_allocator_deps,
+    syscall_criteria, syscall_criteria_streamed, Criteria, ForwardPass, SliceOptions, SliceResult,
+    SummaryCache,
 };
 use wasteprof_trace::{
     read_trace, write_trace, write_trace2, AnalysisDriver, Trace, TraceIoError, TracePos,
@@ -49,7 +52,7 @@ fn usage() -> ! {
          trace_tool slice   <file> [shared flags] [--incremental] [--cache-dir DIR | --no-cache]\n  \
          trace_tool check   <file> [--json] [--max-diags N] [--out-of-core]\n  \
          trace_tool analyze <file> [--analyses a,b,c] [--json] [--out-of-core]\n  \
-         trace_tool static  <amazon_desktop|amazon_mobile|maps|bing> [--json]\n  \
+         trace_tool static  <amazon_desktop|amazon_mobile|maps|bing> [--json] [--referee [--per-function]]\n  \
          trace_tool certify <file> [shared flags] [--json]\n\n\
          shared flags:\n  \
          flag                  slice  check  certify  convert   meaning\n  \
@@ -71,10 +74,26 @@ fn usage() -> ! {
          frames         call-frame nesting + syscall profile\n  \
          with --out-of-core only the column streams the selected analyses\n  \
          subscribe to are decompressed; skipped bytes go to stderr.\n\n\
-         `static` runs the ahead-of-time dataflow analyzer over a site's\n  \
-         scripts — no trace needed: possibly-undefined reads (WP0101),\n  \
-         dead stores (WP0102), unreachable code (WP0103), and statements\n  \
-         outside the static effect slice (WP0104).\n\n\
+         `static` runs the ahead-of-time interprocedural analyzer over a\n  \
+         site's scripts — no trace needed: possibly-undefined reads\n  \
+         (WP0101), dead stores (WP0102), unreachable code (WP0103),\n  \
+         statements outside the static effect slice (WP0104), useless\n  \
+         effect-free calls (WP0105), and uncallable functions (WP0106).\n  \
+         --referee additionally runs the site's canonical session and\n  \
+         scores the predictions against its execution witness and the\n  \
+         allocator-stripped pixel slice. With --json the output is one\n  \
+         object:\n  \
+           {{\"diags\": [{{code, title, pos, message}}...],\n  \
+            \"referee\": {{\"units_compared\", \"maybe_undef\",\n  \
+              \"unreachable\"|\"dead_stores\"|\"wasted\"|\"useless_calls\"|\n  \
+              \"uncallable\": {{predicted, observed, tp, gt, precision,\n  \
+              recall, violations}},\n  \
+              \"misses_fundamental\", \"misses_weakness\",\n  \
+              \"soundness_violations\"}}}}\n  \
+         --per-function (requires --referee) adds \"per_function\": one row\n  \
+         per declared function {{origin, name, idx, reachable, pure,\n  \
+         calls, waste}}. Without --referee, --json emits the bare diags\n  \
+         array.\n\n\
          `export --frames N` (bing only) records an N-frame browse session and\n  \
          writes one WPTRACE1 file per frame: <file>.f0 ... <file>.f{{N-1}}.\n\n\
          exit codes: 0 clean / success, 1 findings or I/O error, 2 usage error"
@@ -112,6 +131,127 @@ fn stream_ok<T>(res: Result<T, TraceIoError>) -> T {
         eprintln!("stream error: {e}");
         std::process::exit(1);
     })
+}
+
+/// One referee metric as a JSON object (`static --referee --json`).
+fn metric_json(m: &wasteprof_staticjs::Metric) -> String {
+    let opt = |v: Option<f64>| v.map_or_else(|| "null".to_owned(), |p| format!("{p:.4}"));
+    format!(
+        "{{\"predicted\": {}, \"observed\": {}, \"tp\": {}, \"gt\": {}, \
+         \"precision\": {}, \"recall\": {}, \"violations\": {}}}",
+        m.predicted,
+        m.observed,
+        m.tp,
+        m.gt,
+        opt(m.precision()),
+        opt(m.recall()),
+        m.violations
+    )
+}
+
+/// The `"referee"` member of the `static --referee --json` object (see
+/// the usage table for the schema).
+fn referee_json(r: &wasteprof_staticjs::RefereeReport, per_function: bool) -> String {
+    let mut out = String::from("\"referee\": {\n");
+    out.push_str(&format!("  \"units_compared\": {},\n", r.units_compared));
+    out.push_str(&format!("  \"maybe_undef\": {},\n", r.maybe_undef));
+    out.push_str(&format!(
+        "  \"unreachable\": {},\n",
+        metric_json(&r.unreachable)
+    ));
+    out.push_str(&format!(
+        "  \"dead_stores\": {},\n",
+        metric_json(&r.dead_stores)
+    ));
+    out.push_str(&format!("  \"wasted\": {},\n", metric_json(&r.wasted)));
+    out.push_str(&format!(
+        "  \"useless_calls\": {},\n",
+        metric_json(&r.useless_calls)
+    ));
+    out.push_str(&format!(
+        "  \"uncallable\": {},\n",
+        metric_json(&r.uncallable)
+    ));
+    out.push_str(&format!(
+        "  \"misses_fundamental\": {},\n  \"misses_weakness\": {},\n",
+        r.misses_fundamental, r.misses_weakness
+    ));
+    if per_function {
+        out.push_str("  \"per_function\": [\n");
+        for (i, f) in r.per_function.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"origin\": \"{}\", \"name\": \"{}\", \"idx\": {}, \
+                 \"reachable\": {}, \"pure\": {}, \"calls\": {}, \"waste\": {}}}{}\n",
+                f.origin,
+                f.name,
+                f.idx,
+                f.reachable,
+                f.pure,
+                f.calls,
+                metric_json(&f.waste),
+                if i + 1 < r.per_function.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ],\n");
+    }
+    out.push_str(&format!(
+        "  \"soundness_violations\": {}\n}}\n",
+        r.soundness_violations()
+    ));
+    out
+}
+
+/// Human-readable referee block of `static --referee`.
+fn referee_text(r: &wasteprof_staticjs::RefereeReport, per_function: bool) -> String {
+    let ratio = |v: Option<f64>| v.map_or_else(|| "n/a".to_owned(), |p| format!("{p:.3}"));
+    let line = |name: &str, m: &wasteprof_staticjs::Metric| {
+        format!(
+            "referee {name:<13} predicted {:>4}  observed {:>4}  tp {:>4}  gt {:>4}  \
+             precision {:>5}  recall {:>5}  violations {}\n",
+            m.predicted,
+            m.observed,
+            m.tp,
+            m.gt,
+            ratio(m.precision()),
+            ratio(m.recall()),
+            m.violations
+        )
+    };
+    let mut out = String::new();
+    out.push_str(&line("unreachable", &r.unreachable));
+    out.push_str(&line("dead stores", &r.dead_stores));
+    out.push_str(&line("wasted", &r.wasted));
+    out.push_str(&line("useless calls", &r.useless_calls));
+    out.push_str(&line("uncallable", &r.uncallable));
+    out.push_str(&format!(
+        "referee maybe-undef {}; {} units compared; missed dead stores \
+         {} fundamental / {} weakness; {} soundness violations\n",
+        r.maybe_undef,
+        r.units_compared,
+        r.misses_fundamental,
+        r.misses_weakness,
+        r.soundness_violations()
+    ));
+    if per_function {
+        for f in &r.per_function {
+            out.push_str(&format!(
+                "referee fn {:<34} {:<6} {:<6} calls {:>6}  waste {}/{}/{}/{}\n",
+                format!("{}:{}#{}", f.origin, f.name, f.idx),
+                if f.reachable { "reach" } else { "dead" },
+                if f.pure { "pure" } else { "effect" },
+                f.calls,
+                f.waste.predicted,
+                f.waste.observed,
+                f.waste.tp,
+                f.waste.gt,
+            ));
+        }
+    }
+    out
 }
 
 /// Computes the streamed slice: forward pass, criteria, and backward
@@ -448,11 +588,18 @@ fn main() {
         Some("static") => {
             let Some(name) = args.get(1) else { usage() };
             let mut json = false;
+            let mut referee = false;
+            let mut per_function = false;
             for arg in &args[2..] {
                 match arg.as_str() {
                     "--json" => json = true,
+                    "--referee" => referee = true,
+                    "--per-function" => per_function = true,
                     _ => usage(),
                 }
+            }
+            if per_function && !referee {
+                usage();
             }
             let benchmark = Benchmark::ALL
                 .into_iter()
@@ -463,20 +610,51 @@ fn main() {
                     eprintln!("static analysis failed: {e}");
                     std::process::exit(1);
                 });
-            let total = analysis.diags.len();
-            if json {
-                println!("{}", wasteprof_checker::render_json(&analysis.diags));
-            } else if total == 0 {
-                println!("clean: {} scripts, 0 findings", analysis.units.len());
-            } else {
-                print!("{}", wasteprof_checker::render_text(&analysis.diags));
-                println!(
-                    "{total} finding{} across {} scripts",
-                    if total == 1 { "" } else { "s" },
-                    analysis.units.len()
+            let report = referee.then(|| {
+                let session = benchmark.run();
+                let stripped = strip_allocator_deps(&session.trace);
+                let fwd = ForwardPass::build(&stripped);
+                let pslice = slice(
+                    &stripped,
+                    &fwd,
+                    &pixel_criteria(&stripped),
+                    &SliceOptions::default(),
                 );
+                wasteprof_staticjs::compare(&analysis, &session.js_witness, &|p| {
+                    pslice.contains(TracePos(p))
+                })
+            });
+            let total = analysis.diags.len();
+            let violations = report.as_ref().map_or(0, |r| r.soundness_violations());
+            if json {
+                match &report {
+                    None => println!("{}", wasteprof_checker::render_json(&analysis.diags)),
+                    Some(r) => {
+                        println!("{{");
+                        println!(
+                            "\"diags\": {},",
+                            wasteprof_checker::render_json(&analysis.diags)
+                        );
+                        print!("{}", referee_json(r, per_function));
+                        println!("}}");
+                    }
+                }
+            } else {
+                if total == 0 {
+                    println!("clean: {} scripts, 0 findings", analysis.units.len());
+                } else {
+                    print!("{}", wasteprof_checker::render_text(&analysis.diags));
+                    println!(
+                        "{total} finding{} across {} scripts",
+                        if total == 1 { "" } else { "s" },
+                        analysis.units.len()
+                    );
+                }
+                if let Some(r) = &report {
+                    print!("{}", referee_text(r, per_function));
+                }
             }
-            std::process::exit(if total == 0 { 0 } else { 1 });
+            std::process::exit(if total == 0 && violations == 0 { 0 } else { 1 });
         }
         Some("analyze") => {
             let Some(path) = args.get(1) else { usage() };

@@ -41,8 +41,8 @@ use wasteprof_browser::{BrowserConfig, Session, Tab};
 use wasteprof_checker::{DeadWriteLint, Registry};
 use wasteprof_gfx::CompositorConfig;
 use wasteprof_slicer::{
-    pixel_criteria, slice, syscall_criteria, CacheStats, ForwardPass, SegmentHashes, SliceOptions,
-    SliceResult, SummaryCache,
+    pixel_criteria, slice, strip_allocator_deps, syscall_criteria, CacheStats, ForwardPass,
+    SegmentHashes, SliceOptions, SliceResult, SummaryCache,
 };
 use wasteprof_trace::{AnalysisDriver, ThreadKind, TracePos};
 use wasteprof_workloads::{bing_frames, Benchmark, SiteSpec};
@@ -1586,10 +1586,16 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
     // ahead-of-time analyzer (wasteprof-staticjs) sees only each
     // benchmark's script sources; its predictions are then scored
     // against the execution witness and the pixel slice of every engine
-    // session. Unreachable-code and dead-store claims are must-be-sound
-    // (a refuted claim is a violation); static-waste claims are scored
-    // on precision/recall only. Sessions render in the fixed `sessions`
-    // order, so the artifact bytes do not depend on the thread count.
+    // session. The slice ground truth comes from the *stripped* trace
+    // (allocator bump-cursor dependences removed, see `slicer::strip`):
+    // raw machine-level slicing chains every heap allocation on a thread
+    // through the cursor, dragging allocating-but-irrelevant statements
+    // into the slice, which is the wrong referee for a source-level
+    // analyzer. Unreachable-code, dead-store, useless-call, and
+    // uncallable-function claims are must-be-sound (a refuted claim is a
+    // violation); static-waste claims are scored on precision/recall
+    // only. Sessions render in the fixed `sessions` order, so the
+    // artifact bytes do not depend on the thread count.
     let static_view = opts.static_referee.then(|| {
         let t = Instant::now();
         type StaticRow = (String, u64, wasteprof_staticjs::RefereeReport);
@@ -1602,9 +1608,16 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
                 let analysis = wasteprof_staticjs::analyze_sources(&b.scripts())
                     .expect("canonical site scripts parse");
                 let session = store.session(k);
-                let slice = store.pixel_slice_for(k);
+                let stripped = strip_allocator_deps(&session.trace);
+                let fwd = ForwardPass::build(&stripped);
+                let pslice = slice(
+                    &stripped,
+                    &fwd,
+                    &pixel_criteria(&stripped),
+                    &SliceOptions::default(),
+                );
                 let report = wasteprof_staticjs::compare(&analysis, &session.js_witness, &|p| {
-                    slice.contains(TracePos(p))
+                    pslice.contains(TracePos(p))
                 });
                 (k.label(), session.js_witness.total_exec(), report)
             })
@@ -1626,37 +1639,59 @@ pub fn run(opts: &EngineOptions) -> EngineReport {
             )
         }
         let mut out = String::from(
-            "Static-vs-dynamic referee: ahead-of-time dataflow predictions\n\
-             (wasteprof-staticjs, codes WP0101-WP0104) scored against the\n\
-             execution witness and pixel slice of every engine session.\n\n",
+            "Static-vs-dynamic referee: ahead-of-time interprocedural\n\
+             predictions (wasteprof-staticjs, codes WP0101-WP0106) scored\n\
+             against the execution witness and the pixel slice of every\n\
+             engine session (allocator-cursor dependences stripped).\n\n",
         );
         let mut totals = wasteprof_staticjs::RefereeReport::default();
-        let add = |t: &mut wasteprof_staticjs::Metric, m: &wasteprof_staticjs::Metric| {
-            t.predicted += m.predicted;
-            t.observed += m.observed;
-            t.tp += m.tp;
-            t.gt += m.gt;
-            t.violations += m.violations;
-        };
         for (label, _, r) in &results {
             out.push_str(&format!("{label}\n"));
             out.push_str(&metric_line("unreachable", &r.unreachable));
             out.push_str(&metric_line("dead stores", &r.dead_stores));
             out.push_str(&metric_line("wasted", &r.wasted));
+            out.push_str(&metric_line("useless call", &r.useless_calls));
+            out.push_str(&metric_line("uncallable", &r.uncallable));
             out.push_str(&format!(
-                "  {:<12} predicted {:>4}  ({} units compared)\n\n",
-                "maybe-undef", r.maybe_undef, r.units_compared
+                "  {:<12} predicted {:>4}  ({} units compared; missed dead \
+                 stores: {} fundamental, {} weakness)\n",
+                "maybe-undef",
+                r.maybe_undef,
+                r.units_compared,
+                r.misses_fundamental,
+                r.misses_weakness
             ));
-            add(&mut totals.unreachable, &r.unreachable);
-            add(&mut totals.dead_stores, &r.dead_stores);
-            add(&mut totals.wasted, &r.wasted);
-            totals.maybe_undef += r.maybe_undef;
-            totals.units_compared += r.units_compared;
+            out.push_str("  per-function  verdicts | dynamic calls | waste pred/obs/tp/gt\n");
+            for row in &r.per_function {
+                out.push_str(&format!(
+                    "    {:<34} {:<6} {:<6} calls {:>6}  waste {}/{}/{}/{}  \
+                     precision {:>5}  recall {:>5}\n",
+                    format!("{}:{}#{}", row.origin, row.name, row.idx),
+                    if row.reachable { "reach" } else { "dead" },
+                    if row.pure { "pure" } else { "effect" },
+                    row.calls,
+                    row.waste.predicted,
+                    row.waste.observed,
+                    row.waste.tp,
+                    row.waste.gt,
+                    ratio(row.waste.precision()),
+                    ratio(row.waste.recall()),
+                ));
+            }
+            out.push('\n');
+            totals.merge(r);
         }
         out.push_str("all sessions\n");
         out.push_str(&metric_line("unreachable", &totals.unreachable));
         out.push_str(&metric_line("dead stores", &totals.dead_stores));
         out.push_str(&metric_line("wasted", &totals.wasted));
+        out.push_str(&metric_line("useless call", &totals.useless_calls));
+        out.push_str(&metric_line("uncallable", &totals.uncallable));
+        out.push_str(&format!(
+            "  missed dead stores: {} fundamental (provably live under a \
+             sound model), {} weakness\n",
+            totals.misses_fundamental, totals.misses_weakness
+        ));
         out.push_str(&format!(
             "\n{} sessions refereed, {} soundness violations.\n",
             results.len(),

@@ -32,6 +32,8 @@
 //! | `WP0102` | staticjs  | statically dead store: no path reads the value before overwrite |
 //! | `WP0103` | staticjs  | statically unreachable code (CFG- or call-graph-unreachable) |
 //! | `WP0104` | staticjs  | statically wasted: outside the static slice from effect sinks |
+//! | `WP0105` | staticjs  | useless call: only effect-free callees, every result discarded |
+//! | `WP0106` | staticjs  | uncallable function: unreachable from entry points and callbacks |
 
 use std::fmt;
 
@@ -99,11 +101,20 @@ pub enum Code {
     /// static backward slice from every side-effect sink (DOM writes,
     /// timers, network/beacons) — predicted to never feed pixels.
     StaticWasted,
+    /// `WP0105` — useless call: an expression statement whose only user
+    /// calls dispatch to transitively effect-free functions and whose
+    /// results are all discarded. Soundness contract: the work must stay
+    /// outside the dynamic pixel slice.
+    StaticUselessCall,
+    /// `WP0106` — uncallable function: no path from a unit's top level or
+    /// any host-registered callback reaches the function through the call
+    /// graph. Soundness contract: the witness must never count a call.
+    StaticUncallable,
 }
 
 impl Code {
     /// All codes, in numeric order.
-    pub const ALL: [Code; 16] = [
+    pub const ALL: [Code; 18] = [
         Code::Race,
         Code::UnmatchedCallRet,
         Code::UninitRead,
@@ -120,6 +131,8 @@ impl Code {
         Code::StaticDeadStore,
         Code::StaticUnreachable,
         Code::StaticWasted,
+        Code::StaticUselessCall,
+        Code::StaticUncallable,
     ];
 
     /// The stable code string, e.g. `"WP0001"`.
@@ -141,6 +154,8 @@ impl Code {
             Code::StaticDeadStore => "WP0102",
             Code::StaticUnreachable => "WP0103",
             Code::StaticWasted => "WP0104",
+            Code::StaticUselessCall => "WP0105",
+            Code::StaticUncallable => "WP0106",
         }
     }
 
@@ -163,6 +178,8 @@ impl Code {
             Code::StaticDeadStore => "statically dead store",
             Code::StaticUnreachable => "statically unreachable code",
             Code::StaticWasted => "statement outside static slice",
+            Code::StaticUselessCall => "useless effect-free call",
+            Code::StaticUncallable => "uncallable function",
         }
     }
 }
@@ -296,7 +313,8 @@ mod tests {
             strs,
             vec![
                 "WP0001", "WP0002", "WP0003", "WP0004", "WP0005", "WP0006", "WP0007", "WP0008",
-                "WP0009", "WP0010", "WP0011", "WP0012", "WP0101", "WP0102", "WP0103", "WP0104"
+                "WP0009", "WP0010", "WP0011", "WP0012", "WP0101", "WP0102", "WP0103", "WP0104",
+                "WP0105", "WP0106"
             ]
         );
         // Uniqueness of code strings, titles, and enum ordering agreeing

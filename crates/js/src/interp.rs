@@ -205,6 +205,7 @@ impl JsEngine {
         let unit = self.defs[def_idx].script;
         let trace_fn = self.defs[def_idx].trace_fn;
         let fn_idx = self.defs[def_idx].idx;
+        self.wit.call(unit, fn_idx as u32);
         let params = self.scripts[unit].script.funcs[fn_idx].params.clone();
         let body = std::rc::Rc::clone(&self.scripts[unit].script.funcs[fn_idx].body);
         let nodes = std::rc::Rc::clone(&self.scripts[unit].numbering.funcs[fn_idx]);

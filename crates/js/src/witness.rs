@@ -46,6 +46,11 @@ pub struct UnitWitness {
     /// Statement id → half-open `[start, end)` trace-position spans of the
     /// statement's *self* instructions (nested statements excluded).
     pub self_spans: HashMap<u32, Vec<(u64, u64)>>,
+    /// Function index (into the unit's `script.funcs`) → number of times
+    /// the function was invoked, counting every entry path (direct call,
+    /// stored closure, timer, event handler). Ground truth for the
+    /// never-invocable claim (`WP0106`).
+    pub calls: HashMap<u32, u64>,
 }
 
 impl UnitWitness {
@@ -53,6 +58,12 @@ impl UnitWitness {
     #[must_use]
     pub fn exec_count(&self, stmt: u32) -> u64 {
         self.exec.get(&stmt).copied().unwrap_or(0)
+    }
+
+    /// Total dynamic invocations of function `fn_idx` of this unit.
+    #[must_use]
+    pub fn call_count(&self, fn_idx: u32) -> u64 {
+        self.calls.get(&fn_idx).copied().unwrap_or(0)
     }
 
     /// Total self instructions recorded for `stmt` across all executions.
@@ -144,6 +155,14 @@ impl WitnessState {
             fate(&mut self.witness.units, pu, ps, pn).dead += 1;
         }
         fate(&mut self.witness.units, unit, stmt, name.to_owned()).stores += 1;
+    }
+
+    /// Records an invocation of function `fn_idx` of `unit`, whatever the
+    /// entry path (direct call, stored closure, timer, event handler).
+    pub(crate) fn call(&mut self, unit: usize, fn_idx: u32) {
+        if let Some(u) = self.witness.units.get_mut(unit) {
+            *u.calls.entry(fn_idx).or_insert(0) += 1;
+        }
     }
 
     /// Records a read of variable `cell`: the pending store (if any) is
@@ -251,5 +270,21 @@ mod tests {
         // Every `i += 1` store is read back by the next condition check.
         let f = u.stores[&(2, "i".to_owned())];
         assert_eq!((f.stores, f.read_back, f.dead), (3, 3, 0));
+    }
+
+    #[test]
+    fn call_counts_cover_every_entry_path() {
+        let w = run(concat!(
+            "function twice(f) { f(); f(); }\n",
+            "function inc() { return 1; }\n",
+            "function never() { return 2; }\n",
+            "var g = function () { return 3; };\n",
+            "twice(inc); g();",
+        ));
+        let u = w.unit("test.js").unwrap();
+        assert_eq!(u.call_count(0), 1, "twice called once");
+        assert_eq!(u.call_count(1), 2, "inc called twice through a variable");
+        assert_eq!(u.call_count(2), 0, "never is never invoked");
+        assert_eq!(u.call_count(3), 1, "function expression called once");
     }
 }

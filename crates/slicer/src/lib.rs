@@ -56,6 +56,7 @@ mod live;
 mod parallel;
 mod postdom;
 mod slice;
+mod strip;
 mod witness;
 
 pub use cdg::{Cdg, ControlDeps};
@@ -68,4 +69,5 @@ pub use incremental::{CacheStats, SegmentHashes, SummaryCache};
 pub use live::{AddrSet, IntervalSet, LiveState};
 pub use postdom::PostDoms;
 pub use slice::{slice, slice_streamed, ForwardPass, SliceOptions, SliceResult, TimelinePoint};
+pub use strip::{strip_allocator_deps, ALLOCATOR_FN};
 pub use witness::{WitnessKind, WitnessRow, Witnesses};

@@ -1,0 +1,187 @@
+//! Pre-slicing trace normalization: removing allocator-metadata
+//! dependences.
+//!
+//! The recorder models PartitionAlloc faithfully: every traced heap
+//! allocation emits a `base::allocator::PartitionAlloc::Alloc` frame
+//! whose freelist scan reads *and* writes a per-thread bump cursor, and
+//! the allocating instruction itself reads the cursor as its allocation
+//! anchor. The cursor therefore chains every allocation on a thread into
+//! one long def-use ribbon: if any later allocation feeds the pixels, the
+//! backward slice walks the ribbon and pulls in every earlier allocator
+//! frame — and through the anchors, every earlier allocating *statement*
+//! — regardless of whether the allocated object mattered.
+//!
+//! That is faithful to machine-level slicing (the paper's §III slices the
+//! real allocator the same way) but it is the wrong ground truth for
+//! judging a *source-level* analyzer, which reasons about object values,
+//! not allocator metadata. [`strip_allocator_deps`] rebuilds the trace
+//! with every cursor-cell operand dropped, cutting the ribbon while
+//! keeping the allocator instructions themselves (their cost still
+//! counts; only the artificial dependence goes). The result is the
+//! referee's pixel-slice ground truth.
+
+use std::collections::HashSet;
+
+use wasteprof_trace::{AddrRange, Columns, Trace};
+
+/// The recorder's allocator frame name (see `Recorder::note_alloc`).
+pub const ALLOCATOR_FN: &str = "base::allocator::PartitionAlloc::Alloc";
+
+/// Returns a copy of `trace` with every memory operand that touches an
+/// allocator bump-cursor cell removed, on every instruction. Cursor
+/// cells are identified as the bytes the allocator frames write; the
+/// anchor *reads* of those bytes on allocating instructions are dropped
+/// too. A trace with no allocator frames is returned unchanged.
+#[must_use]
+pub fn strip_allocator_deps(trace: &Trace) -> Trace {
+    let cols = trace.columns();
+    let Some(alloc_fid) = trace.functions().get(ALLOCATOR_FN) else {
+        return trace.clone();
+    };
+    let mut cursor: HashSet<AddrRange> = HashSet::new();
+    for i in 0..cols.len() {
+        if cols.func(i) == alloc_fid {
+            for w in cols.mem_writes(i) {
+                cursor.insert(*w);
+            }
+        }
+    }
+    let mut out = Columns::default();
+    for i in 0..cols.len() {
+        let reads: Vec<AddrRange> = cols
+            .mem_reads(i)
+            .iter()
+            .filter(|r| !cursor.contains(r))
+            .copied()
+            .collect();
+        let writes: Vec<AddrRange> = cols
+            .mem_writes(i)
+            .iter()
+            .filter(|r| !cursor.contains(r))
+            .copied()
+            .collect();
+        out.push(
+            cols.tid(i),
+            cols.func(i),
+            cols.pc(i),
+            cols.kind(i),
+            cols.reg_reads(i),
+            cols.reg_writes(i),
+            &reads,
+            &writes,
+        );
+    }
+    Trace::from_parts(
+        out,
+        trace.functions().clone(),
+        trace.threads().clone(),
+        trace.markers().to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use wasteprof_trace::{site, Recorder, Region, ThreadKind, TracePos};
+
+    use super::*;
+    use crate::{pixel_criteria, slice, ForwardPass, SliceOptions};
+
+    #[test]
+    fn untraced_allocations_leave_the_trace_unchanged() {
+        let mut rec = Recorder::new();
+        rec.spawn_thread(ThreadKind::Main, "content::RendererMain");
+        let a = rec.alloc_cell(Region::Heap);
+        rec.compute(site!(), &[], &[a.into()]);
+        let trace = rec.finish();
+        let stripped = strip_allocator_deps(&trace);
+        assert_eq!(stripped.columns().len(), trace.columns().len());
+        assert_eq!(
+            stripped.columns().mem_writes(0),
+            trace.columns().mem_writes(0)
+        );
+    }
+
+    #[test]
+    fn cursor_operands_vanish_but_instructions_stay() {
+        let mut rec = Recorder::new();
+        rec.set_traced_allocations(true);
+        rec.spawn_thread(ThreadKind::Main, "content::RendererMain");
+        let a = rec.alloc_cell(Region::Heap);
+        let b = rec.alloc_cell(Region::Heap);
+        rec.compute(site!(), &[], &[a.into()]);
+        rec.compute(site!(), &[], &[b.into()]);
+        let trace = rec.finish();
+        let stripped = strip_allocator_deps(&trace);
+        // Same instruction stream, allocator frames included.
+        assert_eq!(stripped.columns().len(), trace.columns().len());
+        let fid = stripped.functions().get(ALLOCATOR_FN).unwrap();
+        let cols = stripped.columns();
+        let mut alloc_instrs = 0usize;
+        for i in 0..cols.len() {
+            if cols.func(i) == fid {
+                alloc_instrs += 1;
+                assert!(cols.mem_reads(i).is_empty(), "cursor read at {i}");
+                assert!(cols.mem_writes(i).is_empty(), "cursor write at {i}");
+            }
+        }
+        assert!(alloc_instrs > 0, "allocator frames preserved");
+    }
+
+    #[test]
+    fn stripping_cuts_the_allocation_ribbon_out_of_the_slice() {
+        // Two allocations on one thread: the first object is never read,
+        // the second feeds the pixels. Raw slicing drags the first
+        // allocator frame in through the shared cursor; stripped slicing
+        // does not.
+        let mut rec = Recorder::new();
+        rec.set_traced_allocations(true);
+        rec.spawn_thread(ThreadKind::Main, "content::RendererMain");
+        let dead = rec.alloc_cell(Region::Heap);
+        let dead_write = rec.compute(site!(), &[], &[dead.into()]);
+        let live = rec.alloc_cell(Region::Heap);
+        rec.compute(site!(), &[], &[live.into()]);
+        let tile = rec.alloc(Region::PixelTile, 64);
+        rec.compute(site!(), &[live.into()], &[tile]);
+        rec.marker(site!(), tile);
+        let trace = rec.finish();
+
+        // The dead allocation's allocator frames are every Alloc
+        // instruction before the (first) compute that wrote `dead`.
+        let fid = trace.functions().get(ALLOCATOR_FN).unwrap();
+        let cols = trace.columns();
+        let dead_frames: Vec<TracePos> = (0..dead_write.0 as usize)
+            .filter(|&i| cols.func(i) == fid)
+            .map(|i| TracePos(i as u64))
+            .collect();
+        assert!(!dead_frames.is_empty());
+
+        let raw = {
+            let fwd = ForwardPass::build(&trace);
+            slice(
+                &trace,
+                &fwd,
+                &pixel_criteria(&trace),
+                &SliceOptions::default(),
+            )
+        };
+        let stripped_trace = strip_allocator_deps(&trace);
+        let stripped = {
+            let fwd = ForwardPass::build(&stripped_trace);
+            slice(
+                &stripped_trace,
+                &fwd,
+                &pixel_criteria(&stripped_trace),
+                &SliceOptions::default(),
+            )
+        };
+        assert!(
+            dead_frames.iter().any(|&p| raw.contains(p)),
+            "raw slice chains the dead allocation's frames in via the cursor"
+        );
+        assert!(
+            dead_frames.iter().all(|&p| !stripped.contains(p)),
+            "stripped slice excludes the dead allocation's frames"
+        );
+        assert!(stripped.slice_count() < raw.slice_count());
+    }
+}

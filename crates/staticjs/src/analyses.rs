@@ -1,20 +1,27 @@
-//! The four client analyses and the whole-program driver.
+//! The client analyses and the whole-program driver.
 //!
 //! [`analyze_sources`] parses every script of a site, lowers each scope to
-//! a CFG ([`crate::cfg`]), and runs four clients of the generic worklist
+//! a CFG ([`crate::cfg`]), builds the interprocedural call graph
+//! ([`crate::callgraph`]) and bottom-up effect summaries
+//! ([`crate::summaries`]), and runs six clients of the generic worklist
 //! solver ([`crate::solver`]):
 //!
-//! * **WP0101 possibly-undefined use** — forward may-be-uninitialized over
-//!   each scope's declared variables;
-//! * **WP0102 dead store** — backward liveness, claimed only for
-//!   *non-escaping* locals (no closure or other unit can observe them, so
-//!   a statically dead store must be dynamically dead);
-//! * **WP0103 unreachable code** — a scope-reachability fixpoint (direct
-//!   calls plus address-taken functions the host may invoke) combined with
+//! * **WP0101 possibly-undefined use** — forward may-be-uninitialized;
+//!   calls clear only the variables their resolved callees may write;
+//! * **WP0102 dead store** — backward liveness over *all* of a scope's
+//!   locals: calls generate the transitive free reads of their candidate
+//!   callees, and the exit boundary keeps alive exactly the locals some
+//!   reachable closure (or, for a top level, any other scope) reads;
+//! * **WP0103 unreachable code** — call-graph reachability (entry points:
+//!   unit top levels plus host-registered callbacks) combined with
 //!   intra-scope CFG reachability;
 //! * **WP0104 static waste** — an interprocedural backward demand slice
-//!   from effect sinks (DOM writes, timers, network); every statement
-//!   outside the slice is statically wasted.
+//!   from effect sinks (DOM writes, timers, network), resolving call
+//!   sites through per-site candidate sets and their effect summaries;
+//! * **WP0105 useless call** — expression statements that only call
+//!   provably effect-free functions and discard every result;
+//! * **WP0106 never-invocable function** — functions unreachable from
+//!   every entry point and never registered as a callback.
 //!
 //! Findings are reported as checker [`Diag`]s with stable `WP01xx` codes;
 //! for the static codes the diagnostic position carries the statement id
@@ -23,12 +30,15 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 use wasteprof_checker::{sort_diags, Code, Diag};
-use wasteprof_js::{number_script, parse, Script, Stmt, StmtNode, UnitNumbering};
+use wasteprof_js::{number_script, parse, Expr, Script, Stmt, StmtNode, UnitNumbering};
 
+use crate::callgraph::{self, CallGraph};
 use crate::cfg::{
-    lower_scope, CallTarget, Cfg, Interner, LowerCtx, Op, OpKind, PropKey, ScopeRef, VarId,
+    lower_scope, method_effect, Cfg, Interner, LowerCtx, MethodEffect, Op, OpKind, PropKey,
+    ScopeRef, VarId, HOST_GLOBALS,
 };
 use crate::solver::{solve, BitSet, DataflowAnalysis, Direction};
+use crate::summaries::{summarize, FnSummary};
 
 /// Statement-level findings for one script unit, keyed by stable
 /// statement id — the referee's interface to the witness.
@@ -47,6 +57,35 @@ pub struct UnitReport {
     /// `(stmt, variable)` reads that may see an uninitialized slot
     /// (WP0101).
     pub maybe_undef: BTreeSet<(u32, String)>,
+    /// Expression statements whose calls are all provably effect-free and
+    /// whose results are all discarded (WP0105).
+    pub useless_calls: BTreeSet<u32>,
+    /// Function indexes (into the unit's function table) that can never
+    /// be invoked from any entry point or registered callback (WP0106).
+    pub uncallable: BTreeSet<u32>,
+    /// `(stmt, variable)` store sites the liveness analysis proved
+    /// statically *live* (some path reads the stored value). The referee
+    /// uses this to classify missed dynamic dead stores: a miss in this
+    /// set is a fundamental limit of path-insensitive liveness, anything
+    /// else is an analysis weakness.
+    pub live_stores: BTreeSet<(u32, String)>,
+    /// Per-function facts, in function-table order.
+    pub funcs: Vec<FuncReport>,
+}
+
+/// Interprocedural facts about one function of a unit.
+#[derive(Debug, Clone, Default)]
+pub struct FuncReport {
+    /// Index into the unit's function table.
+    pub idx: u32,
+    /// Display name (`<anonymous>` for function expressions).
+    pub name: String,
+    /// Statement ids belonging to the function's body.
+    pub stmts: Vec<u32>,
+    /// Reachable from some entry point or registered callback.
+    pub reachable: bool,
+    /// Provably effect-free (transitively, over the call graph).
+    pub pure: bool,
 }
 
 /// Whole-program static analysis result.
@@ -202,13 +241,19 @@ fn analyze_units(units: &[Unit]) -> ProgramAnalysis {
     }
 
     compute_private(&mut scopes);
-    let reach = scope_reachability(&scopes, &index, units.len());
+    let cg_units: Vec<(&Script, &UnitNumbering)> =
+        units.iter().map(|u| (&u.script, &u.numbering)).collect();
+    let cg = callgraph::build(&cg_units, &declared);
+    debug_assert_eq!(cg.scopes.len(), scopes.len(), "scope orders must agree");
+    let reach = cg.reachable.clone();
     for d in &mut scopes {
         d.block_reach = block_reachability(&d.cfg);
     }
-    let at: BTreeSet<usize> = address_taken(&scopes, &index, &reach);
 
     let nvars = vars.len();
+    let direct: Vec<FnSummary> = scopes.iter().map(|d| direct_summary(d, nvars)).collect();
+    let sums = summarize(&direct, &cg);
+    let exit_live = exit_boundaries(&scopes, &direct, &reach, nvars);
     let mut reports: Vec<UnitReport> = units
         .iter()
         .map(|u| UnitReport {
@@ -219,7 +264,22 @@ fn analyze_units(units: &[Unit]) -> ProgramAnalysis {
         .collect();
     let mut diags: Vec<Diag> = Vec::new();
 
+    // Per-function facts (WP0106 claims ride on `reachable == false`).
+    for (i, d) in scopes.iter().enumerate() {
+        if let Some(f) = d.scope.func {
+            reports[d.scope.unit].funcs.push(FuncReport {
+                idx: f as u32,
+                name: d.name.clone(),
+                stmts: d.stmts.clone(),
+                reachable: reach[i],
+                pure: sums[i].pure(),
+            });
+        }
+    }
+
     // WP0103: whole unreferenced functions, then dead blocks in live code.
+    // WP0106: the same unreachable functions, claimed per function against
+    // the witness's per-function call counts.
     for (i, d) in scopes.iter().enumerate() {
         let u = d.scope.unit;
         if !reach[i] {
@@ -230,6 +290,18 @@ fn analyze_units(units: &[Unit]) -> ProgramAnalysis {
                     first as usize,
                     format!(
                         "function `{}` in {} can never be invoked",
+                        d.name, units[u].origin
+                    ),
+                ));
+            }
+            if let Some(f) = d.scope.func {
+                reports[u].uncallable.insert(f as u32);
+                diags.push(Diag::at(
+                    Code::StaticUncallable,
+                    d.stmts.iter().min().copied().unwrap_or(0) as usize,
+                    format!(
+                        "function `{}` in {} is unreachable from every entry \
+                         point and registered callback",
                         d.name, units[u].origin
                     ),
                 ));
@@ -255,7 +327,7 @@ fn analyze_units(units: &[Unit]) -> ProgramAnalysis {
             continue;
         }
         let u = d.scope.unit;
-        for (s, v) in maybe_uninit(d, nvars) {
+        for (s, v) in maybe_uninit(d, i, nvars, &cg, &sums) {
             let name = vars.name(v).to_owned();
             diags.push(Diag::at(
                 Code::MaybeUndef,
@@ -267,7 +339,8 @@ fn analyze_units(units: &[Unit]) -> ProgramAnalysis {
             ));
             reports[u].maybe_undef.insert((s, name));
         }
-        for (s, v) in dead_stores(d, nvars) {
+        let stores = dead_stores(d, i, nvars, &cg, &sums, &exit_live[i]);
+        for &(s, v) in &stores.dead {
             let name = vars.name(v).to_owned();
             diags.push(Diag::at(
                 Code::StaticDeadStore,
@@ -276,10 +349,13 @@ fn analyze_units(units: &[Unit]) -> ProgramAnalysis {
             ));
             reports[u].dead_stores.insert((s, name));
         }
+        for &(s, v) in &stores.live {
+            reports[u].live_stores.insert((s, vars.name(v).to_owned()));
+        }
     }
 
     // WP0104: interprocedural demand slice from effect sinks.
-    let relevant = demand_slice(units, &scopes, &index, &reach, &at, nvars);
+    let relevant = demand_slice(units, &scopes, &index, &reach, &cg, &sums, nvars);
     for (i, d) in scopes.iter().enumerate() {
         if !reach[i] {
             continue;
@@ -303,6 +379,20 @@ fn analyze_units(units: &[Unit]) -> ProgramAnalysis {
                 ),
             ));
         }
+    }
+
+    // WP0105: expression statements that only call effect-free functions.
+    for (u, s) in useless_calls(units, &scopes, &reach, &cg, &sums, &declared, &reports) {
+        reports[u].useless_calls.insert(s);
+        diags.push(Diag::at(
+            Code::StaticUselessCall,
+            s as usize,
+            format!(
+                "statement {s} in {} only calls effect-free functions and \
+                 discards every result",
+                units[u].origin
+            ),
+        ));
     }
 
     sort_diags(&mut diags);
@@ -435,44 +525,6 @@ fn compute_private(scopes: &mut [ScopeData]) {
     }
 }
 
-/// Scope reachability: unit top levels are roots; a reachable scope makes
-/// its directly-called functions reachable, and any function whose value
-/// it takes (`UseFun`) reachable too — the host (timers, handlers) or an
-/// unknown call may invoke an address-taken function later.
-fn scope_reachability(
-    scopes: &[ScopeData],
-    index: &HashMap<ScopeRef, usize>,
-    _units: usize,
-) -> Vec<bool> {
-    let mut reach = vec![false; scopes.len()];
-    let mut work: Vec<usize> = Vec::new();
-    for (i, d) in scopes.iter().enumerate() {
-        if d.scope.func.is_none() {
-            reach[i] = true;
-            work.push(i);
-        }
-    }
-    while let Some(i) = work.pop() {
-        for blk in &scopes[i].cfg.blocks {
-            for op in &blk.ops {
-                let targets: Vec<ScopeRef> = match &op.kind {
-                    OpKind::Call(CallTarget::Known(ts)) => ts.clone(),
-                    OpKind::UseFun(t) => vec![*t],
-                    _ => Vec::new(),
-                };
-                for t in targets {
-                    let j = index[&t];
-                    if !reach[j] {
-                        reach[j] = true;
-                        work.push(j);
-                    }
-                }
-            }
-        }
-    }
-    reach
-}
-
 /// Blocks reachable from the CFG entry.
 fn block_reachability(cfg: &Cfg) -> Vec<bool> {
     let mut seen = vec![false; cfg.blocks.len()];
@@ -489,26 +541,260 @@ fn block_reachability(cfg: &Cfg) -> Vec<bool> {
     seen
 }
 
-/// Functions whose address is taken anywhere in reachable code.
-fn address_taken(
-    scopes: &[ScopeData],
-    index: &HashMap<ScopeRef, usize>,
-    reach: &[bool],
-) -> BTreeSet<usize> {
-    let mut at = BTreeSet::new();
-    for (i, d) in scopes.iter().enumerate() {
-        if !reach[i] {
-            continue;
+/// Extracts one scope's *direct* effect summary from its CFG ops: sinks,
+/// externally-visible writes, and free variable reads (reads at points
+/// where the name is not provably a local binding — see [`MustDeclared`];
+/// every top-level read is free, because a top level's locals are the
+/// shared globals).
+fn direct_summary(d: &ScopeData, nvars: usize) -> FnSummary {
+    let mut s = FnSummary::new(nvars);
+    for blk in &d.cfg.blocks {
+        for op in &blk.ops {
+            match &op.kind {
+                OpKind::Sink => s.sink = true,
+                OpKind::WriteVar(v, _) if !d.private.contains(v) => {
+                    s.writes_vars.insert(*v);
+                }
+                OpKind::WriteProp(PropKey {
+                    base: Some(b),
+                    prop,
+                }) => {
+                    s.writes_exact.insert((*b, prop.clone()));
+                }
+                OpKind::WriteProp(PropKey { base: None, prop }) => {
+                    s.writes_any_prop.insert(prop.clone());
+                }
+                OpKind::DynWrite(Some(b)) => {
+                    s.writes_base_all.insert(*b);
+                }
+                OpKind::DynWrite(None) => s.writes_dyn_any = true,
+                _ => {}
+            }
         }
+    }
+    if d.scope.func.is_none() {
         for blk in &d.cfg.blocks {
             for op in &blk.ops {
-                if let OpKind::UseFun(t) = &op.kind {
-                    at.insert(index[t]);
+                if let OpKind::ReadVar(v) = &op.kind {
+                    s.reads_vars.insert(*v);
+                }
+            }
+        }
+    } else {
+        let facts = solve(&MustDeclared { d, nvars }, &d.cfg);
+        for (b, blk) in d.cfg.blocks.iter().enumerate() {
+            let mut fact = facts[b].clone();
+            for op in &blk.ops {
+                match &op.kind {
+                    OpKind::ReadVar(v) if !fact.contains(*v) => {
+                        s.reads_vars.insert(*v);
+                    }
+                    OpKind::WriteVar(v, true) => {
+                        fact.insert(*v);
+                    }
+                    _ => {}
                 }
             }
         }
     }
-    at
+    s
+}
+
+/// Per scope, the liveness exit boundary: locals some *other* reachable
+/// scope may read after this scope exits. For a function scope only
+/// scopes lexically nested inside it can resolve its locals; a top
+/// level's locals are globals, readable by any other scope in any unit.
+/// Direct (non-transitive) free reads suffice: a non-nested callee's
+/// read of the same name resolves to a different binding.
+fn exit_boundaries(
+    scopes: &[ScopeData],
+    direct: &[FnSummary],
+    reach: &[bool],
+    nvars: usize,
+) -> Vec<BitSet> {
+    scopes
+        .iter()
+        .map(|d| {
+            let mut b = BitSet::new(nvars);
+            for (j, c) in scopes.iter().enumerate() {
+                if std::ptr::eq(c, d) || !reach[j] {
+                    continue;
+                }
+                let visible = match d.span {
+                    Some((off, len)) => {
+                        c.scope.unit == d.scope.unit
+                            && matches!(c.span, Some((o2, l2)) if o2 > off && o2 + l2 <= off + len)
+                    }
+                    None => true,
+                };
+                if visible {
+                    for v in direct[j].reads_vars.iter() {
+                        if d.locals.contains(&v) {
+                            b.insert(v);
+                        }
+                    }
+                }
+            }
+            b
+        })
+        .collect()
+}
+
+/// One scope's body statements and numbering nodes.
+fn scope_body(unit: &Unit, func: Option<usize>) -> (&[Stmt], &[StmtNode]) {
+    match func {
+        None => (&unit.script.body, &unit.numbering.top),
+        Some(f) => (&unit.script.funcs[f].body, &unit.numbering.funcs[f]),
+    }
+}
+
+/// WP0105: finds expression statements containing at least one user-code
+/// call where evaluating the whole expression is provably effect-free —
+/// no assignment, no sink- or mutation-classed host method, and every
+/// call-graph candidate of every call in the statement transitively pure.
+/// The result of an expression statement is always discarded, so such a
+/// statement does work nothing can observe.
+fn useless_calls(
+    units: &[Unit],
+    scopes: &[ScopeData],
+    reach: &[bool],
+    cg: &CallGraph,
+    sums: &[FnSummary],
+    declared: &HashSet<String>,
+    reports: &[UnitReport],
+) -> Vec<(usize, u32)> {
+    struct WalkCx<'a> {
+        scope: usize,
+        unit: usize,
+        cg: &'a CallGraph,
+        sums: &'a [FnSummary],
+        declared: &'a HashSet<String>,
+        report: &'a UnitReport,
+    }
+    fn walk(body: &[Stmt], nodes: &[StmtNode], cx: &WalkCx, out: &mut Vec<(usize, u32)>) {
+        for (s, n) in body.iter().zip(nodes) {
+            match s {
+                Stmt::Expr(e)
+                    if contains_user_call(e, cx.declared)
+                        && effect_free(e, cx.declared)
+                        && cx
+                            .cg
+                            .candidates(cx.scope, n.id)
+                            .iter()
+                            .all(|&c| cx.sums[c].pure())
+                        && !cx.report.unreachable.contains(&n.id) =>
+                {
+                    out.push((cx.unit, n.id));
+                }
+                Stmt::If(_, t, e) => {
+                    walk(t, &n.blocks[0], cx, out);
+                    walk(e, &n.blocks[1], cx, out);
+                }
+                Stmt::While(_, b) => walk(b, &n.blocks[0], cx, out),
+                Stmt::For(init, _, _, b) => {
+                    if let Some(i) = init {
+                        walk(std::slice::from_ref(&**i), &n.blocks[0], cx, out);
+                    }
+                    walk(b, &n.blocks[1], cx, out);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (i, d) in scopes.iter().enumerate() {
+        if !reach[i] {
+            continue;
+        }
+        let u = d.scope.unit;
+        let (body, nodes) = scope_body(&units[u], d.scope.func);
+        let cx = WalkCx {
+            scope: i,
+            unit: u,
+            cg,
+            sums,
+            declared,
+            report: &reports[u],
+        };
+        walk(body, nodes, &cx, &mut out);
+    }
+    out
+}
+
+/// Does the expression contain a call that may dispatch user code (a
+/// non-host direct call)? WP0105 claims are restricted to statements
+/// exercising at least one such call; host-only statements stay WP0104's
+/// domain.
+fn contains_user_call(e: &Expr, declared: &HashSet<String>) -> bool {
+    let sub = |e: &Expr| contains_user_call(e, declared);
+    match e {
+        Expr::Call(callee, args) => {
+            let host = matches!(&**callee, Expr::Ident(n)
+                if !declared.contains(n.as_str())
+                    && matches!(n.as_str(), "setTimeout" | "requestAnimationFrame" | "parseInt"));
+            !host || sub(callee) || args.iter().any(sub)
+        }
+        Expr::MethodCall(obj, _, args) => sub(obj) || args.iter().any(sub),
+        Expr::Array(items) => items.iter().any(sub),
+        Expr::Object(props) => props.iter().any(|(_, e)| sub(e)),
+        Expr::Binary(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => sub(a) || sub(b),
+        Expr::Unary(_, e) | Expr::Member(e, _) => sub(e),
+        Expr::Ternary(c, a, b) => sub(c) || sub(a) || sub(b),
+        Expr::Index(o, k) => sub(o) || sub(k),
+        Expr::Assign(_, _, v) => sub(v),
+        _ => false,
+    }
+}
+
+/// May evaluating `e` have an effect other than dispatching a user
+/// function (which the caller checks through the call-graph candidates)?
+/// Conservative: assignments, increments, sink- and mutation-classed
+/// methods, and timer registration all disqualify.
+fn effect_free(e: &Expr, declared: &HashSet<String>) -> bool {
+    let sub = |e: &Expr| effect_free(e, declared);
+    let is_host = |n: &str| HOST_GLOBALS.contains(&n) && !declared.contains(n);
+    match e {
+        Expr::Num(..) | Expr::Str(..) | Expr::Bool(_) | Expr::Null | Expr::Undefined => true,
+        Expr::Ident(_) | Expr::Function(_) => true,
+        Expr::Array(items) => items.iter().all(sub),
+        Expr::Object(props) => props.iter().all(|(_, e)| sub(e)),
+        Expr::Binary(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => sub(a) && sub(b),
+        Expr::Unary(_, e) => sub(e),
+        Expr::Ternary(c, a, b) => sub(c) && sub(a) && sub(b),
+        Expr::Member(o, _) => sub(o),
+        Expr::Index(o, k) => sub(o) && sub(k),
+        Expr::Assign(..) | Expr::PostIncDec { .. } => false,
+        Expr::Call(callee, args) => {
+            if let Expr::Ident(name) = &**callee {
+                if !declared.contains(name.as_str()) {
+                    match name.as_str() {
+                        "setTimeout" | "requestAnimationFrame" => return false,
+                        "parseInt" => return args.iter().all(sub),
+                        _ => {}
+                    }
+                }
+            }
+            sub(callee) && args.iter().all(sub)
+        }
+        Expr::MethodCall(obj, name, args) => {
+            if !sub(obj) || !args.iter().all(sub) {
+                return false;
+            }
+            let host_base = match &**obj {
+                Expr::Ident(n) if is_host(n) => Some(n.as_str()),
+                _ => None,
+            };
+            let classlist_recv = matches!(&**obj, Expr::Member(_, m) if m == "classList");
+            match method_effect(host_base, classlist_recv, name) {
+                MethodEffect::Pure | MethodEffect::HostRead | MethodEffect::DynRead => true,
+                MethodEffect::Sink | MethodEffect::DynWrite => false,
+                // An unknown *host* method is opaque; an unknown method on
+                // a user object can only dispatch a stored function, which
+                // the candidate purity check covers.
+                MethodEffect::Unknown => host_base.is_none(),
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -517,7 +803,11 @@ fn address_taken(
 
 struct MaybeUninit<'a> {
     d: &'a ScopeData,
+    /// This scope's index in the call graph's scope order.
+    i: usize,
     nvars: usize,
+    cg: &'a CallGraph,
+    sums: &'a [FnSummary],
 }
 
 impl MaybeUninit<'_> {
@@ -525,9 +815,18 @@ impl MaybeUninit<'_> {
     fn step(&self, fact: &mut BitSet, op: &Op) {
         match &op.kind {
             OpKind::WriteVar(v, _) => fact.remove(*v),
-            OpKind::Call(_) | OpKind::UseFun(_) => {
-                // A call can run a nested closure, which may initialize
-                // any escaping local.
+            OpKind::Call(_) => {
+                // A call initializes exactly what its resolved candidates
+                // may transitively write — no longer every escaping local.
+                for &c in self.cg.candidates(self.i, op.stmt) {
+                    for v in self.sums[c].writes_vars.iter() {
+                        fact.remove(v);
+                    }
+                }
+            }
+            OpKind::UseFun(_) => {
+                // Taking a closure's value: stay conservative, the value
+                // may be invoked through paths the graph tracks per site.
                 for &v in &self.d.locals {
                     if !self.d.private.contains(&v) {
                         fact.remove(v);
@@ -573,8 +872,20 @@ impl DataflowAnalysis for MaybeUninit<'_> {
     }
 }
 
-fn maybe_uninit(d: &ScopeData, nvars: usize) -> BTreeSet<(u32, VarId)> {
-    let analysis = MaybeUninit { d, nvars };
+fn maybe_uninit(
+    d: &ScopeData,
+    i: usize,
+    nvars: usize,
+    cg: &CallGraph,
+    sums: &[FnSummary],
+) -> BTreeSet<(u32, VarId)> {
+    let analysis = MaybeUninit {
+        d,
+        i,
+        nvars,
+        cg,
+        sums,
+    };
     let facts = solve(&analysis, &d.cfg);
     let mut found = BTreeSet::new();
     for (b, blk) in d.cfg.blocks.iter().enumerate() {
@@ -600,7 +911,43 @@ fn maybe_uninit(d: &ScopeData, nvars: usize) -> BTreeSet<(u32, VarId)> {
 
 struct Liveness<'a> {
     d: &'a ScopeData,
+    /// This scope's index in the call graph's scope order.
+    i: usize,
     nvars: usize,
+    cg: &'a CallGraph,
+    sums: &'a [FnSummary],
+    /// Locals some other reachable scope may read after exit.
+    exit_live: &'a BitSet,
+}
+
+impl Liveness<'_> {
+    /// Applies one op, in reverse evaluation order, to a liveness fact.
+    /// Calls generate the transitive free reads of every candidate callee
+    /// — a dispatched closure reading one of our locals keeps the pending
+    /// store alive. The host never runs callbacks *between* two ops of a
+    /// scope (timers and handlers fire between scope executions), so call
+    /// sites and the exit boundary are the only places outside code can
+    /// observe a local.
+    fn step(&self, fact: &mut BitSet, op: &Op) {
+        match &op.kind {
+            OpKind::ReadVar(v) if self.d.locals.contains(v) => {
+                fact.insert(*v);
+            }
+            OpKind::WriteVar(v, _) if self.d.locals.contains(v) => {
+                fact.remove(*v);
+            }
+            OpKind::Call(_) => {
+                for &c in self.cg.candidates(self.i, op.stmt) {
+                    for v in self.sums[c].reads_vars.iter() {
+                        if self.d.locals.contains(&v) {
+                            fact.insert(v);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 impl DataflowAnalysis for Liveness<'_> {
@@ -614,12 +961,12 @@ impl DataflowAnalysis for Liveness<'_> {
         BitSet::new(self.nvars)
     }
 
-    /// Private locals are dead at scope exit — that is what makes them
-    /// claimable; everything else is never tracked here (calls, closures,
-    /// and other units keep non-private variables conservatively live by
-    /// exclusion from the claim set).
+    /// At scope exit exactly the locals in the precomputed exit boundary
+    /// are live: those a reachable nested closure (or, for a top level,
+    /// any other scope) reads. Everything else is claimable when
+    /// overwritten or abandoned.
     fn boundary(&self) -> BitSet {
-        BitSet::new(self.nvars)
+        self.exit_live.clone()
     }
 
     fn join(&self, a: &BitSet, b: &BitSet) -> BitSet {
@@ -631,15 +978,7 @@ impl DataflowAnalysis for Liveness<'_> {
     fn transfer(&self, cfg: &Cfg, block: usize, fact: &BitSet) -> BitSet {
         let mut f = fact.clone();
         for op in cfg.blocks[block].ops.iter().rev() {
-            match &op.kind {
-                OpKind::ReadVar(v) if self.d.private.contains(v) => {
-                    f.insert(*v);
-                }
-                OpKind::WriteVar(v, _) if self.d.private.contains(v) => {
-                    f.remove(*v);
-                }
-                _ => {}
-            }
+            self.step(&mut f, op);
         }
         f
     }
@@ -731,8 +1070,29 @@ fn declared_writes(d: &ScopeData, nvars: usize) -> Vec<Vec<bool>> {
         .collect()
 }
 
-fn dead_stores(d: &ScopeData, nvars: usize) -> BTreeSet<(u32, VarId)> {
-    let analysis = Liveness { d, nvars };
+/// WP0102's result: claimed-dead store sites plus the sites proven live
+/// (exported for the referee's miss classification).
+struct DeadStores {
+    dead: BTreeSet<(u32, VarId)>,
+    live: BTreeSet<(u32, VarId)>,
+}
+
+fn dead_stores(
+    d: &ScopeData,
+    i: usize,
+    nvars: usize,
+    cg: &CallGraph,
+    sums: &[FnSummary],
+    exit_live: &BitSet,
+) -> DeadStores {
+    let analysis = Liveness {
+        d,
+        i,
+        nvars,
+        cg,
+        sums,
+        exit_live,
+    };
     let facts = solve(&analysis, &d.cfg);
     let declared = declared_writes(d, nvars);
     let mut dead: BTreeSet<(u32, VarId)> = BTreeSet::new();
@@ -743,13 +1103,13 @@ fn dead_stores(d: &ScopeData, nvars: usize) -> BTreeSet<(u32, VarId)> {
             continue;
         }
         let mut fact = facts[b].clone();
-        for (i, op) in blk.ops.iter().enumerate().rev() {
+        for (iop, op) in blk.ops.iter().enumerate().rev() {
             match &op.kind {
-                OpKind::ReadVar(v) if d.private.contains(v) => {
+                OpKind::ReadVar(v) if d.locals.contains(v) => {
                     fact.insert(*v);
                 }
-                OpKind::WriteVar(v, _) if d.private.contains(v) => {
-                    if !declared[b][i] {
+                OpKind::WriteVar(v, _) if d.locals.contains(v) => {
+                    if !declared[b][iop] {
                         // May write an outer binding the liveness lattice
                         // cannot see; never claimable, and not a kill of
                         // the local either.
@@ -766,53 +1126,26 @@ fn dead_stores(d: &ScopeData, nvars: usize) -> BTreeSet<(u32, VarId)> {
                     }
                     fact.remove(*v);
                 }
+                OpKind::Call(_) => {
+                    for &c in cg.candidates(i, op.stmt) {
+                        for v in sums[c].reads_vars.iter() {
+                            if d.locals.contains(&v) {
+                                fact.insert(v);
+                            }
+                        }
+                    }
+                }
                 _ => {}
             }
         }
     }
     dead.retain(|k| !alive.contains(k) && !tainted.contains(k));
-    dead
+    DeadStores { dead, live: alive }
 }
 
 // ---------------------------------------------------------------------
 // WP0104: interprocedural backward demand slice.
 // ---------------------------------------------------------------------
-
-/// Transitive may-effects of one scope (plus everything it calls).
-#[derive(Clone, Default, PartialEq)]
-struct EffectSummary {
-    sink: bool,
-    writes_vars: BitSet,
-    writes_exact: BTreeSet<(VarId, String)>,
-    writes_any_prop: BTreeSet<String>,
-    writes_base_all: BTreeSet<VarId>,
-    writes_dyn_any: bool,
-}
-
-impl EffectSummary {
-    fn absorb(&mut self, other: &EffectSummary) -> bool {
-        let mut grew = false;
-        if other.sink && !self.sink {
-            self.sink = true;
-            grew = true;
-        }
-        grew |= self.writes_vars.union_with(&other.writes_vars);
-        for k in &other.writes_exact {
-            grew |= self.writes_exact.insert(k.clone());
-        }
-        for p in &other.writes_any_prop {
-            grew |= self.writes_any_prop.insert(p.clone());
-        }
-        for b in &other.writes_base_all {
-            grew |= self.writes_base_all.insert(*b);
-        }
-        if other.writes_dyn_any && !self.writes_dyn_any {
-            self.writes_dyn_any = true;
-            grew = true;
-        }
-        grew
-    }
-}
 
 /// The demanded-property accumulator: which property slots the slice
 /// needs, in decreasing precision (exact `(base, prop)` pairs, a prop of
@@ -877,8 +1210,8 @@ impl PropDemand {
 struct FrozenCtx<'a> {
     relevant: &'a HashSet<(usize, u32)>,
     props: &'a PropDemand,
-    sums: &'a [EffectSummary],
-    unknown: &'a EffectSummary,
+    sums: &'a [FnSummary],
+    cg: &'a CallGraph,
     index: &'a HashMap<ScopeRef, usize>,
 }
 
@@ -887,7 +1220,7 @@ impl FrozenCtx<'_> {
         self.sums[self.index[t]].sink
     }
 
-    fn sum_relevant(&self, s: &EffectSummary, fact: &BitSet) -> bool {
+    fn sum_relevant(&self, s: &FnSummary, fact: &BitSet) -> bool {
         s.sink
             || s.writes_vars.iter().any(|v| fact.contains(v))
             || s.writes_exact.iter().any(|(b, p)| {
@@ -908,13 +1241,13 @@ impl FrozenCtx<'_> {
             || (s.writes_dyn_any && !self.props.is_empty())
     }
 
-    fn call_relevant(&self, t: &CallTarget, fact: &BitSet) -> bool {
-        match t {
-            CallTarget::Known(ts) => ts
-                .iter()
-                .any(|t| self.sum_relevant(&self.sums[self.index[t]], fact)),
-            CallTarget::Unknown => self.sum_relevant(self.unknown, fact),
-        }
+    /// May any candidate of the calls in `(scope, stmt)` produce an
+    /// effect the current slice demands?
+    fn call_relevant(&self, scope: usize, stmt: u32, fact: &BitSet) -> bool {
+        self.cg
+            .candidates(scope, stmt)
+            .iter()
+            .any(|&c| self.sum_relevant(&self.sums[c], fact))
     }
 }
 
@@ -932,6 +1265,7 @@ struct RoundAcc {
 /// relevance and property demand flow into `acc` when provided (the
 /// collection pass); the pure solve sees only frozen state.
 fn demand_block(
+    scope: usize,
     unit: usize,
     ops: &[Op],
     fact: &mut BitSet,
@@ -984,8 +1318,8 @@ fn demand_block(
                     mark = true;
                 }
             }
-            OpKind::Call(t) => {
-                if fz.call_relevant(t, fact) {
+            OpKind::Call(_) => {
+                if fz.call_relevant(scope, op.stmt, fact) {
                     mark = true;
                 }
             }
@@ -1006,6 +1340,7 @@ fn demand_block(
 }
 
 struct DemandAnalysis<'a> {
+    scope: usize,
     unit: usize,
     fz: &'a FrozenCtx<'a>,
     boundary: BitSet,
@@ -1035,7 +1370,14 @@ impl DataflowAnalysis for DemandAnalysis<'_> {
 
     fn transfer(&self, cfg: &Cfg, block: usize, fact: &BitSet) -> BitSet {
         let mut f = fact.clone();
-        demand_block(self.unit, &cfg.blocks[block].ops, &mut f, self.fz, None);
+        demand_block(
+            self.scope,
+            self.unit,
+            &cfg.blocks[block].ops,
+            &mut f,
+            self.fz,
+            None,
+        );
         f
     }
 }
@@ -1050,110 +1392,18 @@ fn demand_slice(
     scopes: &[ScopeData],
     index: &HashMap<ScopeRef, usize>,
     reach: &[bool],
-    at: &BTreeSet<usize>,
+    cg: &CallGraph,
+    sums: &[FnSummary],
     nvars: usize,
 ) -> HashSet<(usize, u32)> {
-    // Per-scope transitive effect summaries (own fixpoint).
-    let direct: Vec<EffectSummary> = scopes
-        .iter()
-        .map(|d| {
-            let mut s = EffectSummary {
-                writes_vars: BitSet::new(nvars),
-                ..EffectSummary::default()
-            };
-            for blk in &d.cfg.blocks {
-                for op in &blk.ops {
-                    match &op.kind {
-                        OpKind::Sink => s.sink = true,
-                        OpKind::WriteVar(v, _) if !d.private.contains(v) => {
-                            s.writes_vars.insert(*v);
-                        }
-                        OpKind::WriteProp(PropKey {
-                            base: Some(b),
-                            prop,
-                        }) => {
-                            s.writes_exact.insert((*b, prop.clone()));
-                        }
-                        OpKind::WriteProp(PropKey { base: None, prop }) => {
-                            s.writes_any_prop.insert(prop.clone());
-                        }
-                        OpKind::DynWrite(Some(b)) => {
-                            s.writes_base_all.insert(*b);
-                        }
-                        OpKind::DynWrite(None) => s.writes_dyn_any = true,
-                        _ => {}
-                    }
-                }
-            }
-            s
-        })
-        .collect();
-    let call_targets: Vec<Vec<CallTarget>> = scopes
-        .iter()
-        .map(|d| {
-            let mut ts = Vec::new();
-            for blk in &d.cfg.blocks {
-                for op in &blk.ops {
-                    if let OpKind::Call(t) = &op.kind {
-                        ts.push(t.clone());
-                    }
-                }
-            }
-            ts
-        })
-        .collect();
-    let mut sums = direct.clone();
-    loop {
-        let mut unknown = EffectSummary {
-            writes_vars: BitSet::new(nvars),
-            ..EffectSummary::default()
-        };
-        for &i in at {
-            unknown.absorb(&sums[i]);
-        }
-        let mut changed = false;
-        for i in 0..scopes.len() {
-            if !reach[i] {
-                continue;
-            }
-            let mut next = direct[i].clone();
-            for t in &call_targets[i] {
-                match t {
-                    CallTarget::Known(ts) => {
-                        for t in ts {
-                            let other = sums[index[t]].clone();
-                            next.absorb(&other);
-                        }
-                    }
-                    CallTarget::Unknown => {
-                        next.absorb(&unknown);
-                    }
-                }
-            }
-            if next != sums[i] {
-                sums[i] = next;
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-    let mut unknown = EffectSummary {
-        writes_vars: BitSet::new(nvars),
-        ..EffectSummary::default()
-    };
-    for &i in at {
-        unknown.absorb(&sums[i]);
-    }
-
-    // Structural indices for the closures.
+    // Structural indices for the closures. Call sites resolve through the
+    // call graph's per-site candidate sets — there is no "unknown call"
+    // node any more.
     let parent = parent_maps(units);
     let decl_sites = funcdecl_sites(units, index);
     let mut use_sites: HashMap<usize, Vec<(usize, u32)>> = HashMap::new();
-    let mut known_call_sites: HashMap<usize, Vec<(usize, u32)>> = HashMap::new();
-    let mut unknown_call_sites: Vec<(usize, u32)> = Vec::new();
-    let mut call_ops: Vec<(usize, u32, CallTarget)> = Vec::new();
+    let mut call_sites_by_callee: HashMap<usize, Vec<(usize, u32)>> = HashMap::new();
+    let mut call_ops: Vec<(usize, usize, u32)> = Vec::new();
     for (i, d) in scopes.iter().enumerate() {
         if !reach[i] {
             continue;
@@ -1163,18 +1413,13 @@ fn demand_slice(
             for op in &blk.ops {
                 match &op.kind {
                     OpKind::UseFun(t) => use_sites.entry(index[t]).or_default().push((u, op.stmt)),
-                    OpKind::Call(t) => {
-                        call_ops.push((u, op.stmt, t.clone()));
-                        match t {
-                            CallTarget::Known(ts) => {
-                                for t in ts {
-                                    known_call_sites
-                                        .entry(index[t])
-                                        .or_default()
-                                        .push((u, op.stmt));
-                                }
-                            }
-                            CallTarget::Unknown => unknown_call_sites.push((u, op.stmt)),
+                    OpKind::Call(_) => {
+                        call_ops.push((i, u, op.stmt));
+                        for &c in cg.candidates(i, op.stmt) {
+                            call_sites_by_callee
+                                .entry(c)
+                                .or_default()
+                                .push((u, op.stmt));
                         }
                     }
                     _ => {}
@@ -1199,8 +1444,8 @@ fn demand_slice(
             let fz = FrozenCtx {
                 relevant: &relevant,
                 props: &props,
-                sums: &sums,
-                unknown: &unknown,
+                sums,
+                cg,
                 index,
             };
             let mut boundary = globals.clone();
@@ -1210,6 +1455,7 @@ fn demand_slice(
                 }
             }
             let analysis = DemandAnalysis {
+                scope: i,
                 unit: d.scope.unit,
                 fz: &fz,
                 boundary,
@@ -1218,12 +1464,13 @@ fn demand_slice(
             let facts = solve(&analysis, &d.cfg);
             for (b, blk) in d.cfg.blocks.iter().enumerate() {
                 let mut fact = facts[b].clone();
-                demand_block(d.scope.unit, &blk.ops, &mut fact, &fz, Some(&mut acc));
+                demand_block(i, d.scope.unit, &blk.ops, &mut fact, &fz, Some(&mut acc));
             }
             // Demand at scope entry for anything not provably scope-local
             // must be met by writes elsewhere: it becomes a global demand.
             let mut entry = facts[d.cfg.entry].clone();
             demand_block(
+                i,
                 d.scope.unit,
                 &d.cfg.blocks[d.cfg.entry].ops,
                 &mut entry,
@@ -1269,13 +1516,8 @@ fn demand_slice(
                 for site in use_sites.get(&i).into_iter().flatten() {
                     acc.relevant.insert(*site);
                 }
-                for site in known_call_sites.get(&i).into_iter().flatten() {
+                for site in call_sites_by_callee.get(&i).into_iter().flatten() {
                     acc.relevant.insert(*site);
-                }
-                if at.contains(&i) {
-                    for site in &unknown_call_sites {
-                        acc.relevant.insert(*site);
-                    }
                 }
             }
             for (i, d) in scopes.iter().enumerate() {
@@ -1293,15 +1535,11 @@ fn demand_slice(
                 }
             }
             // A relevant call site needs its callees' return values.
-            for (u, s, t) in &call_ops {
-                if !acc.relevant.contains(&(*u, *s)) {
+            for &(sc, u, s) in &call_ops {
+                if !acc.relevant.contains(&(u, s)) {
                     continue;
                 }
-                let callees: Vec<usize> = match t {
-                    CallTarget::Known(ts) => ts.iter().map(|t| index[t]).collect(),
-                    CallTarget::Unknown => at.iter().copied().collect(),
-                };
-                for j in callees {
+                for &j in cg.candidates(sc, s) {
                     for &r in &scopes[j].return_stmts {
                         acc.relevant.insert((scopes[j].scope.unit, r));
                     }
@@ -1412,13 +1650,93 @@ mod tests {
     }
 
     #[test]
-    fn escaping_vars_are_never_claimed_dead() {
-        // `x` is read by a function the host may invoke later.
+    fn escaping_vars_live_at_exit_but_overwrites_before_any_call_are_dead() {
+        // `x` is read by a timer callback — but callbacks only fire after
+        // the top level completes, so the store the callback can observe
+        // is `x = 2`; the unconditionally-overwritten `x = 1` is dead.
         let a = analyze(
             "var x = 1; x = 2; \
              window.setTimeout(function () { document.title = x; }, 0);",
         );
-        assert!(a.units[0].dead_stores.is_empty());
+        let u = &a.units[0];
+        assert!(u.dead_stores.contains(&(0, "x".to_owned())));
+        assert!(!u.dead_stores.contains(&(1, "x".to_owned())));
+    }
+
+    #[test]
+    fn stores_read_through_dispatched_closures_stay_live() {
+        // `seed = 1` is read by a closure invoked *synchronously* through
+        // an object property before the overwrite: not claimable.
+        let a = analyze(
+            "var seed = 1; \
+             var api = { get: function () { return seed; } }; \
+             document.title = api.get(); \
+             seed = 2; document.title = seed;",
+        );
+        let u = &a.units[0];
+        assert!(
+            !u.dead_stores.contains(&(0, "seed".to_owned())),
+            "dispatched closure reads seed: {:?}",
+            u.dead_stores
+        );
+    }
+
+    #[test]
+    fn pure_call_statement_is_a_useless_call() {
+        let a = analyze(
+            "function score(n) { return n * 2; } \
+             score(21); \
+             document.title = 'done';",
+        );
+        let u = &a.units[0];
+        assert!(u.useless_calls.contains(&1), "{:?}", u.useless_calls);
+        // The declaration and the sink are not claimed.
+        assert!(!u.useless_calls.contains(&0));
+        assert!(!u.useless_calls.contains(&2));
+    }
+
+    #[test]
+    fn call_with_sink_effects_is_not_useless() {
+        let a = analyze(
+            "function paint() { document.title = 'x'; } \
+             paint();",
+        );
+        assert!(a.units[0].useless_calls.is_empty());
+    }
+
+    #[test]
+    fn uncallable_function_is_claimed_per_function() {
+        let a = analyze(
+            "function used() { return 1; } \
+             function orphan() { return 2; } \
+             var f = function () { return 3; }; \
+             document.title = used();",
+        );
+        let u = &a.units[0];
+        assert!(u.uncallable.contains(&1), "orphan: {:?}", u.uncallable);
+        assert!(!u.uncallable.contains(&0), "used is invoked");
+        assert!(
+            u.uncallable.contains(&2),
+            "f's closure is stored but never called"
+        );
+        let orphan = u.funcs.iter().find(|f| f.idx == 1).unwrap();
+        assert!(!orphan.reachable);
+        let used = u.funcs.iter().find(|f| f.idx == 0).unwrap();
+        assert!(used.reachable && used.pure);
+    }
+
+    #[test]
+    fn calls_resolved_through_variables_keep_stores_live() {
+        // `cfg = 1` is read by `helper` dispatched through a variable; the
+        // seed analyzer's intraprocedural WP0102 would have claimed it.
+        let a = analyze(
+            "var cfg = 1; \
+             function helper() { return cfg; } \
+             var run = helper; \
+             document.title = run(); \
+             cfg = 2; document.title = cfg;",
+        );
+        assert!(!a.units[0].dead_stores.contains(&(0, "cfg".to_owned())));
     }
 
     #[test]

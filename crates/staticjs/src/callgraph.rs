@@ -1,0 +1,798 @@
+//! Interprocedural call graph: flow-insensitive function-value analysis.
+//!
+//! The function-value universe of a program is closed — only `function`
+//! declarations and function expressions create callable values; the host
+//! never returns one — so an Andersen-style inclusion analysis over the
+//! AST can compute, for every call site, the complete set of user
+//! functions it may dispatch. Values propagate through:
+//!
+//! * **variables** (name-merged program-wide, matching the interner the
+//!   CFG lowering uses — merging only grows candidate sets, so it is
+//!   sound);
+//! * **named properties** (property-name-merged, receiver-insensitive);
+//! * **dynamic slots** (`o[k] = f`, array literals, `push`): one
+//!   `AnyProp` pool readable by every property or indexed read;
+//! * **returns and parameters** of each function scope;
+//! * **the escaped pool**: values reaching `setTimeout`,
+//!   `requestAnimationFrame`, or `addEventListener` become
+//!   host-invocable roots (the host calls them with no arguments).
+//!
+//! Method calls on non-host receivers may dispatch a stored function
+//! property (the interpreter's `(Value::Obj, _)` arm) — including calls
+//! whose *name* matches a DOM sink like `appendChild`, since a plain
+//! object can carry any property name. Candidates there are
+//! `pts(Prop(name)) ∪ pts(AnyProp)`. Receivers that are unshadowed host
+//! globals (`console`, `document`, …) can never be plain objects and
+//! never dispatch user code.
+//!
+//! Propagation is interleaved with reachability: only scopes reachable
+//! from the entry points (unit top levels, plus everything the escaped
+//! pool makes host-invocable) contribute flows, so a callback registered
+//! only by dead code does not resurrect its callee. Both sets grow
+//! monotonically, so the combined fixpoint terminates.
+//!
+//! The result condenses into SCCs (Tarjan), emitted callees-first — the
+//! order [`crate::summaries`] consumes for bottom-up effect summaries.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use wasteprof_js::{Expr, Script, Stmt, StmtNode, Target, UnitNumbering};
+
+use crate::cfg::{ScopeRef, HOST_GLOBALS};
+
+/// Scope index into [`CallGraph::scopes`].
+pub type ScopeIdx = usize;
+
+/// The computed call graph and function-value facts.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// All scopes: per unit, the top level first, then functions in
+    /// table order (the same order the analysis driver lowers them).
+    pub scopes: Vec<ScopeRef>,
+    /// Scope → index in [`CallGraph::scopes`].
+    pub index: HashMap<ScopeRef, ScopeIdx>,
+    /// `(caller scope, statement id)` → every user function any call in
+    /// that statement may dispatch. Calls sharing a statement merge —
+    /// claims are per-statement, so the union stays sound.
+    pub call_sites: HashMap<(ScopeIdx, u32), BTreeSet<ScopeIdx>>,
+    /// Host-invocable functions (reached `setTimeout` /
+    /// `requestAnimationFrame` / `addEventListener` from reachable code).
+    pub escaped: BTreeSet<ScopeIdx>,
+    /// Scope reachability from the entry points: unit top levels, plus
+    /// the escaped pool, closed over call-site candidates.
+    pub reachable: Vec<bool>,
+    /// Strongly connected components of the call graph, callees before
+    /// callers (reverse topological order of the condensation).
+    pub sccs: Vec<Vec<ScopeIdx>>,
+    /// Scope → its SCC's index in [`CallGraph::sccs`].
+    pub scc_of: Vec<usize>,
+}
+
+impl CallGraph {
+    /// Candidate callees of the calls in statement `stmt` of scope `i`
+    /// (empty when the statement has no resolvable user call).
+    #[must_use]
+    pub fn candidates(&self, i: ScopeIdx, stmt: u32) -> &BTreeSet<ScopeIdx> {
+        static EMPTY: BTreeSet<ScopeIdx> = BTreeSet::new();
+        self.call_sites.get(&(i, stmt)).unwrap_or(&EMPTY)
+    }
+}
+
+/// Builds the call graph for a program. `units` pairs every script with
+/// its statement numbering, in load order; `declared` is the set of all
+/// names the program declares anywhere (a host global in it is shadowed
+/// and loses its host meaning), as computed by the analysis driver.
+pub fn build(units: &[(&Script, &UnitNumbering)], declared: &HashSet<String>) -> CallGraph {
+    let mut scopes = Vec::new();
+    let mut index = HashMap::new();
+    for (u, (script, _)) in units.iter().enumerate() {
+        for func in std::iter::once(None).chain((0..script.funcs.len()).map(Some)) {
+            let r = ScopeRef { unit: u, func };
+            index.insert(r, scopes.len());
+            scopes.push(r);
+        }
+    }
+    let nscopes = scopes.len();
+    let mut b = Builder {
+        declared,
+        index: &index,
+        vars: HashMap::new(),
+        props: HashMap::new(),
+        any_prop: BTreeSet::new(),
+        rets: vec![BTreeSet::new(); nscopes],
+        params: (0..nscopes).map(|_| Vec::new()).collect(),
+        escaped: BTreeSet::new(),
+        call_sites: HashMap::new(),
+        changed: false,
+        scope: 0,
+        unit: 0,
+        stmt: 0,
+    };
+    for (u, (script, _)) in units.iter().enumerate() {
+        for (f, def) in script.funcs.iter().enumerate() {
+            let i = index[&ScopeRef {
+                unit: u,
+                func: Some(f),
+            }];
+            b.params[i] = vec![BTreeSet::new(); def.params.len()];
+        }
+    }
+
+    // Interleaved fixpoint: propagate within reachable scopes, then
+    // recompute reachability from the grown candidate sets. Both only
+    // grow, so this terminates.
+    let mut reachable = vec![false; nscopes];
+    for (i, r) in scopes.iter().enumerate() {
+        if r.func.is_none() {
+            reachable[i] = true;
+        }
+    }
+    loop {
+        b.changed = false;
+        for (i, r) in scopes.iter().enumerate() {
+            if !reachable[i] {
+                continue;
+            }
+            let (script, numbering) = units[r.unit];
+            let (body, nodes): (&[Stmt], &[StmtNode]) = match r.func {
+                None => (&script.body, &numbering.top),
+                Some(f) => (&script.funcs[f].body, &numbering.funcs[f]),
+            };
+            b.scope = i;
+            b.unit = r.unit;
+            if let Some(f) = r.func {
+                // Bind accumulated argument values to the parameter
+                // names before walking the body (name-merged, like every
+                // other variable).
+                for (k, name) in script.funcs[f].params.iter().enumerate() {
+                    let vals = b.params[i][k].clone();
+                    b.flow_var(name, &vals);
+                }
+            }
+            b.walk_block(body, nodes);
+        }
+        let next = compute_reach(&scopes, &b.call_sites, &b.escaped);
+        if next != reachable {
+            reachable = next;
+            b.changed = true;
+        }
+        if !b.changed {
+            break;
+        }
+    }
+
+    let call_sites = b.call_sites;
+    let escaped = b.escaped;
+    let (sccs, scc_of) = condense(nscopes, &call_sites);
+    CallGraph {
+        scopes,
+        index,
+        call_sites,
+        escaped,
+        reachable,
+        sccs,
+        scc_of,
+    }
+}
+
+/// BFS from the entry points over call-site candidate edges.
+fn compute_reach(
+    scopes: &[ScopeRef],
+    call_sites: &HashMap<(ScopeIdx, u32), BTreeSet<ScopeIdx>>,
+    escaped: &BTreeSet<ScopeIdx>,
+) -> Vec<bool> {
+    let mut succs: Vec<Vec<ScopeIdx>> = vec![Vec::new(); scopes.len()];
+    for (&(i, _), cands) in call_sites {
+        succs[i].extend(cands.iter().copied());
+    }
+    let mut reach = vec![false; scopes.len()];
+    let mut work = Vec::new();
+    for (i, r) in scopes.iter().enumerate() {
+        if r.func.is_none() {
+            reach[i] = true;
+            work.push(i);
+        }
+    }
+    for &i in escaped {
+        if !reach[i] {
+            reach[i] = true;
+            work.push(i);
+        }
+    }
+    while let Some(i) = work.pop() {
+        for &j in &succs[i] {
+            if !reach[j] {
+                reach[j] = true;
+                work.push(j);
+            }
+        }
+    }
+    reach
+}
+
+/// Tarjan's SCC algorithm; components come out callees-first.
+fn condense(
+    n: usize,
+    call_sites: &HashMap<(ScopeIdx, u32), BTreeSet<ScopeIdx>>,
+) -> (Vec<Vec<ScopeIdx>>, Vec<usize>) {
+    let mut succs: Vec<BTreeSet<ScopeIdx>> = vec![BTreeSet::new(); n];
+    for (&(i, _), cands) in call_sites {
+        succs[i].extend(cands.iter().copied());
+    }
+    struct T<'a> {
+        succs: &'a [BTreeSet<ScopeIdx>],
+        idx: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next: usize,
+        sccs: Vec<Vec<ScopeIdx>>,
+        scc_of: Vec<usize>,
+    }
+    impl T<'_> {
+        fn visit(&mut self, v: usize) {
+            self.idx[v] = Some(self.next);
+            self.low[v] = self.next;
+            self.next += 1;
+            self.stack.push(v);
+            self.on_stack[v] = true;
+            for &w in &self.succs[v].clone() {
+                match self.idx[w] {
+                    None => {
+                        self.visit(w);
+                        self.low[v] = self.low[v].min(self.low[w]);
+                    }
+                    Some(wi) if self.on_stack[w] => {
+                        self.low[v] = self.low[v].min(wi);
+                    }
+                    _ => {}
+                }
+            }
+            if self.low[v] == self.idx[v].unwrap() {
+                let mut comp = Vec::new();
+                loop {
+                    let w = self.stack.pop().unwrap();
+                    self.on_stack[w] = false;
+                    self.scc_of[w] = self.sccs.len();
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                comp.sort_unstable();
+                self.sccs.push(comp);
+            }
+        }
+    }
+    let mut t = T {
+        succs: &succs,
+        idx: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next: 0,
+        sccs: Vec::new(),
+        scc_of: vec![0; n],
+    };
+    for v in 0..n {
+        if t.idx[v].is_none() {
+            t.visit(v);
+        }
+    }
+    (t.sccs, t.scc_of)
+}
+
+/// One propagation pass over the program's reachable scopes.
+struct Builder<'a> {
+    declared: &'a HashSet<String>,
+    index: &'a HashMap<ScopeRef, ScopeIdx>,
+    /// Variable name → functions it may hold (name-merged).
+    vars: HashMap<String, BTreeSet<ScopeIdx>>,
+    /// Property name → functions any object's slot of that name may hold.
+    props: HashMap<String, BTreeSet<ScopeIdx>>,
+    /// Functions stored through computed keys (`o[k] = f`, array
+    /// literals, `push`): readable by any property or indexed read.
+    any_prop: BTreeSet<ScopeIdx>,
+    /// Per scope, functions its return value may be.
+    rets: Vec<BTreeSet<ScopeIdx>>,
+    /// Per scope, per parameter slot, functions it may be bound to.
+    params: Vec<Vec<BTreeSet<ScopeIdx>>>,
+    escaped: BTreeSet<ScopeIdx>,
+    call_sites: HashMap<(ScopeIdx, u32), BTreeSet<ScopeIdx>>,
+    changed: bool,
+    scope: ScopeIdx,
+    unit: usize,
+    stmt: u32,
+}
+
+impl Builder<'_> {
+    fn is_host(&self, name: &str) -> bool {
+        HOST_GLOBALS.contains(&name) && !self.declared.contains(name)
+    }
+
+    fn fn_scope(&self, idx: usize) -> ScopeIdx {
+        self.index[&ScopeRef {
+            unit: self.unit,
+            func: Some(idx),
+        }]
+    }
+
+    fn grow(into: &mut BTreeSet<ScopeIdx>, vals: &BTreeSet<ScopeIdx>, changed: &mut bool) {
+        for &v in vals {
+            *changed |= into.insert(v);
+        }
+    }
+
+    fn flow_var(&mut self, name: &str, vals: &BTreeSet<ScopeIdx>) {
+        if vals.is_empty() {
+            return;
+        }
+        let slot = self.vars.entry(name.to_owned()).or_default();
+        Self::grow(slot, vals, &mut self.changed);
+    }
+
+    fn flow_prop(&mut self, name: &str, vals: &BTreeSet<ScopeIdx>) {
+        if vals.is_empty() {
+            return;
+        }
+        let slot = self.props.entry(name.to_owned()).or_default();
+        Self::grow(slot, vals, &mut self.changed);
+    }
+
+    fn flow_any(&mut self, vals: &BTreeSet<ScopeIdx>) {
+        let mut c = self.changed;
+        Self::grow(&mut self.any_prop, vals, &mut c);
+        self.changed = c;
+    }
+
+    fn flow_escaped(&mut self, vals: &BTreeSet<ScopeIdx>) {
+        let mut c = self.changed;
+        Self::grow(&mut self.escaped, vals, &mut c);
+        self.changed = c;
+    }
+
+    fn flow_ret(&mut self, scope: ScopeIdx, vals: &BTreeSet<ScopeIdx>) {
+        let mut slot = std::mem::take(&mut self.rets[scope]);
+        Self::grow(&mut slot, vals, &mut self.changed);
+        self.rets[scope] = slot;
+    }
+
+    fn flow_params(&mut self, callee: ScopeIdx, args: &[BTreeSet<ScopeIdx>]) {
+        let mut slots = std::mem::take(&mut self.params[callee]);
+        for (slot, a) in slots.iter_mut().zip(args) {
+            Self::grow(slot, a, &mut self.changed);
+        }
+        self.params[callee] = slots;
+    }
+
+    fn record_site(&mut self, cands: &BTreeSet<ScopeIdx>) {
+        let slot = self.call_sites.entry((self.scope, self.stmt)).or_default();
+        Self::grow(slot, cands, &mut self.changed);
+    }
+
+    fn all_props(&self) -> BTreeSet<ScopeIdx> {
+        let mut all = self.any_prop.clone();
+        for set in self.props.values() {
+            all.extend(set.iter().copied());
+        }
+        all
+    }
+
+    fn walk_block(&mut self, body: &[Stmt], nodes: &[StmtNode]) {
+        for (s, n) in body.iter().zip(nodes) {
+            self.walk_stmt(s, n);
+        }
+    }
+
+    fn walk_stmt(&mut self, stmt: &Stmt, node: &StmtNode) {
+        self.stmt = node.id;
+        match stmt {
+            Stmt::Decl(name, init) => {
+                if let Some(e) = init {
+                    let v = self.eval(e);
+                    self.flow_var(name, &v);
+                }
+            }
+            Stmt::FuncDecl(name, idx) => {
+                let f = BTreeSet::from([self.fn_scope(*idx as usize)]);
+                self.flow_var(name, &f);
+            }
+            Stmt::Expr(e) => {
+                self.eval(e);
+            }
+            Stmt::If(cond, then, els) => {
+                self.eval(cond);
+                self.walk_block(then, &node.blocks[0]);
+                self.walk_block(els, &node.blocks[1]);
+            }
+            Stmt::While(cond, body) => {
+                self.eval(cond);
+                self.walk_block(body, &node.blocks[0]);
+            }
+            Stmt::For(init, cond, step, body) => {
+                if let Some(i) = init {
+                    self.walk_stmt(i, &node.blocks[0][0]);
+                    self.stmt = node.id;
+                }
+                if let Some(c) = cond {
+                    self.eval(c);
+                }
+                if let Some(s) = step {
+                    self.eval(s);
+                }
+                self.walk_block(body, &node.blocks[1]);
+            }
+            Stmt::Return(value) => {
+                if let Some(e) = value {
+                    let v = self.eval(e);
+                    self.flow_ret(self.scope, &v);
+                }
+            }
+            Stmt::Break | Stmt::Continue => {}
+        }
+    }
+
+    /// Evaluates an expression to the set of functions its value may be,
+    /// applying every flow the evaluation implies.
+    fn eval(&mut self, expr: &Expr) -> BTreeSet<ScopeIdx> {
+        match expr {
+            Expr::Num(..) | Expr::Str(..) | Expr::Bool(_) | Expr::Null | Expr::Undefined => {
+                BTreeSet::new()
+            }
+            Expr::Ident(name) => {
+                if self.is_host(name) {
+                    return BTreeSet::new();
+                }
+                self.vars.get(name.as_str()).cloned().unwrap_or_default()
+            }
+            Expr::Function(idx) => BTreeSet::from([self.fn_scope(*idx as usize)]),
+            Expr::Array(items) => {
+                for it in items {
+                    let v = self.eval(it);
+                    self.flow_any(&v);
+                }
+                BTreeSet::new()
+            }
+            Expr::Object(props) => {
+                for (name, e) in props {
+                    let v = self.eval(e);
+                    self.flow_prop(name, &v);
+                }
+                BTreeSet::new()
+            }
+            Expr::Binary(_, a, b) => {
+                self.eval(a);
+                self.eval(b);
+                BTreeSet::new()
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                // The value can be either side.
+                let mut l = self.eval(a);
+                l.extend(self.eval(b));
+                l
+            }
+            Expr::Unary(_, e) => {
+                self.eval(e);
+                BTreeSet::new()
+            }
+            Expr::Ternary(c, a, b) => {
+                self.eval(c);
+                let mut l = self.eval(a);
+                l.extend(self.eval(b));
+                l
+            }
+            Expr::Assign(op, target, value) => {
+                let v = self.eval(value);
+                let assigns = *op == wasteprof_js::AssignOp::Set;
+                match target {
+                    Target::Var(name) => {
+                        if assigns {
+                            self.flow_var(name, &v);
+                        }
+                    }
+                    Target::Member(obj, prop) => {
+                        self.eval(obj);
+                        if assigns {
+                            self.flow_prop(prop, &v);
+                        }
+                    }
+                    Target::Index(obj, key) => {
+                        self.eval(obj);
+                        self.eval(key);
+                        if assigns {
+                            self.flow_any(&v);
+                        }
+                    }
+                }
+                // Compound assignment coerces to number/string.
+                if assigns {
+                    v
+                } else {
+                    BTreeSet::new()
+                }
+            }
+            Expr::Call(callee, args) => self.eval_call(callee, args),
+            Expr::MethodCall(obj, name, args) => self.eval_method(obj, name, args),
+            Expr::Member(obj, name) => {
+                self.eval(obj);
+                if matches!(&**obj, Expr::Ident(base) if self.is_host(base)) {
+                    return BTreeSet::new(); // host property reads
+                }
+                let mut r = self.props.get(name.as_str()).cloned().unwrap_or_default();
+                r.extend(self.any_prop.iter().copied());
+                r
+            }
+            Expr::Index(obj, key) => {
+                self.eval(obj);
+                self.eval(key);
+                // A computed key may name any stored property.
+                self.all_props()
+            }
+            Expr::PostIncDec { target, .. } => {
+                match target {
+                    Target::Var(_) => {}
+                    Target::Member(obj, _) => {
+                        self.eval(obj);
+                    }
+                    Target::Index(obj, key) => {
+                        self.eval(obj);
+                        self.eval(key);
+                    }
+                }
+                BTreeSet::new()
+            }
+        }
+    }
+
+    fn eval_call(&mut self, callee: &Expr, args: &[Expr]) -> BTreeSet<ScopeIdx> {
+        if let Expr::Ident(name) = callee {
+            if !self.declared.contains(name.as_str()) {
+                match name.as_str() {
+                    "setTimeout" | "requestAnimationFrame" => {
+                        for a in args {
+                            let v = self.eval(a);
+                            self.flow_escaped(&v);
+                        }
+                        return BTreeSet::new();
+                    }
+                    "parseInt" => {
+                        for a in args {
+                            self.eval(a);
+                        }
+                        return BTreeSet::new();
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let cands = self.eval(callee);
+        let argv: Vec<BTreeSet<ScopeIdx>> = args.iter().map(|a| self.eval(a)).collect();
+        self.record_site(&cands);
+        let mut result = BTreeSet::new();
+        for &c in &cands {
+            self.flow_params(c, &argv);
+            result.extend(self.rets[c].iter().copied());
+        }
+        result
+    }
+
+    fn eval_method(&mut self, obj: &Expr, name: &str, args: &[Expr]) -> BTreeSet<ScopeIdx> {
+        self.eval(obj);
+        let argv: Vec<BTreeSet<ScopeIdx>> = args.iter().map(|a| self.eval(a)).collect();
+        let host_base = matches!(obj, Expr::Ident(n) if self.is_host(n));
+        if host_base {
+            // Host singletons are never plain objects: no user dispatch.
+            // Listener/timer registration makes the callback
+            // host-invocable.
+            if matches!(
+                name,
+                "addEventListener" | "setTimeout" | "requestAnimationFrame"
+            ) {
+                for v in &argv {
+                    self.flow_escaped(v);
+                }
+            }
+            return BTreeSet::new();
+        }
+        match name {
+            // Intercepted for plain objects before generic dispatch.
+            "push" => {
+                for v in &argv {
+                    self.flow_any(v);
+                }
+                BTreeSet::new()
+            }
+            "indexOf" => BTreeSet::new(),
+            _ => {
+                // May dispatch a stored function property — even when the
+                // name doubles as a DOM sink (`appendChild`), since a
+                // plain object can carry any property.
+                if name == "addEventListener" {
+                    for v in &argv {
+                        self.flow_escaped(v);
+                    }
+                }
+                let mut cands = self.props.get(name).cloned().unwrap_or_default();
+                cands.extend(self.any_prop.iter().copied());
+                self.record_site(&cands);
+                let mut result = BTreeSet::new();
+                for &c in &cands {
+                    self.flow_params(c, &argv);
+                    result.extend(self.rets[c].iter().copied());
+                }
+                result
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use wasteprof_js::{number_script, parse};
+
+    use super::*;
+
+    fn graph(src: &str) -> CallGraph {
+        let script = parse(src).unwrap();
+        let numbering = number_script(&script);
+        let mut declared = HashSet::new();
+        collect_declared(&script.body, &mut declared);
+        for def in &script.funcs {
+            collect_declared(&def.body, &mut declared);
+            for p in &def.params {
+                declared.insert(p.clone());
+            }
+        }
+        build(&[(&script, &numbering)], &declared)
+    }
+
+    fn collect_declared(body: &[Stmt], out: &mut HashSet<String>) {
+        for s in body {
+            match s {
+                Stmt::Decl(n, _) | Stmt::FuncDecl(n, _) => {
+                    out.insert(n.clone());
+                }
+                Stmt::If(_, t, e) => {
+                    collect_declared(t, out);
+                    collect_declared(e, out);
+                }
+                Stmt::While(_, b) => collect_declared(b, out),
+                Stmt::For(i, _, _, b) => {
+                    if let Some(i) = i {
+                        collect_declared(std::slice::from_ref(&**i), out);
+                    }
+                    collect_declared(b, out);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn fn_idx(g: &CallGraph, f: usize) -> ScopeIdx {
+        g.index[&ScopeRef {
+            unit: 0,
+            func: Some(f),
+        }]
+    }
+
+    #[test]
+    fn function_through_variable_reaches_call_site() {
+        let g = graph("function a() { return 1; } var f = a; f();");
+        let a = fn_idx(&g, 0);
+        assert!(g.reachable[a], "a is called through f");
+        // The call `f()` is statement 2.
+        assert!(g.candidates(0, 2).contains(&a));
+    }
+
+    #[test]
+    fn uncalled_function_value_is_unreachable() {
+        let g = graph("function a() { return 1; } var f = a; document.title = 'x';");
+        let a = fn_idx(&g, 0);
+        assert!(!g.reachable[a], "a's value flows nowhere callable");
+        assert!(g.escaped.is_empty());
+    }
+
+    #[test]
+    fn timer_callback_escapes_and_is_reachable() {
+        let g = graph("setTimeout(function () { return 1; }, 0);");
+        let f = fn_idx(&g, 0);
+        assert!(g.escaped.contains(&f));
+        assert!(g.reachable[f]);
+    }
+
+    #[test]
+    fn object_property_dispatch_resolves() {
+        let g = graph(
+            "function go() { return 7; } \
+             var api = { run: go }; \
+             api.run();",
+        );
+        let go = fn_idx(&g, 0);
+        assert!(g.reachable[go]);
+        assert!(g.candidates(0, 2).contains(&go));
+    }
+
+    #[test]
+    fn callback_argument_flows_into_parameter() {
+        let g = graph(
+            "function invoke(cb) { cb(); } \
+             function job() { return 1; } \
+             invoke(job);",
+        );
+        let invoke = fn_idx(&g, 0);
+        let job = fn_idx(&g, 1);
+        assert!(g.reachable[job], "job flows through invoke's parameter");
+        // The `cb()` site inside invoke resolves to job.
+        assert!(g
+            .call_sites
+            .iter()
+            .any(|(&(s, _), c)| s == invoke && c.contains(&job)));
+    }
+
+    #[test]
+    fn returned_closure_reaches_caller_site() {
+        let g = graph(
+            "function make() { return function () { return 3; }; } \
+             var f = make(); f();",
+        );
+        let inner = fn_idx(&g, 1);
+        assert!(g.reachable[inner], "returned closure is called");
+    }
+
+    #[test]
+    fn escape_inside_dead_code_does_not_resurrect() {
+        let g = graph(
+            "function dead() { setTimeout(function () { return 1; }, 0); } \
+             document.title = 'x';",
+        );
+        let dead = fn_idx(&g, 0);
+        let cb = fn_idx(&g, 1);
+        assert!(!g.reachable[dead]);
+        assert!(!g.reachable[cb], "registered only by dead code");
+        assert!(g.escaped.is_empty());
+    }
+
+    #[test]
+    fn recursion_forms_one_scc() {
+        let g = graph(
+            "function even(n) { if (n == 0) { return 1; } return odd(n - 1); } \
+             function odd(n) { if (n == 0) { return 0; } return even(n - 1); } \
+             document.title = even(4);",
+        );
+        let e = fn_idx(&g, 0);
+        let o = fn_idx(&g, 1);
+        assert_eq!(g.scc_of[e], g.scc_of[o], "mutual recursion shares an SCC");
+        let scc = &g.sccs[g.scc_of[e]];
+        assert_eq!(scc.len(), 2);
+        // Callees-first: the toplevel's SCC comes after its callees'.
+        let top = g.index[&ScopeRef {
+            unit: 0,
+            func: None,
+        }];
+        assert!(g.scc_of[top] > g.scc_of[e]);
+    }
+
+    #[test]
+    fn sink_named_property_still_dispatches() {
+        // A function stored under a DOM-sink name on a plain object is
+        // dispatched by the interpreter's stored-property arm.
+        let g = graph(
+            "function f() { return 1; } \
+             var o = { appendChild: f }; \
+             o.appendChild();",
+        );
+        let f = fn_idx(&g, 0);
+        assert!(g.reachable[f]);
+    }
+
+    #[test]
+    fn dynamic_storage_feeds_indexed_calls() {
+        let g = graph(
+            "function h() { return 2; } \
+             var arr = []; arr.push(h); \
+             arr[0]();",
+        );
+        let h = fn_idx(&g, 0);
+        assert!(g.reachable[h], "pushed handler is callable via index");
+    }
+}

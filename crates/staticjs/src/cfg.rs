@@ -738,9 +738,27 @@ impl<'a, 'b> Lowerer<'a, 'b> {
             _ => None,
         };
         let classlist_recv = matches!(obj, Expr::Member(_, m) if m == "classList");
+        // On a non-host receiver the interpreter dispatches *any* method
+        // name through a stored function property when the receiver turns
+        // out to be a plain object — even names the effect table classifies
+        // as sinks or host reads (`appendChild`, `getAttribute`). Those
+        // sites get a call op too, so the interprocedural analyses see the
+        // possible user-function dispatch; the call graph resolves it to
+        // the (usually empty) set of stored functions under that name.
+        let may_dispatch = host_base.is_none();
         match method_effect(host_base, classlist_recv, name) {
-            MethodEffect::Pure | MethodEffect::HostRead => {}
-            MethodEffect::Sink => self.emit(OpKind::Sink),
+            MethodEffect::Pure => {}
+            MethodEffect::HostRead => {
+                if may_dispatch {
+                    self.emit(OpKind::Call(CallTarget::Unknown));
+                }
+            }
+            MethodEffect::Sink => {
+                self.emit(OpKind::Sink);
+                if may_dispatch {
+                    self.emit(OpKind::Call(CallTarget::Unknown));
+                }
+            }
             MethodEffect::DynWrite => {
                 let base = self.base_of(obj);
                 self.emit(OpKind::DynWrite(base));

@@ -15,23 +15,34 @@
 //!    whose contents are dataflow ops, with call sites as opaque
 //!    may-effect nodes resolved through a conservative builtin effect
 //!    table for the DOM/timer/console/network intrinsics.
-//! 2. [`solver`] is a generic join-lattice worklist solver
+//! 2. [`callgraph`] runs a flow-insensitive function-value analysis over
+//!    the raw ASTs (variables, closures, object properties, callback
+//!    registrations) and condenses the resulting call graph into SCCs;
+//!    [`summaries`] then computes bottom-up effect/read-write summaries
+//!    per function to a fixpoint over those SCCs.
+//! 3. [`solver`] is a generic join-lattice worklist solver
 //!    (forward/backward), shared by all clients.
-//! 3. [`analyses`] runs the four clients — possibly-undefined use
+//! 4. [`analyses`] runs the six clients — possibly-undefined use
 //!    (`WP0101`), dead stores (`WP0102`), unreachable code (`WP0103`),
-//!    and the backward static slice from effect sinks (`WP0104`) — and
-//!    renders findings through the checker's [`wasteprof_checker::Diag`]
-//!    machinery.
-//! 4. [`referee`] scores the predictions against the interpreter's
+//!    the backward static slice from effect sinks (`WP0104`), useless
+//!    calls to effect-free functions (`WP0105`), and uncallable
+//!    functions (`WP0106`) — and renders findings through the checker's
+//!    [`wasteprof_checker::Diag`] machinery. Calls resolve through the
+//!    summaries instead of a single conservative "unknown call" node.
+//! 5. [`referee`] scores the predictions against the interpreter's
 //!    execution witness and the dynamic slice, reporting per-analysis
 //!    precision/recall and (for the must-be-sound claims) violations.
 
 #![warn(missing_docs)]
 
 pub mod analyses;
+pub mod callgraph;
 pub mod cfg;
 pub mod referee;
 pub mod solver;
+pub mod summaries;
 
-pub use analyses::{analyze_sources, ProgramAnalysis, UnitReport};
+pub use analyses::{analyze_sources, FuncReport, ProgramAnalysis, UnitReport};
+pub use callgraph::CallGraph;
 pub use referee::{compare, Metric, RefereeReport};
+pub use summaries::FnSummary;

@@ -48,7 +48,11 @@ pub fn solve<A: DataflowAnalysis>(analysis: &A, cfg: &Cfg) -> Vec<A::Fact> {
     let preds = cfg.preds();
     let forward = analysis.direction() == Direction::Forward;
     let boundary_block = if forward { cfg.entry } else { cfg.exit };
-    let mut facts: Vec<A::Fact> = (0..n).map(|_| analysis.bottom()).collect();
+    // One bottom construction, cloned per block: for must-analyses
+    // `bottom()` is `BitSet::full(nvars)`, and building it once instead
+    // of per block keeps solver setup linear in the CFG size.
+    let bottom = analysis.bottom();
+    let mut facts: Vec<A::Fact> = (0..n).map(|_| bottom.clone()).collect();
     facts[boundary_block] = analysis.boundary();
     // Every block seeds the worklist so isolated blocks still stabilize.
     let mut work: std::collections::VecDeque<usize> = (0..n).collect();
@@ -116,11 +120,18 @@ impl BitSet {
     }
 
     /// The full set over a universe of `n` elements (for must-analyses,
-    /// whose lattice order runs downward by intersection).
+    /// whose lattice order runs downward by intersection). Filled a word
+    /// at a time; the last word masks off bits past `n` so `full(n)`
+    /// equals `n` inserts representation-exactly.
     pub fn full(n: usize) -> Self {
         let mut s = BitSet::new(n);
-        for i in 0..n {
-            s.insert(i);
+        for w in s.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        if !n.is_multiple_of(64) {
+            if let Some(last) = s.words.last_mut() {
+                *last = (1u64 << (n % 64)) - 1;
+            }
         }
         s
     }
@@ -165,6 +176,17 @@ impl BitSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn full_matches_per_bit_construction() {
+        for n in [0, 1, 63, 64, 65, 128, 130] {
+            let mut by_insert = BitSet::new(n);
+            for i in 0..n {
+                by_insert.insert(i);
+            }
+            assert_eq!(BitSet::full(n), by_insert, "n = {n}");
+        }
+    }
 
     #[test]
     fn bitset_basics() {

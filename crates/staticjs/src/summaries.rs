@@ -1,0 +1,225 @@
+//! Bottom-up per-function effect/read-write summaries.
+//!
+//! For every scope the analyses extract a *direct* summary from its CFG
+//! ops (sinks, externally-visible variable writes, property writes, free
+//! variable reads); [`summarize`] then closes the summaries over the call
+//! graph, walking the SCC condensation callees-first ([`CallGraph::sccs`])
+//! and iterating within each SCC to its local fixpoint, so a caller's
+//! summary is the union of its own effects and those of everything any of
+//! its call sites may dispatch.
+//!
+//! The summaries replace the seed analyzer's single conservative
+//! "unknown call = union over every address-taken function" node: a call
+//! to a summarized pure function stops polluting the dead-store
+//! (`WP0102`) and waste (`WP0104`) clients, and [`FnSummary::pure`] is
+//! the foundation of the useless-call claim (`WP0105`).
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::CallGraph;
+use crate::cfg::VarId;
+use crate::solver::BitSet;
+
+/// Transitive may-effects and free reads of one scope, plus everything
+/// its call sites may dispatch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FnSummary {
+    /// May reach an externally-observable effect (DOM mutation, timer or
+    /// listener registration, network send).
+    pub sink: bool,
+    /// Variables read where the name is not provably a local binding of
+    /// the reading scope at the read point (free reads): these may
+    /// resolve to a caller's local or a shared global. For a unit's top
+    /// level every read is free — its "locals" are the shared globals.
+    pub reads_vars: BitSet,
+    /// Externally-visible variable writes (non-private locals, outer
+    /// bindings, globals).
+    pub writes_vars: BitSet,
+    /// Named property writes with a known receiver variable.
+    pub writes_exact: BTreeSet<(VarId, String)>,
+    /// Named property writes with a compound receiver.
+    pub writes_any_prop: BTreeSet<String>,
+    /// Computed-key writes into a known receiver variable.
+    pub writes_base_all: BTreeSet<VarId>,
+    /// Computed-key writes with a compound receiver: may hit anything.
+    pub writes_dyn_any: bool,
+}
+
+impl FnSummary {
+    /// An empty summary sized for `nvars` interned variables.
+    #[must_use]
+    pub fn new(nvars: usize) -> Self {
+        FnSummary {
+            reads_vars: BitSet::new(nvars),
+            writes_vars: BitSet::new(nvars),
+            ..FnSummary::default()
+        }
+    }
+
+    /// True when calling the function can have no effect any other code
+    /// could observe: no sink, and no write that outlives the invocation.
+    /// Free *reads* do not break purity — a pure function may read
+    /// anything, it just must not change anything.
+    #[must_use]
+    pub fn pure(&self) -> bool {
+        !self.sink
+            && !self.writes_dyn_any
+            && self.writes_vars.is_empty()
+            && self.writes_exact.is_empty()
+            && self.writes_any_prop.is_empty()
+            && self.writes_base_all.is_empty()
+    }
+
+    /// Unions `other` into `self`; returns true when `self` grew.
+    pub fn absorb(&mut self, other: &FnSummary) -> bool {
+        let mut grew = false;
+        if other.sink && !self.sink {
+            self.sink = true;
+            grew = true;
+        }
+        grew |= self.reads_vars.union_with(&other.reads_vars);
+        grew |= self.writes_vars.union_with(&other.writes_vars);
+        for k in &other.writes_exact {
+            grew |= self.writes_exact.insert(k.clone());
+        }
+        for p in &other.writes_any_prop {
+            grew |= self.writes_any_prop.insert(p.clone());
+        }
+        for b in &other.writes_base_all {
+            grew |= self.writes_base_all.insert(*b);
+        }
+        if other.writes_dyn_any && !self.writes_dyn_any {
+            self.writes_dyn_any = true;
+            grew = true;
+        }
+        grew
+    }
+}
+
+/// Closes per-scope direct summaries over the call graph. `direct[i]` is
+/// scope `i`'s own effects; the result adds everything reachable through
+/// its call sites. Walks [`CallGraph::sccs`] in order (callees first), so
+/// every callee outside the current SCC is already final; within an SCC
+/// the members iterate to a local fixpoint.
+#[must_use]
+pub fn summarize(direct: &[FnSummary], cg: &CallGraph) -> Vec<FnSummary> {
+    let mut callees: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); direct.len()];
+    for (&(i, _), cands) in &cg.call_sites {
+        callees[i].extend(cands.iter().copied());
+    }
+    let mut sums = direct.to_vec();
+    for comp in &cg.sccs {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &i in comp {
+                let mut cur = std::mem::take(&mut sums[i]);
+                for &c in &callees[i] {
+                    if c != i {
+                        changed |= cur.absorb(&sums[c]);
+                    }
+                }
+                sums[i] = cur;
+            }
+        }
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(writes: &[usize], sink: bool) -> FnSummary {
+        let mut s = FnSummary::new(8);
+        s.sink = sink;
+        for &w in writes {
+            s.writes_vars.insert(w);
+        }
+        s
+    }
+
+    fn graph_of(edges: &[(usize, usize)], n: usize) -> CallGraph {
+        // A synthetic call graph: one fake call site per edge.
+        let mut cg = CallGraph::default();
+        for (s, (i, c)) in edges.iter().enumerate() {
+            cg.call_sites.entry((*i, s as u32)).or_default().insert(*c);
+        }
+        // Tests below never consult scopes/index/reachable, only the
+        // condensation, which we can compute through the public builder
+        // path in callgraph tests; here a trivial chain order suffices.
+        cg.sccs = trivial_sccs(edges, n);
+        cg
+    }
+
+    /// Kosaraju-free helper for the tiny test graphs: components in
+    /// callees-first order, computed by hand per test topology.
+    fn trivial_sccs(edges: &[(usize, usize)], n: usize) -> Vec<Vec<usize>> {
+        // For the acyclic chain tests, every node is its own component
+        // ordered by reverse topological sort (callees first).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&v| {
+            // Depth = longest path out of v; leaves (pure callees) first.
+            fn depth(v: usize, edges: &[(usize, usize)], fuel: usize) -> usize {
+                if fuel == 0 {
+                    return 0;
+                }
+                edges
+                    .iter()
+                    .filter(|(i, _)| *i == v)
+                    .map(|(_, c)| 1 + depth(*c, edges, fuel - 1))
+                    .max()
+                    .unwrap_or(0)
+            }
+            depth(v, edges, n + 1)
+        });
+        order.into_iter().map(|v| vec![v]).collect()
+    }
+
+    #[test]
+    fn effects_propagate_up_a_call_chain() {
+        // 0 calls 1 calls 2; only 2 sinks and writes var 3.
+        let direct = vec![
+            summary(&[], false),
+            summary(&[], false),
+            summary(&[3], true),
+        ];
+        let cg = graph_of(&[(0, 1), (1, 2)], 3);
+        let sums = summarize(&direct, &cg);
+        assert!(sums[0].sink && sums[0].writes_vars.contains(3));
+        assert!(sums[1].sink);
+        assert!(!direct[0].sink, "direct summaries untouched");
+    }
+
+    #[test]
+    fn pure_functions_stay_pure_through_pure_callees() {
+        let direct = vec![summary(&[], false), summary(&[], false)];
+        let cg = graph_of(&[(0, 1)], 2);
+        let sums = summarize(&direct, &cg);
+        assert!(sums[0].pure() && sums[1].pure());
+    }
+
+    #[test]
+    fn recursive_scc_reaches_its_fixpoint() {
+        // 0 and 1 call each other; 1 writes var 5. One SCC holds both.
+        let direct = vec![summary(&[], false), summary(&[5], false)];
+        let mut cg = CallGraph::default();
+        cg.call_sites.entry((0, 0)).or_default().insert(1);
+        cg.call_sites.entry((1, 0)).or_default().insert(0);
+        cg.sccs = vec![vec![0, 1]];
+        let sums = summarize(&direct, &cg);
+        assert!(sums[0].writes_vars.contains(5));
+        assert!(!sums[0].pure() && !sums[1].pure());
+    }
+
+    #[test]
+    fn free_reads_accumulate_transitively() {
+        let mut leaf = FnSummary::new(8);
+        leaf.reads_vars.insert(2);
+        let direct = vec![FnSummary::new(8), leaf];
+        let cg = graph_of(&[(0, 1)], 2);
+        let sums = summarize(&direct, &cg);
+        assert!(sums[0].reads_vars.contains(2));
+        assert!(sums[0].pure(), "reads do not break purity");
+    }
+}

@@ -6,10 +6,22 @@
 //!   execute.
 //! * A store site the analyzer calls dead (WP0102) must never be read
 //!   back before being overwritten.
+//! * A function the analyzer calls uncallable (WP0106) must never be
+//!   invoked — through any entry path, including fired timers.
+//! * A top-level statement the analyzer calls a useless effect-free call
+//!   (WP0105) must sit in the generator's designated discard block, and
+//!   deleting that whole block must leave every observable global
+//!   unchanged (the removal differential).
 //! * Analyzing the same program twice must produce identical findings.
 //!
+//! The second program family is deliberately higher-order: function
+//! values flow through variables, object registries, callback
+//! parameters, closures over mutable locals, `setTimeout`, and
+//! recursion, so every claim above exercises the interprocedural call
+//! graph rather than the intraprocedural core.
+//!
 //! Runtime errors and step-budget aborts are fine: they only *reduce*
-//! execution, which is the sound direction for both claims.
+//! execution, which is the sound direction for these claims.
 
 use proptest::prelude::*;
 use wasteprof_dom::Document;
@@ -144,6 +156,150 @@ fn program() -> BoxedStrategy<String> {
         .boxed()
 }
 
+/// A generated higher-order program plus the metadata the soundness
+/// checks need: the same source with the discard block deleted, the
+/// top-level statement ids of that block, and the top-level statement
+/// count (every top-level statement is simple, so id == index there).
+#[derive(Debug, Clone)]
+struct HoProgram {
+    full: String,
+    without_discards: String,
+    discard_ids: Vec<u32>,
+    toplevel_count: u32,
+}
+
+/// Like [`run_witnessed`] but also fires every pending timer (so timer
+/// callbacks count as invocations) and reads back the observable
+/// globals for the removal differential.
+fn run_full(src: &str) -> (JsWitness, Vec<Option<f64>>) {
+    let mut rec = Recorder::new();
+    rec.spawn_thread(ThreadKind::Main, "content::RendererMain");
+    let mut doc = Document::new(&mut rec);
+    let body = doc.create_element(&mut rec, "body", &[]);
+    doc.append_child(&mut rec, doc.root(), body);
+    let mut js = JsEngine::new();
+    let range = rec.alloc(Region::Input, src.len() as u32);
+    let _ = js.load_script(&mut rec, &mut doc, src, range, "prop.js");
+    for timer in js.take_timers() {
+        js.fire_timer(&mut rec, &mut doc, timer);
+    }
+    let globals = ["a", "b", "c", "t"]
+        .iter()
+        .map(|g| js.lookup_global(g).map(|v| v.as_num()))
+        .collect();
+    (js.take_witness(), globals)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_ho(
+    pure: &[(u8, u8, u8)],
+    discards: &[(usize, u8)],
+    orphans: usize,
+    impure: bool,
+    timer: bool,
+    fexpr: bool,
+    fold_arg: u8,
+    list: &[u8],
+) -> HoProgram {
+    // Every top-level statement is simple (no if/while/for), so the
+    // preorder numbering makes top-level id == position.
+    let mut top: Vec<String> = vec![
+        "var a = 1;".into(),
+        "var b = 2;".into(),
+        "var c = 3;".into(),
+        "var t = 0;".into(),
+    ];
+    for (i, (m, k, j)) in pure.iter().enumerate() {
+        top.push(format!(
+            "function p{i}(x) {{ var r = x * {m} + {k}; return r + {j}; }}"
+        ));
+    }
+    if impure {
+        top.push("function q0(x) { c = c + x; return c; }".into());
+    }
+    top.push(
+        "function mk(step) { var tot = 0; \
+         return function (x) { tot = tot + step + x; return tot; }; }"
+            .into(),
+    );
+    top.push(
+        "function ap(list, f) { \
+         for (var i = 0; i < list.length; i += 1) { f(list[i]); } }"
+            .into(),
+    );
+    top.push(
+        "function fold(i, acc) { if (i <= 0) { return acc; } return fold(i - 1, acc + i); }".into(),
+    );
+    for o in 0..orphans {
+        top.push(format!("function orph{o}(x) {{ return p0(x) + {o}; }}"));
+    }
+    top.push("var tally = mk(2);".into());
+    // Registry over every pure function; only h0 (and h1 when present)
+    // are ever dispatched — the rest are stored-but-uncalled.
+    let mut reg: Vec<String> = (0..pure.len()).map(|i| format!("h{i}: p{i}")).collect();
+    if fexpr {
+        reg.push("hz: function (x) { return x + 9; }".into());
+    }
+    top.push(format!("var reg = {{ {} }};", reg.join(", ")));
+    top.push("a = a + reg.h0(1);".into());
+    if pure.len() > 1 {
+        top.push("b = b + reg.h1(3);".into());
+    }
+    top.push(format!("c = c + fold({fold_arg}, 0);"));
+    let items: Vec<String> = list.iter().map(u8::to_string).collect();
+    top.push(format!(
+        "ap([{}], function (v) {{ t = t + tally(v); }});",
+        items.join(", ")
+    ));
+    if impure {
+        top.push("q0(2);".into());
+    }
+    if timer {
+        top.push("setTimeout(function () { t = t + tally(1); }, 60);".into());
+    }
+    let discard_start = top.len();
+    for &(idx, n) in discards {
+        top.push(format!("p{}({n});", idx % pure.len()));
+    }
+    let discard_ids: Vec<u32> = (discard_start..top.len()).map(|i| i as u32).collect();
+    top.push("console.log(a + b + c + t);".into());
+
+    let without_discards = top
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !(discard_start..discard_start + discards.len()).contains(i))
+        .map(|(_, s)| s.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    HoProgram {
+        toplevel_count: top.len() as u32,
+        full: top.join("\n"),
+        without_discards,
+        discard_ids,
+    }
+}
+
+fn ho_program() -> BoxedStrategy<HoProgram> {
+    let pure = proptest::collection::vec((0u8..5, 0u8..5, 0u8..5), 1..4);
+    let discards = proptest::collection::vec((0usize..8, 0u8..7), 0..4);
+    let shape = (pure, discards, 0usize..3, 1u8..6);
+    let flags = (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::collection::vec(0u8..7, 1..4),
+    );
+    (shape, flags)
+        .prop_map(
+            |((pure, discards, orphans, fold_arg), (impure, timer, fexpr, list))| {
+                build_ho(
+                    &pure, &discards, orphans, impure, timer, fexpr, fold_arg, &list,
+                )
+            },
+        )
+        .boxed()
+}
+
 proptest! {
     // 64 cases keep the suite under a minute; raise via PROPTEST_CASES
     // for deeper soaks.
@@ -183,6 +339,56 @@ proptest! {
     }
 
     #[test]
+    fn higher_order_claims_survive_dynamic_execution(p in ho_program()) {
+        let analysis = analyze_sources(&[("prop.js".to_owned(), p.full.clone())])
+            .expect("generated programs always parse");
+        let (witness, g_full) = run_full(&p.full);
+        let (_, g_without) = run_full(&p.without_discards);
+        let w = witness.unit("prop.js").expect("unit registered");
+        let report = &analysis.units[0];
+
+        // WP0103: statically unreachable statements never execute, even
+        // when every call is dispatched through a value.
+        for &s in &report.unreachable {
+            prop_assert_eq!(w.exec_count(s), 0, "unreachable stmt {} executed in: {}", s, p.full);
+        }
+
+        // WP0102: statically dead stores are never read back.
+        for key in &report.dead_stores {
+            if let Some(f) = w.stores.get(key) {
+                prop_assert_eq!(f.read_back, 0, "dead store {:?} read back in: {}", key, p.full);
+            }
+        }
+
+        // WP0106: a claimed-uncallable function is never invoked through
+        // any entry path — direct call, registry dispatch, closure,
+        // callback parameter, or fired timer.
+        for &f in &report.uncallable {
+            prop_assert_eq!(
+                w.call_count(f), 0,
+                "uncallable fn {} was invoked in: {}", f, p.full
+            );
+        }
+
+        // WP0105: every top-level statement is either effectful or has
+        // its result consumed — except the discard block — so any
+        // top-level useless-call claim outside that block is unsound.
+        for &s in &report.useless_calls {
+            if s < p.toplevel_count {
+                prop_assert!(
+                    p.discard_ids.contains(&s),
+                    "useless-call claim on effectful toplevel stmt {} in: {}", s, p.full
+                );
+            }
+        }
+
+        // Removal differential: the discard block is effect-free by
+        // construction, and the interpreter must agree — deleting it
+        // leaves every observable global unchanged.
+        prop_assert_eq!(g_full, g_without, "discard block had effects in: {}", p.full);
+    }
+
+    #[test]
     fn analysis_is_deterministic_on_random_programs(src in program()) {
         let a1 = analyze_sources(&[("prop.js".to_owned(), src.clone())]).unwrap();
         let a2 = analyze_sources(&[("prop.js".to_owned(), src)]).unwrap();
@@ -194,6 +400,8 @@ proptest! {
             prop_assert_eq!(&u1.unreachable, &u2.unreachable);
             prop_assert_eq!(&u1.dead_stores, &u2.dead_stores);
             prop_assert_eq!(&u1.wasted, &u2.wasted);
+            prop_assert_eq!(&u1.useless_calls, &u2.useless_calls);
+            prop_assert_eq!(&u1.uncallable, &u2.uncallable);
             prop_assert_eq!(&u1.maybe_undef, &u2.maybe_undef);
         }
     }

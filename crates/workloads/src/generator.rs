@@ -69,6 +69,12 @@ pub struct SiteSpec {
     /// Whether the page ships an analytics module (timers + beacon +
     /// console noise).
     pub analytics: bool,
+    /// Widget handlers in the higher-order callback module
+    /// (`callbacks.js`): functions flow through variables, object
+    /// properties, parameters, closures, and timers before they run —
+    /// even-numbered widgets are dispatched through a registry, odd ones
+    /// are registered but never invoked. 0 disables the module.
+    pub callback_widgets: usize,
     /// Extra resources fetched during browsing: `(url, kind, bytes,
     /// used)`; `used == true` generates JS whose functions all run.
     pub deferred: Vec<DeferredResource>,
@@ -111,6 +117,7 @@ impl Default for SiteSpec {
             price_limit: 9999,
             js_speculative_loop: 120,
             analytics: true,
+            callback_widgets: 2,
             deferred: Vec::new(),
         }
     }
@@ -144,6 +151,9 @@ pub fn build_site(spec: &SiteSpec) -> Site {
     if spec.analytics {
         site = site.with_resource("analytics.js", ResourceKind::Js, build_analytics_js());
     }
+    if spec.callback_widgets > 0 {
+        site = site.with_resource("callbacks.js", ResourceKind::Js, build_callbacks_js(spec));
+    }
     for (i, _) in (0..spec.images).enumerate() {
         site = site.with_resource(
             format!("img{i}.png"),
@@ -173,6 +183,13 @@ fn build_html(spec: &SiteSpec, rng: &mut SmallRng) -> String {
     // Header with nav and a hidden dropdown menu (opened by interaction).
     h.push_str("<div id=\"header\" class=\"header bar\">");
     let _ = write!(h, "<span class=\"logo\">{}</span>", spec.title);
+    // Widget status readout, inside the fixed-height header so it is
+    // above the fold without shifting any layout (the callbacks module
+    // writes into it; a below-the-fold or layout-shifting placement would
+    // turn unrelated displayed paint into dynamic waste).
+    if spec.callback_widgets > 0 {
+        h.push_str("<span id=\"w-status\" class=\"w-status\">widgets</span>");
+    }
     for i in 0..spec.nav_items {
         let _ = write!(
             h,
@@ -260,6 +277,9 @@ fn build_html(spec: &SiteSpec, rng: &mut SmallRng) -> String {
     h.push_str("<script src=\"lib.js\"></script><script src=\"app.js\"></script>");
     if spec.analytics {
         h.push_str("<script src=\"analytics.js\"></script>");
+    }
+    if spec.callback_widgets > 0 {
+        h.push_str("<script src=\"callbacks.js\"></script>");
     }
     h.push_str("</body></html>");
     h
@@ -555,6 +575,81 @@ fn build_app_js(spec: &SiteSpec) -> String {
     js
 }
 
+/// The higher-order callback module: every function value flows through
+/// at least one indirection (variable, object property, parameter,
+/// closure return, or timer registration) before it runs, exercising the
+/// static analyzer's call graph end to end. Even-numbered widgets are
+/// dispatched through the registry and paint the widget bar; odd ones
+/// are registered but never invoked (uncallable-at-runtime ground
+/// truth). The module also ships pure calls whose results are discarded
+/// (useless-call ground truth) and a closure-captured counter mutated
+/// from a timer.
+fn build_callbacks_js(spec: &SiteSpec) -> String {
+    let n = spec.callback_widgets;
+    let mut js = String::with_capacity(1024 + n * 200);
+    js.push_str(concat!(
+        "var wpWidgets = { count: 0 };\n",
+        "function widgetScore(seed) {\n",
+        "  var s = 0;\n",
+        "  for (var k = 0; k < 16; k++) { s = s + (seed + k) % 13; }\n",
+        "  return s;\n",
+        "}\n",
+        "function formatLabel(n) { return 'w' + n; }\n",
+        "function makeCounter(step) {\n",
+        "  var total = 0;\n",
+        "  return function (x) { total = total + step + x; return total; };\n",
+        "}\n",
+        "var wpTally = makeCounter(2);\n",
+        "function applyEach(list, fn) {\n",
+        "  for (var i = 0; i < list.length; i++) { fn(list[i]); }\n",
+        "}\n",
+        "var wpAcc = [];\n",
+        "applyEach([1, 2, 3], function (v) { wpAcc.push(wpTally(v)); });\n",
+    ));
+    for i in 0..n {
+        let _ = writeln!(
+            js,
+            "function widget{i}(x) {{ return widgetScore(x + {i}) + {i}; }}"
+        );
+    }
+    js.push_str("var wpRegistry = {");
+    for i in 0..n {
+        if i > 0 {
+            js.push_str(", ");
+        }
+        let _ = write!(js, " w{i}: widget{i}");
+    }
+    js.push_str(" };\n");
+    js.push_str("var wpWidgetSum = 0;\n");
+    for i in (0..n).step_by(2) {
+        let _ = writeln!(js, "wpWidgetSum = wpWidgetSum + wpRegistry.w{i}({i});");
+    }
+    js.push_str(concat!(
+        "function foldRange(i, acc) {\n",
+        "  if (i <= 0) { return acc; }\n",
+        "  return foldRange(i - 1, acc + (i % 7));\n",
+        "}\n",
+        // The widget bar shows work that flowed through every
+        // indirection: dispatched widgets, the closure tally, recursion.
+        "var wpStatus = document.getElementById('w-status');\n",
+        "wpStatus.textContent = formatLabel(wpWidgetSum) + ':' + wpTally(0) + ':' + ",
+        "foldRange(9, 0) + ':' + wpAcc.length;\n",
+        // Pure results computed and discarded: statically useless calls.
+        "widgetScore(41);\n",
+        "formatLabel(7);\n",
+        // Stored-but-never-called plugins: uncallable ground truth.
+        "function orphanHandler(e) { return widgetScore(e) + 1; }\n",
+        "var wpUnusedPlugin = function (cfg) { return cfg + widgetScore(3); };\n",
+        // A timer mutates the closure counter after load, then repaints
+        // the readout with the updated count.
+        "setTimeout(function () {\n",
+        "  wpWidgets.count = wpTally(1);\n",
+        "  wpStatus.textContent = 'widgets ' + wpWidgets.count;\n",
+        "}, 180);\n",
+    ));
+    js
+}
+
 fn build_analytics_js() -> String {
     concat!(
         "var wpPerf = { t0: performance.now(), events: [] };\n",
@@ -657,6 +752,21 @@ mod tests {
         let lib = &site.resource("lib.js").unwrap().content;
         assert_eq!(lib.matches("function lib_used").count(), 7);
         assert_eq!(lib.matches("function lib_unused").count(), 13);
+    }
+
+    #[test]
+    fn callback_module_dispatches_even_widgets_only() {
+        let spec = SiteSpec {
+            callback_widgets: 4,
+            ..Default::default()
+        };
+        let site = build_site(&spec);
+        let js = &site.resource("callbacks.js").unwrap().content;
+        wasteprof_js::parse(js).expect("callbacks.js parses");
+        assert!(js.contains("wpRegistry.w0(0)"));
+        assert!(js.contains("wpRegistry.w2(2)"));
+        assert!(!js.contains("wpRegistry.w1("), "odd widgets never invoked");
+        assert!(js.contains("w3: widget3"), "odd widgets still registered");
     }
 
     #[test]

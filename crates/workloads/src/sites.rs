@@ -84,6 +84,7 @@ impl Benchmark {
                 price_limit: 24,
                 js_speculative_loop: 650,
                 analytics: true,
+                callback_widgets: 6,
                 deferred: vec![DeferredResource {
                     url: "recs.js".into(),
                     kind: ResourceKind::Js,
@@ -112,6 +113,7 @@ impl Benchmark {
                 price_limit: 24,
                 js_speculative_loop: 150,
                 analytics: true,
+                callback_widgets: 3,
                 deferred: vec![DeferredResource {
                     url: "recs.js".into(),
                     kind: ResourceKind::Js,
@@ -142,6 +144,7 @@ impl Benchmark {
                 price_limit: 9999,
                 js_speculative_loop: 400,
                 analytics: true,
+                callback_widgets: 4,
                 deferred: vec![
                     DeferredResource {
                         url: "tiles2.js".into(),
@@ -178,6 +181,7 @@ impl Benchmark {
                 price_limit: 9999,
                 js_speculative_loop: 450,
                 analytics: true,
+                callback_widgets: 4,
                 deferred: vec![DeferredResource {
                     url: "suggest.js".into(),
                     kind: ResourceKind::Js,

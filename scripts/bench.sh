@@ -45,12 +45,12 @@
 # one fused selectively-decoded pass, with the decoded-vs-skipped stream
 # byte ledger. Writes results/BENCH_8.json.
 #
-# --static runs the static-vs-dynamic referee bench (DESIGN.md §13): the
+# --static runs the static-vs-dynamic referee bench (DESIGN.md §13-14): the
 # wasteprof-staticjs ahead-of-time analyzer over every benchmark's script
 # sources, scored against the execution witness and pixel slice of all
 # six canonical sessions — per-analysis precision/recall plus the
 # soundness-violation count (refuted unreachable or dead-store claims
-# exit 1). Writes results/BENCH_9.json.
+# exit 1). Writes results/BENCH_10.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -89,7 +89,7 @@ if [[ "${1:-}" == "--static" ]]; then
     cargo build --release --quiet -p wasteprof-bench
     echo "== static-vs-dynamic referee bench =="
     ./target/release/static_bench
-    echo "wrote results/BENCH_9.json"
+    echo "wrote results/BENCH_10.json"
     exit 0
 fi
 

@@ -120,15 +120,18 @@ elif [ $? -ne 2 ]; then
     exit 1
 fi
 
-echo "== static referee artifact sanity (results/BENCH_9.json) =="
-# The committed static-vs-dynamic artifact must show a sound analyzer
-# (no dynamically refuted unreachable/dead-store claims) whose static
-# waste predictions carry nonzero precision against the pixel slice.
+echo "== static referee artifact sanity (results/BENCH_10.json) =="
+# The committed static-vs-dynamic artifact must show a sound
+# interprocedural analyzer: zero dynamically refuted must-be-sound
+# claims (WP0102/WP0103/WP0105/WP0106), and waste predictions that beat
+# the ISSUE floor — precision > 0.475 at recall >= 0.85 against the
+# allocator-stripped pixel slice of all six canonical sessions.
 jq -e '.totals.soundness_violations == 0
-       and .totals.wasted.precision > 0
+       and .totals.wasted.precision > 0.475
+       and .totals.wasted.recall >= 0.85
        and .totals.unreachable.precision == 1
        and (.per_session | length == 6)' \
-    results/BENCH_9.json >/dev/null
+    results/BENCH_10.json >/dev/null
 
 echo "== incremental bench artifact sanity (results/BENCH_7.json) =="
 # The committed bench artifact must report byte-identical frames and a
